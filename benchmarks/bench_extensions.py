@@ -1,0 +1,138 @@
+"""E13 — the related-model extensions: caterpillars, transducers,
+pebble automata, 2DFA compilation.
+
+These are not paper theorems but the paper-adjacent systems its
+introduction and conclusion point at ([7], [17], §8); the bench pins
+their cross-model agreements and costs:
+
+* caterpillar ``(down right*)+`` ≡ the descendant axis (XPath / FO(∃*));
+* the identity transducer round-trips documents; throughput measured;
+* the pebble data-join ≡ the FO join sentence;
+* compiled 2DFAs ≡ their two-way runs.
+"""
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import print_table
+
+from repro.automata.stringcompile import accepts_word, compile_two_way
+from repro.automata.strings import multiple_of_automaton, run_two_way
+from repro.caterpillar import parse_caterpillar, walk
+from repro.logic import evaluate, parse_formula
+from repro.pebbleautomata import (
+    exists_equal_pair,
+    exists_equal_pair_spec,
+    run_pebble_automaton,
+)
+from repro.transducer import identity_transducer, run_transducer
+from repro.trees import random_tree
+from repro.xpath import parse_xpath, select
+
+
+def test_e13_caterpillar_vs_xpath(benchmark):
+    cat = parse_caterpillar("(down right*)+")
+    xp = parse_xpath(".//*")
+    docs = [random_tree(n, alphabet=("a", "b"), seed=n) for n in (6, 12, 18)]
+
+    def sweep():
+        agreements = 0
+        for doc in docs:
+            for u in doc.nodes:
+                agreements += set(walk(cat, doc, u)) == set(select(xp, doc, u))
+        return agreements
+
+    agreed = benchmark(sweep)
+    assert agreed == sum(d.size for d in docs)
+    print(f"\nE13: caterpillar ≡ descendant axis on {agreed} contexts")
+
+
+def test_e13_transducer_throughput(benchmark):
+    transducer = identity_transducer()
+    doc = random_tree(40, attributes=("a",), value_pool=(1, 2), seed=0)
+    result = benchmark(lambda: run_transducer(transducer, doc))
+    assert result == doc
+    print(f"\nE13: identity transduction of a {doc.size}-node document")
+
+
+def test_e13_pebble_join_vs_fo(benchmark):
+    sentence = parse_formula("exists x y (~x = y & val_a(x) = val_a(y))")
+    docs = [random_tree(n, attributes=("a",), value_pool=(1, 2, 3, 4, 5),
+                        seed=n) for n in (5, 8, 11)]
+
+    def sweep():
+        rows = []
+        for doc in docs:
+            result = run_pebble_automaton(exists_equal_pair(), doc)
+            rows.append((doc.size, result.accepted, result.steps,
+                         evaluate(sentence, doc)))
+        return rows
+
+    rows = benchmark(sweep)
+    for size, by_pebble, _steps, by_fo in rows:
+        assert by_pebble == by_fo
+    print_table(
+        "E13: pebble data-join ≡ FO join",
+        ["|t|", "pebble", "steps", "FO"],
+        rows,
+    )
+
+
+def test_e13_pebble_steps_quadraticish():
+    steps = []
+    for n in (6, 12, 24):
+        from repro.trees import chain_tree
+
+        doc = chain_tree(n, attributes=("a",))
+        doc = doc.with_attribute("a", {u: i for i, u in enumerate(doc.nodes)})
+        result = run_pebble_automaton(exists_equal_pair(), doc, fuel=2_000_000)
+        assert not result.accepted  # all values distinct
+        steps.append((n, result.steps))
+    print_table("E13: pebble join cost (all-distinct worst case)",
+                ["n", "steps"], steps)
+    # one sweep per candidate: quadratic-ish growth, not exponential
+    assert steps[-1][1] < 80 * steps[0][1]
+
+
+def test_e13_compiled_2dfa(benchmark):
+    dfa = multiple_of_automaton(3)
+    compiled = compile_two_way(dfa)
+
+    def sweep():
+        agreements = 0
+        for n in range(10):
+            word = ["a"] * n
+            agreements += (
+                accepts_word(compiled, dfa, word)
+                == run_two_way(dfa, word).accepted
+            )
+        return agreements
+
+    agreed = benchmark(sweep)
+    assert agreed == 10
+    print(f"\nE13: compiled 2DFA ≡ two-way run on {agreed} words")
+
+
+def test_e13_nondeterminism_is_free_to_evaluate():
+    """Deterministic vs nondeterministic TWA: NTWA acceptance is BFS
+    over |t|·|Q| configurations — guessing costs nothing at evaluation
+    time (the hardness is expressive, per Bojańczyk–Colcombet)."""
+    from repro.automata.nondet import (
+        at_least_two_leaves_spec,
+        at_least_two_leaves_with_label,
+        ntwa_accepts,
+        reachable_configurations,
+    )
+
+    automaton = at_least_two_leaves_with_label("b")
+    rows = []
+    for n in (6, 12, 24, 48):
+        tree = random_tree(n, alphabet=("a", "b"), seed=n)
+        verdict = ntwa_accepts(automaton, tree)
+        assert verdict == at_least_two_leaves_spec("b")(tree)
+        configs = reachable_configurations(automaton, tree)
+        assert configs <= n * 5
+        rows.append((n, verdict, configs))
+    print_table("E13: NTWA evaluation stays linear",
+                ["|t|", "verdict", "configs"], rows)

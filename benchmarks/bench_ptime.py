@@ -1,0 +1,114 @@
+"""E8 — Theorem 7.1(2): tw^l captures PTIME^X.
+
+Claims & measurements:
+* the memoised configuration-graph evaluation agrees with the direct
+  runner;
+* the number of distinct subcomputation starts stays within the
+  polynomial bound |Q|·|t|·(|adom|+1)^k, and the observed growth of the
+  evaluation work over |t| fits a low polynomial degree;
+* alternating branching (the ALOGSPACE = PTIME mechanics) explores
+  polynomially many configurations on bounded-degree inputs.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import print_table
+
+from repro.automata import accepts
+from repro.automata.examples import spine_constant_automaton
+from repro.machines import exists_leaf_value_alt, run_alternating
+from repro.simulation import evaluate_memo, twl_configuration_bound
+from repro.trees import chain_tree, random_tree
+
+
+def spine_tree(n, seed):
+    return random_tree(n, attributes=("a",), value_pool=(1,), seed=seed)
+
+
+def test_e8_memo_agrees(benchmark):
+    automaton = spine_constant_automaton()
+    trees = [spine_tree(n, n) for n in (5, 10, 15, 20, 30)]
+
+    def sweep():
+        return [
+            (t.size, evaluate_memo(automaton, t).accepted, accepts(automaton, t))
+            for t in trees
+        ]
+
+    rows = benchmark(sweep)
+    for _size, memo, direct in rows:
+        assert memo == direct
+    print_table("E8: memoised ≡ direct (tw^l)", ["|t|", "memo", "direct"], rows)
+
+
+def test_e8_polynomial_configuration_growth():
+    automaton = spine_constant_automaton()
+    rows = []
+    for n in (8, 16, 32, 64):
+        tree = chain_tree(n, attributes=("a",))
+        tree = tree.with_attribute("a", {u: 1 for u in tree.nodes})
+        result = evaluate_memo(automaton, tree)
+        bound = twl_configuration_bound(automaton, tree)
+        rows.append((n, result.stats.steps, result.stats.distinct_starts, bound))
+        assert result.stats.distinct_starts <= bound
+    print_table(
+        "E8: tw^l evaluation work vs the PTIME bound",
+        ["|t|", "steps", "distinct starts", "bound"],
+        rows,
+    )
+    n0, s0 = rows[0][0], max(rows[0][1], 1)
+    n1, s1 = rows[-1][0], rows[-1][1]
+    degree = math.log(s1 / s0) / math.log(n1 / n0)
+    print(f"  observed work degree ≈ {degree:.2f} (polynomial)")
+    assert degree < 3.0
+
+
+def test_e8_alternating_pebble_simulation():
+    """The converse leg: an alternating logspace xTM (binary depth
+    counter, ∀-branching) evaluated with its tape on pebbles — the
+    tw^l-style subcomputation evaluation of the proof."""
+    from repro.machines import (
+        all_leaves_even_depth_alt,
+        all_leaves_even_depth_spec,
+        run_alternating,
+    )
+    from repro.simulation import simulate_alternating_logspace
+
+    alt = all_leaves_even_depth_alt()
+    rows = []
+    for n in (4, 7, 10, 13):
+        tree = random_tree(n, seed=n)
+        want = all_leaves_even_depth_spec(tree)
+        fixpoint = run_alternating(alt, tree)
+        pebbled = simulate_alternating_logspace(alt, tree)
+        assert fixpoint.accepted == pebbled.accepted == want
+        rows.append((n, pebbled.accepted, pebbled.evaluations,
+                     pebbled.walker_steps))
+    print_table(
+        "E8: alternating xTM on pebbles (∀-branching + tape)",
+        ["|t|", "verdict", "evaluations", "walker moves"],
+        rows,
+    )
+
+
+def test_e8_alternation_configs_polynomial(benchmark):
+    alt = exists_leaf_value_alt("a", 1)
+    trees = [random_tree(n, attributes=("a",), value_pool=(1, 2),
+                         max_children=3, seed=n) for n in (6, 12, 18, 24)]
+
+    def sweep():
+        return [(t.size, run_alternating(alt, t).configurations) for t in trees]
+
+    rows = benchmark(sweep)
+    print_table(
+        "E8: alternating xTM reachable configurations",
+        ["|t|", "configurations"],
+        rows,
+    )
+    n0, c0 = rows[0]
+    n1, c1 = rows[-1]
+    degree = math.log(c1 / c0) / math.log(n1 / n0)
+    print(f"  observed configuration degree ≈ {degree:.2f}")
+    assert degree < 2.5

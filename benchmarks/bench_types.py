@@ -1,0 +1,84 @@
+"""E3 — Lemma 4.3(2): the number of ≡_N classes is bounded.
+
+Claim: #(≡_N classes) ≤ exp₃(p(N + |D|)) for a polynomial p.
+
+Measured: the *realized* number of classes over exhaustive string
+families, growing with N and |D| but staying (absurdly far) below the
+tower bound; plus the cost of computing type summaries — the protocol's
+initialisation step.
+"""
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import print_table
+
+from repro.hypersets import Tower, lemma_43_type_bound
+from repro.logic.types import StringStructure, count_realized_classes, type_summary
+
+
+def all_strings(domain, length):
+    return [
+        StringStructure(tuple(w))
+        for w in itertools.product(domain, repeat=length)
+    ]
+
+
+def test_e3_realized_vs_bound(benchmark):
+    rows = []
+
+    def sweep():
+        out = []
+        for d_size, k in [(2, 1), (2, 2), (3, 1), (3, 2)]:
+            domain = list(range(1, d_size + 1))
+            family = []
+            for length in range(1, 5):
+                family.extend(all_strings(domain, length))
+            out.append((d_size, k, count_realized_classes(family, k), len(family)))
+        return out
+
+    results = benchmark(sweep)
+    for d_size, k, realized, family_size in results:
+        bound = lemma_43_type_bound(k, d_size)
+        rows.append((d_size, k, family_size, realized, repr(bound)))
+        # the bound is a tower of height 3 — realized counts are tiny
+        assert Tower.of(realized) < bound
+    print_table(
+        "E3: realized ≡_k classes vs the exp₃ bound",
+        ["|D|", "k", "#strings", "realized", "bound"],
+        rows,
+    )
+
+
+def test_e3_classes_grow_with_k():
+    domain = [1, 2]
+    family = []
+    for length in range(1, 7):
+        family.extend(all_strings(domain, length))
+    counts = [count_realized_classes(family, k) for k in (0, 1, 2)]
+    print(f"\nE3: classes by k on {len(family)} strings: {counts}")
+    assert counts[0] <= counts[1] <= counts[2]
+    # one variable cannot order the interior: strictly coarser than
+    # string identity on this family (e.g. 1 2 1 1 2 2 ≡₁ 1 2 1 2 1 2… )
+    assert counts[1] < len(family)
+    assert counts[2] <= len(family)
+
+
+def test_e3_summary_cost(benchmark):
+    s = StringStructure(tuple([1, 2, 3] * 4))
+    benchmark(lambda: type_summary(s, (0,), 3))
+
+
+def test_e3_summary_cost_scales_with_k():
+    import time
+
+    s = StringStructure(tuple([1, 2] * 5))
+    times = []
+    for k in (1, 2, 3):
+        t0 = time.perf_counter()
+        type_summary(s, (), k)
+        times.append(time.perf_counter() - t0)
+    print(f"\nE3: summary cost k=1..3 (n=10): "
+          f"{[f'{t * 1e3:.2f}ms' for t in times]} — O(n^k) as designed")
+    assert times[2] > times[1]

@@ -1,0 +1,93 @@
+"""E6 — Theorem 6.2: xTMs correspond to ordinary TMs on enc(t).
+
+Claim: every xTM class equals the corresponding TM class on encodings,
+with a natural time/space correspondence.
+
+Measured: (a) verdict agreement between the direct xTM run and the same
+rule set interpreted over the flat encoding; (b) the navigation
+overhead (characters scanned per direct step) stays below |enc(t)| —
+the polynomial factor the correspondence tolerates; (c) a genuinely
+paired program (node parity as xTM vs '('-parity as a classical TM)
+recognises the same tree language.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+
+from repro.machines import compare_on, encode_tree, paren_parity_tm, run_tm
+from repro.machines.programs import even_nodes_spec, even_nodes_xtm
+from repro.trees import chain_tree, full_tree, random_tree
+
+
+def family():
+    return [random_tree(n, alphabet=("a", "b"), attributes=("x",),
+                        value_pool=(1, 2), seed=n) for n in (3, 6, 9, 12, 16, 20)]
+
+
+def test_e6_direct_vs_encoded(benchmark):
+    machine = even_nodes_xtm()
+    trees = family()
+
+    def sweep():
+        return [compare_on(machine, t) for t in trees]
+
+    reports = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    rows = []
+    for report in reports:
+        assert report.verdicts_agree
+        assert report.overhead <= report.encoding_length + 1
+        rows.append(
+            (
+                report.size,
+                report.encoding_length,
+                report.direct.steps,
+                report.encoded.char_steps,
+                f"{report.overhead:.1f}",
+            )
+        )
+    print_table(
+        "E6: direct xTM vs encoded interpretation",
+        ["|t|", "|enc|", "steps", "chars scanned", "chars/step"],
+        rows,
+    )
+
+
+def test_e6_overhead_growth_is_polynomial():
+    machine = even_nodes_xtm()
+    overheads = []
+    for n in (8, 16, 32):
+        report = compare_on(machine, chain_tree(n))
+        overheads.append((n, report.overhead))
+    print_table("E6: overhead vs n (chains)", ["n", "chars/step"], overheads)
+    # ratio grows at most linearly in |enc| ~ n
+    assert overheads[-1][1] / max(overheads[0][1], 1) < 32
+
+
+def test_e6_paired_programs(benchmark):
+    trees = family() + [full_tree(2, 3), chain_tree(7)]
+
+    def sweep():
+        hits = 0
+        for tree in trees:
+            alphabet = sorted(set("();,01") | set("".join(tree.alphabet)))
+            tm = paren_parity_tm("(", alphabet=alphabet)
+            tm_verdict = run_tm(tm, encode_tree(tree)).accepted
+            hits += tm_verdict == even_nodes_spec(tree)
+        return hits
+
+    hits = benchmark(sweep)
+    assert hits == len(trees)
+    print(f"\nE6: TM-on-enc(t) ≡ xTM-on-t for all {hits} instances")
+
+
+def test_e6_tm_time_linear_in_encoding():
+    rows = []
+    for n in (8, 16, 32, 64):
+        tree = chain_tree(n)
+        enc = encode_tree(tree)
+        tm = paren_parity_tm("(", alphabet=sorted(set(enc)))
+        result = run_tm(tm, enc)
+        rows.append((n, len(enc), result.steps))
+        assert result.steps <= len(enc) + 2
+    print_table("E6: one-sweep TM time", ["n", "|enc|", "TM steps"], rows)

@@ -1,0 +1,25 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every experiment Ei of DESIGN.md has one module here.  Each module
+
+* times its central computation with pytest-benchmark, and
+* prints the experiment's result rows (the numbers recorded in
+  EXPERIMENTS.md) — run with ``-s`` to see them inline.
+"""
+
+from typing import Iterable, Sequence
+
+import pytest
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Render one experiment's rows (captured by pytest unless -s)."""
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    print(f"\n── {title} " + "─" * max(0, 66 - len(title)))
+    print("  " + "  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  " + "  ".join(c.ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""The Theorem 7.1 constructions, live.
+
+(1) LOGSPACE^X ⊆ tw  — run a binary-counter xTM with its tape held
+    entirely in *pebbles* (node numbers in the in-order numbering);
+(2) tw^l ⊆ PTIME^X   — memoised configuration-graph evaluation, with
+    the polynomial configuration bound printed;
+(3) PSPACE^X ⊆ tw^r  — compile a linear-space xTM into an actual tw^r
+    automaton whose store holds the tape as a relation, and run it;
+(7.2) A = ∅          — eliminate the registers of a label-only tw^r.
+
+Run:  python examples/complexity_simulations.py
+"""
+
+from repro.automata import accepts, run
+from repro.automata.examples import all_leaves_same_twrl, spine_constant_automaton
+from repro.machines import run_xtm
+from repro.machines.programs import even_nodes_binary_xtm, unary_nodes_xtm
+from repro.simulation import (
+    compile_pspace_xtm_to_twr,
+    evaluate_memo,
+    simulate_logspace_xtm,
+    twl_configuration_bound,
+    with_ids,
+)
+from repro.trees import chain_tree, random_tree
+
+
+def theorem_711() -> None:
+    print("=== Theorem 7.1(1): a logspace xTM run on pebbles alone ===")
+    machine = even_nodes_binary_xtm()
+    for n in (5, 9, 14):
+        tree = random_tree(n, seed=n)
+        reference = run_xtm(machine, tree)
+        pebbled = simulate_logspace_xtm(machine, tree)
+        assert pebbled.accepted == reference.accepted
+        print(
+            f"  |t|={n:3}: verdict={pebbled.accepted!s:5} "
+            f"xTM steps={reference.steps:4} tape cells={reference.space:2} "
+            f"-> walker moves={pebbled.walker_steps:7} (tape never materialised)"
+        )
+
+
+def theorem_712() -> None:
+    print("=== Theorem 7.1(2): tw^l evaluated in polynomially many configurations ===")
+    automaton = spine_constant_automaton()
+    for n in (6, 12, 18):
+        tree = random_tree(n, attributes=("a",), value_pool=(1,), seed=n)
+        result = evaluate_memo(automaton, tree)
+        bound = twl_configuration_bound(automaton, tree)
+        print(
+            f"  |t|={n:3}: accepted={result.accepted!s:5} "
+            f"steps={result.stats.steps:5} distinct subcomputations="
+            f"{result.stats.distinct_starts:3}  (bound {bound})"
+        )
+
+
+def theorem_713() -> None:
+    print("=== Theorem 7.1(3): a PSPACE xTM compiled into a tw^r ===")
+    machine = unary_nodes_xtm()  # linear space: one tape cell per node
+    compiled = compile_pspace_xtm_to_twr(machine)
+    print(f"  compiled automaton: {compiled}")
+    for n in (3, 5, 6):
+        tree = random_tree(n, seed=n)
+        reference = run_xtm(machine, tree)
+        got = run(compiled, with_ids(tree), fuel=5_000_000)
+        assert got.accepted == reference.accepted
+        print(
+            f"  |t|={n}: verdicts agree ({got.accepted}); tw^r took "
+            f"{got.steps} store steps for {reference.steps} xTM steps"
+        )
+
+
+def proposition_72() -> None:
+    print("=== Proposition 7.2: registers fold into states when A = ∅ ===")
+    from repro.simulation import eliminate_registers, store_content_count
+    from repro.automata.examples import delta_leaves_mod3_twr as delta_leaves_mod3
+
+    twr = delta_leaves_mod3()
+    tw = eliminate_registers(twr)
+    print(f"  {twr!r}  (≤ {store_content_count(twr)} store contents)")
+    print(f"  -> {tw!r} with no registers used")
+    for seed in (1, 2, 3):
+        tree = random_tree(9, alphabet=("σ", "δ"), seed=seed)
+        assert accepts(twr, tree) == accepts(tw, tree)
+    print("  verdicts agree on sampled trees")
+
+
+def main() -> None:
+    theorem_711()
+    theorem_712()
+    theorem_713()
+    proposition_72()
+
+
+if __name__ == "__main__":
+    main()

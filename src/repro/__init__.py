@@ -1,0 +1,70 @@
+"""repro — an executable reproduction of Neven, *On the Power of Walking
+for Querying Tree-Structured Data* (PODS 2002).
+
+The package implements every formal system the paper defines or relies
+on, as real running code:
+
+* :mod:`repro.trees` — attributed unranked Σ-trees, delimited trees,
+  strings-as-monadic-trees, generators and XML I/O (§2.1, §3, §4);
+* :mod:`repro.logic` — FO over the tree vocabulary τ_{Σ,A}, the
+  FO(∃*) fragment with its extra predicates, and k-variable types (§2.2,
+  §2.3, Lemma 4.3);
+* :mod:`repro.store` — finite relations over D, register stores, and
+  active-domain FO used for automaton guards/updates (§3);
+* :mod:`repro.xpath` — the paper's XPath fragment and its compilation
+  into FO(∃*) (§2.3);
+* :mod:`repro.automata` — the tree-walking classes tw, tw^l, tw^r,
+  tw^{r,l} of Definitions 3.1 and 5.1, with full ``atp`` look-ahead
+  semantics;
+* :mod:`repro.machines` — XML Turing machines (xTMs), alternation,
+  resource metering, ordinary TMs and the tree encoding of Theorem 6.2;
+* :mod:`repro.simulation` — the constructive directions of Theorem 7.1
+  and Proposition 7.2 (pebble arithmetic, configuration graphs,
+  tape-as-relation, register elimination);
+* :mod:`repro.mso` — DFAs, unranked hedge automata, and look-ahead
+  simulation of regular tree languages;
+* :mod:`repro.hypersets` — i-hypersets, their string encodings, and the
+  language L^m of Section 4;
+* :mod:`repro.protocol` — the two-party communication protocol of
+  Lemma 4.5 and the counting analysis of Lemma 4.6;
+* :mod:`repro.queries` — a user-facing ``TreeDatabase`` facade.
+"""
+
+__version__ = "1.0.0"
+
+from . import (  # noqa: F401  (re-exported subpackages)
+    automata,
+    caterpillar,
+    hypersets,
+    logic,
+    machines,
+    mso,
+    pebbleautomata,
+    protocol,
+    queries,
+    simulation,
+    store,
+    transducer,
+    trees,
+    xpath,
+)
+from .queries import TreeDatabase  # noqa: F401  (the headline entry point)
+
+__all__ = [
+    "automata",
+    "caterpillar",
+    "hypersets",
+    "logic",
+    "machines",
+    "mso",
+    "pebbleautomata",
+    "protocol",
+    "queries",
+    "simulation",
+    "store",
+    "transducer",
+    "trees",
+    "xpath",
+    "TreeDatabase",
+    "__version__",
+]

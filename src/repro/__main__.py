@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command> …``.
+
+Commands
+--------
+
+``info FILE``
+    Parse a document (XML subset or term syntax) and print its vitals.
+
+``query FILE (--xpath EXPR | --ask SENTENCE | --select QUERY)``
+    Evaluate an XPath expression, an FO sentence, or a binary FO(∃*)
+    query (text syntax) against the document.
+
+``run FILE AUTOMATON``
+    Run a stock tree-walking automaton (see ``run --list``).
+
+``transform FILE TRANSDUCER``
+    Apply a stock transducer and print the output document.
+
+``protocol PROGRAM F G``
+    Play the Lemma 4.5 protocol for a stock string program on the split
+    string f#g (f, g comma-separated values) and print the dialogue.
+
+Documents: files ending in ``.xml`` are parsed as the XML subset;
+anything else as term syntax ``label[attr=value](children)``.  Pass
+``-`` to read stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .queries import TreeDatabase
+from .trees import Tree, format_node, from_xml, parse_term, to_xml
+
+
+def _load(path: str) -> TreeDatabase:
+    if path == "-":
+        text = sys.stdin.read()
+        parse = from_xml if text.lstrip().startswith("<") else parse_term
+        return TreeDatabase(parse(text))
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if path.endswith(".xml") or text.lstrip().startswith("<"):
+        return TreeDatabase(from_xml(text))
+    return TreeDatabase(parse_term(text))
+
+
+# -- registries ---------------------------------------------------------------------
+
+
+def _automaton_registry() -> Dict[str, Callable]:
+    """name → builder(attr) returning (automaton, needs_delimiting);
+    attribute-parameterised automata use the document's first attribute."""
+    from .automata import examples as ex
+
+    return {
+        "example-3.2": lambda attr: (ex.example_32(), True),
+        "even-leaves": lambda attr: (ex.even_leaves_automaton(), False),
+        "all-values-same": lambda attr: (ex.all_values_same_twr(attr), False),
+        "leaves-uniform": lambda attr: (ex.all_leaves_same_twrl(attr), False),
+        "spine-constant": lambda attr: (ex.spine_constant_automaton(attr), False),
+        "delta-mod3": lambda attr: (ex.delta_leaves_mod3_twr(), False),
+    }
+
+
+def _transducer_registry() -> Dict[str, Callable]:
+    from . import transducer as tr
+
+    return {
+        "identity": tr.identity_transducer,
+        "prune-δ": lambda: tr.prune_transducer("δ"),
+        "flatten-leaves": tr.flatten_leaves_transducer,
+        "catalog-report": tr.catalog_report_transducer,
+    }
+
+
+def _program_registry() -> Dict[str, Callable]:
+    from .protocol import programs as pp
+
+    return {
+        "walking-all-same": pp.walking_all_same,
+        "atp-all-same": pp.atp_all_same,
+        "nested-constant": pp.nested_constant_suffixes,
+        "first-equals-last": pp.root_value_reappears,
+        "walking-reporters": pp.walking_reporters,
+    }
+
+
+# -- commands -----------------------------------------------------------------------------
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    db = _load(args.file)
+    tree = db.tree
+    leaves = sum(1 for u in tree.nodes if tree.is_leaf(u))
+    print(f"nodes:      {tree.size}")
+    print(f"leaves:     {leaves}")
+    print(f"alphabet:   {', '.join(tree.alphabet)}")
+    print(f"attributes: {', '.join(tree.attributes) or '(none)'}")
+    print(f"values:     {len(tree.active_domain())} distinct")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    db = _load(args.file)
+    if args.xpath:
+        for node in db.xpath(args.xpath):
+            print(format_node(node))
+        return 0
+    if args.ask:
+        verdict = db.ask(args.ask)
+        print("true" if verdict else "false")
+        return 0 if verdict else 1
+    for node in db.select_where(args.select):
+        print(format_node(node))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    registry = _automaton_registry()
+    if args.list:
+        for name in sorted(registry):
+            print(name)
+        return 0
+    db = _load(args.file)
+    if args.automaton_file:
+        from .automata.textformat import load_automaton
+
+        automaton, delimited = load_automaton(args.automaton_file), args.delim
+    else:
+        if args.automaton not in registry:
+            print(f"unknown automaton {args.automaton!r}; try --list",
+                  file=sys.stderr)
+            return 2
+        attr = db.tree.attributes[0] if db.tree.attributes else "a"
+        automaton, delimited = registry[args.automaton](attr)
+    verdict = db.run_automaton(automaton, delimited=delimited)
+    print("accept" if verdict else "reject")
+    return 0 if verdict else 1
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    registry = _transducer_registry()
+    if args.list:
+        for name in sorted(registry):
+            print(name)
+        return 0
+    if args.transducer not in registry:
+        print(f"unknown transducer {args.transducer!r}; try --list",
+              file=sys.stderr)
+        return 2
+    from .transducer import run_transducer
+
+    db = _load(args.file)
+    output = run_transducer(registry[args.transducer](), db.tree)
+    print(to_xml(output), end="")
+    return 0
+
+
+def _cmd_protocol(args: argparse.Namespace) -> int:
+    registry = _program_registry()
+    if args.list:
+        for name in sorted(registry):
+            print(name)
+        return 0
+    if args.program_file:
+        from .automata.textformat import load_automaton
+
+        program = load_automaton(args.program_file)
+    elif args.program in registry:
+        program = registry[args.program]()
+    else:
+        print(f"unknown program {args.program!r}; try --list", file=sys.stderr)
+        return 2
+    from .protocol import run_protocol
+
+    f = args.f.split(",")
+    g = args.g.split(",")
+    result = run_protocol(program, f, g)
+    for sender, message in result.dialogue:
+        print(f"{sender:>2} -> {type(message).__name__}")
+    print("verdict:", "accept" if result.accepted else "reject")
+    return 0 if result.accepted else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tree-walking automata toolbox (Neven, PODS 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="document vitals")
+    p_info.add_argument("file")
+    p_info.set_defaults(func=_cmd_info)
+
+    p_query = sub.add_parser("query", help="XPath / FO queries")
+    p_query.add_argument("file")
+    group = p_query.add_mutually_exclusive_group(required=True)
+    group.add_argument("--xpath", help="XPath expression (§2.3 fragment)")
+    group.add_argument("--ask", help="FO sentence, e.g. 'exists x O_item(x)'")
+    group.add_argument("--select", help="binary FO(∃*) query over x, y")
+    p_query.set_defaults(func=_cmd_query)
+
+    p_run = sub.add_parser("run", help="run a tree-walking automaton")
+    p_run.add_argument("file", nargs="?")
+    p_run.add_argument("automaton", nargs="?")
+    p_run.add_argument("--list", action="store_true")
+    p_run.add_argument("--automaton-file",
+                       help="load the automaton from a .tw file instead")
+    p_run.add_argument("--delim", action="store_true",
+                       help="run the file automaton on delim(t)")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_tr = sub.add_parser("transform", help="apply a stock transducer")
+    p_tr.add_argument("file", nargs="?")
+    p_tr.add_argument("transducer", nargs="?")
+    p_tr.add_argument("--list", action="store_true")
+    p_tr.set_defaults(func=_cmd_transform)
+
+    p_proto = sub.add_parser("protocol", help="play the Lemma 4.5 protocol")
+    p_proto.add_argument("program", nargs="?")
+    p_proto.add_argument("f", nargs="?", help="comma-separated left values")
+    p_proto.add_argument("g", nargs="?", help="comma-separated right values")
+    p_proto.add_argument("--list", action="store_true")
+    p_proto.add_argument("--program-file",
+                         help="load the program from a .tw file instead")
+    p_proto.set_defaults(func=_cmd_protocol)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Tree-walking automata: the paper's Definition 3.1 model and the
+Definition 5.1 restriction lattice tw ⊆ tw^l, tw^r ⊆ tw^{r,l}.
+
+* :mod:`repro.automata.rules` — rule syntax (moves, updates, atp);
+* :mod:`repro.automata.machine` — the automaton tuple and static checks;
+* :mod:`repro.automata.runner` — execution (configurations, cycles,
+  subcomputations, verdicts);
+* :mod:`repro.automata.classes` — class membership / validation;
+* :mod:`repro.automata.builder` — fluent construction;
+* :mod:`repro.automata.examples` — a worked automaton per class,
+  including the paper's Example 3.2;
+* :mod:`repro.automata.strings` — two-way DFAs, the string warm-up.
+"""
+
+from .rules import (
+    ANYWHERE,
+    Atp,
+    DIRECTIONS,
+    DOWN,
+    LEFT,
+    LHS,
+    Move,
+    PositionTest,
+    RHS,
+    RIGHT,
+    Rule,
+    STAY,
+    UP,
+    Update,
+    move,
+)
+from .machine import AutomatonError, TWAutomaton
+from .runner import (
+    Configuration,
+    ExecutionError,
+    FuelExhausted,
+    NondeterminismError,
+    RunResult,
+    accepts,
+    run,
+)
+from .classes import (
+    ClassViolation,
+    TWClass,
+    check_single_valued_on,
+    classify,
+    is_functional_selector,
+    is_in_class,
+    require_class,
+    violations,
+)
+from .builder import AutomatonBuilder
+from .nondet import (
+    NTWA,
+    NTWAError,
+    NTWRule,
+    ntwa_accepts,
+    reachable_configurations,
+)
+from .textformat import (
+    AutomatonFormatError,
+    load_automaton,
+    parse_automaton,
+    serialize_automaton,
+)
+from . import examples, nondet, stringcompile, strings, textformat
+
+__all__ = [
+    "ANYWHERE",
+    "Atp",
+    "DIRECTIONS",
+    "DOWN",
+    "LEFT",
+    "LHS",
+    "Move",
+    "PositionTest",
+    "RHS",
+    "RIGHT",
+    "Rule",
+    "STAY",
+    "UP",
+    "Update",
+    "move",
+    "AutomatonError",
+    "TWAutomaton",
+    "Configuration",
+    "ExecutionError",
+    "FuelExhausted",
+    "NondeterminismError",
+    "RunResult",
+    "accepts",
+    "run",
+    "ClassViolation",
+    "TWClass",
+    "check_single_valued_on",
+    "classify",
+    "is_functional_selector",
+    "is_in_class",
+    "require_class",
+    "violations",
+    "AutomatonBuilder",
+    "NTWA",
+    "NTWAError",
+    "NTWRule",
+    "ntwa_accepts",
+    "reachable_configurations",
+    "AutomatonFormatError",
+    "load_automaton",
+    "parse_automaton",
+    "serialize_automaton",
+    "examples",
+    "nondet",
+    "stringcompile",
+    "strings",
+    "textformat",
+]

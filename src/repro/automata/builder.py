@@ -1,0 +1,128 @@
+"""A fluent construction API for tw^{r,l} automata.
+
+Writing Definition 3.1 tuples by hand is error-prone; the builder
+collects rules, infers the state set, and validates on ``build()``::
+
+    b = AutomatonBuilder("even-leaves", register_arities=[1])
+    b.move("q0", "q1", DOWN, label="σ")
+    b.update("q1", "q2", register=1, formula=eq(z, Attr("a")), variables=[z])
+    b.atp("q2", "q3", selector=leaves_selector(), substate="q4", register=1)
+    automaton = b.build(initial="q0", final="q3")
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from ..logic.exists_star import ExistsStarQuery
+from ..store.database import StoreSchema
+from ..store.fo import StoreFormula, TrueF, Var
+from ..trees.values import DataValue
+from .machine import AutomatonError, TWAutomaton
+from .rules import Atp, LHS, Move, PositionTest, Rule, Update, ANYWHERE
+
+
+class AutomatonBuilder:
+    """Accumulates rules; ``build`` produces a validated automaton."""
+
+    def __init__(
+        self,
+        name: str = "B",
+        register_arities: Sequence[int] = (1,),
+        initial_assignment: Optional[Sequence[Union[DataValue, None]]] = None,
+    ) -> None:
+        self.name = name
+        self.schema = StoreSchema(register_arities)
+        self.initial_assignment = tuple(
+            initial_assignment
+            if initial_assignment is not None
+            else [None] * self.schema.count
+        )
+        self._rules: List[Rule] = []
+        self._states: set = set()
+
+    # -- rule constructors ------------------------------------------------------
+
+    def _lhs(
+        self,
+        state: str,
+        label: Optional[str],
+        guard: Optional[StoreFormula],
+        position: PositionTest,
+    ) -> LHS:
+        self._states.add(state)
+        return LHS(state, label, guard if guard is not None else TrueF(), position)
+
+    def move(
+        self,
+        state: str,
+        to: str,
+        direction: str,
+        label: Optional[str] = None,
+        guard: Optional[StoreFormula] = None,
+        position: PositionTest = ANYWHERE,
+    ) -> "AutomatonBuilder":
+        """Add ``(label, state, guard) → (to, direction)``."""
+        self._states.add(to)
+        self._rules.append(
+            Rule(self._lhs(state, label, guard, position), Move(to, direction))
+        )
+        return self
+
+    def update(
+        self,
+        state: str,
+        to: str,
+        register: int,
+        formula: StoreFormula,
+        variables: Sequence[Var],
+        label: Optional[str] = None,
+        guard: Optional[StoreFormula] = None,
+        position: PositionTest = ANYWHERE,
+    ) -> "AutomatonBuilder":
+        """Add ``(label, state, guard) → (to, ψ, register)``."""
+        self._states.add(to)
+        self._rules.append(
+            Rule(
+                self._lhs(state, label, guard, position),
+                Update(to, formula, tuple(variables), register),
+            )
+        )
+        return self
+
+    def atp(
+        self,
+        state: str,
+        to: str,
+        selector: ExistsStarQuery,
+        substate: str,
+        register: int,
+        label: Optional[str] = None,
+        guard: Optional[StoreFormula] = None,
+        position: PositionTest = ANYWHERE,
+    ) -> "AutomatonBuilder":
+        """Add ``(label, state, guard) → (to, atp(φ, substate), register)``."""
+        self._states.add(to)
+        self._states.add(substate)
+        self._rules.append(
+            Rule(
+                self._lhs(state, label, guard, position),
+                Atp(to, selector, substate, register),
+            )
+        )
+        return self
+
+    # -- finishing ---------------------------------------------------------------
+
+    def build(self, initial: str, final: str) -> TWAutomaton:
+        """Validate and freeze the automaton."""
+        states = frozenset(self._states | {initial, final})
+        return TWAutomaton(
+            states=states,
+            initial_state=initial,
+            final_state=final,
+            schema=self.schema,
+            rules=tuple(self._rules),
+            initial_assignment=self.initial_assignment,
+            name=self.name,
+        )

@@ -1,0 +1,139 @@
+"""The restriction lattice of Definition 5.1: tw ⊆ tw^l, tw ⊆ tw^r ⊆ tw^{r,l}.
+
+* **tw^{r,l}** — the full model (relational storage + look-ahead);
+* **tw^r**   — no look-ahead: no ``atp`` rules;
+* **tw^l**   — registers are unary and hold at most one value during
+  every execution.  The paper also gives the syntactic version: update
+  formulas are quantifier-free and define at most one value, and every
+  ``atp`` selector selects at most one node (e.g. parent or first
+  child), so look-aheads compute one data value;
+* **tw**     — tw^l without ``atp`` rules.
+
+``classify`` places an automaton in the most restrictive class its
+*syntax* guarantees; ``check_single_valued_on`` is the complementary
+run-time check of the semantic tw^l condition on a concrete tree.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Tuple
+
+from ..logic.exists_star import ExistsStarQuery, functional_selectors
+from ..store import fo as F
+from ..trees.tree import Tree
+from .machine import TWAutomaton
+from .rules import Atp, Update
+
+
+class TWClass(enum.Enum):
+    """The four classes, ordered by inclusion."""
+
+    TW = "tw"
+    TW_L = "tw^l"
+    TW_R = "tw^r"
+    TW_RL = "tw^{r,l}"
+
+
+class ClassViolation(ValueError):
+    """Raised when an automaton is asserted into a class it violates."""
+
+
+_FUNCTIONAL_FORMULAS = frozenset(q.formula for q in functional_selectors())
+
+
+def is_functional_selector(selector: ExistsStarQuery) -> bool:
+    """Syntactic whitelist of selectors guaranteed to pick ≤ 1 node on
+    every tree (self, parent, first child)."""
+    return selector.formula in _FUNCTIONAL_FORMULAS
+
+
+def _is_single_value_update(update: Update) -> bool:
+    """Accept the shapes the paper sketches: a quantifier-free formula
+    "defining only one value" — ``z = c``, ``z = @a`` — or ``false``
+    (clearing the register)."""
+    if len(update.variables) != 1:
+        return False
+    formula = update.formula
+    if isinstance(formula, F.FalseF):
+        return True
+    if isinstance(formula, F.Eq):
+        z = update.variables[0]
+        sides = (formula.left, formula.right)
+        constant_sides = [t for t in sides if isinstance(t, (F.Const, F.Attr))]
+        return z in sides and len(constant_sides) == 1
+    return False
+
+
+def violations(automaton: TWAutomaton, target: TWClass) -> List[str]:
+    """All reasons why ``automaton`` is *not* syntactically in ``target``."""
+    problems: List[str] = []
+    if target is TWClass.TW_RL:
+        return problems
+
+    lookahead_banned = target in (TWClass.TW, TWClass.TW_R)
+    single_valued = target in (TWClass.TW, TWClass.TW_L)
+
+    if single_valued:
+        for i, arity in enumerate(automaton.schema.arities, start=1):
+            if arity != 1:
+                problems.append(
+                    f"register X{i} has arity {arity}; {target.value} "
+                    f"registers are unary"
+                )
+    for rule in automaton.rules:
+        rhs = rule.rhs
+        if isinstance(rhs, Atp):
+            if lookahead_banned:
+                problems.append(f"{target.value} forbids atp rules: {rule!r}")
+            elif single_valued and not is_functional_selector(rhs.selector):
+                problems.append(
+                    f"{target.value} atp selector must select at most one "
+                    f"node (self/parent/first-child): {rule!r}"
+                )
+        elif isinstance(rhs, Update):
+            if single_valued and not _is_single_value_update(rhs):
+                problems.append(
+                    f"{target.value} update must be quantifier-free and "
+                    f"define one value (z = c, z = @a, or false): {rule!r}"
+                )
+    return problems
+
+
+def is_in_class(automaton: TWAutomaton, target: TWClass) -> bool:
+    """Syntactic membership test."""
+    return not violations(automaton, target)
+
+
+def require_class(automaton: TWAutomaton, target: TWClass) -> TWAutomaton:
+    """Assert membership; raises :class:`ClassViolation` with reasons."""
+    problems = violations(automaton, target)
+    if problems:
+        raise ClassViolation(
+            f"{automaton!r} is not in {target.value}:\n  " + "\n  ".join(problems)
+        )
+    return automaton
+
+
+def classify(automaton: TWAutomaton) -> TWClass:
+    """The most restrictive class the automaton syntactically inhabits."""
+    for target in (TWClass.TW, TWClass.TW_L, TWClass.TW_R):
+        if is_in_class(automaton, target):
+            return target
+    return TWClass.TW_RL
+
+
+def check_single_valued_on(automaton: TWAutomaton, tree: Tree) -> List[str]:
+    """The *semantic* tw^l condition, checked against one tree: every
+    selector picks ≤ 1 node from every start position."""
+    problems = []
+    for selector in automaton.selectors():
+        for node in tree.nodes:
+            picked = selector.select(tree, node)
+            if len(picked) > 1:
+                problems.append(
+                    f"selector {selector!r} picks {len(picked)} nodes from "
+                    f"{node!r}"
+                )
+                break
+    return problems

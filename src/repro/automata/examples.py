@@ -1,0 +1,346 @@
+"""A library of tree-walking automata, one per Definition 5.1 class.
+
+Each constructor returns an automaton together with (where useful) an
+independent specification — an FO sentence or a plain Python predicate
+— that the test suite checks the automaton against.  The centrepiece
+is :func:`example_32`, the paper's worked Example 3.2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from ..logic import tree_fo
+from ..logic.exists_star import (
+    ExistsStarQuery,
+    X,
+    Y,
+    parent_selector,
+    selector,
+)
+from ..logic.tree_fo import NVar
+from ..store.fo import Attr, FalseF, Var, conj, eq, forall, implies, rel
+from ..trees.delimited import LEAF_DELIM, ROOT_DELIM, delim
+from ..trees.node import NodeId
+from ..trees.tree import Tree
+from .builder import AutomatonBuilder
+from .machine import TWAutomaton
+from .rules import DOWN, PositionTest, RIGHT, STAY, UP
+
+z = Var("z")
+w = Var("w")
+
+AT_LEAF = PositionTest(leaf=True)
+AT_INNER = PositionTest(leaf=False)
+AT_ROOT = PositionTest(root=True)
+BACK_CONTINUE = PositionTest(root=False, last=False)
+BACK_ASCEND = PositionTest(root=False, last=True)
+
+
+def _singleton_guard(register: int):
+    """ξ ≡ ∀x∀y (X(x) ∧ X(y) → x = y) — "the register holds ≤ 1 value"."""
+    return forall(
+        [z, w], implies(conj(rel(register, z), rel(register, w)), eq(z, w))
+    )
+
+
+# ---------------------------------------------------------------------------
+# Example 3.2 (tw^{r,l}): every δ-node's leaf-descendants share their a-value
+# ---------------------------------------------------------------------------
+
+
+def example_32() -> TWAutomaton:
+    """The paper's Example 3.2, verbatim modulo delimiter conventions.
+
+    Runs on ``delim(t)`` with Σ = {σ, δ}, A = {a}.  Accepts iff for
+    every δ-labelled node, all its leaf-descendants (parents of
+    △-nodes) carry the same a-attribute.
+    """
+    phi_1 = selector(
+        tree_fo.conj(tree_fo.Desc(X, Y), tree_fo.Label("δ", Y))
+    )
+    y1 = NVar("y1")
+    phi_2 = selector(
+        tree_fo.exists(
+            y1,
+            tree_fo.conj(
+                tree_fo.Desc(X, Y),
+                tree_fo.Edge(Y, y1),
+                tree_fo.Label(LEAF_DELIM, y1),
+            ),
+        )
+    )
+    b = AutomatonBuilder("example-3.2", register_arities=[1])
+    # (1) select every δ-descendant of the ▽-root, run q2 there.
+    b.atp("q0", "q1", phi_1, substate="q2", register=1, label=ROOT_DELIM)
+    # (2) all subcomputations returned: accept.
+    b.move("q1", "qF", STAY, label=ROOT_DELIM)
+    # (3) at a δ-node: collect the a-values of all leaf-descendants.
+    b.atp("q2", "q3", phi_2, substate="q4", register=1, label="δ")
+    # (4) accept the subcomputation iff the collected set is a singleton;
+    #     otherwise q3 is stuck and the *whole* computation rejects.
+    b.move("q3", "qF", STAY, label="δ", guard=_singleton_guard(1))
+    # (5)+(6) every selected leaf reports its a-attribute.
+    b.update("q4", "q5", register=1, formula=eq(z, Attr("a")), variables=[z])
+    b.move("q5", "qF", STAY)
+    return b.build(initial="q0", final="qF")
+
+
+def example_32_spec(tree: Tree) -> bool:
+    """Independent Python specification of Example 3.2 on the
+    *undelimited* tree."""
+    for u in tree.nodes:
+        if tree.label(u) != "δ":
+            continue
+        values = {
+            tree.val("a", v)
+            for v in tree.nodes
+            if tree.descendant(u, v) and tree.is_leaf(v)
+        }
+        if len(values) > 1:
+            return False
+    return True
+
+
+def example_32_fo_spec() -> tree_fo.TreeFormula:
+    """The same property as an FO sentence over the undelimited tree."""
+    x, y, v = NVar("x"), NVar("y"), NVar("v")
+    leafdesc_y = tree_fo.conj(tree_fo.Desc(x, y), tree_fo.Leaf(y))
+    leafdesc_v = tree_fo.conj(tree_fo.Desc(x, v), tree_fo.Leaf(v))
+    return tree_fo.forall(
+        x,
+        tree_fo.implies(
+            tree_fo.Label("δ", x),
+            tree_fo.forall(
+                [y, v],
+                tree_fo.implies(
+                    tree_fo.conj(leafdesc_y, leafdesc_v),
+                    tree_fo.ValEq("a", y, "a", v),
+                ),
+            ),
+        ),
+    )
+
+
+def run_example_32(tree: Tree) -> bool:
+    """Delimit, run, return the verdict."""
+    from .runner import accepts
+
+    return accepts(example_32(), delim(tree))
+
+
+# ---------------------------------------------------------------------------
+# tw: pure finite-state walking (depth-first traversals)
+# ---------------------------------------------------------------------------
+
+
+def _add_dfs_backtrack(b: AutomatonBuilder, fwd: str, back: str) -> None:
+    """The standard depth-first backtracking rules for a fwd/back pair."""
+    b.move(back, fwd, RIGHT, position=BACK_CONTINUE)
+    b.move(back, back, UP, position=BACK_ASCEND)
+
+
+def even_leaves_automaton() -> TWAutomaton:
+    """tw: accepts iff the number of leaves is even (not FO-definable —
+    walking buys genuine counting power mod constants)."""
+    b = AutomatonBuilder("even-leaves", register_arities=[1])
+    for bit in (0, 1):
+        flipped = 1 - bit
+        b.move(f"fwd{bit}", f"back{flipped}", STAY, position=AT_LEAF)
+        b.move(f"fwd{bit}", f"fwd{bit}", DOWN, position=AT_INNER)
+        _add_dfs_backtrack(b, f"fwd{bit}", f"back{bit}")
+    # A lone root that is a leaf flips parity before the back rules run,
+    # so back{parity} at the root carries the final count.
+    b.move("back0", "qF", STAY, position=AT_ROOT)
+    return b.build(initial="fwd0", final="qF")
+
+
+def even_leaves_spec(tree: Tree) -> bool:
+    return sum(1 for u in tree.nodes if tree.is_leaf(u)) % 2 == 0
+
+
+def exists_value_automaton(attr: str, value) -> TWAutomaton:
+    """tw: accepts iff some node has ``val_attr = value`` (DFS search)."""
+    found = eq(Attr(attr), value)
+    not_found = _as_guard(found)
+    b = AutomatonBuilder(f"exists-{attr}={value!r}", register_arities=[1])
+    b.move("fwd", "qF", STAY, guard=found)
+    b.move("fwd", "back", STAY, guard=not_found, position=AT_LEAF)
+    b.move("fwd", "fwd", DOWN, guard=not_found, position=AT_INNER)
+    _add_dfs_backtrack(b, "fwd", "back")
+    return b.build(initial="fwd", final="qF")
+
+
+def _as_guard(formula):
+    from ..store.fo import Not
+
+    return Not(formula)
+
+
+def exists_value_spec(attr: str, value) -> Callable[[Tree], bool]:
+    def spec(tree: Tree) -> bool:
+        return any(tree.val(attr, u) == value for u in tree.nodes)
+
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# tw (with a register): root value occurs at some leaf
+# ---------------------------------------------------------------------------
+
+
+def root_value_at_some_leaf(attr: str = "a") -> TWAutomaton:
+    """tw: store the root's attribute, DFS, accept at a matching leaf."""
+    match = rel(1, Attr(attr))
+    b = AutomatonBuilder(f"root-{attr}-at-leaf", register_arities=[1])
+    b.update("q0", "fwd", register=1, formula=eq(z, Attr(attr)), variables=[z])
+    b.move("fwd", "qF", STAY, guard=match, position=AT_LEAF)
+    b.move("fwd", "back", STAY, guard=_as_guard(match), position=AT_LEAF)
+    b.move("fwd", "fwd", DOWN, position=AT_INNER)
+    _add_dfs_backtrack(b, "fwd", "back")
+    return b.build(initial="q0", final="qF")
+
+
+def root_value_at_some_leaf_spec(attr: str = "a") -> Callable[[Tree], bool]:
+    def spec(tree: Tree) -> bool:
+        root_value = tree.val(attr, ())
+        return any(
+            tree.val(attr, u) == root_value
+            for u in tree.nodes
+            if tree.is_leaf(u)
+        )
+
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# tw^l: look-ahead fetching a single value (the spine check)
+# ---------------------------------------------------------------------------
+
+
+def spine_constant_automaton(attr: str = "a") -> TWAutomaton:
+    """tw^l: accepts iff the leftmost spine is constant in ``attr``.
+
+    At every non-root spine node, a look-ahead subcomputation fetches
+    the *parent's* attribute (selector = parent, a functional selector)
+    and the guard compares it with the current node's — look-ahead used
+    exactly as the paper describes: computing one data value.
+    """
+    parent_matches = rel(1, Attr(attr))
+    b = AutomatonBuilder(f"spine-constant-{attr}", register_arities=[1])
+    b.move("q0", "qF", STAY, position=PositionTest(root=True, leaf=True))
+    b.move("q0", "walk", DOWN, position=PositionTest(root=True, leaf=False))
+    b.atp("walk", "check", parent_selector(), substate="report", register=1)
+    b.move("check", "qF", STAY, guard=parent_matches, position=AT_LEAF)
+    b.move("check", "walk", DOWN, guard=parent_matches, position=AT_INNER)
+    b.update("report", "done", register=1, formula=eq(z, Attr(attr)), variables=[z])
+    b.move("done", "qF", STAY)
+    return b.build(initial="q0", final="qF")
+
+
+def spine_constant_spec(attr: str = "a") -> Callable[[Tree], bool]:
+    def spec(tree: Tree) -> bool:
+        node: NodeId = ()
+        root_value = tree.val(attr, ())
+        while not tree.is_leaf(node):
+            node = tree.first_child(node)
+            if tree.val(attr, node) != root_value:
+                return False
+        return True
+
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# tw^r: relational storage without look-ahead
+# ---------------------------------------------------------------------------
+
+
+def all_values_same_twr(attr: str = "a") -> TWAutomaton:
+    """tw^r: DFS accumulating ``X1 := X1 ∪ {@attr}``; accept iff at the
+    end the set is a singleton.  Same property as the tw^{r,l} one-shot
+    :func:`all_leaves_same_twrl` computes with a single atp — the pair
+    is the E12 ablation of look-ahead vs. storage."""
+    from ..store.fo import disj
+
+    accumulate = disj(rel(1, z), eq(z, Attr(attr)))
+    b = AutomatonBuilder(f"all-{attr}-same", register_arities=[1])
+    b.update("fwd", "step", register=1, formula=accumulate, variables=[z])
+    b.move("step", "back", STAY, position=AT_LEAF)
+    b.move("step", "fwd", DOWN, position=AT_INNER)
+    _add_dfs_backtrack(b, "fwd", "back")
+    b.move("back", "final", STAY, position=AT_ROOT)
+    b.move("final", "qF", STAY, guard=_singleton_guard(1))
+    return b.build(initial="fwd", final="qF")
+
+
+def all_values_same_spec(attr: str = "a") -> Callable[[Tree], bool]:
+    def spec(tree: Tree) -> bool:
+        return len({tree.val(attr, u) for u in tree.nodes}) <= 1
+
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# tw^{r,l}: the one-shot leaf-uniformity check
+# ---------------------------------------------------------------------------
+
+
+def all_leaves_same_twrl(attr: str = "a") -> TWAutomaton:
+    """tw^{r,l}: one atp collects every leaf's value; guard asks for a
+    singleton.  (Runs on raw trees, leaves detected positionally.)"""
+    from ..logic.exists_star import leaves_selector
+
+    b = AutomatonBuilder(f"leaves-{attr}-uniform", register_arities=[1])
+    b.atp("q0", "q1", leaves_selector(), substate="report", register=1)
+    b.move("q1", "qF", STAY, guard=_singleton_guard(1))
+    b.update("report", "done", register=1, formula=eq(z, Attr(attr)), variables=[z])
+    b.move("done", "qF", STAY)
+    return b.build(initial="q0", final="qF")
+
+
+def all_leaves_same_spec(attr: str = "a") -> Callable[[Tree], bool]:
+    def spec(tree: Tree) -> bool:
+        return (
+            len({tree.val(attr, u) for u in tree.nodes if tree.is_leaf(u)}) <= 1
+        )
+
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# tw^r over A = ∅: the Proposition 7.2 register-elimination exemplar
+# ---------------------------------------------------------------------------
+
+
+def delta_leaves_mod3_twr() -> TWAutomaton:
+    """tw^r on label-only trees: counts δ-labelled leaves modulo 3 in a
+    register holding one of the program constants {0, 1, 2}; accepts on
+    count ≡ 0.  With A = ∅ its store contents are finite, so
+    :func:`repro.simulation.noattr.eliminate_registers` folds them into
+    the states (Proposition 7.2)."""
+    from ..store.fo import conj, disj
+
+    increment = disj(
+        conj(rel(1, 0), eq(z, 1)),
+        conj(rel(1, 1), eq(z, 2)),
+        conj(rel(1, 2), eq(z, 0)),
+    )
+    b = AutomatonBuilder(
+        "delta-leaves-mod3", register_arities=[1], initial_assignment=[0]
+    )
+    b.update("fwd", "step", 1, increment, [z], label="δ", position=AT_LEAF)
+    b.move("fwd", "step", STAY, label="σ", position=AT_LEAF)
+    b.move("step", "back", STAY, position=AT_LEAF)
+    b.move("fwd", "fwd", DOWN, position=AT_INNER)
+    _add_dfs_backtrack(b, "fwd", "back")
+    b.move("back", "final", STAY, position=AT_ROOT)
+    b.move("final", "qF", STAY, guard=rel(1, 0))
+    return b.build(initial="fwd", final="qF")
+
+
+def delta_leaves_mod3_spec(tree: Tree) -> bool:
+    count = sum(
+        1 for u in tree.nodes if tree.is_leaf(u) and tree.label(u) == "δ"
+    )
+    return count % 3 == 0

@@ -1,0 +1,182 @@
+"""The tw^{r,l} automaton type (Definition 3.1).
+
+A k-register tw^{r,l}-automaton is ``(Q, q₀, q_F, τ₀, P)``: states,
+initial state, final state, initial register assignment, and rules.
+This class stores the tuple, validates it statically, and computes the
+paper's size measure |B|.  Execution lives in
+:mod:`repro.automata.runner`; the Definition 5.1 class restrictions in
+:mod:`repro.automata.classes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Sequence, Tuple, Union
+
+from ..logic.tree_fo import subformulas as tree_subformulas
+from ..store.database import StoreSchema, RegisterStore
+from ..store.fo import (
+    StoreFormula,
+    Var,
+    constants as store_constants,
+    free_variables as store_free_variables,
+    validate as validate_store_formula,
+)
+from ..trees.values import BOTTOM, DataValue
+from .rules import Atp, LHS, Move, RHS, Rule, Update
+
+
+class AutomatonError(ValueError):
+    """Raised on statically ill-formed automata."""
+
+
+def _formula_size(formula: StoreFormula) -> int:
+    """Crude |ξ| measure: number of AST nodes."""
+    from ..store import fo as F
+
+    if isinstance(formula, (F.TrueF, F.FalseF, F.Rel, F.Eq)):
+        return 1
+    if isinstance(formula, F.Not):
+        return 1 + _formula_size(formula.inner)
+    if isinstance(formula, (F.And, F.Or)):
+        return 1 + sum(_formula_size(p) for p in formula.parts)
+    if isinstance(formula, F.Implies):
+        return 1 + _formula_size(formula.premise) + _formula_size(formula.conclusion)
+    if isinstance(formula, (F.Exists, F.Forall)):
+        return 1 + _formula_size(formula.inner)
+    raise AutomatonError(f"unknown store formula {formula!r}")
+
+
+@dataclass(frozen=True)
+class TWAutomaton:
+    """``B = (Q, q₀, q_F, τ₀, P)`` with a declared register schema.
+
+    ``initial_assignment`` entries are D-values (unary singleton), or
+    ``BOTTOM``/``None`` (empty relation) — the paper's
+    ``τ₀ : {1..k} → D ∪ {⊥}``.
+    """
+
+    states: FrozenSet[str]
+    initial_state: str
+    final_state: str
+    schema: StoreSchema
+    rules: Tuple[Rule, ...]
+    initial_assignment: Tuple[Union[DataValue, None], ...] = ()
+    name: str = "B"
+
+    def __post_init__(self) -> None:
+        if self.initial_state not in self.states:
+            raise AutomatonError(f"initial state {self.initial_state!r} not in Q")
+        if self.final_state not in self.states:
+            raise AutomatonError(f"final state {self.final_state!r} not in Q")
+        init = self.initial_assignment
+        if init and len(init) != self.schema.count:
+            raise AutomatonError(
+                f"initial assignment covers {len(init)} of "
+                f"{self.schema.count} registers"
+            )
+        for rule in self.rules:
+            self._validate_rule(rule)
+
+    def _validate_rule(self, rule: Rule) -> None:
+        lhs, rhs = rule.lhs, rule.rhs
+        if lhs.state not in self.states:
+            raise AutomatonError(f"rule uses unknown state {lhs.state!r}: {rule!r}")
+        if lhs.state == self.final_state:
+            raise AutomatonError(
+                f"no transition may leave the final state: {rule!r}"
+            )
+        if store_free_variables(lhs.guard):
+            raise AutomatonError(f"guard must be a sentence: {rule!r}")
+        validate_store_formula(lhs.guard, self.schema)
+        if rhs.state not in self.states:
+            raise AutomatonError(f"rule targets unknown state {rhs.state!r}: {rule!r}")
+        if isinstance(rhs, Update):
+            self.schema.check_register(rhs.register)
+            expected = self.schema.arity(rhs.register)
+            if len(rhs.variables) != expected:
+                raise AutomatonError(
+                    f"update writes {len(rhs.variables)} columns into register "
+                    f"{rhs.register} of arity {expected}: {rule!r}"
+                )
+            validate_store_formula(rhs.formula, self.schema)
+            extra = store_free_variables(rhs.formula) - set(rhs.variables)
+            if extra:
+                raise AutomatonError(
+                    f"update formula has stray free variables "
+                    f"{sorted(v.name for v in extra)}: {rule!r}"
+                )
+        elif isinstance(rhs, Atp):
+            self.schema.check_register(rhs.register)
+            if rhs.substate not in self.states:
+                raise AutomatonError(
+                    f"atp starts unknown state {rhs.substate!r}: {rule!r}"
+                )
+            if self.schema.arity(rhs.register) != self.schema.arity(1):
+                raise AutomatonError(
+                    f"atp returns register 1 (arity {self.schema.arity(1)}) "
+                    f"into register {rhs.register} (arity "
+                    f"{self.schema.arity(rhs.register)}): {rule!r}"
+                )
+        elif not isinstance(rhs, Move):
+            raise AutomatonError(f"unknown RHS {rhs!r}")
+
+    # -- derived data ---------------------------------------------------------
+
+    def initial_store(self) -> RegisterStore:
+        """τ₀ as a :class:`RegisterStore`."""
+        if not self.initial_assignment:
+            return self.schema.initial_store()
+        return self.schema.initial_store(list(self.initial_assignment))
+
+    def program_constants(self) -> FrozenSet[DataValue]:
+        """All D-constants occurring in the program (guards, updates,
+        initial assignment) — part of the active domain everywhere."""
+        out = set()
+        for value in self.initial_assignment:
+            if value is not None and value is not BOTTOM:
+                out.add(value)
+        for rule in self.rules:
+            out |= store_constants(rule.lhs.guard)
+            if isinstance(rule.rhs, Update):
+                out |= store_constants(rule.rhs.formula)
+        return frozenset(out)
+
+    def rules_for(self, state: str) -> Tuple[Rule, ...]:
+        """All rules whose LHS state is ``state``."""
+        return tuple(r for r in self.rules if r.lhs.state == state)
+
+    def has_lookahead(self) -> bool:
+        """True iff some rule is an ``atp`` rule."""
+        return any(isinstance(r.rhs, Atp) for r in self.rules)
+
+    def has_updates(self) -> bool:
+        """True iff some rule is a register-update rule."""
+        return any(isinstance(r.rhs, Update) for r in self.rules)
+
+    def size(self) -> int:
+        """The paper's |B| = |Q| + Σ|τ₀(i)| + Σ|ξ| (we also count the
+        update formulas and selector sizes, a harmless refinement)."""
+        total = len(self.states)
+        for value in self.initial_assignment:
+            if value is not None and value is not BOTTOM:
+                total += 1
+        for rule in self.rules:
+            total += _formula_size(rule.lhs.guard)
+            if isinstance(rule.rhs, Update):
+                total += _formula_size(rule.rhs.formula)
+            elif isinstance(rule.rhs, Atp):
+                total += rule.rhs.selector.size()
+        return total
+
+    def selectors(self) -> Tuple:
+        """All atp selectors (the φ's a protocol needs in its alphabet Δ)."""
+        return tuple(
+            r.rhs.selector for r in self.rules if isinstance(r.rhs, Atp)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TWAutomaton({self.name}: |Q|={len(self.states)}, "
+            f"k={self.schema.count}, {len(self.rules)} rules)"
+        )

@@ -1,0 +1,179 @@
+"""Nondeterministic tree-walking automata (TWA).
+
+The paper's open question — "whether tree-walking captures all regular
+tree languages" [12, 13, 19] — lives in the register-free fragment: a
+TWA walks on labels and positions alone, and the nondeterministic
+variant guesses.  (Both questions were later resolved negatively:
+Bojańczyk–Colcombet 2006/2008 — deterministic TWA ⊊ nondeterministic
+TWA ⊊ regular; this module provides the machine those results are
+about.)
+
+Acceptance is reachability in the finite configuration graph
+Dom(t) × Q, so :func:`ntwa_accepts` is a plain BFS — nondeterminism
+costs nothing at evaluation time on this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from ..trees.node import NodeId
+from ..trees.tree import Tree
+from .rules import ANYWHERE, DIRECTIONS, PositionTest, move as tree_move
+
+
+class NTWAError(ValueError):
+    """Raised on ill-formed nondeterministic walkers."""
+
+
+@dataclass(frozen=True)
+class NTWRule:
+    """(state, label?, position) → walk ``direction`` into ``new_state``;
+    several rules may apply — each spawns a branch."""
+
+    state: str
+    new_state: str
+    direction: str = "stay"
+    label: Optional[str] = None
+    position: PositionTest = ANYWHERE
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise NTWAError(f"bad direction {self.direction!r}")
+
+
+@dataclass(frozen=True)
+class NTWA:
+    """(Q, q₀, F, rules) — register-free, nondeterministic."""
+
+    states: frozenset
+    initial: str
+    finals: frozenset
+    rules: Tuple[NTWRule, ...]
+    name: str = "N"
+
+    def __post_init__(self) -> None:
+        if self.initial not in self.states:
+            raise NTWAError("initial state not in Q")
+        if not self.finals <= self.states:
+            raise NTWAError("final states not in Q")
+        for rule in self.rules:
+            if rule.state not in self.states or rule.new_state not in self.states:
+                raise NTWAError(f"unknown state in {rule!r}")
+
+
+def ntwa_accepts(automaton: NTWA, tree: Tree, start: NodeId = ()) -> bool:
+    """Some run reaches a final state — BFS over Dom(t) × Q."""
+    tree.require(start)
+    initial = (start, automaton.initial)
+    seen: Set[Tuple[NodeId, str]] = {initial}
+    frontier: List[Tuple[NodeId, str]] = [initial]
+    while frontier:
+        node, state = frontier.pop()
+        if state in automaton.finals:
+            return True
+        label = tree.label(node)
+        for rule in automaton.rules:
+            if rule.state != state:
+                continue
+            if rule.label is not None and rule.label != label:
+                continue
+            if not rule.position.matches(tree, node):
+                continue
+            target = tree_move(tree, node, rule.direction)
+            if target is None:
+                continue
+            key = (target, rule.new_state)
+            if key not in seen:
+                seen.add(key)
+                frontier.append(key)
+    return False
+
+
+def reachable_configurations(automaton: NTWA, tree: Tree) -> int:
+    """Size of the explored configuration graph — at most |t|·|Q|."""
+    initial = ((), automaton.initial)
+    seen: Set[Tuple[NodeId, str]] = {initial}
+    frontier = [initial]
+    while frontier:
+        node, state = frontier.pop()
+        label = tree.label(node)
+        for rule in automaton.rules:
+            if rule.state != state:
+                continue
+            if rule.label is not None and rule.label != label:
+                continue
+            if not rule.position.matches(tree, node):
+                continue
+            target = tree_move(tree, node, rule.direction)
+            if target is None:
+                continue
+            key = (target, rule.new_state)
+            if key not in seen:
+                seen.add(key)
+                frontier.append(key)
+    return len(seen)
+
+
+# ---------------------------------------------------------------------------
+# Stock nondeterministic walkers
+# ---------------------------------------------------------------------------
+
+
+def guess_leaf_with_label(label: str) -> NTWA:
+    """Guess-and-verify: descend along guessed children to a ``label``
+    leaf.  The deterministic equivalent needs a full DFS."""
+    rules = (
+        # guess any child: go down, then nondeterministically shuffle right
+        NTWRule("walk", "walk", "down"),
+        NTWRule("walk", "walk", "right"),
+        NTWRule("walk", "hit", "stay", label=label,
+                position=PositionTest(leaf=True)),
+    )
+    return NTWA(
+        states=frozenset({"walk", "hit"}),
+        initial="walk",
+        finals=frozenset({"hit"}),
+        rules=rules,
+        name=f"guess-leaf-{label}",
+    )
+
+
+def at_least_two_leaves_with_label(label: str) -> NTWA:
+    """Guess a ``label`` leaf, climb to a guessed ancestor, step to a
+    *later* sibling subtree, and find a second ``label`` leaf there —
+    accepting exactly the trees with ≥ 2 such leaves (every pair of
+    distinct leaves is separated at their LCA)."""
+    at_leaf = PositionTest(leaf=True)
+    rules = (
+        NTWRule("first", "first", "down"),
+        NTWRule("first", "first", "right"),
+        NTWRule("first", "climb", "stay", label=label, position=at_leaf),
+        NTWRule("climb", "climb", "up"),
+        NTWRule("climb", "across", "right"),
+        NTWRule("across", "across", "right"),
+        NTWRule("across", "second", "stay"),
+        NTWRule("second", "second", "down"),
+        NTWRule("second", "second", "right"),
+        NTWRule("second", "hit", "stay", label=label, position=at_leaf),
+    )
+    return NTWA(
+        states=frozenset(
+            {"first", "climb", "across", "second", "hit"}
+        ),
+        initial="first",
+        finals=frozenset({"hit"}),
+        rules=rules,
+        name=f"two-leaves-{label}",
+    )
+
+
+def at_least_two_leaves_spec(label: str):
+    def spec(tree: Tree) -> bool:
+        count = sum(
+            1 for u in tree.nodes if tree.is_leaf(u) and tree.label(u) == label
+        )
+        return count >= 2
+
+    return spec

@@ -1,0 +1,191 @@
+"""Transition rules of tw^{r,l} automata (Definition 3.1).
+
+A rule is ``(σ, q, ξ) → α``: it applies when the current node carries
+σ, the state is q, and the store satisfies ξ.  The right-hand side α is
+one of
+
+1. ``(q', d)``                 — move in direction d ∈ {·, ←, →, ↑, ↓};
+2. ``(q', ψ, i)``              — replace register i with the relation
+                                 defined by the FO formula ψ;
+3. ``(q', atp(φ(x,y), p), i)`` — replace register i with the union of
+                                 the first registers returned by
+                                 subcomputations started in state p at
+                                 every node selected by φ.
+
+Following the paper's informal description ("based on the label …, its
+state, and its position in the tree (first or last child, root, or
+leaf)"), the left-hand side optionally also tests the node's position;
+with delimited trees these tests are definable from the delimiter
+labels, so this is a convenience, not extra power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from ..logic.exists_star import ExistsStarQuery
+from ..store.fo import StoreFormula, TrueF, Var
+from ..trees.node import NodeId
+from ..trees.tree import Tree
+
+# -- directions (the paper's {·, ←, →, ↑, ↓}) --------------------------------
+
+STAY = "stay"
+LEFT = "left"
+RIGHT = "right"
+UP = "up"
+DOWN = "down"
+
+DIRECTIONS = (STAY, LEFT, RIGHT, UP, DOWN)
+
+_DIRECTION_GLYPHS = {STAY: "·", LEFT: "←", RIGHT: "→", UP: "↑", DOWN: "↓"}
+
+
+def move(tree: Tree, node: NodeId, direction: str) -> Optional[NodeId]:
+    """The partial move function m_d; ``None`` when the neighbour is
+    missing (the automaton would fall off the tree)."""
+    if direction == STAY:
+        return node
+    if direction == LEFT:
+        return tree.left_sibling(node)
+    if direction == RIGHT:
+        return tree.right_sibling(node)
+    if direction == UP:
+        return tree.parent(node)
+    if direction == DOWN:
+        return tree.first_child(node)
+    raise ValueError(f"unknown direction {direction!r}")
+
+
+# -- position tests -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PositionTest:
+    """An optional conjunction of positional constraints.
+
+    Each field is ``None`` (don't care) or a required boolean.  The
+    default tests nothing, matching Definition 3.1 verbatim.
+    """
+
+    root: Optional[bool] = None
+    leaf: Optional[bool] = None
+    first: Optional[bool] = None
+    last: Optional[bool] = None
+
+    def matches(self, tree: Tree, node: NodeId) -> bool:
+        checks = (
+            (self.root, tree.is_root),
+            (self.leaf, tree.is_leaf),
+            (self.first, tree.is_first_child),
+            (self.last, tree.is_last_child),
+        )
+        return all(
+            expected is None or predicate(node) == expected
+            for expected, predicate in checks
+        )
+
+    def is_trivial(self) -> bool:
+        return all(
+            item is None for item in (self.root, self.leaf, self.first, self.last)
+        )
+
+    def __repr__(self) -> str:
+        parts = []
+        for name in ("root", "leaf", "first", "last"):
+            value = getattr(self, name)
+            if value is not None:
+                parts.append(name if value else f"¬{name}")
+        return "@{" + ",".join(parts) + "}" if parts else "@any"
+
+
+ANYWHERE = PositionTest()
+
+
+# -- left-hand sides -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LHS:
+    """``(σ, q, ξ)`` plus the optional position test.
+
+    ``label=None`` matches any label (a convenience; expansible to one
+    rule per σ ∈ Σ without loss)."""
+
+    state: str
+    label: Optional[str] = None
+    guard: StoreFormula = field(default_factory=TrueF)
+    position: PositionTest = ANYWHERE
+
+    def __repr__(self) -> str:
+        lab = self.label if self.label is not None else "*"
+        pos = "" if self.position.is_trivial() else f" {self.position!r}"
+        return f"({lab}, {self.state}, {self.guard!r}{pos})"
+
+
+# -- right-hand sides ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Move:
+    """α-form 1: change state and move."""
+
+    state: str
+    direction: str
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {DIRECTIONS}, got {self.direction!r}"
+            )
+
+    def __repr__(self) -> str:
+        return f"({self.state}, {_DIRECTION_GLYPHS[self.direction]})"
+
+
+@dataclass(frozen=True)
+class Update:
+    """α-form 2: change state and replace register ``register`` with
+    ``{(z̄) : ψ(z̄)}``; ``variables`` fixes the column order of ψ."""
+
+    state: str
+    formula: StoreFormula
+    variables: Tuple[Var, ...]
+    register: int
+
+    def __repr__(self) -> str:
+        vars_ = ",".join(v.name for v in self.variables)
+        return f"({self.state}, X{self.register} := {{({vars_}) : {self.formula!r}}})"
+
+
+@dataclass(frozen=True)
+class Atp:
+    """α-form 3: change state and replace register ``register`` with the
+    union of the first registers of subcomputations started in
+    ``substate`` at the φ-selected nodes."""
+
+    state: str
+    selector: ExistsStarQuery
+    substate: str
+    register: int
+
+    def __repr__(self) -> str:
+        return (
+            f"({self.state}, X{self.register} := "
+            f"atp({self.selector.formula!r}, {self.substate}))"
+        )
+
+
+RHS = Union[Move, Update, Atp]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One transition ``LHS → RHS``."""
+
+    lhs: LHS
+    rhs: RHS
+
+    def __repr__(self) -> str:
+        return f"{self.lhs!r} → {self.rhs!r}"

@@ -1,0 +1,257 @@
+"""Execution semantics for tw^{r,l} automata (Definition 3.1).
+
+A configuration is ``[u, q, τ]``.  The executor is exactly the paper's
+transition graph, specialised to deterministic automata:
+
+* a rule applies when label, state, position and guard match; two
+  simultaneously applicable rules are a determinism violation (the
+  paper *assumes* determinism; we enforce it at run time);
+* ``Move`` off the tree, a stuck configuration, or a repeated
+  configuration (the deterministic run has entered a cycle) all mean
+  the computation does not accept;
+* an ``atp`` starts one subcomputation per selected node, each with the
+  current store; a rejecting subcomputation rejects the *whole*
+  computation (paper, Section 3); the results (first registers) are
+  unioned into the target register;
+* a subcomputation whose start key ``(node, state, store)`` is already
+  on the active atp chain would recurse forever — the run rejects, the
+  same convention clause (ii) of the Lemma 4.5 protocol uses.
+
+``run`` returns a :class:`RunResult` with the verdict, step count, a
+human-readable reason and (optionally) a full trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..store.database import RegisterStore
+from ..store.fo import StoreContext, evaluate as evaluate_guard, evaluate_update
+from ..store.relation import Relation
+from ..trees.node import NodeId
+from ..trees.tree import Tree
+from .machine import TWAutomaton
+from .rules import Atp, Move, Rule, Update, move
+
+
+class ExecutionError(RuntimeError):
+    """A real error (non-determinism, fuel exhaustion) — *not* a reject."""
+
+
+class NondeterminismError(ExecutionError):
+    """Two rules applied to the same configuration."""
+
+
+class FuelExhausted(ExecutionError):
+    """The global step budget ran out before the run settled."""
+
+
+class _RejectSignal(Exception):
+    """Internal: some (sub)computation rejected; unwinds to ``run``."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """``[u, q, τ]`` — hashable, for cycle detection."""
+
+    node: NodeId
+    state: str
+    store: RegisterStore
+
+    def __repr__(self) -> str:
+        from ..trees.node import format_node
+
+        return f"[{format_node(self.node)}, {self.state}, {self.store!r}]"
+
+
+@dataclass
+class RunResult:
+    """Outcome of a run: verdict plus bookkeeping."""
+
+    accepted: bool
+    steps: int
+    reason: str
+    final: Optional[Configuration] = None
+    trace: Optional[List[str]] = None
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+
+@dataclass
+class _RunState:
+    """Mutable bookkeeping shared across a run and its subcomputations."""
+
+    fuel: int
+    steps: int = 0
+    trace: Optional[List[str]] = None
+    active_subcomputations: Set[Tuple[NodeId, str, RegisterStore]] = field(
+        default_factory=set
+    )
+    configurations_seen: int = 0
+
+    def tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.fuel:
+            raise FuelExhausted(
+                f"step budget {self.fuel} exhausted (likely divergence)"
+            )
+
+    def log(self, message: str) -> None:
+        if self.trace is not None:
+            self.trace.append(message)
+
+
+def _applicable_rule(
+    automaton: TWAutomaton,
+    tree: Tree,
+    config: Configuration,
+    constants: frozenset,
+) -> Optional[Rule]:
+    label = tree.label(config.node)
+    attrs = {a: tree.val(a, config.node) for a in tree.attributes}
+    ctx = StoreContext(config.store, attrs, constants)
+    found: Optional[Rule] = None
+    for rule in automaton.rules_for(config.state):
+        if rule.lhs.label is not None and rule.lhs.label != label:
+            continue
+        if not rule.lhs.position.matches(tree, config.node):
+            continue
+        if not evaluate_guard(rule.lhs.guard, ctx):
+            continue
+        if found is not None:
+            raise NondeterminismError(
+                f"rules {found!r} and {rule!r} both apply at {config!r}"
+            )
+        found = rule
+    return found
+
+
+def _run_computation(
+    automaton: TWAutomaton,
+    tree: Tree,
+    config: Configuration,
+    state: _RunState,
+    constants: frozenset,
+) -> Configuration:
+    """Run one (sub)computation to acceptance; returns the accepting
+    configuration.
+
+    Raises :class:`_RejectSignal` when the computation does not accept.
+    """
+    seen: Set[Configuration] = set()
+    while True:
+        if config.state == automaton.final_state:
+            state.log(f"accept at {config!r}")
+            return config
+        if config in seen:
+            raise _RejectSignal(f"cycle at {config!r}")
+        seen.add(config)
+        state.configurations_seen += 1
+        state.tick()
+
+        rule = _applicable_rule(automaton, tree, config, constants)
+        if rule is None:
+            raise _RejectSignal(f"stuck at {config!r} (no rule applies)")
+        state.log(f"{config!r} ⊢ {rule!r}")
+        rhs = rule.rhs
+
+        if isinstance(rhs, Move):
+            target = move(tree, config.node, rhs.direction)
+            if target is None:
+                raise _RejectSignal(
+                    f"move {rhs.direction} off the tree at {config!r}"
+                )
+            config = Configuration(target, rhs.state, config.store)
+        elif isinstance(rhs, Update):
+            attrs = {a: tree.val(a, config.node) for a in tree.attributes}
+            ctx = StoreContext(config.store, attrs, constants)
+            relation = evaluate_update(rhs.formula, list(rhs.variables), ctx)
+            config = Configuration(
+                config.node, rhs.state, config.store.set(rhs.register, relation)
+            )
+        elif isinstance(rhs, Atp):
+            result = _run_atp(automaton, tree, config, rhs, state, constants)
+            config = Configuration(
+                config.node, rhs.state, config.store.set(rhs.register, result)
+            )
+        else:  # pragma: no cover - machine validation excludes this
+            raise ExecutionError(f"unknown RHS {rhs!r}")
+
+
+def _run_atp(
+    automaton: TWAutomaton,
+    tree: Tree,
+    config: Configuration,
+    rhs: Atp,
+    state: _RunState,
+    constants: frozenset,
+) -> Relation:
+    """The α-form-3 semantics: union of subcomputation results."""
+    selected = rhs.selector.select(tree, config.node)
+    state.log(
+        f"atp from {config!r}: {len(selected)} start node(s) in state {rhs.substate}"
+    )
+    result = Relation.empty(automaton.schema.arity(1))
+    for target in selected:
+        key = (target, rhs.substate, config.store)
+        if key in state.active_subcomputations:
+            raise _RejectSignal(
+                f"subcomputation cycle: atp re-enters {key[0]!r}/{key[1]} "
+                f"with an unchanged store"
+            )
+        state.active_subcomputations.add(key)
+        try:
+            sub_config = Configuration(target, rhs.substate, config.store)
+            accepting = _run_computation(
+                automaton, tree, sub_config, state, constants
+            )
+        finally:
+            state.active_subcomputations.discard(key)
+        result = result.union(accepting.store.get(1))
+    return result
+
+
+def run(
+    automaton: TWAutomaton,
+    tree: Tree,
+    start: NodeId = (),
+    fuel: int = 1_000_000,
+    collect_trace: bool = False,
+) -> RunResult:
+    """Run ``automaton`` on ``tree`` from the root (or ``start``).
+
+    Returns the verdict; never raises on mere rejection.  Raises
+    :class:`NondeterminismError` / :class:`FuelExhausted` on genuine
+    errors.
+    """
+    tree.require(start)
+    state = _RunState(fuel=fuel, trace=[] if collect_trace else None)
+    constants = automaton.program_constants()
+    config = Configuration(start, automaton.initial_state, automaton.initial_store())
+    try:
+        final = _run_computation(automaton, tree, config, state, constants)
+    except _RejectSignal as signal:
+        return RunResult(
+            accepted=False,
+            steps=state.steps,
+            reason=signal.reason,
+            trace=state.trace,
+        )
+    return RunResult(
+        accepted=True,
+        steps=state.steps,
+        reason="reached the final state",
+        final=final,
+        trace=state.trace,
+    )
+
+
+def accepts(automaton: TWAutomaton, tree: Tree, **kwargs) -> bool:
+    """Convenience wrapper: just the boolean verdict."""
+    return run(automaton, tree, **kwargs).accepted

@@ -1,0 +1,127 @@
+"""Compiling two-way DFAs into tree-walking automata.
+
+Section 3 introduces tree-walking as the tree generalisation of two-way
+string automata.  This module makes the inclusion executable: a 2DFA
+over ``▷ w ◁`` becomes a tw automaton over the monadic tree of ``w``
+(no registers, guard-free rules) accepting exactly the same words.
+
+The end markers have no tree counterpart, so marker *cells* are
+simulated in the state: the tw state is ``(q, where)`` with ``where`` ∈
+{``word``, ``at▷``, ``at◁``} — when the 2DFA sits on a marker, the tw
+parks on the adjacent word position and remembers which marker it is
+on.  Empty words have no tree at all (our trees are nonempty), so the
+compiled automaton decides them at construction time and
+:func:`accepts_word` short-circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..trees.strings import STRING_ATTR, string_tree
+from ..trees.tree import Tree
+from .builder import AutomatonBuilder
+from .machine import TWAutomaton
+from .rules import DOWN, PositionTest, STAY, UP
+from .runner import accepts as tw_accepts
+from .strings import GO_LEFT, GO_RIGHT, GO_STAY, LEFT_MARK, RIGHT_MARK, TwoWayDFA, run_two_way
+
+AT_ROOT = PositionTest(root=True)
+AT_LEAF = PositionTest(leaf=True)
+NOT_ROOT = PositionTest(root=False)
+NOT_LEAF = PositionTest(leaf=False)
+
+_ON_WORD = "w"
+_ON_LEFT = "L"
+_ON_RIGHT = "R"
+
+
+def _state(q: str, where: str) -> str:
+    return f"{q}@{where}"
+
+
+def compile_two_way(dfa: TwoWayDFA) -> TWAutomaton:
+    """Build the equivalent tw automaton (labels carry the letters).
+
+    The compiled automaton runs on ``string_tree(word)`` with the
+    letters as *labels* (σ-dispatch is the tw analogue of reading the
+    tape symbol).
+    """
+    b = AutomatonBuilder(f"tw[{dfa.name if hasattr(dfa, 'name') else '2DFA'}]",
+                         register_arities=[1])
+    final = "TWACC"
+
+    for (q, symbol), (target, direction) in dfa.transitions:
+        if symbol == LEFT_MARK:
+            # The 2DFA sits on ▷; the walker parks at position 0.
+            if direction == GO_RIGHT:
+                # onto position 0 (the first letter)
+                b.move(_state(q, _ON_LEFT), _goal(dfa, target, _ON_WORD, b, final),
+                       STAY, position=AT_ROOT)
+            elif direction == GO_STAY:
+                b.move(_state(q, _ON_LEFT), _goal(dfa, target, _ON_LEFT, b, final),
+                       STAY, position=AT_ROOT)
+            # GO_LEFT from ▷ falls off the tape: no rule ⇒ reject.
+            continue
+        if symbol == RIGHT_MARK:
+            if direction == GO_LEFT:
+                b.move(_state(q, _ON_RIGHT), _goal(dfa, target, _ON_WORD, b, final),
+                       STAY, position=AT_LEAF)
+            elif direction == GO_STAY:
+                b.move(_state(q, _ON_RIGHT), _goal(dfa, target, _ON_RIGHT, b, final),
+                       STAY, position=AT_LEAF)
+            continue
+        # A word symbol: dispatch on the node label.
+        source = _state(q, _ON_WORD)
+        if direction == GO_STAY:
+            b.move(source, _goal(dfa, target, _ON_WORD, b, final), STAY,
+                   label=symbol)
+        elif direction == GO_RIGHT:
+            # rightwards: down the chain; off the last letter = onto ◁
+            b.move(source, _goal(dfa, target, _ON_WORD, b, final), DOWN,
+                   label=symbol, position=NOT_LEAF)
+            b.move(source, _goal(dfa, target, _ON_RIGHT, b, final), STAY,
+                   label=symbol, position=AT_LEAF)
+        else:  # GO_LEFT
+            b.move(source, _goal(dfa, target, _ON_WORD, b, final), UP,
+                   label=symbol, position=NOT_ROOT)
+            b.move(source, _goal(dfa, target, _ON_LEFT, b, final), STAY,
+                   label=symbol, position=AT_ROOT)
+
+    # Final 2DFA states accept wherever they are reached.
+    for q in dfa.finals:
+        for where in (_ON_WORD, _ON_LEFT, _ON_RIGHT):
+            b.move(_state(q, where), final, STAY)
+
+    initial = _state(dfa.initial, _ON_LEFT)  # the 2DFA starts on ▷
+    if dfa.initial in dfa.finals:
+        initial = final
+    return b.build(initial=initial, final=final)
+
+
+def _goal(
+    dfa: TwoWayDFA, state: str, where: str, b: AutomatonBuilder, final: str
+) -> str:
+    """Target tw state; final 2DFA states route straight to TWACC via
+    their acceptance rules (added separately)."""
+    return _state(state, where)
+
+
+def accepts_word(
+    compiled: TWAutomaton, dfa: TwoWayDFA, word: Sequence[str]
+) -> bool:
+    """Run the compiled automaton on ``word``; empty words are decided
+    by the 2DFA directly (there is no empty tree)."""
+    if not word:
+        return run_two_way(dfa, []).accepted
+    return tw_accepts(compiled, _word_tree(word))
+
+
+def _word_tree(word: Sequence[str]) -> Tree:
+    """Letters as labels (the compiled automaton dispatches on labels)."""
+    labels = {}
+    address: Tuple[int, ...] = ()
+    for letter in word:
+        labels[address] = letter
+        address = address + (0,)
+    return Tree(labels, {}, [])

@@ -1,0 +1,149 @@
+"""Two-way deterministic finite automata on delimited strings.
+
+The warm-up model of Section 3: a 2DFA walks ``▷ w ◁`` changing state
+and direction from the current state and symbol; it accepts on reaching
+a final state.  Included for pedagogy and as the string-level sanity
+layer under the tree-walking executor (a 2DFA is a tree-walking
+automaton on monadic trees, and the tests check exactly that)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
+
+LEFT_MARK = "▷"
+RIGHT_MARK = "◁"
+
+#: Head movements.
+GO_LEFT = -1
+GO_STAY = 0
+GO_RIGHT = 1
+
+
+class TwoWayError(ValueError):
+    """Raised on ill-formed 2DFAs or inputs."""
+
+
+@dataclass(frozen=True)
+class TwoWayDFA:
+    """``(Q, Σ, δ, q₀, F)`` with δ : Q × (Σ ∪ {▷, ◁}) → Q × {-1, 0, +1}."""
+
+    states: FrozenSet[str]
+    alphabet: FrozenSet[str]
+    transitions: Tuple[Tuple[Tuple[str, str], Tuple[str, int]], ...]
+    initial: str
+    finals: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        if self.initial not in self.states:
+            raise TwoWayError(f"initial state {self.initial!r} not in Q")
+        if not self.finals <= self.states:
+            raise TwoWayError("final states must be a subset of Q")
+        seen: Set[Tuple[str, str]] = set()
+        for (state, symbol), (target, direction) in self.transitions:
+            if state not in self.states or target not in self.states:
+                raise TwoWayError(f"unknown state in δ({state!r},{symbol!r})")
+            if direction not in (GO_LEFT, GO_STAY, GO_RIGHT):
+                raise TwoWayError(f"bad direction {direction!r}")
+            if (state, symbol) in seen:
+                raise TwoWayError(f"duplicate transition for ({state!r},{symbol!r})")
+            seen.add((state, symbol))
+
+    def transition_map(self) -> Dict[Tuple[str, str], Tuple[str, int]]:
+        return dict(self.transitions)
+
+
+@dataclass
+class TwoWayResult:
+    accepted: bool
+    steps: int
+    reason: str
+
+
+def run_two_way(
+    dfa: TwoWayDFA, word: Sequence[str], fuel: int = 1_000_000
+) -> TwoWayResult:
+    """Run on ``▷ word ◁``; rejects on stuck, off-tape, or repeated
+    configuration (determinism makes repetition divergence)."""
+    tape = [LEFT_MARK] + list(word) + [RIGHT_MARK]
+    for symbol in word:
+        if symbol in (LEFT_MARK, RIGHT_MARK):
+            raise TwoWayError("input word may not contain the end markers")
+        if symbol not in dfa.alphabet:
+            raise TwoWayError(f"symbol {symbol!r} not in the alphabet")
+    delta = dfa.transition_map()
+    state, head = dfa.initial, 0
+    seen: Set[Tuple[str, int]] = set()
+    steps = 0
+    while True:
+        if state in dfa.finals:
+            return TwoWayResult(True, steps, "reached a final state")
+        key = (state, head)
+        if key in seen:
+            return TwoWayResult(False, steps, f"cycle at {key!r}")
+        seen.add(key)
+        steps += 1
+        if steps > fuel:
+            raise TwoWayError("fuel exhausted")
+        move_ = delta.get((state, tape[head]))
+        if move_ is None:
+            return TwoWayResult(False, steps, f"stuck in {state!r} on {tape[head]!r}")
+        state, direction = move_[0], move_[1]
+        head += direction
+        if not 0 <= head < len(tape):
+            return TwoWayResult(False, steps, "moved off the tape")
+
+
+def multiple_of_automaton(divisor: int, symbol: str = "a") -> TwoWayDFA:
+    """A 2DFA accepting words whose length is a multiple of ``divisor`` —
+    it sweeps right counting mod ``divisor``, then verifies at ◁."""
+    if divisor < 1:
+        raise TwoWayError("divisor must be >= 1")
+    states = frozenset({f"c{i}" for i in range(divisor)} | {"acc"})
+    transitions = [(("c0", LEFT_MARK), ("c0", GO_RIGHT))]
+    for i in range(divisor):
+        transitions.append(((f"c{i}", symbol), (f"c{(i + 1) % divisor}", GO_RIGHT)))
+    transitions.append((("c0", RIGHT_MARK), ("acc", GO_STAY)))
+    return TwoWayDFA(
+        states=states,
+        alphabet=frozenset({symbol}),
+        transitions=tuple(transitions),
+        initial="c0",
+        finals=frozenset({"acc"}),
+    )
+
+
+def palindrome_automaton(alphabet: Sequence[str]) -> TwoWayDFA:
+    """A genuinely two-way 2DFA: accepts palindromes by zig-zag marking.
+
+    Without the ability to write, a 2DFA cannot decide palindromes in
+    general — this automaton instead checks the FO-typical property
+    "first symbol equals last symbol", the classical two-way warm-up:
+    sweep to ◁ remembering nothing, step left, remember the last
+    symbol, run back to ▷, step right, compare."""
+    states = {"start", "sweep", "at-end", "acc"}
+    transitions = [
+        (("start", LEFT_MARK), ("sweep", GO_RIGHT)),
+        (("sweep", RIGHT_MARK), ("at-end", GO_LEFT)),
+    ]
+    for sym in alphabet:
+        transitions.append((("sweep", sym), ("sweep", GO_RIGHT)))
+        # remember the last symbol in the state, rewind to ▷
+        states.add(f"rewind-{sym}")
+        states.add(f"check-{sym}")
+        transitions.append((("at-end", sym), (f"rewind-{sym}", GO_LEFT)))
+        for other in alphabet:
+            transitions.append(
+                ((f"rewind-{sym}", other), (f"rewind-{sym}", GO_LEFT))
+            )
+        transitions.append(
+            ((f"rewind-{sym}", LEFT_MARK), (f"check-{sym}", GO_RIGHT))
+        )
+        transitions.append(((f"check-{sym}", sym), ("acc", GO_STAY)))
+    return TwoWayDFA(
+        states=frozenset(states),
+        alphabet=frozenset(alphabet),
+        transitions=tuple(transitions),
+        initial="start",
+        finals=frozenset({"acc"}),
+    )

@@ -1,0 +1,317 @@
+"""A file format for tw^{r,l} automata.
+
+Lets automata live in version-controlled text instead of Python — the
+CLI loads them with ``run FILE --automaton-file spec.tw``.  Format
+(one directive per line, ``#`` comments)::
+
+    automaton example-3.2
+    registers 1            # arities of X1..Xk
+    init _                 # optional τ₀: one value per register; _ = ⊥
+    initial q0
+    final qF
+
+    rule q0 label=▽ : atp [x << y & O_δ(y)] start q2 into X1 -> q1
+    rule q1 label=▽ : stay -> qF
+    rule q3 label=δ if [forall z w (X1(z) & X1(w) -> z = w)] : stay -> qF
+    rule q4 : set X1 { z | z = @a } -> q5
+    rule q5 pos=leaf,!root : down -> q6
+
+Rule grammar::
+
+    rule <state> [label=<σ>] [pos=<flag>(,<flag>)*] [if [<ξ>]] : <action> -> <state>
+    flag    := [!](root|leaf|first|last)
+    action  := stay | up | down | left | right
+             | set X<i> { <var>(, <var>)* | <ψ> }
+             | atp [<φ(x,y)>] start <state> into X<i>
+
+Guards ξ/updates ψ use the store-logic text syntax
+(:mod:`repro.store.parser`); selectors φ the FO text syntax
+(:mod:`repro.logic.parser`).  :func:`serialize_automaton` writes this
+format back out; ``parse ∘ serialize`` is semantics-preserving (tested
+by behavioural round-trips).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..logic.exists_star import ExistsStarQuery
+from ..logic.parser import parse_formula
+from ..store.fo import TrueF, Var
+from ..store.parser import parse_guard, parse_store_formula
+from ..trees.values import BOTTOM
+from .builder import AutomatonBuilder
+from .machine import TWAutomaton
+from .rules import (
+    ANYWHERE,
+    Atp,
+    DIRECTIONS,
+    Move,
+    PositionTest,
+    Rule,
+    Update,
+)
+
+
+class AutomatonFormatError(ValueError):
+    """Raised on malformed automaton files."""
+
+    def __init__(self, message: str, line_number: int = 0) -> None:
+        prefix = f"line {line_number}: " if line_number else ""
+        super().__init__(prefix + message)
+        self.line_number = line_number
+
+
+# -- parsing --------------------------------------------------------------------------
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    in_string: Optional[str] = None
+    for ch in line:
+        if in_string:
+            if ch == in_string:
+                in_string = None
+            out.append(ch)
+        elif ch in ("'", '"'):
+            in_string = ch
+            out.append(ch)
+        elif ch == "#":
+            break
+        else:
+            out.append(ch)
+    return "".join(out).strip()
+
+
+def _take_bracketed(text: str, line_number: int) -> Tuple[str, str]:
+    """Split ``[inner] rest`` (no nesting: formulas never use brackets)."""
+    if not text.startswith("["):
+        raise AutomatonFormatError("expected '[' to open a formula", line_number)
+    end = text.find("]")
+    if end < 0:
+        raise AutomatonFormatError("unclosed '[' formula", line_number)
+    return text[1:end].strip(), text[end + 1 :].strip()
+
+
+def _parse_position(spec: str, line_number: int) -> PositionTest:
+    flags: Dict[str, Optional[bool]] = {}
+    for raw in spec.split(","):
+        raw = raw.strip()
+        value = True
+        if raw.startswith("!"):
+            value = False
+            raw = raw[1:]
+        if raw not in ("root", "leaf", "first", "last"):
+            raise AutomatonFormatError(f"unknown position flag {raw!r}", line_number)
+        flags[raw] = value
+    return PositionTest(**flags)
+
+
+def _parse_register(token: str, line_number: int) -> int:
+    if not token.startswith("X") or not token[1:].isdigit():
+        raise AutomatonFormatError(
+            f"expected a register like X1, got {token!r}", line_number
+        )
+    return int(token[1:])
+
+
+def _parse_rule(body: str, line_number: int, builder: AutomatonBuilder) -> None:
+    head, sep, tail = body.partition(":")
+    if not sep:
+        raise AutomatonFormatError("rule needs ':' before the action", line_number)
+    # -- the left-hand side -------------------------------------------------------
+    head = head.strip()
+    guard = None
+    before, _if, after = head.partition(" if ")
+    if _if:
+        guard_text, rest = _take_bracketed(after.strip(), line_number)
+        if rest:
+            raise AutomatonFormatError(
+                f"unexpected text after the guard: {rest!r}", line_number
+            )
+        guard = parse_guard(guard_text)
+        head = before.strip()
+    tokens = head.split()
+    if not tokens:
+        raise AutomatonFormatError("rule needs a source state", line_number)
+    state = tokens[0]
+    label: Optional[str] = None
+    position = ANYWHERE
+    for token in tokens[1:]:
+        if token.startswith("label="):
+            label = token[len("label="):]
+        elif token.startswith("pos="):
+            position = _parse_position(token[len("pos="):], line_number)
+        else:
+            raise AutomatonFormatError(f"unknown rule option {token!r}", line_number)
+
+    # -- the action -----------------------------------------------------------------
+    action = tail.strip()
+    arrow = action.rfind("->")
+    if arrow < 0:
+        raise AutomatonFormatError("rule needs '-> <state>'", line_number)
+    target = action[arrow + 2 :].strip()
+    action = action[:arrow].strip()
+    if not target:
+        raise AutomatonFormatError("missing target state after '->'", line_number)
+
+    if action in DIRECTIONS:
+        builder.move(state, target, action, label=label, guard=guard,
+                     position=position)
+        return
+    if action.startswith("set "):
+        rest = action[4:].strip()
+        register_token, _sp, rest = rest.partition(" ")
+        register = _parse_register(register_token, line_number)
+        rest = rest.strip()
+        if not rest.startswith("{") or not rest.endswith("}"):
+            raise AutomatonFormatError(
+                "set needs '{ vars | formula }'", line_number
+            )
+        inner = rest[1:-1]
+        vars_text, bar, formula_text = inner.partition("|")
+        if not bar:
+            raise AutomatonFormatError("set needs '|' in the braces", line_number)
+        variables = [Var(v.strip().rstrip(","))
+                     for v in vars_text.replace(",", " ").split()]
+        if not variables:
+            raise AutomatonFormatError("set needs at least one variable", line_number)
+        formula = parse_store_formula(formula_text.strip())
+        builder.update(state, target, register, formula, variables,
+                       label=label, guard=guard, position=position)
+        return
+    if action.startswith("atp"):
+        rest = action[3:].strip()
+        selector_text, rest = _take_bracketed(rest, line_number)
+        tokens = rest.split()
+        if len(tokens) != 4 or tokens[0] != "start" or tokens[2] != "into":
+            raise AutomatonFormatError(
+                "atp needs '[φ] start <state> into X<i>'", line_number
+            )
+        substate = tokens[1]
+        register = _parse_register(tokens[3], line_number)
+        selector = ExistsStarQuery(parse_formula(selector_text))
+        builder.atp(state, target, selector, substate, register,
+                    label=label, guard=guard, position=position)
+        return
+    raise AutomatonFormatError(f"unknown action {action!r}", line_number)
+
+
+def parse_automaton(text: str) -> TWAutomaton:
+    """Parse the automaton file format."""
+    name = "B"
+    arities: Optional[List[int]] = None
+    initial_values: Optional[List] = None
+    initial_state: Optional[str] = None
+    final_state: Optional[str] = None
+    rule_lines: List[Tuple[int, str]] = []
+
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        keyword, _sp, rest = line.partition(" ")
+        rest = rest.strip()
+        if keyword == "automaton":
+            name = rest or name
+        elif keyword == "registers":
+            try:
+                arities = [int(t) for t in rest.split()]
+            except ValueError:
+                raise AutomatonFormatError(
+                    f"registers needs arities, got {rest!r}", number
+                ) from None
+        elif keyword == "init":
+            initial_values = []
+            for token in rest.split():
+                if token in ("_", "⊥", "_|_"):
+                    initial_values.append(BOTTOM)
+                elif token.lstrip("-").isdigit():
+                    initial_values.append(int(token))
+                else:
+                    initial_values.append(token.strip("'\""))
+        elif keyword == "initial":
+            initial_state = rest
+        elif keyword == "final":
+            final_state = rest
+        elif keyword == "rule":
+            rule_lines.append((number, rest))
+        else:
+            raise AutomatonFormatError(f"unknown directive {keyword!r}", number)
+
+    if arities is None:
+        arities = [1]
+    if initial_state is None or final_state is None:
+        raise AutomatonFormatError("need 'initial' and 'final' directives")
+    builder = AutomatonBuilder(
+        name, register_arities=arities, initial_assignment=initial_values
+    )
+    for number, body in rule_lines:
+        _parse_rule(body, number, builder)
+    return builder.build(initial=initial_state, final=final_state)
+
+
+def load_automaton(path: str) -> TWAutomaton:
+    """Read an automaton file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_automaton(handle.read())
+
+
+# -- serialization ------------------------------------------------------------------------------
+
+
+def _format_position(position: PositionTest) -> str:
+    parts = []
+    for flag in ("root", "leaf", "first", "last"):
+        value = getattr(position, flag)
+        if value is True:
+            parts.append(flag)
+        elif value is False:
+            parts.append(f"!{flag}")
+    return ",".join(parts)
+
+
+def _format_rule(rule: Rule) -> str:
+    pieces = [rule.lhs.state]
+    if rule.lhs.label is not None:
+        pieces.append(f"label={rule.lhs.label}")
+    if not rule.lhs.position.is_trivial():
+        pieces.append(f"pos={_format_position(rule.lhs.position)}")
+    if not isinstance(rule.lhs.guard, TrueF):
+        pieces.append(f"if [{rule.lhs.guard!r}]")
+    rhs = rule.rhs
+    if isinstance(rhs, Move):
+        action = rhs.direction
+    elif isinstance(rhs, Update):
+        variables = ", ".join(v.name for v in rhs.variables)
+        action = f"set X{rhs.register} {{ {variables} | {rhs.formula!r} }}"
+    elif isinstance(rhs, Atp):
+        action = (
+            f"atp [{rhs.selector.formula!r}] start {rhs.substate} "
+            f"into X{rhs.register}"
+        )
+    else:  # pragma: no cover
+        raise AutomatonFormatError(f"unknown RHS {rhs!r}")
+    return f"rule {' '.join(pieces)} : {action} -> {rhs.state}"
+
+
+def serialize_automaton(automaton: TWAutomaton) -> str:
+    """Render the automaton in the file format (re-parseable)."""
+    lines = [f"automaton {automaton.name}"]
+    lines.append(
+        "registers " + " ".join(str(a) for a in automaton.schema.arities)
+    )
+    if automaton.initial_assignment:
+        rendered = []
+        for value in automaton.initial_assignment:
+            if value is None or value is BOTTOM:
+                rendered.append("_")
+            else:
+                rendered.append(str(value))
+        lines.append("init " + " ".join(rendered))
+    lines.append(f"initial {automaton.initial_state}")
+    lines.append(f"final {automaton.final_state}")
+    lines.append("")
+    for rule in automaton.rules:
+        lines.append(_format_rule(rule))
+    return "\n".join(lines) + "\n"

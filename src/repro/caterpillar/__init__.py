@@ -1,0 +1,73 @@
+"""Caterpillar expressions — the paper's cited [7], executable.
+
+>>> from repro.trees import parse_term
+>>> from repro.caterpillar import parse_caterpillar, walk
+>>> t = parse_term("a(b(c), d)")
+>>> walk(parse_caterpillar("(down | right)* isLeaf"), t, ())
+((0, 0), (1,))
+>>> walk(parse_caterpillar("up* isRoot"), t, (0, 0))
+((),)
+"""
+
+from .ast import (
+    Alt,
+    Caterpillar,
+    Concat,
+    DOWN,
+    Epsilon,
+    IS_FIRST,
+    IS_LAST,
+    IS_LEAF,
+    IS_ROOT,
+    LEFT,
+    LabelTest,
+    MOVES,
+    Move,
+    RIGHT,
+    Star,
+    TESTS,
+    Test,
+    UP,
+    alt,
+    concat,
+    optional,
+    plus,
+    star,
+)
+from .compile_ntwa import caterpillar_to_ntwa
+from .nfa import CaterpillarNFA, compile_caterpillar, matches, relation, walk
+from .parser import CaterpillarSyntaxError, parse_caterpillar
+
+__all__ = [
+    "Alt",
+    "Caterpillar",
+    "Concat",
+    "DOWN",
+    "Epsilon",
+    "IS_FIRST",
+    "IS_LAST",
+    "IS_LEAF",
+    "IS_ROOT",
+    "LEFT",
+    "LabelTest",
+    "MOVES",
+    "Move",
+    "RIGHT",
+    "Star",
+    "TESTS",
+    "Test",
+    "UP",
+    "alt",
+    "concat",
+    "optional",
+    "plus",
+    "star",
+    "caterpillar_to_ntwa",
+    "CaterpillarNFA",
+    "compile_caterpillar",
+    "matches",
+    "relation",
+    "walk",
+    "CaterpillarSyntaxError",
+    "parse_caterpillar",
+]

@@ -1,0 +1,158 @@
+"""Caterpillar expressions (Brüggemann-Klein & Wood, the paper's [7]).
+
+The paper's introduction credits caterpillar expressions as "a first
+instance of tree-walking" in XML research.  A caterpillar expression is
+a regular expression over the *caterpillar alphabet* of atomic moves
+and tests:
+
+    moves:  up, down (first child), left, right
+    tests:  isRoot, isLeaf, isFirst, isLast, <label σ>
+
+An expression denotes a set of *caterpillar strings*; a string executes
+from a node by performing its moves (failing off the tree) and checking
+its tests (failing when false); the expression denotes the binary
+relation {(u, v) : some denoted string walks from u to v}.
+
+Concrete syntax (see :mod:`repro.caterpillar.parser`)::
+
+    (down right*)* isLeaf                -- all leftish leaves? no: any leaf
+    up* isRoot                           -- the root, from anywhere
+    down right* isLast                   -- the last child
+    (σ | δ)                              -- label alternatives
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+# Atomic moves.
+UP = "up"
+DOWN = "down"
+LEFT = "left"
+RIGHT = "right"
+MOVES = (UP, DOWN, LEFT, RIGHT)
+
+# Atomic tests.
+IS_ROOT = "isRoot"
+IS_LEAF = "isLeaf"
+IS_FIRST = "isFirst"
+IS_LAST = "isLast"
+TESTS = (IS_ROOT, IS_LEAF, IS_FIRST, IS_LAST)
+
+
+@dataclass(frozen=True)
+class Move:
+    """One of the four walking steps."""
+
+    direction: str
+
+    def __post_init__(self) -> None:
+        if self.direction not in MOVES:
+            raise ValueError(f"unknown move {self.direction!r}")
+
+    def __repr__(self) -> str:
+        return self.direction
+
+
+@dataclass(frozen=True)
+class Test:
+    """A positional test (stays put; fails the walk when false)."""
+
+    predicate: str
+
+    def __post_init__(self) -> None:
+        if self.predicate not in TESTS:
+            raise ValueError(f"unknown test {self.predicate!r}")
+
+    def __repr__(self) -> str:
+        return self.predicate
+
+
+@dataclass(frozen=True)
+class LabelTest:
+    """The test "the current node is labelled σ"."""
+
+    label: str
+
+    def __repr__(self) -> str:
+        return f"<{self.label}>"
+
+
+@dataclass(frozen=True)
+class Concat:
+    """Sequential composition."""
+
+    parts: Tuple["Caterpillar", ...]
+
+    def __repr__(self) -> str:
+        return " ".join(_wrap(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Alt:
+    """Alternation."""
+
+    options: Tuple["Caterpillar", ...]
+
+    def __repr__(self) -> str:
+        return " | ".join(repr(o) for o in self.options)
+
+
+@dataclass(frozen=True)
+class Star:
+    """Kleene closure."""
+
+    inner: "Caterpillar"
+
+    def __repr__(self) -> str:
+        return f"{_wrap(self.inner)}*"
+
+
+@dataclass(frozen=True)
+class Epsilon:
+    """The empty walk."""
+
+    def __repr__(self) -> str:
+        return "ε"
+
+
+Caterpillar = Union[Move, Test, LabelTest, Concat, Alt, Star, Epsilon]
+
+
+def _wrap(expr: "Caterpillar") -> str:
+    if isinstance(expr, (Alt, Concat)):
+        return f"({expr!r})"
+    return repr(expr)
+
+
+def concat(*parts: Caterpillar) -> Caterpillar:
+    parts = tuple(parts)
+    if not parts:
+        return Epsilon()
+    if len(parts) == 1:
+        return parts[0]
+    return Concat(parts)
+
+
+def alt(*options: Caterpillar) -> Caterpillar:
+    options = tuple(options)
+    if not options:
+        raise ValueError("alternation needs at least one option")
+    if len(options) == 1:
+        return options[0]
+    return Alt(options)
+
+
+def star(inner: Caterpillar) -> Star:
+    return Star(inner)
+
+
+def plus(inner: Caterpillar) -> Caterpillar:
+    """One or more repetitions."""
+    return Concat((inner, Star(inner)))
+
+
+def optional(inner: Caterpillar) -> Caterpillar:
+    """Zero or one repetition."""
+    return Alt((inner, Epsilon()))

@@ -1,0 +1,78 @@
+"""Compiling caterpillar expressions into nondeterministic TWAs.
+
+Brüggemann-Klein & Wood's observation, executable: a caterpillar
+expression *is* a nondeterministic tree-walking automaton — the
+Thompson NFA's states become walker states, move atoms become walking
+rules, and test atoms become guarded ``stay`` rules.  Acceptance
+("some denoted string walks from the root") coincides with NTWA
+acceptance from the root.
+
+Together with :mod:`repro.automata.stringcompile` (2DFA → tw) this
+closes the circle of the paper's §1 lineage: caterpillars ⊆ NTWA, and
+two-way string automata ⊆ tw.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..automata.nondet import NTWA, NTWRule
+from ..automata.rules import PositionTest
+from .ast import (
+    Caterpillar,
+    IS_FIRST,
+    IS_LAST,
+    IS_LEAF,
+    IS_ROOT,
+    LabelTest,
+    Move,
+    Test,
+)
+from .nfa import compile_caterpillar
+
+_TEST_POSITIONS = {
+    IS_ROOT: PositionTest(root=True),
+    IS_LEAF: PositionTest(leaf=True),
+    IS_FIRST: PositionTest(first=True),
+    IS_LAST: PositionTest(last=True),
+}
+
+
+def caterpillar_to_ntwa(expr: Caterpillar, name: str = "") -> NTWA:
+    """Build the equivalent NTWA (accepting iff the expression matches
+    from the run's start node)."""
+    nfa = compile_caterpillar(expr)
+
+    def state(index: int) -> str:
+        return f"n{index}"
+
+    rules: List[NTWRule] = []
+    for source, atom, target in nfa.transitions:
+        if atom is None:
+            rules.append(NTWRule(state(source), state(target)))
+        elif isinstance(atom, Move):
+            rules.append(
+                NTWRule(state(source), state(target), atom.direction)
+            )
+        elif isinstance(atom, Test):
+            rules.append(
+                NTWRule(
+                    state(source), state(target),
+                    position=_TEST_POSITIONS[atom.predicate],
+                )
+            )
+        elif isinstance(atom, LabelTest):
+            rules.append(
+                NTWRule(state(source), state(target), label=atom.label)
+            )
+        else:  # pragma: no cover
+            raise TypeError(f"unknown caterpillar atom {atom!r}")
+
+    states = frozenset(state(i) for i in range(nfa.state_count))
+    return NTWA(
+        states=states,
+        initial=state(nfa.start),
+        finals=frozenset({state(nfa.accept)}),
+        rules=tuple(rules),
+        name=name or f"ntwa[{expr!r}]",
+    )

@@ -1,0 +1,176 @@
+"""Thompson construction + product evaluation for caterpillar
+expressions.
+
+An expression compiles to an ε-NFA over the caterpillar alphabet; the
+denoted node relation is computed as reachability in the product of the
+NFA with the tree's move graph — the standard way of running a
+"regular expression over walks" in one BFS instead of enumerating
+strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from ..trees.node import NodeId
+from ..trees.tree import Tree
+from .ast import (
+    Alt,
+    Caterpillar,
+    Concat,
+    DOWN,
+    Epsilon,
+    IS_FIRST,
+    IS_LAST,
+    IS_LEAF,
+    IS_ROOT,
+    LabelTest,
+    LEFT,
+    Move,
+    RIGHT,
+    Star,
+    Test,
+    UP,
+)
+
+#: NFA edge labels: a move/test atom, or None for ε.
+Atom = Union[Move, Test, LabelTest, None]
+
+
+@dataclass
+class CaterpillarNFA:
+    """ε-NFA with a single start and a single accept state."""
+
+    transitions: List[Tuple[int, Atom, int]]
+    start: int
+    accept: int
+    state_count: int
+
+    def edges_from(self) -> Dict[int, List[Tuple[Atom, int]]]:
+        table: Dict[int, List[Tuple[Atom, int]]] = {}
+        for source, atom, target in self.transitions:
+            table.setdefault(source, []).append((atom, target))
+        return table
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.count = 0
+        self.transitions: List[Tuple[int, Atom, int]] = []
+
+    def fresh(self) -> int:
+        self.count += 1
+        return self.count - 1
+
+    def edge(self, source: int, atom: Atom, target: int) -> None:
+        self.transitions.append((source, atom, target))
+
+    def build(self, expr: Caterpillar) -> Tuple[int, int]:
+        """Thompson construction; returns (start, accept)."""
+        if isinstance(expr, (Move, Test, LabelTest)):
+            start, accept = self.fresh(), self.fresh()
+            self.edge(start, expr, accept)
+            return start, accept
+        if isinstance(expr, Epsilon):
+            start, accept = self.fresh(), self.fresh()
+            self.edge(start, None, accept)
+            return start, accept
+        if isinstance(expr, Concat):
+            first_start, current_accept = self.build(expr.parts[0])
+            for part in expr.parts[1:]:
+                next_start, next_accept = self.build(part)
+                self.edge(current_accept, None, next_start)
+                current_accept = next_accept
+            return first_start, current_accept
+        if isinstance(expr, Alt):
+            start, accept = self.fresh(), self.fresh()
+            for option in expr.options:
+                inner_start, inner_accept = self.build(option)
+                self.edge(start, None, inner_start)
+                self.edge(inner_accept, None, accept)
+            return start, accept
+        if isinstance(expr, Star):
+            start, accept = self.fresh(), self.fresh()
+            inner_start, inner_accept = self.build(expr.inner)
+            self.edge(start, None, accept)
+            self.edge(start, None, inner_start)
+            self.edge(inner_accept, None, inner_start)
+            self.edge(inner_accept, None, accept)
+            return start, accept
+        raise TypeError(f"unknown caterpillar node {expr!r}")
+
+
+def compile_caterpillar(expr: Caterpillar) -> CaterpillarNFA:
+    """Compile to an ε-NFA."""
+    builder = _Builder()
+    start, accept = builder.build(expr)
+    return CaterpillarNFA(builder.transitions, start, accept, builder.count)
+
+
+def _atom_step(
+    atom: Atom, tree: Tree, node: NodeId
+) -> Optional[NodeId]:
+    """Apply one atom at ``node``: new node, or None when it fails."""
+    if atom is None:
+        return node
+    if isinstance(atom, Move):
+        if atom.direction == UP:
+            return tree.parent(node)
+        if atom.direction == DOWN:
+            return tree.first_child(node)
+        if atom.direction == LEFT:
+            return tree.left_sibling(node)
+        return tree.right_sibling(node)
+    if isinstance(atom, Test):
+        holds = {
+            IS_ROOT: tree.is_root,
+            IS_LEAF: tree.is_leaf,
+            IS_FIRST: tree.is_first_child,
+            IS_LAST: tree.is_last_child,
+        }[atom.predicate](node)
+        return node if holds else None
+    if isinstance(atom, LabelTest):
+        return node if tree.label(node) == atom.label else None
+    raise TypeError(f"unknown atom {atom!r}")
+
+
+def walk(
+    expr: Caterpillar, tree: Tree, start: NodeId = ()
+) -> Tuple[NodeId, ...]:
+    """All nodes reachable from ``start`` by some denoted caterpillar
+    string — BFS over the NFA × tree product."""
+    tree.require(start)
+    nfa = compile_caterpillar(expr)
+    edges = nfa.edges_from()
+    seen: Set[Tuple[int, NodeId]] = {(nfa.start, start)}
+    frontier: List[Tuple[int, NodeId]] = [(nfa.start, start)]
+    results: Set[NodeId] = set()
+    while frontier:
+        state, node = frontier.pop()
+        if state == nfa.accept:
+            results.add(node)
+        for atom, target_state in edges.get(state, ()):
+            target_node = _atom_step(atom, tree, node)
+            if target_node is None:
+                continue
+            key = (target_state, target_node)
+            if key not in seen:
+                seen.add(key)
+                frontier.append(key)
+    return tuple(sorted(results, key=tree.document_index))
+
+
+def relation(expr: Caterpillar, tree: Tree) -> FrozenSet[Tuple[NodeId, NodeId]]:
+    """The full binary relation ⟦expr⟧ ⊆ Dom(t)²."""
+    out = set()
+    for u in tree.nodes:
+        for v in walk(expr, tree, u):
+            out.add((u, v))
+    return frozenset(out)
+
+
+def matches(expr: Caterpillar, tree: Tree) -> bool:
+    """Tree acceptance à la [7]: some denoted string walks from the
+    root (to anywhere)."""
+    return bool(walk(expr, tree, ()))

@@ -1,0 +1,149 @@
+"""Concrete syntax for caterpillar expressions.
+
+Grammar::
+
+    alt    := seq ("|" seq)*
+    seq    := repeat+
+    repeat := atom ("*" | "+" | "?")*
+    atom   := "up" | "down" | "left" | "right"
+            | "isRoot" | "isLeaf" | "isFirst" | "isLast"
+            | "<" label ">"            -- label test
+            | "eps"                    -- the empty walk
+            | "(" alt ")"
+
+Examples::
+
+    up* isRoot                 -- walk to the root
+    (down | right)* isLeaf     -- some leaf below-or-right
+    down right* isLast         -- the last child
+    <dept> down <item>         -- a dept with an item first-child
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import (
+    Alt,
+    Caterpillar,
+    Epsilon,
+    LabelTest,
+    MOVES,
+    Move,
+    TESTS,
+    Test,
+    alt,
+    concat,
+    optional,
+    plus,
+    star,
+)
+
+
+class CaterpillarSyntaxError(ValueError):
+    """Raised on malformed caterpillar text."""
+
+    def __init__(self, message: str, text: str, pos: int) -> None:
+        super().__init__(f"{message} at {pos}: ...{text[pos:pos + 20]!r}")
+        self.pos = pos
+
+
+class _Scanner:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        self.skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def take(self, literal: str) -> bool:
+        self.skip_ws()
+        if self.text.startswith(literal, self.pos):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def word(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_σδ"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise CaterpillarSyntaxError("expected a word", self.text, self.pos)
+        return self.text[start : self.pos]
+
+    def error(self, message: str) -> CaterpillarSyntaxError:
+        return CaterpillarSyntaxError(message, self.text, self.pos)
+
+
+def _parse_atom(sc: _Scanner) -> Caterpillar:
+    ch = sc.peek()
+    if ch == "(":
+        sc.take("(")
+        inner = _parse_alt(sc)
+        if not sc.take(")"):
+            raise sc.error("expected ')'")
+        return inner
+    if ch == "<":
+        sc.take("<")
+        label = sc.word()
+        if not sc.take(">"):
+            raise sc.error("expected '>'")
+        return LabelTest(label)
+    word = sc.word()
+    if word in MOVES:
+        return Move(word)
+    if word in TESTS:
+        return Test(word)
+    if word == "eps":
+        return Epsilon()
+    raise sc.error(f"unknown atom {word!r}")
+
+
+def _parse_repeat(sc: _Scanner) -> Caterpillar:
+    expr = _parse_atom(sc)
+    while True:
+        if sc.take("*"):
+            expr = star(expr)
+        elif sc.take("+"):
+            expr = plus(expr)
+        elif sc.take("?"):
+            expr = optional(expr)
+        else:
+            return expr
+
+
+def _at_atom_start(sc: _Scanner) -> bool:
+    ch = sc.peek()
+    return bool(ch) and (ch.isalnum() or ch in "(<_σδ")
+
+
+def _parse_seq(sc: _Scanner) -> Caterpillar:
+    parts: List[Caterpillar] = [_parse_repeat(sc)]
+    while _at_atom_start(sc):
+        parts.append(_parse_repeat(sc))
+    return concat(*parts)
+
+
+def _parse_alt(sc: _Scanner) -> Caterpillar:
+    options = [_parse_seq(sc)]
+    while sc.take("|"):
+        options.append(_parse_seq(sc))
+    return alt(*options)
+
+
+def parse_caterpillar(text: str) -> Caterpillar:
+    """Parse caterpillar syntax; raises on trailing input."""
+    sc = _Scanner(text)
+    expr = _parse_alt(sc)
+    sc.skip_ws()
+    if sc.pos != len(sc.text):
+        raise sc.error("trailing input")
+    return expr

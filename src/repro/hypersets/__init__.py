@@ -1,0 +1,69 @@
+"""Hypersets, their encodings, and the counting core of Section 4.
+
+* :mod:`repro.hypersets.hyperset` — i-hypersets over D;
+* :mod:`repro.hypersets.encoding` — the paper's string encodings,
+  decoder, and the language L^m;
+* :mod:`repro.hypersets.fo_def` — the Lemma 4.2 FO sentence per m;
+* :mod:`repro.hypersets.counting` — exp-towers, hyperset counts, and
+  the Lemma 4.6 dialogue-vs-hyperset crossover.
+"""
+
+from .hyperset import Hyperset, HypersetError, all_hypersets, random_hyperset
+from .encoding import (
+    EncodingError,
+    check_domain,
+    decode,
+    encode,
+    in_lm,
+    is_marker,
+    lm_word,
+    markers,
+    split_encoding,
+)
+from .fo_def import lm_formula, well_formedness
+from .counting import (
+    CrossoverReport,
+    Tower,
+    atomic_formula_count,
+    count_hypersets,
+    crossover,
+    delta_bound,
+    dialogue_bound,
+    exp_tower,
+    hyperset_tower,
+    lemma_43_type_bound,
+    tower_add_logs,
+    tower_mul,
+    tower_pow,
+)
+
+__all__ = [
+    "Hyperset",
+    "HypersetError",
+    "all_hypersets",
+    "random_hyperset",
+    "EncodingError",
+    "check_domain",
+    "decode",
+    "encode",
+    "in_lm",
+    "is_marker",
+    "lm_word",
+    "markers",
+    "split_encoding",
+    "lm_formula",
+    "well_formedness",
+    "CrossoverReport",
+    "Tower",
+    "atomic_formula_count",
+    "count_hypersets",
+    "crossover",
+    "delta_bound",
+    "dialogue_bound",
+    "exp_tower",
+    "hyperset_tower",
+    "lemma_43_type_bound",
+    "tower_add_logs",
+    "tower_mul",
+    "tower_pow",
+]

@@ -1,0 +1,187 @@
+"""The counting side of Section 4: exp-towers, hyperset counts, and the
+Lemma 4.6 dialogue-vs-hyperset crossover.
+
+The inexpressibility argument is purely quantitative:
+
+* the protocol alphabet has |Δ| ≤ exp₃(p(N + |D|)) messages
+  (Lemma 4.3(2) / Definition 4.4);
+* a dialogue has ≤ 2|Δ| rounds, so there are < (|Δ|+1)^(2|Δ|)
+  dialogues;
+* there are exp_m(|D|) m-hypersets over D;
+
+and for m > 6 (and |D| large enough) the tower of height m overtakes
+the dialogue count, forcing a collision (Lemma 4.6).  Exact integers
+overflow physical memory the moment a tower exceeds height ~3, so the
+crossover is computed in *tower representation* with conservative
+comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+
+def exp_tower(height: int, base_value: int) -> int:
+    """exp_0(n) = n, exp_k(n) = 2^exp_{k-1}(n) — exact, so only for
+    values that fit in memory (height ≤ 2, say)."""
+    if height < 0:
+        raise ValueError("height must be >= 0")
+    value = base_value
+    for _ in range(height):
+        value = 2**value
+    return value
+
+
+def count_hypersets(level: int, domain_size: int) -> int:
+    """#(level-hypersets over a d-element D) = exp_level(d) — exact."""
+    if level < 1:
+        raise ValueError("level must be >= 1")
+    return exp_tower(level, domain_size)
+
+
+@dataclass(frozen=True)
+class Tower:
+    """``exp_height(top)`` with a real ``top`` ≥ 0 — numbers far beyond
+    machine range, compared via their iterated logarithms.
+
+    Normal form: ``top`` < 2^16 (raise the height otherwise), so two
+    towers compare by (height, top) after aligning heights.
+    """
+
+    height: int
+    top: float
+
+    _CAP = 2.0**16
+
+    def __post_init__(self) -> None:
+        if self.top < 0:
+            raise ValueError("tower top must be >= 0")
+
+    @classmethod
+    def of(cls, value: float) -> "Tower":
+        return cls(0, float(value)).normalized()
+
+    def normalized(self) -> "Tower":
+        height, top = self.height, self.top
+        while top >= self._CAP:
+            top = math.log2(top)
+            height += 1
+        while height > 0 and top < 1.0:
+            top = 2.0**top
+            height -= 1
+        return Tower(height, top)
+
+    def log2(self) -> "Tower":
+        """⌈log₂⌉ of the tower (exact for height ≥ 1)."""
+        norm = self.normalized()
+        if norm.height == 0:
+            return Tower(0, math.log2(max(norm.top, 1.0))).normalized()
+        return Tower(norm.height - 1, norm.top).normalized()
+
+    def exp2(self) -> "Tower":
+        """2^self."""
+        norm = self.normalized()
+        return Tower(norm.height + 1, norm.top).normalized()
+
+    def __lt__(self, other: "Tower") -> bool:
+        a, b = self.normalized(), other.normalized()
+        if a.height != b.height:
+            # Different heights in normal form with top in [1, 2^16):
+            # the taller tower wins whenever its top ≥ 1 ⋅ (true since
+            # normal form pushes tops ≥ 1 at height > 0).
+            return a.height < b.height
+        return a.top < b.top
+
+    def __le__(self, other: "Tower") -> bool:
+        return not other < self
+
+    def __repr__(self) -> str:
+        norm = self.normalized()
+        return f"exp_{norm.height}({norm.top:.4g})"
+
+
+def tower_mul(a: Tower, b: Tower) -> Tower:
+    """a·b via log₂(ab) = log₂ a + log₂ b (upper-bound flavour; exact
+    enough for crossover hunting where gaps are astronomical)."""
+    la, lb = a.log2(), b.log2()
+    return tower_add_logs(la, lb).exp2()
+
+
+def tower_pow(base: Tower, exponent: Tower) -> Tower:
+    """base^exponent = 2^(exponent · log₂ base)."""
+    return tower_mul(exponent, base.log2()).exp2()
+
+
+def tower_add_logs(a: Tower, b: Tower) -> Tower:
+    """a + b, adequate at tower scale: max(a,b) ≤ a+b ≤ 2·max(a,b), and
+    a factor 2 vanishes against any height difference."""
+    big, small = (a, b) if b < a else (b, a)
+    norm = big.normalized()
+    small_norm = small.normalized()
+    if norm.height == 0:
+        top = norm.top + (small_norm.top if small_norm.height == 0 else norm.top)
+        return Tower(0, top).normalized()
+    # At height >= 1 the smaller addend at most doubles the value — a
+    # nudge that vanishes after one log level.
+    return Tower(norm.height, norm.top + 1e-9).normalized()
+
+
+def hyperset_tower(level: int, domain_size: int) -> Tower:
+    """exp_level(d) as a tower."""
+    return Tower(level, float(domain_size)).normalized()
+
+
+def delta_bound(n: int, d: int, poly: Callable[[int], int] = lambda v: v**2) -> Tower:
+    """|Δ| ≤ exp₃(p(N + |D|)) (Definition 4.4 / Lemma 4.3(2))."""
+    return Tower(3, float(poly(n + d))).normalized()
+
+
+def dialogue_bound(n: int, d: int, poly: Callable[[int], int] = lambda v: v**2) -> Tower:
+    """#dialogues < (|Δ|+1)^(2|Δ|) (Lemma 4.6's counting step)."""
+    delta = delta_bound(n, d, poly)
+    two_delta = tower_mul(Tower.of(2.0), delta)
+    return tower_pow(tower_add_logs(delta, Tower.of(1.0)), two_delta)
+
+
+@dataclass
+class CrossoverReport:
+    """Where hypersets overtake dialogues — 'who wins, and where'."""
+
+    n: int
+    d: int
+    rows: List[Tuple[int, Tower, Tower, bool]]  # (m, hypersets, dialogues, hypersets_win)
+    crossover_m: Optional[int]
+
+
+def crossover(n: int, d: int, max_m: int = 10,
+              poly: Callable[[int], int] = lambda v: v**2) -> CrossoverReport:
+    """For m = 1..max_m compare exp_m(d) against the dialogue bound;
+    report the first m where the hypersets win — the pigeonhole of
+    Lemma 4.6 applies from there on."""
+    dialogues = dialogue_bound(n, d, poly)
+    rows = []
+    first = None
+    for m in range(1, max_m + 1):
+        hypersets = hyperset_tower(m, d)
+        win = dialogues < hypersets
+        rows.append((m, hypersets, dialogues, win))
+        if win and first is None:
+            first = m
+    return CrossoverReport(n, d, rows, first)
+
+
+def lemma_43_type_bound(k: int, d: int,
+                        poly: Callable[[int], int] = lambda v: v**2) -> Tower:
+    """#(≡_k classes) ≤ exp₃(p(k + |D|)) — Lemma 4.3(2)."""
+    return Tower(3, float(poly(k + d))).normalized()
+
+
+def atomic_formula_count(k: int, d: int) -> int:
+    """A concrete polynomial p for the string vocabulary: pairwise
+    atoms (order/succ/equality/value-equality) plus per-variable value
+    and boundary atoms — the counting step of the Lemma 4.3(2) proof."""
+    pairwise = 5 * k * k        # <, =, succ both ways, val_eq
+    unary = k * (d + 4)         # val=d for each d; first/second/last/second-last
+    return pairwise + unary

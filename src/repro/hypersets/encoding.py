@@ -1,0 +1,134 @@
+"""String encodings of hypersets and the language L^m (Section 4).
+
+Fix m > 0 and let D_m = D ∖ {1, …, m} (the small numbers become
+markers).  The paper's encoding:
+
+* ``1 d₁ d₂ ⋯ dₙ`` encodes the 1-hyperset {d₁, …, dₙ};
+* for i ≤ m and encodings w₁ … wₙ of (i−1)-hypersets,
+  ``i w₁ i w₂ ⋯ i wₙ`` encodes the i-hyperset {H(w₁), …, H(wₙ)}
+  (n = 0 gives the empty string for the empty i-hyperset, i ≥ 2).
+
+Encodings are not unique (element order and repetitions are free); the
+decoder accepts any well-formed string.  ``L^m`` is the split-string
+language {f#g : f, g encodings of m-hypersets over D_m ∖ {#} and
+H(f) = H(g)} — FO-definable (Lemma 4.2, see
+:mod:`repro.hypersets.fo_def`) yet not computable by any tw^{r,l}
+(Theorem 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..trees.strings import HASH
+from ..trees.values import DataValue
+from .hyperset import Hyperset, HypersetError
+
+
+class EncodingError(ValueError):
+    """Raised on strings that are not well-formed encodings."""
+
+
+def markers(m: int) -> Tuple[int, ...]:
+    """The marker symbols 1..m."""
+    if m < 1:
+        raise EncodingError("level must be >= 1")
+    return tuple(range(1, m + 1))
+
+
+def is_marker(value: DataValue, m: int) -> bool:
+    """True iff ``value`` is one of the markers 1..m (booleans are not
+    D-values, let alone markers)."""
+    return isinstance(value, int) and not isinstance(value, bool) and 1 <= value <= m
+
+
+def check_domain(values: Sequence[DataValue], m: int) -> None:
+    """D_m excludes the markers (and # which delimits split strings)."""
+    for v in values:
+        if is_marker(v, m):
+            raise EncodingError(f"value {v!r} collides with a marker (1..{m})")
+        if v == HASH:
+            raise EncodingError("values may not be the # split marker")
+
+
+def encode(hyperset: Hyperset, m: int = 0) -> List[DataValue]:
+    """A canonical encoding (elements in sorted order).
+
+    ``m`` defaults to the hyperset's level (the usual top-level call);
+    pass a larger m to validate the value domain against deeper nesting
+    contexts.
+    """
+    m = m or hyperset.level
+    check_domain(sorted(hyperset.values(), key=repr), m)
+    return _encode(hyperset)
+
+
+def _encode(h: Hyperset) -> List[DataValue]:
+    if h.level == 1:
+        return [1] + sorted(h.elements, key=repr)
+    out: List[DataValue] = []
+    for element in sorted(h.elements, key=repr):
+        out.append(h.level)
+        out.extend(_encode(element))
+    return out  # the empty i-hyperset (i >= 2) encodes as the empty string
+
+
+def decode(word: Sequence[DataValue], m: int) -> Hyperset:
+    """Parse a level-``m`` encoding (markers 1..m); raises
+    :class:`EncodingError` on malformed input."""
+    if m < 1:
+        raise EncodingError("level must be >= 1")
+    value, rest = _parse(list(word), m, m)
+    if rest:
+        raise EncodingError(f"trailing symbols after the encoding: {rest!r}")
+    return value
+
+
+def _parse(
+    rest: List[DataValue], level: int, m: int
+) -> Tuple[Hyperset, List[DataValue]]:
+    if level == 1:
+        if not rest or rest[0] != 1:
+            raise EncodingError(
+                f"level-1 encoding must start with the marker 1, got "
+                f"{rest[:1]!r}"
+            )
+        values: List[DataValue] = []
+        i = 1
+        while i < len(rest) and not is_marker(rest[i], m):
+            if rest[i] == HASH:
+                raise EncodingError("# inside an encoding")
+            values.append(rest[i])
+            i += 1
+        return Hyperset.of_values(values), rest[i:]
+    # level >= 2: a (possibly empty) sequence of ``level w`` groups.
+    elements = set()
+    while rest and rest[0] == level:
+        sub, rest = _parse(rest[1:], level - 1, m)
+        elements.add(sub)
+    return Hyperset(level, frozenset(elements)), rest
+
+
+def split_encoding(word: Sequence[DataValue]) -> Tuple[List[DataValue], List[DataValue]]:
+    """Split ``f#g`` at its unique #."""
+    marks = [i for i, v in enumerate(word) if v == HASH]
+    if len(marks) != 1:
+        raise EncodingError(f"need exactly one #, found {len(marks)}")
+    return list(word[: marks[0]]), list(word[marks[0] + 1 :])
+
+
+def in_lm(word: Sequence[DataValue], m: int) -> bool:
+    """Direct membership test for L^m (the decoder-based reference the
+    FO definition of Lemma 4.2 is checked against)."""
+    try:
+        left, right = split_encoding(word)
+        return decode(left, m) == decode(right, m)
+    except EncodingError:
+        return False
+
+
+def lm_word(f: Hyperset, g: Hyperset) -> List[DataValue]:
+    """The split string ``enc(f) # enc(g)``."""
+    if f.level != g.level:
+        raise HypersetError("f and g must have the same level")
+    return encode(f) + [HASH] + encode(g)

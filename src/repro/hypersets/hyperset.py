@@ -1,0 +1,120 @@
+"""i-hypersets over D (Section 4).
+
+A 1-hyperset is a finite subset of D; for i > 1 an i-hyperset is a
+finite set of (i−1)-hypersets.  The inexpressibility proof counts them
+(there are exp_i(|D|) many over a finite D) and encodes them as data
+strings; this module is the mathematical object itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Tuple, Union
+
+from ..trees.values import DataValue, is_data_value
+
+
+class HypersetError(ValueError):
+    """Raised on level mismatches or malformed contents."""
+
+
+@dataclass(frozen=True)
+class Hyperset:
+    """An i-hyperset: ``level`` ≥ 1 and a frozenset of elements —
+    D-values at level 1, (level−1)-hypersets above."""
+
+    level: int
+    elements: FrozenSet
+
+    def __post_init__(self) -> None:
+        if self.level < 1:
+            raise HypersetError(f"level must be >= 1, got {self.level}")
+        for element in self.elements:
+            if self.level == 1:
+                if not is_data_value(element):
+                    raise HypersetError(
+                        f"level-1 elements must be D-values: {element!r}"
+                    )
+            else:
+                if not isinstance(element, Hyperset):
+                    raise HypersetError(
+                        f"level-{self.level} elements must be hypersets: "
+                        f"{element!r}"
+                    )
+                if element.level != self.level - 1:
+                    raise HypersetError(
+                        f"level-{self.level} element has level "
+                        f"{element.level}, expected {self.level - 1}"
+                    )
+
+    @classmethod
+    def of_values(cls, values: Iterable[DataValue]) -> "Hyperset":
+        """A 1-hyperset."""
+        return cls(1, frozenset(values))
+
+    @classmethod
+    def of_sets(cls, sets: Iterable["Hyperset"]) -> "Hyperset":
+        """An (i+1)-hyperset from i-hypersets."""
+        sets = frozenset(sets)
+        if not sets:
+            raise HypersetError(
+                "use Hyperset(level, frozenset()) for the empty hyperset "
+                "(its level is not inferable)"
+            )
+        level = next(iter(sets)).level
+        return cls(level + 1, sets)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def values(self) -> FrozenSet[DataValue]:
+        """All D-values occurring anywhere."""
+        if self.level == 1:
+            return frozenset(self.elements)
+        out: FrozenSet[DataValue] = frozenset()
+        for element in self.elements:
+            out |= element.values()
+        return out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(sorted(repr(e) for e in self.elements))
+        return f"H{self.level}{{{inner}}}"
+
+
+def all_hypersets(level: int, domain: Sequence[DataValue]) -> List[Hyperset]:
+    """Every ``level``-hyperset over ``domain`` — exp_level(|domain|)
+    many, so keep the parameters tiny."""
+    if level == 1:
+        out = []
+        for r in range(len(domain) + 1):
+            for combo in itertools.combinations(sorted(domain, key=repr), r):
+                out.append(Hyperset.of_values(combo))
+        return out
+    below = all_hypersets(level - 1, domain)
+    out = []
+    for r in range(len(below) + 1):
+        for combo in itertools.combinations(below, r):
+            out.append(Hyperset(level, frozenset(combo)))
+    return out
+
+
+def random_hyperset(
+    level: int,
+    domain: Sequence[DataValue],
+    rng: random.Random,
+    density: float = 0.5,
+) -> Hyperset:
+    """A random ``level``-hyperset; each candidate element is kept with
+    probability ``density`` (candidates at high levels are sampled, not
+    enumerated, to stay tractable)."""
+    if level == 1:
+        kept = [d for d in domain if rng.random() < density]
+        return Hyperset.of_values(kept)
+    width = max(1, int(len(domain) * density) + 1)
+    elements = {
+        random_hyperset(level - 1, domain, rng, density)
+        for _ in range(rng.randint(0, width))
+    }
+    return Hyperset(level, frozenset(elements))

@@ -1,0 +1,115 @@
+"""Logic over attributed trees: FO (§2.2), FO(∃*) (§2.3), k-types (§4).
+
+* :mod:`repro.logic.tree_fo` — full first-order logic over the tree
+  vocabulary τ_{Σ,A}, with model checking;
+* :mod:`repro.logic.exists_star` — the prenex-existential fragment and
+  its binary queries (the ``atp`` selector language);
+* :mod:`repro.logic.types` — k-variable FO(∃*) types of data strings,
+  the Lemma 4.3 machinery used by the communication protocol.
+"""
+
+from . import tree_fo
+from .tree_fo import (
+    NVar,
+    TreeFormula,
+    TreeFormulaError,
+    evaluate,
+    free_variables,
+    quantifier_free,
+    satisfying_assignments,
+    subformulas,
+)
+from .exists_star import (
+    ExistsStarQuery,
+    FragmentError,
+    X,
+    Y,
+    children_selector,
+    descendants_selector,
+    descendants_with_label,
+    first_child_selector,
+    functional_selectors,
+    is_exists_star,
+    is_single_valued,
+    leaves_selector,
+    parent_selector,
+    selector,
+    self_selector,
+    strip_prefix,
+    variable_count,
+)
+from .normalform import (
+    expressible_in_exists_star,
+    is_prenex,
+    negation_normal_form,
+    prefix_of,
+    prenex_normal_form,
+    rename_apart,
+)
+from .parser import (
+    FormulaSyntaxError,
+    parse_formula,
+    parse_query,
+    parse_sentence,
+)
+from .types import (
+    AtomicType,
+    StringStructure,
+    TypeSummary,
+    atomic_type,
+    classes_partition,
+    count_realized_classes,
+    equivalent,
+    pair_info,
+    pos_info,
+    type_summary,
+)
+
+__all__ = [
+    "tree_fo",
+    "NVar",
+    "TreeFormula",
+    "TreeFormulaError",
+    "evaluate",
+    "free_variables",
+    "quantifier_free",
+    "satisfying_assignments",
+    "subformulas",
+    "ExistsStarQuery",
+    "FragmentError",
+    "X",
+    "Y",
+    "children_selector",
+    "descendants_selector",
+    "descendants_with_label",
+    "first_child_selector",
+    "functional_selectors",
+    "is_exists_star",
+    "is_single_valued",
+    "leaves_selector",
+    "parent_selector",
+    "selector",
+    "self_selector",
+    "strip_prefix",
+    "variable_count",
+    "expressible_in_exists_star",
+    "is_prenex",
+    "negation_normal_form",
+    "prefix_of",
+    "prenex_normal_form",
+    "rename_apart",
+    "FormulaSyntaxError",
+    "parse_formula",
+    "parse_query",
+    "parse_sentence",
+    "AtomicType",
+    "StringStructure",
+    "TypeSummary",
+    "atomic_type",
+    "classes_partition",
+    "count_realized_classes",
+    "equivalent",
+    "pair_info",
+    "pos_info",
+    "type_summary",
+]

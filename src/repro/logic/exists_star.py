@@ -1,0 +1,194 @@
+"""The FO(∃*) fragment (Section 2.3) and its binary queries.
+
+FO(∃*) is the set of prenex formulas whose quantifier prefix is purely
+existential; the quantifier-free matrix may additionally use the
+primitive predicates ``root``, ``leaf``, ``first``, ``last`` and
+``succ`` (FO-definable, but not within FO(∃*)).  The paper abstracts
+XPath by *binary* FO(∃*) formulas φ(x, y): ``x`` the current node,
+``y`` the selected node.  The ``atp`` construct of tree-walking
+automata starts subcomputations at every ``y`` with ``t ⊨ φ(u, y)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from ..trees.node import NodeId
+from ..trees.tree import Tree
+from . import tree_fo
+from .tree_fo import (
+    Exists,
+    Forall,
+    Not,
+    NVar,
+    TreeFormula,
+    TreeFormulaError,
+    free_variables,
+    quantifier_free,
+    subformulas,
+)
+
+
+class FragmentError(TreeFormulaError):
+    """Raised when a formula lies outside FO(∃*)."""
+
+
+def strip_prefix(formula: TreeFormula) -> Tuple[List[NVar], TreeFormula]:
+    """Split a prenex formula into its ∃-prefix and matrix.
+
+    Raises :class:`FragmentError` if a universal quantifier heads the
+    prefix or a quantifier occurs inside the matrix.
+    """
+    prefix: List[NVar] = []
+    body = formula
+    while isinstance(body, Exists):
+        prefix.append(body.var)
+        body = body.inner
+    if isinstance(body, Forall):
+        raise FragmentError("universal quantifier in FO(∃*) prefix")
+    if not quantifier_free(body):
+        raise FragmentError("quantifier inside the matrix (formula not prenex)")
+    return prefix, body
+
+
+def is_exists_star(formula: TreeFormula) -> bool:
+    """True iff ``formula`` lies in FO(∃*)."""
+    try:
+        strip_prefix(formula)
+    except FragmentError:
+        return False
+    return True
+
+
+def variable_count(formula: TreeFormula) -> int:
+    """Total number of distinct variables (the k of k-variable types)."""
+    return len(tree_fo.variables(formula))
+
+
+@dataclass(frozen=True)
+class ExistsStarQuery:
+    """A binary FO(∃*) query φ(x, y): current node x, selected node y.
+
+    This is the selector language of ``atp(φ(x,y), q)`` (Definition
+    3.1, clause 3) — the paper's abstraction of an XPath pattern.
+    """
+
+    formula: TreeFormula
+    x: NVar = NVar("x")
+    y: NVar = NVar("y")
+
+    def __post_init__(self) -> None:
+        if not is_exists_star(self.formula):
+            raise FragmentError(f"not an FO(∃*) formula: {self.formula!r}")
+        free = free_variables(self.formula)
+        if not free <= {self.x, self.y}:
+            extra = sorted(v.name for v in free - {self.x, self.y})
+            raise FragmentError(
+                f"selector may only use {self.x.name!r} and {self.y.name!r} "
+                f"free; also found {extra}"
+            )
+
+    def select(self, tree: Tree, current: NodeId) -> Tuple[NodeId, ...]:
+        """All nodes v with ``t ⊨ φ(current, v)``, in document order."""
+        tree.require(current)
+        free = free_variables(self.formula)
+        out = []
+        for candidate in tree.nodes:
+            env = {}
+            if self.x in free:
+                env[self.x] = current
+            if self.y in free:
+                env[self.y] = candidate
+            if tree_fo.evaluate(self.formula, tree, env):
+                out.append(candidate)
+        if self.y not in free:
+            # φ does not mention y: it selects every node or none.
+            return tuple(tree.nodes) if out else ()
+        return tuple(out)
+
+    def holds(self, tree: Tree, current: NodeId, selected: NodeId) -> bool:
+        """``t ⊨ φ(current, selected)``."""
+        free = free_variables(self.formula)
+        env = {}
+        if self.x in free:
+            env[self.x] = current
+        if self.y in free:
+            env[self.y] = selected
+        return tree_fo.evaluate(self.formula, tree, env)
+
+    def size(self) -> int:
+        """Number of subformula nodes (enters the automaton size |B|)."""
+        return sum(1 for _ in subformulas(self.formula))
+
+    def __repr__(self) -> str:
+        return f"φ({self.x.name},{self.y.name}) = {self.formula!r}"
+
+
+# ---------------------------------------------------------------------------
+# Stock selectors (the single-node ones double as tw^l look-aheads)
+# ---------------------------------------------------------------------------
+
+X = NVar("x")
+Y = NVar("y")
+
+
+def selector(formula: TreeFormula) -> ExistsStarQuery:
+    """Wrap a formula over free variables x, y as a selector."""
+    return ExistsStarQuery(formula, X, Y)
+
+
+def self_selector() -> ExistsStarQuery:
+    """Selects the current node itself."""
+    return selector(tree_fo.NodeEq(X, Y))
+
+
+def parent_selector() -> ExistsStarQuery:
+    """Selects the parent (single node; admissible in tw^l)."""
+    return selector(tree_fo.Edge(Y, X))
+
+
+def first_child_selector() -> ExistsStarQuery:
+    """Selects the first child (single node; admissible in tw^l)."""
+    return selector(
+        tree_fo.conj(tree_fo.Edge(X, Y), tree_fo.First(Y))
+    )
+
+
+def children_selector() -> ExistsStarQuery:
+    """Selects all children."""
+    return selector(tree_fo.Edge(X, Y))
+
+
+def descendants_selector() -> ExistsStarQuery:
+    """Selects all proper descendants (``x ≺ y``)."""
+    return selector(tree_fo.Desc(X, Y))
+
+
+def descendants_with_label(symbol: str) -> ExistsStarQuery:
+    """All σ-labelled proper descendants."""
+    return selector(
+        tree_fo.conj(tree_fo.Desc(X, Y), tree_fo.Label(symbol, Y))
+    )
+
+
+def leaves_selector() -> ExistsStarQuery:
+    """All leaf descendants (φ ≡ x ≺ y ∧ leaf(y))."""
+    return selector(
+        tree_fo.conj(tree_fo.Desc(X, Y), tree_fo.Leaf(Y))
+    )
+
+
+def is_single_valued(query: ExistsStarQuery, tree: Tree) -> bool:
+    """Runtime check of the tw^l restriction: on this tree, the selector
+    never picks more than one node from any start."""
+    return all(len(query.select(tree, u)) <= 1 for u in tree.nodes)
+
+
+_FUNCTIONAL_BUILDERS = (self_selector, parent_selector, first_child_selector)
+
+
+def functional_selectors() -> Tuple[ExistsStarQuery, ...]:
+    """The stock selectors guaranteed to select at most one node on every
+    tree (the syntactic tw^l whitelist of Definition 5.1)."""
+    return tuple(builder() for builder in _FUNCTIONAL_BUILDERS)

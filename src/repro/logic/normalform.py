@@ -1,0 +1,212 @@
+"""Normal forms for FO over τ_{Σ,A}.
+
+* :func:`negation_normal_form` — push ¬ to the atoms, eliminate → and
+  rewrite quantifier duals;
+* :func:`prenex_normal_form` — pull quantifiers to the front (with
+  capture-avoiding renaming);
+* :func:`is_prenex`, :func:`prefix_of` — inspection helpers.
+
+FO(∃*) (§2.3) is defined through prenex form, so these transformations
+are also the bridge for *deciding* whether an arbitrary formula happens
+to be expressible in the fragment: a sentence whose PNF prefix is
+purely existential is (up to logical equivalence of this syntactic
+route) an FO(∃*) sentence.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Tuple
+
+from . import tree_fo as T
+from .tree_fo import NVar, TreeFormula, TreeFormulaError, is_atom
+
+
+def negation_normal_form(formula: TreeFormula) -> TreeFormula:
+    """Equivalent formula with ¬ only on atoms and no →."""
+    return _nnf(formula, negate=False)
+
+
+def _nnf(formula: TreeFormula, negate: bool) -> TreeFormula:
+    if is_atom(formula):
+        return T.Not(formula) if negate else formula
+    if isinstance(formula, T.Not):
+        return _nnf(formula.inner, not negate)
+    if isinstance(formula, T.And):
+        parts = tuple(_nnf(p, negate) for p in formula.parts)
+        return T.Or(parts) if negate else T.And(parts)
+    if isinstance(formula, T.Or):
+        parts = tuple(_nnf(p, negate) for p in formula.parts)
+        return T.And(parts) if negate else T.Or(parts)
+    if isinstance(formula, T.Implies):
+        # a → b ≡ ¬a ∨ b
+        rewritten = T.Or((T.Not(formula.premise), formula.conclusion))
+        return _nnf(rewritten, negate)
+    if isinstance(formula, T.Exists):
+        inner = _nnf(formula.inner, negate)
+        return T.Forall(formula.var, inner) if negate else T.Exists(formula.var, inner)
+    if isinstance(formula, T.Forall):
+        inner = _nnf(formula.inner, negate)
+        return T.Exists(formula.var, inner) if negate else T.Forall(formula.var, inner)
+    raise TreeFormulaError(f"unknown formula node {formula!r}")
+
+
+# -- renaming -------------------------------------------------------------------------
+
+
+def _substitute(formula: TreeFormula, mapping: Dict[NVar, NVar]) -> TreeFormula:
+    """Capture-naive variable renaming (callers rename apart first)."""
+    if not mapping:
+        return formula
+    if is_atom(formula):
+        return _substitute_atom(formula, mapping)
+    if isinstance(formula, T.Not):
+        return T.Not(_substitute(formula.inner, mapping))
+    if isinstance(formula, T.And):
+        return T.And(tuple(_substitute(p, mapping) for p in formula.parts))
+    if isinstance(formula, T.Or):
+        return T.Or(tuple(_substitute(p, mapping) for p in formula.parts))
+    if isinstance(formula, T.Implies):
+        return T.Implies(
+            _substitute(formula.premise, mapping),
+            _substitute(formula.conclusion, mapping),
+        )
+    if isinstance(formula, (T.Exists, T.Forall)):
+        inner_map = {k: v for k, v in mapping.items() if k != formula.var}
+        build = T.Exists if isinstance(formula, T.Exists) else T.Forall
+        return build(
+            mapping.get(formula.var, formula.var),
+            _substitute(formula.inner, {**inner_map, formula.var:
+                                        mapping.get(formula.var, formula.var)}),
+        )
+    raise TreeFormulaError(f"unknown formula node {formula!r}")
+
+
+def _substitute_atom(atom, mapping: Dict[NVar, NVar]):
+    def sub(var: NVar) -> NVar:
+        return mapping.get(var, var)
+
+    if isinstance(atom, (T.TrueF, T.FalseF)):
+        return atom
+    if isinstance(atom, T.Edge):
+        return T.Edge(sub(atom.parent), sub(atom.child))
+    if isinstance(atom, T.SibLess):
+        return T.SibLess(sub(atom.left), sub(atom.right))
+    if isinstance(atom, T.Desc):
+        return T.Desc(sub(atom.ancestor), sub(atom.descendant))
+    if isinstance(atom, T.Label):
+        return T.Label(atom.symbol, sub(atom.var))
+    if isinstance(atom, T.NodeEq):
+        return T.NodeEq(sub(atom.left), sub(atom.right))
+    if isinstance(atom, T.ValEq):
+        return T.ValEq(atom.attr_left, sub(atom.left), atom.attr_right,
+                       sub(atom.right))
+    if isinstance(atom, T.ValConst):
+        return T.ValConst(atom.attr, sub(atom.var), atom.value)
+    if isinstance(atom, (T.Root, T.Leaf, T.First, T.Last)):
+        return type(atom)(sub(atom.var))
+    if isinstance(atom, T.Succ):
+        return T.Succ(sub(atom.left), sub(atom.right))
+    raise TreeFormulaError(f"unknown atom {atom!r}")
+
+
+def _fresh_names() -> Iterator[NVar]:
+    for index in itertools.count(1):
+        yield NVar(f"v{index}")
+
+
+def rename_apart(formula: TreeFormula) -> TreeFormula:
+    """Give every quantifier a fresh variable (no shadowing, no clash
+    with free variables)."""
+    supply = _fresh_names()
+    taken = {v.name for v in T.free_variables(formula)}
+
+    def fresh() -> NVar:
+        while True:
+            candidate = next(supply)
+            if candidate.name not in taken:
+                taken.add(candidate.name)
+                return candidate
+
+    def walk(node: TreeFormula, mapping: Dict[NVar, NVar]) -> TreeFormula:
+        if is_atom(node):
+            return _substitute_atom(node, mapping)
+        if isinstance(node, T.Not):
+            return T.Not(walk(node.inner, mapping))
+        if isinstance(node, T.And):
+            return T.And(tuple(walk(p, mapping) for p in node.parts))
+        if isinstance(node, T.Or):
+            return T.Or(tuple(walk(p, mapping) for p in node.parts))
+        if isinstance(node, T.Implies):
+            return T.Implies(walk(node.premise, mapping),
+                             walk(node.conclusion, mapping))
+        if isinstance(node, (T.Exists, T.Forall)):
+            renamed = fresh()
+            build = T.Exists if isinstance(node, T.Exists) else T.Forall
+            return build(renamed, walk(node.inner, {**mapping, node.var: renamed}))
+        raise TreeFormulaError(f"unknown formula node {node!r}")
+
+    return walk(formula, {})
+
+
+# -- prenexing --------------------------------------------------------------------------------
+
+
+def prenex_normal_form(formula: TreeFormula) -> TreeFormula:
+    """An equivalent prenex formula: Q₁x₁ … Qₙxₙ (matrix)."""
+    renamed = rename_apart(negation_normal_form(formula))
+    prefix, matrix = _pull(renamed)
+    out = matrix
+    for kind, var in reversed(prefix):
+        out = kind(var, out)
+    return out
+
+
+def _pull(formula: TreeFormula) -> Tuple[List, TreeFormula]:
+    """Extract the quantifier prefix of an NNF, renamed-apart formula."""
+    if is_atom(formula) or isinstance(formula, T.Not):
+        return [], formula
+    if isinstance(formula, (T.Exists, T.Forall)):
+        prefix, matrix = _pull(formula.inner)
+        kind = T.Exists if isinstance(formula, T.Exists) else T.Forall
+        return [(kind, formula.var)] + prefix, matrix
+    if isinstance(formula, (T.And, T.Or)):
+        prefix: List = []
+        matrices = []
+        for part in formula.parts:
+            inner_prefix, matrix = _pull(part)
+            prefix.extend(inner_prefix)
+            matrices.append(matrix)
+        build = T.And if isinstance(formula, T.And) else T.Or
+        return prefix, build(tuple(matrices))
+    raise TreeFormulaError(
+        f"prenexing expects NNF (no →): {formula!r}"
+    )
+
+
+def is_prenex(formula: TreeFormula) -> bool:
+    """Quantifiers only as an outer prefix."""
+    body = formula
+    while isinstance(body, (T.Exists, T.Forall)):
+        body = body.inner
+    return T.quantifier_free(body)
+
+
+def prefix_of(formula: TreeFormula) -> List[Tuple[str, NVar]]:
+    """The prefix as [('exists'|'forall', var), …]."""
+    out: List[Tuple[str, NVar]] = []
+    body = formula
+    while isinstance(body, (T.Exists, T.Forall)):
+        out.append(
+            ("exists" if isinstance(body, T.Exists) else "forall", body.var)
+        )
+        body = body.inner
+    return out
+
+
+def expressible_in_exists_star(formula: TreeFormula) -> bool:
+    """Does this route certify the formula FO(∃*)-expressible?  True
+    when the PNF prefix is purely existential.  (A False is *not* a
+    proof of inexpressibility — prenexing is one syntactic path.)"""
+    pnf = prenex_normal_form(formula)
+    return all(kind == "exists" for kind, _var in prefix_of(pnf))

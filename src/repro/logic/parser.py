@@ -1,0 +1,320 @@
+"""A concrete text syntax for FO over τ_{Σ,A}.
+
+Writing formula ASTs by hand is verbose; this parser accepts the
+notation the paper uses, ASCII-fied::
+
+    forall x (O_dept(x) -> exists y (E(x, y) & val_cur(y) = "EUR"))
+    exists x y (x << y & ~val_a(x) = val_a(y))
+    root(x) | leaf(x) | first(x) | last(x) | succ(x, y)
+    x < y          -- sibling order
+    x << y         -- descendant (the paper's ≺)
+
+Unicode connectives are accepted too (∀ ∃ ∧ ∨ ¬ → ≺).  Grammar
+(precedence low → high)::
+
+    formula  := quantified | iff
+    quantified := ("forall"|"exists"|∀|∃) var+ formula
+    iff      := implies ("<->" implies)*
+    implies  := or ("->" or)*             (right-assoc)
+    or       := and (("|"|∨) and)*
+    and      := unary (("&"|∧) unary)*
+    unary    := ("~"|¬) unary | atom | "(" formula ")"
+    atom     := E(x,y) | succ(x,y) | O_<label>(x) | root(x) | leaf(x)
+              | first(x) | last(x) | true | false
+              | x = y | x < y | x << y
+              | val_<a>(x) = val_<b>(y) | val_<a>(x) = <const>
+
+Constants are double-quoted strings or integers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from ..trees.values import DataValue
+from . import tree_fo as T
+from .tree_fo import NVar, TreeFormula, TreeFormulaError
+
+
+class FormulaSyntaxError(TreeFormulaError):
+    """Raised on malformed formula text, with position info."""
+
+    def __init__(self, message: str, text: str, pos: int) -> None:
+        super().__init__(f"{message} at {pos}: ...{text[pos:pos + 25]!r}")
+        self.pos = pos
+
+
+_KEYWORDS = {
+    "forall": "forall", "∀": "forall",
+    "exists": "exists", "∃": "exists",
+    "true": "true", "false": "false",
+    "root": "root", "leaf": "leaf", "first": "first", "last": "last",
+    "succ": "succ",
+}
+
+
+class _Scanner:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch.isspace():
+                self.pos += 1
+            elif self.text.startswith("--", self.pos):
+                end = self.text.find("\n", self.pos)
+                self.pos = len(self.text) if end < 0 else end + 1
+            else:
+                break
+
+    def peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.text[i] if i < len(self.text) else ""
+
+    def take(self, literal: str) -> bool:
+        self.skip_ws()
+        if self.text.startswith(literal, self.pos):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        if not self.take(literal):
+            raise FormulaSyntaxError(f"expected {literal!r}", self.text, self.pos)
+
+    def error(self, message: str) -> FormulaSyntaxError:
+        return FormulaSyntaxError(message, self.text, self.pos)
+
+    def word(self) -> Optional[str]:
+        self.skip_ws()
+        start = self.pos
+        if self.pos < len(self.text) and self.text[self.pos] in "∀∃":
+            self.pos += 1
+            return self.text[start : self.pos]
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_σδ▽▷◁△"
+        ):
+            self.pos += 1
+        return self.text[start : self.pos] if self.pos > start else None
+
+
+def _parse_constant(sc: _Scanner) -> DataValue:
+    sc.skip_ws()
+    ch = sc.peek()
+    if ch in ('"', "'"):
+        quote = ch
+        sc.pos += 1
+        out: List[str] = []
+        while True:
+            if sc.pos >= len(sc.text):
+                raise sc.error("unterminated string constant")
+            c = sc.text[sc.pos]
+            sc.pos += 1
+            if c == quote:
+                return "".join(out)
+            if c == "\\":
+                out.append(sc.text[sc.pos])
+                sc.pos += 1
+            else:
+                out.append(c)
+    if ch == "-" or ch.isdigit():
+        start = sc.pos
+        if ch == "-":
+            sc.pos += 1
+        while sc.pos < len(sc.text) and sc.text[sc.pos].isdigit():
+            sc.pos += 1
+        return int(sc.text[start : sc.pos])
+    raise sc.error("expected a constant (quoted string or integer)")
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.sc = _Scanner(text)
+
+    # -- formula levels -----------------------------------------------------------
+
+    def formula(self) -> TreeFormula:
+        quantified = self._try_quantified()
+        if quantified is not None:
+            return quantified
+        return self.iff()
+
+    def _try_quantified(self) -> Optional[TreeFormula]:
+        self.sc.skip_ws()
+        saved = self.sc.pos
+        word = self.sc.word()
+        if word not in ("forall", "∀", "exists", "∃"):
+            self.sc.pos = saved
+            return None
+        kind = _KEYWORDS[word]
+        variables: List[NVar] = []
+        positions: List[int] = []  # scanner position after each variable
+        while True:
+            self.sc.skip_ws()
+            saved_var = self.sc.pos
+            name = self.sc.word()
+            if name is None or name in _KEYWORDS or self.sc.peek() == "(":
+                # not a bare variable: the quantified body starts here
+                self.sc.pos = saved_var
+                break
+            variables.append(NVar(name))
+            positions.append(self.sc.pos)
+        if not variables:
+            raise self.sc.error(f"{kind} needs at least one variable")
+        build = T.forall if kind == "forall" else T.exists
+        # `exists y x = y` is ambiguous without parentheses: the greedy
+        # variable list may have swallowed the first variable of the
+        # body.  Backtrack from the longest prefix until the body parses.
+        last_error: Optional[FormulaSyntaxError] = None
+        for count in range(len(variables), 0, -1):
+            self.sc.pos = positions[count - 1]
+            try:
+                body = self.formula()
+            except FormulaSyntaxError as error:
+                last_error = error
+                continue
+            return build(variables[:count], body)
+        assert last_error is not None
+        raise last_error
+
+    def iff(self) -> TreeFormula:
+        left = self.implies()
+        while self.sc.take("<->"):
+            right = self.implies()
+            left = T.conj(T.implies(left, right), T.implies(right, left))
+        return left
+
+    def implies(self) -> TreeFormula:
+        left = self.or_()
+        if self.sc.take("->") or self.sc.take("→"):
+            return T.implies(left, self.implies())  # right associative
+        return left
+
+    def or_(self) -> TreeFormula:
+        parts = [self.and_()]
+        while self.sc.take("|") or self.sc.take("∨"):
+            parts.append(self.and_())
+        return T.disj(*parts)
+
+    def and_(self) -> TreeFormula:
+        parts = [self.unary()]
+        while self.sc.take("&") or self.sc.take("∧"):
+            parts.append(self.unary())
+        return T.conj(*parts)
+
+    def unary(self) -> TreeFormula:
+        if self.sc.take("~") or self.sc.take("¬"):
+            return T.Not(self.unary())
+        quantified = self._try_quantified()
+        if quantified is not None:
+            return quantified
+        self.sc.skip_ws()
+        if self.sc.peek() == "(":
+            self.sc.expect("(")
+            inner = self.formula()
+            self.sc.expect(")")
+            return inner
+        return self.atom()
+
+    # -- atoms --------------------------------------------------------------------------
+
+    def _var(self) -> NVar:
+        name = self.sc.word()
+        if name is None or name in _KEYWORDS:
+            raise self.sc.error("expected a variable")
+        return NVar(name)
+
+    def _paren_vars(self, count: int) -> List[NVar]:
+        self.sc.expect("(")
+        out = [self._var()]
+        for _ in range(count - 1):
+            self.sc.expect(",")
+            out.append(self._var())
+        self.sc.expect(")")
+        return out
+
+    def atom(self) -> TreeFormula:
+        self.sc.skip_ws()
+        saved = self.sc.pos
+        word = self.sc.word()
+        if word is None:
+            raise self.sc.error("expected an atom")
+        if word == "true":
+            return T.TrueF()
+        if word == "false":
+            return T.FalseF()
+        if word == "E":
+            x, y = self._paren_vars(2)
+            return T.Edge(x, y)
+        if word == "succ":
+            x, y = self._paren_vars(2)
+            return T.Succ(x, y)
+        if word in ("root", "leaf", "first", "last"):
+            (x,) = self._paren_vars(1)
+            return {
+                "root": T.Root, "leaf": T.Leaf,
+                "first": T.First, "last": T.Last,
+            }[word](x)
+        if word.startswith("O_") and len(word) > 2:
+            (x,) = self._paren_vars(1)
+            return T.Label(word[2:], x)
+        if word.startswith("val_") and len(word) > 4:
+            return self._val_atom(word[4:])
+        # variable comparison: x = y, x < y, x << y
+        self.sc.pos = saved
+        left = self._var()
+        if self.sc.take("="):
+            return T.NodeEq(left, self._var())
+        if self.sc.take("<<") or self.sc.take("≺"):
+            return T.Desc(left, self._var())
+        if self.sc.take("<"):
+            return T.SibLess(left, self._var())
+        raise self.sc.error("expected =, < or << after a variable")
+
+    def _val_atom(self, attr: str) -> TreeFormula:
+        self.sc.expect("(")
+        x = self._var()
+        self.sc.expect(")")
+        self.sc.expect("=")
+        self.sc.skip_ws()
+        saved = self.sc.pos
+        word = self.sc.word()
+        if word is not None and word.startswith("val_") and self.sc.peek() == "(":
+            other_attr = word[4:]
+            self.sc.expect("(")
+            y = self._var()
+            self.sc.expect(")")
+            return T.ValEq(attr, x, other_attr, y)
+        self.sc.pos = saved
+        return T.ValConst(attr, x, _parse_constant(self.sc))
+
+
+def parse_formula(text: str) -> TreeFormula:
+    """Parse FO text into a :class:`TreeFormula`."""
+    parser = _Parser(text)
+    formula = parser.formula()
+    parser.sc.skip_ws()
+    if parser.sc.pos != len(parser.sc.text):
+        raise parser.sc.error("trailing input")
+    return formula
+
+
+def parse_sentence(text: str) -> TreeFormula:
+    """Parse and require a sentence (no free variables)."""
+    formula = parse_formula(text)
+    free = T.free_variables(formula)
+    if free:
+        raise TreeFormulaError(
+            f"expected a sentence; free variables: "
+            f"{sorted(v.name for v in free)}"
+        )
+    return formula
+
+
+def parse_query(text: str, x: str = "x", y: str = "y"):
+    """Parse a binary FO(∃*) selector φ(x, y) from text."""
+    from .exists_star import ExistsStarQuery
+
+    return ExistsStarQuery(parse_formula(text), NVar(x), NVar(y))

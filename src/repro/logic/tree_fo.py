@@ -1,0 +1,516 @@
+"""First-order logic over the tree vocabulary τ_{Σ,A} (Section 2.2).
+
+A tree is viewed as the logical structure with domain ``Dom(t)`` and
+
+* ``E(x, y)``      — y is a child of x;
+* ``x < y``        — sibling order (same parent, x earlier);
+* ``x ≺ y``        — y is a proper descendant of x;
+* ``O_σ(x)``       — x is labelled σ;
+* ``val_a(x)``     — the a-attribute of x (a *function* into D ∪ {⊥}).
+
+Atomic formulas: ``E(x,y)``, ``x < y``, ``x ≺ y``, ``O_σ(x)``,
+``x = y``, ``val_a(x) = val_b(y)``, ``val_a(x) = d``.  FO closes these
+under booleans and quantification over Dom(t).
+
+The extra unary/binary predicates of §2.3 — ``root``, ``leaf``,
+``first``, ``last``, ``succ`` — are FO-definable but *not*
+FO(∃*)-definable, so they are provided as primitive atoms (exactly the
+paper's move).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple, Union
+
+from ..trees.node import NodeId
+from ..trees.tree import Tree
+from ..trees.values import BOTTOM, DataValue, is_data_value
+
+
+class TreeFormulaError(ValueError):
+    """Raised on ill-formed tree formulas or evaluation errors."""
+
+
+@dataclass(frozen=True)
+class NVar:
+    """A node variable (ranges over Dom(t))."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+# ---------------------------------------------------------------------------
+# Atoms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrueF:
+    def __repr__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseF:
+    def __repr__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """E(x, y): y is a child of x."""
+
+    parent: NVar
+    child: NVar
+
+    def __repr__(self) -> str:
+        return f"E({self.parent!r}, {self.child!r})"
+
+
+@dataclass(frozen=True)
+class SibLess:
+    """x < y on siblings."""
+
+    left: NVar
+    right: NVar
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} < {self.right!r}"
+
+
+@dataclass(frozen=True)
+class Desc:
+    """x ≺ y: y is a proper descendant of x."""
+
+    ancestor: NVar
+    descendant: NVar
+
+    def __repr__(self) -> str:
+        return f"{self.ancestor!r} ≺ {self.descendant!r}"
+
+
+@dataclass(frozen=True)
+class Label:
+    """O_σ(x)."""
+
+    symbol: str
+    var: NVar
+
+    def __repr__(self) -> str:
+        return f"O_{self.symbol}({self.var!r})"
+
+
+@dataclass(frozen=True)
+class NodeEq:
+    """x = y."""
+
+    left: NVar
+    right: NVar
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} = {self.right!r}"
+
+
+@dataclass(frozen=True)
+class ValEq:
+    """val_a(x) = val_b(y)."""
+
+    attr_left: str
+    left: NVar
+    attr_right: str
+    right: NVar
+
+    def __repr__(self) -> str:
+        return f"val_{self.attr_left}({self.left!r}) = val_{self.attr_right}({self.right!r})"
+
+
+@dataclass(frozen=True)
+class ValConst:
+    """val_a(x) = d."""
+
+    attr: str
+    var: NVar
+    value: DataValue
+
+    def __post_init__(self) -> None:
+        if not is_data_value(self.value):
+            raise TreeFormulaError(f"constant must be in D: {self.value!r}")
+
+    def __repr__(self) -> str:
+        return f"val_{self.attr}({self.var!r}) = {self.value!r}"
+
+
+# -- the §2.3 extra predicates (FO-definable, FO(∃*)-primitive) --------------
+
+
+@dataclass(frozen=True)
+class Root:
+    var: NVar
+
+    def __repr__(self) -> str:
+        return f"root({self.var!r})"
+
+
+@dataclass(frozen=True)
+class Leaf:
+    var: NVar
+
+    def __repr__(self) -> str:
+        return f"leaf({self.var!r})"
+
+
+@dataclass(frozen=True)
+class First:
+    var: NVar
+
+    def __repr__(self) -> str:
+        return f"first({self.var!r})"
+
+
+@dataclass(frozen=True)
+class Last:
+    var: NVar
+
+    def __repr__(self) -> str:
+        return f"last({self.var!r})"
+
+
+@dataclass(frozen=True)
+class Succ:
+    """succ(x, y): y is the immediate right sibling of x."""
+
+    left: NVar
+    right: NVar
+
+    def __repr__(self) -> str:
+        return f"succ({self.left!r}, {self.right!r})"
+
+
+# ---------------------------------------------------------------------------
+# Connectives & quantifiers
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Not:
+    inner: "TreeFormula"
+
+    def __repr__(self) -> str:
+        return f"¬({self.inner!r})"
+
+
+@dataclass(frozen=True)
+class And:
+    parts: Tuple["TreeFormula", ...]
+
+    def __repr__(self) -> str:
+        return "(" + " ∧ ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Or:
+    parts: Tuple["TreeFormula", ...]
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Implies:
+    premise: "TreeFormula"
+    conclusion: "TreeFormula"
+
+    def __repr__(self) -> str:
+        return f"({self.premise!r} → {self.conclusion!r})"
+
+
+@dataclass(frozen=True)
+class Exists:
+    var: NVar
+    inner: "TreeFormula"
+
+    def __repr__(self) -> str:
+        return f"∃{self.var!r} {self.inner!r}"
+
+
+@dataclass(frozen=True)
+class Forall:
+    var: NVar
+    inner: "TreeFormula"
+
+    def __repr__(self) -> str:
+        return f"∀{self.var!r} {self.inner!r}"
+
+
+Atom = Union[
+    TrueF, FalseF, Edge, SibLess, Desc, Label, NodeEq, ValEq, ValConst,
+    Root, Leaf, First, Last, Succ,
+]
+TreeFormula = Union[Atom, Not, And, Or, Implies, Exists, Forall]
+
+_ATOM_TYPES = (
+    TrueF, FalseF, Edge, SibLess, Desc, Label, NodeEq, ValEq, ValConst,
+    Root, Leaf, First, Last, Succ,
+)
+_EXTRA_PREDICATES = (Root, Leaf, First, Last, Succ)
+
+
+def is_atom(formula: TreeFormula) -> bool:
+    """True iff ``formula`` is atomic (incl. the §2.3 extra predicates)."""
+    return isinstance(formula, _ATOM_TYPES)
+
+
+def uses_extra_predicates(formula: TreeFormula) -> bool:
+    """True iff the formula mentions root/leaf/first/last/succ."""
+    return any(isinstance(sub, _EXTRA_PREDICATES) for sub in subformulas(formula))
+
+
+# -- constructor helpers ------------------------------------------------------
+
+
+def conj(*parts: TreeFormula) -> TreeFormula:
+    parts = tuple(parts)
+    if not parts:
+        return TrueF()
+    if len(parts) == 1:
+        return parts[0]
+    return And(parts)
+
+
+def disj(*parts: TreeFormula) -> TreeFormula:
+    parts = tuple(parts)
+    if not parts:
+        return FalseF()
+    if len(parts) == 1:
+        return parts[0]
+    return Or(parts)
+
+
+def implies(premise: TreeFormula, conclusion: TreeFormula) -> Implies:
+    return Implies(premise, conclusion)
+
+
+def exists(variables: Union[NVar, Sequence[NVar]], inner: TreeFormula) -> TreeFormula:
+    if isinstance(variables, NVar):
+        variables = [variables]
+    out = inner
+    for var in reversed(list(variables)):
+        out = Exists(var, out)
+    return out
+
+
+def forall(variables: Union[NVar, Sequence[NVar]], inner: TreeFormula) -> TreeFormula:
+    if isinstance(variables, NVar):
+        variables = [variables]
+    out = inner
+    for var in reversed(list(variables)):
+        out = Forall(var, out)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Static analysis
+# ---------------------------------------------------------------------------
+
+
+def subformulas(formula: TreeFormula) -> Iterable[TreeFormula]:
+    """All subformulas, the formula itself included (preorder)."""
+    yield formula
+    if isinstance(formula, Not):
+        yield from subformulas(formula.inner)
+    elif isinstance(formula, (And, Or)):
+        for part in formula.parts:
+            yield from subformulas(part)
+    elif isinstance(formula, Implies):
+        yield from subformulas(formula.premise)
+        yield from subformulas(formula.conclusion)
+    elif isinstance(formula, (Exists, Forall)):
+        yield from subformulas(formula.inner)
+
+
+def free_variables(formula: TreeFormula) -> FrozenSet[NVar]:
+    """Free node variables of ``formula``."""
+    if isinstance(formula, (TrueF, FalseF)):
+        return frozenset()
+    if isinstance(formula, (Edge, Succ)):
+        return frozenset(
+            (formula.parent, formula.child)
+            if isinstance(formula, Edge)
+            else (formula.left, formula.right)
+        )
+    if isinstance(formula, (SibLess, NodeEq)):
+        return frozenset((formula.left, formula.right))
+    if isinstance(formula, Desc):
+        return frozenset((formula.ancestor, formula.descendant))
+    if isinstance(formula, (Label, ValConst, Root, Leaf, First, Last)):
+        return frozenset((formula.var,))
+    if isinstance(formula, ValEq):
+        return frozenset((formula.left, formula.right))
+    if isinstance(formula, Not):
+        return free_variables(formula.inner)
+    if isinstance(formula, (And, Or)):
+        out: FrozenSet[NVar] = frozenset()
+        for part in formula.parts:
+            out |= free_variables(part)
+        return out
+    if isinstance(formula, Implies):
+        return free_variables(formula.premise) | free_variables(formula.conclusion)
+    if isinstance(formula, (Exists, Forall)):
+        return free_variables(formula.inner) - {formula.var}
+    raise TreeFormulaError(f"unknown formula node {formula!r}")
+
+
+def variables(formula: TreeFormula) -> FrozenSet[NVar]:
+    """All variables, bound or free (the paper's k-variable counting)."""
+    out = set()
+    for sub in subformulas(formula):
+        if isinstance(sub, (Exists, Forall)):
+            out.add(sub.var)
+        else:
+            out |= free_variables(sub) if is_atom(sub) else set()
+    return frozenset(out) | free_variables(formula)
+
+
+def quantifier_free(formula: TreeFormula) -> bool:
+    """True iff no quantifier occurs."""
+    return not any(
+        isinstance(sub, (Exists, Forall)) for sub in subformulas(formula)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Evaluation (model checking over Dom(t))
+# ---------------------------------------------------------------------------
+
+
+def _val(tree: Tree, attr: str, node: NodeId):
+    return tree.val(attr, node)
+
+
+def _eval_atom(atom: Atom, env: Dict[NVar, NodeId], tree: Tree) -> bool:
+    def node_of(var: NVar) -> NodeId:
+        try:
+            return env[var]
+        except KeyError:
+            raise TreeFormulaError(f"unbound variable {var!r}") from None
+
+    if isinstance(atom, TrueF):
+        return True
+    if isinstance(atom, FalseF):
+        return False
+    if isinstance(atom, Edge):
+        return tree.edge(node_of(atom.parent), node_of(atom.child))
+    if isinstance(atom, SibLess):
+        return tree.sibling_less(node_of(atom.left), node_of(atom.right))
+    if isinstance(atom, Desc):
+        return tree.descendant(node_of(atom.ancestor), node_of(atom.descendant))
+    if isinstance(atom, Label):
+        return tree.label(node_of(atom.var)) == atom.symbol
+    if isinstance(atom, NodeEq):
+        return node_of(atom.left) == node_of(atom.right)
+    if isinstance(atom, ValEq):
+        left = _val(tree, atom.attr_left, node_of(atom.left))
+        right = _val(tree, atom.attr_right, node_of(atom.right))
+        return left == right
+    if isinstance(atom, ValConst):
+        return _val(tree, atom.attr, node_of(atom.var)) == atom.value
+    if isinstance(atom, Root):
+        return tree.is_root(node_of(atom.var))
+    if isinstance(atom, Leaf):
+        return tree.is_leaf(node_of(atom.var))
+    if isinstance(atom, First):
+        return tree.is_first_child(node_of(atom.var))
+    if isinstance(atom, Last):
+        return tree.is_last_child(node_of(atom.var))
+    if isinstance(atom, Succ):
+        return tree.right_sibling(node_of(atom.left)) == node_of(atom.right)
+    raise TreeFormulaError(f"unknown atom {atom!r}")
+
+
+def evaluate(
+    formula: TreeFormula,
+    tree: Tree,
+    assignment: Optional[Dict[NVar, NodeId]] = None,
+) -> bool:
+    """Model-check ``formula`` on ``tree`` under ``assignment`` (which must
+    bind every free variable)."""
+    env = dict(assignment or {})
+    missing = free_variables(formula) - set(env)
+    if missing:
+        raise TreeFormulaError(
+            f"unbound free variables: {sorted(v.name for v in missing)}"
+        )
+    return _eval(formula, env, tree)
+
+
+def _eval(formula: TreeFormula, env: Dict[NVar, NodeId], tree: Tree) -> bool:
+    if is_atom(formula):
+        return _eval_atom(formula, env, tree)  # type: ignore[arg-type]
+    if isinstance(formula, Not):
+        return not _eval(formula.inner, env, tree)
+    if isinstance(formula, And):
+        return all(_eval(p, env, tree) for p in formula.parts)
+    if isinstance(formula, Or):
+        return any(_eval(p, env, tree) for p in formula.parts)
+    if isinstance(formula, Implies):
+        return (not _eval(formula.premise, env, tree)) or _eval(
+            formula.conclusion, env, tree
+        )
+    if isinstance(formula, Exists):
+        saved = env.get(formula.var)
+        for node in tree.nodes:
+            env[formula.var] = node
+            if _eval(formula.inner, env, tree):
+                _restore(env, formula.var, saved)
+                return True
+        _restore(env, formula.var, saved)
+        return False
+    if isinstance(formula, Forall):
+        saved = env.get(formula.var)
+        for node in tree.nodes:
+            env[formula.var] = node
+            if not _eval(formula.inner, env, tree):
+                _restore(env, formula.var, saved)
+                return False
+        _restore(env, formula.var, saved)
+        return True
+    raise TreeFormulaError(f"unknown formula node {formula!r}")
+
+
+def _restore(env: Dict[NVar, NodeId], var: NVar, saved: Optional[NodeId]) -> None:
+    if saved is None:
+        env.pop(var, None)
+    else:
+        env[var] = saved
+
+
+def satisfying_assignments(
+    formula: TreeFormula,
+    tree: Tree,
+    variables_order: Sequence[NVar],
+) -> FrozenSet[Tuple[NodeId, ...]]:
+    """All tuples of nodes (ordered by ``variables_order``) satisfying
+    ``formula``; the free variables must be exactly those listed."""
+    free = free_variables(formula)
+    if free != frozenset(variables_order):
+        raise TreeFormulaError(
+            f"free variables {sorted(v.name for v in free)} differ from "
+            f"requested order {[v.name for v in variables_order]}"
+        )
+    out = []
+
+    def assign(index: int, env: Dict[NVar, NodeId]) -> None:
+        if index == len(variables_order):
+            if _eval(formula, env, tree):
+                out.append(tuple(env[v] for v in variables_order))
+            return
+        for node in tree.nodes:
+            env[variables_order[index]] = node
+            assign(index + 1, env)
+        env.pop(variables_order[index], None)
+
+    assign(0, {})
+    return frozenset(out)

@@ -1,0 +1,221 @@
+"""k-variable FO(∃*) types of data strings (Lemma 4.3).
+
+Section 4 restricts attention to strings (monadic trees) over a finite
+``D ⊆ D``.  Two strings are *k-equivalent*, ``s₁ ≡_k s₂``, iff they
+satisfy the same FO(∃*) formulas with k variables; ``tp_k(s; i₁…iₙ)``
+is the equivalence class of the string with distinguished positions.
+
+An existential sentence ``∃z̄ ψ(z̄)`` (ψ quantifier-free) holds iff some
+tuple of positions realizes an *atomic type* satisfying ψ.  Hence the
+set of atomic types realized by m-tuples (m ≤ k), together with the
+distinguished positions appended, is a complete finite invariant for
+≡_k — this is what :class:`TypeSummary` stores, and what the Lemma 4.5
+protocol sends as the ``⟨θ⟩`` (N-type) messages.
+
+The atomic information recorded per position is its data value (D is
+finite and known to both parties, per Definition 4.4), its label, and
+boundary flags (first/second/last/second-to-last); per pair of
+positions, the order relation and successor facts.  Boundary flags up
+to distance 1 are exactly what Lemma 4.3(1)'s composition of a split
+string ``f#g`` from ``f#`` and ``#g`` requires (adjacency across the
+shared ``#`` position).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..trees.strings import STRING_LABEL
+from ..trees.tree import Tree
+from ..trees.values import DataValue
+
+
+class TypeError_(ValueError):
+    """Raised on malformed type-machinery arguments."""
+
+
+@dataclass(frozen=True)
+class StringStructure:
+    """A data string as a first-order structure (monadic-tree view).
+
+    ``values[i]`` is the attribute value of position i; ``labels`` is
+    the per-position Σ-label (uniformly σ by default).  Atoms follow
+    the monadic-tree reading of τ_{Σ,A}: ``E`` is position successor,
+    ``≺`` is position order, the sibling order is empty, ``root`` is
+    position 0 and ``leaf`` the last position.
+    """
+
+    values: Tuple[DataValue, ...]
+    labels: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise TypeError_("a string structure needs >= 1 position")
+        if self.labels is not None and len(self.labels) != len(self.values):
+            raise TypeError_("labels and values must have equal length")
+
+    @classmethod
+    def from_tree(cls, tree: Tree, attr: str = "a") -> "StringStructure":
+        """Lift a monadic tree into a string structure."""
+        from ..trees.strings import tree_string
+
+        values = tuple(tree_string(tree, attr))
+        labels = tuple(tree.label((0,) * i) for i in range(len(values)))
+        return cls(values, labels)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def positions(self) -> range:
+        return range(len(self.values))
+
+    def label(self, position: int) -> str:
+        if self.labels is None:
+            return STRING_LABEL
+        return self.labels[position]
+
+    def value(self, position: int) -> DataValue:
+        return self.values[position]
+
+    def alphabet_d(self) -> FrozenSet[DataValue]:
+        """The finite D of this string: the values occurring in it."""
+        return frozenset(self.values)
+
+
+#: Per-position atomic information: (value, label, first, second, last,
+#: second-to-last).  See the module docstring for why distance-1
+#: boundary flags suffice for composition.
+PosInfo = Tuple[DataValue, str, bool, bool, bool, bool]
+
+#: Per-ordered-pair information: order sign (-1/0/1 for </=/>) and the
+#: two successor facts (q = p+1, p = q+1).
+PairInfo = Tuple[int, bool, bool]
+
+#: The atomic type of a tuple of positions.
+AtomicType = Tuple[Tuple[PosInfo, ...], Tuple[PairInfo, ...]]
+
+
+def pos_info(struct: StringStructure, position: int) -> PosInfo:
+    """The per-position component of an atomic type."""
+    n = len(struct)
+    if not 0 <= position < n:
+        raise TypeError_(f"position {position} out of range 0..{n - 1}")
+    return (
+        struct.value(position),
+        struct.label(position),
+        position == 0,
+        position == 1,
+        position == n - 1,
+        position == n - 2,
+    )
+
+
+def pair_info(p: int, q: int) -> PairInfo:
+    """The per-pair component of an atomic type."""
+    sign = (p > q) - (p < q)
+    return (sign, q == p + 1, p == q + 1)
+
+
+def atomic_type(struct: StringStructure, positions: Sequence[int]) -> AtomicType:
+    """The atomic type of the given position tuple."""
+    infos = tuple(pos_info(struct, p) for p in positions)
+    pairs = tuple(
+        pair_info(positions[i], positions[j])
+        for i in range(len(positions))
+        for j in range(i + 1, len(positions))
+    )
+    return (infos, pairs)
+
+
+@dataclass(frozen=True)
+class TypeSummary:
+    """``tp_k(s; i₁…i_d)`` — the complete ≡_k invariant.
+
+    ``realized[m]`` is the set of atomic types of tuples
+    ``(p₁, …, pₘ, i₁, …, i_d)`` with the pⱼ ranging over all positions
+    (repetitions allowed) and the distinguished iⱼ appended last.
+    """
+
+    k: int
+    distinguished: int
+    realized: Tuple[Tuple[int, FrozenSet[AtomicType]], ...]
+
+    def types_for(self, m: int) -> FrozenSet[AtomicType]:
+        for count, types in self.realized:
+            if count == m:
+                return types
+        raise TypeError_(f"summary holds tuples of size 0..{self.k}, not {m}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TypeSummary):
+            return NotImplemented
+        return (
+            self.k == other.k
+            and self.distinguished == other.distinguished
+            and self.realized == other.realized
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.k, self.distinguished, self.realized))
+
+
+def type_summary(
+    struct: StringStructure,
+    distinguished: Sequence[int] = (),
+    k: int = 2,
+) -> TypeSummary:
+    """Compute ``tp_k(struct; distinguished)``.
+
+    Cost is O(n^k) tuples; intended for the small strings of the
+    Section 4 experiments.
+    """
+    if k < 0:
+        raise TypeError_("k must be >= 0")
+    for d in distinguished:
+        if not 0 <= d < len(struct):
+            raise TypeError_(f"distinguished position {d} out of range")
+    realized: List[Tuple[int, FrozenSet[AtomicType]]] = []
+    for m in range(k + 1):
+        types = set()
+        for combo in itertools.product(struct.positions, repeat=m):
+            types.add(atomic_type(struct, tuple(combo) + tuple(distinguished)))
+        realized.append((m, frozenset(types)))
+    return TypeSummary(k, len(distinguished), tuple(realized))
+
+
+def equivalent(
+    left: StringStructure,
+    right: StringStructure,
+    k: int,
+    left_distinguished: Sequence[int] = (),
+    right_distinguished: Sequence[int] = (),
+) -> bool:
+    """``(left; …) ≡_k (right; …)`` — same realized atomic types."""
+    return type_summary(left, left_distinguished, k) == type_summary(
+        right, right_distinguished, k
+    )
+
+
+def count_realized_classes(
+    structs: Iterable[StringStructure], k: int
+) -> int:
+    """Number of distinct ≡_k classes realized by the given strings.
+
+    Lemma 4.3(2) bounds the total number of classes by
+    ``exp₃(p(k + |D|))``; :mod:`repro.hypersets.counting` computes the
+    bound, and the E3 experiment compares it against this realized count.
+    """
+    return len({type_summary(s, (), k) for s in structs})
+
+
+def classes_partition(
+    structs: Sequence[StringStructure], k: int
+) -> Dict[TypeSummary, List[int]]:
+    """Partition indices of ``structs`` into ≡_k classes."""
+    out: Dict[TypeSummary, List[int]] = {}
+    for i, s in enumerate(structs):
+        out.setdefault(type_summary(s, (), k), []).append(i)
+    return out

@@ -1,0 +1,141 @@
+"""XML Turing machines and their complexity apparatus (Section 6).
+
+* :mod:`repro.machines.xtm` — deterministic xTMs with resource
+  metering (Definition 6.1);
+* :mod:`repro.machines.alternation` — alternating xTMs and their
+  fixpoint acceptance (the A-classes);
+* :mod:`repro.machines.resources` — empirical bound checking for
+  LOGSPACE^X / PTIME^X / PSPACE^X / EXPTIME^X claims;
+* :mod:`repro.machines.tm` — ordinary single-tape TMs;
+* :mod:`repro.machines.encoding` / :mod:`repro.machines.correspondence`
+  — the Theorem 6.2 tree encoding and the direct-vs-encoded harness;
+* :mod:`repro.machines.programs` — stock machines with specs.
+"""
+
+from .xtm import (
+    Action,
+    AttrEqConst,
+    BLANK,
+    ClearReg,
+    CopyReg,
+    HEAD_LEFT,
+    HEAD_RIGHT,
+    HEAD_STAY,
+    LoadAttr,
+    NoAction,
+    RegEqAttr,
+    RegEqConst,
+    RegEqReg,
+    RegisterTest,
+    SetConst,
+    TreeMove,
+    XTM,
+    XTMError,
+    XTMResult,
+    XTMRule,
+    run_xtm,
+    step_xtm,
+)
+from .alternation import (
+    AltResult,
+    AltXTM,
+    EXISTENTIAL,
+    UNIVERSAL,
+    all_leaves_even_depth_alt,
+    all_leaves_even_depth_spec,
+    exists_leaf_value_alt,
+    forall_leaves_value_alt,
+    run_alternating,
+)
+from .resources import (
+    BoundCheck,
+    Measurement,
+    check_space_bound,
+    check_time_bound,
+    exponential_bound,
+    fit_constant_for_logspace,
+    fit_polynomial_degree,
+    logspace_bound,
+    measure,
+    polynomial_bound,
+)
+from .tm import (
+    MOVE_LEFT,
+    MOVE_RIGHT,
+    MOVE_STAY,
+    TMError,
+    TMResult,
+    TuringMachine,
+    paren_parity_tm,
+    run_tm,
+)
+from .encoding import EncodedWalker, EncodingError, encode_tree, make_walker, value_index_table
+from .correspondence import (
+    CorrespondenceReport,
+    EncodedRunResult,
+    compare_on,
+    run_xtm_encoded,
+)
+from . import programs
+
+__all__ = [
+    "Action",
+    "AttrEqConst",
+    "BLANK",
+    "ClearReg",
+    "CopyReg",
+    "HEAD_LEFT",
+    "HEAD_RIGHT",
+    "HEAD_STAY",
+    "LoadAttr",
+    "NoAction",
+    "RegEqAttr",
+    "RegEqConst",
+    "RegEqReg",
+    "RegisterTest",
+    "SetConst",
+    "TreeMove",
+    "XTM",
+    "XTMError",
+    "XTMResult",
+    "XTMRule",
+    "run_xtm",
+    "step_xtm",
+    "AltResult",
+    "AltXTM",
+    "EXISTENTIAL",
+    "UNIVERSAL",
+    "all_leaves_even_depth_alt",
+    "all_leaves_even_depth_spec",
+    "exists_leaf_value_alt",
+    "forall_leaves_value_alt",
+    "run_alternating",
+    "BoundCheck",
+    "Measurement",
+    "check_space_bound",
+    "check_time_bound",
+    "exponential_bound",
+    "fit_constant_for_logspace",
+    "fit_polynomial_degree",
+    "logspace_bound",
+    "measure",
+    "polynomial_bound",
+    "MOVE_LEFT",
+    "MOVE_RIGHT",
+    "MOVE_STAY",
+    "TMError",
+    "TMResult",
+    "TuringMachine",
+    "paren_parity_tm",
+    "run_tm",
+    "EncodedWalker",
+    "EncodingError",
+    "encode_tree",
+    "make_walker",
+    "value_index_table",
+    "CorrespondenceReport",
+    "EncodedRunResult",
+    "compare_on",
+    "run_xtm_encoded",
+    "programs",
+]

@@ -1,0 +1,263 @@
+"""Alternating xTMs (the ``A``-prefixed classes of Definition 6.1).
+
+States carry a mode — existential or universal — and several rules may
+apply to a configuration.  Acceptance is the least fixed point of the
+usual game semantics: a configuration is accepting iff its state is
+accepting, or its mode is ∃ and *some* successor is accepting, or its
+mode is ∀ and *all* successors are (vacuously true with none).
+
+The evaluator explores the reachable configuration graph (bounded by
+``max_configs``) and iterates the monotone operator to the fixpoint —
+exactly the ALOGSPACE^X = PTIME^X mechanics the proof of Theorem 7.1(2)
+leans on, made executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from ..trees.node import NodeId
+from ..trees.tree import Tree
+from ..trees.values import BOTTOM, MaybeValue
+from ..automata.rules import move as tree_move
+from .xtm import (
+    AttrEqConst,
+    BLANK,
+    CopyReg,
+    LoadAttr,
+    NoAction,
+    SetConst,
+    TreeMove,
+    XTM,
+    XTMError,
+    XTMRule,
+    _test_holds,
+)
+
+EXISTENTIAL = "∃"
+UNIVERSAL = "∀"
+
+
+@dataclass(frozen=True)
+class AltXTM:
+    """An alternating xTM: an :class:`XTM` rule set plus a mode map.
+
+    States absent from ``modes`` are existential (a deterministic state
+    is trivially either)."""
+
+    machine: XTM
+    modes: Mapping[str, str]
+
+    def __post_init__(self) -> None:
+        for state, mode in self.modes.items():
+            if state not in self.machine.states:
+                raise XTMError(f"mode for unknown state {state!r}")
+            if mode not in (EXISTENTIAL, UNIVERSAL):
+                raise XTMError(f"mode must be ∃ or ∀, got {mode!r}")
+
+    def mode(self, state: str) -> str:
+        return self.modes.get(state, EXISTENTIAL)
+
+
+Config = Tuple[NodeId, str, Tuple[MaybeValue, ...], Tuple[Tuple[int, str], ...], int]
+
+
+def _successors(
+    alt: AltXTM, tree: Tree, config: Config
+) -> List[Config]:
+    node, state, registers, tape_items, head = config
+    tape = dict(tape_items)
+    symbol = tape.get(head, BLANK)
+    label = tree.label(node)
+    regs = list(registers)
+    out: List[Config] = []
+    for rule in alt.machine.rules_for(state):
+        if rule.label is not None and rule.label != label:
+            continue
+        if rule.tape_symbol is not None and rule.tape_symbol != symbol:
+            continue
+        if rule.head_at_zero is not None and rule.head_at_zero != (head == 0):
+            continue
+        if not rule.position.matches(tree, node):
+            continue
+        if not all(_test_holds(t, regs, tree, node) for t in rule.tests):
+            continue
+        new_tape = dict(tape)
+        if rule.tape_write is not None:
+            new_tape[head] = rule.tape_write
+        new_head = head + rule.head_move
+        if new_head < 0:
+            continue  # this branch dies
+        new_node: Optional[NodeId] = node
+        new_regs = list(regs)
+        action = rule.action
+        if isinstance(action, TreeMove):
+            new_node = tree_move(tree, node, action.direction)
+            if new_node is None:
+                continue
+        elif isinstance(action, LoadAttr):
+            new_regs[action.index - 1] = tree.val(action.attr, node)
+        elif isinstance(action, SetConst):
+            new_regs[action.index - 1] = action.value
+        elif isinstance(action, CopyReg):
+            new_regs[action.dst - 1] = regs[action.src - 1]
+        out.append(
+            (
+                new_node,
+                rule.new_state,
+                tuple(new_regs),
+                tuple(sorted(new_tape.items())),
+                new_head,
+            )
+        )
+    return out
+
+
+@dataclass
+class AltResult:
+    accepted: bool
+    configurations: int
+    iterations: int
+
+
+def run_alternating(
+    alt: AltXTM, tree: Tree, max_configs: int = 200_000
+) -> AltResult:
+    """Least-fixpoint acceptance over the reachable configuration graph."""
+    initial: Config = (
+        (),
+        alt.machine.initial,
+        (BOTTOM,) * alt.machine.registers,
+        (),
+        0,
+    )
+    # Phase 1: explore.
+    succ: Dict[Config, List[Config]] = {}
+    frontier = [initial]
+    while frontier:
+        config = frontier.pop()
+        if config in succ:
+            continue
+        if len(succ) >= max_configs:
+            raise XTMError(f"configuration budget {max_configs} exhausted")
+        nexts = _successors(alt, tree, config)
+        succ[config] = nexts
+        frontier.extend(n for n in nexts if n not in succ)
+
+    # Phase 2: iterate the monotone operator from ⊥ (all-false).
+    value: Dict[Config, bool] = {c: False for c in succ}
+    accepting_states = alt.machine.accepting
+    iterations = 0
+    changed = True
+    while changed:
+        changed = False
+        iterations += 1
+        for config, nexts in succ.items():
+            if value[config]:
+                continue
+            state = config[1]
+            if state in accepting_states:
+                new = True
+            elif alt.mode(state) == EXISTENTIAL:
+                new = any(value[n] for n in nexts)
+            else:
+                new = all(value[n] for n in nexts)
+            if new:
+                value[config] = True
+                changed = True
+    return AltResult(value[initial], len(succ), iterations)
+
+
+# ---------------------------------------------------------------------------
+# Stock alternating machines
+# ---------------------------------------------------------------------------
+
+from ..automata.rules import DOWN, PositionTest, RIGHT, STAY
+from .xtm import RegEqAttr
+
+AT_LEAF = PositionTest(leaf=True)
+AT_INNER = PositionTest(leaf=False)
+NOT_LAST = PositionTest(last=False, root=False)
+
+
+def _branching_rules(mode_state: str, check_state: str) -> List[XTMRule]:
+    """From a node's first child, branch over all siblings: stay-and-
+    check, or hop right and branch again."""
+    return [
+        XTMRule(mode_state, check_state),
+        XTMRule(mode_state, mode_state, position=NOT_LAST,
+                action=TreeMove(RIGHT)),
+    ]
+
+
+def exists_leaf_value_alt(attr: str, value) -> AltXTM:
+    """∃-branching: accepts iff **some** leaf has ``val_attr = value``.
+
+    Branch existentially down the tree (pick a child at each level),
+    accept at a matching leaf."""
+    rules: List[XTMRule] = [
+        XTMRule("choose", "test", position=AT_LEAF),
+        XTMRule("choose", "branch", position=AT_INNER, action=TreeMove(DOWN)),
+        *_branching_rules("branch", "choose"),
+        XTMRule("test", "acc", tests=(AttrEqConst(attr, value),)),
+    ]
+    states = frozenset({"choose", "branch", "test", "acc"})
+    machine = XTM(states, "choose", frozenset({"acc"}), registers=1,
+                  rules=tuple(rules), name=f"exists-leaf-{attr}={value!r}")
+    return AltXTM(machine, {"choose": EXISTENTIAL, "branch": EXISTENTIAL})
+
+
+def all_leaves_even_depth_alt() -> AltXTM:
+    """∀-branching **with a work tape**: every leaf sits at even depth.
+
+    A binary depth counter lives on the tape (blank ≡ 0, left end
+    sensed via ``head_at_zero``); each descent increments it, and the
+    branching is universal over children — the ALOGSPACE^X shape the
+    Theorem 7.1(2) proof adapts the pebble simulation to.
+    """
+    from .xtm import BLANK, HEAD_LEFT, HEAD_RIGHT
+
+    rules = [
+        # At a leaf: accept iff the counter's LSB is 0 (depth even).
+        XTMRule("visit", "acc", position=AT_LEAF, tape_symbol="0"),
+        XTMRule("visit", "acc", position=AT_LEAF, tape_symbol=BLANK),
+        # '1' under the head at a leaf: stuck ⇒ this branch rejects.
+        # At an inner node: increment the counter, then branch.
+        XTMRule("visit", "carry", position=AT_INNER),
+        XTMRule("carry", "carry", tape_symbol="1", tape_write="0",
+                head_move=HEAD_RIGHT),
+        XTMRule("carry", "rewind", tape_symbol="0", tape_write="1"),
+        XTMRule("carry", "rewind", tape_symbol=BLANK, tape_write="1"),
+        XTMRule("rewind", "rewind", head_at_zero=False, head_move=HEAD_LEFT),
+        XTMRule("rewind", "descend", head_at_zero=True),
+        XTMRule("descend", "spread", action=TreeMove(DOWN)),
+        # Universal spread over the children.
+        *_branching_rules("spread", "visit"),
+    ]
+    states = frozenset(
+        {"visit", "carry", "rewind", "descend", "spread", "acc"}
+    )
+    machine = XTM(states, "visit", frozenset({"acc"}), registers=1,
+                  rules=tuple(rules), name="all-leaves-even-depth")
+    return AltXTM(machine, {"spread": UNIVERSAL})
+
+
+def all_leaves_even_depth_spec(tree) -> bool:
+    return all(
+        len(u) % 2 == 0 for u in tree.nodes if tree.is_leaf(u)
+    )
+
+
+def forall_leaves_value_alt(attr: str, value) -> AltXTM:
+    """∀-branching: accepts iff **every** leaf has ``val_attr = value``."""
+    rules: List[XTMRule] = [
+        XTMRule("choose", "test", position=AT_LEAF),
+        XTMRule("choose", "branch", position=AT_INNER, action=TreeMove(DOWN)),
+        *_branching_rules("branch", "choose"),
+        XTMRule("test", "acc", tests=(AttrEqConst(attr, value),)),
+    ]
+    states = frozenset({"choose", "branch", "test", "acc"})
+    machine = XTM(states, "choose", frozenset({"acc"}), registers=1,
+                  rules=tuple(rules), name=f"forall-leaf-{attr}={value!r}")
+    return AltXTM(machine, {"choose": UNIVERSAL, "branch": UNIVERSAL})

@@ -1,0 +1,205 @@
+"""The Theorem 6.2 harness: run an xTM against the *encoding* of a tree.
+
+``run_xtm_encoded`` interprets the same rule set as
+:func:`repro.machines.xtm.run_xtm`, but every tree-navigation primitive
+goes through an :class:`EncodedWalker`, which scans the flat string and
+charges one unit per character — the cost profile of an ordinary TM
+working on enc(t).  The harness
+
+* checks that the verdict matches the direct run (the two machines
+  recognise the same tree language), and
+* reports the navigation overhead ``char_steps / steps`` — empirically
+  polynomial (in fact O(|enc(t)|) per move), which is the content of
+  the theorem's "natural time/space correspondence".
+
+Attribute *constants* (``RegEqConst`` over D) are not translatable —
+the encoding knows values only up to first-occurrence index — so
+machines run here must be constant-free (checked).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..trees.tree import Tree
+from ..trees.values import BOTTOM
+from .encoding import EncodedWalker, make_walker
+from .xtm import (
+    BLANK,
+    CopyReg,
+    LoadAttr,
+    NoAction,
+    RegEqAttr,
+    RegEqConst,
+    RegEqReg,
+    SetConst,
+    TreeMove,
+    XTM,
+    XTMError,
+    XTMResult,
+    run_xtm,
+)
+from ..automata.rules import DOWN, LEFT, RIGHT, STAY, UP
+
+
+def _check_constant_free(machine: XTM) -> None:
+    for rule in machine.rules:
+        if isinstance(rule.action, SetConst):
+            raise XTMError(
+                f"{machine.name}: SetConst not supported on encodings ({rule!r})"
+            )
+        for test in rule.tests:
+            if isinstance(test, RegEqConst):
+                raise XTMError(
+                    f"{machine.name}: RegEqConst not supported on encodings "
+                    f"({rule!r})"
+                )
+
+
+@dataclass
+class EncodedRunResult:
+    accepted: bool
+    steps: int
+    space: int
+    char_steps: int
+    reason: str
+
+
+def run_xtm_encoded(
+    machine: XTM, tree: Tree, fuel: int = 2_000_000
+) -> EncodedRunResult:
+    """Interpret ``machine`` over ``enc(tree)`` via an EncodedWalker."""
+    _check_constant_free(machine)
+    walker = make_walker(tree)
+    state = machine.initial
+    registers: List[Optional[int]] = [None] * machine.registers
+    tape: Dict[int, str] = {}
+    head = 0
+    touched: Set[int] = {0}
+    steps = 0
+    seen: Set[Tuple] = set()
+
+    def position_matches(position) -> bool:
+        checks = (
+            (position.root, walker.is_root),
+            (position.leaf, walker.is_leaf),
+            (position.first, walker.is_first_child),
+            (position.last, walker.is_last_child),
+        )
+        return all(
+            expected is None or predicate() == expected
+            for expected, predicate in checks
+        )
+
+    def test_holds(test) -> bool:
+        if isinstance(test, RegEqAttr):
+            outcome = registers[test.index - 1] == walker.attr_index(test.attr)
+        elif isinstance(test, RegEqReg):
+            outcome = registers[test.left - 1] == registers[test.right - 1]
+        else:  # pragma: no cover - excluded by _check_constant_free
+            raise XTMError(f"unsupported test {test!r}")
+        return outcome != test.negate
+
+    while True:
+        if state in machine.accepting:
+            return EncodedRunResult(
+                True, steps, len(touched), walker.char_steps, "accepted"
+            )
+        key = (
+            walker.cursor,
+            state,
+            tuple(registers),
+            tuple(sorted(tape.items())),
+            head,
+        )
+        if key in seen:
+            return EncodedRunResult(
+                False, steps, len(touched), walker.char_steps, "cycle"
+            )
+        seen.add(key)
+        steps += 1
+        if steps > fuel:
+            raise XTMError(f"fuel {fuel} exhausted")
+
+        symbol = tape.get(head, BLANK)
+        label = walker.label()
+        chosen = None
+        for rule in machine.rules_for(state):
+            if rule.label is not None and rule.label != label:
+                continue
+            if rule.tape_symbol is not None and rule.tape_symbol != symbol:
+                continue
+            if rule.head_at_zero is not None and rule.head_at_zero != (head == 0):
+                continue
+            if not position_matches(rule.position):
+                continue
+            if not all(test_holds(t) for t in rule.tests):
+                continue
+            if chosen is not None:
+                raise XTMError(f"nondeterministic: {chosen!r} / {rule!r}")
+            chosen = rule
+        if chosen is None:
+            return EncodedRunResult(
+                False, steps, len(touched), walker.char_steps, "stuck"
+            )
+
+        if chosen.tape_write is not None:
+            tape[head] = chosen.tape_write
+        head += chosen.head_move
+        if head < 0:
+            return EncodedRunResult(
+                False, steps, len(touched), walker.char_steps, "off tape"
+            )
+        touched.add(head)
+
+        action = chosen.action
+        if isinstance(action, TreeMove):
+            moved = {
+                STAY: lambda: True,
+                DOWN: walker.down,
+                RIGHT: walker.right,
+                LEFT: walker.left,
+                UP: walker.up,
+            }[action.direction]()
+            if not moved:
+                return EncodedRunResult(
+                    False, steps, len(touched), walker.char_steps, "off tree"
+                )
+        elif isinstance(action, LoadAttr):
+            registers[action.index - 1] = walker.attr_index(action.attr)
+        elif isinstance(action, CopyReg):
+            registers[action.dst - 1] = registers[action.src - 1]
+        state = chosen.new_state
+
+
+@dataclass
+class CorrespondenceReport:
+    """Direct-vs-encoded comparison for one instance (Theorem 6.2)."""
+
+    size: int
+    encoding_length: int
+    direct: XTMResult
+    encoded: EncodedRunResult
+
+    @property
+    def verdicts_agree(self) -> bool:
+        return self.direct.accepted == self.encoded.accepted
+
+    @property
+    def overhead(self) -> float:
+        """Characters scanned per direct step — the navigation cost an
+        ordinary TM pays, bounded by O(|enc(t)|)."""
+        return self.encoded.char_steps / max(self.direct.steps, 1)
+
+
+def compare_on(machine: XTM, tree: Tree, fuel: int = 2_000_000) -> CorrespondenceReport:
+    """Run both ways and report."""
+    from .encoding import encode_tree
+
+    return CorrespondenceReport(
+        size=tree.size,
+        encoding_length=len(encode_tree(tree)),
+        direct=run_xtm(machine, tree, fuel=fuel),
+        encoded=run_xtm_encoded(machine, tree, fuel=fuel),
+    )

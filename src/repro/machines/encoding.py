@@ -1,0 +1,261 @@
+"""String encodings of attributed trees (Theorem 6.2).
+
+``encode_tree`` serialises an attributed tree over a *finite* alphabet:
+
+    node  := "(" label (";" attr-bits ("," attr-bits)*)? children ")"
+
+where ``attr-bits`` is the binary index of the node's attribute value
+in first-occurrence (document) order — an ordinary TM cannot hold
+elements of the infinite D, but equality of D-values is exactly
+equality of indices, which is all the metafinite logic ever uses.
+
+:class:`EncodedWalker` then re-implements the tree-walking interface
+(label, position predicates, the four moves, attribute access) purely
+by scanning the encoding, **charging one step per character visited**.
+Running the same xTM against a :class:`Tree` (unit-cost navigation) and
+against its encoding measures the polynomial navigation overhead that
+Theorem 6.2's time/space correspondence tolerates; verdicts must agree
+(the E6 experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..trees.node import NodeId
+from ..trees.tree import Tree
+from ..trees.values import BOTTOM
+
+OPEN = "("
+CLOSE = ")"
+ATTR_SEP = ";"
+ATTR_COMMA = ","
+
+
+class EncodingError(ValueError):
+    """Raised on malformed encodings or unsupported trees."""
+
+
+def value_index_table(tree: Tree) -> Dict[object, int]:
+    """D-value → index, by first occurrence in document order (the
+    paper's Theorem 7.1(2) device, reused here)."""
+    table: Dict[object, int] = {}
+    for node in tree.nodes:
+        for attr in tree.attributes:
+            value = tree.val(attr, node)
+            if value is BOTTOM:
+                continue
+            if value not in table:
+                table[value] = len(table)
+    return table
+
+
+def encode_tree(tree: Tree) -> str:
+    """Serialise ``tree`` over the finite alphabet
+    {(, ), ;, ,, 0, 1} ∪ Σ."""
+    for label in tree.alphabet:
+        if any(ch in "();,01" for ch in label):
+            raise EncodingError(f"label {label!r} collides with the encoding alphabet")
+    table = value_index_table(tree)
+
+    def bits(value: object) -> str:
+        if value is BOTTOM:
+            return ""
+        return format(table[value], "b")
+
+    pieces: List[str] = []
+
+    def emit(node: NodeId) -> None:
+        pieces.append(OPEN)
+        pieces.append(tree.label(node))
+        if tree.attributes:
+            pieces.append(ATTR_SEP)
+            pieces.append(
+                ATTR_COMMA.join(bits(tree.val(a, node)) for a in tree.attributes)
+            )
+        for child in tree.children(node):
+            emit(child)
+        pieces.append(CLOSE)
+
+    emit(())
+    return "".join(pieces)
+
+
+@dataclass
+class EncodedWalker:
+    """Tree navigation over the flat encoding, metered per character.
+
+    The cursor always rests on the ``(`` of the current node.  Each
+    navigation scans characters (balanced-parenthesis matching) and
+    adds the scan length to ``char_steps`` — the honest cost an
+    ordinary TM pays for one tree move.
+    """
+
+    text: str
+    attributes: Tuple[str, ...]
+    cursor: int = 0
+    char_steps: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.text.startswith(OPEN):
+            raise EncodingError("encoding must start with '('")
+
+    # -- scanning helpers -------------------------------------------------------
+
+    def _charge(self, distance: int) -> None:
+        self.char_steps += distance
+
+    def _skip_group(self, start: int) -> int:
+        """Index just past the balanced group opening at ``start``."""
+        depth = 0
+        i = start
+        while i < len(self.text):
+            ch = self.text[i]
+            if ch == OPEN:
+                depth += 1
+            elif ch == CLOSE:
+                depth -= 1
+                if depth == 0:
+                    self._charge(i + 1 - start)
+                    return i + 1
+            i += 1
+        raise EncodingError("unbalanced encoding")
+
+    def _header_end(self, start: int) -> int:
+        """Index of the first child's '(' or the node's ')'."""
+        i = start + 1
+        while self.text[i] not in (OPEN, CLOSE):
+            i += 1
+        return i
+
+    # -- the walking interface ----------------------------------------------------
+
+    def label(self) -> str:
+        i = self.cursor + 1
+        j = i
+        while self.text[j] not in (ATTR_SEP, OPEN, CLOSE):
+            j += 1
+        self._charge(j - self.cursor)
+        return self.text[i:j]
+
+    def attr_index(self, attr: str) -> Optional[int]:
+        """The current node's value index for ``attr`` (None for ⊥)."""
+        try:
+            column = self.attributes.index(attr)
+        except ValueError:
+            raise EncodingError(f"unknown attribute {attr!r}") from None
+        i = self.cursor + 1
+        while self.text[i] not in (ATTR_SEP, OPEN, CLOSE):
+            i += 1
+        if self.text[i] != ATTR_SEP:
+            raise EncodingError("node encodes no attributes")
+        i += 1
+        fields: List[str] = [""]
+        while self.text[i] not in (OPEN, CLOSE):
+            if self.text[i] == ATTR_COMMA:
+                fields.append("")
+            else:
+                fields[-1] += self.text[i]
+            i += 1
+        self._charge(i - self.cursor)
+        bits = fields[column]
+        return int(bits, 2) if bits else None
+
+    def is_leaf(self) -> bool:
+        end = self._header_end(self.cursor)
+        self._charge(end - self.cursor)
+        return self.text[end] == CLOSE
+
+    def is_root(self) -> bool:
+        return self.cursor == 0
+
+    def is_first_child(self) -> bool:
+        if self.is_root():
+            return False
+        # The preceding char is '(' of the parent header region iff no
+        # sibling group closes right before us.
+        self._charge(1)
+        return self.text[self.cursor - 1] != CLOSE
+
+    def is_last_child(self) -> bool:
+        if self.is_root():
+            return False
+        end = self._skip_group(self.cursor)
+        return self.text[end] == CLOSE
+
+    # -- moves ----------------------------------------------------------------------
+
+    def down(self) -> bool:
+        """To the first child; False (no move) at a leaf."""
+        end = self._header_end(self.cursor)
+        self._charge(end - self.cursor)
+        if self.text[end] == CLOSE:
+            return False
+        self.cursor = end
+        return True
+
+    def right(self) -> bool:
+        """To the right sibling; False when none."""
+        if self.is_root():
+            return False
+        end = self._skip_group(self.cursor)
+        if self.text[end] != OPEN:
+            return False
+        self.cursor = end
+        return True
+
+    def left(self) -> bool:
+        """To the left sibling; False when none."""
+        if self.is_root() or self.text[self.cursor - 1] != CLOSE:
+            self._charge(1)
+            return False
+        # Scan left for the matching '(' of the group ending just before us.
+        depth = 0
+        i = self.cursor - 1
+        while i >= 0:
+            ch = self.text[i]
+            if ch == CLOSE:
+                depth += 1
+            elif ch == OPEN:
+                depth -= 1
+                if depth == 0:
+                    self._charge(self.cursor - i)
+                    self.cursor = i
+                    return True
+            i -= 1
+        raise EncodingError("unbalanced encoding")
+
+    def up(self) -> bool:
+        """To the parent; False at the root."""
+        if self.is_root():
+            return False
+        # Walk left past any earlier sibling groups, then one more char
+        # lands inside the parent header; scan left to its '('.
+        i = self.cursor
+        while self.text[i - 1] == CLOSE:
+            depth = 0
+            j = i - 1
+            while True:
+                ch = self.text[j]
+                if ch == CLOSE:
+                    depth += 1
+                elif ch == OPEN:
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j -= 1
+            self._charge(i - j)
+            i = j
+        # Now text[i-1] is part of the parent's header; scan to its '('.
+        j = i - 1
+        while self.text[j] != OPEN:
+            j -= 1
+        self._charge(i - j)
+        self.cursor = j
+        return True
+
+
+def make_walker(tree: Tree) -> EncodedWalker:
+    """Encode and wrap in one call."""
+    return EncodedWalker(encode_tree(tree), tree.attributes)

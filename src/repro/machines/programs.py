@@ -1,0 +1,174 @@
+"""A library of concrete xTM programs with independent specifications.
+
+These machines are the experiment fuel of Sections 6 and 7:
+
+* :func:`even_nodes_xtm` — the canonical **LOGSPACE^X** machine: a
+  binary counter on the work tape (alphabet {$,0,1}), incremented once
+  per node of a depth-first traversal; accepts iff |t| is even.  It is
+  the simulation target of the Theorem 7.1(1) pebble construction.
+* :func:`all_same_attr_xtm` — registers only (no tape): accepts iff
+  every node carries the same ``attr`` value.
+* :func:`unary_nodes_xtm` — the same parity property computed in
+  **linear space** (one tape cell per node): the simulation target of
+  the Theorem 7.1(3) tape-as-relation construction.
+"""
+
+from __future__ import annotations
+
+from ..automata.rules import DOWN, PositionTest, RIGHT, STAY, UP
+from ..trees.tree import Tree
+from .xtm import (
+    BLANK,
+    CopyReg,
+    HEAD_LEFT,
+    HEAD_RIGHT,
+    HEAD_STAY,
+    LoadAttr,
+    NoAction,
+    RegEqAttr,
+    TreeMove,
+    XTM,
+    XTMRule,
+)
+
+AT_LEAF = PositionTest(leaf=True)
+AT_INNER = PositionTest(leaf=False)
+AT_ROOT = PositionTest(root=True)
+BACK_CONTINUE = PositionTest(root=False, last=False)
+BACK_ASCEND = PositionTest(root=False, last=True)
+
+MARK = "$"
+
+
+def even_nodes_xtm() -> XTM:
+    """Accepts iff the tree has an even number of nodes.
+
+    Tape layout: ``$ b₀ b₁ b₂ …`` with b₀ the least significant bit of
+    the node count.  Per visited node the machine runs one binary
+    increment (carry propagation right, rewind to ``$``), so the tape
+    holds ⌈log₂ |t|⌉ + 1 cells — a LOGSPACE^X machine.
+    """
+    rules = [
+        # Initialise the $ marker, then visit the root.
+        XTMRule("init", "visit", tape_symbol=BLANK, tape_write=MARK),
+        # Per-node increment: leave $, propagate the carry, rewind.
+        XTMRule("visit", "carry", tape_symbol=MARK, head_move=HEAD_RIGHT),
+        XTMRule("carry", "carry", tape_symbol="1", tape_write="0",
+                head_move=HEAD_RIGHT),
+        XTMRule("carry", "rewind", tape_symbol="0", tape_write="1",
+                head_move=HEAD_LEFT),
+        XTMRule("carry", "rewind", tape_symbol=BLANK, tape_write="1",
+                head_move=HEAD_LEFT),
+        XTMRule("rewind", "rewind", tape_symbol="0", head_move=HEAD_LEFT),
+        XTMRule("rewind", "rewind", tape_symbol="1", head_move=HEAD_LEFT),
+        XTMRule("rewind", "resume", tape_symbol=MARK),
+        # Depth-first traversal.
+        XTMRule("resume", "back", position=AT_LEAF),
+        XTMRule("resume", "visit", position=AT_INNER, action=TreeMove(DOWN)),
+        XTMRule("back", "visit", position=BACK_CONTINUE, action=TreeMove(RIGHT)),
+        XTMRule("back", "back", position=BACK_ASCEND, action=TreeMove(UP)),
+        # Done: check the least significant bit.
+        XTMRule("back", "check", position=AT_ROOT, tape_symbol=MARK,
+                head_move=HEAD_RIGHT),
+        XTMRule("check", "acc", tape_symbol="0"),
+        # '1' under the head: stuck ⇒ reject (odd count).
+    ]
+    states = frozenset(
+        {"init", "visit", "carry", "rewind", "resume", "back", "check", "acc"}
+    )
+    return XTM(states, "init", frozenset({"acc"}), registers=1,
+               rules=tuple(rules), name="even-nodes")
+
+
+def even_nodes_spec(tree: Tree) -> bool:
+    return tree.size % 2 == 0
+
+
+def even_nodes_binary_xtm() -> XTM:
+    """Node-count parity with a **strictly binary** tape — the exact
+    shape Theorem 7.1(1)'s pebble construction expects.
+
+    The counter counts the n−1 *non-root* nodes of the DFS (so its
+    value stays ≤ |t|−1, the range representable by a pebble on the
+    in-order numbering).  Blank reads as 0 (the proof's "the tape
+    initially contains 0"), and the left tape end is sensed via
+    ``head_at_zero`` instead of a marker symbol.  Accepts iff |t| is
+    even, i.e. iff the counter n−1 is odd (LSB = 1).
+    """
+    rules = [
+        # Visit: the root does not count; everyone else increments.
+        XTMRule("visit", "resume", position=AT_ROOT),
+        XTMRule("visit", "carry", position=PositionTest(root=False)),
+        # Binary increment from cell 0 (LSB); blank ≡ 0.
+        XTMRule("carry", "carry", tape_symbol="1", tape_write="0",
+                head_move=HEAD_RIGHT),
+        XTMRule("carry", "rewind", tape_symbol="0", tape_write="1"),
+        XTMRule("carry", "rewind", tape_symbol=BLANK, tape_write="1"),
+        XTMRule("rewind", "rewind", head_at_zero=False, head_move=HEAD_LEFT),
+        XTMRule("rewind", "resume", head_at_zero=True),
+        # Depth-first traversal.
+        XTMRule("resume", "back", position=AT_LEAF),
+        XTMRule("resume", "visit", position=AT_INNER, action=TreeMove(DOWN)),
+        XTMRule("back", "visit", position=BACK_CONTINUE, action=TreeMove(RIGHT)),
+        XTMRule("back", "back", position=BACK_ASCEND, action=TreeMove(UP)),
+        # Done: LSB = 1 ⟺ n−1 odd ⟺ n even.
+        XTMRule("back", "acc", position=AT_ROOT, tape_symbol="1"),
+    ]
+    states = frozenset({"visit", "carry", "rewind", "resume", "back", "acc"})
+    return XTM(states, "visit", frozenset({"acc"}), registers=1,
+               rules=tuple(rules), name="even-nodes-binary")
+
+
+def all_same_attr_xtm(attr: str = "a") -> XTM:
+    """Accepts iff every node has the same ``attr`` value (registers
+    only; the work tape is never written)."""
+    matches = RegEqAttr(1, attr)
+    differs = RegEqAttr(1, attr, negate=True)
+    rules = [
+        XTMRule("init", "walk", action=LoadAttr(1, attr)),
+        XTMRule("walk", "back", position=AT_LEAF, tests=(matches,)),
+        XTMRule("walk", "walk", position=AT_INNER, tests=(matches,),
+                action=TreeMove(DOWN)),
+        # A differing node: stuck ⇒ reject (no rule with ``differs``).
+        XTMRule("back", "walk", position=BACK_CONTINUE, action=TreeMove(RIGHT)),
+        XTMRule("back", "back", position=BACK_ASCEND, action=TreeMove(UP)),
+        XTMRule("back", "acc", position=AT_ROOT),
+    ]
+    states = frozenset({"init", "walk", "back", "acc"})
+    return XTM(states, "init", frozenset({"acc"}), registers=1,
+               rules=tuple(rules), name=f"all-same-{attr}")
+
+
+def all_same_attr_spec(attr: str = "a"):
+    def spec(tree: Tree) -> bool:
+        return len({tree.val(attr, u) for u in tree.nodes}) <= 1
+
+    return spec
+
+
+def unary_nodes_xtm() -> XTM:
+    """Node-count parity in **linear space**: one ``1`` per node, then a
+    parity sweep — deliberately space-profligate (PSPACE^X exemplar for
+    the Theorem 7.1(3) tape-as-relation simulation)."""
+    rules = [
+        # Leave cell 0 blank as the left sentinel of the parity sweep.
+        XTMRule("start", "visit", head_move=HEAD_RIGHT),
+        # Visit = stamp a 1 and advance the head.
+        XTMRule("visit", "resume", tape_write="1", head_move=HEAD_RIGHT),
+        XTMRule("resume", "back", position=AT_LEAF),
+        XTMRule("resume", "visit", position=AT_INNER, action=TreeMove(DOWN)),
+        XTMRule("back", "visit", position=BACK_CONTINUE, action=TreeMove(RIGHT)),
+        XTMRule("back", "back", position=BACK_ASCEND, action=TreeMove(UP)),
+        # Sweep left over the 1s, toggling parity (we are one cell right
+        # of the last stamp when the walk finishes).
+        XTMRule("back", "even", position=AT_ROOT, head_move=HEAD_LEFT),
+        XTMRule("even", "odd", tape_symbol="1", head_move=HEAD_LEFT),
+        XTMRule("odd", "even", tape_symbol="1", head_move=HEAD_LEFT),
+        # Falling off the left end from "odd" means an even count was
+        # consumed before this last toggle… so accept in the state that
+        # has seen an even number of 1s when the BLANK/left edge shows.
+        XTMRule("even", "acc", tape_symbol=BLANK),
+    ]
+    states = frozenset({"start", "visit", "resume", "back", "even", "odd", "acc"})
+    return XTM(states, "start", frozenset({"acc"}), registers=1,
+               rules=tuple(rules), name="unary-nodes")

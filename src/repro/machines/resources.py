@@ -1,0 +1,130 @@
+"""Resource classes over xTMs (Definition 6.1's LOGSPACE^X … EXPTIME^X).
+
+The paper defines the classes by counting transitions (time) and
+work-tape cells (space) *in the number of nodes of the input tree*.
+These helpers measure a machine over an instance family and fit the
+observed resource curve against a claimed bound — the executable
+meaning we give to "M ∈ PTIME^X" etc. (one cannot decide the bound for
+all inputs, but one can check it on a sweep and expose the constants).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from ..trees.tree import Tree
+from .xtm import XTM, XTMResult, run_xtm
+
+BoundFn = Callable[[int], float]
+
+
+def logspace_bound(c: float = 1.0, d: float = 1.0) -> BoundFn:
+    """n ↦ c·log₂(n) + d   (with log₂(1) read as 1)."""
+    return lambda n: c * max(math.log2(n), 1.0) + d
+
+
+def polynomial_bound(c: float = 1.0, k: int = 1, d: float = 0.0) -> BoundFn:
+    """n ↦ c·n^k + d."""
+    return lambda n: c * n**k + d
+
+
+def exponential_bound(c: float = 1.0, k: int = 1) -> BoundFn:
+    """n ↦ c·2^(n^k)."""
+    return lambda n: c * 2.0 ** (n**k)
+
+
+@dataclass
+class Measurement:
+    """One run's resources."""
+
+    size: int
+    steps: int
+    space: int
+    accepted: bool
+
+
+def measure(machine: XTM, trees: Iterable[Tree], fuel: int = 2_000_000) -> List[Measurement]:
+    """Run ``machine`` over the instance family and record resources."""
+    out = []
+    for tree in trees:
+        result = run_xtm(machine, tree, fuel=fuel)
+        out.append(Measurement(tree.size, result.steps, result.space, result.accepted))
+    return out
+
+
+@dataclass
+class BoundCheck:
+    """Outcome of checking measurements against a bound."""
+
+    holds: bool
+    worst_ratio: float
+    violations: List[Measurement]
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def check_space_bound(
+    measurements: Sequence[Measurement], bound: BoundFn
+) -> BoundCheck:
+    """Does every measured space fall under ``bound(size)``?"""
+    return _check(measurements, bound, lambda m: m.space)
+
+
+def check_time_bound(
+    measurements: Sequence[Measurement], bound: BoundFn
+) -> BoundCheck:
+    """Does every measured step count fall under ``bound(size)``?"""
+    return _check(measurements, bound, lambda m: m.steps)
+
+
+def _check(
+    measurements: Sequence[Measurement],
+    bound: BoundFn,
+    key: Callable[[Measurement], int],
+) -> BoundCheck:
+    violations = []
+    worst = 0.0
+    for m in measurements:
+        limit = bound(m.size)
+        ratio = key(m) / limit if limit > 0 else math.inf
+        worst = max(worst, ratio)
+        if key(m) > limit:
+            violations.append(m)
+    return BoundCheck(not violations, worst, violations)
+
+
+def fit_constant_for_logspace(measurements: Sequence[Measurement]) -> float:
+    """Smallest c with space ≤ c·log₂(n)+1 over the sweep — the paper's
+    "at most k·log₂(|t|) space" constant, exposed."""
+    best = 0.0
+    for m in measurements:
+        denom = max(math.log2(m.size), 1.0)
+        best = max(best, (m.space - 1) / denom)
+    return best
+
+
+def fit_polynomial_degree(
+    measurements: Sequence[Measurement],
+    key: Callable[[Measurement], int] = lambda m: m.steps,
+) -> float:
+    """Least-squares slope of log(resource) vs log(size) — the observed
+    polynomial degree of a time/space curve (needs sizes ≥ 2)."""
+    points = [
+        (math.log(m.size), math.log(max(key(m), 1)))
+        for m in measurements
+        if m.size >= 2
+    ]
+    if len(points) < 2:
+        raise ValueError("need at least two sizes >= 2 to fit a degree")
+    n = len(points)
+    sx = sum(x for x, _ in points)
+    sy = sum(y for _, y in points)
+    sxx = sum(x * x for x, _ in points)
+    sxy = sum(x * y for x, y in points)
+    denom = n * sxx - sx * sx
+    if denom == 0:
+        raise ValueError("degenerate sweep (all sizes equal)")
+    return (n * sxy - sx * sy) / denom

@@ -1,0 +1,114 @@
+"""Ordinary single-tape Turing machines (the right side of Theorem 6.2).
+
+A classical deterministic TM over a finite alphabet, reading its input
+from the tape.  Theorem 6.2 relates xTM classes to ordinary TM classes
+on *encodings* of trees; :mod:`repro.machines.encoding` provides the
+encoding, and the E6 experiment runs paired programs (e.g. node-count
+parity as an xTM on t vs. '('-count parity as a TM on enc(t)) and
+compares verdicts and resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
+
+BLANK = "_"
+
+MOVE_LEFT = -1
+MOVE_STAY = 0
+MOVE_RIGHT = 1
+
+
+class TMError(ValueError):
+    """Raised on ill-formed machines or runtime errors."""
+
+
+@dataclass(frozen=True)
+class TuringMachine:
+    """δ maps (state, symbol) to (state, write, move)."""
+
+    states: FrozenSet[str]
+    initial: str
+    accepting: FrozenSet[str]
+    transitions: Tuple[Tuple[Tuple[str, str], Tuple[str, str, int]], ...]
+    name: str = "T"
+
+    def __post_init__(self) -> None:
+        if self.initial not in self.states:
+            raise TMError(f"initial state {self.initial!r} not in Q")
+        if not self.accepting <= self.states:
+            raise TMError("accepting states must be in Q")
+        seen: Set[Tuple[str, str]] = set()
+        for (state, symbol), (target, _write, move_) in self.transitions:
+            if state not in self.states or target not in self.states:
+                raise TMError(f"unknown state in δ({state!r},{symbol!r})")
+            if move_ not in (MOVE_LEFT, MOVE_STAY, MOVE_RIGHT):
+                raise TMError(f"bad move {move_!r}")
+            if (state, symbol) in seen:
+                raise TMError(f"duplicate transition ({state!r},{symbol!r})")
+            seen.add((state, symbol))
+
+    def delta(self) -> Dict[Tuple[str, str], Tuple[str, str, int]]:
+        return dict(self.transitions)
+
+
+@dataclass
+class TMResult:
+    accepted: bool
+    steps: int
+    space: int
+    reason: str
+
+
+def run_tm(machine: TuringMachine, word: str, fuel: int = 5_000_000) -> TMResult:
+    """Run on ``word``; the head starts on its first symbol.  Space is
+    the number of cells ever under the head (input included)."""
+    tape: Dict[int, str] = {i: ch for i, ch in enumerate(word)}
+    delta = machine.delta()
+    state, head, steps = machine.initial, 0, 0
+    touched: Set[int] = {0}
+    seen: Set[Tuple[str, int, Tuple[Tuple[int, str], ...]]] = set()
+    while True:
+        if state in machine.accepting:
+            return TMResult(True, steps, len(touched), "accepted")
+        key = (state, head, tuple(sorted(tape.items())))
+        if key in seen:
+            return TMResult(False, steps, len(touched), "cycle (divergence)")
+        seen.add(key)
+        steps += 1
+        if steps > fuel:
+            raise TMError(f"fuel {fuel} exhausted")
+        symbol = tape.get(head, BLANK)
+        move_ = delta.get((state, symbol))
+        if move_ is None:
+            return TMResult(False, steps, len(touched), f"stuck on {symbol!r}")
+        state, write, direction = move_
+        tape[head] = write
+        head += direction
+        if head < 0:
+            return TMResult(False, steps, len(touched), "fell off the left end")
+        touched.add(head)
+
+
+def paren_parity_tm(open_char: str = "(", alphabet: Sequence[str] = ()) -> TuringMachine:
+    """Accepts words with an **even** number of ``open_char`` symbols —
+    the ordinary-TM twin of :func:`repro.machines.programs.even_nodes_xtm`
+    under the Theorem 6.2 encoding (each node contributes one '(')."""
+    others = [c for c in alphabet if c != open_char]
+    transitions = []
+    for parity in ("even", "odd"):
+        flipped = "odd" if parity == "even" else "even"
+        transitions.append(
+            ((parity, open_char), (flipped, open_char, MOVE_RIGHT))
+        )
+        for ch in others:
+            transitions.append(((parity, ch), (parity, ch, MOVE_RIGHT)))
+    transitions.append((("even", BLANK), ("acc", BLANK, MOVE_STAY)))
+    return TuringMachine(
+        states=frozenset({"even", "odd", "acc"}),
+        initial="even",
+        accepting=frozenset({"acc"}),
+        transitions=tuple(transitions),
+        name="paren-parity",
+    )

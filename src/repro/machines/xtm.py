@@ -1,0 +1,346 @@
+"""XML Turing machines (Definition 6.1).
+
+An xTM is a tree-walking automaton (tw: single-value registers) with a
+one-way infinite work tape over a finite alphabet.  A transition
+inspects the current node's label and position, the current state, the
+tape symbol under the head, and equality facts about the registers; it
+then changes state, optionally performs a tree action (move / load an
+attribute into a register / set or copy a register), writes a tape
+symbol and moves the head.
+
+The runner meters **steps** (time) and **work-tape cells used**
+(space), so the resource classes LOGSPACE^X, PTIME^X, PSPACE^X and
+EXPTIME^X of the paper are empirically checkable
+(:mod:`repro.machines.resources`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..automata.rules import DIRECTIONS, PositionTest, ANYWHERE, move as tree_move
+from ..trees.node import NodeId
+from ..trees.tree import Tree
+from ..trees.values import BOTTOM, DataValue, MaybeValue
+
+BLANK = "_"
+
+HEAD_LEFT = -1
+HEAD_STAY = 0
+HEAD_RIGHT = 1
+
+HEAD_MOVES = (HEAD_LEFT, HEAD_STAY, HEAD_RIGHT)
+
+
+class XTMError(ValueError):
+    """Raised on ill-formed machines or genuine runtime errors."""
+
+
+# -- register conditions (the tw guard language, kept lightweight) ------------
+
+
+@dataclass(frozen=True)
+class RegEqAttr:
+    """register ``index`` equals the current node's ``attr`` value."""
+
+    index: int
+    attr: str
+    negate: bool = False
+
+
+@dataclass(frozen=True)
+class RegEqReg:
+    """register ``left`` equals register ``right``."""
+
+    left: int
+    right: int
+    negate: bool = False
+
+
+@dataclass(frozen=True)
+class RegEqConst:
+    """register ``index`` equals the constant ``value``."""
+
+    index: int
+    value: DataValue
+    negate: bool = False
+
+
+@dataclass(frozen=True)
+class AttrEqConst:
+    """the current node's ``attr`` value equals the constant ``value``
+    (a register-free guard, as tw guards may mention @a and d ∈ D)."""
+
+    attr: str
+    value: DataValue
+    negate: bool = False
+
+
+RegisterTest = Union[RegEqAttr, RegEqReg, RegEqConst, AttrEqConst]
+
+
+# -- actions -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TreeMove:
+    """Move the control in direction d (off-tree ⇒ reject)."""
+
+    direction: str
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise XTMError(f"bad direction {self.direction!r}")
+
+
+@dataclass(frozen=True)
+class LoadAttr:
+    """register ``index`` := current node's ``attr`` value."""
+
+    index: int
+    attr: str
+
+
+@dataclass(frozen=True)
+class SetConst:
+    """register ``index`` := constant ``value``."""
+
+    index: int
+    value: DataValue
+
+
+@dataclass(frozen=True)
+class CopyReg:
+    """register ``dst`` := register ``src``."""
+
+    dst: int
+    src: int
+
+
+@dataclass(frozen=True)
+class ClearReg:
+    """register ``index`` := ⊥."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class NoAction:
+    """Tape-only step."""
+
+
+Action = Union[TreeMove, LoadAttr, SetConst, CopyReg, ClearReg, NoAction]
+
+
+# -- rules ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class XTMRule:
+    """One transition.  ``label``/``tape_symbol`` of ``None`` match any;
+    ``tests`` is a conjunction of register conditions; ``head_at_zero``
+    optionally requires the head to be (not be) on the leftmost cell —
+    standard left-end awareness for one-way infinite tapes."""
+
+    state: str
+    new_state: str
+    label: Optional[str] = None
+    position: PositionTest = ANYWHERE
+    tape_symbol: Optional[str] = None
+    tests: Tuple[RegisterTest, ...] = ()
+    action: Action = NoAction()
+    tape_write: Optional[str] = None
+    head_move: int = HEAD_STAY
+    head_at_zero: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.head_move not in HEAD_MOVES:
+            raise XTMError(f"bad head move {self.head_move!r}")
+
+
+@dataclass(frozen=True)
+class XTM:
+    """A deterministic xTM.  ``mode`` per state is irrelevant here; the
+    alternating variant lives in :mod:`repro.machines.alternation`."""
+
+    states: frozenset
+    initial: str
+    accepting: frozenset
+    registers: int
+    rules: Tuple[XTMRule, ...]
+    name: str = "M"
+
+    def __post_init__(self) -> None:
+        if self.initial not in self.states:
+            raise XTMError(f"initial state {self.initial!r} not in Q")
+        if not self.accepting <= self.states:
+            raise XTMError("accepting states must be a subset of Q")
+        for rule in self.rules:
+            if rule.state not in self.states or rule.new_state not in self.states:
+                raise XTMError(f"rule with unknown state: {rule!r}")
+            for test in rule.tests:
+                for idx in _test_registers(test):
+                    if not 1 <= idx <= self.registers:
+                        raise XTMError(f"register {idx} out of range: {rule!r}")
+            for idx in _action_registers(rule.action):
+                if not 1 <= idx <= self.registers:
+                    raise XTMError(f"register {idx} out of range: {rule!r}")
+
+    def rules_for(self, state: str) -> Tuple[XTMRule, ...]:
+        return tuple(r for r in self.rules if r.state == state)
+
+
+def _test_registers(test: RegisterTest) -> Tuple[int, ...]:
+    if isinstance(test, RegEqReg):
+        return (test.left, test.right)
+    if isinstance(test, AttrEqConst):
+        return ()
+    return (test.index,)
+
+
+def _action_registers(action: Action) -> Tuple[int, ...]:
+    if isinstance(action, (LoadAttr, SetConst, ClearReg)):
+        return (action.index,)
+    if isinstance(action, CopyReg):
+        return (action.dst, action.src)
+    return ()
+
+
+# -- execution -------------------------------------------------------------------
+
+
+@dataclass
+class XTMResult:
+    accepted: bool
+    steps: int
+    space: int  # number of tape cells ever under the head
+    reason: str
+    tape: str = ""
+
+
+def _test_holds(
+    test: RegisterTest, registers: List[MaybeValue], tree: Tree, node: NodeId
+) -> bool:
+    if isinstance(test, RegEqAttr):
+        outcome = registers[test.index - 1] == tree.val(test.attr, node)
+    elif isinstance(test, RegEqReg):
+        outcome = registers[test.left - 1] == registers[test.right - 1]
+    elif isinstance(test, AttrEqConst):
+        outcome = tree.val(test.attr, node) == test.value
+    else:
+        outcome = registers[test.index - 1] == test.value
+    return outcome != test.negate
+
+
+def step_xtm(
+    machine: XTM,
+    tree: Tree,
+    node: NodeId,
+    state: str,
+    registers: List[MaybeValue],
+    tape: Dict[int, str],
+    head: int,
+) -> Optional[Tuple[NodeId, str, List[MaybeValue], int]]:
+    """Apply the unique applicable rule in place (tape mutated); returns
+    the new (node, state, registers, head) or ``None`` when stuck/off.
+
+    Raises :class:`XTMError` on a determinism violation.
+    """
+    symbol = tape.get(head, BLANK)
+    label = tree.label(node)
+    chosen: Optional[XTMRule] = None
+    for rule in machine.rules_for(state):
+        if rule.label is not None and rule.label != label:
+            continue
+        if rule.tape_symbol is not None and rule.tape_symbol != symbol:
+            continue
+        if rule.head_at_zero is not None and rule.head_at_zero != (head == 0):
+            continue
+        if not rule.position.matches(tree, node):
+            continue
+        if not all(_test_holds(t, registers, tree, node) for t in rule.tests):
+            continue
+        if chosen is not None:
+            raise XTMError(f"nondeterministic: {chosen!r} and {rule!r} both apply")
+        chosen = rule
+    if chosen is None:
+        return None
+
+    if chosen.tape_write is not None:
+        tape[head] = chosen.tape_write
+    new_head = head + chosen.head_move
+    if new_head < 0:
+        return None  # fell off the left tape end
+
+    new_node: Optional[NodeId] = node
+    new_registers = registers
+    action = chosen.action
+    if isinstance(action, TreeMove):
+        new_node = tree_move(tree, node, action.direction)
+        if new_node is None:
+            return None
+    elif isinstance(action, LoadAttr):
+        new_registers = list(registers)
+        new_registers[action.index - 1] = tree.val(action.attr, node)
+    elif isinstance(action, SetConst):
+        new_registers = list(registers)
+        new_registers[action.index - 1] = action.value
+    elif isinstance(action, CopyReg):
+        new_registers = list(registers)
+        new_registers[action.dst - 1] = registers[action.src - 1]
+    elif isinstance(action, ClearReg):
+        new_registers = list(registers)
+        new_registers[action.index - 1] = BOTTOM
+    return (new_node, chosen.new_state, new_registers, new_head)
+
+
+def run_xtm(
+    machine: XTM,
+    tree: Tree,
+    fuel: int = 2_000_000,
+    start: NodeId = (),
+) -> XTMResult:
+    """Run to acceptance / rejection with full resource metering."""
+    tree.require(start)
+    node, state = start, machine.initial
+    registers: List[MaybeValue] = [BOTTOM] * machine.registers
+    tape: Dict[int, str] = {}
+    head = 0
+    touched: Set[int] = {0}
+    steps = 0
+    seen: Set[Tuple] = set()
+    while True:
+        if state in machine.accepting:
+            return XTMResult(
+                True, steps, len(touched), "accepted", _tape_text(tape)
+            )
+        key = (
+            node,
+            state,
+            tuple(registers),
+            tuple(sorted(tape.items())),
+            head,
+        )
+        if key in seen:
+            return XTMResult(
+                False, steps, len(touched), "cycle (divergence)", _tape_text(tape)
+            )
+        seen.add(key)
+        steps += 1
+        if steps > fuel:
+            raise XTMError(f"fuel {fuel} exhausted")
+        outcome = step_xtm(machine, tree, node, state, registers, tape, head)
+        if outcome is None:
+            return XTMResult(
+                False, steps, len(touched), "stuck or off-bounds", _tape_text(tape)
+            )
+        node, state, registers, head = outcome
+        touched.add(head)
+
+
+def _tape_text(tape: Dict[int, str]) -> str:
+    if not tape:
+        return ""
+    top = max(tape)
+    return "".join(tape.get(i, BLANK) for i in range(top + 1))

@@ -1,0 +1,56 @@
+"""Regular unranked-tree languages (the MSO side of Proposition 7.2).
+
+* :mod:`repro.mso.dfa` — complete DFAs with boolean ops (horizontal
+  languages);
+* :mod:`repro.mso.hedge` — deterministic hedge automata: evaluation,
+  product, complement, emptiness, and stock languages (including the
+  not-FO-definable mod-counting ones);
+* :mod:`repro.mso.lookahead` — the look-ahead walker construction:
+  tree-walking + [4]-style tests captures every regular tree language.
+"""
+
+from .dfa import (
+    DFA,
+    FAError,
+    all_symbols_dfa,
+    contains_symbol_dfa,
+    count_mod_dfa,
+    dfa_from_map,
+)
+from .hedge import (
+    HedgeAutomaton,
+    HedgeError,
+    LabelRule,
+    exists_label_hedge,
+    label_everywhere_hedge,
+    leaf_count_mod_hedge,
+)
+from .lookahead import (
+    ExtendedTW,
+    LookaheadError,
+    MoveRule,
+    TestRule,
+    run_extended,
+    walker_from_hedge,
+)
+
+__all__ = [
+    "DFA",
+    "FAError",
+    "all_symbols_dfa",
+    "contains_symbol_dfa",
+    "count_mod_dfa",
+    "dfa_from_map",
+    "HedgeAutomaton",
+    "HedgeError",
+    "LabelRule",
+    "exists_label_hedge",
+    "label_everywhere_hedge",
+    "leaf_count_mod_hedge",
+    "ExtendedTW",
+    "LookaheadError",
+    "MoveRule",
+    "TestRule",
+    "run_extended",
+    "walker_from_hedge",
+]

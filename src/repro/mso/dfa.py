@@ -1,0 +1,198 @@
+"""Deterministic and nondeterministic finite automata over finite
+alphabets — the horizontal-language substrate of hedge automata.
+
+Hedge automata (the unranked-tree form of the regular/MSO-definable
+tree languages referenced by Proposition 7.2) assign a state to each
+node from its label and the *string* of its children's states; those
+string languages are given by the DFAs here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Sequence, Set, Tuple
+
+Symbol = Hashable
+State = Hashable
+
+
+class FAError(ValueError):
+    """Raised on ill-formed automata."""
+
+
+@dataclass(frozen=True)
+class DFA:
+    """A complete DFA: δ total on states × alphabet."""
+
+    states: FrozenSet[State]
+    alphabet: FrozenSet[Symbol]
+    transitions: Tuple[Tuple[Tuple[State, Symbol], State], ...]
+    start: State
+    finals: FrozenSet[State]
+
+    def __post_init__(self) -> None:
+        if self.start not in self.states:
+            raise FAError("start state not in Q")
+        if not self.finals <= self.states:
+            raise FAError("final states must be in Q")
+        table = dict(self.transitions)
+        for state in self.states:
+            for symbol in self.alphabet:
+                if (state, symbol) not in table:
+                    raise FAError(f"δ({state!r},{symbol!r}) missing (DFA must be complete)")
+        if len(table) != len(self.transitions):
+            raise FAError("duplicate transitions")
+
+    def delta(self) -> Dict[Tuple[State, Symbol], State]:
+        return dict(self.transitions)
+
+    def run(self, word: Sequence[Symbol]) -> State:
+        """The state after reading ``word`` from the start state."""
+        table = self.delta()
+        state = self.start
+        for symbol in word:
+            try:
+                state = table[(state, symbol)]
+            except KeyError:
+                raise FAError(f"symbol {symbol!r} not in the alphabet") from None
+        return state
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        return self.run(word) in self.finals
+
+    # -- boolean operations ------------------------------------------------------
+
+    def product(self, other: "DFA", mode: str = "and") -> "DFA":
+        """Product construction; ``mode`` ∈ {and, or, diff}."""
+        if self.alphabet != other.alphabet:
+            raise FAError("product needs equal alphabets")
+        mine, theirs = self.delta(), other.delta()
+        states = frozenset(
+            (p, q) for p in self.states for q in other.states
+        )
+        transitions = tuple(
+            (((p, q), a), (mine[(p, a)], theirs[(q, a)]))
+            for (p, q) in states
+            for a in self.alphabet
+        )
+        if mode == "and":
+            finals = frozenset(
+                (p, q) for (p, q) in states
+                if p in self.finals and q in other.finals
+            )
+        elif mode == "or":
+            finals = frozenset(
+                (p, q) for (p, q) in states
+                if p in self.finals or q in other.finals
+            )
+        elif mode == "diff":
+            finals = frozenset(
+                (p, q) for (p, q) in states
+                if p in self.finals and q not in other.finals
+            )
+        else:
+            raise FAError(f"unknown product mode {mode!r}")
+        return DFA(states, self.alphabet, transitions, (self.start, other.start), finals)
+
+    def complement(self) -> "DFA":
+        return DFA(
+            self.states,
+            self.alphabet,
+            self.transitions,
+            self.start,
+            frozenset(self.states - self.finals),
+        )
+
+    def is_empty(self) -> bool:
+        """No reachable final state."""
+        table = self.delta()
+        seen = {self.start}
+        frontier = [self.start]
+        while frontier:
+            state = frontier.pop()
+            if state in self.finals:
+                return False
+            for symbol in self.alphabet:
+                target = table[(state, symbol)]
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return True
+
+    def restricted_reach(self, usable: Iterable[Symbol]) -> FrozenSet[State]:
+        """States reachable using only ``usable`` symbols (hedge-automaton
+        emptiness needs this)."""
+        usable = set(usable) & set(self.alphabet)
+        table = self.delta()
+        seen = {self.start}
+        frontier = [self.start]
+        while frontier:
+            state = frontier.pop()
+            for symbol in usable:
+                target = table[(state, symbol)]
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return frozenset(seen)
+
+
+# -- convenient constructors -------------------------------------------------------
+
+
+def dfa_from_map(
+    alphabet: Iterable[Symbol],
+    start: State,
+    finals: Iterable[State],
+    table: Mapping[Tuple[State, Symbol], State],
+) -> DFA:
+    """Build from a plain dict; states inferred."""
+    states = {start} | set(finals)
+    for (p, _a), q in table.items():
+        states.add(p)
+        states.add(q)
+    return DFA(
+        frozenset(states),
+        frozenset(alphabet),
+        tuple(table.items()),
+        start,
+        frozenset(finals),
+    )
+
+
+def count_mod_dfa(
+    alphabet: Iterable[Symbol],
+    counted: Iterable[Symbol],
+    modulus: int,
+    residues: Iterable[int],
+) -> DFA:
+    """Accepts words where #(counted symbols) mod ``modulus`` ∈ residues."""
+    if modulus < 1:
+        raise FAError("modulus must be >= 1")
+    alphabet = frozenset(alphabet)
+    counted = frozenset(counted)
+    table = {}
+    for i in range(modulus):
+        for a in alphabet:
+            table[(i, a)] = (i + 1) % modulus if a in counted else i
+    return dfa_from_map(alphabet, 0, frozenset(residues), table)
+
+
+def all_symbols_dfa(alphabet: Iterable[Symbol], allowed: Iterable[Symbol]) -> DFA:
+    """Accepts words using only ``allowed`` symbols."""
+    alphabet = frozenset(alphabet)
+    allowed = frozenset(allowed)
+    table = {}
+    for a in alphabet:
+        table[("ok", a)] = "ok" if a in allowed else "bad"
+        table[("bad", a)] = "bad"
+    return dfa_from_map(alphabet, "ok", frozenset({"ok"}), table)
+
+
+def contains_symbol_dfa(alphabet: Iterable[Symbol], wanted: Symbol) -> DFA:
+    """Accepts words containing ``wanted`` at least once."""
+    alphabet = frozenset(alphabet)
+    table = {}
+    for a in alphabet:
+        table[("no", a)] = "yes" if a == wanted else "no"
+        table[("yes", a)] = "yes"
+    return dfa_from_map(alphabet, "no", frozenset({"yes"}), table)

@@ -1,0 +1,280 @@
+"""Deterministic complete hedge automata — the regular unranked-tree
+languages (equivalently, by Doner/Thatcher–Wright lifted to unranked
+trees, the MSO-definable tree languages of Proposition 7.2).
+
+A DHA assigns every node a state bottom-up: for a σ-labelled node whose
+children received q₁ … qₙ, the node's state is
+``out_σ(δ_σ*(q₁ … qₙ))`` where δ_σ is a complete DFA over the state set
+and out_σ maps its states to hedge states.  The tree is accepted iff
+the root's state is final.  Determinism + completeness make boolean
+operations (product, complement) and emptiness straightforward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Tuple
+
+from ..trees.node import NodeId
+from ..trees.tree import Tree
+from .dfa import DFA, FAError
+
+HState = Hashable
+
+
+class HedgeError(ValueError):
+    """Raised on ill-formed hedge automata."""
+
+
+@dataclass(frozen=True)
+class LabelRule:
+    """The per-label machinery: a DFA over hedge states + output map."""
+
+    dfa: DFA
+    output: Tuple[Tuple[Hashable, HState], ...]
+
+    def output_map(self) -> Dict[Hashable, HState]:
+        return dict(self.output)
+
+
+@dataclass(frozen=True)
+class HedgeAutomaton:
+    """``(Q_H, Σ, (δ_σ, out_σ)_σ, F)``."""
+
+    states: FrozenSet[HState]
+    alphabet: FrozenSet[str]
+    rules: Tuple[Tuple[str, LabelRule], ...]
+    finals: FrozenSet[HState]
+    name: str = "H"
+
+    def __post_init__(self) -> None:
+        if not self.finals <= self.states:
+            raise HedgeError("final states must be in Q_H")
+        table = dict(self.rules)
+        for label in self.alphabet:
+            if label not in table:
+                raise HedgeError(f"no rule for label {label!r} (DHA must be complete)")
+        for label, rule in self.rules:
+            if frozenset(rule.dfa.alphabet) != self.states:
+                raise HedgeError(
+                    f"label {label!r}: horizontal DFA alphabet must be Q_H"
+                )
+            out = rule.output_map()
+            for dstate in rule.dfa.states:
+                if dstate not in out:
+                    raise HedgeError(
+                        f"label {label!r}: output missing for DFA state {dstate!r}"
+                    )
+                if out[dstate] not in self.states:
+                    raise HedgeError(
+                        f"label {label!r}: output {out[dstate]!r} not in Q_H"
+                    )
+
+    def rule_for(self, label: str) -> LabelRule:
+        try:
+            return dict(self.rules)[label]
+        except KeyError:
+            raise HedgeError(f"label {label!r} not in the alphabet") from None
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def state_of(self, tree: Tree, node: NodeId = ()) -> HState:
+        """The bottom-up state of the subtree at ``node``."""
+        assignment = self.annotate(tree)
+        return assignment[node]
+
+    def annotate(self, tree: Tree) -> Dict[NodeId, HState]:
+        """State assignment for every node (one postorder pass)."""
+        assignment: Dict[NodeId, HState] = {}
+        for node in tree.nodes_postorder:
+            rule = self.rule_for(tree.label(node))
+            dstate = rule.dfa.run([assignment[c] for c in tree.children(node)])
+            assignment[node] = rule.output_map()[dstate]
+        return assignment
+
+    def accepts(self, tree: Tree) -> bool:
+        return self.state_of(tree) in self.finals
+
+    # -- boolean operations ------------------------------------------------------------
+
+    def complement(self) -> "HedgeAutomaton":
+        return HedgeAutomaton(
+            self.states,
+            self.alphabet,
+            self.rules,
+            frozenset(self.states - self.finals),
+            name=f"¬{self.name}",
+        )
+
+    def product(self, other: "HedgeAutomaton", mode: str = "and") -> "HedgeAutomaton":
+        """Synchronous product; ``mode`` ∈ {and, or}."""
+        if self.alphabet != other.alphabet:
+            raise HedgeError("product needs equal alphabets")
+        states = frozenset(
+            (p, q) for p in self.states for q in other.states
+        )
+        rules = []
+        for label in sorted(self.alphabet):
+            mine = self.rule_for(label)
+            theirs = other.rule_for(label)
+            dm, dt = mine.dfa.delta(), theirs.dfa.delta()
+            om, ot = mine.output_map(), theirs.output_map()
+            dstates = frozenset(
+                (a, b) for a in mine.dfa.states for b in theirs.dfa.states
+            )
+            transitions = tuple(
+                (((a, b), (p, q)), (dm[(a, p)], dt[(b, q)]))
+                for (a, b) in dstates
+                for (p, q) in states
+            )
+            dfa = DFA(
+                dstates,
+                states,
+                transitions,
+                (mine.dfa.start, theirs.dfa.start),
+                frozenset(),  # finals unused in horizontal DFAs
+            )
+            output = tuple(
+                ((a, b), (om[a], ot[b])) for (a, b) in dstates
+            )
+            rules.append((label, LabelRule(dfa, output)))
+        if mode == "and":
+            finals = frozenset(
+                (p, q) for p in self.finals for q in other.finals
+            )
+        elif mode == "or":
+            finals = frozenset(
+                (p, q)
+                for (p, q) in states
+                if p in self.finals or q in other.finals
+            )
+        else:
+            raise HedgeError(f"unknown product mode {mode!r}")
+        return HedgeAutomaton(
+            states, self.alphabet, tuple(rules), finals,
+            name=f"({self.name} {mode} {other.name})",
+        )
+
+    def producible_states(self) -> FrozenSet[HState]:
+        """States realised by *some* tree — least fixpoint."""
+        producible: set = set()
+        changed = True
+        while changed:
+            changed = False
+            for label, rule in self.rules:
+                out = rule.output_map()
+                for dstate in rule.dfa.restricted_reach(producible):
+                    state = out[dstate]
+                    if state not in producible:
+                        producible.add(state)
+                        changed = True
+        return frozenset(producible)
+
+    def is_empty(self) -> bool:
+        """No accepted tree."""
+        return not (self.producible_states() & self.finals)
+
+    def equivalent(self, other: "HedgeAutomaton") -> bool:
+        """Language equality, decided by emptiness of the symmetric
+        difference (deterministic + complete makes this exact)."""
+        left_only = self.product(other.complement(), "and")
+        right_only = other.product(self.complement(), "and")
+        return left_only.is_empty() and right_only.is_empty()
+
+
+# ---------------------------------------------------------------------------
+# Stock hedge automata
+# ---------------------------------------------------------------------------
+
+
+def _horizontal(states: Iterable[HState], table, start, finals=()) -> DFA:
+    return DFA(
+        frozenset({start} | {q for (_s, _a), q in table.items()}
+                  | {s for (s, _a), _q in table.items()}),
+        frozenset(states),
+        tuple(table.items()),
+        start,
+        frozenset(finals),
+    )
+
+
+def leaf_count_mod_hedge(
+    alphabet: Iterable[str], counted_label: str, modulus: int, residues: Iterable[int]
+) -> HedgeAutomaton:
+    """Accepts trees where #(leaves labelled ``counted_label``) mod
+    ``modulus`` lies in ``residues`` — regular but not FO-definable for
+    modulus ≥ 2 (the classic walking-vs-logic separator)."""
+    alphabet = frozenset(alphabet)
+    if counted_label not in alphabet:
+        raise HedgeError(f"{counted_label!r} not in the alphabet")
+    states = frozenset(range(modulus))  # residue of the subtree's count
+    rules = []
+    for label in sorted(alphabet):
+        # Horizontal DFA sums children residues mod m; output adds the
+        # node's own contribution when it is a *leaf* with the counted
+        # label (children sum 0 at the DFA start distinguishes leaves
+        # only if we track emptiness — add a "seen a child" bit).
+        table = {}
+        dstates = [("ε", 0)] + [("+", r) for r in range(modulus)]
+        for r in range(modulus):
+            table[(("ε", 0), r)] = ("+", r % modulus)
+            for acc in range(modulus):
+                table[(("+", acc), r)] = ("+", (acc + r) % modulus)
+        dfa = _horizontal(states, table, ("ε", 0))
+        output = {}
+        for dstate in dfa.states:
+            kind, total = dstate
+            if kind == "ε":  # leaf
+                output[dstate] = 1 % modulus if label == counted_label else 0
+            else:
+                output[dstate] = total
+        rules.append((label, LabelRule(dfa, tuple(output.items()))))
+    return HedgeAutomaton(
+        states,
+        alphabet,
+        tuple(rules),
+        frozenset(r % modulus for r in residues),
+        name=f"#leaf[{counted_label}]≡{sorted(residues)} (mod {modulus})",
+    )
+
+
+def label_everywhere_hedge(alphabet: Iterable[str], wanted: str) -> HedgeAutomaton:
+    """Accepts trees in which *every* node is labelled ``wanted``."""
+    alphabet = frozenset(alphabet)
+    states = frozenset({"ok", "bad"})
+    rules = []
+    for label in sorted(alphabet):
+        table = {}
+        for d in ("ok", "bad"):
+            table[(d, "ok")] = d
+            table[(d, "bad")] = "bad"
+        dfa = _horizontal(states, table, "ok")
+        good = "ok" if label == wanted else "bad"
+        output = tuple((d, good if d == "ok" else "bad") for d in dfa.states)
+        rules.append((label, LabelRule(dfa, output)))
+    return HedgeAutomaton(
+        states, alphabet, tuple(rules), frozenset({"ok"}),
+        name=f"all-{wanted}",
+    )
+
+
+def exists_label_hedge(alphabet: Iterable[str], wanted: str) -> HedgeAutomaton:
+    """Accepts trees containing at least one ``wanted``-labelled node."""
+    alphabet = frozenset(alphabet)
+    states = frozenset({"yes", "no"})
+    rules = []
+    for label in sorted(alphabet):
+        table = {}
+        for d in ("yes", "no"):
+            table[(d, "yes")] = "yes"
+            table[(d, "no")] = d
+        dfa = _horizontal(states, table, "no")
+        output = tuple(
+            (d, "yes" if (d == "yes" or label == wanted) else "no")
+            for d in dfa.states
+        )
+        rules.append((label, LabelRule(dfa, output)))
+    return HedgeAutomaton(
+        states, alphabet, tuple(rules), frozenset({"yes"}),
+        name=f"exists-{wanted}",
+    )

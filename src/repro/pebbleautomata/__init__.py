@@ -1,0 +1,50 @@
+"""Pebble tree automata — the [17] model cited in the introduction.
+
+>>> from repro.trees import parse_term
+>>> from repro.pebbleautomata import exists_equal_pair, run_pebble_automaton
+>>> t = parse_term("r[a=1](x[a=2], y[a=1])")
+>>> run_pebble_automaton(exists_equal_pair(), t).accepted
+True
+"""
+
+from .model import (
+    AttrEqPebble,
+    Lift,
+    PAction,
+    PRule,
+    PTest,
+    PebbleAutomaton,
+    PebbleAutomatonError,
+    PebbleHere,
+    PebbleRunResult,
+    PebblesDown,
+    Place,
+    Walk,
+    run_pebble_automaton,
+)
+from .examples import (
+    exists_double_join,
+    exists_double_join_spec,
+    exists_equal_pair,
+    exists_equal_pair_spec,
+)
+
+__all__ = [
+    "AttrEqPebble",
+    "Lift",
+    "PAction",
+    "PRule",
+    "PTest",
+    "PebbleAutomaton",
+    "PebbleAutomatonError",
+    "PebbleHere",
+    "PebbleRunResult",
+    "PebblesDown",
+    "Place",
+    "Walk",
+    "run_pebble_automaton",
+    "exists_double_join",
+    "exists_double_join_spec",
+    "exists_equal_pair",
+    "exists_equal_pair_spec",
+]

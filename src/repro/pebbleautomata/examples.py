@@ -1,0 +1,155 @@
+"""Stock pebble automata with specifications.
+
+The flagship is the data join :func:`exists_equal_pair`: "two distinct
+nodes carry the same a-value".  It shows the canonical pebble pattern —
+iterate pebble 1 over all candidates in document order; for each
+placement sweep the whole tree comparing against the pebble.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..automata.rules import DOWN, PositionTest, RIGHT, STAY, UP
+from ..trees.tree import Tree
+from .model import (
+    AttrEqPebble,
+    Lift,
+    PRule,
+    PebbleAutomaton,
+    PebbleHere,
+    Place,
+    Walk,
+)
+
+AT_LEAF = PositionTest(leaf=True)
+AT_INNER = PositionTest(leaf=False)
+AT_ROOT = PositionTest(root=True)
+CONTINUE = PositionTest(root=False, last=False)
+ASCEND = PositionTest(root=False, last=True)
+
+
+def _dfs(fwd: str, back: str, on_done: str) -> list:
+    """The shared depth-first skeleton: ``fwd`` visits, ``back``
+    returns; reaching the root in ``back`` continues in ``on_done``."""
+    return [
+        PRule(back, fwd, position=CONTINUE, action=Walk(RIGHT)),
+        PRule(back, back, position=ASCEND, action=Walk(UP)),
+        PRule(back, on_done, position=AT_ROOT),
+    ]
+
+
+def exists_equal_pair(attr: str = "a") -> PebbleAutomaton:
+    """Accepts iff two *distinct* nodes share their ``attr`` value.
+
+    One pebble iterates over candidates; a full sweep joins each node
+    against the pebble (``AttrEqPebble``).  Candidates advance in
+    document order; running out of candidates leaves the automaton
+    stuck — reject.
+    """
+    equal = AttrEqPebble(1, attr)
+    different = AttrEqPebble(1, attr, negate=True)
+    here = PebbleHere(1, True)
+    away = PebbleHere(1, False)
+    rules = [
+        # Place the pebble on the current candidate, sweep from the root.
+        PRule("seek", "toroot", action=Place()),
+        PRule("toroot", "toroot", position=PositionTest(root=False),
+              action=Walk(UP)),
+        PRule("toroot", "scan", position=AT_ROOT),
+        # The sweep: a hit on a node other than the candidate accepts.
+        PRule("scan", "ACC", tests=(equal, away)),
+        PRule("scan", "cont", tests=(equal, here)),
+        PRule("scan", "cont", tests=(different,)),
+        PRule("cont", "back", position=AT_LEAF),
+        PRule("cont", "scan", position=AT_INNER, action=Walk(DOWN)),
+        *_dfs("scan", "back", "find"),
+        # Return to the pebble (a second DFS probing PebbleHere).
+        PRule("find", "advance", tests=(here,)),
+        PRule("find", "find", tests=(away,), position=AT_INNER,
+              action=Walk(DOWN)),
+        PRule("find", "fback", tests=(away,), position=AT_LEAF),
+        PRule("fback", "find", position=CONTINUE, action=Walk(RIGHT)),
+        PRule("fback", "fback", position=ASCEND, action=Walk(UP)),
+        # (fback at the root is unreachable: the pebble is always found)
+        # Advance the candidate to the document-order successor.
+        PRule("advance", "next", action=Lift()),
+        PRule("next", "seek", position=AT_INNER, action=Walk(DOWN)),
+        PRule("next", "seek", position=PositionTest(leaf=True, root=False,
+                                                    last=False),
+              action=Walk(RIGHT)),
+        PRule("next", "climb", position=PositionTest(leaf=True, root=False,
+                                                     last=True),
+              action=Walk(UP)),
+        # next at a leaf-root: single-node tree, no pair — stuck: reject.
+        PRule("climb", "seek", position=CONTINUE, action=Walk(RIGHT)),
+        PRule("climb", "climb", position=ASCEND, action=Walk(UP)),
+        # climb at the root: every candidate tried — stuck: reject.
+    ]
+    states = frozenset(
+        {"seek", "toroot", "scan", "cont", "back", "find", "fback",
+         "advance", "next", "climb", "ACC"}
+    )
+    return PebbleAutomaton(
+        states=states,
+        initial="seek",
+        accepting=frozenset({"ACC"}),
+        pebbles=1,
+        rules=tuple(rules),
+        name=f"equal-pair-{attr}",
+    )
+
+
+def exists_equal_pair_spec(attr: str = "a") -> Callable[[Tree], bool]:
+    def spec(tree: Tree) -> bool:
+        values = [tree.val(attr, u) for u in tree.nodes]
+        return len(values) != len(set(values))
+
+    return spec
+
+
+def exists_double_join(attr_a: str = "a", attr_b: str = "b") -> PebbleAutomaton:
+    """Accepts iff two distinct nodes agree on *both* attributes — the
+    two-column data join, still one pebble (both tests run against the
+    same placement)."""
+    base = exists_equal_pair(attr_a)
+    # Keep the iteration skeleton; replace the scan dispatch so a hit
+    # needs agreement on both attributes away from the pebble.
+    rules = [r for r in base.rules if r.state != "scan"]
+    rules.extend(
+        [
+            PRule("scan", "ACC",
+                  tests=(AttrEqPebble(1, attr_a), AttrEqPebble(1, attr_b),
+                         PebbleHere(1, False))),
+            PRule("scan", "cont",
+                  tests=(AttrEqPebble(1, attr_a), AttrEqPebble(1, attr_b),
+                         PebbleHere(1, True))),
+            PRule("scan", "cont",
+                  tests=(AttrEqPebble(1, attr_a),
+                         AttrEqPebble(1, attr_b, negate=True))),
+            PRule("scan", "cont", tests=(AttrEqPebble(1, attr_a, negate=True),)),
+        ]
+    )
+    return PebbleAutomaton(
+        states=base.states,
+        initial=base.initial,
+        accepting=base.accepting,
+        pebbles=1,
+        rules=tuple(rules),
+        name=f"double-join-{attr_a}-{attr_b}",
+    )
+
+
+def exists_double_join_spec(
+    attr_a: str = "a", attr_b: str = "b"
+) -> Callable[[Tree], bool]:
+    def spec(tree: Tree) -> bool:
+        seen = {}
+        for u in tree.nodes:
+            key = (tree.val(attr_a, u), tree.val(attr_b, u))
+            if key in seen:
+                return True
+            seen[key] = u
+        return False
+
+    return spec

@@ -1,0 +1,232 @@
+"""k-pebble tree automata — the [17] model (Milo, Suciu, Vianu).
+
+The paper's introduction cites pebble tree automata/transducers as the
+other abstraction of XML transformations built on tree-walking.  This
+module implements the acceptance (automaton) part, deterministic, with
+the *strong* stack discipline: pebbles 1..k are placed in order, pebble
+i+1 only while i is down, and only the most recent pebble can be
+lifted, with the head standing on it.
+
+Transitions test the label, the position, which pebbles sit on the
+current node, how many pebbles are down, and — the data-join facility
+XML needs — whether the current node's attribute equals the attribute
+at a pebble's node.  Actions move the head, place the next pebble, or
+lift the last one.
+
+The tape-less cousin of Section 7's ID-register pebbles: here pebbles
+are a primitive of the machine; there they are an artifact of unique
+IDs.  The E-suite uses this model to cross-check data-join queries
+against FO (see tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from ..automata.rules import ANYWHERE, DIRECTIONS, PositionTest, move as tree_move
+from ..trees.node import NodeId
+from ..trees.tree import Tree
+
+
+class PebbleAutomatonError(RuntimeError):
+    """Raised on ill-formed automata or genuine runtime errors."""
+
+
+# -- transition tests ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PebbleHere:
+    """Pebble ``index`` is (not) on the current node."""
+
+    index: int
+    present: bool = True
+
+
+@dataclass(frozen=True)
+class PebblesDown:
+    """Exactly ``count`` pebbles are placed."""
+
+    count: int
+
+
+@dataclass(frozen=True)
+class AttrEqPebble:
+    """The current node's ``attr`` equals ``attr_at`` at pebble
+    ``index``'s node — the data join."""
+
+    index: int
+    attr: str
+    attr_at: Optional[str] = None  # defaults to the same attribute
+    negate: bool = False
+
+
+PTest = Union[PebbleHere, PebblesDown, AttrEqPebble]
+
+
+# -- actions ----------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Walk:
+    """Move the head (off-tree ⇒ reject)."""
+
+    direction: str
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise PebbleAutomatonError(f"bad direction {self.direction!r}")
+
+
+@dataclass(frozen=True)
+class Place:
+    """Place the next pebble on the current node."""
+
+
+@dataclass(frozen=True)
+class Lift:
+    """Lift the most recent pebble; the head must stand on it."""
+
+
+PAction = Union[Walk, Place, Lift]
+
+
+@dataclass(frozen=True)
+class PRule:
+    state: str
+    new_state: str
+    label: Optional[str] = None
+    position: PositionTest = ANYWHERE
+    tests: Tuple[PTest, ...] = ()
+    action: PAction = Walk("stay")
+
+
+@dataclass(frozen=True)
+class PebbleAutomaton:
+    """(Q, q0, F, k, rules) — deterministic, strong pebbles."""
+
+    states: frozenset
+    initial: str
+    accepting: frozenset
+    pebbles: int
+    rules: Tuple[PRule, ...]
+    name: str = "P"
+
+    def __post_init__(self) -> None:
+        if self.initial not in self.states:
+            raise PebbleAutomatonError("initial state not in Q")
+        if not self.accepting <= self.states:
+            raise PebbleAutomatonError("accepting states not in Q")
+        if self.pebbles < 0:
+            raise PebbleAutomatonError("pebble count must be >= 0")
+        for rule in self.rules:
+            if rule.state not in self.states or rule.new_state not in self.states:
+                raise PebbleAutomatonError(f"unknown state in {rule!r}")
+            for test in rule.tests:
+                index = getattr(test, "index", None)
+                if index is not None and not 1 <= index <= self.pebbles:
+                    raise PebbleAutomatonError(
+                        f"pebble {index} out of range in {rule!r}"
+                    )
+                if isinstance(test, PebblesDown) and not (
+                    0 <= test.count <= self.pebbles
+                ):
+                    raise PebbleAutomatonError(
+                        f"pebble count {test.count} out of range in {rule!r}"
+                    )
+
+    def rules_for(self, state: str) -> Tuple[PRule, ...]:
+        return tuple(r for r in self.rules if r.state == state)
+
+
+@dataclass
+class PebbleRunResult:
+    accepted: bool
+    steps: int
+    max_pebbles: int
+    reason: str
+
+
+def _test_holds(
+    test: PTest, tree: Tree, node: NodeId, stack: Tuple[NodeId, ...]
+) -> bool:
+    if isinstance(test, PebbleHere):
+        down = test.index <= len(stack)
+        present = down and stack[test.index - 1] == node
+        return present == test.present
+    if isinstance(test, PebblesDown):
+        return len(stack) == test.count
+    if isinstance(test, AttrEqPebble):
+        if test.index > len(stack):
+            return test.negate  # the pebble is not down: no join
+        other = stack[test.index - 1]
+        attr_at = test.attr_at if test.attr_at is not None else test.attr
+        outcome = tree.val(test.attr, node) == tree.val(attr_at, other)
+        return outcome != test.negate
+    raise PebbleAutomatonError(f"unknown test {test!r}")
+
+
+def run_pebble_automaton(
+    automaton: PebbleAutomaton,
+    tree: Tree,
+    fuel: int = 500_000,
+) -> PebbleRunResult:
+    """Deterministic run with cycle detection."""
+    node: NodeId = ()
+    state = automaton.initial
+    stack: Tuple[NodeId, ...] = ()
+    steps = 0
+    max_pebbles = 0
+    seen: Set[Tuple[NodeId, str, Tuple[NodeId, ...]]] = set()
+    while True:
+        if state in automaton.accepting:
+            return PebbleRunResult(True, steps, max_pebbles, "accepted")
+        key = (node, state, stack)
+        if key in seen:
+            return PebbleRunResult(False, steps, max_pebbles, "cycle")
+        seen.add(key)
+        steps += 1
+        if steps > fuel:
+            raise PebbleAutomatonError(f"fuel {fuel} exhausted")
+
+        chosen: Optional[PRule] = None
+        label = tree.label(node)
+        for rule in automaton.rules_for(state):
+            if rule.label is not None and rule.label != label:
+                continue
+            if not rule.position.matches(tree, node):
+                continue
+            if not all(_test_holds(t, tree, node, stack) for t in rule.tests):
+                continue
+            if chosen is not None:
+                raise PebbleAutomatonError(
+                    f"nondeterministic: {chosen!r} / {rule!r}"
+                )
+            chosen = rule
+        if chosen is None:
+            return PebbleRunResult(False, steps, max_pebbles, "stuck")
+
+        action = chosen.action
+        if isinstance(action, Walk):
+            target = tree_move(tree, node, action.direction)
+            if target is None:
+                return PebbleRunResult(False, steps, max_pebbles, "off tree")
+            node = target
+        elif isinstance(action, Place):
+            if len(stack) >= automaton.pebbles:
+                return PebbleRunResult(
+                    False, steps, max_pebbles, "no pebble left to place"
+                )
+            stack = stack + (node,)
+            max_pebbles = max(max_pebbles, len(stack))
+        elif isinstance(action, Lift):
+            if not stack:
+                return PebbleRunResult(False, steps, max_pebbles, "no pebble down")
+            if stack[-1] != node:
+                return PebbleRunResult(
+                    False, steps, max_pebbles,
+                    "strong discipline: the head must stand on the pebble",
+                )
+            stack = stack[:-1]
+        state = chosen.new_state

@@ -1,0 +1,75 @@
+"""The Lemma 4.5 communication protocol, executable.
+
+* :mod:`repro.protocol.split_eval` — cross-half FO(∃*) evaluation
+  (Lemma 4.3(1) compositionality);
+* :mod:`repro.protocol.messages` — the alphabet Δ;
+* :mod:`repro.protocol.party` — a protocol party with the paper's
+  stack discipline and request deduplication;
+* :mod:`repro.protocol.runner` — the synchronous driver and the
+  agreement check against direct execution;
+* :mod:`repro.protocol.programs` — string tw^{r,l} programs covering
+  every message kind.
+"""
+
+from .messages import (
+    AcceptMessage,
+    AtpRequest,
+    ConfigMessage,
+    Message,
+    RejectMessage,
+    Reply,
+    TypeMessage,
+)
+from .party import Party, ProtocolError
+from .runner import (
+    ProtocolResult,
+    protocol_agrees_with_run,
+    required_type_width,
+    run_protocol,
+)
+from .analysis import (
+    DeltaEstimate,
+    dialogue_vs_bound,
+    estimate_delta,
+    observed_message_counts,
+)
+from .split_eval import (
+    Abstract,
+    Concrete,
+    LEFT,
+    RIGHT,
+    SplitEvalError,
+    distinguished_ref,
+    holds_split,
+    select_in_zone,
+)
+from . import programs
+
+__all__ = [
+    "AcceptMessage",
+    "AtpRequest",
+    "ConfigMessage",
+    "Message",
+    "RejectMessage",
+    "Reply",
+    "TypeMessage",
+    "Party",
+    "ProtocolError",
+    "ProtocolResult",
+    "protocol_agrees_with_run",
+    "required_type_width",
+    "run_protocol",
+    "DeltaEstimate",
+    "dialogue_vs_bound",
+    "estimate_delta",
+    "observed_message_counts",
+    "Abstract",
+    "Concrete",
+    "LEFT",
+    "RIGHT",
+    "SplitEvalError",
+    "distinguished_ref",
+    "holds_split",
+    "select_in_zone",
+    "programs",
+]

@@ -1,0 +1,116 @@
+"""Random tw^{r,l} string programs for protocol fuzzing.
+
+Lemma 4.5 claims the protocol simulates *every* program; the hand
+written stock programs cover the message kinds, but confidence comes
+from volume.  :func:`random_program` generates deterministic-by-
+construction programs over data strings:
+
+* determinism is structural — for each (state, position-class) pair at
+  most one rule exists, where the four position classes
+  (root?, leaf?) partition the positions of a monadic tree;
+* actions are sampled from moves (valid for the class), single-value
+  and accumulating updates, and ``atp`` over a pool of selectors;
+* a configurable fraction of rules jumps to the final state, so runs
+  terminate in all three ways (accept / stuck / cycle).
+
+The generated programs are ordinary :class:`TWAutomaton` values — the
+fuzz tests run them through the runner and the protocol and demand
+identical verdicts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..automata.builder import AutomatonBuilder
+from ..automata.machine import TWAutomaton
+from ..automata.rules import DOWN, PositionTest, STAY, UP
+from ..logic import tree_fo as T
+from ..logic.exists_star import X, Y, selector
+from ..store.fo import Attr, Var, conj, disj, eq, exists, forall, implies, neq, rel
+from ..trees.strings import HASH
+
+z, w = Var("z"), Var("w")
+
+#: The four position classes of a monadic tree (root?, leaf?).
+POSITION_CLASSES = (
+    PositionTest(root=True, leaf=True),
+    PositionTest(root=True, leaf=False),
+    PositionTest(root=False, leaf=True),
+    PositionTest(root=False, leaf=False),
+)
+
+_NOT_HASH = T.Not(T.ValConst("a", Y, HASH))
+
+#: Selector pool: a mix of single-target and fanning-out shapes.
+SELECTOR_POOL = (
+    selector(T.conj(T.Desc(X, Y), _NOT_HASH)),                     # after
+    selector(T.conj(T.disj(T.Desc(X, Y), T.NodeEq(X, Y)), _NOT_HASH)),
+    selector(T.conj(T.Edge(X, Y), _NOT_HASH)),                     # next
+    selector(T.conj(T.Edge(Y, X), _NOT_HASH)),                     # previous
+    selector(T.conj(T.Desc(Y, X), _NOT_HASH)),                     # before
+    selector(T.conj(T.Leaf(Y), _NOT_HASH)),                        # the end
+    selector(T.conj(T.Desc(X, Y), T.ValEq("a", X, "a", Y))),       # same value later
+)
+
+#: Guard pool (sentences over one unary register + @a).
+GUARD_POOL = (
+    None,
+    rel(1, Attr("a")),
+    exists(z, rel(1, z)),
+    forall([z, w], implies(conj(rel(1, z), rel(1, w)), eq(z, w))),
+    forall(z, implies(rel(1, z), eq(z, Attr("a")))),
+)
+
+
+def random_program(
+    seed: int,
+    states: int = 4,
+    accept_bias: float = 0.25,
+    atp_bias: float = 0.35,
+) -> TWAutomaton:
+    """A deterministic random tw^{r,l} program over data strings."""
+    rng = random.Random(seed)
+    names = [f"s{i}" for i in range(states)]
+    b = AutomatonBuilder(f"fuzz-{seed}", register_arities=[1])
+
+    def target() -> str:
+        if rng.random() < accept_bias:
+            return "qF"
+        return rng.choice(names)
+
+    for state in names:
+        for position in POSITION_CLASSES:
+            if rng.random() < 0.15:
+                continue  # a stuck hole: rejection via no-rule
+            guard = rng.choice(GUARD_POOL)
+            roll = rng.random()
+            if roll < atp_bias:
+                b.atp(
+                    state, target(),
+                    rng.choice(SELECTOR_POOL),
+                    substate=rng.choice(names),
+                    register=1,
+                    guard=guard,
+                    position=position,
+                )
+            elif roll < atp_bias + 0.3:
+                formula = rng.choice(
+                    (
+                        eq(z, Attr("a")),
+                        disj(rel(1, z), eq(z, Attr("a"))),
+                        conj(rel(1, z), neq(z, Attr("a"))),
+                    )
+                )
+                b.update(state, target(), 1, formula, [z],
+                         guard=guard, position=position)
+            else:
+                moves: List[str] = [STAY]
+                if position.leaf is False:
+                    moves.append(DOWN)
+                if position.root is False:
+                    moves.append(UP)
+                b.move(state, target(), rng.choice(moves),
+                       guard=guard, position=position)
+    return b.build(initial=names[0], final="qF")

@@ -1,0 +1,79 @@
+"""The message alphabet Δ of the Lemma 4.5 protocol.
+
+Exactly the paper's inventory:
+
+* ``⟨θ⟩``                       — an N-type (:class:`TypeMessage`);
+* ``⟨φ, q, θ, τ̄⟩``             — an atp-request (:class:`AtpRequest`);
+* ``⟨R⟩``                       — a reply (:class:`Reply`);
+* ``⟨q, τ̄⟩``                   — hand over the running computation
+  (:class:`ConfigMessage` with ``need_answer=False``);
+* ``⟨q, τ̄, NeedAnswer⟩``       — run this subcomputation and send back
+  its first register (``need_answer=True``);
+* ``⟨accept⟩`` / ``⟨reject⟩``   — verdicts.
+
+Messages carry only information a party legitimately has: its half,
+types of the other half it received, and program-level objects (states,
+stores, selector indices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..logic.types import TypeSummary
+from ..store.database import RegisterStore
+from ..store.relation import Relation
+
+
+@dataclass(frozen=True)
+class TypeMessage:
+    """⟨θ⟩ — the sender's half's N-type (initialisation)."""
+
+    summary: TypeSummary
+
+
+@dataclass(frozen=True)
+class AtpRequest:
+    """⟨φ, q, θ, τ̄⟩ — please run subcomputations at every node of your
+    half selected by φ from the (abstract) current node θ distinguishes,
+    starting in state q with store τ̄, and send me the union of the
+    returned first registers."""
+
+    selector_index: int
+    substate: str
+    theta: TypeSummary
+    store: RegisterStore
+
+
+@dataclass(frozen=True)
+class Reply:
+    """⟨R⟩ — the union of first registers you asked for (answers both
+    atp-requests and NeedAnswer configurations)."""
+
+    relation: Relation
+
+
+@dataclass(frozen=True)
+class ConfigMessage:
+    """⟨q, τ̄⟩ or ⟨q, τ̄, NeedAnswer⟩ — the walking control crossed the
+    # boundary; resume it at your entry position."""
+
+    state: str
+    store: RegisterStore
+    need_answer: bool = False
+
+
+@dataclass(frozen=True)
+class AcceptMessage:
+    """⟨accept⟩."""
+
+
+@dataclass(frozen=True)
+class RejectMessage:
+    """⟨reject⟩ — with the (out-of-band) reason for diagnostics."""
+
+    reason: str = ""
+
+
+Message = Union[TypeMessage, AtpRequest, Reply, ConfigMessage, AcceptMessage, RejectMessage]

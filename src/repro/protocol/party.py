@@ -1,0 +1,421 @@
+"""One party of the Lemma 4.5 protocol.
+
+Party I holds ``f#`` (it owns the shared # position), party II holds
+``#g`` (owning everything strictly right of #).  A party simulates the
+tw^{r,l} program inside its zone with unlimited local power; everything
+it knows about the other half is the received N-type.  Its state is
+
+* the current running computation (position, program state, store,
+  and the visited-configuration set for cycle detection), or nothing
+  while waiting;
+* the paper's stack of ``ReturnAns`` / ``Compute`` /
+  ``Compute&Return`` records;
+* the request memo implementing the proof's deduplication argument:
+  a request already answered is reused, a request re-issued while
+  pending means the global run is cycling — ⟨reject⟩.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from ..automata.machine import TWAutomaton
+from ..automata.rules import Atp, DOWN, LEFT as MOVE_LEFT, Move, RIGHT as MOVE_RIGHT, STAY, UP, Update
+from ..logic.types import StringStructure, TypeSummary, type_summary
+from ..store.database import RegisterStore
+from ..store.fo import StoreContext, evaluate as evaluate_guard, evaluate_update
+from ..store.relation import Relation
+from ..trees.strings import STRING_ATTR
+from .messages import (
+    AcceptMessage,
+    AtpRequest,
+    ConfigMessage,
+    Message,
+    Reply,
+    RejectMessage,
+    TypeMessage,
+)
+from .split_eval import Abstract, Concrete, LEFT, RIGHT, holds_split, select_in_zone
+
+
+class ProtocolError(RuntimeError):
+    """A protocol invariant broke (a bug, not a reject)."""
+
+
+@dataclass
+class _Comp:
+    """A computation this party is currently simulating."""
+
+    position: int  # local index in the half
+    state: str
+    store: RegisterStore
+    seen: Set[Tuple[int, str, RegisterStore]] = field(default_factory=set)
+    start_key: Optional[Tuple[int, str, RegisterStore]] = None
+
+
+@dataclass
+class _ReturnAns:
+    """On acceptance, send the first register to the other party."""
+
+
+@dataclass
+class _Compute:
+    """An atp this party issued itself: remaining own-half start
+    positions, the accumulated result, and the configuration to resume."""
+
+    remaining: List[int]
+    result: Relation
+    resume_position: int
+    resume_state: str
+    store_at_atp: RegisterStore
+    register: int
+    substate: str
+    saved_seen: Set[Tuple[int, str, RegisterStore]]
+
+
+@dataclass
+class _ComputeReturn:
+    """The own-half share of the *other* party's atp-request."""
+
+    remaining: List[int]
+    result: Relation
+    substate: str
+    store_at_atp: RegisterStore
+
+
+_StackEntry = Union[_ReturnAns, _Compute, _ComputeReturn]
+
+
+class Party:
+    """One endpoint of the protocol."""
+
+    def __init__(
+        self,
+        name: str,
+        side: str,
+        half_values: Tuple,
+        program: TWAutomaton,
+        type_k: int,
+        fuel: int = 200_000,
+    ) -> None:
+        self.name = name
+        self.side = side
+        self.half = StringStructure(tuple(half_values))
+        self.program = program
+        self.type_k = type_k
+        self.fuel = fuel
+        self.constants = program.program_constants()
+        self.selectors = program.selectors()
+        if side == LEFT:
+            self.zone = tuple(range(len(self.half)))  # owns the # (last)
+            self.entry_local = len(self.half) - 1     # resume at # itself? no: see below
+        else:
+            self.zone = tuple(range(1, len(self.half)))
+            self.entry_local = 1
+        # Party I's entry is the # position (global b): a computation
+        # crossing right-to-left lands on b.
+        if side == LEFT:
+            self.entry_local = len(self.half) - 1
+        self.other_summary: Optional[TypeSummary] = None
+        self.comp: Optional[_Comp] = None
+        self.stack: List[_StackEntry] = []
+        self.memo: Dict[Tuple, object] = {}
+        self.pending_keys: List[Tuple] = []
+        self.sent_configs: Set[Tuple[str, RegisterStore, bool]] = set()
+        self.active_starts: Set[Tuple[int, str, RegisterStore]] = set()
+        self.steps = 0
+
+    # -- initialisation -----------------------------------------------------------
+
+    def own_type(self) -> TypeMessage:
+        return TypeMessage(type_summary(self.half, (), self.type_k))
+
+    def receive_type(self, message: TypeMessage) -> None:
+        self.other_summary = message.summary
+
+    def begin_main(self) -> Message:
+        """Party I only: start the main computation at global position 0."""
+        if self.side != LEFT:
+            raise ProtocolError("the main computation starts on party I's half")
+        self.comp = _Comp(0, self.program.initial_state, self.program.initial_store())
+        return self._drive()
+
+    # -- the reactive interface ------------------------------------------------------
+
+    def handle(self, message: Message) -> Message:
+        if isinstance(message, TypeMessage):
+            raise ProtocolError("types are exchanged during initialisation only")
+        if isinstance(message, ConfigMessage):
+            if message.need_answer:
+                self.stack.append(_ReturnAns())
+            self.comp = _Comp(self.entry_local, message.state, message.store)
+            return self._drive()
+        if isinstance(message, AtpRequest):
+            selector = self.selectors[message.selector_index]
+            selected = select_in_zone(
+                selector,
+                self.half,
+                self.side,
+                Abstract(0),  # the requester's current node, distinguished in θ
+                message.theta,
+                self.zone,
+            )
+            self.stack.append(
+                _ComputeReturn(
+                    remaining=sorted(selected),
+                    result=Relation.empty(self.program.schema.arity(1)),
+                    substate=message.substate,
+                    store_at_atp=message.store,
+                )
+            )
+            return self._drive()
+        if isinstance(message, Reply):
+            if not self.pending_keys:
+                raise ProtocolError("reply without a pending request")
+            key, closed_start = self.pending_keys.pop()
+            self.memo[key] = message.relation
+            if closed_start is not None:
+                self.active_starts.discard(closed_start)
+            top = self._top("a reply needs a Compute/Compute&Return on top")
+            top.result = top.result.union(message.relation)
+            return self._drive()
+        raise ProtocolError(f"unexpected message {message!r}")
+
+    # -- the engine ---------------------------------------------------------------------
+
+    def _drive(self) -> Message:
+        while True:
+            if self.comp is not None:
+                outcome = self._step()
+            else:
+                outcome = self._continue_stack()
+            if outcome is not None:
+                return outcome
+
+    def _top(self, why: str) -> Union[_Compute, _ComputeReturn]:
+        if not self.stack or not isinstance(self.stack[-1], (_Compute, _ComputeReturn)):
+            raise ProtocolError(why)
+        return self.stack[-1]
+
+    # .. running one configuration step ...................................................
+
+    def _step(self) -> Optional[Message]:
+        comp = self.comp
+        assert comp is not None
+        self.steps += 1
+        if self.steps > self.fuel:
+            raise ProtocolError(f"party fuel {self.fuel} exhausted")
+
+        if comp.state == self.program.final_state:
+            return self._finish_computation(comp.store)
+
+        key = (comp.position, comp.state, comp.store)
+        if key in comp.seen:
+            return self._reject(f"{self.name}: local configuration cycle")
+        comp.seen.add(key)
+
+        rule = self._applicable_rule(comp)
+        if rule is None:
+            return self._reject(f"{self.name}: stuck (no rule applies)")
+        rhs = rule.rhs
+
+        if isinstance(rhs, Move):
+            return self._apply_move(comp, rhs)
+        if isinstance(rhs, Update):
+            ctx = self._context(comp)
+            relation = evaluate_update(rhs.formula, list(rhs.variables), ctx)
+            comp.state = rhs.state
+            comp.store = comp.store.set(rhs.register, relation)
+            return None
+        if isinstance(rhs, Atp):
+            return self._apply_atp(comp, rhs)
+        raise ProtocolError(f"unknown RHS {rhs!r}")
+
+    def _apply_move(self, comp: _Comp, rhs: Move) -> Optional[Message]:
+        if rhs.direction == STAY:
+            comp.state = rhs.state
+            return None
+        if rhs.direction in (MOVE_LEFT, MOVE_RIGHT):
+            return self._reject(f"{self.name}: sibling move on a string")
+        delta = 1 if rhs.direction == DOWN else -1
+        target = comp.position + delta
+        if target in self.zone:
+            comp.position = target
+            comp.state = rhs.state
+            return None
+        crossing = (
+            self.side == LEFT and target == len(self.half)
+        ) or (self.side == RIGHT and target == 0)
+        if crossing:
+            return self._send_crossing(rhs.state, comp.store)
+        return self._reject(f"{self.name}: walked off the string")
+
+    def _send_crossing(self, state: str, store: RegisterStore) -> Optional[Message]:
+        comp = self.comp
+        assert comp is not None
+        self.comp = None
+        if not self.stack:
+            need_answer = False
+        elif isinstance(self.stack[-1], _ReturnAns):
+            self.stack.pop()  # the other party takes the obligation back
+            need_answer = False
+        else:
+            need_answer = True
+        if need_answer:
+            key = ("cross", state, store)
+            memoised = self.memo.get(key)
+            if memoised == "pending":
+                return self._reject(f"{self.name}: crossing request cycle")
+            if memoised is not None:
+                if comp.start_key is not None:
+                    self.active_starts.discard(comp.start_key)
+                top = self._top("crossing result needs a frame")
+                top.result = top.result.union(memoised)  # type: ignore[arg-type]
+                return None
+            self.memo[key] = "pending"
+            self.pending_keys.append((key, comp.start_key))
+            return ConfigMessage(state, store, need_answer=True)
+        dedup = (state, store, False)
+        if dedup in self.sent_configs:
+            return self._reject(f"{self.name}: configuration crossed twice")
+        self.sent_configs.add(dedup)
+        return ConfigMessage(state, store, need_answer=False)
+
+    def _apply_atp(self, comp: _Comp, rhs: Atp) -> Optional[Message]:
+        if self.other_summary is None:
+            raise ProtocolError("types were never exchanged")
+        selector_index = self._selector_index(rhs)
+        selector = self.selectors[selector_index]
+        selected = select_in_zone(
+            selector,
+            self.half,
+            self.side,
+            Concrete(comp.position),
+            self.other_summary,
+            self.zone,
+        )
+        theta = type_summary(self.half, (comp.position,), self.type_k)
+        frame = _Compute(
+            remaining=sorted(selected),
+            result=Relation.empty(self.program.schema.arity(1)),
+            resume_position=comp.position,
+            resume_state=rhs.state,
+            store_at_atp=comp.store,
+            register=rhs.register,
+            substate=rhs.substate,
+            saved_seen=comp.seen,
+        )
+        self.comp = None
+        self.stack.append(frame)
+        key = ("atp", selector_index, rhs.substate, theta, comp.store)
+        memoised = self.memo.get(key)
+        if memoised == "pending":
+            return self._reject(f"{self.name}: atp request cycle")
+        if memoised is not None:
+            frame.result = frame.result.union(memoised)  # type: ignore[arg-type]
+            return None  # the local shares still need computing
+        self.memo[key] = "pending"
+        self.pending_keys.append((key, None))
+        return AtpRequest(selector_index, rhs.substate, theta, comp.store)
+
+    def _selector_index(self, rhs: Atp) -> int:
+        for index, selector in enumerate(self.selectors):
+            if selector is rhs.selector or selector == rhs.selector:
+                return index
+        raise ProtocolError("selector not registered with the program")
+
+    # .. completing computations and draining the stack ......................................
+
+    def _finish_computation(self, store: RegisterStore) -> Optional[Message]:
+        comp = self.comp
+        assert comp is not None
+        if comp.start_key is not None:
+            self.active_starts.discard(comp.start_key)
+        self.comp = None
+        first = store.get(1)
+        if not self.stack:
+            return AcceptMessage()
+        top = self.stack[-1]
+        if isinstance(top, _ReturnAns):
+            self.stack.pop()
+            return Reply(first)
+        assert isinstance(top, (_Compute, _ComputeReturn))
+        top.result = top.result.union(first)
+        return None
+
+    def _continue_stack(self) -> Optional[Message]:
+        if not self.stack:
+            raise ProtocolError("idle party with an empty stack was driven")
+        top = self.stack[-1]
+        if isinstance(top, _ReturnAns):
+            raise ProtocolError("ReturnAns on top while idle")
+        if top.remaining:
+            start = top.remaining.pop(0)
+            key = (start, top.substate, top.store_at_atp)
+            if key in self.active_starts:
+                return self._reject(f"{self.name}: subcomputation restarted (cycle)")
+            self.active_starts.add(key)
+            self.comp = _Comp(start, top.substate, top.store_at_atp, start_key=key)
+            return None
+        self.stack.pop()
+        if isinstance(top, _ComputeReturn):
+            return Reply(top.result)
+        # _Compute: resume the suspended computation with the register set.
+        self.comp = _Comp(
+            top.resume_position,
+            top.resume_state,
+            top.store_at_atp.set(top.register, top.result),
+            seen=top.saved_seen,
+        )
+        return None
+
+    # .. local semantics helpers ..............................................................
+
+    def _global_flags(self, local: int) -> Tuple[bool, bool, bool, bool]:
+        """(root, leaf, first-child, last-child) of the global string."""
+        if self.side == LEFT:
+            root = local == 0
+            leaf = False  # g is nonempty
+        else:
+            root = False
+            leaf = local == len(self.half) - 1
+        return (root, leaf, not root, not leaf)
+
+    def _applicable_rule(self, comp: _Comp):
+        label = self.half.label(comp.position)
+        ctx = self._context(comp)
+        root, leaf, first, last = self._global_flags(comp.position)
+        found = None
+        for rule in self.program.rules_for(comp.state):
+            lhs = rule.lhs
+            if lhs.label is not None and lhs.label != label:
+                continue
+            position_ok = all(
+                expected is None or expected == actual
+                for expected, actual in (
+                    (lhs.position.root, root),
+                    (lhs.position.leaf, leaf),
+                    (lhs.position.first, first),
+                    (lhs.position.last, last),
+                )
+            )
+            if not position_ok:
+                continue
+            if not evaluate_guard(lhs.guard, ctx):
+                continue
+            if found is not None:
+                raise ProtocolError(f"nondeterministic program at {comp!r}")
+            found = rule
+        return found
+
+    def _context(self, comp: _Comp) -> StoreContext:
+        return StoreContext(
+            comp.store,
+            {STRING_ATTR: self.half.value(comp.position)},
+            self.constants,
+        )
+
+    def _reject(self, reason: str) -> RejectMessage:
+        self.comp = None
+        return RejectMessage(reason)

@@ -1,0 +1,166 @@
+"""tw^{r,l} programs over data strings for exercising the protocol.
+
+Each constructor returns a program meaningful on monadic trees (the
+split strings of Section 4) together with a Python specification, and
+collectively they cover every message kind of Δ: plain walking that
+crosses # (configurations), one-shot ``atp`` (requests/replies), and
+nested ``atp`` inside subcomputations (NeedAnswer traffic).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from ..automata.builder import AutomatonBuilder
+from ..automata.machine import TWAutomaton
+from ..automata.rules import DOWN, PositionTest, STAY
+from ..logic import tree_fo as T
+from ..logic.exists_star import X, Y, selector
+from ..store.fo import Attr, Var, conj, disj, eq, forall, implies, rel
+from ..trees.values import DataValue
+
+z, w = Var("z"), Var("w")
+
+AT_LEAF = PositionTest(leaf=True)
+AT_INNER = PositionTest(leaf=False)
+
+from ..trees.strings import HASH
+
+#: y does not carry the # marker (programs on split strings skip it).
+_NOT_HASH_Y = T.Not(T.ValConst("a", Y, HASH))
+
+#: φ(x, y) ≡ (x ≺ y ∨ x = y) ∧ val(y) ≠ # — every data position from
+#: the current one on.
+SELF_OR_AFTER = selector(
+    T.conj(T.disj(T.Desc(X, Y), T.NodeEq(X, Y)), _NOT_HASH_Y)
+)
+#: φ(x, y) ≡ x ≺ y ∧ val(y) ≠ # — strictly later data positions.
+AFTER = selector(T.conj(T.Desc(X, Y), _NOT_HASH_Y))
+
+
+def _singleton(register: int):
+    return forall([z, w], implies(conj(rel(register, z), rel(register, w)), eq(z, w)))
+
+
+def _subset_of_current(register: int, attr: str = "a"):
+    """∀z X(z) → z = @attr."""
+    return forall(z, implies(rel(register, z), eq(z, Attr(attr))))
+
+
+def walking_all_same(attr: str = "a") -> TWAutomaton:
+    """Pure walking + storage (no atp): march down the string
+    accumulating values, accept at the leaf if the set is a singleton.
+    The protocol run exchanges only configuration messages."""
+    from ..store.fo import neq
+
+    accumulate = disj(
+        rel(1, z), conj(eq(z, Attr(attr)), neq(Attr(attr), HASH))
+    )
+    b = AutomatonBuilder("walking-all-same", register_arities=[1])
+    b.update("go", "step", 1, accumulate, [z])
+    b.move("step", "go", DOWN, position=AT_INNER)
+    b.move("step", "final", STAY, position=AT_LEAF)
+    b.move("final", "qF", STAY, guard=_singleton(1))
+    return b.build(initial="go", final="qF")
+
+
+def atp_all_same(attr: str = "a") -> TWAutomaton:
+    """One ``atp`` collecting every position's value from the root; a
+    singleton-guard accepts.  The protocol run needs one atp-request
+    with subcomputations on both halves."""
+    b = AutomatonBuilder("atp-all-same", register_arities=[1])
+    b.atp("q0", "q1", SELF_OR_AFTER, substate="rep", register=1)
+    b.move("q1", "qF", STAY, guard=_singleton(1))
+    b.update("rep", "done", 1, eq(z, Attr(attr)), [z])
+    b.move("done", "qF", STAY)
+    return b.build(initial="q0", final="qF")
+
+
+def all_same_spec(attr: str = "a") -> Callable[[Sequence[DataValue]], bool]:
+    def spec(values: Sequence[DataValue]) -> bool:
+        return len(set(values)) <= 1
+
+    return spec
+
+
+def nested_constant_suffixes(attr: str = "a") -> TWAutomaton:
+    """Nested atp: from the root, start a subcomputation at *every*
+    position; each checks (by its own atp) that all strictly later
+    positions carry its value.  Accepts iff every suffix is constant —
+    i.e. the whole string is constant — but through deeply nested
+    subcomputations that force NeedAnswer traffic across #."""
+    b = AutomatonBuilder("nested-constant", register_arities=[1])
+    b.atp("q0", "q1", SELF_OR_AFTER, substate="chk", register=1)
+    b.move("q1", "qF", STAY)
+    b.atp("chk", "verdict", AFTER, substate="rep", register=1)
+    b.move("verdict", "qF", STAY, guard=_subset_of_current(1, attr))
+    b.update("rep", "done", 1, eq(z, Attr(attr)), [z])
+    b.move("done", "qF", STAY)
+    return b.build(initial="q0", final="qF")
+
+
+def root_value_reappears(attr: str = "a") -> TWAutomaton:
+    """Register + walking: remember the first value, walk to the end,
+    accept iff the last value matches the first (config crossings with
+    a loaded register)."""
+    b = AutomatonBuilder("first-equals-last", register_arities=[1])
+    b.update("q0", "walk", 1, eq(z, Attr(attr)), [z])
+    b.move("walk", "walk", DOWN, position=AT_INNER)
+    b.move("walk", "qF", STAY, position=AT_LEAF, guard=rel(1, Attr(attr)))
+    return b.build(initial="q0", final="qF")
+
+
+def first_equals_last_spec(attr: str = "a") -> Callable[[Sequence[DataValue]], bool]:
+    def spec(values: Sequence[DataValue]) -> bool:
+        return values[0] == values[-1]
+
+    return spec
+
+
+def value_occurs_after_hash(value: DataValue, attr: str = "a") -> TWAutomaton:
+    """atp with a data constant: accepts iff some position strictly
+    after the current (root) # ... strictly, some position anywhere
+    carries ``value`` — the reporter rejects elsewhere, so the guard
+    checks non-emptiness of the collected set."""
+    from ..store.fo import exists as fo_exists
+
+    b = AutomatonBuilder(f"occurs-{value!r}", register_arities=[1])
+    b.atp("q0", "q1", SELF_OR_AFTER, substate="rep", register=1)
+    b.move("q1", "qF", STAY, guard=fo_exists(z, conj(rel(1, z), eq(z, value))))
+    b.update("rep", "done", 1, eq(z, Attr(attr)), [z])
+    b.move("done", "qF", STAY)
+    return b.build(initial="q0", final="qF")
+
+
+def occurs_spec(value: DataValue) -> Callable[[Sequence[DataValue]], bool]:
+    def spec(values: Sequence[DataValue]) -> bool:
+        return value in values
+
+    return spec
+
+
+def constant_spec(attr: str = "a") -> Callable[[Sequence[DataValue]], bool]:
+    return all_same_spec(attr)
+
+
+def walking_reporters(attr: str = "a") -> TWAutomaton:
+    """Subcomputations that *walk*: from the root, one subcomputation per
+    data position; each marches down to the global leaf and reports the
+    final value.  The union is always the singleton {last value}, so
+    the program accepts every split string — its purpose is to force
+    subcomputations across the # boundary (⟨q, τ̄, NeedAnswer⟩ traffic
+    in the protocol)."""
+    b = AutomatonBuilder("walking-reporters", register_arities=[1])
+    b.atp("q0", "q1", SELF_OR_AFTER, substate="rep", register=1)
+    b.move("q1", "qF", STAY, guard=_singleton(1))
+    b.move("rep", "rep", DOWN, position=AT_INNER)
+    b.update("rep", "done", 1, eq(z, Attr(attr)), [z], position=AT_LEAF)
+    b.move("done", "qF", STAY)
+    return b.build(initial="q0", final="qF")
+
+
+def always_true_spec() -> Callable[[Sequence[DataValue]], bool]:
+    def spec(values: Sequence[DataValue]) -> bool:
+        return True
+
+    return spec

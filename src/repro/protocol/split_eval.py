@@ -1,0 +1,302 @@
+"""Cross-half evaluation of FO(∃*) on split strings — Lemma 4.3(1) made
+executable.
+
+A party holds one half of ``f#g`` concretely (``f#`` for party I,
+``#g`` for party II; the shared ``#`` sits in both) plus the *N-type*
+of the other half (a :class:`repro.logic.types.TypeSummary`).  To run
+the protocol it must decide, for concrete positions on its own half
+and/or abstract positions known only through the other half's type,
+whether ``f#g ⊨ φ(…)`` for the FO(∃*) selectors of the program.
+
+The decision procedure enumerates, for each way of splitting the
+existential prefix between the halves, concrete tuples on the own half
+and *realized atomic types* on the other half; the matrix is then
+evaluated atom by atom:
+
+* own–own atoms: directly on the concrete half;
+* other–other atoms: read off the chosen atomic type (which jointly
+  constrains the other-half tuple *and* the distinguished positions);
+* cross atoms: derived from the boundary flags — position order
+  between the halves is fixed by the split, equality and successor
+  can only happen at/around the shared ``#``, and data (in)equality is
+  determined because atomic types record exact values over the finite
+  D both parties know (Definition 4.4).
+
+This is precisely the compositionality content of Lemma 4.3(1):
+``tp(f#g; ū)`` is a function of ``tp(f#; ū∩f)`` and ``tp(#g; ū∩g)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..logic import tree_fo as T
+from ..logic.exists_star import ExistsStarQuery, strip_prefix
+from ..logic.types import AtomicType, StringStructure, TypeSummary
+from ..trees.strings import HASH
+
+LEFT = "L"   # the party holding f#
+RIGHT = "R"  # the party holding #g
+
+
+class SplitEvalError(ValueError):
+    """Raised on malformed split-evaluation inputs."""
+
+
+@dataclass(frozen=True)
+class Concrete:
+    """A position on the evaluating party's own (concrete) half."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class Abstract:
+    """A column of the chosen other-half atomic type."""
+
+    column: int
+
+
+PosRef = Union[Concrete, Abstract]
+
+
+class _Context:
+    """One candidate assignment: the own half, the chosen other-half
+    atomic type, and which side is which."""
+
+    def __init__(
+        self,
+        own: StringStructure,
+        own_side: str,
+        atype: AtomicType,
+    ) -> None:
+        self.own = own
+        self.own_side = own_side
+        self.other_side = RIGHT if own_side == LEFT else LEFT
+        self.infos, self.pairs = atype
+        # pair lookup: pairs are stored for i < j in tuple order
+        self._pair_index: Dict[Tuple[int, int], Tuple[int, bool, bool]] = {}
+        count = len(self.infos)
+        k = 0
+        for i in range(count):
+            for j in range(i + 1, count):
+                self._pair_index[(i, j)] = self.pairs[k]
+                k += 1
+
+    # -- per-position facts ------------------------------------------------------
+
+    def value(self, ref: PosRef):
+        if isinstance(ref, Concrete):
+            return self.own.value(ref.index)
+        return self.infos[ref.column][0]
+
+    def label(self, ref: PosRef) -> str:
+        if isinstance(ref, Concrete):
+            return self.own.label(ref.index)
+        return self.infos[ref.column][1]
+
+    def _flags(self, ref: PosRef) -> Tuple[bool, bool, bool, bool]:
+        """(first, second, last, second-to-last) within the ref's half."""
+        if isinstance(ref, Concrete):
+            n = len(self.own)
+            i = ref.index
+            return (i == 0, i == 1, i == n - 1, i == n - 2)
+        info = self.infos[ref.column]
+        return (info[2], info[3], info[4], info[5])
+
+    def side(self, ref: PosRef) -> str:
+        return self.own_side if isinstance(ref, Concrete) else self.other_side
+
+    def is_hash(self, ref: PosRef) -> bool:
+        first, _second, last, _stl = self._flags(ref)
+        return last if self.side(ref) == LEFT else first
+
+    # -- pairwise facts -------------------------------------------------------------
+
+    def equal(self, a: PosRef, b: PosRef) -> bool:
+        if isinstance(a, Concrete) and isinstance(b, Concrete):
+            return a.index == b.index
+        if isinstance(a, Abstract) and isinstance(b, Abstract):
+            return self._sign(a, b) == 0
+        return self.is_hash(a) and self.is_hash(b)
+
+    def before(self, a: PosRef, b: PosRef) -> bool:
+        """Strict global position order a < b."""
+        if isinstance(a, Concrete) and isinstance(b, Concrete):
+            return a.index < b.index
+        if isinstance(a, Abstract) and isinstance(b, Abstract):
+            return self._sign(a, b) < 0
+        # cross: every L position globally precedes every R position,
+        # except the shared # which is equal on both.
+        left_ref = a if self.side(a) == LEFT else b
+        right_ref = b if left_ref is a else a
+        strictly = not (self.is_hash(a) and self.is_hash(b))
+        if self.side(a) == LEFT:  # a on L, b on R: a <= b globally
+            return strictly
+        return False  # a on R, b on L: never before
+
+    def succ(self, a: PosRef, b: PosRef) -> bool:
+        """Global position successor: b = a + 1."""
+        if isinstance(a, Concrete) and isinstance(b, Concrete):
+            return b.index == a.index + 1
+        if isinstance(a, Abstract) and isinstance(b, Abstract):
+            _sign, ab, _ba = self._pair(a, b)
+            return ab
+        if self.side(a) == LEFT and self.side(b) == RIGHT:
+            a_first, a_second, a_last, a_stl = self._flags(a)
+            b_first, b_second, b_last, b_stl = self._flags(b)
+            # a = #, b = first of g   or   a = last of f, b = #
+            return (a_last and b_second) or (a_stl and b_first)
+        return False  # R position never immediately precedes an L one
+
+    def _pair(self, a: Abstract, b: Abstract):
+        i, j = a.column, b.column
+        if i == j:
+            return (0, False, False)
+        if i < j:
+            return self._pair_index[(i, j)]
+        sign, ab, ba = self._pair_index[(j, i)]
+        return (-sign, ba, ab)
+
+    def _sign(self, a: Abstract, b: Abstract) -> int:
+        return self._pair(a, b)[0]
+
+    # -- global positional predicates --------------------------------------------------
+
+    def is_root(self, ref: PosRef) -> bool:
+        """Global position 0 — the first position of the L half."""
+        first, _s, _l, _stl = self._flags(ref)
+        return self.side(ref) == LEFT and first
+
+    def is_leaf(self, ref: PosRef) -> bool:
+        """Global last position — the last of the R half."""
+        _f, _s, last, _stl = self._flags(ref)
+        return self.side(ref) == RIGHT and last
+
+
+def _atom_holds(atom, env: Dict[T.NVar, PosRef], ctx: _Context) -> bool:
+    def ref(var: T.NVar) -> PosRef:
+        try:
+            return env[var]
+        except KeyError:
+            raise SplitEvalError(f"unbound variable {var!r}") from None
+
+    if isinstance(atom, T.TrueF):
+        return True
+    if isinstance(atom, T.FalseF):
+        return False
+    if isinstance(atom, T.Edge):
+        return ctx.succ(ref(atom.parent), ref(atom.child))
+    if isinstance(atom, T.SibLess):
+        return False  # monadic trees have no siblings
+    if isinstance(atom, T.Desc):
+        return ctx.before(ref(atom.ancestor), ref(atom.descendant))
+    if isinstance(atom, T.Label):
+        return ctx.label(ref(atom.var)) == atom.symbol
+    if isinstance(atom, T.NodeEq):
+        return ctx.equal(ref(atom.left), ref(atom.right))
+    if isinstance(atom, T.ValEq):
+        return ctx.value(ref(atom.left)) == ctx.value(ref(atom.right))
+    if isinstance(atom, T.ValConst):
+        return ctx.value(ref(atom.var)) == atom.value
+    if isinstance(atom, T.Root):
+        return ctx.is_root(ref(atom.var))
+    if isinstance(atom, T.Leaf):
+        return ctx.is_leaf(ref(atom.var))
+    if isinstance(atom, T.First):
+        # In a monadic tree every non-root node is a first child.
+        return not ctx.is_root(ref(atom.var))
+    if isinstance(atom, T.Last):
+        return not ctx.is_root(ref(atom.var))
+    if isinstance(atom, T.Succ):
+        return False  # sibling successor: no siblings on strings
+    raise SplitEvalError(f"unknown atom {atom!r}")
+
+
+def _matrix_holds(matrix, env: Dict[T.NVar, PosRef], ctx: _Context) -> bool:
+    if T.is_atom(matrix):
+        return _atom_holds(matrix, env, ctx)
+    if isinstance(matrix, T.Not):
+        return not _matrix_holds(matrix.inner, env, ctx)
+    if isinstance(matrix, T.And):
+        return all(_matrix_holds(p, env, ctx) for p in matrix.parts)
+    if isinstance(matrix, T.Or):
+        return any(_matrix_holds(p, env, ctx) for p in matrix.parts)
+    if isinstance(matrix, T.Implies):
+        return (not _matrix_holds(matrix.premise, env, ctx)) or _matrix_holds(
+            matrix.conclusion, env, ctx
+        )
+    raise SplitEvalError(f"quantifier inside FO(∃*) matrix: {matrix!r}")
+
+
+def holds_split(
+    query: ExistsStarQuery,
+    own: StringStructure,
+    own_side: str,
+    bindings: Dict[T.NVar, PosRef],
+    other: TypeSummary,
+) -> bool:
+    """Decide ``f#g ⊨ φ(bindings)`` from one concrete half + the other
+    half's type summary.
+
+    ``bindings`` maps φ's free variables to :class:`Concrete` own-half
+    positions or :class:`Abstract` columns of the *distinguished* tail
+    of ``other`` (column numbering: the other-side existential tuple
+    comes first, then the distinguished positions — callers use
+    ``Abstract(-1)`` style via :func:`distinguished_ref`).
+    """
+    if own_side not in (LEFT, RIGHT):
+        raise SplitEvalError(f"own_side must be L or R, got {own_side!r}")
+    prefix, matrix = strip_prefix(query.formula)
+    free = {v for v in (query.x, query.y) if v in bindings}
+    abstract_bindings = {
+        v: r for v, r in bindings.items() if isinstance(r, Abstract)
+    }
+    distinguished = other.distinguished
+
+    for split in itertools.product((0, 1), repeat=len(prefix)):
+        own_vars = [v for v, s in zip(prefix, split) if s == 0]
+        other_vars = [v for v, s in zip(prefix, split) if s == 1]
+        m = len(other_vars)
+        if m > other.k:
+            continue  # the summary cannot witness this split
+        for own_combo in itertools.product(own.positions, repeat=len(own_vars)):
+            base_env: Dict[T.NVar, PosRef] = dict(bindings)
+            for var, pos in zip(own_vars, own_combo):
+                base_env[var] = Concrete(pos)
+            for atype in other.types_for(m):
+                env = dict(base_env)
+                for t, var in enumerate(other_vars):
+                    env[var] = Abstract(t)
+                # re-anchor distinguished refs after the m-tuple
+                for var, ref in abstract_bindings.items():
+                    env[var] = Abstract(m + ref.column)
+                ctx = _Context(own, own_side, atype)
+                if _matrix_holds(matrix, env, ctx):
+                    return True
+    return False
+
+
+def distinguished_ref(index: int) -> Abstract:
+    """Reference the ``index``-th distinguished position of the other
+    half's summary (0-based); re-anchored internally per split."""
+    return Abstract(index)
+
+
+def select_in_zone(
+    query: ExistsStarQuery,
+    own: StringStructure,
+    own_side: str,
+    current: PosRef,
+    other: TypeSummary,
+    zone: Sequence[int],
+) -> Tuple[int, ...]:
+    """All own-half positions v ∈ zone with ``f#g ⊨ φ(current, v)``."""
+    out = []
+    for candidate in zone:
+        bindings = {query.x: current, query.y: Concrete(candidate)}
+        if holds_split(query, own, own_side, bindings, other):
+            out.append(candidate)
+    return tuple(out)

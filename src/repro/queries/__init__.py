@@ -1,0 +1,5 @@
+"""User-facing facade: :class:`TreeDatabase`."""
+
+from .facade import TreeDatabase
+
+__all__ = ["TreeDatabase"]

@@ -1,0 +1,163 @@
+"""``TreeDatabase`` — the one-stop user API.
+
+Wraps an attributed tree (typically parsed from XML or term syntax)
+and exposes the paper's query formalisms side by side:
+
+>>> from repro.queries import TreeDatabase
+>>> db = TreeDatabase.from_term('catalog(dept(item[cur="EUR"], item[cur="EUR"]))')
+>>> db.xpath("catalog//item")
+((0, 0), (0, 1))
+>>> from repro.automata.examples import all_leaves_same_twrl
+>>> db.run_automaton(all_leaves_same_twrl("cur"))
+True
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..automata.classes import TWClass, classify
+from ..automata.machine import TWAutomaton
+from ..automata.runner import RunResult, accepts, run
+from ..logic import tree_fo
+from ..logic.exists_star import ExistsStarQuery
+from ..mso.hedge import HedgeAutomaton
+from ..simulation.configgraph import evaluate_memo
+from ..simulation.ids import ID_ATTR, has_unique_ids, with_ids
+from ..trees.delimited import delim
+from ..trees.node import NodeId
+from ..trees.parser import format_term, parse_term
+from ..trees.tree import Tree
+from ..trees.xmlio import from_xml, to_xml
+from ..xpath.compiler import compile_xpath
+from ..xpath.evaluator import select as xpath_select
+from ..xpath.parser import parse_xpath
+
+
+class TreeDatabase:
+    """An attributed tree with the paper's query engines attached."""
+
+    def __init__(self, tree: Tree, ensure_ids: bool = False) -> None:
+        if ensure_ids and not has_unique_ids(tree):
+            tree = with_ids(tree)
+        self.tree = tree
+        self._xpath_cache: Dict[str, object] = {}
+
+    # -- construction --------------------------------------------------------------
+
+    @classmethod
+    def from_term(cls, text: str, **kwargs) -> "TreeDatabase":
+        """From term syntax ``a(b[x=1], c)``."""
+        return cls(parse_term(text), **kwargs)
+
+    @classmethod
+    def from_xml(cls, text: str, **kwargs) -> "TreeDatabase":
+        """From the XML subset."""
+        return cls(from_xml(text), **kwargs)
+
+    # -- inspection -----------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.tree.size
+
+    def to_term(self) -> str:
+        return format_term(self.tree)
+
+    def to_xml(self) -> str:
+        return to_xml(self.tree)
+
+    # -- XPath ------------------------------------------------------------------------
+
+    def xpath(self, expression: str, context: NodeId = ()) -> Tuple[NodeId, ...]:
+        """Evaluate an XPath expression of the paper's fragment."""
+        if expression not in self._xpath_cache:
+            self._xpath_cache[expression] = parse_xpath(expression)
+        return xpath_select(self._xpath_cache[expression], self.tree, context)  # type: ignore[arg-type]
+
+    def xpath_as_fo(self, expression: str) -> ExistsStarQuery:
+        """The FO(∃*) abstraction of an XPath expression (§2.3)."""
+        return compile_xpath(parse_xpath(expression))
+
+    # -- logic -----------------------------------------------------------------------
+
+    def holds(self, sentence: tree_fo.TreeFormula) -> bool:
+        """Model-check an FO sentence over τ_{Σ,A}."""
+        return tree_fo.evaluate(sentence, self.tree)
+
+    def ask(self, text: str) -> bool:
+        """Model-check an FO sentence given as text, e.g.
+        ``db.ask('forall x (leaf(x) -> O_item(x))')``."""
+        from ..logic.parser import parse_sentence
+
+        return tree_fo.evaluate(parse_sentence(text), self.tree)
+
+    def select_where(self, text: str, context: NodeId = ()) -> Tuple[NodeId, ...]:
+        """Evaluate a textual binary FO(∃*) query φ(x, y), e.g.
+        ``db.select_where('x << y & O_item(y)')``."""
+        from ..logic.parser import parse_query
+
+        return parse_query(text).select(self.tree, context)
+
+    def select(self, query: ExistsStarQuery, context: NodeId = ()) -> Tuple[NodeId, ...]:
+        """Evaluate a binary FO(∃*) query from ``context``."""
+        return query.select(self.tree, context)
+
+    # -- automata -----------------------------------------------------------------------
+
+    def run_automaton(
+        self,
+        automaton: TWAutomaton,
+        delimited: bool = False,
+        memoised: bool = False,
+        **kwargs,
+    ) -> bool:
+        """Run a tree-walking automaton; ``delimited`` runs it on
+        ``delim(t)`` (Example 3.2 style); ``memoised`` uses the
+        configuration-graph evaluator (Theorem 7.1(2)/(4))."""
+        tree = delim(self.tree) if delimited else self.tree
+        if memoised:
+            return evaluate_memo(automaton, tree).accepted
+        return accepts(automaton, tree, **kwargs)
+
+    def run_with_trace(
+        self, automaton: TWAutomaton, delimited: bool = False, **kwargs
+    ) -> RunResult:
+        """Full run result with a step-by-step trace."""
+        tree = delim(self.tree) if delimited else self.tree
+        return run(automaton, tree, collect_trace=True, **kwargs)
+
+    def automaton_class(self, automaton: TWAutomaton) -> TWClass:
+        """Where the automaton sits in the Definition 5.1 lattice."""
+        return classify(automaton)
+
+    # -- regular languages ------------------------------------------------------------------
+
+    def matches_hedge(self, hedge: HedgeAutomaton) -> bool:
+        """Membership in a regular (MSO-definable) tree language."""
+        return hedge.accepts(self.tree)
+
+    # -- related models -------------------------------------------------------------------------
+
+    def caterpillar(self, expression: str, context: NodeId = ()) -> Tuple[NodeId, ...]:
+        """Walk a caterpillar expression ([7]) from ``context``, e.g.
+        ``db.caterpillar('(down | right)* isLeaf')``."""
+        from ..caterpillar import parse_caterpillar, walk
+
+        return walk(parse_caterpillar(expression), self.tree, context)
+
+    def transform(self, transducer, **kwargs) -> "TreeDatabase":
+        """Apply a tree-walking transducer (§8 extension); returns the
+        output document wrapped in a fresh TreeDatabase."""
+        from ..transducer import run_transducer
+
+        return TreeDatabase(run_transducer(transducer, self.tree, **kwargs))
+
+    # -- IDs -------------------------------------------------------------------------------------
+
+    def with_ids(self) -> "TreeDatabase":
+        """A copy carrying the Section 7 unique-ID attribute."""
+        return TreeDatabase(with_ids(self.tree))
+
+    def __repr__(self) -> str:
+        return f"TreeDatabase({self.size} nodes, A={list(self.tree.attributes)})"

@@ -1,0 +1,92 @@
+"""The constructive content of Section 7, executable.
+
+* :mod:`repro.simulation.ids` — unique-ID attributes (the Section 7
+  assumption);
+* :mod:`repro.simulation.pebbles` — pebbles as ID registers and the
+  in-order tape-as-number arithmetic;
+* :mod:`repro.simulation.logspace` — Theorem 7.1(1): pebble simulation
+  of logspace xTMs, and the tw ⊆ LOGSPACE^X configuration bound;
+* :mod:`repro.simulation.configgraph` — Theorems 7.1(2)/(4): memoised
+  configuration-graph evaluation with polynomial/exponential bounds;
+* :mod:`repro.simulation.pspace` — Theorem 7.1(3): O(1)-configuration
+  chain evaluation (Brent) and the xTM → tw^r tape-as-relation
+  compiler;
+* :mod:`repro.simulation.noattr` — Proposition 7.2: register
+  elimination when A = ∅.
+"""
+
+from .ids import (
+    ID_ATTR,
+    IdError,
+    has_unique_ids,
+    id_of,
+    node_with_id,
+    require_unique_ids,
+    with_ids,
+)
+from .pebbles import PebbleArithmetic, PebbleError, PebbleMachine
+from .logspace import (
+    LogspaceContainment,
+    PebbleSimResult,
+    SimulationOverflow,
+    check_tw_in_logspace,
+    simulate_logspace_xtm,
+    tape_alphabet,
+    tw_configuration_bound,
+)
+from .configgraph import (
+    MemoResult,
+    MemoStats,
+    active_domain_size,
+    evaluate_memo,
+    twl_configuration_bound,
+    twrl_configuration_bound,
+)
+from .pspace import (
+    ChainResult,
+    compile_pspace_xtm_to_twr,
+    evaluate_twr_chain,
+)
+from .alogspace import AltSimResult, simulate_alternating_logspace
+from .tw_to_xtm import UnsupportedFeature, compile_tw_to_xtm
+from .noattr import (
+    EliminationError,
+    eliminate_registers,
+    store_content_count,
+)
+
+__all__ = [
+    "ID_ATTR",
+    "IdError",
+    "has_unique_ids",
+    "id_of",
+    "node_with_id",
+    "require_unique_ids",
+    "with_ids",
+    "PebbleArithmetic",
+    "PebbleError",
+    "PebbleMachine",
+    "LogspaceContainment",
+    "PebbleSimResult",
+    "SimulationOverflow",
+    "check_tw_in_logspace",
+    "simulate_logspace_xtm",
+    "tape_alphabet",
+    "tw_configuration_bound",
+    "MemoResult",
+    "MemoStats",
+    "active_domain_size",
+    "evaluate_memo",
+    "twl_configuration_bound",
+    "twrl_configuration_bound",
+    "ChainResult",
+    "compile_pspace_xtm_to_twr",
+    "evaluate_twr_chain",
+    "UnsupportedFeature",
+    "compile_tw_to_xtm",
+    "AltSimResult",
+    "simulate_alternating_logspace",
+    "EliminationError",
+    "eliminate_registers",
+    "store_content_count",
+]

@@ -1,0 +1,253 @@
+"""Alternating logspace on pebbles — the Theorem 7.1(2) converse leg.
+
+"One can easily adapt the simulation in (1) to alternating tw's with
+logspace worktape.  Indeed, when a universal state is entered the tw^l
+uses a subcomputation for each branch.  Every branch returns a value
+indicating whether that branch accepts or not."
+
+This module is that adaptation, executable: the work tape stays a
+pebble-encoded number (as in :mod:`repro.simulation.logspace`), and
+branching is evaluated the way a tw^l's ``atp`` evaluates
+subcomputations — one recursive evaluation per branch, a branch
+re-entering a configuration on its own chain rejects (divergence), and
+the mode (∃/∀) combines the branch verdicts.
+
+Soundness note on memoisation: acceptance is a least fixpoint, so a
+``True`` verdict is context-free and cached; a ``False`` obtained while
+an ancestor configuration sat on the chain is *not* cached (it may be
+an artifact of that chain), matching how repeated tw^l subcomputations
+simply recompute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..machines.alternation import AltXTM, EXISTENTIAL
+from ..machines.xtm import (
+    AttrEqConst,
+    ClearReg,
+    CopyReg,
+    LoadAttr,
+    RegEqAttr,
+    RegEqConst,
+    RegEqReg,
+    SetConst,
+    TreeMove,
+    XTMError,
+    XTMRule,
+)
+from ..automata.rules import DOWN, LEFT, RIGHT, STAY, UP
+from ..trees.node import NodeId
+from ..trees.tree import Tree
+from ..trees.values import BOTTOM, MaybeValue
+from .logspace import SimulationOverflow, _canonical_rules
+from .pebbles import PebbleArithmetic, PebbleMachine
+
+#: A simulation configuration: tree node, state, registers, and the
+#: pebble-tape numbers (content j and head h) — the key the branch
+#: evaluation recurses on.
+_Config = Tuple[NodeId, str, Tuple[MaybeValue, ...], int, int]
+
+
+@dataclass
+class AltSimResult:
+    accepted: bool
+    evaluations: int
+    walker_steps: int
+
+
+class _AltPebbleSim:
+    def __init__(self, alt: AltXTM, tree: Tree,
+                 identify_blank_with: Optional[str]) -> None:
+        self.alt = alt
+        self.tree = tree
+        self.walker = PebbleMachine(tree)
+        self.arithmetic = PebbleArithmetic(self.walker)
+        rules, symbols = _canonical_rules(alt.machine, identify_blank_with)
+        self.rules = rules
+        self.symbols = symbols
+        self.code = {s: i for i, s in enumerate(symbols)}
+        self.base = max(len(symbols), 2)
+        self.memo_true: Set[_Config] = set()
+        self.evaluations = 0
+
+    # -- pebble-tape helpers (content as a number, as in logspace.py) ---------
+
+    def _set_tape(self, j: int, h: int) -> None:
+        self.arithmetic.set_value("tape", j)
+        self.arithmetic.set_value("head", h)
+
+    def _read_digit(self, j: int, h: int) -> int:
+        """Digit under the head via pebble division (the honest route);
+        j and h only key the recursion."""
+        self._set_tape(j, h)
+        self.arithmetic.copy("tape", "§rd")
+        self.arithmetic.copy("head", "§ct")
+        while not self.arithmetic.is_zero("§ct"):
+            self._divmod_base("§rd")
+            self.arithmetic.pred("§ct")
+        return self._divmod_base("§rd")
+
+    def _divmod_base(self, pebble: str) -> int:
+        self.arithmetic.copy(pebble, "§dm")
+        self.arithmetic.zero("§q")
+        remainder = 0
+        while not self.arithmetic.is_zero("§dm"):
+            self.arithmetic.pred("§dm")
+            remainder += 1
+            if remainder == self.base:
+                remainder = 0
+                if not self.arithmetic.succ("§q"):
+                    raise SimulationOverflow("quotient overflow")
+        self.arithmetic.copy("§q", pebble)
+        return remainder
+
+    def _write_digit(self, j: int, h: int, old: int, new: int) -> int:
+        """The new tape number after writing ``new`` over ``old``."""
+        if old == new:
+            return j
+        self._set_tape(j, h)
+        self.arithmetic.zero("§p")
+        if not self.arithmetic.succ("§p"):
+            raise SimulationOverflow("tree too small for any tape")
+        self.arithmetic.copy("head", "§pw")
+        while not self.arithmetic.is_zero("§pw"):
+            self.arithmetic.copy("§p", "§ml")
+            for _ in range(self.base - 1):
+                if not self.arithmetic.add("§p", "§ml"):
+                    raise SimulationOverflow("tape value exceeded |t|-1")
+            self.arithmetic.pred("§pw")
+        for _ in range(abs(new - old)):
+            ok = (
+                self.arithmetic.add("tape", "§p")
+                if new > old
+                else self.arithmetic.subtract("tape", "§p")
+            )
+            if not ok:
+                raise SimulationOverflow("tape value exceeded |t|-1")
+        return self.arithmetic.value_of("tape")
+
+    # -- branch evaluation ---------------------------------------------------------
+
+    def evaluate(self, config: _Config, chain: Set[_Config]) -> bool:
+        if config in self.memo_true:
+            return True
+        if config in chain:
+            return False  # the branch diverges: non-accepting
+        self.evaluations += 1
+        node, state, registers, j, h = config
+        if state in self.alt.machine.accepting:
+            self.memo_true.add(config)
+            return True
+        successors = self._successors(config)
+        chain = chain | {config}
+        if self.alt.mode(state) == EXISTENTIAL:
+            verdict = any(self.evaluate(s, chain) for s in successors)
+        else:
+            verdict = all(self.evaluate(s, chain) for s in successors)
+        if verdict:
+            self.memo_true.add(config)
+        return verdict
+
+    def _successors(self, config: _Config) -> List[_Config]:
+        node, state, registers, j, h = config
+        digit = self._read_digit(j, h)
+        symbol = self.symbols[digit]
+        label = self.tree.label(node)
+        out: List[_Config] = []
+        for rule in self.rules:
+            if rule.state != state:
+                continue
+            if rule.label is not None and rule.label != label:
+                continue
+            if rule.tape_symbol is not None and rule.tape_symbol != symbol:
+                continue
+            if rule.head_at_zero is not None and rule.head_at_zero != (h == 0):
+                continue
+            if not rule.position.matches(self.tree, node):
+                continue
+            if not self._tests_hold(rule, node, registers):
+                continue
+            successor = self._apply(rule, node, registers, j, h, digit)
+            if successor is not None:
+                out.append(successor)
+        return out
+
+    def _tests_hold(self, rule: XTMRule, node: NodeId,
+                    registers: Tuple[MaybeValue, ...]) -> bool:
+        for test in rule.tests:
+            if isinstance(test, RegEqAttr):
+                outcome = registers[test.index - 1] == self.tree.val(test.attr, node)
+            elif isinstance(test, RegEqReg):
+                outcome = registers[test.left - 1] == registers[test.right - 1]
+            elif isinstance(test, AttrEqConst):
+                outcome = self.tree.val(test.attr, node) == test.value
+            else:
+                outcome = registers[test.index - 1] == test.value
+            if outcome == test.negate:
+                return False
+        return True
+
+    def _apply(self, rule: XTMRule, node: NodeId,
+               registers: Tuple[MaybeValue, ...], j: int, h: int,
+               digit: int) -> Optional[_Config]:
+        new_j = j
+        if rule.tape_write is not None:
+            new_j = self._write_digit(j, h, digit, self.code[rule.tape_write])
+        new_h = h + rule.head_move
+        if new_h < 0:
+            return None
+        if new_h >= self.tree.size:
+            raise SimulationOverflow("head position exceeded |t|-1")
+        new_node = node
+        new_regs = list(registers)
+        action = rule.action
+        if isinstance(action, TreeMove):
+            moved = {
+                STAY: node,
+                DOWN: self.tree.first_child(node),
+                UP: self.tree.parent(node),
+                LEFT: self.tree.left_sibling(node),
+                RIGHT: self.tree.right_sibling(node),
+            }[action.direction]
+            if moved is None:
+                return None
+            new_node = moved
+        elif isinstance(action, LoadAttr):
+            new_regs[action.index - 1] = self.tree.val(action.attr, node)
+        elif isinstance(action, SetConst):
+            new_regs[action.index - 1] = action.value
+        elif isinstance(action, CopyReg):
+            new_regs[action.dst - 1] = registers[action.src - 1]
+        elif isinstance(action, ClearReg):
+            new_regs[action.index - 1] = BOTTOM
+        return (new_node, rule.new_state, tuple(new_regs), new_j, new_h)
+
+
+def simulate_alternating_logspace(
+    alt: AltXTM,
+    tree: Tree,
+    identify_blank_with: Optional[str] = "0",
+) -> AltSimResult:
+    """Evaluate an alternating logspace xTM with the tape on pebbles.
+
+    Verdicts must match :func:`repro.machines.alternation.run_alternating`
+    on machines whose tape stays within the pebble range (tested)."""
+    from .logspace import tape_alphabet
+
+    if identify_blank_with is not None and identify_blank_with not in tape_alphabet(
+        alt.machine
+    ):
+        identify_blank_with = None
+    sim = _AltPebbleSim(alt, tree, identify_blank_with)
+    initial: _Config = (
+        (),
+        alt.machine.initial,
+        (BOTTOM,) * alt.machine.registers,
+        0,
+        0,
+    )
+    accepted = sim.evaluate(initial, set())
+    return AltSimResult(accepted, sim.evaluations, sim.walker.steps)

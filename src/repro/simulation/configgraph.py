@@ -1,0 +1,202 @@
+"""Configuration-graph evaluation — Theorems 7.1(2) and 7.1(4).
+
+The proof that tw^l ⊆ PTIME^X observes that a tw^l has only
+polynomially many configurations: (node, state, k single-value
+registers over adom ∪ {⊥}).  Evaluating with **memoised
+subcomputations** then visits each configuration at most once, giving a
+polynomial algorithm (the paper phrases it as inflationary construction
+of the configuration graph; memoised top-down evaluation computes the
+same least fixpoint lazily).
+
+The same evaluator applied to a full tw^{r,l} is the Theorem 7.1(4)
+EXPTIME algorithm: store contents now range over sets of relations, so
+the configuration count is exponential — the bound functions below
+expose both counts, and the E8 experiment fits the polynomial degree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from ..automata.machine import TWAutomaton
+from ..automata.runner import (
+    Configuration,
+    ExecutionError,
+    FuelExhausted,
+    NondeterminismError,
+)
+from ..automata.rules import Atp, Move, Update, move as tree_move
+from ..store.database import RegisterStore
+from ..store.fo import StoreContext, evaluate as evaluate_guard, evaluate_update
+from ..store.relation import Relation
+from ..trees.node import NodeId
+from ..trees.tree import Tree
+
+
+@dataclass
+class MemoStats:
+    """Work accounting for one memoised evaluation."""
+
+    distinct_starts: int = 0
+    cache_hits: int = 0
+    steps: int = 0
+
+
+@dataclass
+class MemoResult:
+    accepted: bool
+    stats: MemoStats
+
+
+class _Reject(Exception):
+    pass
+
+
+_StartKey = Tuple[NodeId, str, RegisterStore]
+
+
+class _MemoEvaluator:
+    """Top-down evaluation with memoised subcomputation results.
+
+    ``memo[key]`` is the returned first-register relation, or None for
+    a rejecting subcomputation.  Keys on the active chain that recur
+    are rejected (the runner's cycle convention)."""
+
+    def __init__(self, automaton: TWAutomaton, tree: Tree, fuel: int) -> None:
+        self.automaton = automaton
+        self.tree = tree
+        self.fuel = fuel
+        self.constants = automaton.program_constants()
+        self.memo: Dict[_StartKey, Optional[Relation]] = {}
+        self.on_stack: Set[_StartKey] = set()
+        self.stats = MemoStats()
+
+    def evaluate(self) -> MemoResult:
+        start = Configuration(
+            (), self.automaton.initial_state, self.automaton.initial_store()
+        )
+        try:
+            self._run(start)
+        except _Reject:
+            return MemoResult(False, self.stats)
+        return MemoResult(True, self.stats)
+
+    def _run(self, config: Configuration) -> Relation:
+        """Run a computation chain to acceptance; returns register 1."""
+        seen: Set[Configuration] = set()
+        while True:
+            if config.state == self.automaton.final_state:
+                return config.store.get(1) if config.store.schema.count else None  # type: ignore[return-value]
+            if config in seen:
+                raise _Reject()
+            seen.add(config)
+            self.stats.steps += 1
+            if self.stats.steps > self.fuel:
+                raise FuelExhausted(f"memo evaluation exceeded {self.fuel} steps")
+            rule = self._applicable(config)
+            if rule is None:
+                raise _Reject()
+            rhs = rule.rhs
+            if isinstance(rhs, Move):
+                target = tree_move(self.tree, config.node, rhs.direction)
+                if target is None:
+                    raise _Reject()
+                config = Configuration(target, rhs.state, config.store)
+            elif isinstance(rhs, Update):
+                ctx = self._context(config)
+                relation = evaluate_update(rhs.formula, list(rhs.variables), ctx)
+                config = Configuration(
+                    config.node, rhs.state, config.store.set(rhs.register, relation)
+                )
+            elif isinstance(rhs, Atp):
+                result = Relation.empty(self.automaton.schema.arity(1))
+                for target in rhs.selector.select(self.tree, config.node):
+                    sub = self._subresult((target, rhs.substate, config.store))
+                    if sub is None:
+                        raise _Reject()
+                    result = result.union(sub)
+                config = Configuration(
+                    config.node, rhs.state, config.store.set(rhs.register, result)
+                )
+            else:  # pragma: no cover
+                raise ExecutionError(f"unknown RHS {rhs!r}")
+
+    def _subresult(self, key: _StartKey) -> Optional[Relation]:
+        if key in self.memo:
+            self.stats.cache_hits += 1
+            return self.memo[key]
+        if key in self.on_stack:
+            # Recursive atp with an unchanged start: divergence.
+            return None
+        self.on_stack.add(key)
+        self.stats.distinct_starts += 1
+        try:
+            relation = self._run(Configuration(*key))
+        except _Reject:
+            relation = None
+        finally:
+            self.on_stack.discard(key)
+        self.memo[key] = relation
+        return relation
+
+    def _applicable(self, config: Configuration):
+        label = self.tree.label(config.node)
+        ctx = self._context(config)
+        found = None
+        for rule in self.automaton.rules_for(config.state):
+            if rule.lhs.label is not None and rule.lhs.label != label:
+                continue
+            if not rule.lhs.position.matches(self.tree, config.node):
+                continue
+            if not evaluate_guard(rule.lhs.guard, ctx):
+                continue
+            if found is not None:
+                raise NondeterminismError(
+                    f"rules {found!r} and {rule!r} both apply at {config!r}"
+                )
+            found = rule
+        return found
+
+    def _context(self, config: Configuration) -> StoreContext:
+        attrs = {a: self.tree.val(a, config.node) for a in self.tree.attributes}
+        return StoreContext(config.store, attrs, self.constants)
+
+
+def evaluate_memo(
+    automaton: TWAutomaton, tree: Tree, fuel: int = 2_000_000
+) -> MemoResult:
+    """Memoised evaluation.  Must agree with the plain runner on every
+    input (tested); for tw^l it is the paper's PTIME algorithm, for
+    tw^{r,l} the EXPTIME one."""
+    return _MemoEvaluator(automaton, tree, fuel).evaluate()
+
+
+# ---------------------------------------------------------------------------
+# Configuration-count bounds
+# ---------------------------------------------------------------------------
+
+
+def active_domain_size(automaton: TWAutomaton, tree: Tree) -> int:
+    """|adom| = tree values ∪ program constants."""
+    return len(tree.active_domain() | automaton.program_constants())
+
+
+def twl_configuration_bound(automaton: TWAutomaton, tree: Tree) -> int:
+    """|Q| · |t| · (|adom|+1)^k — polynomial in |t| for fixed k
+    (Theorem 7.1(2))."""
+    adom = active_domain_size(automaton, tree)
+    return (
+        len(automaton.states)
+        * tree.size
+        * (adom + 1) ** automaton.schema.count
+    )
+
+
+def twrl_configuration_bound(automaton: TWAutomaton, tree: Tree) -> int:
+    """|Q| · |t| · Π_i 2^(|adom|^arity_i) — exponential (Theorem 7.1(4))."""
+    adom = active_domain_size(automaton, tree)
+    total = len(automaton.states) * tree.size
+    for arity in automaton.schema.arities:
+        total *= 2 ** (adom**arity)
+    return total

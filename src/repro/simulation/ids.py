@@ -1,0 +1,68 @@
+"""Unique node IDs (Section 7).
+
+Section 7 assumes an attribute ``ID`` whose value is unique across the
+tree, used "only for navigational purposes": storing an ID in a
+register is placing a pebble on the node.  These helpers attach such an
+attribute and verify uniqueness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..trees.node import NodeId
+from ..trees.tree import Tree
+from ..trees.values import BOTTOM
+
+ID_ATTR = "ID"
+
+
+class IdError(ValueError):
+    """Raised when the uniqueness assumption fails."""
+
+
+def with_ids(tree: Tree, attr: str = ID_ATTR, prefix: str = "n") -> Tree:
+    """A copy of ``tree`` carrying a fresh unique-ID attribute.
+
+    IDs are ``prefix + document-order index`` — any injective scheme
+    works; the logic only ever compares them for equality.
+    """
+    table: Dict[NodeId, str] = {
+        u: f"{prefix}{i}" for i, u in enumerate(tree.nodes)
+    }
+    return tree.with_attribute(attr, table)
+
+
+def has_unique_ids(tree: Tree, attr: str = ID_ATTR) -> bool:
+    """Check Section 7's assumption: λ_ID is injective and never ⊥."""
+    if attr not in tree.attributes:
+        return False
+    seen = set()
+    for u in tree.nodes:
+        value = tree.val(attr, u)
+        if value is BOTTOM or value in seen:
+            return False
+        seen.add(value)
+    return True
+
+
+def require_unique_ids(tree: Tree, attr: str = ID_ATTR) -> Tree:
+    """Validate or raise."""
+    if not has_unique_ids(tree, attr):
+        raise IdError(
+            f"tree lacks a unique {attr!r} attribute; call with_ids() first"
+        )
+    return tree
+
+
+def id_of(tree: Tree, node: NodeId, attr: str = ID_ATTR):
+    """The node's ID value."""
+    return tree.val(attr, node)
+
+
+def node_with_id(tree: Tree, value, attr: str = ID_ATTR) -> NodeId:
+    """Inverse lookup (a walker realises this by exhaustive search)."""
+    for u in tree.nodes:
+        if tree.val(attr, u) == value:
+            return u
+    raise IdError(f"no node carries {attr}={value!r}")

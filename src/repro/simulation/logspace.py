@@ -1,0 +1,358 @@
+"""Theorem 7.1(1): tw captures LOGSPACE^X — both directions, executable.
+
+**⊇ (the hard direction).**  :func:`simulate_logspace_xtm` runs an
+arbitrary xTM whose work tape stays within log-space *using only
+tree-walking resources*: the control walks the tree as the xTM does,
+and the tape is never materialised — its content is a single number
+``j < |t|`` held as a pebble on node #j of the in-order numbering, with
+the head position a second pebble, exactly the proof sketch.  Reading
+the symbol under the head extracts a digit of j by pebble division;
+writing adjusts j by ±d·b^i.  (The paper assumes a binary tape; we
+generalise to the machine's full tape alphabet read as base-b digits,
+which changes the constant in the log-bound and nothing else.)
+
+**⊆ (the easy direction).**  A tw automaton's configuration is
+(node, state, k register values) — ``log |t| + O(1)·log |adom|`` bits —
+so an xTM simulates it in logspace.  :func:`tw_configuration_bound`
+computes the bound and :func:`check_tw_in_logspace` verifies a run
+never exceeds it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..automata.machine import TWAutomaton
+from ..automata.runner import run as run_tw
+from ..machines.xtm import (
+    BLANK,
+    AttrEqConst,
+    CopyReg,
+    LoadAttr,
+    RegEqAttr,
+    RegEqConst,
+    RegEqReg,
+    SetConst,
+    TreeMove,
+    XTM,
+    XTMError,
+    XTMRule,
+)
+from ..automata.rules import DOWN, LEFT, RIGHT, STAY, UP
+from ..trees.tree import Tree
+from ..trees.values import BOTTOM, MaybeValue
+from .pebbles import PebbleArithmetic, PebbleError, PebbleMachine
+
+
+class SimulationOverflow(RuntimeError):
+    """The tape number left 0..|t|−1: the machine was not log-bounded
+    (base-adjusted) on this input."""
+
+
+def tape_alphabet(machine: XTM) -> Tuple[str, ...]:
+    """BLANK plus every symbol the machine can write or test, in a
+    canonical order; the digit code of a symbol is its index."""
+    symbols = {BLANK}
+    for rule in machine.rules:
+        if rule.tape_symbol is not None:
+            symbols.add(rule.tape_symbol)
+        if rule.tape_write is not None:
+            symbols.add(rule.tape_write)
+    return (BLANK,) + tuple(sorted(symbols - {BLANK}))
+
+
+def _canonical_rules(machine: XTM, identify_blank_with: Optional[str]):
+    """With blank identified with a digit symbol (the proof's "the tape
+    initially contains 0"), rewrite BLANK mentions and drop rules that
+    become duplicates of their non-blank twins."""
+    if identify_blank_with is None:
+        return machine.rules, tape_alphabet(machine)
+    from dataclasses import replace
+
+    symbols = tuple(s for s in tape_alphabet(machine) if s != BLANK)
+    if identify_blank_with not in symbols:
+        raise XTMError(
+            f"blank-identification symbol {identify_blank_with!r} is not in "
+            f"the tape alphabet {symbols}"
+        )
+    # Digit 0 must decode to the blank-equivalent symbol.
+    symbols = (identify_blank_with,) + tuple(
+        s for s in symbols if s != identify_blank_with
+    )
+    canon = []
+    seen = set()
+    for rule in machine.rules:
+        rewritten = replace(
+            rule,
+            tape_symbol=(
+                identify_blank_with
+                if rule.tape_symbol == BLANK
+                else rule.tape_symbol
+            ),
+            tape_write=(
+                identify_blank_with if rule.tape_write == BLANK else rule.tape_write
+            ),
+        )
+        if rewritten not in seen:
+            seen.add(rewritten)
+            canon.append(rewritten)
+    return tuple(canon), symbols
+
+
+class _PebbleTape:
+    """The work tape as one pebble-number in base ``b`` (BLANK = digit 0)."""
+
+    def __init__(self, arithmetic: PebbleArithmetic, base: int) -> None:
+        if base < 2:
+            base = 2
+        self.a = arithmetic
+        self.base = base
+        self.a.zero("tape")
+        self.a.zero("head")
+
+    # -- base-b pebble arithmetic (finite-control digits) ----------------------
+
+    def _divmod_const(self, pebble: str, quotient: str) -> int:
+        """pebble preserved in ``quotient`` := pebble div base; returns
+        pebble mod base.  Consumes a scratch copy, counting digits in
+        the finite control."""
+        self.a.copy(pebble, "§dm")
+        self.a.zero(quotient)
+        remainder = 0
+        while not self.a.is_zero("§dm"):
+            self.a.pred("§dm")
+            remainder += 1
+            if remainder == self.base:
+                remainder = 0
+                if not self.a.succ(quotient):
+                    raise SimulationOverflow("quotient overflow")
+        return remainder
+
+    def _mult_const(self, pebble: str) -> None:
+        """pebble := pebble · base."""
+        self.a.copy(pebble, "§ml")
+        for _ in range(self.base - 1):
+            if not self.a.add(pebble, "§ml"):
+                raise SimulationOverflow("tape value exceeded |t|-1")
+
+    def _power_at_head(self, result: str) -> None:
+        """result := base^head."""
+        self.a.zero(result)
+        if not self.a.succ(result):
+            raise SimulationOverflow("tree too small for any tape")
+        self.a.copy("head", "§pw")
+        while not self.a.is_zero("§pw"):
+            self._mult_const(result)
+            self.a.pred("§pw")
+
+    # -- the tape interface -------------------------------------------------------
+
+    def read(self) -> int:
+        """Digit under the head: (tape div base^head) mod base."""
+        self.a.copy("tape", "§rd")
+        self.a.copy("head", "§ct")
+        while not self.a.is_zero("§ct"):
+            self._divmod_const("§rd", "§rd2")
+            self.a.copy("§rd2", "§rd")
+            self.a.pred("§ct")
+        return self._divmod_const("§rd", "§rd2")
+
+    def write(self, old_digit: int, new_digit: int) -> None:
+        """tape += (new − old) · base^head."""
+        if old_digit == new_digit:
+            return
+        self._power_at_head("§p")
+        magnitude = abs(new_digit - old_digit)
+        for _ in range(magnitude):
+            ok = (
+                self.a.add("tape", "§p")
+                if new_digit > old_digit
+                else self.a.subtract("tape", "§p")
+            )
+            if not ok:
+                raise SimulationOverflow("tape value exceeded |t|-1")
+
+    def head_right(self) -> None:
+        if not self.a.succ("head"):
+            raise SimulationOverflow("head position exceeded |t|-1")
+
+    def head_left(self) -> bool:
+        return self.a.pred("head")
+
+
+@dataclass
+class PebbleSimResult:
+    accepted: bool
+    machine_steps: int
+    walker_steps: int
+    reason: str
+
+
+def simulate_logspace_xtm(
+    machine: XTM,
+    tree: Tree,
+    fuel: int = 200_000,
+    identify_blank_with: Optional[str] = "0",
+) -> PebbleSimResult:
+    """Run ``machine`` on ``tree`` with the tape held in pebbles.
+
+    The control position, registers, label/position tests and register
+    tests are native tw capabilities; only the tape goes through
+    :class:`_PebbleTape`.  Verdicts must equal :func:`run_xtm`'s
+    (the E7 experiment).
+
+    ``identify_blank_with`` reads untouched cells as that digit symbol
+    (default "0", the proof's convention); pass ``None`` to keep blank
+    as its own digit (costs a larger base).
+    """
+    walker = PebbleMachine(tree)
+    arithmetic = PebbleArithmetic(walker)
+    if identify_blank_with is not None and identify_blank_with not in tape_alphabet(
+        machine
+    ):
+        identify_blank_with = None
+    rules, symbols = _canonical_rules(machine, identify_blank_with)
+    code = {s: i for i, s in enumerate(symbols)}
+    tape = _PebbleTape(arithmetic, len(symbols))
+    walker.position = ()
+    walker.place("ctrl")
+
+    state = machine.initial
+    registers: List[MaybeValue] = [BOTTOM] * machine.registers
+    steps = 0
+    seen: Set[Tuple] = set()
+
+    def tests_hold(rule: XTMRule) -> bool:
+        for test in rule.tests:
+            if isinstance(test, RegEqAttr):
+                outcome = registers[test.index - 1] == walker.attr(test.attr)
+            elif isinstance(test, RegEqReg):
+                outcome = registers[test.left - 1] == registers[test.right - 1]
+            elif isinstance(test, AttrEqConst):
+                outcome = walker.attr(test.attr) == test.value
+            else:
+                outcome = registers[test.index - 1] == test.value
+            if outcome == test.negate:
+                return False
+        return True
+
+    def position_matches(position) -> bool:
+        checks = (
+            (position.root, walker.is_root),
+            (position.leaf, walker.is_leaf),
+            (position.first, walker.is_first),
+            (position.last, walker.is_last),
+        )
+        return all(e is None or p() == e for e, p in checks)
+
+    while True:
+        if state in machine.accepting:
+            return PebbleSimResult(True, steps, walker.steps, "accepted")
+
+        walker.goto("ctrl")
+        symbol_digit = tape.read()
+        head_is_zero = arithmetic.is_zero("head")
+        walker.goto("ctrl")
+        symbol = symbols[symbol_digit]
+
+        key = (
+            walker.pebbles["ctrl"],
+            state,
+            tuple(registers),
+            arithmetic.value_of("tape"),
+            arithmetic.value_of("head"),
+        )
+        if key in seen:
+            return PebbleSimResult(False, steps, walker.steps, "cycle")
+        seen.add(key)
+        steps += 1
+        if steps > fuel:
+            raise XTMError(f"fuel {fuel} exhausted")
+
+        chosen: Optional[XTMRule] = None
+        for rule in rules:
+            if rule.state != state:
+                continue
+            if rule.label is not None and rule.label != walker.label():
+                continue
+            if rule.tape_symbol is not None and rule.tape_symbol != symbol:
+                continue
+            if rule.head_at_zero is not None and rule.head_at_zero != head_is_zero:
+                continue
+            if not position_matches(rule.position):
+                continue
+            if not tests_hold(rule):
+                continue
+            if chosen is not None:
+                raise XTMError(f"nondeterministic: {chosen!r} / {rule!r}")
+            chosen = rule
+        if chosen is None:
+            return PebbleSimResult(False, steps, walker.steps, "stuck")
+
+        if chosen.tape_write is not None and chosen.tape_write != symbol:
+            tape.write(symbol_digit, code[chosen.tape_write])
+            walker.goto("ctrl")
+        if chosen.head_move > 0:
+            tape.head_right()
+            walker.goto("ctrl")
+        elif chosen.head_move < 0:
+            if not tape.head_left():
+                return PebbleSimResult(False, steps, walker.steps, "off tape")
+            walker.goto("ctrl")
+
+        action = chosen.action
+        if isinstance(action, TreeMove):
+            moved = {
+                STAY: lambda: True,
+                DOWN: walker.down,
+                RIGHT: walker.right,
+                LEFT: walker.left,
+                UP: walker.up,
+            }[action.direction]()
+            if not moved:
+                return PebbleSimResult(False, steps, walker.steps, "off tree")
+            walker.place("ctrl")
+        elif isinstance(action, LoadAttr):
+            registers[action.index - 1] = walker.attr(action.attr)
+        elif isinstance(action, SetConst):
+            registers[action.index - 1] = action.value
+        elif isinstance(action, CopyReg):
+            registers[action.dst - 1] = registers[action.src - 1]
+        state = chosen.new_state
+
+
+# ---------------------------------------------------------------------------
+# The ⊆ direction: tw runs fit in logspace configurations
+# ---------------------------------------------------------------------------
+
+
+def tw_configuration_bound(automaton: TWAutomaton, tree: Tree) -> int:
+    """|Q| · |t| · (|adom|+1)^k — an upper bound on distinct
+    configurations of a register automaton whose registers each hold at
+    most one value; logarithmically many bits, hence LOGSPACE^X."""
+    adom = len(tree.active_domain() | automaton.program_constants())
+    k = automaton.schema.count
+    return len(automaton.states) * tree.size * (adom + 1) ** k
+
+
+@dataclass
+class LogspaceContainment:
+    configurations_used: int
+    bound: int
+
+    @property
+    def within(self) -> bool:
+        return self.configurations_used <= self.bound
+
+
+def check_tw_in_logspace(automaton: TWAutomaton, tree: Tree) -> LogspaceContainment:
+    """Run the tw automaton and compare configurations touched against
+    the logspace bound."""
+    result = run_tw(automaton, tree)
+    # run() counts configurations internally as steps; distinct
+    # configurations are at most steps + 1.
+    return LogspaceContainment(
+        configurations_used=result.steps + 1,
+        bound=tw_configuration_bound(automaton, tree),
+    )

@@ -1,0 +1,134 @@
+"""Proposition 7.2: with A = ∅, relational storage adds no power.
+
+"Clearly, when A = ∅ there are only a finite number of register
+contents.  These contents can therefore be kept in the state.  Hence
+tw^{r,l} = tw^l and tw^r = tw."
+
+:func:`eliminate_registers` is that argument as a compiler for the
+atp-free case (tw^r → tw): with no attributes, every guard and update
+evaluates *statically* from the store alone, so the reachable
+(state, store) pairs form a finite product automaton whose rules need
+no guards and no registers at all.  (With look-ahead the register
+contents after an ``atp`` depend on which subcomputations accept, so
+the tw^{r,l} = tw^l direction needs the heavier machinery of [4]; see
+DESIGN.md.)
+
+The compiled automaton must accept exactly the same label-only trees —
+checked exhaustively over small trees in the E10 experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..automata.builder import AutomatonBuilder
+from ..automata.machine import AutomatonError, TWAutomaton
+from ..automata.rules import Atp, Move, STAY, Update
+from ..store.database import RegisterStore
+from ..store.fo import (
+    StoreContext,
+    attributes_used,
+    evaluate as evaluate_guard,
+    evaluate_update,
+)
+
+
+class EliminationError(AutomatonError):
+    """Raised when the automaton is outside the A = ∅, atp-free case."""
+
+
+def _check_attribute_free(automaton: TWAutomaton) -> None:
+    for rule in automaton.rules:
+        if isinstance(rule.rhs, Atp):
+            raise EliminationError(
+                f"register elimination handles tw^r (no atp): {rule!r}"
+            )
+        if attributes_used(rule.lhs.guard):
+            raise EliminationError(
+                f"guard mentions attributes; Proposition 7.2 needs A = ∅: {rule!r}"
+            )
+        if isinstance(rule.rhs, Update) and attributes_used(rule.rhs.formula):
+            raise EliminationError(
+                f"update mentions attributes; Proposition 7.2 needs A = ∅: {rule!r}"
+            )
+
+
+def eliminate_registers(automaton: TWAutomaton) -> TWAutomaton:
+    """Fold the (finitely many) store contents into the states.
+
+    Returns a register-free tw accepting the same trees.  States are
+    ``q#i`` where i indexes a reachable store content.
+    """
+    _check_attribute_free(automaton)
+    constants = automaton.program_constants()
+
+    store_index: Dict[RegisterStore, int] = {}
+
+    def index_of(store: RegisterStore) -> int:
+        if store not in store_index:
+            store_index[store] = len(store_index)
+        return store_index[store]
+
+    def name(state: str, store: RegisterStore) -> str:
+        return f"{state}#{index_of(store)}"
+
+    builder = AutomatonBuilder(
+        f"tw[{automaton.name}]", register_arities=[1], initial_assignment=[None]
+    )
+    final = "F!"
+    initial_store = automaton.initial_store()
+    frontier: List[Tuple[str, RegisterStore]] = [
+        (automaton.initial_state, initial_store)
+    ]
+    expanded = set()
+    while frontier:
+        state, store = frontier.pop()
+        key = (state, store)
+        if key in expanded:
+            continue
+        expanded.add(key)
+        product_state = name(state, store)
+        if state == automaton.final_state:
+            builder.move(product_state, final, STAY)
+            continue
+        ctx = StoreContext(store, {}, constants)
+        for rule in automaton.rules_for(state):
+            if not evaluate_guard(rule.lhs.guard, ctx):
+                continue
+            rhs = rule.rhs
+            if isinstance(rhs, Move):
+                target_store = store
+                builder.move(
+                    product_state,
+                    name(rhs.state, target_store),
+                    rhs.direction,
+                    label=rule.lhs.label,
+                    position=rule.lhs.position,
+                )
+                frontier.append((rhs.state, target_store))
+            elif isinstance(rhs, Update):
+                relation = evaluate_update(rhs.formula, list(rhs.variables), ctx)
+                target_store = store.set(rhs.register, relation)
+                builder.move(
+                    product_state,
+                    name(rhs.state, target_store),
+                    STAY,
+                    label=rule.lhs.label,
+                    position=rule.lhs.position,
+                )
+                frontier.append((rhs.state, target_store))
+            else:  # pragma: no cover - excluded by _check_attribute_free
+                raise EliminationError(f"unexpected RHS {rhs!r}")
+    return builder.build(
+        initial=name(automaton.initial_state, initial_store), final=final
+    )
+
+
+def store_content_count(automaton: TWAutomaton) -> int:
+    """The a-priori bound on distinct store contents over the program
+    constants: Π_i 2^(|C|^arity_i) — finite exactly because A = ∅."""
+    base = len(automaton.program_constants())
+    total = 1
+    for arity in automaton.schema.arities:
+        total *= 2 ** (base**arity)
+    return total

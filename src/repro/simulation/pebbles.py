@@ -1,0 +1,350 @@
+"""Pebbles and pebble arithmetic — the engine of Theorem 7.1(1).
+
+With unique IDs, "a finite number of pebbles" is just a finite number
+of ID-holding registers (Section 7).  :class:`PebbleMachine` is a
+walker restricted to exactly the operations a TW automaton has:
+
+* the five moves and the positional predicates;
+* placing a pebble at the current node (store the ID);
+* testing whether a pebble lies on the current node (compare IDs);
+* returning to a pebble (a TW automaton finds it by exhaustive
+  search; we walk the unique connecting path and charge its length —
+  a lower bound on the search cost, adequate since Theorem 7.1 is an
+  expressiveness statement, not a time bound).
+
+On top of the primitives sit the in-order routines the proof sketch
+uses: in-order first/last/successor/predecessor, and the arithmetic on
+tape-contents-as-numbers — "node #j in the in-order of the tree
+represents the number j" — with halving implemented by two pebbles
+walking towards each other, parity falling out of the halving, and
+±2^i built from doubling, exactly as the paper describes.
+
+All operations count walker moves (``steps``) so experiments can show
+the polynomial cost profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..trees.node import NodeId
+from ..trees.tree import Tree
+
+
+class PebbleError(RuntimeError):
+    """Raised on unknown pebbles or arithmetic overflow past |t|-1."""
+
+
+class PebbleMachine:
+    """A TW-power walker with named pebbles on a fixed tree."""
+
+    def __init__(self, tree: Tree) -> None:
+        self.tree = tree
+        self.position: NodeId = ()
+        self.pebbles: Dict[str, NodeId] = {}
+        self.steps = 0
+
+    # -- primitive moves (each costs one step) -----------------------------------
+
+    def _move_to(self, target: Optional[NodeId]) -> bool:
+        self.steps += 1
+        if target is None:
+            return False
+        self.position = target
+        return True
+
+    def up(self) -> bool:
+        return self._move_to(self.tree.parent(self.position))
+
+    def down(self) -> bool:
+        return self._move_to(self.tree.first_child(self.position))
+
+    def left(self) -> bool:
+        return self._move_to(self.tree.left_sibling(self.position))
+
+    def right(self) -> bool:
+        return self._move_to(self.tree.right_sibling(self.position))
+
+    # -- primitive predicates ------------------------------------------------------
+
+    def is_root(self) -> bool:
+        return self.tree.is_root(self.position)
+
+    def is_leaf(self) -> bool:
+        return self.tree.is_leaf(self.position)
+
+    def is_first(self) -> bool:
+        return self.tree.is_first_child(self.position)
+
+    def is_last(self) -> bool:
+        return self.tree.is_last_child(self.position)
+
+    def label(self) -> str:
+        return self.tree.label(self.position)
+
+    def attr(self, name: str):
+        return self.tree.val(name, self.position)
+
+    def has_second_child(self) -> bool:
+        return self.tree.degree(self.position) >= 2
+
+    # -- pebbles (IDs in registers) ---------------------------------------------------
+
+    def place(self, pebble: str) -> None:
+        """Store the current node's ID in register ``pebble``."""
+        self.pebbles[pebble] = self.position
+
+    def here(self, pebble: str) -> bool:
+        """Does ``pebble`` lie on the current node?  (ID comparison.)"""
+        return self._node(pebble) == self.position
+
+    def same(self, left: str, right: str) -> bool:
+        """Do two pebbles coincide?  (ID comparison.)"""
+        return self._node(left) == self._node(right)
+
+    def goto(self, pebble: str) -> None:
+        """Walk to ``pebble`` along the unique connecting path."""
+        target = self._node(pebble)
+        current = self.position
+        cut = 0
+        while cut < len(current) and cut < len(target) and current[cut] == target[cut]:
+            cut += 1
+        # up to the LCA, then down; sibling hops are charged one each.
+        self.steps += (len(current) - cut) + self._descent_cost(target, cut)
+        self.position = target
+
+    def _descent_cost(self, target: NodeId, cut: int) -> int:
+        cost = 0
+        for depth in range(cut, len(target)):
+            cost += 1 + target[depth]  # down + rightward hops
+        return cost
+
+    def _node(self, pebble: str) -> NodeId:
+        try:
+            return self.pebbles[pebble]
+        except KeyError:
+            raise PebbleError(f"pebble {pebble!r} was never placed") from None
+
+    # -- in-order navigation (pure walker subroutines) ---------------------------------
+
+    def descend_inorder_first(self) -> None:
+        """To the in-order first node of the current subtree."""
+        while self.down():
+            pass
+        # the failed final ``down`` cost one step, mirroring a real
+        # walker's probe; position is already correct.
+
+    def descend_inorder_last(self) -> None:
+        """To the in-order last node of the current subtree."""
+        while self.has_second_child():
+            self.down()
+            while self.right():
+                pass
+
+    def inorder_succ(self) -> bool:
+        """Move to the in-order successor; False (position restored) at
+        the in-order last node."""
+        saved = self.position
+        if self.has_second_child():
+            self.down()
+            self.right()
+            self.descend_inorder_first()
+            return True
+        while True:
+            if self.is_root():
+                self.position = saved
+                return False
+            was_first = self.is_first()
+            was_last = self.is_last()
+            if was_first:
+                self.up()
+                return True
+            if not was_last:
+                self.right()
+                self.descend_inorder_first()
+                return True
+            self.up()
+
+    def inorder_pred(self) -> bool:
+        """Move to the in-order predecessor; False at the in-order first."""
+        saved = self.position
+        if not self.is_leaf():
+            self.down()
+            self.descend_inorder_last()
+            return True
+        while True:
+            if self.is_root():
+                self.position = saved
+                return False
+            index_one = self.is_first()
+            if index_one:
+                # kid0's subtree precedes nothing inside this parent —
+                # keep climbing.
+                self.up()
+                continue
+            # c = kids[i], i >= 1: check whether i == 1 (left sibling is
+            # the first child).
+            self.left()
+            if self.is_first():
+                self.up()
+                return True
+            self.descend_inorder_last()
+            return True
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic on in-order indices (tape contents as numbers)
+# ---------------------------------------------------------------------------
+
+
+class PebbleArithmetic:
+    """Numbers 0 … |t|−1 represented by pebbles via the in-order
+    numbering; all routines reduce to walker moves and ID tests."""
+
+    def __init__(self, machine: PebbleMachine) -> None:
+        self.m = machine
+
+    # -- constants & copies --------------------------------------------------------
+
+    def zero(self, pebble: str) -> None:
+        """pebble := 0 (the in-order first node)."""
+        m = self.m
+        while not m.is_root():
+            m.up()
+        m.descend_inorder_first()
+        m.place(pebble)
+
+    def copy(self, src: str, dst: str) -> None:
+        self.m.goto(src)
+        self.m.place(dst)
+
+    def is_zero(self, pebble: str) -> bool:
+        """pebble == 0, via a predecessor probe (position restored)."""
+        self.m.goto(pebble)
+        if self.m.inorder_pred():
+            self.m.goto(pebble)
+            return False
+        return True
+
+    def equal(self, left: str, right: str) -> bool:
+        return self.m.same(left, right)
+
+    # -- increments ------------------------------------------------------------------
+
+    def succ(self, pebble: str) -> bool:
+        """pebble := pebble + 1; False on overflow (pebble unchanged)."""
+        self.m.goto(pebble)
+        if not self.m.inorder_succ():
+            return False
+        self.m.place(pebble)
+        return True
+
+    def pred(self, pebble: str) -> bool:
+        """pebble := pebble − 1; False at zero (pebble unchanged)."""
+        self.m.goto(pebble)
+        if not self.m.inorder_pred():
+            return False
+        self.m.place(pebble)
+        return True
+
+    # -- compound arithmetic ------------------------------------------------------------
+
+    def add(self, target: str, amount: str, scratch: str = "§add") -> bool:
+        """target := target + amount (amount preserved); False on overflow."""
+        self.copy(amount, scratch)
+        while not self.is_zero(scratch):
+            if not self.succ(target):
+                return False
+            self.pred(scratch)
+        return True
+
+    def subtract(self, target: str, amount: str, scratch: str = "§sub") -> bool:
+        """target := target − amount; False on underflow."""
+        self.copy(amount, scratch)
+        while not self.is_zero(scratch):
+            if not self.pred(target):
+                return False
+            self.pred(scratch)
+        return True
+
+    def halve(self, pebble: str, low: str = "§low", high: str = "§high") -> int:
+        """pebble := ⌊pebble / 2⌋; returns the parity bit.
+
+        The paper's construction: one pebble starts at 0, one at j, and
+        they walk towards each other one in-order step at a time; the
+        meeting pattern gives ⌊j/2⌋ and j mod 2.
+        """
+        self.zero(low)
+        self.copy(pebble, high)
+        while True:
+            if self.m.same(low, high):
+                parity = 0
+                break
+            self.m.goto(low)
+            self.m.inorder_succ()
+            self.m.place(low)
+            if self.m.same(low, high):
+                parity = 1
+                self.pred(low)
+                break
+            self.pred(high)
+        self.copy(low, pebble)
+        return parity
+
+    def parity(self, pebble: str, scratch: str = "§par") -> int:
+        """pebble mod 2 (pebble preserved)."""
+        self.copy(pebble, scratch)
+        return self.halve(scratch)
+
+    def shift_right(self, pebble: str, count: str, scratch: str = "§shr") -> None:
+        """pebble := pebble >> count (count preserved)."""
+        self.copy(count, scratch)
+        while not self.is_zero(scratch):
+            self.halve(pebble)
+            self.pred(scratch)
+
+    def bit(self, number: str, index: str, scratch: str = "§bit") -> int:
+        """Bit ``index`` of ``number`` (both preserved) — the proof's
+        "check whether j divided by 2^(i−1) is even"."""
+        self.copy(number, scratch)
+        self.shift_right(scratch, index)
+        return self.parity(scratch)
+
+    def power_of_two(self, index: str, result: str, scratch: str = "§pow") -> bool:
+        """result := 2^index (index preserved); False on overflow."""
+        self.zero(result)
+        if not self.succ(result):  # result = 1
+            return False
+        self.copy(index, scratch)
+        while not self.is_zero(scratch):
+            self.copy(result, "§dbl")
+            if not self.add(result, "§dbl"):
+                return False
+            self.pred(scratch)
+        return True
+
+    def add_power_of_two(self, target: str, index: str, sign: int) -> bool:
+        """target := target ± 2^index — the proof's tape-bit write."""
+        if not self.power_of_two(index, "§p2"):
+            return False
+        if sign >= 0:
+            return self.add(target, "§p2")
+        return self.subtract(target, "§p2")
+
+    # -- value extraction (test interface only) --------------------------------------------
+
+    def value_of(self, pebble: str) -> int:
+        """The in-order index the pebble denotes (test-only oracle)."""
+        from ..trees.traversal import numbering
+
+        return numbering(self.m.tree)[self.m._node(pebble)]
+
+    def set_value(self, pebble: str, value: int) -> None:
+        """Place the pebble on node #value (test-only oracle)."""
+        from ..trees.traversal import inorder
+
+        order = inorder(self.m.tree)
+        if not 0 <= value < len(order):
+            raise PebbleError(f"value {value} out of range 0..{len(order) - 1}")
+        self.m.pebbles[pebble] = order[value]

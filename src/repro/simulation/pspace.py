@@ -1,0 +1,372 @@
+"""Theorem 7.1(3): tw^r captures PSPACE^X — both directions, executable.
+
+**⊆.**  Without look-ahead the configuration graph of a deterministic
+tw^r is a chain, so evaluation needs to remember only the *current*
+configuration — polynomially many bits (a store over the active domain)
+— even though the run may take exponentially many steps.
+:func:`evaluate_twr_chain` implements this with Brent's cycle-finding
+algorithm: O(1) stored configurations, no ``seen`` set, exactly the
+space discipline the containment argument requires.
+
+**⊇.**  :func:`compile_pspace_xtm_to_twr` translates an arbitrary xTM
+into an actual tw^r automaton that encodes the work tape into the
+relational store "in the standard way" (the paper cites the classic
+FO-update encodings):
+
+* an initialisation sweep walks the tree once, collecting the
+  document-order successor relation on node IDs into a register
+  (``X_succ += {(prev, @ID)}`` — expressible because updates see the
+  current node's attributes);
+* tape cells are *pairs* of IDs (n² cells, enough for any machine using
+  ≤ |t|² cells; higher polynomials would use longer tuples), with
+  lexicographic successor defined inside the FO updates;
+* the tape is the relation ``X_tape(cell₁, cell₂, symbol)``, the head a
+  singleton ``X_head(cell₁, cell₂)``, and each xTM step becomes a short
+  chain of guarded FO updates mirroring read/write/move.
+
+The compiled automaton runs on ``with_ids(t)`` and must agree with the
+reference xTM verdict (the E9 experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..automata.builder import AutomatonBuilder
+from ..automata.machine import TWAutomaton
+from ..automata.rules import (
+    ANYWHERE,
+    DOWN,
+    LEFT,
+    PositionTest,
+    RIGHT,
+    STAY,
+    UP,
+)
+from ..automata.runner import Configuration, FuelExhausted, _applicable_rule
+from ..automata.rules import Atp, Move, Update, move as walk
+from ..machines.xtm import (
+    AttrEqConst,
+    BLANK,
+    CopyReg,
+    HEAD_LEFT,
+    HEAD_RIGHT,
+    LoadAttr,
+    NoAction,
+    RegEqAttr,
+    RegEqConst,
+    RegEqReg,
+    SetConst,
+    TreeMove,
+    XTM,
+    XTMRule,
+)
+from ..store import fo as F
+from ..store.fo import Attr, StoreContext, Var, evaluate_update
+from ..trees.tree import Tree
+from .ids import ID_ATTR
+
+
+# ---------------------------------------------------------------------------
+# ⊆ : space-bounded chain evaluation of tw^r (Brent's algorithm)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ChainResult:
+    accepted: bool
+    steps: int
+    max_store_rows: int  # the space actually held, in relation rows
+    reason: str
+
+
+def _chain_step(
+    automaton: TWAutomaton, tree: Tree, config: Configuration, constants
+) -> Optional[Configuration]:
+    """One deterministic step; None when stuck/off-tree.  tw^r only —
+    an Atp rule is a usage error here."""
+    rule = _applicable_rule(automaton, tree, config, constants)
+    if rule is None:
+        return None
+    rhs = rule.rhs
+    if isinstance(rhs, Move):
+        target = walk(tree, config.node, rhs.direction)
+        if target is None:
+            return None
+        return Configuration(target, rhs.state, config.store)
+    if isinstance(rhs, Update):
+        attrs = {a: tree.val(a, config.node) for a in tree.attributes}
+        ctx = StoreContext(config.store, attrs, constants)
+        relation = evaluate_update(rhs.formula, list(rhs.variables), ctx)
+        return Configuration(
+            config.node, rhs.state, config.store.set(rhs.register, relation)
+        )
+    if isinstance(rhs, Atp):
+        raise ValueError("chain evaluation applies to tw^r (no atp rules)")
+    raise ValueError(f"unknown RHS {rhs!r}")
+
+
+def evaluate_twr_chain(
+    automaton: TWAutomaton, tree: Tree, fuel: int = 5_000_000
+) -> ChainResult:
+    """Run a tw^r holding two configurations (Brent's tortoise & hare).
+
+    Accept when the hare reaches the final state; reject on stuck or on
+    cycle detection — all without a history set, the PSPACE^X
+    discipline.
+    """
+    constants = automaton.program_constants()
+
+    def store_rows(config: Configuration) -> int:
+        return sum(len(rel) for rel in config.store)
+
+    def is_final(config: Configuration) -> bool:
+        return config.state == automaton.final_state
+
+    start = Configuration((), automaton.initial_state, automaton.initial_store())
+    max_rows = store_rows(start)
+    steps = 0
+
+    tortoise = start
+    hare: Optional[Configuration] = start
+    power = lam = 1
+    while True:
+        if hare is None:
+            return ChainResult(False, steps, max_rows, "stuck")
+        if is_final(hare):
+            return ChainResult(True, steps, max_rows, "accepted")
+        hare = _chain_step(automaton, tree, hare, constants)
+        steps += 1
+        if steps > fuel:
+            raise FuelExhausted(f"chain fuel {fuel} exhausted")
+        if hare is not None:
+            max_rows = max(max_rows, store_rows(hare))
+            if hare == tortoise:
+                return ChainResult(False, steps, max_rows, "cycle")
+        if power == lam:
+            tortoise = hare if hare is not None else tortoise
+            power *= 2
+            lam = 0
+        lam += 1
+
+
+# ---------------------------------------------------------------------------
+# ⊇ : compile an xTM into a tw^r with the tape in the store
+# ---------------------------------------------------------------------------
+
+# Fixed registers of the compiled automaton.
+R_PREV = 1   # unary: last node visited by the init sweep
+R_SUCC = 2   # binary: document-order successor on IDs
+R_FIRST = 3  # unary: the root's ID (cell coordinate 0)
+R_LAST = 4   # unary: the document-last node's ID
+R_HEAD = 5   # binary: the head cell (hi, lo) — cell number hi·n + lo
+R_TAPE = 6   # ternary: (hi, lo, symbol-code); absent row = blank
+R_MACHINE0 = 7  # unary, one per xTM register
+
+_AT_LEAF = PositionTest(leaf=True)
+_AT_INNER = PositionTest(leaf=False)
+_AT_ROOT = PositionTest(root=True)
+_BACK_CONT = PositionTest(root=False, last=False)
+_BACK_ASC = PositionTest(root=False, last=True)
+
+
+def _symbol_codes(machine: XTM) -> Dict[str, int]:
+    symbols = set()
+    for rule in machine.rules:
+        if rule.tape_symbol is not None and rule.tape_symbol != BLANK:
+            symbols.add(rule.tape_symbol)
+        if rule.tape_write is not None and rule.tape_write != BLANK:
+            symbols.add(rule.tape_write)
+    return {s: i for i, s in enumerate(sorted(symbols))}
+
+
+def _succ2(x1: Var, x2: Var, y1: Var, y2: Var) -> F.StoreFormula:
+    """Lexicographic successor on ID pairs: (x1,x2) + 1 = (y1,y2)."""
+    same_block = F.conj(F.eq(x1, y1), F.rel(R_SUCC, x2, y2))
+    wrap = F.conj(
+        F.rel(R_SUCC, x1, y1),
+        F.rel(R_LAST, x2),
+        F.rel(R_FIRST, y2),
+    )
+    return F.disj(same_block, wrap)
+
+
+def _guard_for(rule: XTMRule, codes: Dict[str, int]) -> F.StoreFormula:
+    """The FO sentence over the store equivalent to the rule's tape and
+    register conditions (label/position go on the tw LHS directly)."""
+    p1, p2, v = Var("p1"), Var("p2"), Var("v")
+    s = Var("s")
+    parts: List[F.StoreFormula] = []
+    if rule.tape_symbol is not None:
+        if rule.tape_symbol == BLANK:
+            parts.append(
+                F.exists(
+                    [p1, p2],
+                    F.conj(
+                        F.rel(R_HEAD, p1, p2),
+                        F.Not(F.exists(s, F.rel(R_TAPE, p1, p2, s))),
+                    ),
+                )
+            )
+        else:
+            parts.append(
+                F.exists(
+                    [p1, p2],
+                    F.conj(
+                        F.rel(R_HEAD, p1, p2),
+                        F.rel(R_TAPE, p1, p2, codes[rule.tape_symbol]),
+                    ),
+                )
+            )
+    if rule.head_at_zero is not None:
+        at_zero = F.exists(
+            p1, F.conj(F.rel(R_FIRST, p1), F.rel(R_HEAD, p1, p1))
+        )
+        parts.append(at_zero if rule.head_at_zero else F.Not(at_zero))
+    for test in rule.tests:
+        if isinstance(test, RegEqAttr):
+            atom: F.StoreFormula = F.rel(
+                R_MACHINE0 + test.index - 1, Attr(test.attr)
+            )
+        elif isinstance(test, RegEqReg):
+            left = R_MACHINE0 + test.left - 1
+            right = R_MACHINE0 + test.right - 1
+            both = F.exists(v, F.conj(F.rel(left, v), F.rel(right, v)))
+            neither = F.conj(
+                F.Not(F.exists(v, F.rel(left, v))),
+                F.Not(F.exists(v, F.rel(right, v))),
+            )
+            atom = F.disj(both, neither)
+        elif isinstance(test, RegEqConst):
+            atom = F.rel(R_MACHINE0 + test.index - 1, test.value)
+        elif isinstance(test, AttrEqConst):
+            atom = F.eq(Attr(test.attr), test.value)
+        else:  # pragma: no cover
+            raise ValueError(f"unknown test {test!r}")
+        parts.append(F.Not(atom) if test.negate else atom)
+    return F.conj(*parts)
+
+
+def compile_pspace_xtm_to_twr(machine: XTM, id_attr: str = ID_ATTR) -> TWAutomaton:
+    """Build the tw^r simulating ``machine`` on ID-attributed trees.
+
+    Limitations (documented, checked by the experiments): the machine
+    may use at most |t|² tape cells; a head that walks past cell
+    |t|²−1 strands the simulation in a stuck state (reject), whereas
+    the reference xTM has unbounded tape — keep the sweep within range.
+    """
+    codes = _symbol_codes(machine)
+    arities = [1, 2, 1, 1, 2, 3] + [1] * machine.registers
+    b = AutomatonBuilder(f"twr[{machine.name}]", register_arities=arities)
+
+    x, y, z = Var("x"), Var("y"), Var("z")
+    x1, x2, y1, y2, s = Var("x1"), Var("x2"), Var("y1"), Var("y2"), Var("s")
+    me = Attr(id_attr)
+
+    # -- Phase A: initialisation sweep (document order) ------------------------
+    b.update("i0", "i1", R_FIRST, F.eq(z, me), [z], position=_AT_ROOT)
+    b.update("i1", "i2", R_PREV, F.eq(z, me), [z])
+    b.move("i2", "ifin", STAY, position=PositionTest(root=True, leaf=True))
+    b.move("i2", "ivisit", DOWN, position=PositionTest(root=True, leaf=False))
+    # Arrival at a non-root node: record succ edge, update prev.
+    b.update(
+        "ivisit", "iv1", R_SUCC,
+        F.disj(F.rel(R_SUCC, x, y), F.conj(F.rel(R_PREV, x), F.eq(y, me))),
+        [x, y],
+    )
+    b.update("iv1", "iv2", R_PREV, F.eq(z, me), [z])
+    b.move("iv2", "iback", STAY, position=_AT_LEAF)
+    b.move("iv2", "ivisit", DOWN, position=_AT_INNER)
+    b.move("iback", "ivisit", RIGHT, position=_BACK_CONT)
+    b.move("iback", "iback", UP, position=_BACK_ASC)
+    b.move("iback", "ifin", STAY, position=_AT_ROOT)
+    # Finish: record the last node, place the head on cell (first, first).
+    b.update("ifin", "if1", R_LAST, F.rel(R_PREV, z), [z])
+    b.update(
+        "if1", _q(machine.initial), R_HEAD,
+        F.conj(F.rel(R_FIRST, x1), F.rel(R_FIRST, x2)),
+        [x1, x2],
+    )
+
+    # -- Phase B: one chain of tw rules per xTM rule ---------------------------
+    for index, rule in enumerate(machine.rules):
+        guard = _guard_for(rule, codes)
+        stages: List[Tuple[str, int, F.StoreFormula, List[Var]]] = []
+        if rule.tape_write is not None:
+            if rule.tape_write == BLANK:
+                write = F.conj(
+                    F.rel(R_TAPE, x1, x2, s),
+                    F.Not(F.rel(R_HEAD, x1, x2)),
+                )
+            else:
+                write = F.disj(
+                    F.conj(
+                        F.rel(R_TAPE, x1, x2, s),
+                        F.Not(F.rel(R_HEAD, x1, x2)),
+                    ),
+                    F.conj(
+                        F.rel(R_HEAD, x1, x2),
+                        F.eq(s, codes[rule.tape_write]),
+                    ),
+                )
+            stages.append(("w", R_TAPE, write, [x1, x2, s]))
+        if rule.head_move == HEAD_RIGHT:
+            head = F.exists(
+                [x1, x2],
+                F.conj(F.rel(R_HEAD, x1, x2), _succ2(x1, x2, y1, y2)),
+            )
+            stages.append(("h", R_HEAD, head, [y1, y2]))
+        elif rule.head_move == HEAD_LEFT:
+            head = F.exists(
+                [x1, x2],
+                F.conj(F.rel(R_HEAD, x1, x2), _succ2(y1, y2, x1, x2)),
+            )
+            stages.append(("h", R_HEAD, head, [y1, y2]))
+        action = rule.action
+        if isinstance(action, LoadAttr):
+            stages.append(
+                ("a", R_MACHINE0 + action.index - 1, F.eq(z, Attr(action.attr)), [z])
+            )
+        elif isinstance(action, SetConst):
+            stages.append(
+                ("a", R_MACHINE0 + action.index - 1, F.eq(z, action.value), [z])
+            )
+        elif isinstance(action, CopyReg):
+            stages.append(
+                ("a", R_MACHINE0 + action.dst - 1,
+                 F.rel(R_MACHINE0 + action.src - 1, z), [z])
+            )
+
+        direction = (
+            action.direction if isinstance(action, TreeMove) else STAY
+        )
+        target = _q(rule.new_state)
+
+        current = _q(rule.state)
+        first_stage = True
+        for tag, register, formula, variables in stages:
+            nxt = f"r{index}:{tag}"
+            b.update(
+                current, nxt, register, formula, variables,
+                label=rule.label if first_stage else None,
+                guard=guard if first_stage else None,
+                position=rule.position if first_stage else ANYWHERE,
+            )
+            current, first_stage = nxt, False
+        b.move(
+            current, target, direction,
+            label=rule.label if first_stage else None,
+            guard=guard if first_stage else None,
+            position=rule.position if first_stage else ANYWHERE,
+        )
+
+    # -- Phase C: accepting states -----------------------------------------------
+    for state in machine.accepting:
+        b.move(_q(state), "TWF", STAY)
+
+    return b.build(initial="i0", final="TWF")
+
+
+def _q(state: str) -> str:
+    return f"q:{state}"

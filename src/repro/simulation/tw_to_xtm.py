@@ -1,0 +1,223 @@
+"""Compiling tw automata into xTMs — Theorem 7.1(1), the ⊆ direction.
+
+"Clearly, every TW can be simulated in LOGSPACE^X": a tw's
+configuration is (node, state, k single-value registers), which an xTM
+holds in its own control, head position and registers — no work tape at
+all.  This compiler produces that xTM rule-for-rule, so the simulation
+is 1:1 in steps (asserted by the tests), making the containment as
+concrete as the pebble construction makes the converse.
+
+Supported source fragment: tw (Definition 5.1's register-free walking
+plus single-value registers) whose guards are boolean combinations the
+xTM test language can express —
+
+* ``X_i(@a)``            → ``RegEqAttr(i, a)``
+* ``X_i(d)``             → ``RegEqConst(i, d)``
+* ``@a = d`` / ``d = @a``→ ``AttrEqConst(a, d)``
+* negations and conjunctions of the above (¬ maps to the tests'
+  ``negate`` flag; conjunction to the test tuple)
+
+and whose updates are the tw shapes ``z = @a`` (LoadAttr), ``z = d``
+(SetConst) and ``false`` (ClearReg).  ``atp`` rules and wider guards
+raise :class:`UnsupportedFeature` — they belong to tw^l/tw^r and their
+own theorems.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..automata.machine import TWAutomaton
+from ..automata.rules import Atp, Move, STAY, Update
+from ..machines.xtm import (
+    AttrEqConst,
+    ClearReg,
+    LoadAttr,
+    NoAction,
+    RegEqAttr,
+    RegEqConst,
+    RegisterTest,
+    SetConst,
+    TreeMove,
+    XTM,
+    XTMRule,
+)
+from ..store import fo as F
+
+
+class UnsupportedFeature(ValueError):
+    """The source automaton uses something outside the tw fragment the
+    xTM test language covers."""
+
+
+def _translate_atom(atom: F.StoreFormula, negate: bool) -> RegisterTest:
+    if isinstance(atom, F.Rel):
+        if len(atom.terms) != 1:
+            raise UnsupportedFeature(
+                f"only unary register atoms translate: {atom!r}"
+            )
+        term = atom.terms[0]
+        if isinstance(term, F.Attr):
+            return RegEqAttr(atom.register, term.name, negate=negate)
+        if isinstance(term, F.Const):
+            return RegEqConst(atom.register, term.value, negate=negate)
+        raise UnsupportedFeature(f"variable in a guard atom: {atom!r}")
+    if isinstance(atom, F.Eq):
+        sides = (atom.left, atom.right)
+        attrs = [t for t in sides if isinstance(t, F.Attr)]
+        consts = [t for t in sides if isinstance(t, F.Const)]
+        if len(attrs) == 1 and len(consts) == 1:
+            return AttrEqConst(attrs[0].name, consts[0].value, negate=negate)
+        raise UnsupportedFeature(
+            f"only '@a = const' equalities translate: {atom!r}"
+        )
+    raise UnsupportedFeature(f"guard atom out of fragment: {atom!r}")
+
+
+def _translate_guard(guard: F.StoreFormula) -> Tuple[RegisterTest, ...]:
+    """Conjunction of (possibly negated) translatable atoms."""
+    if isinstance(guard, F.TrueF):
+        return ()
+    if isinstance(guard, F.And):
+        out: List[RegisterTest] = []
+        for part in guard.parts:
+            out.extend(_translate_guard(part))
+        return tuple(out)
+    if isinstance(guard, F.Not):
+        inner = guard.inner
+        if isinstance(inner, (F.Rel, F.Eq)):
+            return (_translate_atom(inner, negate=True),)
+        raise UnsupportedFeature(f"negation of a non-atom: {guard!r}")
+    if isinstance(guard, (F.Rel, F.Eq)):
+        return (_translate_atom(guard, negate=False),)
+    raise UnsupportedFeature(
+        f"guard outside the conjunctive fragment: {guard!r}"
+    )
+
+
+def _value_action(update: Update, formula: F.StoreFormula):
+    """The action for a defining equality ``z = @a`` / ``z = d``."""
+    z = update.variables[0]
+    sides = (formula.left, formula.right)
+    if z not in sides:
+        raise UnsupportedFeature(f"update does not define {z!r}: {update!r}")
+    other = sides[1] if sides[0] == z else sides[0]
+    if isinstance(other, F.Attr):
+        return LoadAttr(update.register, other.name)
+    if isinstance(other, F.Const):
+        return SetConst(update.register, other.value)
+    raise UnsupportedFeature(f"update value out of fragment: {update!r}")
+
+
+def _translate_update(update: Update) -> List[Tuple[Tuple[RegisterTest, ...], object]]:
+    """Cases of (extra guard tests, register action).
+
+    Handles the plain tw shapes (``z = @a``, ``z = d``, ``false``) and
+    *guarded-case* updates — ``(ξ₁ ∧ z = v₁) ∨ … ∨ (ξₙ ∧ z = vₙ)`` with
+    translatable case guards — by expanding each case into its own xTM
+    rule (still single-valued: one case fires per configuration).
+    """
+    if len(update.variables) != 1:
+        raise UnsupportedFeature(f"non-unary update: {update!r}")
+    formula = update.formula
+    if isinstance(formula, F.FalseF):
+        return [((), ClearReg(update.register))]
+    if isinstance(formula, F.Eq):
+        return [((), _value_action(update, formula))]
+    if isinstance(formula, F.Or):
+        cases: List[Tuple[Tuple[RegisterTest, ...], object]] = []
+        for part in formula.parts:
+            if not isinstance(part, F.And):
+                raise UnsupportedFeature(
+                    f"case update needs (guard ∧ z = value) disjuncts: {update!r}"
+                )
+            z = update.variables[0]
+            defining = [
+                p for p in part.parts
+                if isinstance(p, F.Eq) and z in (p.left, p.right)
+            ]
+            if len(defining) != 1:
+                raise UnsupportedFeature(
+                    f"each case must define z exactly once: {update!r}"
+                )
+            guard_parts = tuple(p for p in part.parts if p is not defining[0])
+            tests = _translate_guard(F.conj(*guard_parts))
+            cases.append((tests, _value_action(update, defining[0])))
+        return cases
+    raise UnsupportedFeature(
+        f"update outside the tw single-value shapes: {update!r}"
+    )
+
+
+def compile_tw_to_xtm(automaton: TWAutomaton) -> XTM:
+    """Build the step-for-step xTM simulating a tw automaton."""
+    rules: List[XTMRule] = []
+    for rule in automaton.rules:
+        tests = _translate_guard(rule.lhs.guard)
+        rhs = rule.rhs
+        if isinstance(rhs, Move):
+            cases = [((), NoAction() if rhs.direction == STAY
+                      else TreeMove(rhs.direction))]
+        elif isinstance(rhs, Update):
+            cases = _translate_update(rhs)
+        elif isinstance(rhs, Atp):
+            raise UnsupportedFeature(
+                "atp rules are tw^l/tw^{r,l}; this compiler covers tw"
+            )
+        else:  # pragma: no cover
+            raise UnsupportedFeature(f"unknown RHS {rhs!r}")
+        for extra_tests, action in cases:
+            rules.append(
+                XTMRule(
+                    state=rule.lhs.state,
+                    new_state=rhs.state,
+                    label=rule.lhs.label,
+                    position=rule.lhs.position,
+                    tests=tests + extra_tests,
+                    action=action,
+                )
+            )
+    # Initial register values become a preamble of SetConst steps.
+    preamble_state = automaton.initial_state
+    preamble: List[XTMRule] = []
+    extra_states: List[str] = []
+    values = [
+        value for value in automaton.initial_assignment
+        if value is not None and not _is_bottom(value)
+    ]
+    if values:
+        current = "xtm:init0"
+        extra_states.append(current)
+        preamble_state = current
+        pending = [
+            (index, value)
+            for index, value in enumerate(automaton.initial_assignment, start=1)
+            if value is not None and not _is_bottom(value)
+        ]
+        for count, (index, value) in enumerate(pending):
+            is_last = count == len(pending) - 1
+            target = (
+                automaton.initial_state if is_last else f"xtm:init{count + 1}"
+            )
+            if not is_last:
+                extra_states.append(target)
+            preamble.append(
+                XTMRule(current, target, action=SetConst(index, value))
+            )
+            current = target
+
+    states = frozenset(set(automaton.states) | set(extra_states))
+    return XTM(
+        states=states,
+        initial=preamble_state,
+        accepting=frozenset({automaton.final_state}),
+        registers=max(automaton.schema.count, 1),
+        rules=tuple(preamble + rules),
+        name=f"xtm[{automaton.name}]",
+    )
+
+
+def _is_bottom(value) -> bool:
+    from ..trees.values import BOTTOM
+
+    return value is BOTTOM

@@ -1,0 +1,87 @@
+"""Relational storage over D (Definition 3.1's X̄, ξ, ψ machinery).
+
+* :class:`Relation` — immutable finite relations over D with a full
+  relational-algebra surface;
+* :class:`StoreSchema` / :class:`RegisterStore` — the registers
+  X_1 … X_k and the assignments τ;
+* :mod:`repro.store.fo` — active-domain FO over the store: the guard
+  (ξ) and update (ψ) language of tree-walking automata.
+"""
+
+from .relation import Relation, RelationError, Row
+from .database import RegisterStore, StoreError, StoreSchema
+from .parser import StoreSyntaxError, parse_guard, parse_store_formula
+from .fo import (
+    And,
+    Attr,
+    Const,
+    Eq,
+    Exists,
+    FalseF,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Rel,
+    StoreContext,
+    StoreFormula,
+    StoreFormulaError,
+    TrueF,
+    Var,
+    attributes_used,
+    conj,
+    constants,
+    disj,
+    eq,
+    evaluate,
+    evaluate_update,
+    exists,
+    forall,
+    free_variables,
+    implies,
+    neq,
+    rel,
+    validate,
+)
+
+__all__ = [
+    "Relation",
+    "RelationError",
+    "Row",
+    "RegisterStore",
+    "StoreError",
+    "StoreSchema",
+    "StoreSyntaxError",
+    "parse_guard",
+    "parse_store_formula",
+    "And",
+    "Attr",
+    "Const",
+    "Eq",
+    "Exists",
+    "FalseF",
+    "Forall",
+    "Implies",
+    "Not",
+    "Or",
+    "Rel",
+    "StoreContext",
+    "StoreFormula",
+    "StoreFormulaError",
+    "TrueF",
+    "Var",
+    "attributes_used",
+    "conj",
+    "constants",
+    "disj",
+    "eq",
+    "evaluate",
+    "evaluate_update",
+    "exists",
+    "forall",
+    "free_variables",
+    "implies",
+    "neq",
+    "rel",
+    "validate",
+]

@@ -1,0 +1,157 @@
+"""Register stores: the relational storage τ of Definition 3.1.
+
+A :class:`RegisterStore` interprets the relation names ``X_1 … X_k``
+(each of a fixed arity) by finite relations over D.  Stores are
+immutable; updating a register produces a new store.  The *initial
+register assignment* τ₀ of the paper maps each register to a value in
+``D ∪ {⊥}``; we realise ``d ∈ D`` as the unary singleton ``{d}``
+(arity permitting) and ``⊥`` as the empty relation, matching
+Example 3.2's ``τ₀(1) = ∅``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
+
+from ..trees.values import BOTTOM, DataValue, MaybeValue
+from .relation import Relation, RelationError
+
+
+class StoreError(ValueError):
+    """Raised on register-index or schema violations."""
+
+
+class StoreSchema:
+    """The relational schema X̄ = X_1, …, X_k with fixed arities."""
+
+    __slots__ = ("_arities",)
+
+    def __init__(self, arities: Sequence[int]) -> None:
+        if any(a < 1 for a in arities):
+            raise StoreError("all register arities must be >= 1")
+        self._arities: Tuple[int, ...] = tuple(arities)
+
+    @property
+    def arities(self) -> Tuple[int, ...]:
+        return self._arities
+
+    @property
+    def count(self) -> int:
+        return len(self._arities)
+
+    def arity(self, register: int) -> int:
+        """Arity of register ``register`` (1-based, as in the paper)."""
+        self.check_register(register)
+        return self._arities[register - 1]
+
+    def check_register(self, register: int) -> int:
+        if not 1 <= register <= len(self._arities):
+            raise StoreError(
+                f"register {register} out of range 1..{len(self._arities)}"
+            )
+        return register
+
+    def initial_store(
+        self, assignment: Optional[Sequence[Union[DataValue, object]]] = None
+    ) -> "RegisterStore":
+        """Build τ₀.  ``assignment`` lists, per register, a D-value (unary
+        singleton), ``BOTTOM``/``None`` (empty relation), or a ready
+        :class:`Relation`."""
+        relations = []
+        assignment = list(assignment or [BOTTOM] * len(self._arities))
+        if len(assignment) != len(self._arities):
+            raise StoreError(
+                f"initial assignment has {len(assignment)} entries for "
+                f"{len(self._arities)} registers"
+            )
+        for arity, init in zip(self._arities, assignment):
+            if init is BOTTOM or init is None:
+                relations.append(Relation.empty(arity))
+            elif isinstance(init, Relation):
+                if init.arity != arity:
+                    raise StoreError(
+                        f"initial relation arity {init.arity} != declared {arity}"
+                    )
+                relations.append(init)
+            else:
+                if arity != 1:
+                    raise StoreError(
+                        "a scalar initial value needs a unary register"
+                    )
+                relations.append(Relation.singleton(init))  # type: ignore[arg-type]
+        return RegisterStore(self, relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StoreSchema):
+            return NotImplemented
+        return self._arities == other._arities
+
+    def __hash__(self) -> int:
+        return hash(self._arities)
+
+    def __repr__(self) -> str:
+        return f"StoreSchema{self._arities!r}"
+
+
+class RegisterStore:
+    """An immutable assignment of relations to the schema's registers."""
+
+    __slots__ = ("_schema", "_relations")
+
+    def __init__(self, schema: StoreSchema, relations: Sequence[Relation]) -> None:
+        if len(relations) != schema.count:
+            raise StoreError(
+                f"{len(relations)} relations for {schema.count} registers"
+            )
+        for i, (rel, arity) in enumerate(zip(relations, schema.arities), start=1):
+            if rel.arity != arity:
+                raise StoreError(
+                    f"register {i}: relation arity {rel.arity} != declared {arity}"
+                )
+        self._schema = schema
+        self._relations: Tuple[Relation, ...] = tuple(relations)
+
+    @property
+    def schema(self) -> StoreSchema:
+        return self._schema
+
+    def get(self, register: int) -> Relation:
+        """Contents of register ``register`` (1-based)."""
+        self._schema.check_register(register)
+        return self._relations[register - 1]
+
+    def set(self, register: int, relation: Relation) -> "RegisterStore":
+        """A new store with register ``register`` replaced."""
+        self._schema.check_register(register)
+        if relation.arity != self._schema.arity(register):
+            raise StoreError(
+                f"register {register} has arity {self._schema.arity(register)}, "
+                f"got relation of arity {relation.arity}"
+            )
+        relations = list(self._relations)
+        relations[register - 1] = relation
+        return RegisterStore(self._schema, relations)
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations)
+
+    def active_domain(self) -> frozenset:
+        """All D-values occurring anywhere in the store."""
+        out = set()
+        for rel in self._relations:
+            out |= rel.values()
+        return frozenset(out)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RegisterStore):
+            return NotImplemented
+        return self._schema == other._schema and self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash((self._schema, self._relations))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"X{i}={rel!r}" for i, rel in enumerate(self._relations, start=1)
+        )
+        return f"RegisterStore({inner})"

@@ -1,0 +1,474 @@
+"""Active-domain FO over the relational store (Definition 3.1).
+
+Guards ξ and updates ψ of a tw^{r,l} automaton are FO formulas over the
+vocabulary ``X̄ ∪ {a : a ∈ A} ∪ {d : d ∈ D}`` where each attribute name
+and each data value is a *constant*.  The logic sees only the store and
+the attribute values of the current node — no tree structure — and all
+quantification ranges over the **active domain**: values in the store,
+the current node's attribute values, and the constants mentioned by the
+formula (plus any extra program constants supplied by the caller).
+
+This is FO as relational calculus; :func:`evaluate` model-checks a
+sentence, :func:`evaluate_update` materialises the relation
+``{(z̄) : ψ(z̄)}`` that a rule writes into a register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+from ..trees.values import BOTTOM, DataValue, MaybeValue, is_data_value
+from .database import RegisterStore, StoreSchema, StoreError
+from .relation import Relation
+
+
+class StoreFormulaError(ValueError):
+    """Raised on ill-formed store formulas (bad arity, unbound vars, …)."""
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var:
+    """A first-order variable ranging over the active domain."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A data constant d ∈ D."""
+
+    value: DataValue
+
+    def __post_init__(self) -> None:
+        if not is_data_value(self.value):
+            raise StoreFormulaError(f"constant must be in D: {self.value!r}")
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Attr:
+    """An attribute constant: the current node's value of attribute ``name``.
+
+    May denote ⊥ on delimiter nodes; atoms involving a ⊥-valued Attr are
+    false except ``Eq(Attr, Attr)`` between two ⊥-valued attributes.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"@{self.name}"
+
+
+Term = Union[Var, Const, Attr]
+
+
+def _as_term(value: Union[Term, DataValue, str]) -> Term:
+    """Coerce a raw Python value into a term (strings stay raw constants;
+    to build a variable or attribute use Var/Attr explicitly)."""
+    if isinstance(value, (Var, Const, Attr)):
+        return value
+    if is_data_value(value):
+        return Const(value)  # type: ignore[arg-type]
+    raise StoreFormulaError(f"cannot interpret {value!r} as a term")
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrueF:
+    def __repr__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseF:
+    def __repr__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Rel:
+    """``X_register(t₁, …, tₙ)`` — membership in a store relation."""
+
+    register: int
+    terms: Tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"X{self.register}({inner})"
+
+
+@dataclass(frozen=True)
+class Eq:
+    """``t₁ = t₂``."""
+
+    left: Term
+    right: Term
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} = {self.right!r}"
+
+
+@dataclass(frozen=True)
+class Not:
+    inner: "StoreFormula"
+
+    def __repr__(self) -> str:
+        return f"¬({self.inner!r})"
+
+
+@dataclass(frozen=True)
+class And:
+    parts: Tuple["StoreFormula", ...]
+
+    def __repr__(self) -> str:
+        return "(" + " ∧ ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Or:
+    parts: Tuple["StoreFormula", ...]
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Implies:
+    premise: "StoreFormula"
+    conclusion: "StoreFormula"
+
+    def __repr__(self) -> str:
+        return f"({self.premise!r} → {self.conclusion!r})"
+
+
+@dataclass(frozen=True)
+class Exists:
+    var: Var
+    inner: "StoreFormula"
+
+    def __repr__(self) -> str:
+        return f"∃{self.var!r} {self.inner!r}"
+
+
+@dataclass(frozen=True)
+class Forall:
+    var: Var
+    inner: "StoreFormula"
+
+    def __repr__(self) -> str:
+        return f"∀{self.var!r} {self.inner!r}"
+
+
+StoreFormula = Union[TrueF, FalseF, Rel, Eq, Not, And, Or, Implies, Exists, Forall]
+
+
+# -- constructor helpers (the DSL used throughout the automaton library) ------
+
+
+def rel(register: int, *terms: Union[Term, DataValue]) -> Rel:
+    return Rel(register, tuple(_as_term(t) for t in terms))
+
+
+def eq(left: Union[Term, DataValue], right: Union[Term, DataValue]) -> Eq:
+    return Eq(_as_term(left), _as_term(right))
+
+
+def neq(left: Union[Term, DataValue], right: Union[Term, DataValue]) -> Not:
+    return Not(eq(left, right))
+
+
+def conj(*parts: StoreFormula) -> StoreFormula:
+    parts = tuple(parts)
+    if not parts:
+        return TrueF()
+    if len(parts) == 1:
+        return parts[0]
+    return And(parts)
+
+
+def disj(*parts: StoreFormula) -> StoreFormula:
+    parts = tuple(parts)
+    if not parts:
+        return FalseF()
+    if len(parts) == 1:
+        return parts[0]
+    return Or(parts)
+
+
+def implies(premise: StoreFormula, conclusion: StoreFormula) -> Implies:
+    return Implies(premise, conclusion)
+
+
+def exists(variables: Union[Var, Sequence[Var]], inner: StoreFormula) -> StoreFormula:
+    if isinstance(variables, Var):
+        variables = [variables]
+    out = inner
+    for var in reversed(list(variables)):
+        out = Exists(var, out)
+    return out
+
+
+def forall(variables: Union[Var, Sequence[Var]], inner: StoreFormula) -> StoreFormula:
+    if isinstance(variables, Var):
+        variables = [variables]
+    out = inner
+    for var in reversed(list(variables)):
+        out = Forall(var, out)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Static analysis
+# ---------------------------------------------------------------------------
+
+
+def free_variables(formula: StoreFormula) -> FrozenSet[Var]:
+    """The free variables of ``formula``."""
+    if isinstance(formula, (TrueF, FalseF)):
+        return frozenset()
+    if isinstance(formula, Rel):
+        return frozenset(t for t in formula.terms if isinstance(t, Var))
+    if isinstance(formula, Eq):
+        return frozenset(t for t in (formula.left, formula.right) if isinstance(t, Var))
+    if isinstance(formula, Not):
+        return free_variables(formula.inner)
+    if isinstance(formula, And) or isinstance(formula, Or):
+        out: FrozenSet[Var] = frozenset()
+        for part in formula.parts:
+            out |= free_variables(part)
+        return out
+    if isinstance(formula, Implies):
+        return free_variables(formula.premise) | free_variables(formula.conclusion)
+    if isinstance(formula, (Exists, Forall)):
+        return free_variables(formula.inner) - {formula.var}
+    raise StoreFormulaError(f"unknown formula node {formula!r}")
+
+
+def constants(formula: StoreFormula) -> FrozenSet[DataValue]:
+    """All data constants mentioned by ``formula``."""
+    if isinstance(formula, (TrueF, FalseF)):
+        return frozenset()
+    if isinstance(formula, Rel):
+        return frozenset(t.value for t in formula.terms if isinstance(t, Const))
+    if isinstance(formula, Eq):
+        return frozenset(
+            t.value for t in (formula.left, formula.right) if isinstance(t, Const)
+        )
+    if isinstance(formula, Not):
+        return constants(formula.inner)
+    if isinstance(formula, (And, Or)):
+        out: FrozenSet[DataValue] = frozenset()
+        for part in formula.parts:
+            out |= constants(part)
+        return out
+    if isinstance(formula, Implies):
+        return constants(formula.premise) | constants(formula.conclusion)
+    if isinstance(formula, (Exists, Forall)):
+        return constants(formula.inner)
+    raise StoreFormulaError(f"unknown formula node {formula!r}")
+
+
+def attributes_used(formula: StoreFormula) -> FrozenSet[str]:
+    """All attribute constants mentioned by ``formula``."""
+    if isinstance(formula, (TrueF, FalseF)):
+        return frozenset()
+    if isinstance(formula, Rel):
+        return frozenset(t.name for t in formula.terms if isinstance(t, Attr))
+    if isinstance(formula, Eq):
+        return frozenset(
+            t.name for t in (formula.left, formula.right) if isinstance(t, Attr)
+        )
+    if isinstance(formula, Not):
+        return attributes_used(formula.inner)
+    if isinstance(formula, (And, Or)):
+        out: FrozenSet[str] = frozenset()
+        for part in formula.parts:
+            out |= attributes_used(part)
+        return out
+    if isinstance(formula, Implies):
+        return attributes_used(formula.premise) | attributes_used(formula.conclusion)
+    if isinstance(formula, (Exists, Forall)):
+        return attributes_used(formula.inner)
+    raise StoreFormulaError(f"unknown formula node {formula!r}")
+
+
+def validate(formula: StoreFormula, schema: StoreSchema) -> None:
+    """Check register indices and arities against ``schema``."""
+    if isinstance(formula, Rel):
+        schema.check_register(formula.register)
+        expected = schema.arity(formula.register)
+        if len(formula.terms) != expected:
+            raise StoreFormulaError(
+                f"X{formula.register} has arity {expected}, used with "
+                f"{len(formula.terms)} terms"
+            )
+        return
+    if isinstance(formula, (TrueF, FalseF, Eq)):
+        return
+    if isinstance(formula, Not):
+        validate(formula.inner, schema)
+        return
+    if isinstance(formula, (And, Or)):
+        for part in formula.parts:
+            validate(part, schema)
+        return
+    if isinstance(formula, Implies):
+        validate(formula.premise, schema)
+        validate(formula.conclusion, schema)
+        return
+    if isinstance(formula, (Exists, Forall)):
+        validate(formula.inner, schema)
+        return
+    raise StoreFormulaError(f"unknown formula node {formula!r}")
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StoreContext:
+    """Everything a guard/update can see: the store, the current node's
+    attribute values, and extra program constants for the active domain."""
+
+    store: RegisterStore
+    attr_values: Mapping[str, MaybeValue] = field(default_factory=dict)
+    extra_constants: FrozenSet[DataValue] = frozenset()
+
+    def active_domain(self, formula: StoreFormula) -> FrozenSet[DataValue]:
+        domain = set(self.store.active_domain())
+        for value in self.attr_values.values():
+            if value is not BOTTOM:
+                domain.add(value)
+        domain |= constants(formula)
+        domain |= self.extra_constants
+        return frozenset(domain)
+
+
+def _term_value(term: Term, env: Dict[Var, DataValue], ctx: StoreContext) -> MaybeValue:
+    if isinstance(term, Var):
+        try:
+            return env[term]
+        except KeyError:
+            raise StoreFormulaError(f"unbound variable {term!r}") from None
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, Attr):
+        try:
+            return ctx.attr_values[term.name]
+        except KeyError:
+            raise StoreFormulaError(
+                f"attribute constant @{term.name} has no value at the "
+                f"current node (A = {sorted(ctx.attr_values)})"
+            ) from None
+    raise StoreFormulaError(f"unknown term {term!r}")
+
+
+def _eval(
+    formula: StoreFormula,
+    env: Dict[Var, DataValue],
+    ctx: StoreContext,
+    domain: FrozenSet[DataValue],
+) -> bool:
+    if isinstance(formula, TrueF):
+        return True
+    if isinstance(formula, FalseF):
+        return False
+    if isinstance(formula, Rel):
+        row = tuple(_term_value(t, env, ctx) for t in formula.terms)
+        if any(v is BOTTOM for v in row):
+            return False  # relations never contain ⊥
+        return row in ctx.store.get(formula.register)
+    if isinstance(formula, Eq):
+        return _term_value(formula.left, env, ctx) == _term_value(
+            formula.right, env, ctx
+        )
+    if isinstance(formula, Not):
+        return not _eval(formula.inner, env, ctx, domain)
+    if isinstance(formula, And):
+        return all(_eval(p, env, ctx, domain) for p in formula.parts)
+    if isinstance(formula, Or):
+        return any(_eval(p, env, ctx, domain) for p in formula.parts)
+    if isinstance(formula, Implies):
+        return (not _eval(formula.premise, env, ctx, domain)) or _eval(
+            formula.conclusion, env, ctx, domain
+        )
+    if isinstance(formula, Exists):
+        for value in domain:
+            env[formula.var] = value
+            if _eval(formula.inner, env, ctx, domain):
+                del env[formula.var]
+                return True
+        env.pop(formula.var, None)
+        return False
+    if isinstance(formula, Forall):
+        for value in domain:
+            env[formula.var] = value
+            if not _eval(formula.inner, env, ctx, domain):
+                del env[formula.var]
+                return False
+        env.pop(formula.var, None)
+        return True
+    raise StoreFormulaError(f"unknown formula node {formula!r}")
+
+
+def evaluate(formula: StoreFormula, ctx: StoreContext) -> bool:
+    """Model-check a *sentence* against the store context."""
+    unbound = free_variables(formula)
+    if unbound:
+        raise StoreFormulaError(
+            f"guard must be a sentence; free variables {sorted(v.name for v in unbound)}"
+        )
+    validate(formula, ctx.store.schema)
+    return _eval(formula, {}, ctx, ctx.active_domain(formula))
+
+
+def evaluate_update(
+    formula: StoreFormula,
+    variables: Sequence[Var],
+    ctx: StoreContext,
+) -> Relation:
+    """Materialise ``{(z̄) ∈ adom^m : ψ(z̄)}`` for an update ψ(z₁, …, zₘ).
+
+    ``variables`` fixes the output column order (the register's columns).
+    """
+    validate(formula, ctx.store.schema)
+    unbound = free_variables(formula) - set(variables)
+    if unbound:
+        raise StoreFormulaError(
+            f"update has free variables {sorted(v.name for v in unbound)} "
+            f"outside the declared tuple {[v.name for v in variables]}"
+        )
+    if len(set(variables)) != len(variables):
+        raise StoreFormulaError("update tuple variables must be distinct")
+    domain = ctx.active_domain(formula)
+    rows = []
+
+    def assign(index: int, env: Dict[Var, DataValue]) -> None:
+        if index == len(variables):
+            if _eval(formula, env, ctx, domain):
+                rows.append(tuple(env[v] for v in variables))
+            return
+        for value in domain:
+            env[variables[index]] = value
+            assign(index + 1, env)
+        env.pop(variables[index], None)
+
+    assign(0, {})
+    return Relation(max(len(variables), 1), rows) if variables else Relation(1, rows)

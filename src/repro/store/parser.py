@@ -1,0 +1,251 @@
+"""Text syntax for the store logic (guards ξ and updates ψ).
+
+Mirrors :mod:`repro.logic.parser`, but over the Definition 3.1 store
+vocabulary: relation atoms ``X1(z)``, ``X2(z, w)``; term equality with
+variables, ``@attr`` attribute constants and literal constants::
+
+    exists z X1(z)
+    forall z w (X1(z) & X1(w) -> z = w)          -- "X1 is a singleton"
+    X1(@a)                                        -- current a-value stored
+    z = "EUR" | z = 30
+
+Grammar: the same connective level structure as the FO parser
+(``forall/exists``, ``<->``, ``->``, ``|``, ``&``, ``~``, parens).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from ..trees.values import DataValue
+from . import fo as F
+from .fo import StoreFormula, StoreFormulaError, Var
+
+
+class StoreSyntaxError(StoreFormulaError):
+    """Raised on malformed store-formula text."""
+
+    def __init__(self, message: str, text: str, pos: int) -> None:
+        super().__init__(f"{message} at {pos}: ...{text[pos:pos + 25]!r}")
+        self.pos = pos
+
+
+_KEYWORDS = {"forall", "exists", "true", "false", "∀", "∃"}
+
+
+class _Scanner:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text):
+            if self.text[self.pos].isspace():
+                self.pos += 1
+            elif self.text.startswith("--", self.pos):
+                end = self.text.find("\n", self.pos)
+                self.pos = len(self.text) if end < 0 else end + 1
+            else:
+                break
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def take(self, literal: str) -> bool:
+        self.skip_ws()
+        if self.text.startswith(literal, self.pos):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        if not self.take(literal):
+            raise StoreSyntaxError(f"expected {literal!r}", self.text, self.pos)
+
+    def error(self, message: str) -> StoreSyntaxError:
+        return StoreSyntaxError(message, self.text, self.pos)
+
+    def word(self) -> Optional[str]:
+        self.skip_ws()
+        start = self.pos
+        if self.pos < len(self.text) and self.text[self.pos] in "∀∃":
+            self.pos += 1
+            return self.text[start : self.pos]
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] == "_"
+        ):
+            self.pos += 1
+        return self.text[start : self.pos] if self.pos > start else None
+
+
+def _parse_term(sc: _Scanner) -> F.Term:
+    sc.skip_ws()
+    ch = sc.peek()
+    if ch == "@":
+        sc.take("@")
+        name = sc.word()
+        if not name:
+            raise sc.error("expected an attribute name after '@'")
+        return F.Attr(name)
+    if ch in ('"', "'"):
+        quote = ch
+        sc.take(quote)
+        out: List[str] = []
+        while True:
+            if sc.pos >= len(sc.text):
+                raise sc.error("unterminated string constant")
+            c = sc.text[sc.pos]
+            sc.pos += 1
+            if c == quote:
+                return F.Const("".join(out))
+            if c == "\\":
+                out.append(sc.text[sc.pos])
+                sc.pos += 1
+            else:
+                out.append(c)
+    if ch == "-" or ch.isdigit():
+        start = sc.pos
+        if ch == "-":
+            sc.pos += 1
+        while sc.pos < len(sc.text) and sc.text[sc.pos].isdigit():
+            sc.pos += 1
+        return F.Const(int(sc.text[start : sc.pos]))
+    name = sc.word()
+    if name is None or name in _KEYWORDS:
+        raise sc.error("expected a term (variable, @attr, or constant)")
+    return Var(name)
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.sc = _Scanner(text)
+
+    def formula(self) -> StoreFormula:
+        quantified = self._try_quantified()
+        if quantified is not None:
+            return quantified
+        return self.iff()
+
+    def _try_quantified(self) -> Optional[StoreFormula]:
+        self.sc.skip_ws()
+        saved = self.sc.pos
+        word = self.sc.word()
+        if word not in ("forall", "exists", "∀", "∃"):
+            self.sc.pos = saved
+            return None
+        kind = "forall" if word in ("forall", "∀") else "exists"
+        variables: List[Var] = []
+        positions: List[int] = []
+        while True:
+            self.sc.skip_ws()
+            saved_var = self.sc.pos
+            name = self.sc.word()
+            if (
+                name is None
+                or name in _KEYWORDS
+                or self.sc.peek() == "("
+            ):
+                self.sc.pos = saved_var
+                break
+            variables.append(Var(name))
+            positions.append(self.sc.pos)
+        if not variables:
+            raise self.sc.error(f"{kind} needs at least one variable")
+        build = F.forall if kind == "forall" else F.exists
+        last_error: Optional[StoreSyntaxError] = None
+        for count in range(len(variables), 0, -1):
+            self.sc.pos = positions[count - 1]
+            try:
+                body = self.formula()
+            except StoreSyntaxError as error:
+                last_error = error
+                continue
+            return build(variables[:count], body)
+        assert last_error is not None
+        raise last_error
+
+    def iff(self) -> StoreFormula:
+        left = self.implies()
+        while self.sc.take("<->"):
+            right = self.implies()
+            left = F.conj(F.implies(left, right), F.implies(right, left))
+        return left
+
+    def implies(self) -> StoreFormula:
+        left = self.or_()
+        if self.sc.take("->") or self.sc.take("→"):
+            return F.implies(left, self.implies())
+        return left
+
+    def or_(self) -> StoreFormula:
+        parts = [self.and_()]
+        while self.sc.take("|") or self.sc.take("∨"):
+            parts.append(self.and_())
+        return F.disj(*parts)
+
+    def and_(self) -> StoreFormula:
+        parts = [self.unary()]
+        while self.sc.take("&") or self.sc.take("∧"):
+            parts.append(self.unary())
+        return F.conj(*parts)
+
+    def unary(self) -> StoreFormula:
+        if self.sc.take("~") or self.sc.take("¬"):
+            return F.Not(self.unary())
+        quantified = self._try_quantified()
+        if quantified is not None:
+            return quantified
+        self.sc.skip_ws()
+        if self.sc.peek() == "(":
+            self.sc.expect("(")
+            inner = self.formula()
+            self.sc.expect(")")
+            return inner
+        return self.atom()
+
+    def atom(self) -> StoreFormula:
+        self.sc.skip_ws()
+        saved = self.sc.pos
+        word = self.sc.word()
+        if word == "true":
+            return F.TrueF()
+        if word == "false":
+            return F.FalseF()
+        if word and word.startswith("X") and word[1:].isdigit():
+            self.sc.skip_ws()
+            if self.sc.peek() == "(":
+                self.sc.expect("(")
+                terms = [_parse_term(self.sc)]
+                while self.sc.take(","):
+                    terms.append(_parse_term(self.sc))
+                self.sc.expect(")")
+                return F.Rel(int(word[1:]), tuple(terms))
+        # a term equality
+        self.sc.pos = saved
+        left = _parse_term(self.sc)
+        if self.sc.take("!="):
+            return F.Not(F.Eq(left, _parse_term(self.sc)))
+        self.sc.expect("=")
+        return F.Eq(left, _parse_term(self.sc))
+
+
+def parse_store_formula(text: str) -> StoreFormula:
+    """Parse store-logic text into a :class:`StoreFormula`."""
+    parser = _Parser(text)
+    formula = parser.formula()
+    parser.sc.skip_ws()
+    if parser.sc.pos != len(parser.sc.text):
+        raise parser.sc.error("trailing input")
+    return formula
+
+
+def parse_guard(text: str) -> StoreFormula:
+    """Parse and require a sentence (rule guards ξ are sentences)."""
+    formula = parse_store_formula(text)
+    free = F.free_variables(formula)
+    if free:
+        raise StoreFormulaError(
+            f"a guard must be a sentence; free: "
+            f"{sorted(v.name for v in free)}"
+        )
+    return formula

@@ -1,0 +1,189 @@
+"""Finite relations over the data domain D.
+
+The relational storage of Definition 3.1 interprets each relation name
+``X_i`` (of a fixed arity) by a finite relation over D.  Relations are
+immutable and hashable — automaton configurations embed them, and the
+executor's cycle detection hashes configurations.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, Sequence, Tuple
+
+from ..trees.values import DataValue, is_data_value
+
+Row = Tuple[DataValue, ...]
+
+
+class RelationError(ValueError):
+    """Raised on arity mismatches or non-D values in relations."""
+
+
+class Relation:
+    """An immutable finite relation of fixed arity over D."""
+
+    __slots__ = ("_arity", "_rows")
+
+    def __init__(self, arity: int, rows: Iterable[Sequence[DataValue]] = ()) -> None:
+        if arity < 1:
+            raise RelationError(f"arity must be >= 1, got {arity}")
+        self._arity = arity
+        frozen = set()
+        for row in rows:
+            row = tuple(row)
+            if len(row) != arity:
+                raise RelationError(
+                    f"row {row!r} has arity {len(row)}, expected {arity}"
+                )
+            for value in row:
+                if not is_data_value(value):
+                    raise RelationError(f"non-D value in relation: {value!r}")
+            frozen.add(row)
+        self._rows: FrozenSet[Row] = frozenset(frozen)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def empty(cls, arity: int) -> "Relation":
+        return cls(arity, ())
+
+    @classmethod
+    def singleton(cls, *values: DataValue) -> "Relation":
+        if not values:
+            raise RelationError("a singleton needs at least one value")
+        return cls(len(values), (tuple(values),))
+
+    @classmethod
+    def unary(cls, values: Iterable[DataValue]) -> "Relation":
+        return cls(1, ((v,) for v in values))
+
+    # -- inspection -------------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    @property
+    def rows(self) -> FrozenSet[Row]:
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(sorted(self._rows, key=repr))
+
+    def __contains__(self, row: Sequence[DataValue]) -> bool:
+        return tuple(row) in self._rows
+
+    def values(self) -> FrozenSet[DataValue]:
+        """All D-values occurring in some row (the relation's active domain)."""
+        return frozenset(v for row in self._rows for v in row)
+
+    def unary_values(self) -> FrozenSet[DataValue]:
+        """For unary relations: the set of member values."""
+        if self._arity != 1:
+            raise RelationError(f"unary_values on arity-{self._arity} relation")
+        return frozenset(row[0] for row in self._rows)
+
+    def single_value(self) -> DataValue:
+        """For a unary singleton: its one value (tw^l registers)."""
+        if self._arity != 1 or len(self._rows) != 1:
+            raise RelationError(
+                f"single_value needs a unary singleton, got arity "
+                f"{self._arity} with {len(self._rows)} rows"
+            )
+        return next(iter(self._rows))[0]
+
+    # -- algebra ---------------------------------------------------------------
+
+    def _require_same_schema(self, other: "Relation") -> None:
+        if self._arity != other._arity:
+            raise RelationError(
+                f"arity mismatch: {self._arity} vs {other._arity}"
+            )
+
+    def union(self, other: "Relation") -> "Relation":
+        self._require_same_schema(other)
+        return Relation(self._arity, self._rows | other._rows)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        self._require_same_schema(other)
+        return Relation(self._arity, self._rows & other._rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        self._require_same_schema(other)
+        return Relation(self._arity, self._rows - other._rows)
+
+    def project(self, columns: Sequence[int]) -> "Relation":
+        """π: keep (and reorder) the given 0-based columns."""
+        for c in columns:
+            if not 0 <= c < self._arity:
+                raise RelationError(f"column {c} out of range for arity {self._arity}")
+        if not columns:
+            raise RelationError("projection needs at least one column")
+        return Relation(
+            len(columns),
+            (tuple(row[c] for c in columns) for row in self._rows),
+        )
+
+    def select_eq(self, column: int, value: DataValue) -> "Relation":
+        """σ: rows whose ``column`` equals ``value``."""
+        if not 0 <= column < self._arity:
+            raise RelationError(f"column {column} out of range")
+        return Relation(
+            self._arity, (row for row in self._rows if row[column] == value)
+        )
+
+    def select_eq_cols(self, left: int, right: int) -> "Relation":
+        """σ: rows whose two columns are equal."""
+        for c in (left, right):
+            if not 0 <= c < self._arity:
+                raise RelationError(f"column {c} out of range")
+        return Relation(
+            self._arity, (row for row in self._rows if row[left] == row[right])
+        )
+
+    def product(self, other: "Relation") -> "Relation":
+        """× : cartesian product."""
+        return Relation(
+            self._arity + other._arity,
+            (a + b for a in self._rows for b in other._rows),
+        )
+
+    def join(self, other: "Relation", pairs: Sequence[Tuple[int, int]]) -> "Relation":
+        """⋈ : equijoin on (self-column, other-column) pairs; result keeps
+        all columns of both operands (self's first)."""
+        from collections import defaultdict
+
+        key_self = [a for a, _ in pairs]
+        key_other = [b for _, b in pairs]
+        index = defaultdict(list)
+        for row in other._rows:
+            index[tuple(row[c] for c in key_other)].append(row)
+        out = []
+        for row in self._rows:
+            for match in index.get(tuple(row[c] for c in key_self), ()):
+                out.append(row + match)
+        return Relation(self._arity + other._arity, out)
+
+    # -- equality / hashing -----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._arity == other._arity and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self._arity, self._rows))
+
+    def __repr__(self) -> str:
+        rows = sorted(self._rows, key=repr)
+        if len(rows) > 6:
+            shown = ", ".join(repr(r) for r in rows[:6]) + ", …"
+        else:
+            shown = ", ".join(repr(r) for r in rows)
+        return f"Relation/{self._arity}{{{shown}}}"

@@ -1,0 +1,55 @@
+"""Tree-walking tree transducers — the §8 "further research" output
+model, built in the stripped-down-XSLT shape of [4].
+
+>>> from repro.trees import parse_term, format_term
+>>> from repro.transducer import identity_transducer, run_transducer
+>>> t = parse_term("a(b[a=1], c)")
+>>> run_transducer(identity_transducer(), t) == t
+True
+"""
+
+from .model import (
+    Apply,
+    AttrSource,
+    COPY_LABEL,
+    ConstAttr,
+    CopyAttr,
+    CopyLabel,
+    Out,
+    OutNode,
+    TWTransducer,
+    Template,
+    TransducerError,
+    apply_templates,
+    out,
+    run_transducer,
+)
+from .examples import (
+    catalog_report_transducer,
+    flatten_leaves_transducer,
+    identity_transducer,
+    prune_spec,
+    prune_transducer,
+)
+
+__all__ = [
+    "Apply",
+    "AttrSource",
+    "COPY_LABEL",
+    "ConstAttr",
+    "CopyAttr",
+    "CopyLabel",
+    "Out",
+    "OutNode",
+    "TWTransducer",
+    "Template",
+    "TransducerError",
+    "apply_templates",
+    "out",
+    "run_transducer",
+    "catalog_report_transducer",
+    "flatten_leaves_transducer",
+    "identity_transducer",
+    "prune_spec",
+    "prune_transducer",
+]

@@ -1,0 +1,137 @@
+"""Stock transducers with specifications.
+
+* :func:`identity_transducer` — copies the input tree verbatim;
+* :func:`prune_transducer` — copies but drops every subtree rooted at a
+  given label;
+* :func:`flatten_leaves_transducer` — replaces the document with a flat
+  list of its leaves;
+* :func:`catalog_report_transducer` — the XSLT-motivating scenario:
+  turns a catalog into a per-department report.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..logic import tree_fo as T
+from ..logic.exists_star import X, Y, children_selector, leaves_selector, selector
+from ..trees.tree import Tree
+from .model import (
+    COPY_LABEL,
+    CopyAttr,
+    TWTransducer,
+    Template,
+    apply_templates,
+    out,
+)
+
+
+def _copy_attrs(attributes: Sequence[str]):
+    return {name: CopyAttr(name) for name in attributes}
+
+
+def identity_transducer(attributes: Sequence[str] = ("a",)) -> TWTransducer:
+    """Copies the input: one generic template that emits the current
+    node (label and attributes copied) and recurses over the children."""
+    body = out(
+        COPY_LABEL,
+        _copy_attrs(attributes),
+        apply_templates(children_selector(), "copy"),
+    )
+    return TWTransducer(
+        templates=(Template("copy", (body,)),),
+        initial="copy",
+        name="identity",
+    )
+
+
+def prune_transducer(
+    drop_label: str, attributes: Sequence[str] = ("a",)
+) -> TWTransducer:
+    """Copies the input but silently drops every subtree whose root is
+    labelled ``drop_label`` (the dropping template produces nothing)."""
+    copy_body = out(
+        COPY_LABEL,
+        _copy_attrs(attributes),
+        apply_templates(children_selector(), "copy"),
+    )
+    return TWTransducer(
+        templates=(
+            Template("copy", (), label=drop_label),  # matched first: emit nothing
+            Template("copy", (copy_body,)),
+        ),
+        initial="copy",
+        name=f"prune-{drop_label}",
+    )
+
+
+def prune_spec(tree: Tree, drop_label: str) -> Tree:
+    """Reference implementation of pruning (direct recursion)."""
+    from ..trees.tree import TreeNode
+    from ..trees.values import BOTTOM
+
+    def build(node) -> TreeNode:
+        builder = TreeNode(tree.label(node))
+        for attr in tree.attributes:
+            value = tree.val(attr, node)
+            if value is not BOTTOM:
+                builder.attrs[attr] = value
+        for child in tree.children(node):
+            if tree.label(child) != drop_label:
+                builder.children.append(build(child))
+        return builder
+
+    if tree.label(()) == drop_label:
+        raise ValueError("cannot prune the root itself")
+    return Tree.build(build(()), attributes=tree.attributes)
+
+
+def flatten_leaves_transducer(
+    attributes: Sequence[str] = ("a",), list_label: str = "leaves"
+) -> TWTransducer:
+    """Document → flat list of its leaf nodes, attributes preserved."""
+    leaf_body = out(COPY_LABEL, _copy_attrs(attributes))
+    root_or_leaf = selector(
+        T.disj(
+            T.conj(T.Desc(X, Y), T.Leaf(Y)),
+            T.conj(T.NodeEq(X, Y), T.Leaf(Y)),
+        )
+    )
+    return TWTransducer(
+        templates=(
+            Template(
+                "start",
+                (out(list_label, {}, apply_templates(root_or_leaf, "leaf")),),
+            ),
+            Template("leaf", (leaf_body,)),
+        ),
+        initial="start",
+        name="flatten-leaves",
+    )
+
+
+def catalog_report_transducer() -> TWTransducer:
+    """catalog(dept(item…)…) → report(dept-line(item-ref…)…).
+
+    The XSLT pattern the paper's introduction gestures at: templates
+    drive structural recursion through XPath-selected nodes.
+    """
+    item_ref = out("item-ref", {"cur": CopyAttr("cur"), "price": CopyAttr("price")})
+    dept_line = out(
+        "dept-line",
+        {"name": CopyAttr("name")},
+        # XPath string selector; in the paper's dialect a relative
+        # path's first test applies to the context node (the dept).
+        apply_templates("dept/item", "item"),
+    )
+    report = out("report", {}, apply_templates("catalog/dept", "dept"))
+    return TWTransducer(
+        templates=(
+            Template("start", (report,), label="catalog"),
+            Template("dept", (dept_line,), label="dept"),
+            Template("item", (item_ref,), label="item"),
+        ),
+        initial="start",
+        name="catalog-report",
+        missing_template="error",
+    )

@@ -1,0 +1,294 @@
+"""Tree-walking tree transducers — the output side the paper defers.
+
+Section 8: "one immediate drawback of the current approach is that the
+formalisms under consideration do not generate output.  This is the
+subject of further research."  This module supplies that missing piece
+in the shape the paper itself motivates: stripped-down XSLT ([4]) —
+*templates* matched on (state, label, position) whose bodies build
+output forests and recurse via ``apply-templates`` over FO(∃*)
+selectors (the paper's ``atp``, now producing trees instead of
+relations).
+
+Semantics of ``process(u, q)``:
+
+* find the unique template matching state q at node u (label + position
+  tests), else the configured fallback (empty output / error);
+* instantiate the body: an :class:`OutNode` becomes an output node —
+  label either fixed or copied from u, attributes either constants or
+  copied from u's attributes; an :class:`Apply` splices in the
+  concatenation of ``process(v, q')`` over the selected nodes v in
+  document order;
+* a (node, state) pair re-entered while still being processed is an
+  infinite recursion — error (the transduction is not defined).
+
+``run_transducer`` returns the output :class:`Tree` (the result forest
+wrapped in a root when requested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..automata.rules import ANYWHERE, PositionTest
+from ..logic.exists_star import ExistsStarQuery
+from ..trees.node import NodeId
+from ..trees.tree import Tree, TreeNode
+from ..trees.values import BOTTOM, DataValue, MaybeValue
+
+
+class TransducerError(RuntimeError):
+    """Raised on missing templates (strict mode), ambiguity, or
+    divergence."""
+
+
+# -- attribute sources -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConstAttr:
+    """Emit a fixed value."""
+
+    value: DataValue
+
+
+@dataclass(frozen=True)
+class CopyAttr:
+    """Copy the current input node's attribute (⊥ values are omitted)."""
+
+    name: str
+
+
+AttrSource = Union[ConstAttr, CopyAttr]
+
+
+class CopyLabel:
+    """Sentinel: use the current input node's label."""
+
+    _instance = None
+
+    def __new__(cls) -> "CopyLabel":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<copy-label>"
+
+
+COPY_LABEL = CopyLabel()
+
+
+# -- output templates ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OutNode:
+    """One output element; children interleave nested nodes and
+    apply-templates holes."""
+
+    label: Union[str, CopyLabel]
+    attrs: Tuple[Tuple[str, AttrSource], ...] = ()
+    children: Tuple["Out", ...] = ()
+
+
+@dataclass(frozen=True)
+class Apply:
+    """``apply-templates select=φ mode=state`` — the transducer's atp."""
+
+    selector: ExistsStarQuery
+    state: str
+
+
+Out = Union[OutNode, Apply]
+
+
+@dataclass(frozen=True)
+class Template:
+    """Matched on (state, label?, position); body is an output forest."""
+
+    state: str
+    output: Tuple[Out, ...]
+    label: Optional[str] = None
+    position: PositionTest = ANYWHERE
+
+
+@dataclass(frozen=True)
+class TWTransducer:
+    """A deterministic tree-walking tree transducer."""
+
+    templates: Tuple[Template, ...]
+    initial: str
+    name: str = "T"
+    missing_template: str = "empty"  # or "error"
+
+    def __post_init__(self) -> None:
+        if self.missing_template not in ("empty", "error"):
+            raise TransducerError(
+                f"missing_template must be 'empty' or 'error', got "
+                f"{self.missing_template!r}"
+            )
+
+    def states(self) -> Tuple[str, ...]:
+        out = {self.initial}
+        for template in self.templates:
+            out.add(template.state)
+            for piece in template.output:
+                out |= _applied_states(piece)
+        return tuple(sorted(out))
+
+
+def _applied_states(piece: Out) -> Set[str]:
+    if isinstance(piece, Apply):
+        return {piece.state}
+    out: Set[str] = set()
+    for child in piece.children:
+        out |= _applied_states(child)
+    return out
+
+
+# -- construction helpers (the template DSL) ---------------------------------------------
+
+
+def out(
+    label: Union[str, CopyLabel],
+    attrs: Optional[Dict[str, Union[AttrSource, DataValue]]] = None,
+    *children: Out,
+) -> OutNode:
+    """Build an output node; plain attribute values become constants."""
+    resolved: List[Tuple[str, AttrSource]] = []
+    for name, source in (attrs or {}).items():
+        if isinstance(source, (ConstAttr, CopyAttr)):
+            resolved.append((name, source))
+        else:
+            resolved.append((name, ConstAttr(source)))
+    return OutNode(label, tuple(resolved), tuple(children))
+
+
+def apply_templates(
+    selector: Union[ExistsStarQuery, str], state: str
+) -> Apply:
+    """``apply-templates``: selector is an FO(∃*) query or an XPath
+    string (compiled via §2.3)."""
+    if isinstance(selector, str):
+        from ..xpath.compiler import compile_xpath
+        from ..xpath.parser import parse_xpath
+
+        selector = compile_xpath(parse_xpath(selector))
+    return Apply(selector, state)
+
+
+# -- execution ------------------------------------------------------------------------------
+
+
+@dataclass
+class _RunState:
+    fuel: int
+    produced: int = 0
+    active: Set[Tuple[NodeId, str]] = field(default_factory=set)
+
+
+def _find_template(
+    transducer: TWTransducer, tree: Tree, node: NodeId, state: str
+) -> Optional[Template]:
+    """First matching template wins — the XSLT priority convention
+    (put specific templates before generic fallbacks)."""
+    label = tree.label(node)
+    for template in transducer.templates:
+        if template.state != state:
+            continue
+        if template.label is not None and template.label != label:
+            continue
+        if not template.position.matches(tree, node):
+            continue
+        return template
+    return None
+
+
+def _instantiate(
+    transducer: TWTransducer,
+    tree: Tree,
+    node: NodeId,
+    piece: Out,
+    run: _RunState,
+) -> List[TreeNode]:
+    if isinstance(piece, Apply):
+        forest: List[TreeNode] = []
+        for target in piece.selector.select(tree, node):
+            forest.extend(_process(transducer, tree, target, piece.state, run))
+        return forest
+    run.produced += 1
+    if run.produced > run.fuel:
+        raise TransducerError(f"output budget {run.fuel} exhausted")
+    label = tree.label(node) if isinstance(piece.label, CopyLabel) else piece.label
+    builder = TreeNode(label)
+    for name, source in piece.attrs:
+        if isinstance(source, ConstAttr):
+            builder.attrs[name] = source.value
+        else:
+            # XSLT-style leniency: an attribute the document does not
+            # declare reads as ⊥ and is omitted from the output.
+            value = (
+                tree.val(source.name, node)
+                if source.name in tree.attributes
+                else BOTTOM
+            )
+            if value is not BOTTOM:
+                builder.attrs[name] = value
+    for child in piece.children:
+        builder.children.extend(
+            _instantiate(transducer, tree, node, child, run)
+        )
+    return [builder]
+
+
+def _process(
+    transducer: TWTransducer,
+    tree: Tree,
+    node: NodeId,
+    state: str,
+    run: _RunState,
+) -> List[TreeNode]:
+    key = (node, state)
+    if key in run.active:
+        raise TransducerError(
+            f"infinite recursion: ({node!r}, {state!r}) re-entered"
+        )
+    template = _find_template(transducer, tree, node, state)
+    if template is None:
+        if transducer.missing_template == "error":
+            raise TransducerError(
+                f"no template for state {state!r} at {node!r} "
+                f"(label {tree.label(node)!r})"
+            )
+        return []
+    run.active.add(key)
+    try:
+        forest: List[TreeNode] = []
+        for piece in template.output:
+            forest.extend(_instantiate(transducer, tree, node, piece, run))
+        return forest
+    finally:
+        run.active.discard(key)
+
+
+def run_transducer(
+    transducer: TWTransducer,
+    tree: Tree,
+    wrap_root: Optional[str] = None,
+    fuel: int = 100_000,
+) -> Tree:
+    """Transform ``tree``; the result forest must be a single tree
+    unless ``wrap_root`` names a synthetic root to hold it."""
+    run = _RunState(fuel=fuel)
+    forest = _process(transducer, tree, (), transducer.initial, run)
+    if wrap_root is not None:
+        root = TreeNode(wrap_root)
+        root.children.extend(forest)
+        return Tree.build(root)
+    if len(forest) != 1:
+        raise TransducerError(
+            f"transduction produced {len(forest)} roots; pass wrap_root= "
+            f"to collect a forest"
+        )
+    return Tree.build(forest[0])

@@ -1,0 +1,122 @@
+"""Attributed unranked Σ-trees — the data model of the paper (§2.1, §3).
+
+Public surface:
+
+* :class:`Tree`, :class:`TreeNode`, :class:`TreeError` — the tree type;
+* :data:`BOTTOM`, :func:`is_data_value` — the data domain D and ⊥;
+* :func:`parse_term` / :func:`format_term` — term syntax ``a(b, c[x=1])``;
+* :func:`to_xml` / :func:`from_xml` — XML subset I/O;
+* :func:`delim` / :func:`undelim` — the paper's delimited trees;
+* :func:`string_tree` / :func:`tree_string` / :func:`split_string_tree`
+  — strings as monadic trees (§4);
+* traversals, numberings and seeded generators.
+"""
+
+from .node import (
+    NodeId,
+    ROOT,
+    format_node,
+    parse_node,
+)
+from .values import BOTTOM, DataValue, MaybeValue, is_data_value, require_data_value
+from .tree import Tree, TreeError, TreeNode
+from .parser import TermSyntaxError, format_term, parse_term
+from .delimited import (
+    DELIMITERS,
+    LEAF_DELIM,
+    LEFT_DELIM,
+    RIGHT_DELIM,
+    ROOT_DELIM,
+    delim,
+    is_delimiter,
+    is_original_leaf,
+    original_nodes,
+    undelim,
+)
+from .strings import (
+    HASH,
+    STRING_ATTR,
+    STRING_LABEL,
+    split_positions,
+    split_string_tree,
+    string_tree,
+    tree_string,
+)
+from .traversal import (
+    depth_of_tree,
+    inorder,
+    leaves,
+    lowest_common_ancestor,
+    node_at,
+    numbering,
+    postorder,
+    preorder,
+    walk_path,
+)
+from .generators import (
+    all_trees,
+    auction_document,
+    catalog_document,
+    chain_tree,
+    full_tree,
+    random_string_values,
+    random_tree,
+)
+from .render import render_run, render_tree
+from .xmlio import XmlSyntaxError, from_xml, to_xml
+
+__all__ = [
+    "NodeId",
+    "ROOT",
+    "format_node",
+    "parse_node",
+    "BOTTOM",
+    "DataValue",
+    "MaybeValue",
+    "is_data_value",
+    "require_data_value",
+    "Tree",
+    "TreeError",
+    "TreeNode",
+    "TermSyntaxError",
+    "format_term",
+    "parse_term",
+    "DELIMITERS",
+    "LEAF_DELIM",
+    "LEFT_DELIM",
+    "RIGHT_DELIM",
+    "ROOT_DELIM",
+    "delim",
+    "is_delimiter",
+    "is_original_leaf",
+    "original_nodes",
+    "undelim",
+    "HASH",
+    "STRING_ATTR",
+    "STRING_LABEL",
+    "split_positions",
+    "split_string_tree",
+    "string_tree",
+    "tree_string",
+    "depth_of_tree",
+    "inorder",
+    "leaves",
+    "lowest_common_ancestor",
+    "node_at",
+    "numbering",
+    "postorder",
+    "preorder",
+    "walk_path",
+    "all_trees",
+    "auction_document",
+    "catalog_document",
+    "chain_tree",
+    "full_tree",
+    "random_string_values",
+    "random_tree",
+    "render_run",
+    "render_tree",
+    "XmlSyntaxError",
+    "from_xml",
+    "to_xml",
+]

@@ -1,0 +1,126 @@
+"""Delimited trees, the paper's ``delim(t)`` (Section 3).
+
+Two-way string automata traditionally work on ``▷ w ◁``; the paper does
+the analogous thing for trees with extra symbols.  The figure in the
+published text is garbled, so we fix the following concrete reading
+(documented in DESIGN.md), under which Example 3.2 works verbatim:
+
+* a new root labelled ``▽`` is attached above the original root;
+* every child sequence (including the ▽-root's) is wrapped with a left
+  sentinel ``▷`` and a right sentinel ``◁``;
+* every original *leaf* receives a single child labelled ``△`` — this
+  matches Example 3.2's "leaf-descendants … are the parents of the
+  △-labelled nodes";
+* all delimiter attributes are ⊥ (⊥ ∉ D).
+
+``delim`` is injective and :func:`undelim` is its exact inverse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .node import NodeId
+from .tree import Tree, TreeError
+from .values import BOTTOM, MaybeValue
+
+#: Label of the new super-root.
+ROOT_DELIM = "▽"
+#: Label of the left sentinel child.
+LEFT_DELIM = "▷"
+#: Label of the right sentinel child.
+RIGHT_DELIM = "◁"
+#: Label of the child marking an original leaf.
+LEAF_DELIM = "△"
+
+DELIMITERS = frozenset({ROOT_DELIM, LEFT_DELIM, RIGHT_DELIM, LEAF_DELIM})
+
+
+def is_delimiter(label: str) -> bool:
+    """True iff ``label`` is one of the four delimiter symbols."""
+    return label in DELIMITERS
+
+
+def delim(tree: Tree) -> Tree:
+    """The delimited version of ``tree``.
+
+    The original alphabet must not use the delimiter symbols.
+    """
+    for u in tree.nodes:
+        if is_delimiter(tree.label(u)):
+            raise TreeError(
+                f"input tree already uses delimiter symbol {tree.label(u)!r}"
+            )
+
+    labels: Dict[NodeId, str] = {(): ROOT_DELIM}
+    attrs: Dict[str, Dict[NodeId, MaybeValue]] = {a: {} for a in tree.attributes}
+
+    def place(src: NodeId, dst: NodeId) -> None:
+        labels[dst] = tree.label(src)
+        for a in tree.attributes:
+            attrs[a][dst] = tree.val(a, src)
+        kids = tree.children(src)
+        if not kids:
+            labels[dst + (0,)] = LEAF_DELIM
+            return
+        labels[dst + (0,)] = LEFT_DELIM
+        for i, kid in enumerate(kids):
+            place(kid, dst + (i + 1,))
+        labels[dst + (len(kids) + 1,)] = RIGHT_DELIM
+
+    # The ▽-root's children: ▷, the original root, ◁.
+    labels[(0,)] = LEFT_DELIM
+    place((), (1,))
+    labels[(2,)] = RIGHT_DELIM
+    return Tree(labels, attrs, tree.attributes)
+
+
+def undelim(tree: Tree) -> Tree:
+    """Inverse of :func:`delim`.  Raises if ``tree`` is not delimited."""
+    if tree.label(()) != ROOT_DELIM:
+        raise TreeError("not a delimited tree: root is not ▽")
+
+    labels: Dict[NodeId, str] = {}
+    attrs: Dict[str, Dict[NodeId, MaybeValue]] = {a: {} for a in tree.attributes}
+
+    def lift(src: NodeId, dst: NodeId) -> None:
+        lab = tree.label(src)
+        if is_delimiter(lab):
+            raise TreeError(f"unexpected delimiter at interior node {src!r}")
+        labels[dst] = lab
+        for a in tree.attributes:
+            attrs[a][dst] = tree.val(a, src)
+        kids = tree.children(src)
+        if len(kids) == 1 and tree.label(kids[0]) == LEAF_DELIM:
+            return
+        if (
+            len(kids) < 2
+            or tree.label(kids[0]) != LEFT_DELIM
+            or tree.label(kids[-1]) != RIGHT_DELIM
+        ):
+            raise TreeError(f"node {src!r} lacks ▷/◁ sentinels")
+        for i, kid in enumerate(kids[1:-1]):
+            lift(kid, dst + (i,))
+
+    root_kids = tree.children(())
+    if (
+        len(root_kids) != 3
+        or tree.label(root_kids[0]) != LEFT_DELIM
+        or tree.label(root_kids[2]) != RIGHT_DELIM
+    ):
+        raise TreeError("▽-root must have exactly the children ▷, t, ◁")
+    lift(root_kids[1], ())
+    return Tree(labels, attrs, tree.attributes)
+
+
+def original_nodes(tree: Tree) -> Tuple[NodeId, ...]:
+    """Nodes of a delimited tree carrying original (non-delimiter) labels."""
+    return tuple(u for u in tree.nodes if not is_delimiter(tree.label(u)))
+
+
+def is_original_leaf(tree: Tree, node: NodeId) -> bool:
+    """In a delimited tree: ``node`` was a leaf of the original tree."""
+    if is_delimiter(tree.label(node)):
+        return False
+    kids = tree.children(node)
+    return len(kids) == 1 and tree.label(kids[0]) == LEAF_DELIM

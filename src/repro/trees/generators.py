@@ -1,0 +1,264 @@
+"""Seeded synthetic generators for attributed trees.
+
+The paper's motivating data are XML documents; since PODS 2002 ships no
+datasets, the experiment harness generates documents here.  All
+generators take an explicit :class:`random.Random` (or a seed) so every
+experiment is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Union
+
+from .node import NodeId
+from .tree import Tree
+from .values import DataValue
+
+RandomLike = Union[int, random.Random, None]
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def random_tree(
+    size: int,
+    alphabet: Sequence[str] = ("σ", "δ"),
+    attributes: Sequence[str] = ("a",),
+    value_pool: Sequence[DataValue] = tuple(range(8)),
+    max_children: int = 4,
+    seed: RandomLike = 0,
+) -> Tree:
+    """A uniform-ish random attributed tree with exactly ``size`` nodes.
+
+    Shapes are drawn by growing the tree node by node, attaching each
+    new node under a random node that has not exceeded ``max_children``;
+    labels and attribute values are drawn uniformly from the pools.
+    """
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    rng = _rng(seed)
+    child_count: Dict[NodeId, int] = {(): 0}
+    labels: Dict[NodeId, str] = {(): rng.choice(list(alphabet))}
+    open_nodes: List[NodeId] = [()]
+    while len(labels) < size:
+        parent = rng.choice(open_nodes)
+        node = parent + (child_count[parent],)
+        child_count[parent] += 1
+        if child_count[parent] >= max_children:
+            open_nodes.remove(parent)
+        child_count[node] = 0
+        open_nodes.append(node)
+        labels[node] = rng.choice(list(alphabet))
+    attrs = {
+        name: {u: rng.choice(list(value_pool)) for u in labels}
+        for name in attributes
+    }
+    return Tree(labels, attrs, attributes)
+
+
+def random_string_values(
+    length: int,
+    value_pool: Sequence[DataValue] = tuple(range(8)),
+    seed: RandomLike = 0,
+) -> List[DataValue]:
+    """A random data string (for the Section 4 string experiments)."""
+    rng = _rng(seed)
+    return [rng.choice(list(value_pool)) for _ in range(length)]
+
+
+def full_tree(
+    depth: int,
+    fanout: int,
+    label: str = "σ",
+    attributes: Sequence[str] = (),
+    value: Optional[DataValue] = None,
+) -> Tree:
+    """The complete ``fanout``-ary tree of the given depth.
+
+    With ``value`` set, every node's every attribute carries it —
+    useful for worst-case benchmarks with controlled shape.
+    """
+    if depth < 0 or fanout < 1:
+        raise ValueError("need depth >= 0 and fanout >= 1")
+    labels: Dict[NodeId, str] = {}
+
+    def grow(node: NodeId, remaining: int) -> None:
+        labels[node] = label
+        if remaining == 0:
+            return
+        for i in range(fanout):
+            grow(node + (i,), remaining - 1)
+
+    grow((), depth)
+    attrs = {
+        name: {u: value for u in labels} for name in attributes
+    } if value is not None else {name: {} for name in attributes}
+    return Tree(labels, attrs, attributes)
+
+
+def chain_tree(
+    length: int,
+    label: str = "σ",
+    attributes: Sequence[str] = (),
+) -> Tree:
+    """A monadic chain of ``length`` nodes (string skeleton)."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    labels = {(0,) * i: label for i in range(length)}
+    return Tree(labels, {name: {} for name in attributes}, attributes)
+
+
+def catalog_document(
+    departments: int,
+    items_per_department: int,
+    currencies: Sequence[str] = ("EUR", "USD"),
+    uniform_departments: bool = True,
+    seed: RandomLike = 0,
+) -> Tree:
+    """A product-catalog document exercising Example 3.2's property.
+
+    Shape: ``catalog(dept(item, …), …)`` where every ``item`` carries a
+    ``cur`` attribute.  With ``uniform_departments`` every department's
+    items share a currency (the Example 3.2 property *holds*);
+    otherwise at least one department mixes currencies (it *fails*),
+    provided ``items_per_department >= 2`` and two currencies exist.
+    """
+    rng = _rng(seed)
+    labels: Dict[NodeId, str] = {(): "catalog"}
+    cur: Dict[NodeId, DataValue] = {}
+    for d in range(departments):
+        dept = (d,)
+        labels[dept] = "dept"
+        dept_cur = rng.choice(list(currencies))
+        for i in range(items_per_department):
+            item = dept + (i,)
+            labels[item] = "item"
+            cur[item] = dept_cur
+    if not uniform_departments:
+        if departments < 1 or items_per_department < 2 or len(set(currencies)) < 2:
+            raise ValueError("cannot break uniformity with these parameters")
+        victim = (rng.randrange(departments), 0)
+        others = [c for c in currencies if c != cur[victim]]
+        cur[victim] = rng.choice(others)
+    return Tree(labels, {"cur": cur}, ["cur"])
+
+
+def auction_document(
+    people: int = 4,
+    items: int = 6,
+    bids_per_item: int = 3,
+    regions: Sequence[str] = ("europe", "namerica", "asia"),
+    seed: RandomLike = 0,
+) -> Tree:
+    """An XMark-style auction site — the standard XML benchmark shape of
+    the paper's era, for realistic query workloads.
+
+    Structure::
+
+        site(regions(<region>(item*)*), people(person*),
+             open_auctions(auction(bid*)*))
+
+    People carry ``name``/``country``; items ``id``/``category``;
+    auctions reference an item by ``itemref``; bids carry
+    ``personref``/``amount`` — so reference-chasing joins, the thing
+    tree-walking with registers is for, have something to chase.
+    """
+    rng = _rng(seed)
+    labels: Dict[NodeId, str] = {(): "site"}
+    attrs: Dict[str, Dict[NodeId, DataValue]] = {
+        name: {} for name in
+        ("name", "country", "id", "category", "itemref", "personref", "amount")
+    }
+
+    # regions: a region element per name, items round-robin
+    labels[(0,)] = "regions"
+    for r, region in enumerate(regions):
+        labels[(0, r)] = region
+    per_region: Dict[int, int] = {r: 0 for r in range(len(regions))}
+    for i in range(items):
+        region = i % len(regions)
+        node = (0, region, per_region[region])
+        per_region[region] += 1
+        labels[node] = "item"
+        attrs["id"][node] = f"item{i}"
+        attrs["category"][node] = rng.choice(["books", "music", "tools"])
+
+    labels[(1,)] = "people"
+    for p in range(people):
+        node = (1, p)
+        labels[node] = "person"
+        attrs["name"][node] = f"person{p}"
+        attrs["country"][node] = rng.choice(["BE", "US", "JP"])
+
+    labels[(2,)] = "open_auctions"
+    for i in range(items):
+        auction = (2, i)
+        labels[auction] = "auction"
+        attrs["itemref"][auction] = f"item{i}"
+        amount = rng.randint(5, 20)
+        for b in range(bids_per_item):
+            bid = auction + (b,)
+            labels[bid] = "bid"
+            attrs["personref"][bid] = f"person{rng.randrange(people)}"
+            amount += rng.randint(1, 10)
+            attrs["amount"][bid] = amount
+    return Tree(labels, attrs, sorted(attrs))
+
+
+def all_trees(
+    size: int, alphabet: Sequence[str] = ("σ",)
+) -> List[Tree]:
+    """Every unranked tree shape with ``size`` nodes × every labelling.
+
+    Exhaustive-enumeration fuel for small-instance theorem checks.
+    Grows fast; intended for ``size <= 5`` with small alphabets.
+    """
+    if size < 1:
+        raise ValueError("size must be >= 1")
+
+    def shapes(n: int) -> List[List]:
+        # A shape is a list of child shapes; n counts the root too.
+        if n == 1:
+            return [[]]
+        out: List[List] = []
+        for first in range(1, n):
+            for head in shapes(first):
+                for rest in forests(n - 1 - first):
+                    out.append([head] + rest)
+        return out
+
+    def forests(n: int) -> List[List]:
+        if n == 0:
+            return [[]]
+        out: List[List] = []
+        for first in range(1, n + 1):
+            for head in shapes(first):
+                for rest in forests(n - first):
+                    out.append([head] + rest)
+        return out
+
+    def label_assignments(count: int) -> List[List[str]]:
+        if count == 0:
+            return [[]]
+        shorter = label_assignments(count - 1)
+        return [[lab] + rest for lab in alphabet for rest in shorter]
+
+    results: List[Tree] = []
+    for shape in shapes(size):
+        addresses: List[NodeId] = []
+
+        def collect(node_shape: List, address: NodeId) -> None:
+            addresses.append(address)
+            for i, kid in enumerate(node_shape):
+                collect(kid, address + (i,))
+
+        collect(shape, ())
+        for labelling in label_assignments(len(addresses)):
+            results.append(
+                Tree(dict(zip(addresses, labelling)), {}, [])
+            )
+    return results

@@ -1,0 +1,110 @@
+"""Node addresses for unranked trees.
+
+Following the paper (Section 2.1), the set of nodes ``Dom(t)`` of a tree
+is a prefix-closed subset of ``N*``: the root is the empty sequence
+``ε`` and ``u·i`` is the *i*-th child of ``u``.  We represent addresses
+as tuples of ints, 0-based internally (``()`` is the root, ``u + (i,)``
+the (i+1)-st child of ``u``).  The functions here are pure address
+arithmetic; they know nothing about any particular tree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+NodeId = Tuple[int, ...]
+
+ROOT: NodeId = ()
+
+
+def parent(node: NodeId) -> Optional[NodeId]:
+    """The parent address, or ``None`` for the root."""
+    if not node:
+        return None
+    return node[:-1]
+
+
+def child(node: NodeId, index: int) -> NodeId:
+    """The address of the ``index``-th (0-based) child of ``node``."""
+    if index < 0:
+        raise ValueError(f"child index must be >= 0, got {index}")
+    return node + (index,)
+
+
+def child_index(node: NodeId) -> Optional[int]:
+    """Position of ``node`` among its siblings (0-based), ``None`` for root."""
+    if not node:
+        return None
+    return node[-1]
+
+
+def left_sibling(node: NodeId) -> Optional[NodeId]:
+    """Address of the left sibling, or ``None`` if first child or root."""
+    if not node or node[-1] == 0:
+        return None
+    return node[:-1] + (node[-1] - 1,)
+
+
+def right_sibling(node: NodeId) -> NodeId:
+    """Address of the right sibling (may not exist in a given tree)."""
+    if not node:
+        raise ValueError("the root has no siblings")
+    return node[:-1] + (node[-1] + 1,)
+
+
+def depth(node: NodeId) -> int:
+    """Distance from the root (the root has depth 0)."""
+    return len(node)
+
+
+def is_ancestor(u: NodeId, v: NodeId) -> bool:
+    """True iff ``u`` is a *proper* ancestor of ``v`` (u ≺ v, u ≠ v)."""
+    return len(u) < len(v) and v[: len(u)] == u
+
+
+def is_ancestor_or_self(u: NodeId, v: NodeId) -> bool:
+    """True iff ``u`` is ``v`` or a proper ancestor of it."""
+    return len(u) <= len(v) and v[: len(u)] == u
+
+
+def are_siblings(u: NodeId, v: NodeId) -> bool:
+    """True iff ``u`` and ``v`` are distinct children of the same parent."""
+    return bool(u) and bool(v) and u[:-1] == v[:-1] and u != v
+
+
+def sibling_less(u: NodeId, v: NodeId) -> bool:
+    """The paper's sibling order ``ui < uj`` iff ``i < j``."""
+    return are_siblings(u, v) and u[-1] < v[-1]
+
+
+def document_less(u: NodeId, v: NodeId) -> bool:
+    """Strict document (pre-)order: ancestors precede descendants,
+    earlier siblings precede later ones."""
+    return u != v and (is_ancestor(u, v) or u < v)
+
+
+def ancestors(node: NodeId) -> Iterable[NodeId]:
+    """Proper ancestors of ``node``, closest first."""
+    for cut in range(len(node) - 1, -1, -1):
+        yield node[:cut]
+
+
+def format_node(node: NodeId) -> str:
+    """Human-readable address: ``ε`` for the root, else 1-based dotted path."""
+    if not node:
+        return "ε"
+    return ".".join(str(i + 1) for i in node)
+
+
+def parse_node(text: str) -> NodeId:
+    """Inverse of :func:`format_node`."""
+    text = text.strip()
+    if text in ("", "ε", "e"):
+        return ()
+    try:
+        parts = tuple(int(p) - 1 for p in text.split("."))
+    except ValueError as exc:
+        raise ValueError(f"bad node address {text!r}") from exc
+    if any(p < 0 for p in parts):
+        raise ValueError(f"node address components are 1-based: {text!r}")
+    return parts

@@ -1,0 +1,183 @@
+"""Term syntax for attributed trees.
+
+The concrete syntax mirrors the paper's ``σ(t₁, …, tₙ)`` notation,
+extended with attribute annotations::
+
+    a(b, c(d))                     -- plain tree
+    item[price=30, cur="EUR"]      -- leaf with two attributes
+    dept[name="db"](item[price=1]) -- nested
+
+Attribute values are integers, double-quoted strings, bare identifiers
+(treated as strings), or ``⊥`` / ``_|_`` for the BOTTOM value.
+:func:`format_term` is the exact inverse of :func:`parse_term`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .tree import Tree, TreeError, TreeNode
+from .values import BOTTOM, MaybeValue
+
+
+class TermSyntaxError(TreeError):
+    """Raised on malformed term syntax, with position information."""
+
+    def __init__(self, message: str, text: str, pos: int) -> None:
+        super().__init__(f"{message} at position {pos}: ...{text[pos:pos + 20]!r}")
+        self.pos = pos
+
+
+_IDENT_EXTRA = "_-▽▷◁△#σδ"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _IDENT_EXTRA
+
+
+class _Scanner:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def expect(self, ch: str) -> None:
+        self.skip_ws()
+        if self.peek() != ch:
+            raise TermSyntaxError(f"expected {ch!r}", self.text, self.pos)
+        self.pos += 1
+
+    def ident(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and _is_ident_char(self.text[self.pos]):
+            self.pos += 1
+        if self.pos == start:
+            raise TermSyntaxError("expected a label or identifier", self.text, self.pos)
+        return self.text[start : self.pos]
+
+    def value(self) -> MaybeValue:
+        self.skip_ws()
+        ch = self.peek()
+        if ch == '"':
+            self.pos += 1
+            out: List[str] = []
+            while True:
+                if self.pos >= len(self.text):
+                    raise TermSyntaxError("unterminated string", self.text, self.pos)
+                c = self.text[self.pos]
+                self.pos += 1
+                if c == '"':
+                    break
+                if c == "\\":
+                    if self.pos >= len(self.text):
+                        raise TermSyntaxError("dangling escape", self.text, self.pos)
+                    out.append(self.text[self.pos])
+                    self.pos += 1
+                else:
+                    out.append(c)
+            return "".join(out)
+        if ch == "⊥":
+            self.pos += 1
+            return BOTTOM
+        if ch == "-" or ch.isdigit():
+            start = self.pos
+            if ch == "-":
+                self.pos += 1
+            while self.pos < len(self.text) and self.text[self.pos].isdigit():
+                self.pos += 1
+            if self.pos == start or self.text[start:self.pos] == "-":
+                raise TermSyntaxError("expected a number", self.text, start)
+            return int(self.text[start : self.pos])
+        word = self.ident()
+        if word == "_|_":
+            return BOTTOM
+        return word
+
+
+def _parse_node(sc: _Scanner) -> TreeNode:
+    label = sc.ident()
+    node = TreeNode(label)
+    sc.skip_ws()
+    if sc.peek() == "[":
+        sc.expect("[")
+        sc.skip_ws()
+        if sc.peek() != "]":
+            while True:
+                name = sc.ident()
+                sc.expect("=")
+                node.attrs[name] = sc.value()
+                sc.skip_ws()
+                if sc.peek() == ",":
+                    sc.expect(",")
+                    continue
+                break
+        sc.expect("]")
+        sc.skip_ws()
+    if sc.peek() == "(":
+        sc.expect("(")
+        sc.skip_ws()
+        if sc.peek() != ")":
+            while True:
+                node.children.append(_parse_node(sc))
+                sc.skip_ws()
+                if sc.peek() == ",":
+                    sc.expect(",")
+                    continue
+                break
+        sc.expect(")")
+    return node
+
+
+def parse_term(text: str, attributes: Optional[Sequence[str]] = None) -> Tree:
+    """Parse term syntax into a :class:`Tree`.
+
+    ``attributes`` fixes the attribute set A explicitly; by default A is
+    the set of attribute names that occur in the term.
+    """
+    sc = _Scanner(text)
+    root = _parse_node(sc)
+    sc.skip_ws()
+    if sc.pos != len(sc.text):
+        raise TermSyntaxError("trailing input", sc.text, sc.pos)
+    return Tree.build(root, attributes)
+
+
+def _format_value(value: MaybeValue) -> str:
+    if value is BOTTOM:
+        return "⊥"
+    if isinstance(value, int):
+        return str(value)
+    if value.isalnum() and not value.isdigit() and value:
+        return value
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def format_term(tree: Tree, node: Tuple[int, ...] = ()) -> str:
+    """Render ``tree`` (from ``node`` down) back into term syntax.
+
+    Attributes that are ⊥ on a node are omitted, so
+    ``parse_term(format_term(t))`` reproduces ``t`` whenever A is
+    inferable (every attribute has a non-⊥ value somewhere).
+    """
+    parts = [tree.label(node)]
+    attr_items = [
+        (a, tree.val(a, node))
+        for a in tree.attributes
+        if tree.val(a, node) is not BOTTOM
+    ]
+    if attr_items:
+        inner = ", ".join(f"{a}={_format_value(v)}" for a, v in attr_items)
+        parts.append(f"[{inner}]")
+    kids = tree.children(node)
+    if kids:
+        inner = ", ".join(format_term(tree, k) for k in kids)
+        parts.append(f"({inner})")
+    return "".join(parts)

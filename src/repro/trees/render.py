@@ -1,0 +1,80 @@
+"""ASCII rendering of attributed trees and run traces.
+
+For terminals and test failure messages::
+
+    catalog
+    ├── dept name=db
+    │   ├── item cur=EUR price=30
+    │   └── item cur=EUR price=2
+    └── dept
+        └── item cur=USD
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .node import NodeId
+from .tree import Tree
+from .values import BOTTOM
+
+
+def _node_line(tree: Tree, node: NodeId, show_attrs: bool) -> str:
+    text = tree.label(node)
+    if show_attrs:
+        attrs = [
+            f"{name}={tree.val(name, node)!r}"
+            for name in tree.attributes
+            if tree.val(name, node) is not BOTTOM
+        ]
+        if attrs:
+            text += " " + " ".join(attrs)
+    return text
+
+
+def render_tree(
+    tree: Tree,
+    node: NodeId = (),
+    show_attrs: bool = True,
+    max_depth: Optional[int] = None,
+) -> str:
+    """Render the subtree at ``node`` as a box-drawing outline."""
+    lines: List[str] = [_node_line(tree, node, show_attrs)]
+
+    def visit(current: NodeId, prefix: str, depth: int) -> None:
+        kids = tree.children(current)
+        if max_depth is not None and depth >= max_depth:
+            if kids:
+                lines.append(f"{prefix}└── … ({len(kids)} children)")
+            return
+        for index, kid in enumerate(kids):
+            last = index == len(kids) - 1
+            connector = "└── " if last else "├── "
+            lines.append(prefix + connector + _node_line(tree, kid, show_attrs))
+            extension = "    " if last else "│   "
+            visit(kid, prefix + extension, depth + 1)
+
+    visit(node, "", 0)
+    return "\n".join(lines)
+
+
+def render_run(trace: List[str], limit: int = 40) -> str:
+    """Render an automaton trace (``RunResult.trace``) with elision."""
+    if len(trace) <= limit:
+        shown = trace
+        elided = 0
+    else:
+        head = limit * 2 // 3
+        tail = limit - head
+        shown = trace[:head] + [f"… ({len(trace) - limit} steps elided) …"] + trace[-tail:]
+        elided = len(trace) - limit
+    numbered = []
+    step = 0
+    for line in shown:
+        if line.startswith("…"):
+            numbered.append(f"      {line}")
+            step += elided
+        else:
+            numbered.append(f"{step:4}  {line}")
+            step += 1
+    return "\n".join(numbered)

@@ -1,0 +1,88 @@
+"""Strings as monadic trees.
+
+Section 4 of the paper works over strings, i.e. monadic trees: the
+string ``d₀d₁d₂d₃`` is the tree ``σ(σ(σ(σ)))`` whose single attribute
+``a`` takes the values ``d₀, …, d₃`` top-down.  These helpers convert
+between Python sequences and that representation, including the *split
+strings* ``f#g`` of the communication-complexity argument.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .node import NodeId
+from .tree import Tree
+from .values import DataValue
+
+#: Default label of every position of a monadic tree.
+STRING_LABEL = "σ"
+#: Default attribute carrying the letters.
+STRING_ATTR = "a"
+#: The split marker of Section 4.
+HASH = "#"
+
+
+def string_tree(
+    values: Sequence[DataValue],
+    label: str = STRING_LABEL,
+    attr: str = STRING_ATTR,
+) -> Tree:
+    """The monadic tree encoding of a data string.
+
+    ``string_tree([d0, d1, d2])`` is σ(σ(σ)) with attribute ``a``
+    holding d0 at the root, d1 at its child, d2 below.
+    """
+    if not values:
+        raise ValueError("the paper's trees are nonempty; need >= 1 value")
+    labels = {}
+    attrs: dict = {attr: {}}
+    address: NodeId = ()
+    for value in values:
+        labels[address] = label
+        attrs[attr][address] = value
+        address = address + (0,)
+    return Tree(labels, attrs, [attr])
+
+
+def tree_string(
+    tree: Tree, attr: str = STRING_ATTR
+) -> List[DataValue]:
+    """Inverse of :func:`string_tree` — read the letters top-down."""
+    out: List[DataValue] = []
+    node: Optional[NodeId] = ()
+    while node is not None:
+        kids = tree.children(node)
+        if len(kids) > 1:
+            raise ValueError("tree is not monadic (a node has several children)")
+        value = tree.val(attr, node)
+        out.append(value)  # type: ignore[arg-type]
+        node = kids[0] if kids else None
+    return out
+
+
+def split_string_tree(
+    left: Sequence[DataValue],
+    right: Sequence[DataValue],
+    label: str = STRING_LABEL,
+    attr: str = STRING_ATTR,
+) -> Tree:
+    """The split string ``f#g`` as a monadic tree.
+
+    The marker ``#`` must not occur in ``left`` or ``right`` (Section 4
+    requires f and g to be #-free).
+    """
+    if HASH in left or HASH in right:
+        raise ValueError("f and g must not contain the # marker")
+    return string_tree(list(left) + [HASH] + list(right), label, attr)
+
+
+def split_positions(
+    values: Sequence[DataValue],
+) -> Tuple[Sequence[DataValue], int, Sequence[DataValue]]:
+    """Split a data string at its unique ``#``; returns (f, index_of_#, g)."""
+    marks = [i for i, v in enumerate(values) if v == HASH]
+    if len(marks) != 1:
+        raise ValueError(f"expected exactly one # marker, found {len(marks)}")
+    b = marks[0]
+    return values[:b], b, values[b + 1 :]

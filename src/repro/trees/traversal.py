@@ -1,0 +1,130 @@
+"""Traversals and node numberings.
+
+Section 7 of the paper represents work-tape contents as numbers via the
+*in-order* of the tree ("the root represents zero"), so in-order
+numbering is a first-class citizen here, together with the usual
+pre/post orders and utility walks.
+
+For unranked trees we use the standard generalisation of in-order:
+visit the first child's subtree, then the node itself, then the
+remaining children's subtrees.  On monadic trees (strings) this
+degenerates sensibly, and the root of a leaf-only tree is number 0 —
+matching the paper's "the tape initially contains 0, [so] the tape
+pebble is placed on the root" only up to choice of order; what the
+constructions actually need is *some* fixed bijection Dom(t) → {0, …,
+|t|−1} that a walker can compute locally, which all three orders
+provide.  We expose all three.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from .node import NodeId
+from .tree import Tree
+
+
+def preorder(tree: Tree) -> Tuple[NodeId, ...]:
+    """Document order (already cached on the tree)."""
+    return tree.nodes
+
+
+def postorder(tree: Tree) -> Tuple[NodeId, ...]:
+    """Children before parents (already cached on the tree)."""
+    return tree.nodes_postorder
+
+
+def inorder(tree: Tree) -> Tuple[NodeId, ...]:
+    """Generalised in-order: first child, node, remaining children."""
+    out: List[NodeId] = []
+
+    def visit(u: NodeId) -> None:
+        kids = tree.children(u)
+        if kids:
+            visit(kids[0])
+        out.append(u)
+        for kid in kids[1:]:
+            visit(kid)
+
+    visit(())
+    return tuple(out)
+
+
+def numbering(
+    tree: Tree, order: Callable[[Tree], Tuple[NodeId, ...]] = inorder
+) -> Dict[NodeId, int]:
+    """The bijection Dom(t) → {0, …, |t|−1} induced by ``order``."""
+    return {u: i for i, u in enumerate(order(tree))}
+
+
+def node_at(
+    tree: Tree, index: int, order: Callable[[Tree], Tuple[NodeId, ...]] = inorder
+) -> NodeId:
+    """The node numbered ``index`` under ``order``."""
+    seq = order(tree)
+    if not 0 <= index < len(seq):
+        raise IndexError(f"index {index} out of range for tree of size {len(seq)}")
+    return seq[index]
+
+
+def depth_first_edges(tree: Tree) -> Iterator[Tuple[NodeId, NodeId, str]]:
+    """The Euler tour of a tree as (from, to, direction) walker moves.
+
+    Yields the exact sequence of ↓/→/↑ moves a depth-first tree-walking
+    automaton performs; useful for tests of walker completeness.
+    """
+    def visit(u: NodeId) -> Iterator[Tuple[NodeId, NodeId, str]]:
+        kids = tree.children(u)
+        if not kids:
+            return
+        yield (u, kids[0], "down")
+        yield from visit(kids[0])
+        prev = kids[0]
+        for kid in kids[1:]:
+            yield (prev, kid, "right")
+            yield from visit(kid)
+            prev = kid
+        yield (prev, u, "up")
+
+    yield from visit(())
+
+
+def leaves(tree: Tree) -> Tuple[NodeId, ...]:
+    """All leaves in document order."""
+    return tuple(u for u in tree.nodes if tree.is_leaf(u))
+
+
+def depth_of_tree(tree: Tree) -> int:
+    """Length of the longest root-to-leaf path (single node ⇒ 0)."""
+    return max(len(u) for u in tree.nodes)
+
+
+def lowest_common_ancestor(tree: Tree, u: NodeId, v: NodeId) -> NodeId:
+    """The deepest node that is an ancestor-or-self of both ``u`` and ``v``."""
+    tree.require(u)
+    tree.require(v)
+    cut = 0
+    while cut < len(u) and cut < len(v) and u[cut] == v[cut]:
+        cut += 1
+    return u[:cut]
+
+
+def walk_path(tree: Tree, start: NodeId, moves: str) -> Optional[NodeId]:
+    """Apply a string of moves (``U``p/``D``own-first-child/``L``eft/``R``ight)
+    from ``start``; returns None as soon as a move falls off the tree."""
+    current: Optional[NodeId] = tree.require(start)
+    steps = {
+        "U": tree.parent,
+        "D": tree.first_child,
+        "L": tree.left_sibling,
+        "R": tree.right_sibling,
+    }
+    for move in moves:
+        if current is None:
+            return None
+        try:
+            step = steps[move]
+        except KeyError:
+            raise ValueError(f"unknown move {move!r}; use U/D/L/R") from None
+        current = step(current)
+    return current

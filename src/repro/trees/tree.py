@@ -1,0 +1,402 @@
+"""Attributed unranked Σ-trees (Definition 2.1 of the paper).
+
+A :class:`Tree` is an unranked ordered tree whose nodes carry a label
+from a finite alphabet Σ and, for every attribute name ``a`` in a fixed
+finite set ``A``, a value ``λ_a(u)`` from the infinite domain D (or ⊥
+for delimiter nodes).  Trees are immutable once built; all derived
+structure (parent maps, document order, subtree sizes) is computed at
+construction time so that navigation during automaton runs is O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .node import (
+    NodeId,
+    ROOT,
+    is_ancestor,
+    sibling_less,
+)
+from .values import BOTTOM, MaybeValue, is_data_value
+
+
+class TreeError(ValueError):
+    """Raised on structurally invalid tree constructions or lookups."""
+
+
+class TreeNode:
+    """A lightweight mutable builder node.
+
+    Use :meth:`Tree.build` (or :func:`repro.trees.parser.parse_term`) to
+    freeze a ``TreeNode`` into an immutable :class:`Tree`.
+    """
+
+    __slots__ = ("label", "children", "attrs")
+
+    def __init__(
+        self,
+        label: str,
+        children: Optional[Sequence["TreeNode"]] = None,
+        attrs: Optional[Mapping[str, MaybeValue]] = None,
+    ) -> None:
+        self.label = label
+        self.children: List[TreeNode] = list(children or [])
+        self.attrs: Dict[str, MaybeValue] = dict(attrs or {})
+
+    def add(self, child: "TreeNode") -> "TreeNode":
+        """Append ``child`` and return it (for chained building)."""
+        self.children.append(child)
+        return child
+
+    def __repr__(self) -> str:
+        return f"TreeNode({self.label!r}, {len(self.children)} children)"
+
+
+class Tree:
+    """An immutable attributed unranked tree.
+
+    Parameters
+    ----------
+    labels:
+        Mapping from node address to Σ-label.  Must be prefix-closed and
+        sibling-closed (if ``u+(i,)`` is present with ``i > 0`` then so
+        is ``u+(i-1,)``).
+    attrs:
+        ``{attribute_name: {node: value}}``.  Every attribute present is
+        totalised: nodes without an explicit value get ⊥ only if the
+        tree is a delimited tree; otherwise a missing value is an error
+        when ``attributes`` is given explicitly.
+    attributes:
+        The attribute set A.  Defaults to the keys of ``attrs``.
+    """
+
+    __slots__ = (
+        "_labels",
+        "_children",
+        "_attrs",
+        "_attributes",
+        "_nodes",
+        "_preorder_index",
+        "_postorder",
+        "_size",
+    )
+
+    def __init__(
+        self,
+        labels: Mapping[NodeId, str],
+        attrs: Optional[Mapping[str, Mapping[NodeId, MaybeValue]]] = None,
+        attributes: Optional[Sequence[str]] = None,
+    ) -> None:
+        if ROOT not in labels:
+            raise TreeError("a tree must have a root node ε")
+        self._labels: Dict[NodeId, str] = dict(labels)
+        self._children: Dict[NodeId, Tuple[NodeId, ...]] = {}
+        self._validate_and_index()
+        attrs = attrs or {}
+        if attributes is None:
+            attributes = sorted(attrs.keys())
+        self._attributes: Tuple[str, ...] = tuple(attributes)
+        self._attrs: Dict[str, Dict[NodeId, MaybeValue]] = {}
+        for name in self._attributes:
+            table = dict(attrs.get(name, {}))
+            for node in self._labels:
+                if node not in table:
+                    table[node] = BOTTOM
+            for node, value in table.items():
+                if node not in self._labels:
+                    raise TreeError(
+                        f"attribute {name!r} set on non-node {node!r}"
+                    )
+                if value is not BOTTOM and not is_data_value(value):
+                    raise TreeError(
+                        f"attribute {name!r} at {node!r} has non-D value "
+                        f"{value!r}"
+                    )
+            self._attrs[name] = table
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def build(cls, root: TreeNode, attributes: Optional[Sequence[str]] = None) -> "Tree":
+        """Freeze a :class:`TreeNode` builder into a :class:`Tree`."""
+        labels: Dict[NodeId, str] = {}
+        attrs: Dict[str, Dict[NodeId, MaybeValue]] = {}
+
+        def visit(node: TreeNode, address: NodeId) -> None:
+            labels[address] = node.label
+            for name, value in node.attrs.items():
+                attrs.setdefault(name, {})[address] = value
+            for i, kid in enumerate(node.children):
+                visit(kid, address + (i,))
+
+        visit(root, ROOT)
+        return cls(labels, attrs, attributes)
+
+    @classmethod
+    def leaf(cls, label: str, **attrs: MaybeValue) -> "Tree":
+        """A single-node tree."""
+        return cls.build(TreeNode(label, attrs=attrs))
+
+    def _validate_and_index(self) -> None:
+        nodes = sorted(self._labels, key=lambda u: (len(u), u))
+        kids: Dict[NodeId, List[NodeId]] = {u: [] for u in nodes}
+        for node in nodes:
+            if node == ROOT:
+                continue
+            par = node[:-1]
+            if par not in self._labels:
+                raise TreeError(f"node {node!r} present without its parent")
+            kids[par].append(node)
+        for node, children in kids.items():
+            children.sort(key=lambda u: u[-1])
+            expected = [node + (i,) for i in range(len(children))]
+            if children != expected:
+                raise TreeError(
+                    f"children of {node!r} are not consecutive from 0: "
+                    f"{children!r}"
+                )
+            self._children[node] = tuple(children)
+        # Document order (preorder).
+        order: List[NodeId] = []
+
+        def pre(u: NodeId) -> None:
+            order.append(u)
+            for c in self._children[u]:
+                pre(c)
+
+        post: List[NodeId] = []
+
+        def po(u: NodeId) -> None:
+            for c in self._children[u]:
+                po(c)
+            post.append(u)
+
+        pre(ROOT)
+        po(ROOT)
+        self._nodes = tuple(order)
+        self._postorder = tuple(post)
+        self._preorder_index = {u: i for i, u in enumerate(order)}
+        self._size = len(order)
+
+    # -- basic structure -----------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of nodes, the paper's input-size measure ``|t|``."""
+        return self._size
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def nodes(self) -> Tuple[NodeId, ...]:
+        """All nodes in document (pre-)order."""
+        return self._nodes
+
+    @property
+    def nodes_postorder(self) -> Tuple[NodeId, ...]:
+        """All nodes in postorder (children before parents)."""
+        return self._postorder
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """The attribute set A of this tree."""
+        return self._attributes
+
+    @property
+    def alphabet(self) -> Tuple[str, ...]:
+        """The set of labels actually occurring, sorted."""
+        return tuple(sorted(set(self._labels.values())))
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._labels
+
+    def require(self, node: NodeId) -> NodeId:
+        """Validate that ``node`` belongs to Dom(t)."""
+        if node not in self._labels:
+            raise TreeError(f"node {node!r} is not in Dom(t)")
+        return node
+
+    def label(self, node: NodeId) -> str:
+        """``lab_t(u)``: the Σ-label of ``node``."""
+        try:
+            return self._labels[node]
+        except KeyError:
+            raise TreeError(f"node {node!r} is not in Dom(t)") from None
+
+    def children(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """The children of ``node`` in sibling order."""
+        try:
+            return self._children[node]
+        except KeyError:
+            raise TreeError(f"node {node!r} is not in Dom(t)") from None
+
+    def degree(self, node: NodeId) -> int:
+        """Number of children of ``node``."""
+        return len(self.children(node))
+
+    # -- navigation (the automaton's move functions m_d) ----------------------
+
+    def parent(self, node: NodeId) -> Optional[NodeId]:
+        """``m_↑``: the parent, or None at the root."""
+        self.require(node)
+        return node[:-1] if node else None
+
+    def first_child(self, node: NodeId) -> Optional[NodeId]:
+        """``m_↓``: the first child, or None at a leaf."""
+        kids = self.children(node)
+        return kids[0] if kids else None
+
+    def last_child(self, node: NodeId) -> Optional[NodeId]:
+        """The last child, or None at a leaf."""
+        kids = self.children(node)
+        return kids[-1] if kids else None
+
+    def left_sibling(self, node: NodeId) -> Optional[NodeId]:
+        """``m_←``: the left sibling, or None."""
+        self.require(node)
+        if not node or node[-1] == 0:
+            return None
+        return node[:-1] + (node[-1] - 1,)
+
+    def right_sibling(self, node: NodeId) -> Optional[NodeId]:
+        """``m_→``: the right sibling, or None."""
+        self.require(node)
+        if not node:
+            return None
+        cand = node[:-1] + (node[-1] + 1,)
+        return cand if cand in self._labels else None
+
+    # -- positional predicates (first/last child, root, leaf) ------------------
+
+    def is_root(self, node: NodeId) -> bool:
+        self.require(node)
+        return node == ROOT
+
+    def is_leaf(self, node: NodeId) -> bool:
+        return not self.children(node)
+
+    def is_first_child(self, node: NodeId) -> bool:
+        self.require(node)
+        return bool(node) and node[-1] == 0
+
+    def is_last_child(self, node: NodeId) -> bool:
+        self.require(node)
+        return bool(node) and node[:-1] + (node[-1] + 1,) not in self._labels
+
+    # -- the vocabulary relations (Section 2.2) --------------------------------
+
+    def edge(self, u: NodeId, v: NodeId) -> bool:
+        """``E(u, v)``: v is a child of u."""
+        self.require(u)
+        self.require(v)
+        return len(v) == len(u) + 1 and v[: len(u)] == u
+
+    def sibling_less(self, u: NodeId, v: NodeId) -> bool:
+        """``u < v`` on siblings: same parent, u strictly earlier."""
+        self.require(u)
+        self.require(v)
+        return sibling_less(u, v)
+
+    def descendant(self, u: NodeId, v: NodeId) -> bool:
+        """``u ≺ v``: v is a proper descendant of u."""
+        self.require(u)
+        self.require(v)
+        return is_ancestor(u, v)
+
+    def document_index(self, node: NodeId) -> int:
+        """Position of ``node`` in document (pre-)order, 0-based."""
+        self.require(node)
+        return self._preorder_index[node]
+
+    # -- attributes -----------------------------------------------------------
+
+    def val(self, attr: str, node: NodeId) -> MaybeValue:
+        """``val_a(u) = λ_a(u)`` — the attribute value (possibly ⊥)."""
+        self.require(node)
+        try:
+            return self._attrs[attr][node]
+        except KeyError:
+            raise TreeError(f"unknown attribute {attr!r}; A = {self._attributes}") from None
+
+    def attr_table(self, attr: str) -> Mapping[NodeId, MaybeValue]:
+        """The full λ_a map for one attribute (read-only view)."""
+        if attr not in self._attrs:
+            raise TreeError(f"unknown attribute {attr!r}; A = {self._attributes}")
+        return dict(self._attrs[attr])
+
+    def active_domain(self) -> frozenset:
+        """All D-values occurring in any attribute of any node."""
+        out = set()
+        for table in self._attrs.values():
+            for value in table.values():
+                if value is not BOTTOM:
+                    out.add(value)
+        return frozenset(out)
+
+    # -- derived trees ----------------------------------------------------------
+
+    def subtree(self, node: NodeId) -> "Tree":
+        """The subtree rooted at ``node``, re-addressed so ``node`` is ε."""
+        self.require(node)
+        cut = len(node)
+        labels = {
+            u[cut:]: lab
+            for u, lab in self._labels.items()
+            if u[:cut] == node
+        }
+        attrs = {
+            name: {
+                u[cut:]: v for u, v in table.items() if u[:cut] == node
+            }
+            for name, table in self._attrs.items()
+        }
+        return Tree(labels, attrs, self._attributes)
+
+    def with_attribute(
+        self, name: str, table: Mapping[NodeId, MaybeValue]
+    ) -> "Tree":
+        """A copy with attribute ``name`` added or replaced."""
+        attrs = {a: dict(t) for a, t in self._attrs.items()}
+        attrs[name] = dict(table)
+        names = self._attributes if name in self._attributes else self._attributes + (name,)
+        return Tree(self._labels, attrs, names)
+
+    def relabel(self, mapping: Mapping[str, str]) -> "Tree":
+        """A copy with labels renamed via ``mapping`` (identity elsewhere)."""
+        labels = {u: mapping.get(lab, lab) for u, lab in self._labels.items()}
+        return Tree(labels, self._attrs, self._attributes)
+
+    # -- equality / hashing / display ------------------------------------------
+
+    def _key(self) -> tuple:
+        return (
+            tuple(sorted(self._labels.items())),
+            tuple(
+                (name, tuple(sorted(table.items(), key=lambda kv: kv[0])))
+                for name, table in sorted(self._attrs.items())
+            ),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tree):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        from .parser import format_term  # local import to avoid a cycle
+
+        text = format_term(self)
+        if len(text) > 120:
+            text = text[:117] + "..."
+        return f"Tree({text})"
+
+    def iter_edges(self) -> Iterator[Tuple[NodeId, NodeId]]:
+        """All (parent, child) pairs in document order."""
+        for u in self._nodes:
+            for c in self._children[u]:
+                yield (u, c)

@@ -1,0 +1,57 @@
+"""The data domain D and its distinguished non-member ⊥.
+
+The paper fixes an infinite, recursively enumerable domain
+``D = {a₁, a₂, …}`` from which attribute values are drawn, and a
+symbol ``⊥ ∉ D`` carried by the attributes of delimiter nodes and by
+uninitialised registers.  We model D as the set of Python strings and
+ints — only *equality* on D is ever used by the logic (metafinite
+structures, Grädel–Gurevich style), so any infinite hashable carrier is
+adequate.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+
+class _Bottom:
+    """The unique ⊥ value.  Singleton; compares equal only to itself."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+    def __hash__(self) -> int:
+        return hash("_Bottom_singleton_")
+
+    def __reduce__(self):
+        return (_Bottom, ())
+
+
+BOTTOM = _Bottom()
+
+#: A data value proper (member of D).
+DataValue = Union[str, int]
+
+#: A data value or ⊥ (what a register or delimiter attribute may hold).
+MaybeValue = Union[str, int, _Bottom]
+
+
+def is_data_value(value: object) -> bool:
+    """True iff ``value`` is a member of D (excludes ⊥ and booleans)."""
+    if isinstance(value, bool):
+        return False
+    return isinstance(value, (str, int))
+
+
+def require_data_value(value: object) -> DataValue:
+    """Validate and return ``value`` as a member of D."""
+    if not is_data_value(value):
+        raise TypeError(f"not a data value (member of D): {value!r}")
+    return value  # type: ignore[return-value]

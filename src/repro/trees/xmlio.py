@@ -1,0 +1,161 @@
+"""A tiny XML-ish serialization for attributed trees.
+
+The paper motivates attributed trees as abstractions of XML documents;
+this module makes the abstraction concrete both ways.  The dialect is a
+strict subset of XML: elements with attributes, no text nodes (mixed
+content is modelled with dummy intermediate nodes per Section 2.1 of
+the paper), no namespaces, no entities beyond the five standard ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .node import NodeId
+from .tree import Tree, TreeError, TreeNode
+from .values import BOTTOM, MaybeValue
+
+_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;"), ('"', "&quot;"), ("'", "&apos;")]
+
+
+def _escape(text: str) -> str:
+    for raw, rep in _ESCAPES:
+        text = text.replace(raw, rep)
+    return text
+
+
+def _unescape(text: str) -> str:
+    for raw, rep in reversed(_ESCAPES):
+        text = text.replace(rep, raw)
+    return text
+
+
+def to_xml(tree: Tree, indent: int = 2) -> str:
+    """Serialize a tree as XML.  Integer values get an ``int:`` prefix
+    so the round-trip preserves the D-value's type; ⊥ values are
+    omitted entirely."""
+
+    def fmt(value: MaybeValue) -> Optional[str]:
+        if value is BOTTOM:
+            return None
+        if isinstance(value, int):
+            return f"int:{value}"
+        return _escape(value)
+
+    lines: List[str] = []
+
+    def emit(node: NodeId, level: int) -> None:
+        pad = " " * (indent * level)
+        attrs = []
+        for name in tree.attributes:
+            rendered = fmt(tree.val(name, node))
+            if rendered is not None:
+                attrs.append(f'{name}="{rendered}"')
+        head = " ".join([tree.label(node)] + attrs)
+        kids = tree.children(node)
+        if not kids:
+            lines.append(f"{pad}<{head}/>")
+            return
+        lines.append(f"{pad}<{head}>")
+        for kid in kids:
+            emit(kid, level + 1)
+        lines.append(f"{pad}</{tree.label(node)}>")
+
+    emit((), 0)
+    return "\n".join(lines) + "\n"
+
+
+class XmlSyntaxError(TreeError):
+    """Raised on input outside the supported XML subset."""
+
+
+class _XmlScanner:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def error(self, message: str) -> XmlSyntaxError:
+        return XmlSyntaxError(f"{message} near ...{self.text[self.pos:self.pos + 30]!r}")
+
+    def literal(self, text: str) -> bool:
+        if self.text.startswith(text, self.pos):
+            self.pos += len(text)
+            return True
+        return False
+
+    def name(self) -> str:
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_-.:▽▷◁△σδ#"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a name")
+        return self.text[start : self.pos]
+
+
+def _parse_element(sc: _XmlScanner) -> TreeNode:
+    sc.skip_ws()
+    if not sc.literal("<"):
+        raise sc.error("expected '<'")
+    tag = sc.name()
+    node = TreeNode(tag)
+    while True:
+        sc.skip_ws()
+        if sc.literal("/>"):
+            return node
+        if sc.literal(">"):
+            break
+        attr = sc.name()
+        sc.skip_ws()
+        if not sc.literal("="):
+            raise sc.error("expected '=' in attribute")
+        sc.skip_ws()
+        quote = sc.text[sc.pos : sc.pos + 1]
+        if quote not in ("'", '"'):
+            raise sc.error("expected quoted attribute value")
+        sc.pos += 1
+        end = sc.text.find(quote, sc.pos)
+        if end < 0:
+            raise sc.error("unterminated attribute value")
+        raw = _unescape(sc.text[sc.pos : end])
+        sc.pos = end + 1
+        if raw.startswith("int:"):
+            try:
+                node.attrs[attr] = int(raw[4:])
+            except ValueError:
+                raise sc.error(f"bad int attribute value {raw!r}") from None
+        else:
+            node.attrs[attr] = raw
+    # children until matching close tag
+    while True:
+        sc.skip_ws()
+        if sc.literal("</"):
+            close = sc.name()
+            if close != tag:
+                raise sc.error(f"mismatched close tag </{close}> for <{tag}>")
+            sc.skip_ws()
+            if not sc.literal(">"):
+                raise sc.error("expected '>' after close tag")
+            return node
+        node.children.append(_parse_element(sc))
+
+
+def from_xml(text: str, attributes: Optional[Sequence[str]] = None) -> Tree:
+    """Parse the XML subset back into a :class:`Tree`."""
+    sc = _XmlScanner(text)
+    sc.skip_ws()
+    if sc.literal("<?"):
+        end = sc.text.find("?>", sc.pos)
+        if end < 0:
+            raise sc.error("unterminated XML declaration")
+        sc.pos = end + 2
+    root = _parse_element(sc)
+    sc.skip_ws()
+    if sc.pos != len(sc.text):
+        raise sc.error("trailing content after document element")
+    return Tree.build(root, attributes)

@@ -1,0 +1,45 @@
+"""The paper's XPath fragment (§2.3): parser, evaluator, FO(∃*) compiler.
+
+>>> from repro.trees import parse_term
+>>> from repro.xpath import parse_xpath, select, compile_xpath
+>>> t = parse_term("a(b(c), b(d))")
+>>> expr = parse_xpath("a//b[d]")
+>>> select(expr, t, ())
+((1,),)
+>>> query = compile_xpath(expr)           # the FO(∃*) abstraction
+>>> query.select(t, ())
+((1,),)
+"""
+
+from .ast import (
+    CHILD,
+    DESCENDANT,
+    Expr,
+    NameTest,
+    NodeTest,
+    Path,
+    SelfTest,
+    Step,
+    Union_,
+    Wildcard,
+)
+from .parser import XPathSyntaxError, parse_xpath
+from .evaluator import select
+from .compiler import compile_xpath
+
+__all__ = [
+    "CHILD",
+    "DESCENDANT",
+    "Expr",
+    "NameTest",
+    "NodeTest",
+    "Path",
+    "SelfTest",
+    "Step",
+    "Union_",
+    "Wildcard",
+    "XPathSyntaxError",
+    "parse_xpath",
+    "select",
+    "compile_xpath",
+]

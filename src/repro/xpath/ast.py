@@ -1,0 +1,121 @@
+"""AST for the paper's XPath fragment (Section 2.3).
+
+The grammar (unions, root anchor, child ``/``, descendant ``//``,
+filters ``[…]``, element tests and the wildcard) is taken from the
+paper; the published figure is partly garbled, so the dialect is fixed
+as follows — chosen so that the paper's worked example compiles to
+exactly the FO(∃*) formula printed there:
+
+* a path is a chain of *node tests* (σ, ``*`` or ``.``) connected by
+  ``/`` (child) or ``//`` (proper descendant);
+* a **relative** path's first test applies to the context node itself
+  (the paper's example maps the leading ``a`` to ``O_a(x)`` with x the
+  current position);
+* ``/p`` anchors the first test at the root;
+* a filter ``[p]`` holds at a node y iff ``p`` selects at least one
+  node from context y, where ``p`` gets an **implicit leading child
+  axis** unless it starts with ``.``, ``/`` or ``//`` (XPath 1.0
+  relative-location-path behaviour; the example maps the filter
+  ``[d]`` to ``∃y₃ E(y, y₃) ∧ O_d(y₃)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+@dataclass(frozen=True)
+class NameTest:
+    """Element test σ: matches nodes labelled σ."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Wildcard:
+    """``*``: matches any node."""
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class SelfTest:
+    """``.``: the context node itself."""
+
+    def __repr__(self) -> str:
+        return "."
+
+
+NodeTest = Union[NameTest, Wildcard, SelfTest]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One path step: a node test plus its filters."""
+
+    test: NodeTest
+    filters: Tuple["Path", ...] = ()
+
+    def __repr__(self) -> str:
+        return repr(self.test) + "".join(f"[{f!r}]" for f in self.filters)
+
+
+#: Axis connecting consecutive steps.
+CHILD = "child"
+DESCENDANT = "descendant"
+
+
+@dataclass(frozen=True)
+class Path:
+    """A chain of steps.
+
+    ``axes[i]`` connects ``steps[i]`` to ``steps[i+1]`` and is
+    :data:`CHILD` or :data:`DESCENDANT`.  ``absolute`` anchors the
+    first step at the root.
+    """
+
+    steps: Tuple[Step, ...]
+    axes: Tuple[str, ...]
+    absolute: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a path needs at least one step")
+        if len(self.axes) != len(self.steps) - 1:
+            raise ValueError(
+                f"{len(self.steps)} steps need {len(self.steps) - 1} axes, "
+                f"got {len(self.axes)}"
+            )
+        for axis in self.axes:
+            if axis not in (CHILD, DESCENDANT):
+                raise ValueError(f"unknown axis {axis!r}")
+
+    def __repr__(self) -> str:
+        out = "/" if self.absolute else ""
+        out += repr(self.steps[0])
+        for axis, step in zip(self.axes, self.steps[1:]):
+            out += "/" if axis == CHILD else "//"
+            out += repr(step)
+        return out
+
+
+@dataclass(frozen=True)
+class Union_:
+    """``p₁ | p₂`` — set union of the selected nodes."""
+
+    alternatives: Tuple["Expr", ...]
+
+    def __post_init__(self) -> None:
+        if len(self.alternatives) < 2:
+            raise ValueError("a union needs >= 2 alternatives")
+
+    def __repr__(self) -> str:
+        return " | ".join(repr(a) for a in self.alternatives)
+
+
+Expr = Union[Path, Union_]

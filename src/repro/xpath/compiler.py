@@ -1,0 +1,133 @@
+"""Compile the XPath fragment into binary FO(∃*) queries (§2.3).
+
+"Clearly, XPath defined as such can be simulated by FO(∃*)" — this
+module is that simulation, made executable.  The paper's worked example
+``a//b[.//c][d]`` compiles to
+
+    φ(x, y) = ∃y₂ ∃y₃ (x ≺ y ∧ y ≺ y₂ ∧ E(y, y₃)
+                        ∧ O_a(x) ∧ O_b(y) ∧ O_c(y₂) ∧ O_d(y₃))
+
+exactly as printed in Section 2.3 (modulo variable names).  Union
+compiles to a disjunction under a single shared ∃-prefix, which stays
+inside the prenex-existential fragment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..logic import tree_fo
+from ..logic.exists_star import ExistsStarQuery, X, Y
+from ..logic.tree_fo import NVar, TreeFormula
+from .ast import (
+    CHILD,
+    Expr,
+    NameTest,
+    NodeTest,
+    Path,
+    SelfTest,
+    Step,
+    Union_,
+    Wildcard,
+)
+
+
+class _VarSupply:
+    """Fresh existential variables y₂, y₃, … (x and y are reserved)."""
+
+    def __init__(self) -> None:
+        self._next = 2
+        self.allocated: List[NVar] = []
+
+    def fresh(self) -> NVar:
+        var = NVar(f"y{self._next}")
+        self._next += 1
+        self.allocated.append(var)
+        return var
+
+
+def _test_atom(test: NodeTest, var: NVar) -> List[TreeFormula]:
+    if isinstance(test, NameTest):
+        return [tree_fo.Label(test.name, var)]
+    return []  # wildcard / self: no constraint
+
+
+def _axis_atom(axis: str, source: NVar, target: NVar) -> TreeFormula:
+    if axis == CHILD:
+        return tree_fo.Edge(source, target)
+    return tree_fo.Desc(source, target)
+
+
+def _compile_filters(
+    step: Step, var: NVar, supply: _VarSupply, atoms: List[TreeFormula]
+) -> None:
+    for filt in step.filters:
+        _compile_path(filt, var, None, supply, atoms, in_filter=True)
+
+
+def _compile_path(
+    path: Path,
+    context_var: NVar,
+    result_var: "NVar | None",
+    supply: _VarSupply,
+    atoms: List[TreeFormula],
+    in_filter: bool,
+) -> None:
+    """Append atoms expressing ``(context_var, result_var) ∈ ⟦path⟧``.
+
+    With ``result_var=None`` (filters) the final node is an anonymous
+    fresh variable — the filter's ∃-witness.
+    """
+    first = path.steps[0]
+    single = len(path.steps) == 1
+
+    def var_for_step(is_last: bool) -> NVar:
+        if is_last and result_var is not None:
+            return result_var
+        return supply.fresh()
+
+    if path.absolute:
+        current = var_for_step(single)
+        atoms.append(tree_fo.Root(current))
+    elif isinstance(first.test, SelfTest):
+        current = context_var
+        if single and result_var is not None:
+            atoms.append(tree_fo.NodeEq(result_var, context_var))
+            current = context_var
+    elif in_filter:
+        current = var_for_step(single)
+        atoms.append(tree_fo.Edge(context_var, current))  # implicit child axis
+    else:
+        current = context_var
+        if single and result_var is not None and result_var != context_var:
+            atoms.append(tree_fo.NodeEq(result_var, context_var))
+
+    atoms.extend(_test_atom(first.test, current))
+    _compile_filters(first, current, supply, atoms)
+
+    remaining = len(path.steps) - 1
+    for axis, step in zip(path.axes, path.steps[1:]):
+        remaining -= 1
+        target = var_for_step(remaining == 0)
+        atoms.append(_axis_atom(axis, current, target))
+        atoms.extend(_test_atom(step.test, target))
+        _compile_filters(step, target, supply, atoms)
+        current = target
+
+
+def compile_xpath(expr: Expr) -> ExistsStarQuery:
+    """Compile an expression into a binary FO(∃*) query φ(x, y)."""
+    supply = _VarSupply()
+    if isinstance(expr, Union_):
+        disjuncts: List[TreeFormula] = []
+        for alt in expr.alternatives:
+            atoms: List[TreeFormula] = []
+            _compile_path(alt, X, Y, supply, atoms, in_filter=False)
+            disjuncts.append(tree_fo.conj(*atoms))
+        body: TreeFormula = tree_fo.disj(*disjuncts)
+    else:
+        atoms = []
+        _compile_path(expr, X, Y, supply, atoms, in_filter=False)
+        body = tree_fo.conj(*atoms)
+    formula = tree_fo.exists(supply.allocated, body)
+    return ExistsStarQuery(formula, X, Y)

@@ -1,0 +1,90 @@
+"""Direct set-based evaluator for the XPath fragment.
+
+This is the reference semantics; :mod:`repro.xpath.compiler` must agree
+with it (the E11 experiment checks the agreement on random documents
+and queries, validating the paper's claim that the fragment can be
+simulated by FO(∃*))."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Set, Tuple
+
+from ..trees.node import NodeId
+from ..trees.tree import Tree
+from .ast import (
+    CHILD,
+    Expr,
+    NameTest,
+    NodeTest,
+    Path,
+    SelfTest,
+    Step,
+    Union_,
+    Wildcard,
+)
+
+
+def _test_matches(test: NodeTest, tree: Tree, node: NodeId) -> bool:
+    if isinstance(test, NameTest):
+        return tree.label(node) == test.name
+    return True  # Wildcard and (non-leading) SelfTest match any node.
+
+
+def _axis_targets(axis: str, tree: Tree, node: NodeId) -> Iterable[NodeId]:
+    if axis == CHILD:
+        return tree.children(node)
+    # Proper descendants.
+    return (v for v in tree.nodes if tree.descendant(node, v))
+
+
+def _passes_filters(step: Step, tree: Tree, node: NodeId) -> bool:
+    return all(
+        bool(_eval_path(f, tree, node, in_filter=True)) for f in step.filters
+    )
+
+
+def _seed(path: Path, tree: Tree, context: NodeId, in_filter: bool) -> Set[NodeId]:
+    first = path.steps[0]
+    if path.absolute:
+        candidates: Iterable[NodeId] = ((),)
+    elif isinstance(first.test, SelfTest):
+        candidates = (context,)
+    elif in_filter:
+        candidates = tree.children(context)  # the implicit child axis
+    else:
+        candidates = (context,)  # relative: first test applies to context
+    return {
+        u
+        for u in candidates
+        if _test_matches(first.test, tree, u) and _passes_filters(first, tree, u)
+    }
+
+
+def _eval_path(
+    path: Path, tree: Tree, context: NodeId, in_filter: bool = False
+) -> FrozenSet[NodeId]:
+    current = _seed(path, tree, context, in_filter)
+    for axis, step in zip(path.axes, path.steps[1:]):
+        following: Set[NodeId] = set()
+        for node in current:
+            for target in _axis_targets(axis, tree, node):
+                if _test_matches(step.test, tree, target) and _passes_filters(
+                    step, tree, target
+                ):
+                    following.add(target)
+        current = following
+        if not current:
+            break
+    return frozenset(current)
+
+
+def select(expr: Expr, tree: Tree, context: NodeId = ()) -> Tuple[NodeId, ...]:
+    """Nodes selected by ``expr`` from ``context``, in document order."""
+    tree.require(context)
+    if isinstance(expr, Union_):
+        out: Set[NodeId] = set()
+        for alt in expr.alternatives:
+            out |= _eval_path(alt, tree, context)
+    else:
+        out = set(_eval_path(expr, tree, context))
+    return tuple(sorted(out, key=tree.document_index))

@@ -1,0 +1,138 @@
+"""Recursive-descent parser for the XPath fragment."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .ast import (
+    CHILD,
+    DESCENDANT,
+    Expr,
+    NameTest,
+    Path,
+    SelfTest,
+    Step,
+    Union_,
+    Wildcard,
+)
+
+
+class XPathSyntaxError(ValueError):
+    """Raised on malformed XPath input, with position info."""
+
+    def __init__(self, message: str, text: str, pos: int) -> None:
+        super().__init__(f"{message} at {pos}: ...{text[pos:pos + 20]!r}")
+        self.pos = pos
+
+
+class _Scanner:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.text[i] if i < len(self.text) else ""
+
+    def take(self, text: str) -> bool:
+        self.skip_ws()
+        if self.text.startswith(text, self.pos):
+            self.pos += len(text)
+            return True
+        return False
+
+    def name(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_-σδ▽▷◁△#"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise XPathSyntaxError("expected a name", self.text, self.pos)
+        return self.text[start : self.pos]
+
+
+def _parse_step(sc: _Scanner) -> Step:
+    sc.skip_ws()
+    ch = sc.peek()
+    if ch == "*":
+        sc.take("*")
+        test = Wildcard()
+    elif ch == "." and sc.peek(1) != "/":
+        sc.take(".")
+        test = SelfTest()
+    elif ch == ".":
+        sc.take(".")
+        test = SelfTest()
+    else:
+        test = NameTest(sc.name())
+    filters: List[Path] = []
+    while True:
+        sc.skip_ws()
+        if not sc.take("["):
+            break
+        inner = _parse_expr(sc)
+        if isinstance(inner, Union_):
+            raise XPathSyntaxError(
+                "union inside a filter is not in the fragment", sc.text, sc.pos
+            )
+        if not sc.take("]"):
+            raise XPathSyntaxError("expected ']'", sc.text, sc.pos)
+        filters.append(inner)
+    return Step(test, tuple(filters))
+
+
+def _parse_path(sc: _Scanner) -> Path:
+    sc.skip_ws()
+    absolute = False
+    leading_descendant = False
+    if sc.take("//"):
+        absolute = True
+        leading_descendant = True
+    elif sc.take("/"):
+        absolute = True
+    steps = [_parse_step(sc)]
+    axes: List[str] = []
+    if leading_descendant:
+        # ``//σ`` ≡ ``/*//σ`` — anchor a wildcard at the root, then descend.
+        steps.insert(0, Step(Wildcard()))
+        axes.append(DESCENDANT)
+    while True:
+        sc.skip_ws()
+        if sc.take("//"):
+            axes.append(DESCENDANT)
+        elif sc.peek() == "/" and sc.peek(1) != "/":
+            sc.take("/")
+            axes.append(CHILD)
+        else:
+            break
+        steps.append(_parse_step(sc))
+    return Path(tuple(steps), tuple(axes), absolute)
+
+
+def _parse_expr(sc: _Scanner) -> Expr:
+    first = _parse_path(sc)
+    alternatives = [first]
+    while True:
+        sc.skip_ws()
+        if not sc.take("|"):
+            break
+        alternatives.append(_parse_path(sc))
+    if len(alternatives) == 1:
+        return first
+    return Union_(tuple(alternatives))
+
+
+def parse_xpath(text: str) -> Expr:
+    """Parse an expression of the fragment; raises on trailing input."""
+    sc = _Scanner(text)
+    expr = _parse_expr(sc)
+    sc.skip_ws()
+    if sc.pos != len(sc.text):
+        raise XPathSyntaxError("trailing input", sc.text, sc.pos)
+    return expr

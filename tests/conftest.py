@@ -1,0 +1,32 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.trees import Tree, parse_term, random_tree
+
+
+@pytest.fixture
+def small_tree() -> Tree:
+    """A fixed attributed tree used across modules."""
+    return parse_term(
+        'catalog(dept[name="db"](item[price=30, cur="EUR"], '
+        'item[price=2, cur="EUR"]), dept(item[cur="USD"]))'
+    )
+
+
+@pytest.fixture
+def sigma_delta_tree() -> Tree:
+    """A Σ = {σ, δ}, A = {a} tree (the Example 3.2 setting)."""
+    return parse_term("σ[a=1](δ[a=2](σ[a=3], σ[a=3]), σ[a=4](δ[a=5]))")
+
+
+def tree_family(count: int = 12, max_size: int = 12, **kwargs):
+    """A deterministic family of random trees for sweep tests."""
+    defaults = dict(
+        alphabet=("σ", "δ"), attributes=("a",), value_pool=(1, 2, 3)
+    )
+    defaults.update(kwargs)
+    return [
+        random_tree(1 + (seed * 5) % max_size, seed=seed, **defaults)
+        for seed in range(count)
+    ]

@@ -1,0 +1,110 @@
+"""The Definition 5.1 restriction lattice."""
+
+import pytest
+
+from repro.automata import (
+    AutomatonBuilder,
+    ClassViolation,
+    STAY,
+    TWClass,
+    check_single_valued_on,
+    classify,
+    is_functional_selector,
+    is_in_class,
+    require_class,
+    violations,
+)
+from repro.automata.examples import (
+    all_leaves_same_twrl,
+    all_values_same_twr,
+    even_leaves_automaton,
+    example_32,
+    spine_constant_automaton,
+)
+from repro.logic.exists_star import (
+    children_selector,
+    first_child_selector,
+    parent_selector,
+    self_selector,
+)
+from repro.store.fo import Attr, FalseF, Var, eq
+from repro.trees import parse_term
+
+z = Var("z")
+
+
+@pytest.mark.parametrize(
+    "factory, expected",
+    [
+        (even_leaves_automaton, TWClass.TW),
+        (spine_constant_automaton, TWClass.TW_L),
+        (all_values_same_twr, TWClass.TW_R),
+        (all_leaves_same_twrl, TWClass.TW_RL),
+        (example_32, TWClass.TW_RL),
+    ],
+)
+def test_stock_examples_classify(factory, expected):
+    assert classify(factory()) == expected
+
+
+def test_lattice_inclusions():
+    # tw ⊆ tw^l ∩ tw^r ⊆ tw^{r,l}
+    a = even_leaves_automaton()
+    for cls in TWClass:
+        assert is_in_class(a, cls)
+    l = spine_constant_automaton()
+    assert is_in_class(l, TWClass.TW_L) and is_in_class(l, TWClass.TW_RL)
+    assert not is_in_class(l, TWClass.TW)
+    assert not is_in_class(l, TWClass.TW_R)
+
+
+def test_functional_selector_whitelist():
+    for q in (self_selector(), parent_selector(), first_child_selector()):
+        assert is_functional_selector(q)
+    assert not is_functional_selector(children_selector())
+
+
+def test_single_value_update_shapes():
+    b = AutomatonBuilder(register_arities=[1])
+    b.update("q0", "q1", 1, eq(z, Attr("a")), [z])      # z = @a: ok
+    b.update("q1", "q2", 1, eq(z, 5), [z])              # z = 5: ok
+    b.update("q2", "q3", 1, FalseF(), [z])              # clear: ok
+    b.move("q3", "qF", STAY)
+    a = b.build(initial="q0", final="qF")
+    assert classify(a) == TWClass.TW
+
+
+def test_set_update_is_not_tw():
+    from repro.store.fo import disj, rel
+
+    b = AutomatonBuilder(register_arities=[1])
+    b.update("q0", "qF", 1, disj(rel(1, z), eq(z, Attr("a"))), [z])
+    a = b.build(initial="q0", final="qF")
+    assert classify(a) == TWClass.TW_R
+    problems = violations(a, TWClass.TW)
+    assert problems and "define one value" in problems[0]
+
+
+def test_wide_register_is_not_twl():
+    b = AutomatonBuilder(register_arities=[2])
+    a = b.build(initial="q0", final="qF")
+    assert not is_in_class(a, TWClass.TW_L)
+    assert is_in_class(a, TWClass.TW_R)
+
+
+def test_require_class_raises_with_reasons():
+    a = all_values_same_twr()
+    with pytest.raises(ClassViolation) as err:
+        require_class(a, TWClass.TW)
+    assert "tw" in str(err.value)
+    # and passes for its own class
+    require_class(a, TWClass.TW_R)
+    require_class(a, TWClass.TW_RL)
+
+
+def test_runtime_single_valued_check():
+    a = spine_constant_automaton()
+    t = parse_term("r[a=1](c[a=1](d[a=1]))")
+    assert check_single_valued_on(a, t) == []
+    wide = all_leaves_same_twrl()
+    assert check_single_valued_on(wide, parse_term("r(a, b)"))

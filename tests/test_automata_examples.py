@@ -1,0 +1,99 @@
+"""The stock automata agree with their independent specifications."""
+
+import pytest
+
+from tests.conftest import tree_family
+
+from repro.automata import accepts
+from repro.automata.examples import (
+    all_leaves_same_spec,
+    all_leaves_same_twrl,
+    all_values_same_spec,
+    all_values_same_twr,
+    even_leaves_automaton,
+    even_leaves_spec,
+    example_32,
+    example_32_fo_spec,
+    example_32_spec,
+    exists_value_automaton,
+    exists_value_spec,
+    root_value_at_some_leaf,
+    root_value_at_some_leaf_spec,
+    run_example_32,
+    spine_constant_automaton,
+    spine_constant_spec,
+)
+from repro.logic import evaluate
+from repro.trees import all_trees, delim, parse_term
+
+
+FAMILY = tree_family(count=14, max_size=13)
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_example_32_matches_python_spec(tree):
+    assert run_example_32(tree) == example_32_spec(tree)
+
+
+@pytest.mark.parametrize("tree", FAMILY[:8], ids=lambda t: f"n{t.size}")
+def test_example_32_matches_fo_spec(tree):
+    assert run_example_32(tree) == evaluate(example_32_fo_spec(), tree)
+
+
+def test_example_32_positive_and_negative_fixed():
+    good = parse_term("σ(δ(σ[a=1], σ[a=1]), δ(σ[a=2]))")
+    bad = parse_term("σ(δ(σ[a=1], σ[a=2]))")
+    assert run_example_32(good)
+    assert not run_example_32(bad)
+
+
+def test_example_32_vacuous_delta():
+    # a δ-leaf has no leaf-descendants: vacuously uniform
+    assert run_example_32(parse_term("δ[a=1]"))
+    assert run_example_32(parse_term("σ[a=1](σ[a=2])"))  # no δ at all
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_even_leaves(tree):
+    assert accepts(even_leaves_automaton(), tree) == even_leaves_spec(tree)
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_exists_value(tree):
+    a = exists_value_automaton("a", 2)
+    assert accepts(a, tree) == exists_value_spec("a", 2)(tree)
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_root_value_at_some_leaf(tree):
+    a = root_value_at_some_leaf()
+    assert accepts(a, tree) == root_value_at_some_leaf_spec()(tree)
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_spine_constant(tree):
+    a = spine_constant_automaton()
+    assert accepts(a, tree) == spine_constant_spec()(tree)
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_all_values_same(tree):
+    a = all_values_same_twr()
+    assert accepts(a, tree) == all_values_same_spec()(tree)
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_all_leaves_same(tree):
+    a = all_leaves_same_twrl()
+    assert accepts(a, tree) == all_leaves_same_spec()(tree)
+
+
+def test_even_leaves_exhaustive_small():
+    a = even_leaves_automaton()
+    for t in all_trees(4, ("σ",)):
+        assert accepts(a, t) == even_leaves_spec(t)
+
+
+def test_even_leaves_not_fooled_by_single_node():
+    assert not accepts(even_leaves_automaton(), parse_term("σ"))
+    assert accepts(even_leaves_automaton(), parse_term("σ(σ, σ)"))

@@ -1,0 +1,125 @@
+"""Static validation of tw^{r,l} automata (Definition 3.1's tuple)."""
+
+import pytest
+
+from repro.automata import (
+    AutomatonBuilder,
+    AutomatonError,
+    Atp,
+    DOWN,
+    LHS,
+    Move,
+    Rule,
+    STAY,
+    TWAutomaton,
+    Update,
+)
+from repro.logic.exists_star import children_selector
+from repro.store import StoreSchema, TrueF, Var, eq, rel
+
+z = Var("z")
+
+
+def minimal(rules=(), arities=(1,), initial=()):
+    return TWAutomaton(
+        states=frozenset({"q0", "qF"} | {r.lhs.state for r in rules}
+                         | {r.rhs.state for r in rules}),
+        initial_state="q0",
+        final_state="qF",
+        schema=StoreSchema(list(arities)),
+        rules=tuple(rules),
+        initial_assignment=tuple(initial),
+    )
+
+
+def test_minimal_automaton_builds():
+    a = minimal()
+    assert a.schema.count == 1
+    assert not a.has_lookahead() and not a.has_updates()
+
+
+def test_initial_state_must_exist():
+    with pytest.raises(AutomatonError):
+        TWAutomaton(frozenset({"qF"}), "q0", "qF", StoreSchema([1]), ())
+
+
+def test_no_rule_from_final_state():
+    rule = Rule(LHS("qF"), Move("q0", STAY))
+    with pytest.raises(AutomatonError):
+        minimal([rule])
+
+
+def test_guard_must_be_sentence():
+    rule = Rule(LHS("q0", guard=rel(1, z)), Move("qF", STAY))
+    with pytest.raises(AutomatonError):
+        minimal([rule])
+
+
+def test_update_arity_checked():
+    bad = Rule(LHS("q0"), Update("qF", eq(z, 1), (z,), register=1))
+    minimal([bad], arities=(1,))  # fine for a unary register
+    with pytest.raises(AutomatonError):
+        minimal([bad], arities=(2,))
+
+
+def test_update_stray_variables_rejected():
+    w = Var("w")
+    bad = Rule(LHS("q0"), Update("qF", eq(w, 1), (z,), register=1))
+    with pytest.raises(AutomatonError):
+        minimal([bad])
+
+
+def test_atp_register_arity_must_match_register_one():
+    ok = Rule(LHS("q0"), Atp("qF", children_selector(), "q0", register=2))
+    minimal([ok], arities=(1, 1))
+    with pytest.raises(AutomatonError):
+        minimal([ok], arities=(1, 2))
+
+
+def test_atp_unknown_substate():
+    bad = Rule(LHS("q0"), Atp("qF", children_selector(), "nowhere", 1))
+    with pytest.raises(AutomatonError):
+        TWAutomaton(
+            frozenset({"q0", "qF"}), "q0", "qF", StoreSchema([1]), (bad,)
+        )
+
+
+def test_initial_assignment_length_checked():
+    with pytest.raises(AutomatonError):
+        minimal(arities=(1, 1), initial=(5,))
+
+
+def test_program_constants_collects_everything():
+    rule1 = Rule(LHS("q0", guard=eq(1, 1)), Move("q1", STAY))
+    rule2 = Rule(LHS("q1"), Update("qF", eq(z, "c"), (z,), 1))
+    a = minimal([rule1, rule2], initial=(7,))
+    assert a.program_constants() == frozenset({1, "c", 7})
+
+
+def test_size_counts_components():
+    a = minimal(initial=(5,))
+    base = a.size()
+    b = minimal([Rule(LHS("q0"), Move("qF", DOWN))], initial=(5,))
+    assert b.size() > base - 1  # extra guard node counted
+
+
+def test_rules_for():
+    r1 = Rule(LHS("q0"), Move("q1", STAY))
+    r2 = Rule(LHS("q1"), Move("qF", STAY))
+    a = minimal([r1, r2])
+    assert a.rules_for("q0") == (r1,)
+    assert a.rules_for("qF") == ()
+
+
+def test_builder_infers_states():
+    b = AutomatonBuilder("t", register_arities=[1])
+    b.move("s0", "s1", STAY)
+    b.atp("s1", "s2", children_selector(), substate="rep", register=1)
+    b.move("rep", "qF", STAY)
+    a = b.build(initial="s0", final="qF")
+    assert {"s0", "s1", "s2", "rep", "qF"} <= set(a.states)
+
+
+def test_direction_validation():
+    with pytest.raises(ValueError):
+        Move("q", "sideways")

@@ -1,0 +1,97 @@
+"""Nondeterministic TWA tests (the open-question model)."""
+
+import pytest
+
+from tests.conftest import tree_family
+
+from repro.automata.nondet import (
+    NTWA,
+    NTWAError,
+    NTWRule,
+    at_least_two_leaves_spec,
+    at_least_two_leaves_with_label,
+    guess_leaf_with_label,
+    ntwa_accepts,
+    reachable_configurations,
+)
+from repro.trees import all_trees, parse_term, random_tree
+
+FAMILY = tree_family(count=12, max_size=12, attributes=())
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_guess_leaf(tree):
+    want = any(
+        tree.is_leaf(u) and tree.label(u) == "δ" for u in tree.nodes
+    )
+    assert ntwa_accepts(guess_leaf_with_label("δ"), tree) == want
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_two_leaves(tree):
+    automaton = at_least_two_leaves_with_label("δ")
+    assert ntwa_accepts(automaton, tree) == at_least_two_leaves_spec("δ")(tree)
+
+
+def test_two_leaves_exhaustive():
+    automaton = at_least_two_leaves_with_label("δ")
+    spec = at_least_two_leaves_spec("δ")
+    for tree in all_trees(4, ("σ", "δ")):
+        assert ntwa_accepts(automaton, tree) == spec(tree), tree
+
+
+def test_two_leaves_fixed():
+    automaton = at_least_two_leaves_with_label("δ")
+    assert ntwa_accepts(automaton, parse_term("σ(δ, δ)"))
+    assert ntwa_accepts(automaton, parse_term("σ(σ(δ), δ)"))
+    assert ntwa_accepts(automaton, parse_term("σ(δ, σ(δ))"))
+    assert not ntwa_accepts(automaton, parse_term("σ(δ)"))
+    assert not ntwa_accepts(automaton, parse_term("δ"))
+    # an internal δ does not count: leaves only
+    assert not ntwa_accepts(automaton, parse_term("σ(δ(σ), δ(σ))"))
+
+
+def test_configuration_graph_is_linear():
+    automaton = guess_leaf_with_label("δ")
+    for n in (5, 10, 20):
+        tree = random_tree(n, alphabet=("σ", "δ"), seed=n)
+        assert reachable_configurations(automaton, tree) <= n * len(
+            automaton.states
+        )
+
+
+def test_acceptance_from_inner_start():
+    tree = parse_term("σ(σ(δ), σ)")
+    automaton = guess_leaf_with_label("δ")
+    assert ntwa_accepts(automaton, tree, start=(0,))
+    assert not ntwa_accepts(automaton, tree, start=(1,))
+
+
+def test_dead_automaton_rejects():
+    automaton = NTWA(
+        states=frozenset({"q", "f"}),
+        initial="q",
+        finals=frozenset({"f"}),
+        rules=(),
+    )
+    assert not ntwa_accepts(automaton, parse_term("a"))
+
+
+def test_initial_final_accepts_immediately():
+    automaton = NTWA(
+        states=frozenset({"q"}),
+        initial="q",
+        finals=frozenset({"q"}),
+        rules=(),
+    )
+    assert ntwa_accepts(automaton, parse_term("a"))
+
+
+def test_validation():
+    with pytest.raises(NTWAError):
+        NTWA(frozenset({"q"}), "missing", frozenset(), ())
+    with pytest.raises(NTWAError):
+        NTWRule("q", "p", "sideways")
+    with pytest.raises(NTWAError):
+        NTWA(frozenset({"q"}), "q", frozenset(),
+             (NTWRule("q", "ghost"),))

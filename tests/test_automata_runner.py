@@ -1,0 +1,202 @@
+"""Execution semantics: moves, guards, cycles, atp, rejection."""
+
+import pytest
+
+from repro.automata import (
+    AutomatonBuilder,
+    DOWN,
+    FuelExhausted,
+    LEFT,
+    NondeterminismError,
+    PositionTest,
+    RIGHT,
+    STAY,
+    UP,
+    accepts,
+    run,
+)
+from repro.logic import tree_fo as T
+from repro.logic.exists_star import X, Y, children_selector, selector
+from repro.store.fo import Attr, FalseF, Var, eq, rel
+from repro.trees import parse_term
+
+z = Var("z")
+
+
+def test_accept_immediately_in_final_state():
+    b = AutomatonBuilder()
+    a = b.build(initial="qF", final="qF")
+    result = run(a, parse_term("x"))
+    assert result.accepted and result.steps == 0
+
+
+def test_stuck_rejects():
+    b = AutomatonBuilder()
+    a = b.build(initial="q0", final="qF")
+    result = run(a, parse_term("x"))
+    assert not result.accepted
+    assert "stuck" in result.reason
+
+
+def test_move_off_tree_rejects():
+    b = AutomatonBuilder()
+    b.move("q0", "qF", UP)  # the root has no parent
+    a = b.build(initial="q0", final="qF")
+    result = run(a, parse_term("x"))
+    assert not result.accepted
+    assert "off the tree" in result.reason
+
+
+def test_cycle_rejects():
+    b = AutomatonBuilder()
+    b.move("q0", "q1", DOWN)
+    b.move("q1", "q0", UP)
+    a = b.build(initial="q0", final="qF")
+    result = run(a, parse_term("x(y)"))
+    assert not result.accepted
+    assert "cycle" in result.reason
+
+
+def test_label_dispatch():
+    b = AutomatonBuilder()
+    b.move("q0", "qF", STAY, label="good")
+    a = b.build(initial="q0", final="qF")
+    assert accepts(a, parse_term("good"))
+    assert not accepts(a, parse_term("bad"))
+
+
+def test_position_dispatch():
+    b = AutomatonBuilder()
+    b.move("q0", "q1", DOWN, position=PositionTest(leaf=False))
+    b.move("q1", "qF", STAY, position=PositionTest(first=True, last=False))
+    a = b.build(initial="q0", final="qF")
+    assert accepts(a, parse_term("a(b, c)"))
+    assert not accepts(a, parse_term("a(b)"))  # only child: last=True
+
+
+def test_guard_on_attribute():
+    b = AutomatonBuilder()
+    b.move("q0", "qF", STAY, guard=eq(Attr("k"), 5))
+    a = b.build(initial="q0", final="qF")
+    assert accepts(a, parse_term("n[k=5]"))
+    assert not accepts(a, parse_term("n[k=6]"))
+
+
+def test_nondeterminism_detected():
+    b = AutomatonBuilder()
+    b.move("q0", "qF", STAY)
+    b.move("q0", "q1", STAY)
+    a = b.build(initial="q0", final="qF")
+    with pytest.raises(NondeterminismError):
+        run(a, parse_term("x"))
+
+
+def test_guards_can_disambiguate():
+    from repro.store.fo import Not
+
+    b = AutomatonBuilder()
+    found = eq(Attr("k"), 1)
+    b.move("q0", "qF", STAY, guard=found)
+    b.move("q0", "dead", STAY, guard=Not(found))
+    a = b.build(initial="q0", final="qF")
+    assert accepts(a, parse_term("n[k=1]"))
+    assert not accepts(a, parse_term("n[k=2]"))
+
+
+def test_update_then_guard():
+    b = AutomatonBuilder(register_arities=[1])
+    b.update("q0", "q1", 1, eq(z, Attr("k")), [z])
+    b.move("q1", "qF", STAY, guard=rel(1, 7))
+    a = b.build(initial="q0", final="qF")
+    assert accepts(a, parse_term("n[k=7]"))
+    assert not accepts(a, parse_term("n[k=8]"))
+
+
+def test_atp_union_of_results():
+    b = AutomatonBuilder(register_arities=[1])
+    b.atp("q0", "q1", children_selector(), substate="rep", register=1)
+    # accept iff both 1 and 2 were collected
+    b.move("q1", "qF", STAY, guard=T_and_rel())
+    b.update("rep", "done", 1, eq(z, Attr("k")), [z])
+    b.move("done", "qF", STAY)
+    a = b.build(initial="q0", final="qF")
+    assert accepts(a, parse_term("r(x[k=1], y[k=2])"))
+    assert not accepts(a, parse_term("r(x[k=1], y[k=1])"))
+
+
+def T_and_rel():
+    from repro.store.fo import conj
+
+    return conj(rel(1, 1), rel(1, 2))
+
+
+def test_atp_empty_selection_gives_empty_relation():
+    b = AutomatonBuilder(register_arities=[1])
+    b.atp("q0", "q1", children_selector(), substate="rep", register=1)
+    from repro.store.fo import Not, exists
+
+    b.move("q1", "qF", STAY, guard=Not(exists(z, rel(1, z))))
+    b.update("rep", "done", 1, eq(z, Attr("k")), [z])
+    b.move("done", "qF", STAY)
+    a = b.build(initial="q0", final="qF")
+    assert accepts(a, parse_term("leaf"))           # no children: empty union
+    assert not accepts(a, parse_term("r(c[k=1])"))  # a child reported a value
+
+
+def test_rejecting_subcomputation_rejects_everything():
+    b = AutomatonBuilder(register_arities=[1])
+    b.atp("q0", "q1", children_selector(), substate="sub", register=1)
+    b.move("q1", "qF", STAY)
+    b.move("sub", "qF", STAY, label="ok")  # stuck on any other label
+    a = b.build(initial="q0", final="qF")
+    assert accepts(a, parse_term("r(ok, ok)"))
+    assert not accepts(a, parse_term("r(ok, bad)"))
+
+
+def test_atp_self_recursion_rejects():
+    # atp at the same node, same state, same store: infinite regress
+    b = AutomatonBuilder(register_arities=[1])
+    self_sel = selector(T.NodeEq(X, Y))
+    b.atp("q0", "q1", self_sel, substate="q0", register=1)
+    b.move("q1", "qF", STAY)
+    a = b.build(initial="q0", final="qF")
+    result = run(a, parse_term("x"))
+    assert not result.accepted
+    assert "cycle" in result.reason
+
+
+def test_subcomputations_start_with_current_store():
+    b = AutomatonBuilder(register_arities=[1], initial_assignment=[None])
+    b.update("q0", "q1", 1, eq(z, 5), [z])
+    b.atp("q1", "q2", children_selector(), substate="sub", register=1)
+    b.move("q2", "qF", STAY, guard=rel(1, 5))
+    # the subcomputation accepts with the inherited store untouched
+    b.move("sub", "qF", STAY, guard=rel(1, 5))
+    a = b.build(initial="q0", final="qF")
+    assert accepts(a, parse_term("r(c)"))
+
+
+def test_fuel_exhaustion_raises():
+    b = AutomatonBuilder(register_arities=[1])
+    b.move("q0", "q1", DOWN)
+    b.move("q1", "q0", UP)
+    a = b.build(initial="q0", final="qF")
+    # a cycle is detected long before fuel runs out; force tiny fuel
+    with pytest.raises(FuelExhausted):
+        run(a, parse_term("x(y)"), fuel=1)
+
+
+def test_trace_collection():
+    b = AutomatonBuilder()
+    b.move("q0", "qF", STAY)
+    a = b.build(initial="q0", final="qF")
+    result = run(a, parse_term("x"), collect_trace=True)
+    assert result.trace and any("accept" in line for line in result.trace)
+
+
+def test_start_node_parameter(small_tree):
+    b = AutomatonBuilder()
+    b.move("q0", "qF", STAY, label="item")
+    a = b.build(initial="q0", final="qF")
+    assert not accepts(a, small_tree)
+    assert accepts(a, small_tree, start=(0, 0))

@@ -1,0 +1,94 @@
+"""Two-way DFA warm-up tests."""
+
+import pytest
+
+from repro.automata.strings import (
+    GO_RIGHT,
+    GO_STAY,
+    LEFT_MARK,
+    TwoWayDFA,
+    TwoWayError,
+    multiple_of_automaton,
+    palindrome_automaton,
+    run_two_way,
+)
+
+
+def test_multiple_of():
+    m3 = multiple_of_automaton(3)
+    for n in range(10):
+        assert run_two_way(m3, ["a"] * n).accepted == (n % 3 == 0)
+
+
+def test_multiple_of_one_accepts_everything():
+    m1 = multiple_of_automaton(1)
+    for n in range(5):
+        assert run_two_way(m1, ["a"] * n).accepted
+
+
+def test_bad_divisor():
+    with pytest.raises(TwoWayError):
+        multiple_of_automaton(0)
+
+
+def test_first_equals_last():
+    pal = palindrome_automaton(["a", "b"])
+    cases = {
+        "a": True, "aa": True, "ab": False, "aba": True,
+        "abb": False, "bab": True, "baab": True,
+    }
+    for word, want in cases.items():
+        assert run_two_way(pal, list(word)).accepted == want, word
+
+
+def test_two_way_actually_reverses():
+    # the palindrome automaton visits positions in both directions
+    pal = palindrome_automaton(["a", "b"])
+    result = run_two_way(pal, list("aba"))
+    assert result.steps > 2 * 3  # more than one sweep
+
+
+def test_input_validation():
+    m = multiple_of_automaton(2)
+    with pytest.raises(TwoWayError):
+        run_two_way(m, [LEFT_MARK])
+    with pytest.raises(TwoWayError):
+        run_two_way(m, ["z"])
+
+
+def test_rejects_on_stuck_and_reports():
+    dfa = TwoWayDFA(
+        states=frozenset({"s", "acc"}),
+        alphabet=frozenset({"a"}),
+        transitions=((("s", LEFT_MARK), ("s", GO_RIGHT)),),
+        initial="s",
+        finals=frozenset({"acc"}),
+    )
+    result = run_two_way(dfa, ["a"])
+    assert not result.accepted and "stuck" in result.reason
+
+
+def test_cycle_detection():
+    dfa = TwoWayDFA(
+        states=frozenset({"s"}),
+        alphabet=frozenset({"a"}),
+        transitions=((("s", LEFT_MARK), ("s", GO_STAY)),),
+        initial="s",
+        finals=frozenset(),
+    )
+    result = run_two_way(dfa, ["a"])
+    assert not result.accepted and "cycle" in result.reason
+
+
+def test_duplicate_transition_rejected():
+    with pytest.raises(TwoWayError):
+        TwoWayDFA(
+            states=frozenset({"s"}),
+            alphabet=frozenset({"a"}),
+            transitions=(
+                (("s", "a"), ("s", GO_RIGHT)),
+                (("s", "a"), ("s", GO_STAY)),
+            ),
+            initial="s",
+            finals=frozenset(),
+        )

@@ -1,0 +1,132 @@
+"""Caterpillar expressions ([7]): parsing, walking, relations."""
+
+import pytest
+
+from repro.caterpillar import (
+    CaterpillarSyntaxError,
+    Epsilon,
+    LabelTest,
+    Move,
+    Star,
+    compile_caterpillar,
+    matches,
+    parse_caterpillar,
+    relation,
+    walk,
+)
+from repro.caterpillar import Test as CatTest
+from repro.trees import leaves, parse_term, random_tree
+from repro.xpath import parse_xpath, select
+
+
+@pytest.fixture
+def doc():
+    return parse_term("a(b(c, d), e(f))")
+
+
+# -- parsing ----------------------------------------------------------------------
+
+
+def test_parse_atoms():
+    assert parse_caterpillar("up") == Move("up")
+    assert parse_caterpillar("isLeaf") == CatTest("isLeaf")
+    assert parse_caterpillar("<dept>") == LabelTest("dept")
+    assert parse_caterpillar("eps") == Epsilon()
+
+
+def test_parse_postfix():
+    assert isinstance(parse_caterpillar("down*"), Star)
+    plus_expr = parse_caterpillar("down+")
+    assert repr(plus_expr) == "down down*"
+    opt = parse_caterpillar("down?")
+    assert "ε" in repr(opt)
+
+
+def test_parse_precedence():
+    # sequencing binds tighter than alternation
+    expr = parse_caterpillar("up | down right")
+    text = repr(expr)
+    assert "up" in text and "down right" in text
+
+
+@pytest.mark.parametrize("bad", ["", "side", "(up", "<a", "up )", "*", "| up"])
+def test_parse_errors(bad):
+    with pytest.raises(CaterpillarSyntaxError):
+        parse_caterpillar(bad)
+
+
+# -- walking -----------------------------------------------------------------------
+
+
+def test_walk_moves(doc):
+    assert walk(parse_caterpillar("down"), doc, ()) == ((0,),)
+    assert walk(parse_caterpillar("down right"), doc, ()) == ((1,),)
+    assert walk(parse_caterpillar("up"), doc, (0, 1)) == ((0,),)
+    assert walk(parse_caterpillar("left"), doc, (0, 1)) == ((0, 0),)
+    assert walk(parse_caterpillar("up"), doc, ()) == ()
+
+
+def test_walk_tests(doc):
+    assert walk(parse_caterpillar("isRoot"), doc, ()) == ((),)
+    assert walk(parse_caterpillar("isRoot"), doc, (0,)) == ()
+    assert walk(parse_caterpillar("isLeaf"), doc, (0, 0)) == ((0, 0),)
+    assert walk(parse_caterpillar("<b>"), doc, (0,)) == ((0,),)
+    assert walk(parse_caterpillar("<z>"), doc, (0,)) == ()
+
+
+def test_walk_to_root_from_anywhere(doc):
+    expr = parse_caterpillar("up* isRoot")
+    for u in doc.nodes:
+        assert walk(expr, doc, u) == ((),)
+
+
+def test_walk_all_leaves(doc):
+    expr = parse_caterpillar("(down | right)* isLeaf")
+    assert walk(expr, doc, ()) == leaves(doc)
+
+
+def test_walk_last_child(doc):
+    expr = parse_caterpillar("down right* isLast")
+    assert walk(expr, doc, ()) == ((1,),)
+    assert walk(expr, doc, (0,)) == ((0, 1),)
+
+
+def test_star_includes_epsilon(doc):
+    assert () in set(walk(parse_caterpillar("up*"), doc, ()))
+    assert walk(parse_caterpillar("eps"), doc, (0,)) == ((0,),)
+
+
+def test_walk_agrees_with_xpath_descendants():
+    """(down (right)*)+ reaches exactly the proper descendants."""
+    cat = parse_caterpillar("(down right*)+")
+    for seed in range(6):
+        t = random_tree(10, alphabet=("a", "b"), seed=seed)
+        xp = parse_xpath(".//*")
+        for u in t.nodes:
+            got = set(walk(cat, t, u))
+            want = {v for v in t.nodes if t.descendant(u, v)}
+            assert got == want, (seed, u)
+
+
+def test_relation_and_matches(doc):
+    rel = relation(parse_caterpillar("down"), doc)
+    assert ((), (0,)) in rel
+    assert ((0,), (0, 0)) in rel
+    assert (((0, 0), (0,))) not in rel
+    assert matches(parse_caterpillar("down down isLeaf"), doc)
+    assert not matches(parse_caterpillar("down down down"), doc)
+
+
+def test_nfa_is_small():
+    nfa = compile_caterpillar(parse_caterpillar("(down | right)* isLeaf"))
+    assert nfa.state_count < 20
+
+
+def test_caterpillar_expresses_even_spine():
+    """(down down)* isLeaf from the root: the leftmost spine has even
+    length — caterpillars count modulo constants, like all walkers."""
+    expr = parse_caterpillar("(down down)* isLeaf")
+    even_chain = parse_term("a(a(a))")     # spine of 3 nodes: 2 moves
+    odd_chain = parse_term("a(a)")
+    assert matches(expr, even_chain)
+    assert not matches(expr, odd_chain)

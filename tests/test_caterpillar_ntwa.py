@@ -1,0 +1,64 @@
+"""Caterpillar → NTWA compilation: [7] embeds into the TWA model."""
+
+import pytest
+
+from repro.automata.nondet import ntwa_accepts, reachable_configurations
+from repro.caterpillar import caterpillar_to_ntwa, parse_caterpillar, walk
+from repro.trees import all_trees, parse_term, random_tree
+
+EXPRESSIONS = [
+    "up",
+    "down",
+    "(down | right)* isLeaf",
+    "up* isRoot",
+    "down right* isLast",
+    "<δ> down",
+    "(down down)* isLeaf",
+    "down+ <σ>",
+    "eps",
+    "isRoot | down",
+    "left? right?",
+]
+
+
+@pytest.mark.parametrize("text", EXPRESSIONS)
+def test_compiled_ntwa_agrees_with_walk(text):
+    expr = parse_caterpillar(text)
+    ntwa = caterpillar_to_ntwa(expr)
+    for seed in range(5):
+        tree = random_tree(1 + seed * 2, alphabet=("σ", "δ"), seed=seed)
+        for start in tree.nodes:
+            assert ntwa_accepts(ntwa, tree, start=start) == bool(
+                walk(expr, tree, start)
+            ), (text, seed, start)
+
+
+def test_compiled_ntwa_exhaustive_small():
+    expr = parse_caterpillar("(down | right)* <δ> isLeaf")
+    ntwa = caterpillar_to_ntwa(expr)
+    for tree in all_trees(3, ("σ", "δ")):
+        want = bool(walk(expr, tree, ()))
+        assert ntwa_accepts(ntwa, tree) == want, tree
+
+
+def test_compiled_size_is_linear_in_expression():
+    small = caterpillar_to_ntwa(parse_caterpillar("down"))
+    large = caterpillar_to_ntwa(parse_caterpillar("(down | right)* isLeaf up*"))
+    assert len(small.states) < len(large.states) < 40
+
+
+def test_configurations_stay_linear():
+    ntwa = caterpillar_to_ntwa(parse_caterpillar("(down | right)* isLeaf"))
+    for n in (8, 16, 32):
+        tree = random_tree(n, seed=n)
+        assert reachable_configurations(ntwa, tree) <= n * len(ntwa.states)
+
+
+def test_semantics_of_fixed_cases():
+    tree = parse_term("σ(δ(σ), σ)")
+    assert ntwa_accepts(
+        caterpillar_to_ntwa(parse_caterpillar("down <δ> down isLeaf")), tree
+    )
+    assert not ntwa_accepts(
+        caterpillar_to_ntwa(parse_caterpillar("down <δ> down down")), tree
+    )

@@ -1,0 +1,107 @@
+"""CLI tests (python -m repro …)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def doc_file(tmp_path):
+    path = tmp_path / "doc.term"
+    path.write_text(
+        'catalog(dept(item[cur="EUR"], item[cur="EUR"]), dept(item[cur="USD"]))'
+    )
+    return str(path)
+
+
+@pytest.fixture
+def xml_file(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text('<a><b cur="EUR"/><b cur="EUR"/></a>')
+    return str(path)
+
+
+def test_info(doc_file, capsys):
+    assert main(["info", doc_file]) == 0
+    out = capsys.readouterr().out
+    assert "nodes:      6" in out
+    assert "cur" in out
+
+
+def test_info_xml(xml_file, capsys):
+    assert main(["info", xml_file]) == 0
+    assert "nodes:      3" in capsys.readouterr().out
+
+
+def test_query_xpath(doc_file, capsys):
+    assert main(["query", doc_file, "--xpath", "catalog//item"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines == ["1.1", "1.2", "2.1"]
+
+
+def test_query_ask(doc_file, capsys):
+    assert main(["query", doc_file, "--ask", 'exists x val_cur(x) = "USD"']) == 0
+    assert capsys.readouterr().out.strip() == "true"
+    assert main(["query", doc_file, "--ask", 'exists x val_cur(x) = "GBP"']) == 1
+
+
+def test_query_select(doc_file, capsys):
+    assert main(["query", doc_file, "--select", "x << y & O_dept(y)"]) == 0
+    assert capsys.readouterr().out.strip().splitlines() == ["1", "2"]
+
+
+def test_run_listing(capsys):
+    assert main(["run", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "example-3.2" in out and "even-leaves" in out
+
+
+def test_run_automaton(doc_file, capsys):
+    assert main(["run", doc_file, "even-leaves"]) == 1  # 3 leaves: odd
+    assert capsys.readouterr().out.strip() == "reject"
+    assert main(["run", doc_file, "all-values-same"]) == 1
+
+
+def test_run_unknown(doc_file, capsys):
+    assert main(["run", doc_file, "nope"]) == 2
+
+
+def test_transform(doc_file, capsys):
+    assert main(["transform", doc_file, "catalog-report"]) == 0
+    out = capsys.readouterr().out
+    assert "<report>" in out and "item-ref" in out
+
+
+def test_transform_listing(capsys):
+    assert main(["transform", "--list"]) == 0
+    assert "identity" in capsys.readouterr().out
+
+
+def test_protocol(capsys):
+    assert main(["protocol", "atp-all-same", "a,a", "a"]) == 0
+    out = capsys.readouterr().out
+    assert "TypeMessage" in out and "verdict: accept" in out
+    assert main(["protocol", "atp-all-same", "a", "b"]) == 1
+
+
+def test_protocol_listing(capsys):
+    assert main(["protocol", "--list"]) == 0
+    assert "walking-all-same" in capsys.readouterr().out
+
+
+def test_stdin(capsys, monkeypatch):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO("a(b, c)"))
+    assert main(["info", "-"]) == 0
+    assert "nodes:      3" in capsys.readouterr().out
+
+
+def test_protocol_program_file(tmp_path, capsys):
+    from repro.automata.textformat import serialize_automaton
+    from repro.protocol.programs import atp_all_same
+
+    path = tmp_path / "program.tw"
+    path.write_text(serialize_automaton(atp_all_same()))
+    assert main(["protocol", "x", "a,a", "a", "--program-file", str(path)]) == 0
+    assert "verdict: accept" in capsys.readouterr().out

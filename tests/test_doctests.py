@@ -1,0 +1,24 @@
+"""Run the doctests embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.caterpillar
+import repro.pebbleautomata
+import repro.queries.facade
+import repro.transducer
+
+MODULES = [
+    repro.caterpillar,
+    repro.pebbleautomata,
+    repro.queries.facade,
+    repro.transducer,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, attempted = doctest.testmod(module)
+    assert attempted > 0, f"{module.__name__} lost its doctest examples"
+    assert failures == 0

@@ -1,0 +1,204 @@
+"""Hypersets, encodings, L^m, counting (Section 4)."""
+
+import random
+
+import pytest
+
+from repro.hypersets import (
+    EncodingError,
+    Hyperset,
+    HypersetError,
+    Tower,
+    all_hypersets,
+    count_hypersets,
+    crossover,
+    decode,
+    delta_bound,
+    dialogue_bound,
+    encode,
+    exp_tower,
+    hyperset_tower,
+    in_lm,
+    is_marker,
+    lm_word,
+    random_hyperset,
+    split_encoding,
+)
+from repro.trees.strings import HASH
+
+
+# -- hypersets -----------------------------------------------------------------------
+
+
+def test_level_one():
+    h = Hyperset.of_values([1, "a", 1])
+    assert h.level == 1 and len(h) == 2
+    assert h.values() == frozenset({1, "a"})
+
+
+def test_nesting():
+    inner = Hyperset.of_values(["x"])
+    outer = Hyperset.of_sets([inner])
+    assert outer.level == 2
+    assert outer.values() == frozenset({"x"})
+
+
+def test_level_mismatch_rejected():
+    lvl1 = Hyperset.of_values([1])
+    lvl2 = Hyperset.of_sets([lvl1])
+    with pytest.raises(HypersetError):
+        Hyperset(2, frozenset({lvl2}))
+    with pytest.raises(HypersetError):
+        Hyperset(1, frozenset({lvl1}))
+
+
+def test_empty_needs_explicit_level():
+    with pytest.raises(HypersetError):
+        Hyperset.of_sets([])
+    empty = Hyperset(3, frozenset())
+    assert empty.level == 3 and len(empty) == 0
+
+
+def test_all_hypersets_counts():
+    assert len(all_hypersets(1, ["a", "b"])) == 4
+    assert len(all_hypersets(2, ["a"])) == 4  # 2^(2^1)
+    assert len(all_hypersets(2, ["a", "b"])) == 16
+
+
+def test_random_hyperset_level():
+    rng = random.Random(1)
+    h = random_hyperset(3, ["a", "b"], rng)
+    assert h.level == 3
+
+
+# -- encodings ------------------------------------------------------------------------
+
+
+def test_encode_level1():
+    assert encode(Hyperset.of_values(["a", "b"])) == [1, "a", "b"]
+    assert encode(Hyperset.of_values([])) == [1]
+
+
+def test_encode_level2():
+    h = Hyperset.of_sets([Hyperset.of_values(["x"]), Hyperset.of_values([])])
+    # canonical order is by repr; both segments appear exactly once
+    assert encode(h) in ([2, 1, 2, 1, "x"], [2, 1, "x", 2, 1])
+    assert decode(encode(h), 2) == h
+
+
+def test_roundtrip_exhaustive():
+    for level in (1, 2):
+        for h in all_hypersets(level, ["a", "b"]):
+            assert decode(encode(h), level) == h
+
+
+def test_roundtrip_random_level3():
+    rng = random.Random(7)
+    for _ in range(25):
+        h = random_hyperset(3, ["a", "b"], rng)
+        assert decode(encode(h), 3) == h
+
+
+def test_decode_tolerates_reorderings_and_duplicates():
+    # {a,b} as "1 b a" and {{a}} as "2 1a 2 1a"
+    assert decode([1, "b", "a"], 1) == Hyperset.of_values(["a", "b"])
+    h = decode([2, 1, "a", 2, 1, "a"], 2)
+    assert h == Hyperset.of_sets([Hyperset.of_values(["a"])])
+
+
+def test_markers_excluded_from_domain():
+    with pytest.raises(EncodingError):
+        encode(Hyperset.of_values([1, "a"]))  # 1 is the level-1 marker
+    assert is_marker(2, 3) and not is_marker(4, 3) and not is_marker("2", 3)
+
+
+def test_decode_errors():
+    with pytest.raises(EncodingError):
+        decode(["a"], 1)       # missing marker
+    with pytest.raises(EncodingError):
+        decode([], 1)          # empty level-1
+    with pytest.raises(EncodingError):
+        decode([2, 2], 2)      # marker 2 followed by no level-1 encoding
+    with pytest.raises(EncodingError):
+        decode([1, "a", HASH], 1)  # hash inside
+
+
+def test_empty_string_is_empty_hyperset_at_level2():
+    assert decode([], 2) == Hyperset(2, frozenset())
+
+
+# -- L^m ----------------------------------------------------------------------------------
+
+
+def test_lm_word_and_membership():
+    f = Hyperset.of_sets([Hyperset.of_values(["a"])])
+    g = Hyperset.of_sets([Hyperset.of_values(["a"]), Hyperset.of_values(["a"])])
+    word = lm_word(f, g)
+    assert in_lm(word, 2)  # duplicate elements collapse
+    g2 = Hyperset.of_sets([Hyperset.of_values(["b"])])
+    assert not in_lm(lm_word(f, g2), 2)
+
+
+def test_lm_rejects_malformed():
+    assert not in_lm([1, "a"], 1)                 # no hash
+    assert not in_lm([1, "a", HASH, "a"], 1)      # g missing its marker
+    assert not in_lm([HASH, 1, "a"], 1)           # f empty at level 1
+
+
+def test_lm_level_mismatch():
+    f = Hyperset.of_values(["a"])
+    g = Hyperset.of_sets([Hyperset.of_values(["a"])])
+    with pytest.raises(HypersetError):
+        lm_word(f, g)
+
+
+def test_split_encoding():
+    f, g = split_encoding([1, "a", HASH, 1, "b"])
+    assert f == [1, "a"] and g == [1, "b"]
+    with pytest.raises(EncodingError):
+        split_encoding([1, "a"])
+
+
+# -- counting -------------------------------------------------------------------------------
+
+
+def test_exp_tower():
+    assert exp_tower(0, 5) == 5
+    assert exp_tower(1, 3) == 8
+    assert exp_tower(2, 2) == 16
+    with pytest.raises(ValueError):
+        exp_tower(-1, 2)
+
+
+def test_count_matches_enumeration():
+    assert count_hypersets(1, 2) == len(all_hypersets(1, ["a", "b"]))
+    assert count_hypersets(2, 2) == len(all_hypersets(2, ["a", "b"]))
+
+
+def test_tower_comparisons():
+    assert Tower.of(100) < Tower(1, 10)
+    assert Tower(2, 4) < Tower(3, 4)
+    assert Tower(3, 4) < Tower(3, 5)
+    assert not (Tower(3, 5) < Tower(3, 5))
+    # normalisation: exp_0(2^20) has height >= 1 in normal form
+    assert Tower.of(2.0**20).normalized().height == 1
+
+
+def test_tower_log_exp_inverse():
+    t = Tower(3, 7.5)
+    assert t.log2().exp2().normalized() == t.normalized()
+
+
+def test_dialogue_bound_dominates_delta():
+    assert delta_bound(4, 8) < dialogue_bound(4, 8)
+
+
+def test_crossover_exists_and_is_stable():
+    report = crossover(n=4, d=8, max_m=10)
+    assert report.crossover_m is not None
+    # once the hypersets win they keep winning (towers grow with m)
+    winning = [win for _m, _h, _d, win in report.rows]
+    first = winning.index(True)
+    assert all(winning[first:])
+    # the paper's safe bound: by m = 7 at the latest for reasonable p
+    assert report.crossover_m <= 7

@@ -1,0 +1,82 @@
+"""Lemma 4.2: the generated FO sentence defines L^m."""
+
+import itertools
+
+import pytest
+
+from repro.hypersets import in_lm, lm_formula, well_formedness
+from repro.logic import evaluate
+from repro.logic.tree_fo import Forall, subformulas
+from repro.trees.strings import HASH, string_tree
+
+
+def exhaustive_check(m, sigma, max_len):
+    mismatches = []
+    for length in range(1, max_len + 1):
+        for word in itertools.product(sigma, repeat=length):
+            if word.count(HASH) != 1:
+                continue
+            want = in_lm(list(word), m)
+            got = evaluate(lm_formula(m), string_tree(list(word)))
+            if want != got:
+                mismatches.append((word, want, got))
+    return mismatches
+
+
+def test_m1_exhaustive():
+    assert exhaustive_check(1, (1, "a", "b", HASH), 5) == []
+
+
+def test_m2_exhaustive():
+    assert exhaustive_check(2, (1, 2, "a", HASH), 6) == []
+
+
+def test_m2_with_two_values():
+    assert exhaustive_check(2, (1, 2, "a", "b", HASH), 5) == []
+
+
+def test_m2_positive_instances():
+    f2 = lm_formula(2)
+    # {{a}} = {{a},{a}} (duplicate encodings)
+    word = [2, 1, "a", HASH, 2, 1, "a", 2, 1, "a"]
+    assert in_lm(word, 2)
+    assert evaluate(f2, string_tree(word))
+    # {{a},{}} ≠ {{a}}
+    word = [2, 1, "a", 2, 1, HASH, 2, 1, "a"]
+    assert not in_lm(word, 2)
+    assert not evaluate(f2, string_tree(word))
+
+
+def test_m3_spot_checks():
+    f3 = lm_formula(3)
+    same = [3, 2, 1, "a", HASH, 3, 2, 1, "a"]
+    assert in_lm(same, 3) and evaluate(f3, string_tree(same))
+    diff = [3, 2, 1, "a", HASH, 3, 2, 1, "b"]
+    assert not in_lm(diff, 3) and not evaluate(f3, string_tree(diff))
+    reordered = [3, 2, 1, "a", 2, 1, "b", HASH, 3, 2, 1, "b", 2, 1, "a"]
+    assert in_lm(reordered, 3) and evaluate(f3, string_tree(reordered))
+
+
+def test_well_formedness_alone():
+    wf1 = well_formedness(1)
+    assert evaluate(wf1, string_tree([1, "a", HASH, 1, "a"]))
+    # a stray interior 1-marker is ill-formed at m = 1
+    assert not evaluate(wf1, string_tree([1, "a", 1, HASH, 1])
+                        )
+    assert not evaluate(wf1, string_tree([1, 1, HASH, 1]))
+
+
+def test_formula_is_fo():
+    # the sentence quantifies universally — genuinely FO, not FO(∃*)
+    f = lm_formula(2)
+    assert any(isinstance(s, Forall) for s in subformulas(f))
+
+
+def test_formula_size_grows_with_m():
+    sizes = [sum(1 for _ in subformulas(lm_formula(m))) for m in (1, 2, 3)]
+    assert sizes[0] < sizes[1] < sizes[2]
+
+
+def test_bad_m():
+    with pytest.raises(ValueError):
+        lm_formula(0)

@@ -1,0 +1,171 @@
+"""Cross-module integration: the paper's storyline end to end.
+
+Each test stitches several subsystems together the way the paper does:
+XPath → FO(∃*) → atp selectors; Example 3.2 vs its FO spec; the four
+evaluation strategies agreeing on one automaton; walking vs hedge
+automata vs alternating machines on the same language; the protocol vs
+the runner.
+"""
+
+import pytest
+
+from tests.conftest import tree_family
+
+from repro import TreeDatabase
+from repro.automata import AutomatonBuilder, STAY, accepts
+from repro.automata.examples import (
+    all_leaves_same_spec,
+    all_leaves_same_twrl,
+    example_32,
+    example_32_fo_spec,
+    example_32_spec,
+)
+from repro.logic import evaluate
+from repro.machines import run_alternating, exists_leaf_value_alt
+from repro.mso import exists_label_hedge, leaf_count_mod_hedge, run_extended, walker_from_hedge
+from repro.protocol import protocol_agrees_with_run
+from repro.protocol.programs import atp_all_same
+from repro.simulation import evaluate_memo, evaluate_twr_chain
+from repro.store.fo import Var, eq, exists as fo_exists, rel
+from repro.trees import delim, parse_term, random_tree
+from repro.xpath import compile_xpath, parse_xpath
+
+z = Var("z")
+FAMILY = tree_family(count=10, max_size=12)
+
+
+# -- XPath selectors inside automata -----------------------------------------------------
+
+
+def xpath_driven_automaton(expression: str, value) -> "TWAutomaton":
+    """An automaton whose atp selector comes from compiled XPath:
+    accepts iff some node selected by ``expression`` (from the root)
+    carries attribute a = value."""
+    b = AutomatonBuilder(f"xpath[{expression}]", register_arities=[1])
+    b.atp("q0", "q1", compile_xpath(parse_xpath(expression)),
+          substate="rep", register=1)
+    b.move("q1", "qF", STAY,
+           guard=fo_exists(z, rel(1, z)) if value is None
+           else rel(1, value))
+    from repro.store.fo import Attr
+
+    b.update("rep", "done", 1, eq(z, Attr("a")), [z])
+    b.move("done", "qF", STAY)
+    return b.build(initial="q0", final="qF")
+
+
+def test_xpath_selector_in_automaton():
+    t = parse_term("σ[a=1](δ[a=2](σ[a=3]), σ[a=4])")
+    a = xpath_driven_automaton("σ//δ", 2)
+    assert accepts(a, t)
+    assert not accepts(xpath_driven_automaton("σ//δ", 9), t)
+    # σ/σ selects the a=4 child only
+    assert accepts(xpath_driven_automaton("σ/σ", 4), t)
+    assert not accepts(xpath_driven_automaton("σ/σ", 3), t)
+
+
+@pytest.mark.parametrize("tree", FAMILY[:6], ids=lambda t: f"n{t.size}")
+def test_xpath_automaton_agrees_with_direct_evaluation(tree):
+    expression = "σ//δ"
+    a = xpath_driven_automaton(expression, 2)
+    from repro.xpath import select
+
+    selected = select(parse_xpath(expression), tree, ())
+    want = any(tree.val("a", v) == 2 for v in selected)
+    assert accepts(a, tree) == want
+
+
+# -- Example 3.2: automaton ≡ FO ≡ Python spec ---------------------------------------------
+
+
+@pytest.mark.parametrize("tree", FAMILY[:8], ids=lambda t: f"n{t.size}")
+def test_example_32_three_ways(tree):
+    by_automaton = accepts(example_32(), delim(tree))
+    by_fo = evaluate(example_32_fo_spec(), tree)
+    by_python = example_32_spec(tree)
+    assert by_automaton == by_fo == by_python
+
+
+# -- one automaton, four evaluators ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_evaluators_agree(tree):
+    a = all_leaves_same_twrl()
+    runner = accepts(a, tree)
+    memo = evaluate_memo(a, tree).accepted
+    spec = all_leaves_same_spec()(tree)
+    assert runner == memo == spec
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_chain_evaluator_agrees(tree):
+    from repro.automata.examples import all_values_same_twr
+
+    a = all_values_same_twr()
+    assert evaluate_twr_chain(a, tree).accepted == accepts(a, tree)
+
+
+# -- same language, three machine models -------------------------------------------------------
+
+
+@pytest.mark.parametrize("tree", FAMILY[:8], ids=lambda t: f"n{t.size}")
+def test_exists_delta_three_models(tree):
+    """'some δ-labelled node exists' via hedge automaton, look-ahead
+    walker, and a tw automaton."""
+    want = any(tree.label(u) == "δ" for u in tree.nodes)
+    hedge = exists_label_hedge(("σ", "δ"), "δ")
+    assert hedge.accepts(tree) == want
+    assert run_extended(walker_from_hedge(hedge), tree) == want
+    # tw: DFS searching for the label
+    from repro.automata.examples import (
+        _add_dfs_backtrack, AT_INNER, AT_LEAF,
+    )
+    from repro.automata.rules import DOWN, PositionTest
+
+    b = AutomatonBuilder("find-δ")
+    b.move("fwd", "qF", STAY, label="δ")
+    b.move("fwd", "back", STAY, label="σ", position=AT_LEAF)
+    b.move("fwd", "fwd", DOWN, label="σ", position=AT_INNER)
+    _add_dfs_backtrack(b, "fwd", "back")
+    a = b.build(initial="fwd", final="qF")
+    assert accepts(a, tree) == want
+
+
+@pytest.mark.parametrize("tree", FAMILY[:8], ids=lambda t: f"n{t.size}")
+def test_alternating_machine_agrees_with_hedge(tree):
+    """'some leaf has a = 1': alternating xTM vs direct check."""
+    want = any(
+        tree.val("a", u) == 1 for u in tree.nodes if tree.is_leaf(u)
+    )
+    assert run_alternating(exists_leaf_value_alt("a", 1), tree).accepted == want
+
+
+# -- protocol vs runner (the Lemma 4.5 bridge) ------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_protocol_matches_runner_on_fresh_strings(seed):
+    import random
+
+    rng = random.Random(seed + 100)
+    f = [rng.choice([1, 2]) for _ in range(rng.randint(1, 3))]
+    g = [rng.choice([1, 2]) for _ in range(rng.randint(1, 3))]
+    direct, proto, _result = protocol_agrees_with_run(atp_all_same(), f, g)
+    assert direct == proto
+
+
+# -- the facade ties it together -----------------------------------------------------------------
+
+
+def test_facade_full_story():
+    db = TreeDatabase.from_term(
+        "σ[a=1](δ[a=2](σ[a=7], σ[a=7]), δ[a=3](σ[a=7]))"
+    )
+    # XPath and its FO compilation agree
+    assert db.xpath("σ//δ") == db.xpath_as_fo("σ//δ").select(db.tree, ())
+    # Example 3.2 holds on this document
+    assert db.run_automaton(example_32(), delimited=True)
+    # leaf-count parity via a regular language
+    hedge = leaf_count_mod_hedge(("σ", "δ"), "σ", 3, [0])
+    assert db.matches_hedge(hedge)  # three σ leaves

@@ -1,0 +1,110 @@
+"""FO(∃*) fragment: membership, selectors, single-valuedness."""
+
+import pytest
+
+from repro.logic import tree_fo as T
+from repro.logic.exists_star import (
+    ExistsStarQuery,
+    FragmentError,
+    X,
+    Y,
+    children_selector,
+    descendants_selector,
+    descendants_with_label,
+    first_child_selector,
+    functional_selectors,
+    is_exists_star,
+    is_single_valued,
+    leaves_selector,
+    parent_selector,
+    selector,
+    self_selector,
+    strip_prefix,
+    variable_count,
+)
+from repro.trees import parse_term, random_tree
+
+z = T.NVar("z")
+
+
+def test_is_exists_star():
+    assert is_exists_star(T.exists([X, Y], T.Edge(X, Y)))
+    assert is_exists_star(T.Edge(X, Y))  # quantifier-free is fine
+    assert not is_exists_star(T.forall(X, T.Leaf(X)))
+    assert not is_exists_star(T.Exists(X, T.Forall(Y, T.Edge(X, Y))))
+    # quantifier inside the matrix breaks prenexness
+    assert not is_exists_star(T.conj(T.Exists(z, T.Leaf(z)), T.Leaf(X)))
+
+
+def test_negation_in_matrix_allowed():
+    assert is_exists_star(T.exists(z, T.Not(T.Label("a", z))))
+
+
+def test_strip_prefix():
+    prefix, matrix = strip_prefix(T.exists([X, z], T.Edge(X, z)))
+    assert prefix == [X, z]
+    assert isinstance(matrix, T.Edge)
+    with pytest.raises(FragmentError):
+        strip_prefix(T.forall(X, T.Leaf(X)))
+
+
+def test_query_rejects_extra_free_vars():
+    with pytest.raises(FragmentError):
+        selector(T.Edge(X, z))  # z free but not the designated pair
+
+
+def test_query_rejects_universals():
+    with pytest.raises(FragmentError):
+        selector(T.forall(z, T.Edge(X, Y)))
+
+
+def test_selector_select(small_tree):
+    q = descendants_with_label("item")
+    assert q.select(small_tree, ()) == ((0, 0), (0, 1), (1, 0))
+    assert q.select(small_tree, (0,)) == ((0, 0), (0, 1))
+    assert q.select(small_tree, (1, 0)) == ()
+
+
+def test_selector_holds(small_tree):
+    q = children_selector()
+    assert q.holds(small_tree, (), (0,))
+    assert not q.holds(small_tree, (), (0, 0))
+
+
+def test_stock_selectors(small_tree):
+    assert self_selector().select(small_tree, (0,)) == ((0,),)
+    assert parent_selector().select(small_tree, (0, 1)) == ((0,),)
+    assert parent_selector().select(small_tree, ()) == ()
+    assert first_child_selector().select(small_tree, ()) == ((0,),)
+    assert leaves_selector().select(small_tree, ()) == (
+        (0, 0), (0, 1), (1, 0),
+    )
+    assert descendants_selector().select(small_tree, (1,)) == ((1, 0),)
+
+
+def test_functional_selectors_single_valued():
+    for seed in range(5):
+        t = random_tree(8, seed=seed)
+        for q in functional_selectors():
+            assert is_single_valued(q, t)
+
+
+def test_children_selector_not_single_valued(small_tree):
+    assert not is_single_valued(children_selector(), small_tree)
+
+
+def test_selector_without_y(small_tree):
+    # φ(x, y) ≡ root(x): mentions only x — selects all or nothing
+    q = selector(T.Root(X))
+    assert q.select(small_tree, ()) == small_tree.nodes
+    assert q.select(small_tree, (0,)) == ()
+
+
+def test_variable_count():
+    q = T.exists([z], T.conj(T.Edge(X, z), T.Edge(z, Y)))
+    assert variable_count(q) == 3
+
+
+def test_query_size(small_tree):
+    q = descendants_with_label("item")
+    assert q.size() >= 3  # conj + two atoms

@@ -1,0 +1,122 @@
+"""Normal-form transformation tests (evaluation-preserving)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from tests.test_properties import trees
+
+from repro.logic import evaluate, parse_formula
+from repro.logic import tree_fo as T
+from repro.logic.normalform import (
+    expressible_in_exists_star,
+    is_prenex,
+    negation_normal_form,
+    prefix_of,
+    prenex_normal_form,
+    rename_apart,
+)
+from repro.trees import parse_term
+
+x, y, z = T.NVar("x"), T.NVar("y"), T.NVar("z")
+
+FORMULAS = [
+    "forall x (O_a(x) -> exists y E(x, y))",
+    "~exists x (leaf(x) & O_b(x))",
+    "exists x ~forall y (E(x, y) -> val_a(y) = 1)",
+    "forall x (root(x) <-> ~exists y E(y, x))",
+    "exists x (O_a(x) & ~(O_b(x) | leaf(x)))",
+    "forall x exists y (x << y | x = y)",
+    "~(true -> false)",
+    "exists x (val_a(x) = 1) & forall y (leaf(y) -> val_a(y) = 2)",
+]
+
+
+def no_implies_and_atomic_negation(formula):
+    for sub in T.subformulas(formula):
+        if isinstance(sub, T.Implies):
+            return False
+        if isinstance(sub, T.Not) and not T.is_atom(sub.inner):
+            return False
+    return True
+
+
+@pytest.mark.parametrize("text", FORMULAS)
+def test_nnf_shape(text):
+    nnf = negation_normal_form(parse_formula(text))
+    assert no_implies_and_atomic_negation(nnf)
+
+
+@pytest.mark.parametrize("text", FORMULAS)
+def test_pnf_shape(text):
+    pnf = prenex_normal_form(parse_formula(text))
+    assert is_prenex(pnf)
+
+
+@given(trees(), st.sampled_from(FORMULAS))
+@settings(max_examples=60, deadline=None)
+def test_transformations_preserve_truth(t, text):
+    original = parse_formula(text)
+    for transformed in (
+        negation_normal_form(original),
+        rename_apart(original),
+        prenex_normal_form(original),
+    ):
+        assert evaluate(transformed, t) == evaluate(original, t), text
+
+
+def test_rename_apart_removes_shadowing():
+    shadowed = T.Exists(x, T.And((T.Label("a", x),
+                                  T.Exists(x, T.Label("b", x)))))
+    renamed = rename_apart(shadowed)
+    bound = [v for _k, v in _all_quantified(renamed)]
+    assert len(bound) == len(set(bound))
+
+
+def _all_quantified(formula):
+    for sub in T.subformulas(formula):
+        if isinstance(sub, (T.Exists, T.Forall)):
+            yield ("q", sub.var)
+
+
+def test_rename_apart_keeps_free_variables():
+    formula = T.Exists(y, T.Edge(x, y))
+    renamed = rename_apart(formula)
+    assert T.free_variables(renamed) == frozenset({x})
+
+
+def test_prefix_of():
+    pnf = prenex_normal_form(
+        parse_formula("forall x exists y (E(x, y))")
+    )
+    kinds = [k for k, _v in prefix_of(pnf)]
+    assert kinds == ["forall", "exists"]
+
+
+def test_negation_swaps_quantifiers():
+    pnf = prenex_normal_form(parse_formula("~exists x leaf(x)"))
+    kinds = [k for k, _v in prefix_of(pnf)]
+    assert kinds == ["forall"]
+
+
+def test_expressible_in_exists_star():
+    assert expressible_in_exists_star(
+        parse_formula("exists x y (E(x, y) & O_a(x))")
+    )
+    # ¬∀ collapses to ∃¬: still existential
+    assert expressible_in_exists_star(
+        parse_formula("~forall x O_a(x)")
+    )
+    assert not expressible_in_exists_star(
+        parse_formula("forall x O_a(x)")
+    )
+
+
+def test_pnf_of_fragment_formulas_reusable_as_selectors():
+    from repro.logic.exists_star import ExistsStarQuery
+
+    formula = parse_formula("~forall z (~E(x, z) | ~(z = y))")  # ≡ E(x,y)-ish
+    pnf = prenex_normal_form(formula)
+    query = ExistsStarQuery(pnf, x, y)
+    t = parse_term("a(b, c)")
+    assert query.select(t, ()) == ((0,), (1,))

@@ -1,0 +1,130 @@
+"""FO text-syntax parser tests."""
+
+import pytest
+
+from repro.logic import evaluate, parse_formula, parse_query, parse_sentence
+from repro.logic.parser import FormulaSyntaxError
+from repro.logic import tree_fo as T
+from repro.trees import parse_term
+
+
+@pytest.fixture
+def doc():
+    return parse_term(
+        'catalog(dept(item[cur="EUR"], item[cur="EUR"]), dept(item[cur="USD"]))'
+    )
+
+
+@pytest.mark.parametrize(
+    "text,want",
+    [
+        ("true", True),
+        ("false", False),
+        ("~false", True),
+        ('exists x val_cur(x) = "USD"', True),
+        ('exists x val_cur(x) = "GBP"', False),
+        ("forall x (O_dept(x) -> exists y (E(x, y) & O_item(y)))", True),
+        ("forall x (leaf(x) -> O_item(x))", True),
+        ("exists x y (x << y & O_item(y) & root(x))", True),
+        ("exists x y (x < y & O_dept(x) & O_dept(y))", True),
+        ("exists x y succ(x, y)", True),
+        ("exists x y (~x = y & val_cur(x) = val_cur(y))", True),
+        ('forall x (O_item(x) -> val_cur(x) = "EUR" | val_cur(x) = "USD")', True),
+        ("forall x exists y x = y", True),
+        ("exists x (first(x) & last(x))", True),  # the lone USD item
+        ("exists x (root(x) <-> O_catalog(x))", True),
+    ],
+)
+def test_parse_and_evaluate(doc, text, want):
+    assert evaluate(parse_formula(text), doc) == want
+
+
+def test_unicode_connectives(doc):
+    assert evaluate(parse_formula("∀x (O_item(x) → ∃y E(y, x))"), doc)
+    assert evaluate(parse_formula("∃x ¬O_item(x)"), doc)
+    assert evaluate(parse_formula("∃x y (x ≺ y ∧ O_item(y))"), doc)
+
+
+def test_integer_constants():
+    t = parse_term("n[k=5](m[k=-3])")
+    assert evaluate(parse_formula("exists x val_k(x) = 5"), t)
+    assert evaluate(parse_formula("exists x val_k(x) = -3"), t)
+    assert not evaluate(parse_formula("exists x val_k(x) = 4"), t)
+
+
+def test_string_escapes():
+    t = parse_term("n").with_attribute("s", {(): 'say "hi"'})
+    assert evaluate(parse_formula(r'exists x val_s(x) = "say \"hi\""'), t)
+
+
+def test_comments_and_whitespace(doc):
+    text = """
+        forall x (          -- every department
+            O_dept(x) ->    -- has an item child
+            exists y (E(x, y) & O_item(y))
+        )
+    """
+    assert evaluate(parse_formula(text), doc)
+
+
+def test_precedence_and_binds_tighter_than_or():
+    # a | b & c parses as a | (b & c)
+    f = parse_formula("false | true & true")
+    assert isinstance(f, T.Or)
+
+
+def test_implies_right_associative():
+    f = parse_formula("false -> false -> false")
+    # false -> (false -> false) ≡ true
+    assert evaluate(f, parse_term("n"))
+
+
+def test_parse_sentence_rejects_free_variables():
+    with pytest.raises(Exception):
+        parse_sentence("E(x, y)")
+
+
+def test_parse_query(doc):
+    q = parse_query("x << y & O_item(y)")
+    assert q.select(doc, ()) == ((0, 0), (0, 1), (1, 0))
+    assert q.select(doc, (0,)) == ((0, 0), (0, 1))
+
+
+def test_parse_query_fragment_checked():
+    with pytest.raises(Exception):
+        parse_query("forall z E(x, z)")  # universal: not FO(∃*)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "", "exists x (", "x ==", "forall (x)", "val_(x) = 1",
+        "x y", "E(x)", "O_(x)", "exists", "(true", "true)",
+        'val_a(x) = "unterminated',
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(FormulaSyntaxError):
+        parse_formula(bad)
+
+
+def test_roundtrip_through_ast(doc):
+    # parse, evaluate, and compare against the hand-built AST
+    x, y = T.NVar("x"), T.NVar("y")
+    hand = T.forall(x, T.implies(T.Label("dept", x),
+                                 T.exists(y, T.conj(T.Edge(x, y),
+                                                    T.Label("item", y)))))
+    parsed = parse_formula(
+        "forall x (O_dept(x) -> exists y (E(x, y) & O_item(y)))"
+    )
+    for tree in (doc, parse_term("catalog(dept)")):
+        assert evaluate(hand, tree) == evaluate(parsed, tree)
+
+
+def test_facade_ask_and_select_where(doc):
+    from repro import TreeDatabase
+
+    db = TreeDatabase(doc)
+    assert db.ask('exists x val_cur(x) = "USD"')
+    assert not db.ask("forall x O_item(x)")
+    assert db.select_where("x << y & O_dept(y)") == ((0,), (1,))

@@ -1,0 +1,106 @@
+"""FO over τ_{Σ,A}: atoms, connectives, quantifiers, model checking."""
+
+import pytest
+
+from repro.logic import tree_fo as T
+from repro.logic import evaluate, free_variables, satisfying_assignments
+from repro.logic.tree_fo import NVar, TreeFormulaError
+from repro.trees import parse_term
+
+x, y, v = NVar("x"), NVar("y"), NVar("v")
+
+
+def test_label_atom(small_tree):
+    f = T.exists(x, T.Label("dept", x))
+    assert evaluate(f, small_tree)
+    assert not evaluate(T.exists(x, T.Label("zzz", x)), small_tree)
+
+
+def test_edge_vs_descendant(small_tree):
+    child = T.exists([x, y], T.conj(T.Label("catalog", x), T.Edge(x, y),
+                                    T.Label("item", y)))
+    desc = T.exists([x, y], T.conj(T.Label("catalog", x), T.Desc(x, y),
+                                   T.Label("item", y)))
+    assert not evaluate(child, small_tree)  # items are grandchildren
+    assert evaluate(desc, small_tree)
+
+
+def test_sibling_order(small_tree):
+    f = T.exists([x, y], T.conj(T.SibLess(x, y), T.Label("dept", x),
+                                T.Label("dept", y)))
+    assert evaluate(f, small_tree)
+
+
+def test_val_const_and_val_eq(small_tree):
+    f = T.exists(x, T.ValConst("cur", x, "USD"))
+    assert evaluate(f, small_tree)
+    g = T.exists([x, y], T.conj(T.Not(T.NodeEq(x, y)),
+                                T.ValEq("cur", x, "cur", y)))
+    assert evaluate(g, small_tree)  # the two EUR items
+
+
+def test_paper_example_sentence():
+    # ∀x (val_a(x) = d ∨ val_a(x) = val_b(x)) — the §2.2 example
+    t = parse_term("r[a=5, b=5](n[a=9, b=9], n[a=5, b=1])")
+    f = T.forall(x, T.disj(T.ValConst("a", x, 5), T.ValEq("a", x, "b", x)))
+    assert evaluate(f, t)
+    t2 = parse_term("r[a=5, b=5](n[a=9, b=8])")
+    assert not evaluate(f, t2)
+
+
+def test_extra_predicates(small_tree):
+    assert evaluate(T.exists(x, T.conj(T.Root(x), T.Label("catalog", x))),
+                    small_tree)
+    assert evaluate(T.forall(x, T.implies(T.Leaf(x), T.Label("item", x))),
+                    small_tree)
+    first_and_last = T.exists(x, T.conj(T.First(x), T.Last(x)))
+    assert evaluate(first_and_last, small_tree)  # the lone USD item
+    succ = T.exists([x, y], T.conj(T.Succ(x, y), T.Label("dept", x)))
+    assert evaluate(succ, small_tree)
+
+
+def test_quantifier_shadowing():
+    t = parse_term("a(b)")
+    # ∃x (Label_a(x) ∧ ∃x Label_b(x)) — inner x shadows outer
+    f = T.Exists(x, T.And((T.Label("a", x), T.Exists(x, T.Label("b", x)))))
+    assert evaluate(f, t)
+
+
+def test_free_variables():
+    f = T.Exists(x, T.conj(T.Edge(x, y), T.Label("a", x)))
+    assert free_variables(f) == frozenset({y})
+    assert free_variables(T.forall([x, y], T.Edge(x, y))) == frozenset()
+
+
+def test_unbound_variable_raises(small_tree):
+    with pytest.raises(TreeFormulaError):
+        evaluate(T.Edge(x, y), small_tree)
+
+
+def test_explicit_assignment(small_tree):
+    f = T.Label("dept", x)
+    assert evaluate(f, small_tree, {x: (0,)})
+    assert not evaluate(f, small_tree, {x: ()})
+
+
+def test_satisfying_assignments(small_tree):
+    f = T.conj(T.Edge(x, y), T.Label("dept", y))
+    got = satisfying_assignments(f, small_tree, [x, y])
+    assert got == frozenset({((), (0,)), ((), (1,))})
+
+
+def test_satisfying_assignments_order_checked(small_tree):
+    with pytest.raises(TreeFormulaError):
+        satisfying_assignments(T.Edge(x, y), small_tree, [x])
+
+
+def test_quantifier_free_detector():
+    from repro.logic import quantifier_free
+
+    assert quantifier_free(T.conj(T.Edge(x, y), T.Not(T.Label("a", x))))
+    assert not quantifier_free(T.exists(x, T.Label("a", x)))
+
+
+def test_variables_counter():
+    f = T.exists([x, y], T.conj(T.Edge(x, y), T.Desc(x, v)))
+    assert T.variables(f) == frozenset({x, y, v})

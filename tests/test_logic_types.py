@@ -1,0 +1,113 @@
+"""k-type machinery tests (Lemma 4.3)."""
+
+import itertools
+
+import pytest
+
+from repro.logic.types import (
+    StringStructure,
+    atomic_type,
+    classes_partition,
+    count_realized_classes,
+    equivalent,
+    type_summary,
+)
+from repro.trees import string_tree
+
+
+def test_structure_from_tree():
+    s = StringStructure.from_tree(string_tree([1, 2, 3]))
+    assert len(s) == 3
+    assert s.value(1) == 2
+    assert s.label(0) == "σ"
+
+
+def test_structure_needs_positions():
+    with pytest.raises(Exception):
+        StringStructure(())
+
+
+def test_atomic_type_records_values_and_flags():
+    s = StringStructure((5, 6, 7))
+    infos, pairs = atomic_type(s, (0, 2))
+    assert infos[0][0] == 5 and infos[1][0] == 7
+    assert infos[0][2] is True      # first
+    assert infos[1][4] is True      # last
+    sign, succ_ab, succ_ba = pairs[0]
+    assert sign == -1 and not succ_ab and not succ_ba
+
+
+def test_atomic_type_succ_flags():
+    s = StringStructure((5, 6))
+    _infos, pairs = atomic_type(s, (0, 1))
+    assert pairs[0] == (-1, True, False)
+    _infos, pairs = atomic_type(s, (1, 0))
+    assert pairs[0] == (1, False, True)
+
+
+def test_summary_equality_same_string():
+    a = StringStructure((1, 2, 1))
+    b = StringStructure((1, 2, 1))
+    assert type_summary(a, (), 2) == type_summary(b, (), 2)
+
+
+def test_equivalence_separates_on_values():
+    a = StringStructure((1, 2))
+    b = StringStructure((1, 3))
+    assert not equivalent(a, b, 1)
+
+
+def test_equivalence_coarser_for_smaller_k():
+    # same boundary pattern and the same *set* of interior values,
+    # different interior order: 1 variable cannot see the order
+    a = StringStructure((1, 2, 3, 4, 2, 9))
+    b = StringStructure((1, 2, 4, 3, 2, 9))
+    assert equivalent(a, b, 1)       # same realized 1-types
+    assert not equivalent(a, b, 2)   # order visible with two variables
+
+
+def test_distinguished_positions_matter():
+    s = StringStructure((1, 2, 1))
+    assert type_summary(s, (0,), 1) != type_summary(s, (2,), 1)
+    # positions 0 and 2 carry the same value but different flags
+    with pytest.raises(Exception):
+        type_summary(s, (5,), 1)
+
+
+def test_realized_class_counting():
+    structs = [
+        StringStructure(tuple(w))
+        for w in itertools.product((1, 2), repeat=3)
+    ]
+    classes = count_realized_classes(structs, 2)
+    assert 1 < classes <= len(structs)
+    partition = classes_partition(structs, 2)
+    assert sum(len(v) for v in partition.values()) == len(structs)
+
+
+def test_monotone_in_k():
+    structs = [
+        StringStructure(tuple(w))
+        for w in itertools.product((1, 2), repeat=4)
+    ]
+    c1 = count_realized_classes(structs, 1)
+    c2 = count_realized_classes(structs, 2)
+    assert c1 <= c2
+
+
+def test_lemma_43_composition_on_instances():
+    """tp_k(f#g) is determined by tp_k(f#) and tp_k(#g): whenever the
+    component summaries agree, the whole-string summaries agree."""
+    k = 2
+    seen = {}
+    words = list(itertools.product((1, 2), repeat=2))
+    for f in words:
+        for g in words:
+            left = type_summary(StringStructure(f + ("#",)), (), k)
+            right = type_summary(StringStructure(("#",) + g), (), k)
+            whole = type_summary(StringStructure(f + ("#",) + g), (), k)
+            key = (left, right)
+            if key in seen:
+                assert seen[key] == whole
+            else:
+                seen[key] = whole

@@ -1,0 +1,91 @@
+"""Alternating xTM tests (the A-classes of Definition 6.1)."""
+
+import pytest
+
+from tests.conftest import tree_family
+
+from repro.machines import (
+    AltXTM,
+    EXISTENTIAL,
+    UNIVERSAL,
+    XTM,
+    XTMError,
+    XTMRule,
+    exists_leaf_value_alt,
+    forall_leaves_value_alt,
+    run_alternating,
+)
+from repro.trees import parse_term
+
+FAMILY = tree_family(count=10, max_size=12, value_pool=(1, 2))
+
+
+def leaf_values(tree):
+    return [tree.val("a", u) for u in tree.nodes if tree.is_leaf(u)]
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_exists_leaf(tree):
+    got = run_alternating(exists_leaf_value_alt("a", 1), tree)
+    assert got.accepted == (1 in leaf_values(tree))
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_forall_leaves(tree):
+    got = run_alternating(forall_leaves_value_alt("a", 1), tree)
+    assert got.accepted == all(v == 1 for v in leaf_values(tree))
+
+
+def test_duality_on_fixed_trees():
+    t = parse_term("r[a=1](x[a=1], y[a=2])")
+    assert run_alternating(exists_leaf_value_alt("a", 1), t).accepted
+    assert run_alternating(exists_leaf_value_alt("a", 2), t).accepted
+    assert not run_alternating(exists_leaf_value_alt("a", 3), t).accepted
+    assert not run_alternating(forall_leaves_value_alt("a", 1), t).accepted
+
+
+def test_single_node_tree():
+    t = parse_term("r[a=5]")
+    assert run_alternating(exists_leaf_value_alt("a", 5), t).accepted
+    assert run_alternating(forall_leaves_value_alt("a", 5), t).accepted
+    assert not run_alternating(forall_leaves_value_alt("a", 6), t).accepted
+
+
+def test_vacuous_universal_accepts():
+    # a universal state with no successors accepts
+    m = XTM(frozenset({"q0", "acc"}), "q0", frozenset({"acc"}), 1, ())
+    alt = AltXTM(m, {"q0": UNIVERSAL})
+    assert run_alternating(alt, parse_term("n")).accepted
+
+
+def test_dead_existential_rejects():
+    m = XTM(frozenset({"q0", "acc"}), "q0", frozenset({"acc"}), 1, ())
+    alt = AltXTM(m, {"q0": EXISTENTIAL})
+    assert not run_alternating(alt, parse_term("n")).accepted
+
+
+def test_cycle_is_not_accepting():
+    # ∃-loop with no accepting configuration: least fixpoint stays ⊥
+    rules = (XTMRule("q0", "q0"),)
+    m = XTM(frozenset({"q0", "acc"}), "q0", frozenset({"acc"}), 1, rules)
+    alt = AltXTM(m, {"q0": EXISTENTIAL})
+    result = run_alternating(alt, parse_term("n"))
+    assert not result.accepted
+
+
+def test_mode_validation():
+    m = XTM(frozenset({"q0"}), "q0", frozenset(), 1, ())
+    with pytest.raises(XTMError):
+        AltXTM(m, {"nope": EXISTENTIAL})
+    with pytest.raises(XTMError):
+        AltXTM(m, {"q0": "both"})
+
+
+def test_config_budget():
+    rules = (
+        XTMRule("q0", "q0", tape_write="1", head_move=1),
+    )
+    m = XTM(frozenset({"q0", "acc"}), "q0", frozenset({"acc"}), 1, rules)
+    alt = AltXTM(m, {})
+    with pytest.raises(XTMError):
+        run_alternating(alt, parse_term("n"), max_configs=10)

@@ -1,0 +1,91 @@
+"""Stock xTM programs vs. their specs, plus resource-class checks."""
+
+import pytest
+
+from tests.conftest import tree_family
+
+from repro.machines import (
+    check_space_bound,
+    check_time_bound,
+    fit_constant_for_logspace,
+    fit_polynomial_degree,
+    logspace_bound,
+    measure,
+    polynomial_bound,
+    run_xtm,
+)
+from repro.machines.programs import (
+    all_same_attr_spec,
+    all_same_attr_xtm,
+    even_nodes_binary_xtm,
+    even_nodes_spec,
+    even_nodes_xtm,
+    unary_nodes_xtm,
+)
+from repro.trees import chain_tree, full_tree, parse_term
+
+FAMILY = tree_family(count=12, max_size=14)
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_even_nodes(tree):
+    assert run_xtm(even_nodes_xtm(), tree).accepted == even_nodes_spec(tree)
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_even_nodes_binary(tree):
+    assert run_xtm(even_nodes_binary_xtm(), tree).accepted == even_nodes_spec(tree)
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_unary_nodes(tree):
+    assert run_xtm(unary_nodes_xtm(), tree).accepted == even_nodes_spec(tree)
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_all_same_attr(tree):
+    assert (
+        run_xtm(all_same_attr_xtm(), tree).accepted
+        == all_same_attr_spec()(tree)
+    )
+
+
+def test_counter_machines_on_shapes():
+    for tree in (chain_tree(9), full_tree(2, 3), parse_term("a")):
+        want = tree.size % 2 == 0
+        assert run_xtm(even_nodes_xtm(), tree).accepted == want
+        assert run_xtm(even_nodes_binary_xtm(), tree).accepted == want
+        assert run_xtm(unary_nodes_xtm(), tree).accepted == want
+
+
+def test_even_nodes_is_logspace():
+    trees = [chain_tree(n) for n in (2, 4, 8, 16, 32, 64, 128)]
+    ms = measure(even_nodes_xtm(), trees)
+    assert check_space_bound(ms, logspace_bound(2.0, 3.0))
+    # and time is (low-degree) polynomial
+    assert check_time_bound(ms, polynomial_bound(40.0, 2))
+
+
+def test_unary_nodes_is_linear_space():
+    trees = [chain_tree(n) for n in (4, 8, 16, 32, 64)]
+    ms = measure(unary_nodes_xtm(), trees)
+    assert not check_space_bound(ms, logspace_bound(3.0, 4.0))
+    degree = fit_polynomial_degree(ms, key=lambda m: m.space)
+    assert 0.7 < degree < 1.2
+
+
+def test_logspace_constant_fit():
+    trees = [chain_tree(n) for n in (8, 32, 128)]
+    ms = measure(even_nodes_xtm(), trees)
+    c = fit_constant_for_logspace(ms)
+    assert 0 < c < 4
+
+
+def test_registers_only_machine_uses_one_cell():
+    ms = measure(all_same_attr_xtm(), [chain_tree(20, attributes=("a",))])
+    assert ms[0].space == 1  # the head never moved
+
+
+def test_fit_requires_data():
+    with pytest.raises(ValueError):
+        fit_polynomial_degree([])

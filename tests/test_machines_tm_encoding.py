@@ -1,0 +1,174 @@
+"""Theorem 6.2: encodings, ordinary TMs, and the correspondence harness."""
+
+import pytest
+
+from tests.conftest import tree_family
+
+from repro.machines import (
+    EncodedWalker,
+    RegEqConst,
+    SetConst,
+    TuringMachine,
+    XTMRule,
+    XTM,
+    XTMError,
+    compare_on,
+    encode_tree,
+    make_walker,
+    paren_parity_tm,
+    run_tm,
+    run_xtm_encoded,
+    value_index_table,
+)
+from repro.machines.programs import (
+    all_same_attr_spec,
+    all_same_attr_xtm,
+    even_nodes_binary_xtm,
+    even_nodes_spec,
+    even_nodes_xtm,
+)
+from repro.trees import parse_term, random_tree
+
+FAMILY = tree_family(count=10, max_size=11)
+
+
+# -- encoding --------------------------------------------------------------------
+
+
+def test_encoding_shape():
+    t = parse_term("a(b[x=5], b[x=5], c[x=7])", attributes=["x"])
+    enc = encode_tree(t)
+    assert enc.count("(") == enc.count(")") == t.size
+    # equal values share an index; distinct values differ
+    assert enc.count(";0") == 2  # both x=5 nodes
+    assert ";1" in enc
+
+
+def test_value_index_first_occurrence():
+    t = parse_term("a[x=9](b[x=3], c[x=9])")
+    assert value_index_table(t) == {9: 0, 3: 1}
+
+
+def test_encoding_rejects_colliding_labels():
+    from repro.machines import EncodingError
+    from repro.trees import Tree
+
+    with pytest.raises(EncodingError):
+        encode_tree(Tree({(): "a(b"}))  # a label containing '('
+
+
+# -- the encoded walker --------------------------------------------------------------
+
+
+def test_walker_navigation_matches_tree():
+    for seed in range(6):
+        t = random_tree(9, alphabet=("a", "b"), attributes=("x",),
+                        value_pool=(1, 2), seed=seed)
+        walker = make_walker(t)
+        table = value_index_table(t)
+        # replay a full depth-first traversal and compare every fact
+        def visit(node):
+            assert walker.label() == t.label(node)
+            assert walker.is_leaf() == t.is_leaf(node)
+            assert walker.is_root() == t.is_root(node)
+            assert walker.is_first_child() == t.is_first_child(node)
+            assert walker.is_last_child() == t.is_last_child(node)
+            value = t.val("x", node)
+            assert walker.attr_index("x") == table[value]
+            kids = t.children(node)
+            if kids:
+                assert walker.down()
+                visit(kids[0])
+                for kid in kids[1:]:
+                    assert walker.right()
+                    visit(kid)
+                assert not walker.right()
+                assert walker.up()
+            else:
+                assert not walker.down()
+
+        visit(())
+        assert walker.is_root()
+
+
+def test_walker_left():
+    t = parse_term("a(b, c(d), e)")
+    walker = make_walker(t)
+    walker.down()
+    walker.right()
+    walker.right()
+    assert walker.label() == "e"
+    assert walker.left()
+    assert walker.label() == "c"
+    assert walker.left()
+    assert walker.label() == "b"
+    assert not walker.left()
+
+
+def test_walker_charges_steps():
+    t = random_tree(12, seed=0)
+    walker = make_walker(t)
+    walker.down()
+    assert walker.char_steps > 0
+
+
+# -- correspondence ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_xtm_verdicts_agree_on_encoding(tree):
+    report = compare_on(even_nodes_xtm(), tree)
+    assert report.verdicts_agree
+    assert report.encoded.char_steps >= report.direct.steps / 4
+
+
+@pytest.mark.parametrize("tree", FAMILY[:6], ids=lambda t: f"n{t.size}")
+def test_register_machine_on_encoding(tree):
+    report = compare_on(all_same_attr_xtm(), tree)
+    assert report.verdicts_agree
+    assert report.encoded.accepted == all_same_attr_spec()(tree)
+
+
+def test_overhead_is_bounded_by_encoding_length():
+    t = random_tree(20, seed=1)
+    report = compare_on(even_nodes_binary_xtm(), t)
+    assert report.verdicts_agree
+    # each direct step scans at most the whole encoding
+    assert report.overhead <= report.encoding_length + 1
+
+
+def test_constant_machines_rejected_on_encodings():
+    rules = (XTMRule("q0", "acc", action=SetConst(1, 5)),)
+    m = XTM(frozenset({"q0", "acc"}), "q0", frozenset({"acc"}), 1, rules)
+    with pytest.raises(XTMError):
+        run_xtm_encoded(m, parse_term("n"))
+
+
+# -- ordinary TMs ----------------------------------------------------------------------
+
+
+def test_tm_paren_parity_direct():
+    tm = paren_parity_tm("(", alphabet=list("();,01ab"))
+    assert run_tm(tm, "(a(b)(b))").accepted is False  # 3 opens
+    assert run_tm(tm, "(a(b))").accepted              # 2 opens
+    assert run_tm(tm, "").accepted                    # 0 opens
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_theorem_62_pair(tree):
+    """even_nodes as an xTM on t ≡ paren-parity as a TM on enc(t)."""
+    alphabet = sorted(set("();,01") | set("".join(tree.alphabet)))
+    tm = paren_parity_tm("(", alphabet=alphabet)
+    tm_verdict = run_tm(tm, encode_tree(tree)).accepted
+    assert tm_verdict == even_nodes_spec(tree)
+
+
+def test_tm_cycle_detection():
+    tm = TuringMachine(
+        states=frozenset({"s"}),
+        initial="s",
+        accepting=frozenset(),
+        transitions=((("s", "_"), ("s", "_", 0)),),
+    )
+    result = run_tm(tm, "")
+    assert not result.accepted and "cycle" in result.reason

@@ -1,0 +1,136 @@
+"""xTM model tests: rules, determinism, tape, registers, resources."""
+
+import pytest
+
+from repro.automata.rules import DOWN, PositionTest
+from repro.machines import (
+    AttrEqConst,
+    BLANK,
+    CopyReg,
+    HEAD_LEFT,
+    HEAD_RIGHT,
+    LoadAttr,
+    RegEqAttr,
+    RegEqConst,
+    RegEqReg,
+    SetConst,
+    TreeMove,
+    XTM,
+    XTMError,
+    XTMRule,
+    run_xtm,
+)
+from repro.trees import parse_term
+
+
+def machine(rules, registers=1, accepting=("acc",)):
+    states = {"q0"} | set(accepting)
+    for r in rules:
+        states |= {r.state, r.new_state}
+    return XTM(frozenset(states), "q0", frozenset(accepting),
+               registers, tuple(rules))
+
+
+def test_accept_immediately():
+    m = machine([], accepting=("q0",))
+    result = run_xtm(m, parse_term("x"))
+    assert result.accepted and result.steps == 0
+
+
+def test_stuck_rejects():
+    m = machine([])
+    result = run_xtm(m, parse_term("x"))
+    assert not result.accepted
+
+
+def test_label_and_position_dispatch():
+    rules = [
+        XTMRule("q0", "q1", label="a", position=PositionTest(leaf=False),
+                action=TreeMove(DOWN)),
+        XTMRule("q1", "acc", label="b"),
+    ]
+    m = machine(rules)
+    assert run_xtm(m, parse_term("a(b)")).accepted
+    assert not run_xtm(m, parse_term("a(c)")).accepted
+    assert not run_xtm(m, parse_term("b(b)")).accepted
+
+
+def test_tape_write_read():
+    rules = [
+        XTMRule("q0", "q1", tape_write="x", head_move=HEAD_RIGHT),
+        XTMRule("q1", "q2", tape_symbol=BLANK, head_move=HEAD_LEFT),
+        XTMRule("q2", "acc", tape_symbol="x"),
+    ]
+    result = run_xtm(machine(rules), parse_term("n"))
+    assert result.accepted
+    assert result.tape.startswith("x")
+    assert result.space == 2
+
+
+def test_head_cannot_go_negative():
+    rules = [XTMRule("q0", "acc", head_move=HEAD_LEFT)]
+    assert not run_xtm(machine(rules), parse_term("n")).accepted
+
+
+def test_registers():
+    rules = [
+        XTMRule("q0", "q1", action=LoadAttr(1, "k")),
+        XTMRule("q1", "q2", action=SetConst(2, 5), tests=(RegEqConst(1, 5),)),
+        XTMRule("q2", "q3", tests=(RegEqReg(1, 2),), action=CopyReg(3, 1)),
+        XTMRule("q3", "acc", tests=(RegEqAttr(3, "k"),)),
+    ]
+    m = machine(rules, registers=3)
+    assert run_xtm(m, parse_term("n[k=5]")).accepted
+    assert not run_xtm(m, parse_term("n[k=6]")).accepted
+
+
+def test_negated_tests():
+    rules = [XTMRule("q0", "acc", tests=(AttrEqConst("k", 9, negate=True),))]
+    m = machine(rules)
+    assert run_xtm(m, parse_term("n[k=1]")).accepted
+    assert not run_xtm(m, parse_term("n[k=9]")).accepted
+
+
+def test_head_at_zero_sensing():
+    rules = [
+        XTMRule("q0", "q1", head_move=HEAD_RIGHT),
+        XTMRule("q1", "q1", head_at_zero=False, head_move=HEAD_LEFT),
+        XTMRule("q1", "acc", head_at_zero=True),
+    ]
+    assert run_xtm(machine(rules), parse_term("n")).accepted
+
+
+def test_nondeterminism_raises():
+    rules = [
+        XTMRule("q0", "acc"),
+        XTMRule("q0", "q1"),
+    ]
+    with pytest.raises(XTMError):
+        run_xtm(machine(rules), parse_term("n"))
+
+
+def test_cycle_detected():
+    rules = [
+        XTMRule("q0", "q1", action=TreeMove(DOWN)),
+        XTMRule("q1", "q0", action=TreeMove("up")),
+    ]
+    result = run_xtm(machine(rules), parse_term("a(b)"))
+    assert not result.accepted and "cycle" in result.reason
+
+
+def test_fuel_raises():
+    rules = [XTMRule("q0", "q0", tape_write="1", head_move=HEAD_RIGHT)]
+    with pytest.raises(XTMError):
+        run_xtm(machine(rules), parse_term("n"), fuel=10)
+
+
+def test_validation_register_range():
+    with pytest.raises(XTMError):
+        machine([XTMRule("q0", "acc", action=LoadAttr(2, "k"))], registers=1)
+    with pytest.raises(XTMError):
+        machine([XTMRule("q0", "acc", tests=(RegEqReg(1, 3),))], registers=2)
+
+
+def test_validation_states():
+    with pytest.raises(XTMError):
+        XTM(frozenset({"a"}), "missing", frozenset(), 1, ())

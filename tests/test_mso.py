@@ -1,0 +1,176 @@
+"""Regular tree languages: DFAs, hedge automata, the look-ahead walker."""
+
+import pytest
+
+from tests.conftest import tree_family
+
+from repro.mso import (
+    DFA,
+    FAError,
+    HedgeAutomaton,
+    HedgeError,
+    all_symbols_dfa,
+    contains_symbol_dfa,
+    count_mod_dfa,
+    dfa_from_map,
+    exists_label_hedge,
+    label_everywhere_hedge,
+    leaf_count_mod_hedge,
+    run_extended,
+    walker_from_hedge,
+)
+from repro.trees import all_trees, parse_term, random_tree
+
+ALPHA = ("σ", "δ")
+FAMILY = tree_family(count=10, max_size=11, attributes=())
+
+
+# -- DFAs --------------------------------------------------------------------------
+
+
+def test_count_mod_dfa():
+    d = count_mod_dfa("ab", "a", 3, [0])
+    assert d.accepts("")
+    assert d.accepts("aaab" + "bb")
+    assert not d.accepts("a")
+    assert d.accepts("bab" + "aa")
+
+
+def test_contains_and_allowed():
+    c = contains_symbol_dfa("ab", "a")
+    assert c.accepts("bba") and not c.accepts("bb")
+    only = all_symbols_dfa("ab", "a")
+    assert only.accepts("aaa") and not only.accepts("ab")
+
+
+def test_dfa_must_be_complete():
+    with pytest.raises(FAError):
+        dfa_from_map("ab", "s", ["s"], {("s", "a"): "s"})
+
+
+def test_dfa_boolean_operations():
+    mod2 = count_mod_dfa("ab", "a", 2, [0])
+    has_a = contains_symbol_dfa("ab", "a")
+    both = mod2.product(has_a, "and")
+    assert both.accepts("aa") and not both.accepts("a") and not both.accepts("b")
+    either = mod2.product(has_a, "or")
+    assert either.accepts("b") and either.accepts("a")
+    diff = mod2.product(has_a, "diff")
+    assert diff.accepts("bb") and not diff.accepts("aa")
+    comp = mod2.complement()
+    assert comp.accepts("a") and not comp.accepts("")
+
+
+def test_dfa_emptiness():
+    mod2 = count_mod_dfa("ab", "a", 2, [0])
+    assert not mod2.is_empty()
+    impossible = mod2.product(mod2.complement(), "and")
+    assert impossible.is_empty()
+
+
+def test_dfa_rejects_foreign_symbols():
+    with pytest.raises(FAError):
+        count_mod_dfa("ab", "a", 2, [0]).accepts("z")
+
+
+# -- hedge automata ------------------------------------------------------------------
+
+
+def delta_leaf_parity_spec(tree):
+    return (
+        sum(1 for u in tree.nodes if tree.is_leaf(u) and tree.label(u) == "δ")
+        % 2 == 0
+    )
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_leaf_count_mod(tree):
+    h = leaf_count_mod_hedge(ALPHA, "δ", 2, [0])
+    assert h.accepts(tree) == delta_leaf_parity_spec(tree)
+
+
+def test_label_everywhere():
+    h = label_everywhere_hedge(ALPHA, "σ")
+    assert h.accepts(parse_term("σ(σ, σ(σ))"))
+    assert not h.accepts(parse_term("σ(δ)"))
+
+
+def test_exists_label():
+    h = exists_label_hedge(ALPHA, "δ")
+    assert h.accepts(parse_term("σ(σ, δ)"))
+    assert not h.accepts(parse_term("σ(σ)"))
+
+
+def test_annotate_assigns_every_node():
+    h = leaf_count_mod_hedge(ALPHA, "δ", 3, [1])
+    t = random_tree(9, alphabet=ALPHA, seed=3)
+    assignment = h.annotate(t)
+    assert set(assignment) == set(t.nodes)
+    assert all(state in h.states for state in assignment.values())
+
+
+def test_hedge_complement_and_product():
+    even = leaf_count_mod_hedge(ALPHA, "δ", 2, [0])
+    has_delta = exists_label_hedge(ALPHA, "δ")
+    odd = even.complement()
+    for tree in FAMILY:
+        assert odd.accepts(tree) == (not even.accepts(tree))
+        both = even.product(has_delta, "and")
+        assert both.accepts(tree) == (
+            even.accepts(tree) and has_delta.accepts(tree)
+        )
+        either = even.product(has_delta, "or")
+        assert either.accepts(tree) == (
+            even.accepts(tree) or has_delta.accepts(tree)
+        )
+
+
+def test_hedge_emptiness():
+    everywhere_sigma = label_everywhere_hedge(ALPHA, "σ")
+    exists_delta = exists_label_hedge(ALPHA, "δ")
+    contradiction = everywhere_sigma.product(exists_delta, "and")
+    assert contradiction.is_empty()
+    assert not everywhere_sigma.is_empty()
+
+
+def test_hedge_producible_states():
+    h = leaf_count_mod_hedge(ALPHA, "δ", 2, [0])
+    assert h.producible_states() == h.states  # both parities realisable
+
+
+def test_hedge_requires_complete_alphabet():
+    h = leaf_count_mod_hedge(ALPHA, "δ", 2, [0])
+    with pytest.raises(HedgeError):
+        h.accepts(parse_term("x"))
+
+
+# -- the look-ahead walker (Proposition 7.2, the [4] direction) --------------------------
+
+
+def test_walker_equals_hedge_exhaustively():
+    h = leaf_count_mod_hedge(ALPHA, "δ", 2, [0])
+    walker = walker_from_hedge(h)
+    for tree in all_trees(3, ALPHA):
+        assert run_extended(walker, tree) == h.accepts(tree)
+
+
+@pytest.mark.parametrize("tree", FAMILY[:8], ids=lambda t: f"n{t.size}")
+def test_walker_equals_hedge_random(tree):
+    h = leaf_count_mod_hedge(ALPHA, "δ", 2, [0])
+    walker = walker_from_hedge(h)
+    assert run_extended(walker, tree) == h.accepts(tree)
+
+
+def test_walker_on_other_languages():
+    for h in (label_everywhere_hedge(ALPHA, "σ"), exists_label_hedge(ALPHA, "δ")):
+        walker = walker_from_hedge(h)
+        for tree in all_trees(3, ALPHA):
+            assert run_extended(walker, tree) == h.accepts(tree), (h.name, tree)
+
+
+def test_walker_counts_nontrivially():
+    # mod-2 leaf counting is NOT FO-definable: the walker really counts
+    h = leaf_count_mod_hedge(("σ",), "σ", 2, [0])
+    walker = walker_from_hedge(h)
+    assert run_extended(walker, parse_term("σ(σ, σ)"))
+    assert not run_extended(walker, parse_term("σ(σ, σ, σ)"))

@@ -1,0 +1,55 @@
+"""Hedge-automaton language equivalence (emptiness-based)."""
+
+import pytest
+
+from repro.mso import (
+    exists_label_hedge,
+    label_everywhere_hedge,
+    leaf_count_mod_hedge,
+)
+
+ALPHA = ("σ", "δ")
+
+
+def test_equivalent_to_itself():
+    h = leaf_count_mod_hedge(ALPHA, "δ", 2, [0])
+    assert h.equivalent(h)
+
+
+def test_double_complement():
+    h = exists_label_hedge(ALPHA, "δ")
+    assert h.equivalent(h.complement().complement())
+    assert not h.equivalent(h.complement())
+
+
+def test_de_morgan():
+    a = exists_label_hedge(ALPHA, "δ")
+    b = label_everywhere_hedge(ALPHA, "σ")
+    left = a.product(b, "and").complement()
+    right = a.complement().product(b.complement(), "or")
+    assert left.equivalent(right)
+
+
+def test_exists_is_not_everywhere_complement_in_general():
+    # "exists δ" vs "not everywhere σ": over Σ = {σ, δ} these coincide!
+    exists_delta = exists_label_hedge(ALPHA, "δ")
+    not_all_sigma = label_everywhere_hedge(ALPHA, "σ").complement()
+    assert exists_delta.equivalent(not_all_sigma)
+
+
+def test_residue_choice_matters():
+    even = leaf_count_mod_hedge(ALPHA, "δ", 2, [0])
+    odd = leaf_count_mod_hedge(ALPHA, "δ", 2, [1])
+    assert not even.equivalent(odd)
+    assert even.equivalent(odd.complement())
+
+
+def test_mod_refinement():
+    # ≡ 0 (mod 4) implies ≡ 0 (mod 2) but not conversely
+    mod4 = leaf_count_mod_hedge(ALPHA, "δ", 4, [0])
+    mod2 = leaf_count_mod_hedge(ALPHA, "δ", 2, [0])
+    assert mod4.product(mod2.complement(), "and").is_empty()
+    assert not mod2.product(mod4.complement(), "and").is_empty()
+    # and mod-2 even = (≡0 ∨ ≡2) (mod 4)
+    zero_or_two = leaf_count_mod_hedge(ALPHA, "δ", 4, [0, 2])
+    assert mod2.equivalent(zero_or_two)

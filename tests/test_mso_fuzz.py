@@ -1,0 +1,82 @@
+"""Fuzzing the look-ahead walker construction against random DHAs.
+
+The `walker_from_hedge` compiler claims to work for *every*
+deterministic complete hedge automaton; random automata hunt for the
+corners the hand-written languages miss.
+"""
+
+import random
+
+import pytest
+
+from repro.mso import DFA, HedgeAutomaton, LabelRule, run_extended, walker_from_hedge
+from repro.trees import all_trees, random_tree
+
+ALPHA = ("σ", "δ")
+
+
+def random_hedge(seed: int, state_count: int = 2, dfa_states: int = 2) -> HedgeAutomaton:
+    """A random deterministic complete hedge automaton."""
+    rng = random.Random(seed)
+    hstates = tuple(range(state_count))
+    rules = []
+    for label in ALPHA:
+        dstates = tuple(range(dfa_states))
+        transitions = tuple(
+            ((d, q), rng.choice(dstates))
+            for d in dstates
+            for q in hstates
+        )
+        dfa = DFA(
+            states=frozenset(dstates),
+            alphabet=frozenset(hstates),
+            transitions=transitions,
+            start=0,
+            finals=frozenset(),
+        )
+        output = tuple((d, rng.choice(hstates)) for d in dstates)
+        rules.append((label, LabelRule(dfa, output)))
+    finals = frozenset(
+        q for q in hstates if rng.random() < 0.5
+    ) or frozenset({hstates[0]})
+    return HedgeAutomaton(
+        states=frozenset(hstates),
+        alphabet=frozenset(ALPHA),
+        rules=tuple(rules),
+        finals=finals,
+        name=f"fuzz-{seed}",
+    )
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_walker_matches_random_hedge(seed):
+    hedge = random_hedge(seed)
+    walker = walker_from_hedge(hedge)
+    for tree_seed in range(6):
+        tree = random_tree(1 + tree_seed * 2, alphabet=ALPHA,
+                           seed=1000 + tree_seed)
+        assert run_extended(walker, tree) == hedge.accepts(tree), (
+            seed, tree_seed,
+        )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_walker_matches_random_hedge_exhaustive_small(seed):
+    hedge = random_hedge(seed, state_count=3, dfa_states=2)
+    walker = walker_from_hedge(hedge)
+    for tree in all_trees(3, ALPHA):
+        assert run_extended(walker, tree) == hedge.accepts(tree), tree
+
+
+def test_fuzz_is_not_degenerate():
+    """Across the corpus both verdicts occur and languages differ."""
+    verdicts = set()
+    distinct = set()
+    trees = all_trees(3, ALPHA)
+    for seed in range(20):
+        hedge = random_hedge(seed)
+        signature = tuple(hedge.accepts(t) for t in trees)
+        distinct.add(signature)
+        verdicts |= set(signature)
+    assert verdicts == {True, False}
+    assert len(distinct) >= 5

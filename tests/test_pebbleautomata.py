@@ -1,0 +1,182 @@
+"""Pebble tree automata ([17]) tests."""
+
+import pytest
+
+from tests.conftest import tree_family
+
+from repro.logic import evaluate, parse_formula
+from repro.pebbleautomata import (
+    AttrEqPebble,
+    Lift,
+    PRule,
+    PebbleAutomaton,
+    PebbleAutomatonError,
+    PebbleHere,
+    PebblesDown,
+    Place,
+    Walk,
+    exists_double_join,
+    exists_double_join_spec,
+    exists_equal_pair,
+    exists_equal_pair_spec,
+    run_pebble_automaton,
+)
+from repro.trees import all_trees, parse_term, random_tree
+
+FAMILY = tree_family(count=12, max_size=12, value_pool=(1, 2, 3, 4))
+
+
+# -- the data-join automaton --------------------------------------------------------
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_equal_pair_matches_spec(tree):
+    got = run_pebble_automaton(exists_equal_pair(), tree)
+    assert got.accepted == exists_equal_pair_spec()(tree)
+
+
+def test_equal_pair_fixed_cases():
+    accept = parse_term("r[a=1](x[a=2], y[a=1])")
+    reject = parse_term("r[a=1](x[a=2], y[a=3])")
+    single = parse_term("r[a=1]")
+    assert run_pebble_automaton(exists_equal_pair(), accept).accepted
+    assert not run_pebble_automaton(exists_equal_pair(), reject).accepted
+    assert not run_pebble_automaton(exists_equal_pair(), single).accepted
+
+
+def test_equal_pair_agrees_with_fo():
+    """The join is FO-definable; the pebble automaton and the logic
+    agree — the cross-model check."""
+    sentence = parse_formula("exists x y (~x = y & val_a(x) = val_a(y))")
+    for seed in range(8):
+        tree = random_tree(9, attributes=("a",), value_pool=(1, 2, 3, 4, 5),
+                           seed=seed)
+        assert (
+            run_pebble_automaton(exists_equal_pair(), tree).accepted
+            == evaluate(sentence, tree)
+        )
+
+
+def test_equal_pair_exhaustive_shapes():
+    automaton = exists_equal_pair()
+    for shape in all_trees(3, ("σ",)):
+        for values in [(1, 1, 2), (1, 2, 3), (5, 5, 5)]:
+            tree = shape.with_attribute(
+                "a", dict(zip(shape.nodes, values))
+            )
+            assert (
+                run_pebble_automaton(automaton, tree).accepted
+                == exists_equal_pair_spec()(tree)
+            )
+
+
+def test_equal_pair_uses_one_pebble(small_tree):
+    result = run_pebble_automaton(
+        exists_equal_pair("cur"), small_tree
+    )
+    assert result.max_pebbles == 1
+    assert result.accepted  # two EUR items
+
+
+@pytest.mark.parametrize("tree", FAMILY[:8], ids=lambda t: f"n{t.size}")
+def test_double_join_matches_spec(tree):
+    two_attr = tree.with_attribute(
+        "b", {u: tree.size % 3 for u in tree.nodes}
+    )
+    got = run_pebble_automaton(exists_double_join(), two_attr)
+    assert got.accepted == exists_double_join_spec()(two_attr)
+
+
+def test_double_join_needs_both():
+    t = parse_term("r[a=1, b=1](x[a=1, b=2], y[a=2, b=1])")
+    assert not run_pebble_automaton(exists_double_join(), t).accepted
+    t2 = parse_term("r[a=1, b=1](x[a=1, b=1])")
+    assert run_pebble_automaton(exists_double_join(), t2).accepted
+
+
+# -- model mechanics ---------------------------------------------------------------------
+
+
+def tiny(rules, pebbles=1, accepting=("ACC",)):
+    states = {"q0", "ACC"} | {r.state for r in rules} | {r.new_state for r in rules}
+    return PebbleAutomaton(frozenset(states), "q0", frozenset(accepting),
+                           pebbles, tuple(rules))
+
+
+def test_place_and_lift_roundtrip():
+    rules = [
+        PRule("q0", "q1", action=Place()),
+        PRule("q1", "ACC", tests=(PebbleHere(1), PebblesDown(1)),
+              action=Lift()),
+    ]
+    assert run_pebble_automaton(tiny(rules), parse_term("a")).accepted
+
+
+def test_place_beyond_capacity_rejects():
+    rules = [
+        PRule("q0", "q1", action=Place()),
+        PRule("q1", "ACC", action=Place()),
+    ]
+    result = run_pebble_automaton(tiny(rules, pebbles=1), parse_term("a"))
+    assert not result.accepted and "no pebble left" in result.reason
+
+
+def test_lift_without_pebble_rejects():
+    rules = [PRule("q0", "ACC", action=Lift())]
+    result = run_pebble_automaton(tiny(rules), parse_term("a"))
+    assert not result.accepted and "no pebble down" in result.reason
+
+
+def test_strong_discipline_lift_away_rejects():
+    rules = [
+        PRule("q0", "q1", action=Place()),
+        PRule("q1", "q2", action=Walk("down")),
+        PRule("q2", "ACC", action=Lift()),
+    ]
+    result = run_pebble_automaton(tiny(rules), parse_term("a(b)"))
+    assert not result.accepted and "strong discipline" in result.reason
+
+
+def test_stack_order_is_tracked():
+    # place 1 at the root, walk down, place 2, test presence separately
+    rules = [
+        PRule("q0", "q1", action=Place()),
+        PRule("q1", "q2", action=Walk("down")),
+        PRule("q2", "q3", action=Place()),
+        PRule("q3", "ACC",
+              tests=(PebbleHere(2), PebbleHere(1, present=False),
+                     PebblesDown(2))),
+    ]
+    assert run_pebble_automaton(tiny(rules, pebbles=2), parse_term("a(b)")).accepted
+
+
+def test_join_against_missing_pebble_is_false():
+    rules = [
+        PRule("q0", "ACC", tests=(AttrEqPebble(1, "a"),)),
+    ]
+    result = run_pebble_automaton(tiny(rules), parse_term("a[a=1]"))
+    assert not result.accepted  # the pebble is not down: no join
+
+
+def test_cycle_detection():
+    rules = [PRule("q0", "q0", action=Walk("stay"))]
+    result = run_pebble_automaton(tiny(rules), parse_term("a"))
+    assert not result.accepted and "cycle" in result.reason
+
+
+def test_nondeterminism_raises():
+    rules = [
+        PRule("q0", "ACC"),
+        PRule("q0", "q0"),
+    ]
+    with pytest.raises(PebbleAutomatonError):
+        run_pebble_automaton(tiny(rules), parse_term("a"))
+
+
+def test_validation():
+    with pytest.raises(PebbleAutomatonError):
+        tiny([PRule("q0", "ACC", tests=(PebbleHere(5),))], pebbles=1)
+    with pytest.raises(PebbleAutomatonError):
+        tiny([PRule("q0", "ACC", tests=(PebblesDown(9),))], pebbles=1)
+    with pytest.raises(PebbleAutomatonError):
+        PebbleAutomaton(frozenset({"a"}), "missing", frozenset(), 1, ())

@@ -1,0 +1,209 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.hypersets import decode, encode
+from repro.hypersets.hyperset import Hyperset
+from repro.logic.types import StringStructure, type_summary
+from repro.store import Relation, StoreSchema
+from repro.trees import (
+    Tree,
+    delim,
+    format_term,
+    from_xml,
+    inorder,
+    parse_term,
+    postorder,
+    preorder,
+    string_tree,
+    to_xml,
+    tree_string,
+    undelim,
+)
+from repro.trees.node import NodeId
+
+
+# -- strategies --------------------------------------------------------------------
+
+labels = st.sampled_from(["a", "b", "σ", "δ", "x1"])
+values = st.one_of(
+    st.integers(min_value=-50, max_value=50),
+    st.text(alphabet="abcxyz ", min_size=0, max_size=6),
+)
+
+
+@st.composite
+def trees(draw, max_nodes=12):
+    """Random attributed trees via sequential attachment."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    label_list = draw(st.lists(labels, min_size=n, max_size=n))
+    attr_values = draw(st.lists(values, min_size=n, max_size=n))
+    nodes = [()]
+    tree_labels = {(): label_list[0]}
+    child_count = {(): 0}
+    for i in range(1, n):
+        parent = nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))]
+        node = parent + (child_count[parent],)
+        child_count[parent] += 1
+        child_count[node] = 0
+        nodes.append(node)
+        tree_labels[node] = label_list[i]
+    attrs = {"a": dict(zip(nodes, attr_values))}
+    return Tree(tree_labels, attrs, ["a"])
+
+
+data_strings = st.lists(
+    st.one_of(st.integers(min_value=3, max_value=9),
+              st.sampled_from(["u", "v"])),
+    min_size=1, max_size=7,
+)
+
+
+@st.composite
+def hypersets(draw, level=2):
+    if level == 1:
+        vals = draw(st.lists(st.sampled_from(["p", "q", "r"]), max_size=3))
+        return Hyperset.of_values(vals)
+    members = draw(
+        st.lists(hypersets(level=level - 1), max_size=3)
+    )
+    return Hyperset(level, frozenset(members))
+
+
+# -- tree invariants --------------------------------------------------------------------
+
+
+@given(trees())
+@settings(max_examples=60, deadline=None)
+def test_term_roundtrip(t):
+    assert parse_term(format_term(t), attributes=["a"]) == t
+
+
+@given(trees())
+@settings(max_examples=60, deadline=None)
+def test_xml_roundtrip(t):
+    assert from_xml(to_xml(t), attributes=["a"]) == t
+
+
+@given(trees())
+@settings(max_examples=60, deadline=None)
+def test_delim_roundtrip(t):
+    assert undelim(delim(t)) == t
+
+
+@given(trees())
+@settings(max_examples=60, deadline=None)
+def test_traversals_are_permutations(t):
+    reference = sorted(t.nodes)
+    assert sorted(preorder(t)) == reference
+    assert sorted(postorder(t)) == reference
+    assert sorted(inorder(t)) == reference
+
+
+@given(trees())
+@settings(max_examples=60, deadline=None)
+def test_navigation_inverses(t):
+    for u in t.nodes:
+        for child in t.children(u):
+            assert t.parent(child) == u
+        right = t.right_sibling(u)
+        if right is not None:
+            assert t.left_sibling(right) == u
+
+
+@given(trees())
+@settings(max_examples=40, deadline=None)
+def test_descendant_is_strict_partial_order(t):
+    for u in t.nodes:
+        assert not t.descendant(u, u)
+        for v in t.nodes:
+            if t.descendant(u, v):
+                assert not t.descendant(v, u)
+
+
+# -- strings ---------------------------------------------------------------------------
+
+
+@given(data_strings)
+@settings(max_examples=60, deadline=None)
+def test_string_tree_roundtrip(values_):
+    assert tree_string(string_tree(values_)) == values_
+
+
+@given(data_strings)
+@settings(max_examples=30, deadline=None)
+def test_type_summary_reflexive(values_):
+    s = StringStructure(tuple(values_))
+    assert type_summary(s, (), 2) == type_summary(s, (), 2)
+
+
+@given(data_strings, data_strings)
+@settings(max_examples=30, deadline=None)
+def test_type_equivalence_symmetric(a, b):
+    sa, sb = StringStructure(tuple(a)), StringStructure(tuple(b))
+    left = type_summary(sa, (), 2) == type_summary(sb, (), 2)
+    right = type_summary(sb, (), 2) == type_summary(sa, (), 2)
+    assert left == right
+
+
+# -- relations ----------------------------------------------------------------------------
+
+rows = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=8
+)
+
+
+@given(rows, rows)
+@settings(max_examples=60, deadline=None)
+def test_relation_union_commutes(a, b):
+    ra, rb = Relation(2, a), Relation(2, b)
+    assert ra.union(rb) == rb.union(ra)
+
+
+@given(rows, rows)
+@settings(max_examples=60, deadline=None)
+def test_relation_difference_laws(a, b):
+    ra, rb = Relation(2, a), Relation(2, b)
+    assert ra.difference(rb).intersection(rb) == Relation(2, [])
+    assert ra.difference(rb).union(ra.intersection(rb)) == ra
+
+
+@given(rows)
+@settings(max_examples=60, deadline=None)
+def test_relation_projection_columns(a):
+    r = Relation(2, a)
+    swapped = r.project([1, 0]).project([1, 0])
+    assert swapped == r
+
+
+@given(rows)
+@settings(max_examples=40, deadline=None)
+def test_store_set_get(a):
+    schema = StoreSchema([2, 1])
+    store = schema.initial_store()
+    r = Relation(2, a)
+    assert store.set(1, r).get(1) == r
+    assert store.set(1, r).get(2) == store.get(2)
+
+
+# -- hypersets --------------------------------------------------------------------------------
+
+
+@given(hypersets(level=1))
+@settings(max_examples=60, deadline=None)
+def test_hyperset_encode_decode_level1(h):
+    assert decode(encode(h), 1) == h
+
+
+@given(hypersets(level=2))
+@settings(max_examples=60, deadline=None)
+def test_hyperset_encode_decode_level2(h):
+    assert decode(encode(h), 2) == h
+
+
+@given(hypersets(level=3))
+@settings(max_examples=40, deadline=None)
+def test_hyperset_encode_decode_level3(h):
+    assert decode(encode(h), 3) == h

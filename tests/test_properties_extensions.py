@@ -1,0 +1,120 @@
+"""Property-based tests for the extension modules."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from tests.test_properties import trees
+
+from repro.caterpillar import (
+    Epsilon,
+    alt,
+    concat,
+    matches,
+    parse_caterpillar,
+    star,
+    walk,
+)
+from repro.pebbleautomata import (
+    exists_equal_pair,
+    exists_equal_pair_spec,
+    run_pebble_automaton,
+)
+from repro.transducer import identity_transducer, run_transducer
+from repro.xpath import compile_xpath, parse_xpath, select
+
+# -- caterpillar invariants ----------------------------------------------------------
+
+caterpillar_texts = st.sampled_from(
+    [
+        "up", "down", "left", "right",
+        "up*", "(down | right)*", "down right*",
+        "isLeaf", "up* isRoot", "(down right*)+ isLeaf",
+        "down? right?", "<a> down", "(up | down)*",
+    ]
+)
+
+
+@given(trees(), caterpillar_texts)
+@settings(max_examples=60, deadline=None)
+def test_walk_stays_inside_the_tree(t, text):
+    expr = parse_caterpillar(text)
+    for node in walk(expr, t, ()):
+        assert node in t
+
+
+@given(trees(), caterpillar_texts)
+@settings(max_examples=40, deadline=None)
+def test_star_contains_start(t, text):
+    expr = star(parse_caterpillar(text))
+    for u in t.nodes:
+        assert u in walk(expr, t, u)
+
+
+@given(trees(), caterpillar_texts, caterpillar_texts)
+@settings(max_examples=40, deadline=None)
+def test_alternation_is_union(t, a, b):
+    ea, eb = parse_caterpillar(a), parse_caterpillar(b)
+    union = set(walk(alt(ea, eb), t, ()))
+    assert union == set(walk(ea, t, ())) | set(walk(eb, t, ()))
+
+
+@given(trees(), caterpillar_texts, caterpillar_texts)
+@settings(max_examples=40, deadline=None)
+def test_concat_is_composition(t, a, b):
+    ea, eb = parse_caterpillar(a), parse_caterpillar(b)
+    composed = set(walk(concat(ea, eb), t, ()))
+    stepwise = set()
+    for mid in walk(ea, t, ()):
+        stepwise |= set(walk(eb, t, mid))
+    assert composed == stepwise
+
+
+@given(trees())
+@settings(max_examples=40, deadline=None)
+def test_epsilon_is_identity(t):
+    for u in t.nodes:
+        assert walk(Epsilon(), t, u) == (u,)
+
+
+# -- transducer invariants --------------------------------------------------------------
+
+
+@given(trees())
+@settings(max_examples=50, deadline=None)
+def test_identity_transduction_roundtrips(t):
+    assert run_transducer(identity_transducer(), t) == t
+
+
+# -- pebble automaton invariants ------------------------------------------------------------
+
+
+@given(trees(max_nodes=8))
+@settings(max_examples=30, deadline=None)
+def test_pebble_join_matches_spec(t):
+    got = run_pebble_automaton(exists_equal_pair(), t, fuel=2_000_000)
+    assert got.accepted == exists_equal_pair_spec()(t)
+    assert got.max_pebbles <= 1
+
+
+# -- xpath invariants -----------------------------------------------------------------------
+
+xpath_texts = st.sampled_from(
+    ["a", "a/b", "a//b", "//b", "*", ".", "*[a]", "a/*", "b|a"]
+)
+
+
+@given(trees(), xpath_texts)
+@settings(max_examples=50, deadline=None)
+def test_xpath_compiler_agreement(t, text):
+    expr = parse_xpath(text)
+    query = compile_xpath(expr)
+    for context in t.nodes:
+        assert select(expr, t, context) == query.select(t, context)
+
+
+@given(trees(), xpath_texts)
+@settings(max_examples=50, deadline=None)
+def test_xpath_results_in_document_order(t, text):
+    got = select(parse_xpath(text), t, ())
+    indices = [t.document_index(u) for u in got]
+    assert indices == sorted(indices)

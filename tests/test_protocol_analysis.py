@@ -1,0 +1,53 @@
+"""Δ accounting tests (Definition 4.4 quantities)."""
+
+import pytest
+
+from repro.hypersets.counting import Tower
+from repro.protocol import (
+    dialogue_vs_bound,
+    estimate_delta,
+    observed_message_counts,
+    run_protocol,
+)
+from repro.protocol.programs import atp_all_same, nested_constant_suffixes, walking_all_same
+
+
+def test_estimate_components_ordered():
+    estimate = estimate_delta(atp_all_same(), d_size=4)
+    # atp-requests dominate (they embed types × stores)
+    assert estimate.types < estimate.atp_requests
+    assert estimate.stores < estimate.atp_requests
+    assert estimate.atp_requests <= estimate.total
+
+
+def test_estimate_grows_with_domain():
+    small = estimate_delta(atp_all_same(), d_size=2)
+    large = estimate_delta(atp_all_same(), d_size=64)
+    assert small.total < large.total
+
+
+def test_estimate_respects_lemma_43_shape():
+    # the total stays a height-≤4 tower: exp₃(p(N+|D|)) up to the
+    # outer products
+    estimate = estimate_delta(nested_constant_suffixes(), d_size=8)
+    assert estimate.total.normalized().height <= 4
+
+
+def test_observed_counts_match_dialogue():
+    result = run_protocol(atp_all_same(), ["a", "b"], ["a"])
+    observed = observed_message_counts(result)
+    assert observed.get("TypeMessage") == 2
+    assert sum(observed.values()) <= len(result.dialogue)
+
+
+def test_dialogue_far_below_bound():
+    program = nested_constant_suffixes()
+    result = run_protocol(program, ["a", "a"], ["a"])
+    rounds, bound = dialogue_vs_bound(program, result, d_size=2)
+    assert Tower.of(float(rounds)) < bound
+
+
+def test_walking_program_has_trivial_selector_component():
+    estimate = estimate_delta(walking_all_same(), d_size=4)
+    # no selectors: the request bound collapses to states × types × stores
+    assert estimate.atp_requests <= estimate.total

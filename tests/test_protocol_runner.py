@@ -1,0 +1,138 @@
+"""Lemma 4.5 end to end: the protocol simulates tw^{r,l} programs."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.protocol import (
+    AcceptMessage,
+    AtpRequest,
+    ConfigMessage,
+    ProtocolError,
+    Reply,
+    TypeMessage,
+    protocol_agrees_with_run,
+    required_type_width,
+    run_protocol,
+)
+from repro.protocol.programs import (
+    all_same_spec,
+    atp_all_same,
+    first_equals_last_spec,
+    nested_constant_suffixes,
+    occurs_spec,
+    root_value_reappears,
+    value_occurs_after_hash,
+    walking_all_same,
+    walking_reporters,
+)
+
+PROGRAMS = [
+    ("walking", walking_all_same(), lambda f, g: all_same_spec()(f + g)),
+    ("atp", atp_all_same(), lambda f, g: all_same_spec()(f + g)),
+    ("nested", nested_constant_suffixes(), lambda f, g: all_same_spec()(f + g)),
+    ("first-last", root_value_reappears(),
+     lambda f, g: first_equals_last_spec()(f + g)),
+    ("occurs", value_occurs_after_hash("b"),
+     lambda f, g: occurs_spec("b")(f + g)),
+    ("reporters", walking_reporters(), lambda f, g: True),
+]
+
+
+@pytest.mark.parametrize("name,program,spec", PROGRAMS,
+                         ids=[p[0] for p in PROGRAMS])
+def test_exhaustive_tiny_instances(name, program, spec):
+    for fl, gl in [(1, 1), (1, 2), (2, 1), (2, 2)]:
+        for f in itertools.product("ab", repeat=fl):
+            for g in itertools.product("ab", repeat=gl):
+                direct, proto, result = protocol_agrees_with_run(
+                    program, list(f), list(g)
+                )
+                assert direct == proto == spec(list(f), list(g)), (
+                    name, f, g, result.reason,
+                )
+
+
+@pytest.mark.parametrize("name,program,spec", PROGRAMS,
+                         ids=[p[0] for p in PROGRAMS])
+def test_random_larger_instances(name, program, spec):
+    rng = random.Random(hash(name) % 1000)
+    for _ in range(10):
+        f = [rng.choice("abc") for _ in range(rng.randint(1, 4))]
+        g = [rng.choice("abc") for _ in range(rng.randint(1, 4))]
+        direct, proto, result = protocol_agrees_with_run(program, f, g)
+        assert direct == proto == spec(f, g), (name, f, g, result.reason)
+
+
+def test_dialogue_starts_with_type_exchange():
+    result = run_protocol(walking_all_same(), ["a"], ["a"])
+    kinds = result.message_kinds()
+    assert kinds[0] == kinds[1] == "TypeMessage"
+    senders = [s for s, _m in result.dialogue[:2]]
+    assert senders == ["I", "II"]
+
+
+def test_walking_program_uses_config_messages_only():
+    result = run_protocol(walking_all_same(), ["a", "a"], ["a"])
+    kinds = set(result.message_kinds())
+    assert "ConfigMessage" in kinds
+    assert "AtpRequest" not in kinds
+
+
+def test_atp_program_sends_requests_and_replies():
+    result = run_protocol(atp_all_same(), ["a"], ["a"])
+    kinds = result.message_kinds()
+    assert "AtpRequest" in kinds and "Reply" in kinds
+
+
+def test_walking_reporters_send_need_answer():
+    """Subcomputations started on the f side walk past # — the ⟨q, τ̄,
+    NeedAnswer⟩ message of the proof."""
+    result = run_protocol(walking_reporters(), ["a", "b"], ["a"])
+    assert result.accepted
+    need_answer = [
+        m for _s, m in result.dialogue
+        if isinstance(m, ConfigMessage) and m.need_answer
+    ]
+    assert need_answer
+
+
+def test_rounds_are_bounded_by_dedup():
+    """Every request is sent at most once, so rounds stay small even
+    for the nested program (the 2|Δ| argument)."""
+    for f, g in [(["a"] * 4, ["a"] * 4), (["a", "b"] * 2, ["b", "a"])]:
+        result = run_protocol(nested_constant_suffixes(), f, g)
+        assert result.rounds <= 60
+
+
+def test_verdict_messages_terminate():
+    accept = run_protocol(atp_all_same(), ["a"], ["a"])
+    assert isinstance(accept.dialogue[-1][1], AcceptMessage)
+    reject = run_protocol(atp_all_same(), ["a"], ["b"])
+    assert not reject.accepted
+
+
+def test_required_type_width_covers_selectors():
+    assert required_type_width(nested_constant_suffixes()) >= 2
+    assert required_type_width(walking_all_same()) == 2  # no selectors
+
+
+def test_empty_sides_rejected():
+    with pytest.raises(ProtocolError):
+        run_protocol(walking_all_same(), [], ["a"])
+
+
+def test_hash_in_input_rejected():
+    with pytest.raises(ProtocolError):
+        run_protocol(walking_all_same(), ["#"], ["a"])
+
+
+def test_messages_carry_only_legal_knowledge():
+    """AtpRequests carry selector indices and type summaries — never raw
+    positions of the sender's half."""
+    result = run_protocol(atp_all_same(), ["a", "b"], ["a"])
+    for _sender, message in result.dialogue:
+        if isinstance(message, AtpRequest):
+            assert isinstance(message.selector_index, int)
+            assert message.theta.distinguished == 1

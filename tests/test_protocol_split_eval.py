@@ -1,0 +1,135 @@
+"""Cross-half FO(∃*) evaluation (the Lemma 4.3(1) composition engine)."""
+
+import random
+
+import pytest
+
+from repro.logic import tree_fo as T
+from repro.logic.exists_star import X, Y, selector
+from repro.logic.types import StringStructure, type_summary
+from repro.protocol.split_eval import (
+    Abstract,
+    Concrete,
+    LEFT,
+    RIGHT,
+    SplitEvalError,
+    holds_split,
+    select_in_zone,
+)
+from repro.trees.strings import HASH, string_tree
+
+z1, z2 = T.NVar("z1"), T.NVar("z2")
+
+QUERIES = [
+    selector(T.Desc(X, Y)),
+    selector(T.conj(T.Desc(X, Y), T.Leaf(Y))),
+    selector(T.Edge(X, Y)),
+    selector(T.exists(z1, T.conj(T.Desc(X, z1), T.ValEq("a", z1, "a", Y)))),
+    selector(
+        T.exists(
+            [z1, z2],
+            T.conj(T.Edge(X, z1), T.Edge(z1, z2),
+                   T.ValEq("a", z2, "a", Y), T.Desc(X, Y)),
+        )
+    ),
+    selector(T.conj(T.Root(Y), T.ValConst("a", X, 1))),
+    selector(T.exists(z1, T.conj(T.Edge(Y, z1), T.ValConst("a", z1, 2)))),
+    selector(T.Not(T.ValEq("a", X, "a", Y))),
+    selector(T.conj(T.First(Y), T.Not(T.Leaf(Y)))),
+]
+
+
+def halves(word, b):
+    return (
+        StringStructure(tuple(word[: b + 1])),
+        StringStructure(tuple(word[b:])),
+    )
+
+
+def make_instance(seed):
+    rng = random.Random(seed)
+    f = [rng.choice([1, 2, 3]) for _ in range(rng.randint(1, 4))]
+    g = [rng.choice([1, 2, 3]) for _ in range(rng.randint(1, 4))]
+    word = f + [HASH] + g
+    return word, len(f)
+
+
+N = 4
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_same_side_evaluation_matches_truth(seed):
+    word, b = make_instance(seed)
+    tree = string_tree(word)
+    lhalf, rhalf = halves(word, b)
+    ltype = type_summary(lhalf, (), N)
+    rtype = type_summary(rhalf, (), N)
+    for q in QUERIES:
+        for u in range(b + 1):
+            for v in range(b + 1):
+                want = q.holds(tree, (0,) * u, (0,) * v)
+                got = holds_split(
+                    q, lhalf, LEFT,
+                    {q.x: Concrete(u), q.y: Concrete(v)}, rtype,
+                )
+                assert got == want, (q, word, u, v)
+        for ul in range(len(rhalf)):
+            for vl in range(len(rhalf)):
+                want = q.holds(tree, (0,) * (b + ul), (0,) * (b + vl))
+                got = holds_split(
+                    q, rhalf, RIGHT,
+                    {q.x: Concrete(ul), q.y: Concrete(vl)}, ltype,
+                )
+                assert got == want, (q, word, ul, vl)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_abstract_current_node(seed):
+    """Party II evaluating φ(u, v) with u known only through its type."""
+    word, b = make_instance(seed)
+    tree = string_tree(word)
+    lhalf, rhalf = halves(word, b)
+    for q in QUERIES:
+        for u in range(b + 1):
+            theta = type_summary(lhalf, (u,), N)
+            for vl in range(len(rhalf)):
+                want = q.holds(tree, (0,) * u, (0,) * (b + vl))
+                got = holds_split(
+                    q, rhalf, RIGHT,
+                    {q.x: Abstract(0), q.y: Concrete(vl)}, theta,
+                )
+                assert got == want, (q, word, u, vl)
+
+
+def test_select_in_zone_matches_reference():
+    word = [1, 2, HASH, 2, 1]
+    b = 2
+    tree = string_tree(word)
+    lhalf, rhalf = halves(word, b)
+    rtype = type_summary(rhalf, (), N)
+    q = QUERIES[0]  # descendants
+    got = select_in_zone(q, lhalf, LEFT, Concrete(0), rtype,
+                         list(range(b + 1)))
+    want = tuple(
+        v for v in range(b + 1) if q.holds(tree, (), (0,) * v)
+    )
+    assert got == want
+
+
+def test_bad_side_rejected():
+    s = StringStructure((1, HASH))
+    with pytest.raises(SplitEvalError):
+        holds_split(QUERIES[0], s, "M", {}, type_summary(s, (), 1))
+
+
+def test_narrow_summary_limits_witnesses():
+    """With k = 0 the other half contributes no witnesses: a formula
+    whose only witness lives there goes false."""
+    word = [1, HASH, 9]
+    lhalf, rhalf = halves(word, 1)
+    q = selector(T.exists(z1, T.ValConst("a", z1, 9)))
+    wide = type_summary(rhalf, (), 2)
+    narrow = type_summary(rhalf, (), 0)
+    bindings = {q.x: Concrete(0), q.y: Concrete(0)}
+    assert holds_split(q, lhalf, LEFT, bindings, wide)
+    assert not holds_split(q, lhalf, LEFT, bindings, narrow)

@@ -1,0 +1,96 @@
+"""TreeDatabase facade tests."""
+
+import pytest
+
+from repro import TreeDatabase
+from repro.automata import TWClass
+from repro.automata.examples import (
+    all_leaves_same_twrl,
+    even_leaves_automaton,
+    example_32,
+)
+from repro.logic import tree_fo as T
+from repro.logic.exists_star import descendants_with_label
+from repro.mso import leaf_count_mod_hedge
+
+
+@pytest.fixture
+def db():
+    return TreeDatabase.from_term(
+        'catalog(dept(item[cur="EUR"], item[cur="EUR"]), dept(item[cur="USD"]))'
+    )
+
+
+def test_roundtrips(db):
+    assert TreeDatabase.from_term(db.to_term()).tree == db.tree
+    assert TreeDatabase.from_xml(db.to_xml()).tree == db.tree
+    assert db.size == 6
+
+
+def test_xpath(db):
+    assert db.xpath("catalog//item") == ((0, 0), (0, 1), (1, 0))
+    assert db.xpath("catalog/dept[item]") == ((0,), (1,))
+    assert db.xpath("item", context=(0, 0)) == ((0, 0),)
+
+
+def test_xpath_cache(db):
+    db.xpath("catalog//item")
+    assert "catalog//item" in db._xpath_cache
+
+
+def test_xpath_as_fo_agrees(db):
+    query = db.xpath_as_fo("catalog//item")
+    assert query.select(db.tree, ()) == db.xpath("catalog//item")
+
+
+def test_holds(db):
+    x = T.NVar("x")
+    assert db.holds(T.exists(x, T.ValConst("cur", x, "USD")))
+    assert not db.holds(T.forall(x, T.Leaf(x)))
+
+
+def test_select(db):
+    q = descendants_with_label("dept")
+    assert db.select(q) == ((0,), (1,))
+
+
+def test_run_automaton(db):
+    assert not db.run_automaton(all_leaves_same_twrl("cur"))
+    assert db.run_automaton(even_leaves_automaton()) == False  # 3 leaves
+    t2 = TreeDatabase.from_term("a(b, c)")
+    assert t2.run_automaton(even_leaves_automaton())
+
+
+def test_run_automaton_delimited():
+    db = TreeDatabase.from_term("σ(δ(σ[a=1], σ[a=1]))")
+    assert db.run_automaton(example_32(), delimited=True)
+
+
+def test_memoised_agrees(db):
+    a = all_leaves_same_twrl("cur")
+    assert db.run_automaton(a, memoised=True) == db.run_automaton(a)
+
+
+def test_run_with_trace(db):
+    result = db.run_with_trace(even_leaves_automaton())
+    assert result.trace is not None and len(result.trace) > 0
+
+
+def test_automaton_class(db):
+    assert db.automaton_class(even_leaves_automaton()) is TWClass.TW
+
+
+def test_matches_hedge(db):
+    h = leaf_count_mod_hedge(("catalog", "dept", "item"), "item", 3, [0])
+    assert db.matches_hedge(h)  # exactly 3 item leaves
+
+
+def test_with_ids(db):
+    extended = db.with_ids()
+    assert "ID" in extended.tree.attributes
+    assert db.tree.attributes == ("cur",)  # original untouched
+
+
+def test_ensure_ids_flag():
+    db = TreeDatabase.from_term("a(b)", ensure_ids=True)
+    assert "ID" in db.tree.attributes

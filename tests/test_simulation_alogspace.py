@@ -1,0 +1,84 @@
+"""The alternating-logspace pebble simulation (Thm 7.1(2)'s converse leg)."""
+
+import pytest
+
+from tests.conftest import tree_family
+
+from repro.machines import run_alternating
+from repro.machines.alternation import (
+    all_leaves_even_depth_alt,
+    all_leaves_even_depth_spec,
+    exists_leaf_value_alt,
+    forall_leaves_value_alt,
+)
+from repro.simulation.alogspace import simulate_alternating_logspace
+from repro.trees import chain_tree, full_tree, parse_term, random_tree
+
+FAMILY = tree_family(count=10, max_size=10, value_pool=(1, 2))
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_even_depth_three_ways(tree):
+    alt = all_leaves_even_depth_alt()
+    want = all_leaves_even_depth_spec(tree)
+    assert run_alternating(alt, tree).accepted == want
+    assert simulate_alternating_logspace(alt, tree).accepted == want
+
+
+@pytest.mark.parametrize(
+    "term,want",
+    [
+        ("a", True),                   # the root leaf is at depth 0
+        ("a(b)", False),
+        ("a(b(c))", True),
+        ("a(b(c), d)", False),         # d at depth 1
+        ("a(b(c), d(e))", True),
+    ],
+)
+def test_even_depth_fixed(term, want):
+    alt = all_leaves_even_depth_alt()
+    assert simulate_alternating_logspace(alt, parse_term(term)).accepted == want
+
+
+def test_even_depth_shapes():
+    alt = all_leaves_even_depth_alt()
+    assert simulate_alternating_logspace(alt, full_tree(2, 3)).accepted
+    assert not simulate_alternating_logspace(alt, full_tree(3, 2)).accepted
+    assert simulate_alternating_logspace(alt, chain_tree(5)).accepted
+    assert not simulate_alternating_logspace(alt, chain_tree(4)).accepted
+
+
+@pytest.mark.parametrize("tree", FAMILY[:6], ids=lambda t: f"n{t.size}")
+def test_tapeless_alternating_machines(tree):
+    for alt, spec in (
+        (
+            exists_leaf_value_alt("a", 1),
+            lambda t: any(
+                t.val("a", u) == 1 for u in t.nodes if t.is_leaf(u)
+            ),
+        ),
+        (
+            forall_leaves_value_alt("a", 1),
+            lambda t: all(
+                t.val("a", u) == 1 for u in t.nodes if t.is_leaf(u)
+            ),
+        ),
+    ):
+        assert simulate_alternating_logspace(alt, tree).accepted == spec(tree)
+
+
+def test_true_verdicts_are_memoised():
+    alt = all_leaves_even_depth_alt()
+    tree = full_tree(2, 3)  # 13 nodes, shared suffix configurations
+    result = simulate_alternating_logspace(alt, tree)
+    assert result.accepted
+    # with 9 leaves and per-node increments, memoisation keeps the
+    # evaluation count well under the naive strategy-tree size
+    assert result.evaluations < 200
+
+
+def test_walker_never_materialises_the_tape():
+    alt = all_leaves_even_depth_alt()
+    tree = chain_tree(9)
+    result = simulate_alternating_logspace(alt, tree)
+    assert result.walker_steps > 0  # the tape work happened on pebbles

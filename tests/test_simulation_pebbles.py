@@ -1,0 +1,192 @@
+"""Pebble machine and pebble arithmetic (Theorem 7.1(1) machinery)."""
+
+import pytest
+
+from repro.simulation.ids import (
+    has_unique_ids,
+    id_of,
+    node_with_id,
+    require_unique_ids,
+    with_ids,
+    IdError,
+)
+from repro.simulation.pebbles import PebbleArithmetic, PebbleError, PebbleMachine
+from repro.trees import chain_tree, full_tree, inorder, random_tree
+
+
+# -- IDs ---------------------------------------------------------------------------
+
+
+def test_with_ids_unique():
+    t = with_ids(random_tree(15, seed=0))
+    assert has_unique_ids(t)
+    require_unique_ids(t)  # must not raise
+
+
+def test_plain_tree_has_no_ids():
+    t = random_tree(5, seed=0)
+    assert not has_unique_ids(t)
+    with pytest.raises(IdError):
+        require_unique_ids(t)
+
+
+def test_id_lookup_roundtrip():
+    t = with_ids(random_tree(9, seed=1))
+    for u in t.nodes:
+        assert node_with_id(t, id_of(t, u)) == u
+    with pytest.raises(IdError):
+        node_with_id(t, "nope")
+
+
+# -- in-order navigation ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_inorder_succ_pred_match_reference(seed):
+    t = random_tree(1 + seed * 2, seed=seed)
+    order = list(inorder(t))
+    m = PebbleMachine(t)
+    for i, u in enumerate(order):
+        m.position = u
+        moved = m.inorder_succ()
+        if i + 1 < len(order):
+            assert moved and m.position == order[i + 1]
+        else:
+            assert not moved and m.position == u
+        m.position = u
+        moved = m.inorder_pred()
+        if i > 0:
+            assert moved and m.position == order[i - 1]
+        else:
+            assert not moved and m.position == u
+
+
+def test_pebble_place_and_compare():
+    t = chain_tree(4)
+    m = PebbleMachine(t)
+    m.place("p")
+    assert m.here("p")
+    m.down()
+    assert not m.here("p")
+    m.place("q")
+    assert not m.same("p", "q")
+    m.up()
+    assert m.same("p", "p")
+
+
+def test_unplaced_pebble_raises():
+    m = PebbleMachine(chain_tree(2))
+    with pytest.raises(PebbleError):
+        m.here("ghost")
+
+
+def test_goto_charges_path_length():
+    t = full_tree(3, 2)
+    m = PebbleMachine(t)
+    m.position = (0, 0, 0)
+    m.place("deep")
+    m.position = (1, 1, 1)
+    before = m.steps
+    m.goto("deep")
+    assert m.position == (0, 0, 0)
+    assert m.steps > before
+
+
+# -- arithmetic ----------------------------------------------------------------------------
+
+
+@pytest.fixture(params=[chain_tree(13), full_tree(2, 3), random_tree(11, seed=4)],
+                ids=["chain13", "full-2-3", "random11"])
+def arith(request):
+    m = PebbleMachine(request.param)
+    return PebbleArithmetic(m)
+
+
+def test_zero_and_is_zero(arith):
+    arith.zero("p")
+    assert arith.value_of("p") == 0
+    assert arith.is_zero("p")
+    arith.succ("p")
+    assert not arith.is_zero("p")
+
+
+def test_succ_pred_cover_range(arith):
+    n = arith.m.tree.size
+    arith.zero("p")
+    for expected in range(1, n):
+        assert arith.succ("p")
+        assert arith.value_of("p") == expected
+    assert not arith.succ("p")  # overflow
+    for expected in range(n - 2, -1, -1):
+        assert arith.pred("p")
+        assert arith.value_of("p") == expected
+    assert not arith.pred("p")  # underflow
+
+
+def test_halve_all_values(arith):
+    n = arith.m.tree.size
+    for j in range(n):
+        arith.set_value("p", j)
+        parity = arith.halve("p")
+        assert (arith.value_of("p"), parity) == (j // 2, j % 2), j
+
+
+def test_parity_preserves_value(arith):
+    arith.set_value("p", 5)
+    assert arith.parity("p") == 1
+    assert arith.value_of("p") == 5
+
+
+def test_add_subtract(arith):
+    n = arith.m.tree.size
+    arith.set_value("a", 3)
+    arith.set_value("b", 4)
+    assert arith.add("a", "b")
+    assert arith.value_of("a") == 7
+    assert arith.value_of("b") == 4  # preserved
+    assert arith.subtract("a", "b")
+    assert arith.value_of("a") == 3
+    arith.set_value("a", n - 1)
+    arith.set_value("b", 1)
+    assert not arith.add("a", "b")  # overflow reported
+    arith.set_value("a", 0)
+    assert not arith.subtract("a", "b")  # underflow reported
+
+
+def test_power_of_two(arith):
+    n = arith.m.tree.size
+    for i in range(4):
+        if 2**i >= n:
+            break
+        arith.set_value("i", i)
+        assert arith.power_of_two("i", "r")
+        assert arith.value_of("r") == 2**i
+
+
+def test_bit_extraction(arith):
+    n = arith.m.tree.size
+    j = min(11, n - 1)
+    arith.set_value("n", j)
+    for i in range(4):
+        if i >= n:
+            break
+        arith.set_value("i", i)
+        assert arith.bit("n", "i") == (j >> i) & 1
+        assert arith.value_of("n") == j  # preserved
+
+
+def test_add_power_of_two(arith):
+    n = arith.m.tree.size
+    if n < 12:
+        pytest.skip("needs at least 12 nodes")
+    arith.set_value("t", 9)
+    arith.set_value("i", 1)
+    assert arith.add_power_of_two("t", "i", +1)
+    assert arith.value_of("t") == 11
+    assert arith.add_power_of_two("t", "i", -1)
+    assert arith.value_of("t") == 9
+
+
+def test_set_value_bounds(arith):
+    with pytest.raises(PebbleError):
+        arith.set_value("p", arith.m.tree.size)

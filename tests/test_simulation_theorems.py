@@ -1,0 +1,190 @@
+"""The Theorem 7.1 / Proposition 7.2 constructions, end to end."""
+
+import pytest
+
+from tests.conftest import tree_family
+
+from repro.automata import AutomatonBuilder, DOWN, STAY, accepts, run
+from repro.automata.examples import (
+    _add_dfs_backtrack,
+    AT_INNER,
+    AT_LEAF,
+    AT_ROOT,
+    all_leaves_same_spec,
+    all_leaves_same_twrl,
+    all_values_same_spec,
+    all_values_same_twr,
+    example_32,
+    example_32_spec,
+    root_value_at_some_leaf,
+    spine_constant_automaton,
+)
+from repro.machines import run_xtm
+from repro.machines.programs import (
+    all_same_attr_xtm,
+    even_nodes_binary_xtm,
+    even_nodes_spec,
+    unary_nodes_xtm,
+)
+from repro.simulation import (
+    check_tw_in_logspace,
+    compile_pspace_xtm_to_twr,
+    eliminate_registers,
+    evaluate_memo,
+    evaluate_twr_chain,
+    simulate_logspace_xtm,
+    store_content_count,
+    twl_configuration_bound,
+    twrl_configuration_bound,
+    with_ids,
+)
+from repro.simulation.noattr import EliminationError
+from repro.store.fo import Var, conj, disj, eq, rel
+from repro.trees import all_trees, delim, random_tree
+
+z = Var("z")
+FAMILY = tree_family(count=10, max_size=12)
+
+
+# -- Theorem 7.1(1): tw = LOGSPACE^X --------------------------------------------------
+
+
+@pytest.mark.parametrize("tree", FAMILY[:8], ids=lambda t: f"n{t.size}")
+def test_pebble_simulation_of_logspace_xtm(tree):
+    machine = even_nodes_binary_xtm()
+    reference = run_xtm(machine, tree)
+    simulated = simulate_logspace_xtm(machine, tree)
+    assert simulated.accepted == reference.accepted == even_nodes_spec(tree)
+
+
+def test_pebble_simulation_registers_only():
+    machine = all_same_attr_xtm()
+    for seed in range(5):
+        tree = random_tree(6, attributes=("a",), value_pool=(1, 2), seed=seed)
+        assert (
+            simulate_logspace_xtm(machine, tree).accepted
+            == run_xtm(machine, tree).accepted
+        )
+
+
+@pytest.mark.parametrize("tree", FAMILY[:6], ids=lambda t: f"n{t.size}")
+def test_tw_fits_logspace_configurations(tree):
+    for automaton in (root_value_at_some_leaf(), spine_constant_automaton()):
+        containment = check_tw_in_logspace(automaton, tree)
+        assert containment.within
+
+
+# -- Theorem 7.1(2)/(4): memoised configuration-graph evaluation ------------------------
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_memo_agrees_with_runner_twl(tree):
+    a = spine_constant_automaton()
+    assert evaluate_memo(a, tree).accepted == accepts(a, tree)
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_memo_agrees_with_runner_twrl(tree):
+    a = all_leaves_same_twrl()
+    assert evaluate_memo(a, tree).accepted == all_leaves_same_spec()(tree)
+
+
+@pytest.mark.parametrize("tree", FAMILY[:6], ids=lambda t: f"n{t.size}")
+def test_memo_agrees_on_example_32(tree):
+    a = example_32()
+    d = delim(tree)
+    assert evaluate_memo(a, d).accepted == example_32_spec(tree)
+
+
+def test_memo_caches_subcomputations():
+    # a program whose atp re-selects the same nodes benefits from the memo
+    tree = random_tree(10, attributes=("a",), value_pool=(1,), seed=0)
+    a = all_leaves_same_twrl()
+    result = evaluate_memo(a, tree)
+    assert result.accepted
+    assert result.stats.distinct_starts <= twl_configuration_bound(a, tree)
+
+
+def test_configuration_bounds_ordering():
+    tree = random_tree(8, attributes=("a",), value_pool=(1, 2), seed=0)
+    a = all_leaves_same_twrl()
+    assert twl_configuration_bound(a, tree) <= twrl_configuration_bound(a, tree)
+
+
+# -- Theorem 7.1(3): tw^r chains and the tape-as-relation compiler -----------------------
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_chain_evaluation_agrees(tree):
+    a = all_values_same_twr()
+    chain = evaluate_twr_chain(a, tree)
+    assert chain.accepted == all_values_same_spec()(tree)
+
+
+def test_chain_space_is_store_rows_only():
+    tree = random_tree(12, attributes=("a",), value_pool=(1, 2, 3), seed=2)
+    chain = evaluate_twr_chain(all_values_same_twr(), tree)
+    assert chain.max_store_rows <= 3  # at most the value pool
+
+
+def test_chain_rejects_atp():
+    with pytest.raises(ValueError):
+        evaluate_twr_chain(all_leaves_same_twrl(), random_tree(3, seed=0,
+                                                               attributes=("a",)))
+
+
+@pytest.mark.parametrize("size", range(1, 8))
+def test_pspace_compiler_unary_counter(size):
+    machine = unary_nodes_xtm()
+    compiled = compile_pspace_xtm_to_twr(machine)
+    tree = random_tree(size, seed=size)
+    reference = run_xtm(machine, tree)
+    got = run(compiled, with_ids(tree), fuel=5_000_000)
+    assert got.accepted == reference.accepted == even_nodes_spec(tree)
+
+
+def test_pspace_compiled_automaton_is_twr():
+    from repro.automata import TWClass, classify
+
+    compiled = compile_pspace_xtm_to_twr(unary_nodes_xtm())
+    assert classify(compiled) in (TWClass.TW_R,)
+
+
+# -- Proposition 7.2: A = ∅ register elimination -------------------------------------------
+
+
+from repro.automata.examples import (
+    delta_leaves_mod3_spec as mod3_spec,
+    delta_leaves_mod3_twr as delta_leaves_mod3,
+)
+
+
+def test_elimination_exhaustive_small_trees():
+    twr = delta_leaves_mod3()
+    tw = eliminate_registers(twr)
+    assert tw.schema.count == 1 and not tw.has_updates()
+    for tree in all_trees(4, ("σ", "δ")):
+        assert accepts(tw, tree) == accepts(twr, tree) == mod3_spec(tree)
+
+
+def test_elimination_random_larger():
+    twr = delta_leaves_mod3()
+    tw = eliminate_registers(twr)
+    for seed in range(6):
+        tree = random_tree(11, alphabet=("σ", "δ"), seed=seed)
+        assert accepts(tw, tree) == mod3_spec(tree)
+
+
+def test_elimination_rejects_attributes():
+    with pytest.raises(EliminationError):
+        eliminate_registers(all_values_same_twr())
+
+
+def test_elimination_rejects_atp():
+    with pytest.raises(EliminationError):
+        eliminate_registers(all_leaves_same_twrl())
+
+
+def test_store_content_count_finite():
+    twr = delta_leaves_mod3()
+    assert store_content_count(twr) == 2 ** 3  # subsets of {0,1,2}

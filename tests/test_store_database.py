@@ -1,0 +1,82 @@
+"""Register store tests (the τ of Definition 3.1)."""
+
+import pytest
+
+from repro.store import Relation, RegisterStore, StoreError, StoreSchema
+from repro.trees import BOTTOM
+
+
+def test_schema_basics():
+    s = StoreSchema([1, 2, 1])
+    assert s.count == 3
+    assert s.arity(2) == 2
+    with pytest.raises(StoreError):
+        s.arity(0)
+    with pytest.raises(StoreError):
+        s.arity(4)
+    with pytest.raises(StoreError):
+        StoreSchema([0])
+
+
+def test_initial_store_default_empty():
+    s = StoreSchema([1, 2])
+    store = s.initial_store()
+    assert len(store.get(1)) == 0
+    assert store.get(2).arity == 2
+
+
+def test_initial_store_scalar_and_bottom():
+    s = StoreSchema([1, 1])
+    store = s.initial_store([7, BOTTOM])
+    assert store.get(1).single_value() == 7
+    assert not store.get(2)
+
+
+def test_initial_store_with_relation():
+    s = StoreSchema([2])
+    rel = Relation(2, [(1, 2)])
+    assert s.initial_store([rel]).get(1) == rel
+    with pytest.raises(StoreError):
+        s.initial_store([Relation.unary([1])])
+
+
+def test_scalar_needs_unary_register():
+    with pytest.raises(StoreError):
+        StoreSchema([2]).initial_store([5])
+
+
+def test_wrong_assignment_length():
+    with pytest.raises(StoreError):
+        StoreSchema([1, 1]).initial_store([1])
+
+
+def test_set_is_functional():
+    s = StoreSchema([1, 1])
+    store = s.initial_store()
+    updated = store.set(1, Relation.unary([9]))
+    assert not store.get(1)           # original untouched
+    assert updated.get(1).single_value() == 9
+    assert updated.get(2) == store.get(2)
+
+
+def test_set_arity_checked():
+    store = StoreSchema([1]).initial_store()
+    with pytest.raises(StoreError):
+        store.set(1, Relation(2, [(1, 2)]))
+
+
+def test_active_domain():
+    s = StoreSchema([1, 2])
+    store = s.initial_store().set(1, Relation.unary(["a"])).set(
+        2, Relation(2, [(1, "b")])
+    )
+    assert store.active_domain() == frozenset({"a", 1, "b"})
+
+
+def test_equality_and_hash():
+    s = StoreSchema([1])
+    a = s.initial_store([3])
+    b = s.initial_store([3])
+    c = s.initial_store([4])
+    assert a == b and hash(a) == hash(b)
+    assert a != c

@@ -1,0 +1,154 @@
+"""Active-domain FO over the store — the ξ/ψ language of Definition 3.1."""
+
+import pytest
+
+from repro.store import (
+    Attr,
+    Relation,
+    StoreContext,
+    StoreFormulaError,
+    StoreSchema,
+    TrueF,
+    FalseF,
+    Var,
+    attributes_used,
+    conj,
+    constants,
+    disj,
+    eq,
+    evaluate,
+    evaluate_update,
+    exists,
+    forall,
+    free_variables,
+    implies,
+    neq,
+    rel,
+    validate,
+)
+from repro.store.fo import Not
+from repro.trees import BOTTOM
+
+z, w = Var("z"), Var("w")
+
+
+def make_ctx(**attrs):
+    schema = StoreSchema([1, 2])
+    store = schema.initial_store().set(1, Relation.unary([1, 2])).set(
+        2, Relation(2, [(1, 10), (2, 20)])
+    )
+    return StoreContext(store, attrs or {"a": 10})
+
+
+def test_atoms():
+    ctx = make_ctx()
+    assert evaluate(rel(1, 1), ctx)
+    assert not evaluate(rel(1, 99), ctx)
+    assert evaluate(rel(2, 1, 10), ctx)
+    assert evaluate(eq(Attr("a"), 10), ctx)
+    assert evaluate(neq(Attr("a"), 11), ctx)
+
+
+def test_boolean_connectives():
+    ctx = make_ctx()
+    assert evaluate(conj(TrueF(), rel(1, 1)), ctx)
+    assert not evaluate(conj(rel(1, 1), FalseF()), ctx)
+    assert evaluate(disj(FalseF(), rel(1, 2)), ctx)
+    assert evaluate(implies(FalseF(), FalseF()), ctx)
+    assert evaluate(Not(rel(1, 99)), ctx)
+    assert evaluate(conj(), ctx)        # empty conjunction is true
+    assert not evaluate(disj(), ctx)    # empty disjunction is false
+
+
+def test_quantifiers_active_domain():
+    ctx = make_ctx()
+    # ∃z X1(z) ∧ ∃w X2(z → pairs)…
+    assert evaluate(exists(z, rel(1, z)), ctx)
+    assert evaluate(forall(z, implies(rel(1, z), exists(w, rel(2, z, w)))), ctx)
+    # the active domain contains 10 (attr) and 20 (store) but not 99
+    assert evaluate(exists(z, eq(z, 20)), ctx)
+    assert not evaluate(exists(z, eq(z, Attr("a"))), make_ctx(a=BOTTOM))
+
+
+def test_constants_extend_active_domain():
+    schema = StoreSchema([1])
+    ctx = StoreContext(schema.initial_store(), {})
+    # empty store, no attrs: the constant in the formula is the domain
+    assert evaluate(exists(z, eq(z, 42)), ctx)
+    assert not evaluate(exists(z, neq(z, 42)), ctx)
+
+
+def test_extra_constants():
+    schema = StoreSchema([1])
+    ctx = StoreContext(schema.initial_store(), {}, frozenset({7}))
+    assert evaluate(exists(z, eq(z, Attr("x"))), StoreContext(
+        schema.initial_store(), {"x": 7}, frozenset()
+    ))
+    assert evaluate(forall(z, eq(z, 7)), ctx)
+
+
+def test_bottom_attr_semantics():
+    ctx = make_ctx(a=BOTTOM, b=BOTTOM)
+    # relations never contain ⊥
+    assert not evaluate(rel(1, Attr("a")), ctx)
+    # ⊥ = ⊥ holds; ⊥ = d fails
+    assert evaluate(eq(Attr("a"), Attr("b")), ctx)
+    assert not evaluate(eq(Attr("a"), 10), ctx)
+
+
+def test_guard_must_be_sentence():
+    with pytest.raises(StoreFormulaError):
+        evaluate(rel(1, z), make_ctx())
+
+
+def test_validate_arity():
+    schema = StoreSchema([1, 2])
+    with pytest.raises(StoreFormulaError):
+        validate(rel(1, 1, 2), schema)
+    with pytest.raises(ValueError):  # StoreError: unknown register
+        validate(rel(3, 1), schema)
+    validate(rel(2, 1, 2), schema)  # ok
+
+
+def test_free_variables_and_constants():
+    f = exists(z, conj(rel(1, z), eq(w, 5), eq(Attr("a"), "x")))
+    assert free_variables(f) == frozenset({w})
+    assert constants(f) == frozenset({5, "x"})
+    assert attributes_used(f) == frozenset({"a"})
+
+
+def test_evaluate_update_basic():
+    ctx = make_ctx()
+    # {z : X1(z) ∨ z = @a}
+    out = evaluate_update(disj(rel(1, z), eq(z, Attr("a"))), [z], ctx)
+    assert out.unary_values() == frozenset({1, 2, 10})
+
+
+def test_evaluate_update_binary():
+    ctx = make_ctx()
+    out = evaluate_update(rel(2, z, w), [w, z], ctx)  # swapped columns
+    assert out.rows == frozenset({(10, 1), (20, 2)})
+
+
+def test_update_rejects_stray_variables():
+    ctx = make_ctx()
+    with pytest.raises(StoreFormulaError):
+        evaluate_update(conj(rel(1, z), rel(1, w)), [z], ctx)
+
+
+def test_update_rejects_duplicate_columns():
+    ctx = make_ctx()
+    with pytest.raises(StoreFormulaError):
+        evaluate_update(rel(2, z, z), [z, z], ctx)
+
+
+def test_unknown_attribute_raises():
+    ctx = make_ctx()
+    with pytest.raises(StoreFormulaError):
+        evaluate(eq(Attr("missing"), 1), ctx)
+
+
+def test_formula_reprs_render():
+    f = forall(z, implies(rel(1, z), exists(w, eq(z, w))))
+    text = repr(f)
+    assert "∀" in text and "∃" in text and "X1" in text

@@ -1,0 +1,101 @@
+"""Relation algebra tests."""
+
+import pytest
+
+from repro.store import Relation, RelationError
+
+
+def test_construction_and_basics():
+    r = Relation(2, [(1, 2), (3, 4), (1, 2)])
+    assert r.arity == 2
+    assert len(r) == 2
+    assert (1, 2) in r
+    assert (2, 1) not in r
+    assert bool(r)
+    assert not Relation.empty(3)
+
+
+def test_bad_arity_rejected():
+    with pytest.raises(RelationError):
+        Relation(0)
+    with pytest.raises(RelationError):
+        Relation(2, [(1,)])
+
+
+def test_non_d_values_rejected():
+    with pytest.raises(RelationError):
+        Relation(1, [([1],)])
+    with pytest.raises(RelationError):
+        Relation(1, [(True,)])  # booleans are not D-values
+
+
+def test_constructors():
+    assert Relation.singleton(5).rows == frozenset({(5,)})
+    assert Relation.singleton("a", "b").arity == 2
+    assert Relation.unary([1, 2, 1]).unary_values() == frozenset({1, 2})
+    with pytest.raises(RelationError):
+        Relation.singleton()
+
+
+def test_single_value():
+    assert Relation.singleton(9).single_value() == 9
+    with pytest.raises(RelationError):
+        Relation.unary([1, 2]).single_value()
+    with pytest.raises(RelationError):
+        Relation.empty(1).single_value()
+    with pytest.raises(RelationError):
+        Relation.singleton(1, 2).single_value()
+
+
+def test_set_operations():
+    a = Relation.unary([1, 2, 3])
+    b = Relation.unary([3, 4])
+    assert a.union(b).unary_values() == frozenset({1, 2, 3, 4})
+    assert a.intersection(b).unary_values() == frozenset({3})
+    assert a.difference(b).unary_values() == frozenset({1, 2})
+
+
+def test_schema_mismatch():
+    with pytest.raises(RelationError):
+        Relation.unary([1]).union(Relation(2, [(1, 2)]))
+
+
+def test_project():
+    r = Relation(3, [(1, 2, 3), (4, 5, 6)])
+    assert r.project([2, 0]).rows == frozenset({(3, 1), (6, 4)})
+    with pytest.raises(RelationError):
+        r.project([3])
+    with pytest.raises(RelationError):
+        r.project([])
+
+
+def test_select():
+    r = Relation(2, [(1, 2), (1, 3), (2, 2)])
+    assert r.select_eq(0, 1).rows == frozenset({(1, 2), (1, 3)})
+    assert r.select_eq_cols(0, 1).rows == frozenset({(2, 2)})
+    with pytest.raises(RelationError):
+        r.select_eq(5, 1)
+
+
+def test_product_and_join():
+    a = Relation.unary([1, 2])
+    b = Relation.unary(["x"])
+    prod = a.product(b)
+    assert prod.arity == 2 and len(prod) == 2
+    left = Relation(2, [(1, "a"), (2, "b")])
+    right = Relation(2, [("a", 10), ("c", 30)])
+    joined = left.join(right, [(1, 0)])
+    assert joined.rows == frozenset({(1, "a", "a", 10)})
+
+
+def test_values_and_hash():
+    r = Relation(2, [(1, "x")])
+    assert r.values() == frozenset({1, "x"})
+    assert hash(Relation.unary([1])) == hash(Relation.unary([1]))
+    assert Relation.unary([1]) == Relation.unary([1])
+    assert Relation.unary([1]) != Relation.unary([2])
+
+
+def test_iteration_deterministic():
+    r = Relation.unary([3, 1, 2])
+    assert list(r) == list(r)

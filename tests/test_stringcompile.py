@@ -1,0 +1,58 @@
+"""2DFA → tw compilation: the §3 inclusion, executable."""
+
+import itertools
+
+import pytest
+
+from repro.automata import TWClass, classify
+from repro.automata.stringcompile import accepts_word, compile_two_way
+from repro.automata.strings import (
+    multiple_of_automaton,
+    palindrome_automaton,
+    run_two_way,
+)
+
+
+def test_multiple_of_three_compiles():
+    dfa = multiple_of_automaton(3)
+    compiled = compile_two_way(dfa)
+    for n in range(9):
+        word = ["a"] * n
+        assert accepts_word(compiled, dfa, word) == run_two_way(dfa, word).accepted
+
+
+def test_first_equals_last_compiles():
+    dfa = palindrome_automaton(["a", "b"])
+    compiled = compile_two_way(dfa)
+    for length in range(1, 5):
+        for word in itertools.product("ab", repeat=length):
+            want = run_two_way(dfa, list(word)).accepted
+            got = accepts_word(compiled, dfa, list(word))
+            assert got == want, word
+
+
+def test_two_way_movement_survives_compilation():
+    """The palindrome automaton genuinely reverses direction; the
+    compiled walker must too (reject mismatching ends)."""
+    dfa = palindrome_automaton(["a", "b"])
+    compiled = compile_two_way(dfa)
+    assert accepts_word(compiled, dfa, list("abba"))
+    assert not accepts_word(compiled, dfa, list("abb"))
+
+
+def test_empty_word_falls_back_to_dfa():
+    dfa = multiple_of_automaton(2)
+    compiled = compile_two_way(dfa)
+    assert accepts_word(compiled, dfa, [])  # 0 is even
+
+
+def test_compiled_automaton_is_plain_tw():
+    compiled = compile_two_way(multiple_of_automaton(2))
+    assert classify(compiled) is TWClass.TW
+
+
+def test_compiled_state_count_linear():
+    dfa = multiple_of_automaton(5)
+    compiled = compile_two_way(dfa)
+    # ≤ 3 tw states per 2DFA state (word/▷/◁) plus the final
+    assert len(compiled.states) <= 3 * len(dfa.states) + 1

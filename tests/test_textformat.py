@@ -1,0 +1,195 @@
+"""Automaton file format and formula text parsers (store side)."""
+
+import pytest
+
+from tests.conftest import tree_family
+
+from repro.automata import accepts
+from repro.automata.examples import (
+    all_leaves_same_twrl,
+    all_values_same_twr,
+    delta_leaves_mod3_twr,
+    even_leaves_automaton,
+    example_32,
+    spine_constant_automaton,
+)
+from repro.automata.textformat import (
+    AutomatonFormatError,
+    parse_automaton,
+    serialize_automaton,
+)
+from repro.store import Relation, StoreContext, StoreSchema, evaluate
+from repro.store.parser import StoreSyntaxError, parse_guard, parse_store_formula
+from repro.trees import delim, parse_term
+
+FAMILY = tree_family(count=8, max_size=10)
+
+
+# -- store formula parser --------------------------------------------------------------
+
+
+def ctx(**attrs):
+    schema = StoreSchema([1, 2])
+    store = schema.initial_store().set(1, Relation.unary([1, 2])).set(
+        2, Relation(2, [(1, 10)])
+    )
+    return StoreContext(store, attrs or {"a": 10})
+
+
+@pytest.mark.parametrize(
+    "text,want",
+    [
+        ("true", True),
+        ("exists z X1(z)", True),
+        ("exists z X2(z, z)", False),
+        ("forall z (X1(z) -> z = 1 | z = 2)", True),
+        ("forall z w (X1(z) & X1(w) -> z = w)", False),
+        ("X2(1, @a)", True),
+        ("@a = 10", True),
+        ("@a != 10", False),
+        ("exists z (X1(z) & ~z = 1)", True),
+        ("∀z (X1(z) → ∃w X2(w, @a))", True),
+    ],
+)
+def test_store_parser_evaluates(text, want):
+    assert evaluate(parse_guard(text), ctx()) == want
+
+
+def test_store_parser_string_constants():
+    schema = StoreSchema([1])
+    store = schema.initial_store().set(1, Relation.unary(["EUR"]))
+    context = StoreContext(store, {})
+    assert evaluate(parse_guard('X1("EUR")'), context)
+    assert evaluate(parse_guard("X1('EUR')"), context)
+    assert not evaluate(parse_guard('X1("USD")'), context)
+
+
+def test_store_parser_rejects_free_variables():
+    with pytest.raises(Exception):
+        parse_guard("X1(z)")
+    parse_store_formula("X1(z)")  # fine as an open formula
+
+
+@pytest.mark.parametrize("bad", ["", "X1(", "z ==", "exists", "@ = 1", "X(z)"])
+def test_store_parser_errors(bad):
+    with pytest.raises(StoreSyntaxError):
+        parse_store_formula(bad)
+
+
+# -- the automaton file format --------------------------------------------------------------
+
+
+STOCK = [
+    (example_32, True),
+    (all_values_same_twr, False),
+    (all_leaves_same_twrl, False),
+    (spine_constant_automaton, False),
+    (even_leaves_automaton, False),
+    (delta_leaves_mod3_twr, False),
+]
+
+
+@pytest.mark.parametrize("factory,delimited", STOCK,
+                         ids=[f.__name__ for f, _d in STOCK])
+def test_serialize_parse_behaviour_roundtrip(factory, delimited):
+    original = factory()
+    reparsed = parse_automaton(serialize_automaton(original))
+    assert reparsed.schema == original.schema
+    assert len(reparsed.rules) == len(original.rules)
+    for tree in FAMILY:
+        instance = delim(tree) if delimited else tree
+        assert accepts(reparsed, instance) == accepts(original, instance)
+
+
+def test_parse_minimal_file():
+    automaton = parse_automaton(
+        """
+        automaton hello
+        registers 1
+        initial q0
+        final qF
+        rule q0 label=a : stay -> qF
+        """
+    )
+    assert automaton.name == "hello"
+    assert accepts(automaton, parse_term("a"))
+    assert not accepts(automaton, parse_term("b"))
+
+
+def test_parse_with_everything():
+    automaton = parse_automaton(
+        """
+        # a kitchen-sink automaton
+        automaton sink
+        registers 1
+        init 5
+        initial q0
+        final qF
+        rule q0 pos=!leaf : down -> q1          # positions work
+        rule q0 pos=leaf if [X1(5)] : stay -> qF
+        rule q1 : set X1 { z | z = @a } -> q2   # updates work
+        rule q2 if [X1(@a)] : up -> q3
+        rule q3 : atp [E(x, y)] start q4 into X1 -> q5
+        rule q4 : set X1 { z | z = @a } -> qF
+        rule q5 : stay -> qF
+        """
+    )
+    assert accepts(automaton, parse_term("r[a=1](x[a=1])"))
+    assert accepts(automaton, parse_term("solo[a=9]"))  # leaf root, X1 = {5}
+
+
+def test_init_values():
+    automaton = parse_automaton(
+        """
+        registers 1 1 1
+        init _ 7 hello
+        initial q0
+        final q0
+        """
+    )
+    store = automaton.initial_store()
+    assert not store.get(1)
+    assert store.get(2).single_value() == 7
+    assert store.get(3).single_value() == "hello"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "initial q0",                                    # missing final
+        "initial q0\nfinal qF\nrule q0 : sideways -> qF",
+        "initial q0\nfinal qF\nrule q0 stay -> qF",      # missing ':'
+        "initial q0\nfinal qF\nrule q0 : stay",          # missing '->'
+        "initial q0\nfinal qF\nrule q0 : set X1 { | true } -> qF",
+        "initial q0\nfinal qF\nrule q0 : atp [E(x,y)] start q1 -> qF",
+        "initial q0\nfinal qF\nbogus directive",
+        "registers one\ninitial q0\nfinal qF",
+    ],
+)
+def test_format_errors(bad):
+    with pytest.raises(AutomatonFormatError):
+        parse_automaton(bad)
+
+
+def test_comments_and_hash_in_strings():
+    automaton = parse_automaton(
+        """
+        registers 1
+        initial q0
+        final qF
+        rule q0 if [@a = "#notacomment"] : stay -> qF   # but this is
+        """
+    )
+    assert accepts(automaton, parse_term('n[a="#notacomment"]'))
+    assert not accepts(automaton, parse_term("n[a=1]"))
+
+
+def test_cli_automaton_file(tmp_path, capsys):
+    from repro.__main__ import main
+
+    spec = tmp_path / "even.tw"
+    spec.write_text(serialize_automaton(even_leaves_automaton()))
+    doc = tmp_path / "doc.term"
+    doc.write_text("a(b, c)")
+    assert main(["run", str(doc), "--automaton-file", str(spec)]) == 0
+    assert capsys.readouterr().out.strip() == "accept"

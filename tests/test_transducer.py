@@ -1,0 +1,194 @@
+"""Tree-walking transducer tests (the §8 output extension)."""
+
+import pytest
+
+from tests.conftest import tree_family
+
+from repro.logic.exists_star import children_selector, parent_selector, self_selector
+from repro.transducer import (
+    COPY_LABEL,
+    CopyAttr,
+    TWTransducer,
+    Template,
+    TransducerError,
+    apply_templates,
+    catalog_report_transducer,
+    flatten_leaves_transducer,
+    identity_transducer,
+    out,
+    prune_spec,
+    prune_transducer,
+    run_transducer,
+)
+from repro.trees import BOTTOM, leaves, parse_term
+
+FAMILY = tree_family(count=10, max_size=12)
+
+
+# -- identity ------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_identity_copies_exactly(tree):
+    assert run_transducer(identity_transducer(), tree) == tree
+
+
+def test_identity_copies_attributes():
+    t = parse_term('r[a=1](x[a="two"])')
+    assert run_transducer(identity_transducer(), t) == t
+
+
+# -- pruning --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_prune_matches_spec(tree):
+    if tree.label(()) == "δ":
+        pytest.skip("cannot prune the root")
+    got = run_transducer(prune_transducer("δ"), tree)
+    assert got == prune_spec(tree, "δ")
+
+
+def test_prune_drops_whole_subtrees():
+    t = parse_term("a(b(δ(x, y), c), δ(z))")
+    got = run_transducer(prune_transducer("δ", attributes=()), t)
+    assert got == parse_term("a(b(c))")
+
+
+# -- flattening ----------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_flatten_lists_all_leaves(tree):
+    got = run_transducer(flatten_leaves_transducer(), tree)
+    assert got.label(()) == "leaves"
+    got_leaves = [
+        (got.label(u), got.val("a", u)) for u in got.children(())
+    ]
+    want = [(tree.label(u), tree.val("a", u)) for u in leaves(tree)]
+    assert got_leaves == want
+
+
+def test_flatten_single_node_tree():
+    t = parse_term("x[a=9]")
+    got = run_transducer(flatten_leaves_transducer(), t)
+    assert got.size == 2
+    assert got.val("a", (0,)) == 9
+
+
+# -- the catalog report ------------------------------------------------------------------------
+
+
+def test_catalog_report():
+    doc = parse_term(
+        'catalog(dept[name="db"](item[price=1, cur="EUR"],'
+        '                        item[price=2, cur="EUR"]),'
+        '        dept[name="ai"](item[price=3, cur="USD"]))'
+    )
+    report = run_transducer(catalog_report_transducer(), doc)
+    assert report.label(()) == "report"
+    assert report.degree(()) == 2
+    assert report.val("name", (0,)) == "db"
+    assert report.degree((0,)) == 2
+    assert report.val("cur", (1, 0)) == "USD"
+    assert report.val("price", (0, 1)) == 2
+
+
+def test_catalog_report_strict_on_foreign_documents():
+    with pytest.raises(TransducerError):
+        run_transducer(catalog_report_transducer(), parse_term("html(body)"))
+
+
+# -- model mechanics ------------------------------------------------------------------------------
+
+
+def test_missing_template_empty_mode():
+    t = TWTransducer(templates=(), initial="start")
+    with pytest.raises(TransducerError):
+        run_transducer(t, parse_term("a"))  # zero roots, no wrap
+    wrapped = run_transducer(t, parse_term("a"), wrap_root="empty")
+    assert wrapped == parse_term("empty")
+
+
+def test_missing_template_error_mode():
+    t = TWTransducer(templates=(), initial="start", missing_template="error")
+    with pytest.raises(TransducerError):
+        run_transducer(t, parse_term("a"))
+
+
+def test_first_match_wins():
+    specific = Template("s", (out("special"),), label="a")
+    generic = Template("s", (out("general"),))
+    t = TWTransducer(templates=(specific, generic), initial="s")
+    assert run_transducer(t, parse_term("a")).label(()) == "special"
+    assert run_transducer(t, parse_term("b")).label(()) == "general"
+
+
+def test_infinite_recursion_detected():
+    looping = Template(
+        "s", (out("n", {}, apply_templates(self_selector(), "s")),)
+    )
+    t = TWTransducer(templates=(looping,), initial="s")
+    with pytest.raises(TransducerError):
+        run_transducer(t, parse_term("a"))
+
+
+def test_walking_upwards_is_allowed():
+    # apply-templates may walk up: child renders its parent's label
+    t = TWTransducer(
+        templates=(
+            Template(
+                "start",
+                (out("wrap", {}, apply_templates(children_selector(), "kid")),),
+            ),
+            Template(
+                "kid",
+                (out(COPY_LABEL, {}, apply_templates(parent_selector(), "tag")),),
+            ),
+            Template("tag", (out(COPY_LABEL),)),
+        ),
+        initial="start",
+    )
+    got = run_transducer(t, parse_term("p(x, y)"))
+    assert got == parse_term("wrap(x(p), y(p))")
+
+
+def test_output_budget():
+    # output doubles per level: exponential in the input depth
+    wide = Template(
+        "s",
+        (out("n", {}, apply_templates(children_selector(), "s"),
+             apply_templates(children_selector(), "s")),),
+    )
+    t = TWTransducer(templates=(wide,), initial="s")
+    from repro.trees import chain_tree
+
+    with pytest.raises(TransducerError):
+        run_transducer(t, chain_tree(40), fuel=500)
+
+
+def test_bottom_attributes_not_copied():
+    t = parse_term("r(x[a=1], y)")  # y has a = ⊥
+    got = run_transducer(identity_transducer(), t)
+    assert got.val("a", (1,)) is BOTTOM
+
+
+def test_states_enumeration():
+    trans = catalog_report_transducer()
+    assert set(trans.states()) == {"start", "dept", "item"}
+
+
+def test_xpath_string_selectors_work():
+    t = TWTransducer(
+        templates=(
+            Template(
+                "start",
+                (out("picked", {}, apply_templates(".//b", "b")),),
+            ),
+            Template("b", (out("hit", {"v": CopyAttr("a")}),)),
+        ),
+        initial="start",
+    )
+    doc = parse_term("a(b[a=1], c(b[a=2]))")
+    got = run_transducer(t, doc)
+    assert [got.val("v", u) for u in got.children(())] == [1, 2]

@@ -1,0 +1,99 @@
+"""delim(t) / undelim tests (Section 3's delimited trees)."""
+
+import pytest
+
+from repro.trees import (
+    BOTTOM,
+    LEAF_DELIM,
+    LEFT_DELIM,
+    RIGHT_DELIM,
+    ROOT_DELIM,
+    TreeError,
+    delim,
+    is_delimiter,
+    is_original_leaf,
+    original_nodes,
+    parse_term,
+    random_tree,
+    undelim,
+)
+
+
+def test_delimiters_recognised():
+    for lab in (ROOT_DELIM, LEFT_DELIM, RIGHT_DELIM, LEAF_DELIM):
+        assert is_delimiter(lab)
+    assert not is_delimiter("a")
+
+
+def test_delim_structure_single_node():
+    t = parse_term("a")
+    d = delim(t)
+    assert d.label(()) == ROOT_DELIM
+    kids = d.children(())
+    assert [d.label(k) for k in kids] == [LEFT_DELIM, "a", RIGHT_DELIM]
+    # the original leaf gets a △ child
+    assert [d.label(k) for k in d.children((1,))] == [LEAF_DELIM]
+
+
+def test_delim_wraps_every_child_sequence():
+    t = parse_term("a(b, c)")
+    d = delim(t)
+    a = (1,)
+    labels = [d.label(k) for k in d.children(a)]
+    assert labels[0] == LEFT_DELIM and labels[-1] == RIGHT_DELIM
+    assert labels[1:-1] == ["b", "c"]
+
+
+def test_delimiter_attributes_are_bottom(sigma_delta_tree):
+    d = delim(sigma_delta_tree)
+    for u in d.nodes:
+        if is_delimiter(d.label(u)):
+            for attr in d.attributes:
+                assert d.val(attr, u) is BOTTOM
+
+
+def test_original_attributes_preserved(sigma_delta_tree):
+    d = delim(sigma_delta_tree)
+    originals = original_nodes(d)
+    assert len(originals) == sigma_delta_tree.size
+    values = sorted(
+        str(d.val("a", u)) for u in originals
+    )
+    expected = sorted(
+        str(sigma_delta_tree.val("a", u)) for u in sigma_delta_tree.nodes
+    )
+    assert values == expected
+
+
+def test_undelim_inverse_random():
+    for seed in range(8):
+        t = random_tree(7, attributes=("a",), seed=seed)
+        assert undelim(delim(t)) == t
+
+
+def test_delim_size_formula():
+    # each node adds: itself + (leaf ? 1 : 2) wrapper children; plus ▽,▷,◁
+    for seed in range(6):
+        t = random_tree(6, seed=seed)
+        leaves = sum(1 for u in t.nodes if t.is_leaf(u))
+        inner = t.size - leaves
+        assert delim(t).size == 3 + t.size + leaves + 2 * inner
+
+
+def test_is_original_leaf(sigma_delta_tree):
+    d = delim(sigma_delta_tree)
+    got = {u for u in d.nodes if is_original_leaf(d, u)}
+    want_count = sum(
+        1 for u in sigma_delta_tree.nodes if sigma_delta_tree.is_leaf(u)
+    )
+    assert len(got) == want_count
+
+
+def test_delim_rejects_delimiter_labels():
+    with pytest.raises(TreeError):
+        delim(parse_term("▽"))
+
+
+def test_undelim_rejects_plain_tree():
+    with pytest.raises(TreeError):
+        undelim(parse_term("a(b)"))

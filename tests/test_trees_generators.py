@@ -1,0 +1,86 @@
+"""Generator tests: determinism, counts, scenario properties."""
+
+import pytest
+
+from repro.trees import (
+    all_trees,
+    catalog_document,
+    chain_tree,
+    full_tree,
+    random_string_values,
+    random_tree,
+)
+from repro.automata.examples import example_32_spec
+
+
+def test_random_tree_deterministic_per_seed():
+    a = random_tree(20, seed=5)
+    b = random_tree(20, seed=5)
+    c = random_tree(20, seed=6)
+    assert a == b
+    assert a != c
+
+
+def test_random_tree_size_and_fanout():
+    t = random_tree(30, max_children=3, seed=1)
+    assert t.size == 30
+    assert all(t.degree(u) <= 3 for u in t.nodes)
+
+
+def test_random_tree_pools_respected():
+    t = random_tree(25, alphabet=("x",), attributes=("p", "q"),
+                    value_pool=(7,), seed=2)
+    assert set(t.alphabet) == {"x"}
+    for u in t.nodes:
+        assert t.val("p", u) == 7 and t.val("q", u) == 7
+
+
+def test_random_tree_rejects_empty():
+    with pytest.raises(ValueError):
+        random_tree(0)
+
+
+def test_random_string_values_deterministic():
+    assert random_string_values(9, seed=4) == random_string_values(9, seed=4)
+    assert len(random_string_values(9, seed=4)) == 9
+
+
+def test_chain_tree_is_monadic():
+    t = chain_tree(6)
+    assert t.size == 6
+    assert all(t.degree(u) <= 1 for u in t.nodes)
+
+
+def test_catalog_uniform_satisfies_example_32():
+    doc = catalog_document(4, 3, seed=0)
+    # relabel to the Example 3.2 alphabet: dept -> δ carries the check
+    relabelled = doc.relabel({"dept": "δ", "item": "σ", "catalog": "σ"})
+    t = relabelled.with_attribute("a", dict(doc.attr_table("cur")))
+    assert example_32_spec(t)
+
+
+def test_catalog_broken_violates_example_32():
+    doc = catalog_document(4, 3, uniform_departments=False, seed=0)
+    relabelled = doc.relabel({"dept": "δ", "item": "σ", "catalog": "σ"})
+    t = relabelled.with_attribute("a", dict(doc.attr_table("cur")))
+    assert not example_32_spec(t)
+
+
+def test_catalog_break_needs_room():
+    with pytest.raises(ValueError):
+        catalog_document(2, 1, uniform_departments=False)
+
+
+def test_all_trees_counts():
+    # unlabelled tree shapes with n nodes: 1, 1, 2, 5 (Catalan-ish)
+    assert len(all_trees(1)) == 1
+    assert len(all_trees(2)) == 1
+    assert len(all_trees(3)) == 2
+    assert len(all_trees(4)) == 5
+    # labellings multiply: shapes(3) * 2^3
+    assert len(all_trees(3, ("a", "b"))) == 2 * 8
+
+
+def test_all_trees_distinct():
+    family = all_trees(4, ("a", "b"))
+    assert len(set(family)) == len(family)

@@ -1,0 +1,91 @@
+"""Unit tests for node-address arithmetic."""
+
+import pytest
+
+from repro.trees.node import (
+    ROOT,
+    ancestors,
+    are_siblings,
+    child,
+    child_index,
+    depth,
+    document_less,
+    format_node,
+    is_ancestor,
+    is_ancestor_or_self,
+    left_sibling,
+    parent,
+    parse_node,
+    right_sibling,
+    sibling_less,
+)
+
+
+def test_root_is_empty_tuple():
+    assert ROOT == ()
+    assert parent(ROOT) is None
+    assert depth(ROOT) == 0
+
+
+def test_child_and_parent_inverse():
+    node = child(child(ROOT, 2), 0)
+    assert node == (2, 0)
+    assert parent(node) == (2,)
+    assert child_index(node) == 0
+
+
+def test_child_rejects_negative_index():
+    with pytest.raises(ValueError):
+        child(ROOT, -1)
+
+
+def test_left_sibling_of_first_child_is_none():
+    assert left_sibling((0,)) is None
+    assert left_sibling((3, 0)) is None
+    assert left_sibling((3, 2)) == (3, 1)
+
+
+def test_right_sibling_arithmetic():
+    assert right_sibling((1,)) == (2,)
+    with pytest.raises(ValueError):
+        right_sibling(ROOT)
+
+
+def test_ancestor_relations():
+    assert is_ancestor((), (0, 1))
+    assert not is_ancestor((0, 1), (0, 1))
+    assert is_ancestor_or_self((0, 1), (0, 1))
+    assert not is_ancestor((1,), (0, 1))
+
+
+def test_siblings():
+    assert are_siblings((0, 1), (0, 2))
+    assert not are_siblings((0, 1), (1, 2))
+    assert not are_siblings((0, 1), (0, 1))
+    assert sibling_less((0, 1), (0, 2))
+    assert not sibling_less((0, 2), (0, 1))
+
+
+def test_document_order_ancestors_first():
+    assert document_less((), (0,))
+    assert document_less((0,), (1,))
+    assert document_less((0, 5), (1,))
+    assert not document_less((1,), (0, 5))
+
+
+def test_ancestors_iteration_closest_first():
+    assert list(ancestors((0, 1, 2))) == [(0, 1), (0,), ()]
+
+
+def test_format_parse_roundtrip():
+    for node in [(), (0,), (1, 2, 3)]:
+        assert parse_node(format_node(node)) == node
+    assert format_node(()) == "ε"
+    assert format_node((0, 1)) == "1.2"
+
+
+def test_parse_node_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_node("a.b")
+    with pytest.raises(ValueError):
+        parse_node("0.1")  # components are 1-based

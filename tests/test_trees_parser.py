@@ -1,0 +1,85 @@
+"""Term-syntax parser and printer tests."""
+
+import pytest
+
+from repro.trees import (
+    BOTTOM,
+    TermSyntaxError,
+    Tree,
+    format_term,
+    parse_term,
+)
+
+
+def test_plain_tree():
+    t = parse_term("a(b, c(d))")
+    assert t.size == 4
+    assert t.label((1, 0)) == "d"
+    assert t.attributes == ()
+
+
+def test_attributes_types():
+    t = parse_term('n[i=42, s="hello world", bare=word, neg=-7]')
+    assert t.val("i", ()) == 42
+    assert t.val("s", ()) == "hello world"
+    assert t.val("bare", ()) == "word"
+    assert t.val("neg", ()) == -7
+
+
+def test_bottom_literal():
+    t = parse_term("n[x=⊥]", attributes=["x"])
+    assert t.val("x", ()) is BOTTOM
+
+
+def test_escaped_string():
+    t = parse_term(r'n[s="a\"b\\c"]')
+    assert t.val("s", ()) == 'a"b\\c'
+
+
+def test_whitespace_tolerated():
+    t = parse_term("  a ( b [ x = 1 ] ,  c )  ")
+    assert t.size == 3
+    assert t.val("x", (0,)) == 1
+
+
+def test_explicit_attribute_set():
+    t = parse_term("a(b)", attributes=["k"])
+    assert t.attributes == ("k",)
+    assert t.val("k", ()) is BOTTOM
+
+
+def test_roundtrip(small_tree):
+    assert parse_term(format_term(small_tree)) == small_tree
+
+
+def test_roundtrip_random():
+    from repro.trees import random_tree
+
+    for seed in range(10):
+        t = random_tree(9, alphabet=("a", "b"), attributes=("x", "y"),
+                        value_pool=(1, "v w", "plain"), seed=seed)
+        assert parse_term(format_term(t)) == t
+
+
+def test_delimiter_labels_parse():
+    t = parse_term("▽(▷, a(△), ◁)")
+    assert t.label(()) == "▽"
+    assert t.label((1, 0)) == "△"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["", "a(", "a(b,,c)", "a[x=]", "a[x=1", "a)b", "a(b) trailing", "a[=1]"],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(TermSyntaxError):
+        parse_term(bad)
+
+
+def test_error_carries_position():
+    try:
+        parse_term("a(b,,c)")
+    except TermSyntaxError as exc:
+        assert exc.pos == 4
+    else:  # pragma: no cover
+        pytest.fail("expected a syntax error")

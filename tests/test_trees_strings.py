@@ -1,0 +1,60 @@
+"""Strings-as-monadic-trees tests (the Section 4 setting)."""
+
+import pytest
+
+from repro.trees import (
+    HASH,
+    split_positions,
+    split_string_tree,
+    string_tree,
+    tree_string,
+    parse_term,
+)
+
+
+def test_string_tree_shape():
+    t = string_tree([10, 20, 30])
+    assert t.size == 3
+    assert all(t.degree(u) <= 1 for u in t.nodes)
+    assert t.val("a", ()) == 10
+    assert t.val("a", (0, 0)) == 30
+
+
+def test_roundtrip():
+    values = ["x", 1, "y", 2]
+    assert tree_string(string_tree(values)) == values
+
+
+def test_custom_label_and_attr():
+    t = string_tree(["v"], label="pos", attr="letter")
+    assert t.label(()) == "pos"
+    assert tree_string(t, attr="letter") == ["v"]
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        string_tree([])
+
+
+def test_non_monadic_rejected():
+    with pytest.raises(ValueError):
+        tree_string(parse_term("a(b, c)"))
+
+
+def test_split_string_tree():
+    t = split_string_tree([1, 2], [3])
+    assert tree_string(t) == [1, 2, HASH, 3]
+
+
+def test_split_rejects_hash_inside():
+    with pytest.raises(ValueError):
+        split_string_tree([HASH], [1])
+
+
+def test_split_positions():
+    f, b, g = split_positions([1, 2, HASH, 3])
+    assert (list(f), b, list(g)) == ([1, 2], 2, [3])
+    with pytest.raises(ValueError):
+        split_positions([1, 2, 3])
+    with pytest.raises(ValueError):
+        split_positions([HASH, HASH])

@@ -1,0 +1,96 @@
+"""Traversal and numbering tests (in-order matters for Section 7)."""
+
+import pytest
+
+from repro.trees import (
+    chain_tree,
+    depth_of_tree,
+    full_tree,
+    inorder,
+    leaves,
+    lowest_common_ancestor,
+    node_at,
+    numbering,
+    parse_term,
+    postorder,
+    preorder,
+    random_tree,
+    walk_path,
+)
+from repro.trees.traversal import depth_first_edges
+
+
+def test_orders_are_permutations():
+    for seed in range(6):
+        t = random_tree(9, seed=seed)
+        for order in (preorder, postorder, inorder):
+            assert sorted(order(t)) == sorted(t.nodes)
+
+
+def test_inorder_definition():
+    # visit(u): first child's subtree, u, remaining children's subtrees
+    t = parse_term("a(b(c, d), e)")
+    # a=(), b=(0,), c=(0,0), d=(0,1), e=(1,)
+    assert inorder(t) == ((0, 0), (0,), (0, 1), (), (1,))
+
+
+def test_inorder_on_chain_is_bottom_up():
+    t = chain_tree(4)
+    assert inorder(t) == ((0, 0, 0), (0, 0), (0,), ())
+
+
+def test_numbering_bijection():
+    t = random_tree(11, seed=3)
+    num = numbering(t)
+    assert sorted(num.values()) == list(range(t.size))
+    for u, i in num.items():
+        assert node_at(t, i) == u
+
+
+def test_node_at_out_of_range():
+    with pytest.raises(IndexError):
+        node_at(chain_tree(3), 3)
+
+
+def test_leaves(small_tree):
+    got = leaves(small_tree)
+    assert got == ((0, 0), (0, 1), (1, 0))
+
+
+def test_depth_of_tree():
+    assert depth_of_tree(parse_term("a")) == 0
+    assert depth_of_tree(chain_tree(5)) == 4
+    assert depth_of_tree(full_tree(2, 3)) == 2
+
+
+def test_lowest_common_ancestor(small_tree):
+    assert lowest_common_ancestor(small_tree, (0, 0), (0, 1)) == (0,)
+    assert lowest_common_ancestor(small_tree, (0, 0), (1, 0)) == ()
+    assert lowest_common_ancestor(small_tree, (0,), (0, 1)) == (0,)
+
+
+def test_walk_path(small_tree):
+    assert walk_path(small_tree, (), "DD") == (0, 0)
+    assert walk_path(small_tree, (0, 0), "RU") == (0,)
+    assert walk_path(small_tree, (), "U") is None
+    with pytest.raises(ValueError):
+        walk_path(small_tree, (), "X")
+
+
+def test_depth_first_edges_is_euler_tour():
+    t = parse_term("a(b(c), d)")
+    moves = list(depth_first_edges(t))
+    assert moves == [
+        ((), (0,), "down"),       # a -> b
+        ((0,), (0, 0), "down"),   # b -> c
+        ((0, 0), (0,), "up"),     # c -> b (subtree done)
+        ((0,), (1,), "right"),    # b -> d
+        ((1,), (), "up"),         # d -> a
+    ]
+
+
+def test_full_tree_size():
+    assert full_tree(2, 2).size == 7
+    assert full_tree(0, 5).size == 1
+    with pytest.raises(ValueError):
+        full_tree(-1, 2)

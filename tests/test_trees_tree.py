@@ -1,0 +1,153 @@
+"""Unit tests for the Tree type: construction, navigation, relations."""
+
+import pytest
+
+from repro.trees import BOTTOM, Tree, TreeError, TreeNode, parse_term
+
+
+def test_single_node_tree():
+    t = Tree.leaf("a")
+    assert t.size == 1
+    assert t.label(()) == "a"
+    assert t.is_root(()) and t.is_leaf(())
+    assert t.children(()) == ()
+
+
+def test_build_from_treenode():
+    root = TreeNode("a")
+    b = root.add(TreeNode("b", attrs={"x": 1}))
+    b.add(TreeNode("c"))
+    t = Tree.build(root)
+    assert t.size == 3
+    assert t.label((0,)) == "b"
+    assert t.val("x", (0,)) == 1
+    assert t.val("x", ()) is BOTTOM
+
+
+def test_missing_root_rejected():
+    with pytest.raises(TreeError):
+        Tree({(0,): "a"})
+
+
+def test_gap_in_children_rejected():
+    with pytest.raises(TreeError):
+        Tree({(): "a", (1,): "b"})  # child 0 missing
+
+
+def test_orphan_rejected():
+    with pytest.raises(TreeError):
+        Tree({(): "a", (0, 0): "c"})
+
+
+def test_navigation(small_tree):
+    t = small_tree
+    assert t.parent((0, 1)) == (0,)
+    assert t.first_child(()) == (0,)
+    assert t.last_child(()) == (1,)
+    assert t.left_sibling((1,)) == (0,)
+    assert t.right_sibling((0,)) == (1,)
+    assert t.right_sibling((1,)) is None
+    assert t.parent(()) is None
+    assert t.first_child((1, 0)) is None
+
+
+def test_positional_predicates(small_tree):
+    t = small_tree
+    assert t.is_root(()) and not t.is_leaf(())
+    assert t.is_first_child((0,)) and not t.is_last_child((0,))
+    assert t.is_last_child((1,)) and not t.is_first_child((1,))
+    # The root is neither first nor last child.
+    assert not t.is_first_child(()) and not t.is_last_child(())
+
+
+def test_vocabulary_relations(small_tree):
+    t = small_tree
+    assert t.edge((), (0,))
+    assert not t.edge((), (0, 0))
+    assert t.descendant((), (0, 0))
+    assert not t.descendant((0, 0), ())
+    assert t.sibling_less((0,), (1,))
+    assert not t.sibling_less((0,), (0, 1))
+
+
+def test_unknown_node_raises(small_tree):
+    with pytest.raises(TreeError):
+        small_tree.label((9, 9))
+    with pytest.raises(TreeError):
+        small_tree.val("cur", (9,))
+
+
+def test_unknown_attribute_raises(small_tree):
+    with pytest.raises(TreeError):
+        small_tree.val("nope", ())
+
+
+def test_attributes_are_totalised(small_tree):
+    # every attribute has a (possibly ⊥) value at every node
+    for attr in small_tree.attributes:
+        for node in small_tree.nodes:
+            small_tree.val(attr, node)  # must not raise
+
+
+def test_active_domain(small_tree):
+    adom = small_tree.active_domain()
+    assert {"EUR", "USD", "db", 30, 2} <= adom
+    assert BOTTOM not in adom
+
+
+def test_document_order_is_preorder(small_tree):
+    nodes = small_tree.nodes
+    assert nodes[0] == ()
+    for i, u in enumerate(nodes):
+        assert small_tree.document_index(u) == i
+    # parents precede children
+    for u in nodes:
+        for c in small_tree.children(u):
+            assert small_tree.document_index(u) < small_tree.document_index(c)
+
+
+def test_postorder_children_first(small_tree):
+    order = {u: i for i, u in enumerate(small_tree.nodes_postorder)}
+    for u in small_tree.nodes:
+        for c in small_tree.children(u):
+            assert order[c] < order[u]
+
+
+def test_subtree_readdressing(small_tree):
+    sub = small_tree.subtree((0,))
+    assert sub.label(()) == "dept"
+    assert sub.size == 3
+    assert sub.val("cur", (0,)) == "EUR"
+
+
+def test_with_attribute_and_relabel(small_tree):
+    t2 = small_tree.with_attribute("flag", {(): "yes"})
+    assert t2.val("flag", ()) == "yes"
+    assert t2.val("flag", (0,)) is BOTTOM
+    t3 = small_tree.relabel({"dept": "division"})
+    assert t3.label((0,)) == "division"
+    assert t3.label(()) == "catalog"
+
+
+def test_equality_and_hash():
+    a = parse_term("a(b[x=1], c)")
+    b = parse_term("a(b[x=1], c)")
+    c = parse_term("a(b[x=2], c)")
+    assert a == b and hash(a) == hash(b)
+    assert a != c
+
+
+def test_attr_on_unknown_node_rejected():
+    with pytest.raises(TreeError):
+        Tree({(): "a"}, {"x": {(1,): 5}})
+
+
+def test_non_d_attribute_value_rejected():
+    with pytest.raises(TreeError):
+        Tree({(): "a"}, {"x": {(): [1, 2]}})
+
+
+def test_iter_edges(small_tree):
+    edges = list(small_tree.iter_edges())
+    assert ((), (0,)) in edges
+    assert len(edges) == small_tree.size - 1

@@ -1,0 +1,63 @@
+"""XML subset I/O tests."""
+
+import pytest
+
+from repro.trees import XmlSyntaxError, from_xml, parse_term, random_tree, to_xml
+
+
+def test_roundtrip_fixed(small_tree):
+    assert from_xml(to_xml(small_tree)) == small_tree
+
+
+def test_roundtrip_random():
+    for seed in range(8):
+        t = random_tree(10, alphabet=("a", "b-c"), attributes=("k",),
+                        value_pool=(1, "two", 'say "hi" & bye'), seed=seed)
+        assert from_xml(to_xml(t)) == t
+
+
+def test_int_values_keep_type():
+    t = parse_term("n[x=5]")
+    text = to_xml(t)
+    assert 'x="int:5"' in text
+    assert from_xml(text).val("x", ()) == 5
+
+
+def test_escaping():
+    t = parse_term("n").with_attribute("s", {(): '<a> & "b"'})
+    text = to_xml(t)
+    assert "&lt;" in text and "&amp;" in text and "&quot;" in text
+    assert from_xml(text).val("s", ()) == '<a> & "b"'
+
+
+def test_self_closing_leaves():
+    assert to_xml(parse_term("a")) == "<a/>\n"
+
+
+def test_xml_declaration_skipped():
+    t = from_xml('<?xml version="1.0"?>\n<a><b/></a>')
+    assert t.size == 2
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "<a>",
+        "<a></b>",
+        "<a x=5/>",
+        "<a><b/></a><c/>",
+        "<a x='unterminated/>",
+    ],
+)
+def test_malformed_rejected(bad):
+    with pytest.raises(XmlSyntaxError):
+        from_xml(bad)
+
+
+def test_bottom_attributes_omitted(small_tree):
+    # "name" is ⊥ except on the first dept — it must not appear on items
+    text = to_xml(small_tree)
+    for line in text.splitlines():
+        if "<item" in line:
+            assert "name=" not in line

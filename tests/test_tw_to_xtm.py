@@ -1,0 +1,85 @@
+"""tw → xTM compilation tests (Theorem 7.1(1), ⊆ direction)."""
+
+import pytest
+
+from tests.conftest import tree_family
+
+from repro.automata import accepts, run
+from repro.automata.examples import (
+    all_leaves_same_twrl,
+    all_values_same_twr,
+    delta_leaves_mod3_twr,
+    even_leaves_automaton,
+    exists_value_automaton,
+    root_value_at_some_leaf,
+)
+from repro.machines import run_xtm
+from repro.simulation.tw_to_xtm import UnsupportedFeature, compile_tw_to_xtm
+
+FAMILY = tree_family(count=10, max_size=12)
+
+TW_SOURCES = [
+    even_leaves_automaton,
+    lambda: exists_value_automaton("a", 2),
+    root_value_at_some_leaf,
+    delta_leaves_mod3_twr,
+]
+
+
+@pytest.mark.parametrize("factory", TW_SOURCES,
+                         ids=["even", "exists", "root-leaf", "mod3"])
+@pytest.mark.parametrize("tree", FAMILY, ids=lambda t: f"n{t.size}")
+def test_compiled_xtm_agrees(factory, tree):
+    automaton = factory()
+    machine = compile_tw_to_xtm(automaton)
+    assert run_xtm(machine, tree).accepted == accepts(automaton, tree)
+
+
+def test_simulation_is_step_for_step():
+    automaton = even_leaves_automaton()
+    machine = compile_tw_to_xtm(automaton)
+    for tree in FAMILY[:5]:
+        tw_result = run(automaton, tree)
+        xtm_result = run_xtm(machine, tree)
+        assert xtm_result.steps == tw_result.steps
+        assert xtm_result.space == 1  # the tape is never touched
+
+
+def test_initial_assignment_becomes_preamble():
+    automaton = delta_leaves_mod3_twr()  # τ₀(1) = 0
+    machine = compile_tw_to_xtm(automaton)
+    assert machine.initial.startswith("xtm:init")
+    for tree in FAMILY[:4]:
+        assert run_xtm(machine, tree).accepted == accepts(automaton, tree)
+
+
+def test_guarded_mod3_counts_through_registers():
+    """delta_leaves_mod3 keeps a constant in the register and its guard
+    X1(0) translates to RegEqConst — the whole pipeline in one case."""
+    from repro.trees import parse_term
+
+    machine = compile_tw_to_xtm(delta_leaves_mod3_twr())
+    assert run_xtm(machine, parse_term("σ(δ, δ, δ)")).accepted
+    assert not run_xtm(machine, parse_term("σ(δ, δ)")).accepted
+    assert run_xtm(machine, parse_term("σ(σ)")).accepted  # zero ≡ 0 (mod 3)
+
+
+def test_atp_rejected():
+    with pytest.raises(UnsupportedFeature):
+        compile_tw_to_xtm(all_leaves_same_twrl())
+
+
+def test_wide_updates_rejected():
+    with pytest.raises(UnsupportedFeature):
+        compile_tw_to_xtm(all_values_same_twr())
+
+
+def test_quantified_guard_rejected():
+    from repro.automata import AutomatonBuilder, STAY
+    from repro.store.fo import Var, exists, rel
+
+    z = Var("z")
+    b = AutomatonBuilder(register_arities=[1])
+    b.move("q0", "qF", STAY, guard=exists(z, rel(1, z)))
+    with pytest.raises(UnsupportedFeature):
+        compile_tw_to_xtm(b.build(initial="q0", final="qF"))

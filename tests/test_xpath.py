@@ -1,0 +1,167 @@
+"""XPath fragment: parsing, evaluation, FO(∃*) compilation (§2.3)."""
+
+import pytest
+
+from repro.logic import tree_fo as T
+from repro.xpath import (
+    NameTest,
+    Path,
+    SelfTest,
+    Union_,
+    Wildcard,
+    XPathSyntaxError,
+    compile_xpath,
+    parse_xpath,
+    select,
+)
+from repro.xpath.ast import CHILD, DESCENDANT, Step
+from repro.trees import parse_term, random_tree
+
+
+# -- parsing -------------------------------------------------------------------
+
+
+def test_parse_single_name():
+    expr = parse_xpath("a")
+    assert isinstance(expr, Path)
+    assert isinstance(expr.steps[0].test, NameTest)
+    assert not expr.absolute
+
+
+def test_parse_axes():
+    expr = parse_xpath("a/b//c")
+    assert expr.axes == (CHILD, DESCENDANT)
+
+
+def test_parse_absolute_and_double_slash():
+    assert parse_xpath("/a").absolute
+    expr = parse_xpath("//a")
+    assert expr.absolute and expr.axes == (DESCENDANT,)
+    assert isinstance(expr.steps[0].test, Wildcard)
+
+
+def test_parse_filters():
+    expr = parse_xpath("a[b][.//c]")
+    assert len(expr.steps[0].filters) == 2
+
+
+def test_parse_union():
+    expr = parse_xpath("a | b/c")
+    assert isinstance(expr, Union_)
+    assert len(expr.alternatives) == 2
+
+
+def test_parse_wildcard_and_self():
+    assert isinstance(parse_xpath("*").steps[0].test, Wildcard)
+    assert isinstance(parse_xpath(".").steps[0].test, SelfTest)
+
+
+@pytest.mark.parametrize("bad", ["", "a[", "a]", "/", "a[b|c]", "a//", "|a"])
+def test_parse_errors(bad):
+    with pytest.raises(XPathSyntaxError):
+        parse_xpath(bad)
+
+
+def test_ast_validation():
+    with pytest.raises(ValueError):
+        Path((), ())
+    with pytest.raises(ValueError):
+        Path((Step(NameTest("a")),), (CHILD,))
+    with pytest.raises(ValueError):
+        Union_((parse_xpath("a"),))
+
+
+# -- evaluation -------------------------------------------------------------------
+
+
+@pytest.fixture
+def doc():
+    return parse_term("a(b(c, d), b(d), e(b(c(d))))")
+
+
+def test_relative_first_test_applies_to_context(doc):
+    assert select(parse_xpath("a"), doc, ()) == ((),)
+    assert select(parse_xpath("b"), doc, ()) == ()
+
+
+def test_child_axis(doc):
+    assert select(parse_xpath("a/b"), doc, ()) == ((0,), (1,))
+
+
+def test_descendant_axis(doc):
+    assert select(parse_xpath("a//b"), doc, ()) == ((0,), (1,), (2, 0))
+
+
+def test_filters_child_semantics(doc):
+    # [d]: has a child labelled d (the paper's example reading)
+    assert select(parse_xpath("a//b[d]"), doc, ()) == ((0,), (1,))
+
+
+def test_filters_descendant(doc):
+    assert select(parse_xpath("a//b[.//d]"), doc, ()) == ((0,), (1,), (2, 0))
+
+
+def test_paper_worked_example(doc):
+    # a//b[.//c][d] — both filters must hold
+    assert select(parse_xpath("a//b[.//c][d]"), doc, ()) == ((0,),)
+
+
+def test_absolute_ignores_context(doc):
+    for ctx in doc.nodes:
+        assert select(parse_xpath("/a/e"), doc, ctx) == ((2,),)
+
+
+def test_union(doc):
+    got = select(parse_xpath("a/e | a/b"), doc, ())
+    assert got == ((0,), (1,), (2,))
+
+
+def test_wildcard(doc):
+    assert select(parse_xpath("a/*"), doc, ()) == ((0,), (1,), (2,))
+
+
+def test_self_in_filter(doc):
+    # *[.] is every node (trivially true filter)
+    assert select(parse_xpath("*[.]"), doc, ()) == ((),)
+
+
+# -- compilation --------------------------------------------------------------------
+
+
+def test_paper_example_compiles_to_expected_shape():
+    query = compile_xpath(parse_xpath("a//b[.//c][d]"))
+    # prenex-existential with O_a(x), O_b(y), a descendant and an edge atom
+    from repro.logic.exists_star import strip_prefix
+
+    prefix, matrix = strip_prefix(query.formula)
+    assert len(prefix) == 2  # y₂ for .//c, y₃ for d
+    atoms = list(T.subformulas(matrix))
+    assert any(isinstance(a, T.Label) and a.symbol == "a" for a in atoms)
+    assert any(isinstance(a, T.Edge) for a in atoms)
+    assert sum(isinstance(a, T.Desc) for a in atoms) == 2
+
+
+@pytest.mark.parametrize(
+    "expression",
+    [
+        "a", "a/b", "a//b", "//b", "/a/*/c", "b|e", "a//b[c]|a/e",
+        "*[.//d]", ".", "a//b[.//c][d]", "a/b//c", "*[a][b]",
+        "b[.//a]", "./b",
+    ],
+)
+def test_compiler_agrees_with_evaluator(expression):
+    expr = parse_xpath(expression)
+    query = compile_xpath(expr)
+    for seed in range(6):
+        t = random_tree(9, alphabet=("a", "b", "c", "d", "e"), seed=seed)
+        for ctx in t.nodes:
+            assert query.select(t, ctx) == select(expr, t, ctx), (
+                expression, seed, ctx,
+            )
+
+
+def test_compiled_queries_are_exists_star():
+    from repro.logic.exists_star import is_exists_star
+
+    for expression in ["a//b[.//c][d]", "a|b", "/a//*"]:
+        assert is_exists_star(compile_xpath(parse_xpath(expression)).formula)
