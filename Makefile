@@ -1,0 +1,31 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+# Fixed seed matrix for reproducible CI fuzz rounds.
+FUZZ_SEEDS ?= 0 1 2 3 4
+FUZZ_BUDGET ?= 200
+
+.PHONY: test test-quick fuzz replay
+
+## Full tier-1 suite (includes the marked oracle fuzz tests).
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+## Everything except the fuzz rounds — the quick local loop.
+test-quick:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q -m "not oracle"
+
+## Cross-engine differential fuzzing: the marked pytest rounds plus a
+## CLI sweep over the fixed seed matrix.  Fails on any disagreement;
+## shrunk reproducers land in tests/corpus/.
+fuzz:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m oracle
+	@for seed in $(FUZZ_SEEDS); do \
+		echo "== oracle seed $$seed =="; \
+		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.oracle \
+			--seed $$seed --budget $(FUZZ_BUDGET) || exit 1; \
+	done
+
+## Replay the stored counterexample corpus only.
+replay:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.oracle --replay

@@ -20,6 +20,10 @@ Commands
     Play the Lemma 4.5 protocol for a stock string program on the split
     string f#g (f, g comma-separated values) and print the dialogue.
 
+``oracle [ARGS…]``
+    Differential fuzzing across the query engines; forwards to
+    ``python -m repro.oracle`` (try ``oracle --help``).
+
 Documents: files ending in ``.xml`` are parsed as the XML subset;
 anything else as term syntax ``label[attr=value](children)``.  Pass
 ``-`` to read stdin.
@@ -185,6 +189,12 @@ def _cmd_protocol(args: argparse.Namespace) -> int:
     return 0 if result.accepted else 1
 
 
+def _cmd_oracle(args: argparse.Namespace) -> int:
+    from .oracle.cli import main as oracle_main
+
+    return oracle_main(args.oracle_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -229,10 +239,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="load the program from a .tw file instead")
     p_proto.set_defaults(func=_cmd_protocol)
 
+    p_oracle = sub.add_parser(
+        "oracle",
+        help="differential fuzzing across the query engines",
+        add_help=False,
+    )
+    p_oracle.add_argument("oracle_args", nargs="*",
+                          help="arguments for python -m repro.oracle")
+    p_oracle.set_defaults(func=_cmd_oracle)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "oracle":
+        # Forward verbatim: the oracle owns its own flags, and argparse
+        # (3.13+) refuses REMAINDER args that start with an option.
+        return _cmd_oracle(argparse.Namespace(oracle_args=argv[1:]))
     args = build_parser().parse_args(argv)
     return args.func(args)
 

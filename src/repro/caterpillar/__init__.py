@@ -36,7 +36,7 @@ from .ast import (
 )
 from .compile_ntwa import caterpillar_to_ntwa
 from .nfa import CaterpillarNFA, compile_caterpillar, matches, relation, walk
-from .parser import CaterpillarSyntaxError, parse_caterpillar
+from .parser import CaterpillarSyntaxError, format_caterpillar, parse_caterpillar
 
 __all__ = [
     "Alt",
@@ -69,5 +69,6 @@ __all__ = [
     "relation",
     "walk",
     "CaterpillarSyntaxError",
+    "format_caterpillar",
     "parse_caterpillar",
 ]

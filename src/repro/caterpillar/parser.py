@@ -26,10 +26,12 @@ from typing import List
 from .ast import (
     Alt,
     Caterpillar,
+    Concat,
     Epsilon,
     LabelTest,
     MOVES,
     Move,
+    Star,
     TESTS,
     Test,
     alt,
@@ -147,3 +149,36 @@ def parse_caterpillar(text: str) -> Caterpillar:
     if sc.pos != len(sc.text):
         raise sc.error("trailing input")
     return expr
+
+
+def _format_tight(expr: Caterpillar) -> str:
+    if isinstance(expr, (Alt, Concat)):
+        return f"({format_caterpillar(expr)})"
+    return format_caterpillar(expr)
+
+
+def format_caterpillar(expr: Caterpillar) -> str:
+    """Render an expression back into the concrete syntax.
+
+    Inverse of :func:`parse_caterpillar` on expressions with no
+    one-part ``Concat``/``Alt`` (as built by :func:`~repro.caterpillar.ast.concat`
+    and ``alt``): ``parse_caterpillar(format_caterpillar(e)) == e``.
+    Unlike ``repr``, the empty walk renders as the parseable ``eps``.
+    """
+    if isinstance(expr, (Move, Test)):
+        return repr(expr)
+    if isinstance(expr, LabelTest):
+        return f"<{expr.label}>"
+    if isinstance(expr, Epsilon):
+        return "eps"
+    if isinstance(expr, Star):
+        return f"{_format_tight(expr.inner)}*"
+    if isinstance(expr, Concat):
+        return " ".join(_format_tight(p) for p in expr.parts)
+    if isinstance(expr, Alt):
+        return " | ".join(
+            f"({format_caterpillar(o)})" if isinstance(o, Alt)
+            else format_caterpillar(o)
+            for o in expr.options
+        )
+    raise TypeError(f"unknown caterpillar node {expr!r}")

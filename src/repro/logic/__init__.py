@@ -48,6 +48,7 @@ from .normalform import (
 )
 from .parser import (
     FormulaSyntaxError,
+    format_formula,
     parse_formula,
     parse_query,
     parse_sentence,
@@ -99,6 +100,7 @@ __all__ = [
     "prenex_normal_form",
     "rename_apart",
     "FormulaSyntaxError",
+    "format_formula",
     "parse_formula",
     "parse_query",
     "parse_sentence",

@@ -291,6 +291,76 @@ class _Parser:
         return T.ValConst(attr, x, _parse_constant(self.sc))
 
 
+def _format_constant(value: DataValue) -> str:
+    if isinstance(value, int):
+        return str(value)
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _format_child(formula: TreeFormula) -> str:
+    """Render a subformula so it parses as one ``unary`` unit."""
+    text = format_formula(formula)
+    if T.is_atom(formula) or isinstance(formula, T.Not):
+        return text
+    return text if text.startswith("(") else f"({text})"
+
+
+def format_formula(formula: TreeFormula) -> str:
+    """Render a formula back into the parser's ASCII syntax.
+
+    Inverse of :func:`parse_formula` on normalized formulas (as built by
+    :func:`~repro.logic.tree_fo.conj` / ``disj``, i.e. no one-part
+    conjunctions): ``parse_formula(format_formula(f)) == f``.
+    """
+    if isinstance(formula, T.TrueF):
+        return "true"
+    if isinstance(formula, T.FalseF):
+        return "false"
+    if isinstance(formula, T.Edge):
+        return f"E({formula.parent.name}, {formula.child.name})"
+    if isinstance(formula, T.Succ):
+        return f"succ({formula.left.name}, {formula.right.name})"
+    if isinstance(formula, (T.Root, T.Leaf, T.First, T.Last)):
+        keyword = type(formula).__name__.lower()
+        return f"{keyword}({formula.var.name})"
+    if isinstance(formula, T.Label):
+        return f"O_{formula.symbol}({formula.var.name})"
+    if isinstance(formula, T.NodeEq):
+        return f"{formula.left.name} = {formula.right.name}"
+    if isinstance(formula, T.SibLess):
+        return f"{formula.left.name} < {formula.right.name}"
+    if isinstance(formula, T.Desc):
+        return f"{formula.ancestor.name} << {formula.descendant.name}"
+    if isinstance(formula, T.ValEq):
+        return (
+            f"val_{formula.attr_left}({formula.left.name}) = "
+            f"val_{formula.attr_right}({formula.right.name})"
+        )
+    if isinstance(formula, T.ValConst):
+        return (
+            f"val_{formula.attr}({formula.var.name}) = "
+            f"{_format_constant(formula.value)}"
+        )
+    if isinstance(formula, T.Not):
+        return f"~{_format_child(formula.inner)}"
+    if isinstance(formula, T.And):
+        return "(" + " & ".join(_format_child(p) for p in formula.parts) + ")"
+    if isinstance(formula, T.Or):
+        return "(" + " | ".join(_format_child(p) for p in formula.parts) + ")"
+    if isinstance(formula, T.Implies):
+        return (
+            f"({_format_child(formula.premise)} -> "
+            f"{_format_child(formula.conclusion)})"
+        )
+    if isinstance(formula, (T.Exists, T.Forall)):
+        keyword = "exists" if isinstance(formula, T.Exists) else "forall"
+        return (
+            f"{keyword} {formula.var.name} ({format_formula(formula.inner)})"
+        )
+    raise TreeFormulaError(f"unknown formula node {formula!r}")
+
+
 def parse_formula(text: str) -> TreeFormula:
     """Parse FO text into a :class:`TreeFormula`."""
     parser = _Parser(text)

@@ -1,0 +1,120 @@
+"""Command line of the differential oracle.
+
+Fuzz 200 cases from seed 0 across all engine pairs::
+
+    python -m repro.oracle --seed 0 --budget 200
+
+Focus on one equivalence, bigger trees, keep reproducers::
+
+    python -m repro.oracle --seed 7 --budget 500 --max-size 14 \\
+        --pairs runner/memo --corpus-dir tests/corpus
+
+Replay the stored corpus only::
+
+    python -m repro.oracle --replay
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .corpus import DEFAULT_CORPUS
+from .driver import default_pairs, pairs_by_name, replay_corpus, run_oracle
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.oracle",
+        description="Differential fuzzing across the repo's query engines.",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for the whole run (default 0)")
+    parser.add_argument("--budget", type=int, default=200,
+                        help="number of generated cases (default 200)")
+    parser.add_argument("--max-size", type=int, default=10,
+                        help="max nodes per generated tree (default 10)")
+    parser.add_argument("--pairs", metavar="NAME", nargs="+",
+                        help="restrict to these engine pairs (see --list-pairs)")
+    parser.add_argument("--corpus-dir", type=Path, default=None,
+                        help="where to persist shrunk reproducers "
+                             f"(default {DEFAULT_CORPUS})")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="record disagreements without minimising them")
+    parser.add_argument("--no-persist", action="store_true",
+                        help="do not write reproducers to the corpus")
+    parser.add_argument("--replay", action="store_true",
+                        help="only replay the stored corpus, no fuzzing")
+    parser.add_argument("--list-pairs", action="store_true",
+                        help="list engine pair names and exit")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print each disagreement as it is found")
+    return parser
+
+
+def _select_pairs(names: Optional[List[str]]):
+    registry = pairs_by_name()
+    if not names:
+        return default_pairs()
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        known = ", ".join(sorted(registry))
+        raise SystemExit(f"unknown pair(s) {unknown}; known: {known}")
+    return tuple(registry[n] for n in names)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_pairs:
+        for pair in default_pairs():
+            print(pair.name)
+        return 0
+    pairs = _select_pairs(args.pairs)
+
+    if args.replay:
+        results = replay_corpus(pairs=pairs)
+        bad = [r for r in results if not r.ok and not r.skipped]
+        for r in results:
+            status = "SKIP" if r.skipped else ("ok" if r.ok else "FAIL")
+            print(f"{status:>4}  {r.path.name}  [{r.pair}]")
+            if r.outcome is not None and not r.outcome.agree:
+                print(f"      left : {r.outcome.left}")
+                print(f"      right: {r.outcome.right}")
+        print(f"{len(results)} corpus entries, {len(bad)} disagreeing")
+        return 1 if bad else 0
+
+    corpus_dir = None
+    if not args.no_persist:
+        corpus_dir = args.corpus_dir or DEFAULT_CORPUS
+    report = run_oracle(
+        seed=args.seed,
+        budget=args.budget,
+        pairs=pairs,
+        max_size=args.max_size,
+        shrink=not args.no_shrink,
+        corpus_dir=corpus_dir,
+        verbose=args.verbose,
+    )
+    for line in report.summary_lines():
+        print(line)
+    for d in report.disagreements:
+        print(f"\n[{d.pair}] DISAGREEMENT "
+              f"(shrunk in {d.shrink_evals} checks)")
+        print(f"  tree : {d.shrunk['tree']}")
+        print(f"  query: {d.shrunk['query']}")
+        if "context" in d.shrunk:
+            print(f"  context: {d.shrunk['context']}")
+        print(f"  left : {d.outcome.left}")
+        print(f"  right: {d.outcome.right}")
+        if d.saved_to is not None:
+            print(f"  saved: {d.saved_to}")
+    total = report.total_disagreements()
+    print(f"\n{report.total_cases()} cases, {total} disagreements "
+          f"(seed={report.seed})")
+    return 1 if total else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""JSON persistence of shrunk counterexamples under ``tests/corpus/``.
+
+Every disagreement the oracle ever finds is shrunk and saved as one
+small JSON file; the regression suite replays the whole directory on
+every run, so a fixed bug can never silently come back.  Entries are
+text-first (term syntax for the tree, concrete syntax for the query)
+so a failing case is readable in the diff that introduces it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..trees.parser import format_term, parse_term
+from .pairs import Case, EnginePair
+
+SCHEMA_VERSION = 1
+
+#: Default corpus location, relative to the repository root.
+DEFAULT_CORPUS = Path(__file__).resolve().parents[3] / "tests" / "corpus"
+
+
+def encode_case(pair: EnginePair, case: Case, note: str = "") -> Dict:
+    """A JSON-able record of one (pair, tree, query, context) case."""
+    entry = {
+        "schema": SCHEMA_VERSION,
+        "pair": pair.name,
+        "tree": format_term(case.tree),
+        "attributes": list(case.tree.attributes),
+        "query": pair.encode_query(case.query),
+    }
+    if case.context is not None:
+        entry["context"] = list(case.context)
+    if note:
+        entry["note"] = note
+    return entry
+
+
+def decode_case(entry: Dict, pairs: Dict[str, EnginePair]) -> Tuple[EnginePair, Case]:
+    """Inverse of :func:`encode_case`, given a name → pair mapping."""
+    if entry.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"unknown corpus schema: {entry.get('schema')!r}")
+    pair = pairs[entry["pair"]]
+    tree = parse_term(entry["tree"])
+    for attr in entry.get("attributes", []):
+        if attr not in tree.attributes:
+            tree = tree.with_attribute(attr, {})
+    context = tuple(entry["context"]) if "context" in entry else None
+    return pair, Case(tree, pair.decode_query(entry["query"]), context)
+
+
+def entry_filename(entry: Dict) -> str:
+    """Deterministic name: pair slug plus a content hash, so the same
+    counterexample saved twice lands on the same file."""
+    slug = entry["pair"].replace("/", "-")
+    payload = json.dumps(entry, sort_keys=True, ensure_ascii=False)
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:10]
+    return f"{slug}-{digest}.json"
+
+
+def save_entry(entry: Dict, directory: Optional[Path] = None) -> Path:
+    """Write one corpus entry; returns the path."""
+    directory = Path(directory) if directory else DEFAULT_CORPUS
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / entry_filename(entry)
+    path.write_text(
+        json.dumps(entry, indent=2, sort_keys=True, ensure_ascii=False) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def iter_corpus(directory: Optional[Path] = None) -> Iterator[Tuple[Path, Dict]]:
+    """All corpus entries, sorted by filename for stable replay order."""
+    directory = Path(directory) if directory else DEFAULT_CORPUS
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("*.json")):
+        yield path, json.loads(path.read_text(encoding="utf-8"))

@@ -1,0 +1,445 @@
+"""Seeded generators for the differential oracle.
+
+Every generator takes an explicit :class:`random.Random` (threaded from
+the single ``--seed`` of an oracle run, via :func:`repro.trees.as_rng`)
+and a size budget, and produces inputs inside the fragments the paper's
+engines implement:
+
+* attributed trees over a small alphabet with one data attribute;
+* XPath expressions of the §2.3 fragment (child/descendant axes,
+  filters, unions, the wildcard and the ``.`` test);
+* caterpillar expressions over the full move/test alphabet;
+* binary FO(∃*) selectors φ(x, y);
+* tw^{r,l} automaton *specimens* — (template, params) pairs drawn from
+  the Definition 5.1 example library, each carrying an independent
+  specification to differentiate against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..automata import examples as ax
+from ..automata.machine import TWAutomaton
+from ..caterpillar.ast import (
+    Caterpillar,
+    Epsilon,
+    LabelTest,
+    MOVES,
+    Move,
+    TESTS,
+    Test,
+    alt,
+    concat,
+    star,
+)
+from ..logic import tree_fo
+from ..logic.tree_fo import NVar, TreeFormula
+from ..trees.generators import random_tree
+from ..trees.node import NodeId
+from ..trees.tree import Tree
+from ..xpath.ast import (
+    CHILD,
+    DESCENDANT,
+    Expr,
+    NameTest,
+    Path,
+    SelfTest,
+    Step,
+    Union_,
+    Wildcard,
+)
+from ..xpath.compiler import compile_xpath
+from ..xpath.parser import parse_xpath
+from ..logic.exists_star import variable_count
+
+#: The oracle's default instance vocabulary: the Example 3.2 setting.
+ALPHABET: Tuple[str, ...] = ("σ", "δ")
+ATTRIBUTES: Tuple[str, ...] = ("a",)
+VALUE_POOL: Tuple[int, ...] = (1, 2, 3)
+
+X = NVar("x")
+Y = NVar("y")
+
+
+def random_attributed_tree(
+    rng: random.Random,
+    max_size: int,
+    alphabet: Sequence[str] = ALPHABET,
+    attributes: Sequence[str] = ATTRIBUTES,
+    value_pool: Sequence = VALUE_POOL,
+) -> Tree:
+    """A random tree of 1..max_size nodes over the oracle vocabulary."""
+    size = rng.randint(1, max(1, max_size))
+    return random_tree(
+        size,
+        alphabet=alphabet,
+        attributes=attributes,
+        value_pool=value_pool,
+        max_children=3,
+        seed=rng,
+    )
+
+
+def random_context(rng: random.Random, tree: Tree) -> NodeId:
+    """A random node of ``tree`` (biased toward the root)."""
+    if rng.random() < 0.4:
+        return ()
+    return rng.choice(tree.nodes)
+
+
+# ---------------------------------------------------------------------------
+# XPath
+# ---------------------------------------------------------------------------
+
+
+def _random_name_test(rng: random.Random, labels: Sequence[str]):
+    # Occasionally a label that (probably) does not occur — empty
+    # selections are where off-by-one bugs in the translations hide.
+    if rng.random() < 0.1:
+        return NameTest("missing")
+    return NameTest(rng.choice(list(labels)))
+
+
+def _random_step(
+    rng: random.Random,
+    labels: Sequence[str],
+    first: bool,
+    filter_depth: int,
+    allow_filters: bool,
+    allow_self: bool,
+) -> Step:
+    roll = rng.random()
+    if allow_self and first and roll < 0.15:
+        test = SelfTest()
+    elif roll < 0.35:
+        test = Wildcard()
+    else:
+        test = _random_name_test(rng, labels)
+    filters: List[Path] = []
+    if allow_filters and filter_depth > 0:
+        while rng.random() < 0.25 and len(filters) < 2:
+            filters.append(
+                _random_path(
+                    rng,
+                    labels,
+                    max_steps=2,
+                    filter_depth=filter_depth - 1,
+                    allow_filters=True,
+                    allow_absolute=rng.random() < 0.2,
+                    allow_self=False,
+                )
+            )
+    return Step(test, tuple(filters))
+
+
+def _random_path(
+    rng: random.Random,
+    labels: Sequence[str],
+    max_steps: int,
+    filter_depth: int,
+    allow_filters: bool,
+    allow_absolute: bool,
+    allow_self: bool,
+) -> Path:
+    count = rng.randint(1, max(1, max_steps))
+    absolute = allow_absolute and rng.random() < 0.25
+    steps = [
+        _random_step(
+            rng,
+            labels,
+            first=(i == 0),
+            filter_depth=filter_depth,
+            allow_filters=allow_filters,
+            allow_self=allow_self and not absolute,
+        )
+        for i in range(count)
+    ]
+    axes = tuple(
+        DESCENDANT if rng.random() < 0.4 else CHILD for _ in range(count - 1)
+    )
+    return Path(tuple(steps), axes, absolute)
+
+
+def random_xpath(
+    rng: random.Random,
+    labels: Sequence[str] = ALPHABET,
+    max_steps: int = 3,
+    allow_filters: bool = True,
+    allow_union: bool = True,
+    max_variables: int = 5,
+) -> Expr:
+    """A random expression of the §2.3 fragment.
+
+    The result is guaranteed to survive a ``repr`` → ``parse_xpath``
+    round trip (so it can be persisted to the corpus as text) and to
+    compile to an FO(∃*) query with at most ``max_variables`` distinct
+    variables — quantifier evaluation is O(n^k), so unbounded filter
+    nesting would hang the differential check rather than test it.
+    """
+    for _ in range(32):
+        if allow_union and rng.random() < 0.15:
+            expr: Expr = Union_(
+                tuple(
+                    _random_path(
+                        rng, labels, max_steps, 1, allow_filters,
+                        allow_absolute=True, allow_self=True,
+                    )
+                    for _ in range(2)
+                )
+            )
+        else:
+            expr = _random_path(
+                rng, labels, max_steps, 2, allow_filters,
+                allow_absolute=True, allow_self=True,
+            )
+        if parse_xpath(repr(expr)) != expr:
+            continue
+        if variable_count(compile_xpath(expr).formula) <= max_variables:
+            return expr
+    # Statistically unreachable: a single bare step always qualifies.
+    return _random_path(
+        rng, labels, 1, 0, False, allow_absolute=False, allow_self=False
+    )
+
+
+def random_walking_xpath(
+    rng: random.Random,
+    labels: Sequence[str] = ALPHABET,
+    max_steps: int = 3,
+) -> Path:
+    """A relative, filter-free, union-free path — the sub-fragment that
+    translates directly into a caterpillar expression."""
+    path = _random_path(
+        rng, labels, max_steps, 0,
+        allow_filters=False, allow_absolute=False, allow_self=True,
+    )
+    assert parse_xpath(repr(path)) == path
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Caterpillar expressions
+# ---------------------------------------------------------------------------
+
+
+def random_caterpillar(
+    rng: random.Random,
+    labels: Sequence[str] = ALPHABET,
+    budget: int = 6,
+) -> Caterpillar:
+    """A random caterpillar expression with about ``budget`` atoms."""
+    if budget <= 1:
+        roll = rng.random()
+        if roll < 0.45:
+            return Move(rng.choice(MOVES))
+        if roll < 0.65:
+            return Test(rng.choice(TESTS))
+        if roll < 0.85:
+            return LabelTest(rng.choice(list(labels)))
+        return Epsilon()
+    roll = rng.random()
+    if roll < 0.45:
+        left = rng.randint(1, budget - 1)
+        return concat(
+            random_caterpillar(rng, labels, left),
+            random_caterpillar(rng, labels, budget - left),
+        )
+    if roll < 0.7:
+        left = rng.randint(1, budget - 1)
+        return alt(
+            random_caterpillar(rng, labels, left),
+            random_caterpillar(rng, labels, budget - left),
+        )
+    if roll < 0.9:
+        return star(random_caterpillar(rng, labels, budget - 1))
+    return random_caterpillar(rng, labels, budget - 1)
+
+
+# ---------------------------------------------------------------------------
+# FO(∃*) selectors
+# ---------------------------------------------------------------------------
+
+
+def _random_atom(
+    rng: random.Random,
+    variables: Sequence[NVar],
+    labels: Sequence[str],
+    attributes: Sequence[str],
+    value_pool: Sequence,
+) -> TreeFormula:
+    def var() -> NVar:
+        return rng.choice(list(variables))
+
+    kind = rng.randrange(10)
+    if kind == 0:
+        return tree_fo.Edge(var(), var())
+    if kind == 1:
+        return tree_fo.Desc(var(), var())
+    if kind == 2:
+        return tree_fo.SibLess(var(), var())
+    if kind == 3:
+        return tree_fo.NodeEq(var(), var())
+    if kind == 4:
+        return tree_fo.Succ(var(), var())
+    if kind == 5:
+        return tree_fo.Label(rng.choice(list(labels)), var())
+    if kind == 6:
+        ctor = rng.choice(
+            (tree_fo.Root, tree_fo.Leaf, tree_fo.First, tree_fo.Last)
+        )
+        return ctor(var())
+    if kind == 7:
+        return tree_fo.ValEq(
+            rng.choice(list(attributes)), var(),
+            rng.choice(list(attributes)), var(),
+        )
+    if kind == 8:
+        return tree_fo.ValConst(
+            rng.choice(list(attributes)), var(), rng.choice(list(value_pool))
+        )
+    return tree_fo.TrueF()
+
+
+def _random_matrix(
+    rng: random.Random,
+    variables: Sequence[NVar],
+    labels: Sequence[str],
+    attributes: Sequence[str],
+    value_pool: Sequence,
+    depth: int,
+) -> TreeFormula:
+    if depth <= 0 or rng.random() < 0.4:
+        return _random_atom(rng, variables, labels, attributes, value_pool)
+    roll = rng.random()
+    if roll < 0.2:
+        return tree_fo.Not(
+            _random_matrix(rng, variables, labels, attributes, value_pool, depth - 1)
+        )
+    parts = tuple(
+        _random_matrix(rng, variables, labels, attributes, value_pool, depth - 1)
+        for _ in range(rng.randint(2, 3))
+    )
+    return tree_fo.conj(*parts) if roll < 0.6 else tree_fo.disj(*parts)
+
+
+def random_exists_star(
+    rng: random.Random,
+    labels: Sequence[str] = ALPHABET,
+    attributes: Sequence[str] = ATTRIBUTES,
+    value_pool: Sequence = VALUE_POOL,
+    max_prefix: int = 2,
+    depth: int = 2,
+) -> TreeFormula:
+    """A random prenex-existential formula with free variables ⊆ {x, y}.
+
+    Usable both as a binary selector φ(x, y) and — when neither x nor y
+    happens to occur free — as a sentence.
+    """
+    prefix = [NVar(f"z{i}") for i in range(rng.randint(0, max_prefix))]
+    matrix = _random_matrix(
+        rng, [X, Y, *prefix], labels, attributes, value_pool, depth
+    )
+    return tree_fo.exists(prefix, matrix)
+
+
+# ---------------------------------------------------------------------------
+# Automaton specimens
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AutomatonSpecimen:
+    """A generated automaton: registry template + JSON-able params.
+
+    Kept symbolic (rather than as a machine object) so corpus entries
+    stay readable and the shrinker can simplify the parameters.
+    """
+
+    template: str
+    params: Tuple = ()
+
+    def build(self) -> Tuple[TWAutomaton, bool]:
+        """The machine plus whether it runs on ``delim(t)``."""
+        entry = TEMPLATES[self.template]
+        return entry.build(self.params), entry.delimited
+
+    def spec(self) -> Tuple[str, object]:
+        """The independent specification: ``("fo", sentence)`` for FO
+        model checking, ``("py", predicate)`` for a Python reference."""
+        return TEMPLATES[self.template].spec(self.params)
+
+
+@dataclass(frozen=True)
+class _Template:
+    build: Callable[[Tuple], TWAutomaton]
+    spec: Callable[[Tuple], Tuple[str, object]]
+    delimited: bool = False
+    param_pool: Tuple[Tuple, ...] = ((),)
+
+
+def _fo_exists_value(value) -> TreeFormula:
+    return tree_fo.exists(X, tree_fo.ValConst("a", X, value))
+
+
+def _fo_all_values_same() -> TreeFormula:
+    return tree_fo.forall(
+        [X, Y], tree_fo.ValEq("a", X, "a", Y)
+    )
+
+
+def _fo_leaves_uniform() -> TreeFormula:
+    return tree_fo.forall(
+        [X, Y],
+        tree_fo.implies(
+            tree_fo.conj(tree_fo.Leaf(X), tree_fo.Leaf(Y)),
+            tree_fo.ValEq("a", X, "a", Y),
+        ),
+    )
+
+
+TEMPLATES: Dict[str, _Template] = {
+    "example-3.2": _Template(
+        build=lambda p: ax.example_32(),
+        spec=lambda p: ("fo", ax.example_32_fo_spec()),
+        delimited=True,
+    ),
+    "even-leaves": _Template(
+        build=lambda p: ax.even_leaves_automaton(),
+        spec=lambda p: ("py", ax.even_leaves_spec),
+    ),
+    "exists-value": _Template(
+        build=lambda p: ax.exists_value_automaton("a", p[0]),
+        spec=lambda p: ("fo", _fo_exists_value(p[0])),
+        param_pool=tuple((v,) for v in VALUE_POOL + (9,)),
+    ),
+    "root-at-leaf": _Template(
+        build=lambda p: ax.root_value_at_some_leaf("a"),
+        spec=lambda p: ("py", ax.root_value_at_some_leaf_spec("a")),
+    ),
+    "spine-constant": _Template(
+        build=lambda p: ax.spine_constant_automaton("a"),
+        spec=lambda p: ("py", ax.spine_constant_spec("a")),
+    ),
+    "all-values-same": _Template(
+        build=lambda p: ax.all_values_same_twr("a"),
+        spec=lambda p: ("fo", _fo_all_values_same()),
+    ),
+    "leaves-uniform": _Template(
+        build=lambda p: ax.all_leaves_same_twrl("a"),
+        spec=lambda p: ("fo", _fo_leaves_uniform()),
+    ),
+    "delta-mod3": _Template(
+        build=lambda p: ax.delta_leaves_mod3_twr(),
+        spec=lambda p: ("py", ax.delta_leaves_mod3_spec),
+    ),
+}
+
+
+def random_automaton_specimen(rng: random.Random) -> AutomatonSpecimen:
+    """Draw a template (uniformly) and parameters (from its pool)."""
+    template = rng.choice(sorted(TEMPLATES))
+    params = rng.choice(TEMPLATES[template].param_pool)
+    return AutomatonSpecimen(template, params)

@@ -1,0 +1,121 @@
+"""Delta-debugging shrinker for disagreeing oracle cases.
+
+Greedy descent: propose strictly smaller variants of the failing case
+(tree first — subtree promotions, node deletions, value normalisation —
+then query variants from the pair), re-check each through the pair, and
+commit to the first variant that reproduces the *same class* of
+disagreement.  Repeat until no variant reproduces or the evaluation
+budget runs out.  The result is what gets persisted to the corpus, so
+keeping it tiny keeps the regression suite fast and the bug readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from ..trees.node import NodeId
+from ..trees.tree import Tree, TreeNode
+from ..trees.values import BOTTOM
+from .pairs import Case, EnginePair, Outcome
+
+
+def _rebuild_without(tree: Tree, doomed: NodeId) -> Tree:
+    """A copy of ``tree`` with the whole subtree at ``doomed`` removed
+    (later siblings slide left).  ``doomed`` must not be the root."""
+
+    def build(u: NodeId) -> TreeNode:
+        node = TreeNode(
+            tree.label(u),
+            attrs={a: tree.val(a, u) for a in tree.attributes},
+        )
+        for child in tree.children(u):
+            if child != doomed:
+                node.add(build(child))
+        return node
+
+    return Tree.build(build(()), attributes=tree.attributes)
+
+
+def _normalised_values(tree: Tree) -> Iterator[Tree]:
+    """Variants with one attribute flattened to a single value —
+    data-value noise rarely matters for a structural bug."""
+    for attr in tree.attributes:
+        values = {tree.val(attr, u) for u in tree.nodes}
+        values.discard(BOTTOM)
+        if len(values) > 1:
+            base = sorted(values, key=repr)[0]
+            yield tree.with_attribute(attr, {u: base for u in tree.nodes})
+
+
+def _tree_candidates(tree: Tree) -> Iterator[Tree]:
+    # Promote a child subtree to be the whole tree: the biggest single cut.
+    for child in tree.children(()):
+        yield tree.subtree(child)
+    # Delete individual subtrees, shallowest (largest) first.
+    for node in sorted(tree.nodes[1:], key=len):
+        yield _rebuild_without(tree, node)
+    yield from _normalised_values(tree)
+
+
+def _candidates(pair: EnginePair, case: Case) -> Iterator[Case]:
+    for tree in _tree_candidates(case.tree):
+        context = case.context
+        if context is not None and context not in tree:
+            context = ()
+        yield Case(tree, case.query, context)
+    for query in pair.shrink_query(case.query):
+        yield Case(case.tree, query, case.context)
+    # A smaller query on a smaller tree often only reproduces jointly;
+    # one combined round closes that gap without a full product search.
+    for tree in _tree_candidates(case.tree):
+        for query in pair.shrink_query(case.query):
+            context = case.context
+            if context is not None and context not in tree:
+                context = ()
+            yield Case(tree, query, context)
+
+
+def _weight(case: Case) -> Tuple[int, int, int]:
+    """Strictly decreasing along any accepted shrink step (tree size,
+    then a textual proxy for query complexity, then attribute-value
+    diversity), so the greedy descent terminates without ping-ponging
+    between equal variants."""
+    diversity = sum(
+        len({case.tree.val(a, u) for u in case.tree.nodes})
+        for a in case.tree.attributes
+    )
+    return case.tree.size, len(repr(case.query)), diversity
+
+
+def shrink_case(
+    pair: EnginePair, case: Case, max_evals: int = 400
+) -> Tuple[Case, Outcome, int]:
+    """Minimise a disagreeing case.
+
+    Returns ``(smallest case, its outcome, checks spent)``.  If the
+    given case does not actually disagree, it is returned unchanged.
+    """
+    outcome = pair.check(case)
+    problem = outcome.problem_class
+    evals = 1
+    if problem is None:
+        return case, outcome, evals
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for candidate in _candidates(pair, case):
+            if evals >= max_evals:
+                break
+            if _weight(candidate) >= _weight(case):
+                continue
+            try:
+                result = pair.check(candidate)
+            except Exception:  # a shrink variant may be degenerate
+                evals += 1
+                continue
+            evals += 1
+            if result.problem_class == problem:
+                case, outcome = candidate, result
+                improved = True
+                break
+    return case, outcome, evals

@@ -1,5 +1,5 @@
 """User-facing facade: :class:`TreeDatabase`."""
 
-from .facade import TreeDatabase
+from .facade import CacheInfo, TreeDatabase, XPATH_CACHE_SIZE
 
-__all__ = ["TreeDatabase"]
+__all__ = ["CacheInfo", "TreeDatabase", "XPATH_CACHE_SIZE"]

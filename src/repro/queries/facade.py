@@ -14,6 +14,7 @@ True
 
 from __future__ import annotations
 
+from collections import OrderedDict, namedtuple
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..automata.classes import TWClass, classify
@@ -34,14 +35,31 @@ from ..xpath.evaluator import select as xpath_select
 from ..xpath.parser import parse_xpath
 
 
+#: Statistics of the parsed-XPath LRU cache, mirroring functools.lru_cache.
+CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "maxsize", "currsize"])
+
+#: Default bound on the number of parsed XPath expressions kept per database.
+XPATH_CACHE_SIZE = 128
+
+
 class TreeDatabase:
     """An attributed tree with the paper's query engines attached."""
 
-    def __init__(self, tree: Tree, ensure_ids: bool = False) -> None:
+    def __init__(
+        self,
+        tree: Tree,
+        ensure_ids: bool = False,
+        xpath_cache_size: int = XPATH_CACHE_SIZE,
+    ) -> None:
         if ensure_ids and not has_unique_ids(tree):
             tree = with_ids(tree)
         self.tree = tree
-        self._xpath_cache: Dict[str, object] = {}
+        if xpath_cache_size < 0:
+            raise ValueError("xpath_cache_size must be >= 0")
+        self._xpath_cache: "OrderedDict[str, object]" = OrderedDict()
+        self._xpath_cache_maxsize = xpath_cache_size
+        self._xpath_cache_hits = 0
+        self._xpath_cache_misses = 0
 
     # -- construction --------------------------------------------------------------
 
@@ -70,10 +88,43 @@ class TreeDatabase:
     # -- XPath ------------------------------------------------------------------------
 
     def xpath(self, expression: str, context: NodeId = ()) -> Tuple[NodeId, ...]:
-        """Evaluate an XPath expression of the paper's fragment."""
-        if expression not in self._xpath_cache:
-            self._xpath_cache[expression] = parse_xpath(expression)
-        return xpath_select(self._xpath_cache[expression], self.tree, context)  # type: ignore[arg-type]
+        """Evaluate an XPath expression of the paper's fragment.
+
+        Parsed expressions are memoised in a bounded LRU cache (see
+        :meth:`cache_info`); cache hits never change results, which the
+        differential oracle asserts on every run.
+        """
+        return xpath_select(self._parsed(expression), self.tree, context)
+
+    def _parsed(self, expression: str):
+        """The parsed AST for ``expression``, via the LRU cache."""
+        cache = self._xpath_cache
+        if expression in cache:
+            self._xpath_cache_hits += 1
+            cache.move_to_end(expression)
+            return cache[expression]
+        self._xpath_cache_misses += 1
+        parsed = parse_xpath(expression)
+        if self._xpath_cache_maxsize:
+            while len(cache) >= self._xpath_cache_maxsize:
+                cache.popitem(last=False)
+            cache[expression] = parsed
+        return parsed
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss statistics of the parsed-XPath LRU cache."""
+        return CacheInfo(
+            hits=self._xpath_cache_hits,
+            misses=self._xpath_cache_misses,
+            maxsize=self._xpath_cache_maxsize,
+            currsize=len(self._xpath_cache),
+        )
+
+    def cache_clear(self) -> None:
+        """Empty the parsed-XPath cache and reset its statistics."""
+        self._xpath_cache.clear()
+        self._xpath_cache_hits = 0
+        self._xpath_cache_misses = 0
 
     def xpath_as_fo(self, expression: str) -> ExistsStarQuery:
         """The FO(∃*) abstraction of an XPath expression (§2.3)."""

@@ -54,7 +54,9 @@ from .traversal import (
     walk_path,
 )
 from .generators import (
+    RandomLike,
     all_trees,
+    as_rng,
     auction_document,
     catalog_document,
     chain_tree,
@@ -107,7 +109,9 @@ __all__ = [
     "postorder",
     "preorder",
     "walk_path",
+    "RandomLike",
     "all_trees",
+    "as_rng",
     "auction_document",
     "catalog_document",
     "chain_tree",

@@ -18,10 +18,22 @@ from .values import DataValue
 RandomLike = Union[int, random.Random, None]
 
 
-def _rng(seed: RandomLike) -> random.Random:
+def as_rng(seed: RandomLike) -> random.Random:
+    """Coerce a seed to a :class:`random.Random`.
+
+    An explicit ``random.Random`` instance is returned unchanged, so a
+    single seeded stream can be threaded through many generator calls
+    (the differential oracle relies on this: one seed, one stream, fully
+    reproducible runs).  An int seeds a fresh generator; ``None`` draws
+    a fresh OS-entropy generator and is therefore *not* reproducible.
+    There is no hidden module-level RNG anywhere in :mod:`repro.trees`.
+    """
     if isinstance(seed, random.Random):
         return seed
     return random.Random(seed)
+
+
+_rng = as_rng
 
 
 def random_tree(

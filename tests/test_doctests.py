@@ -5,12 +5,14 @@ import doctest
 import pytest
 
 import repro.caterpillar
+import repro.oracle
 import repro.pebbleautomata
 import repro.queries.facade
 import repro.transducer
 
 MODULES = [
     repro.caterpillar,
+    repro.oracle,
     repro.pebbleautomata,
     repro.queries.facade,
     repro.transducer,

@@ -1,0 +1,103 @@
+"""Corpus persistence and regression replay.
+
+Every JSON file under ``tests/corpus/`` is replayed through its engine
+pair on every test run — entries are either pinned agreements (seeded
+with the oracle) or shrunk counterexamples of bugs fixed since, and in
+both cases the engines must agree *now*.
+"""
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.oracle import (
+    decode_case,
+    default_pairs,
+    encode_case,
+    iter_corpus,
+    pairs_by_name,
+    replay_corpus,
+    run_oracle,
+    save_entry,
+)
+from repro.oracle.corpus import DEFAULT_CORPUS, entry_filename
+
+CORPUS_ENTRIES = list(iter_corpus())
+
+
+def test_corpus_directory_is_populated():
+    assert CORPUS_ENTRIES, f"no corpus entries under {DEFAULT_CORPUS}"
+    assert {e["pair"] for _, e in CORPUS_ENTRIES} == {
+        p.name for p in default_pairs()
+    }
+
+
+@pytest.mark.parametrize(
+    "path,entry", CORPUS_ENTRIES, ids=[p.name for p, _ in CORPUS_ENTRIES]
+)
+def test_corpus_entry_replays_clean(path, entry):
+    pair, case = decode_case(entry, pairs_by_name())
+    outcome = pair.check(case)
+    assert outcome.agree, (
+        f"{path.name}: {pair.name} disagrees again — "
+        f"left={outcome.left} right={outcome.right}"
+    )
+
+
+def test_replay_corpus_driver():
+    results = replay_corpus()
+    assert len(results) == len(CORPUS_ENTRIES)
+    assert all(r.ok for r in results)
+
+
+def test_replay_skips_unknown_pairs(tmp_path):
+    save_entry(
+        {
+            "schema": 1,
+            "pair": "retired/engine",
+            "tree": "σ",
+            "attributes": [],
+            "query": "*",
+        },
+        tmp_path,
+    )
+    results = replay_corpus(tmp_path)
+    assert len(results) == 1
+    assert results[0].skipped
+    assert not results[0].ok
+
+
+@pytest.mark.parametrize("pair", default_pairs(), ids=lambda p: p.name)
+def test_encode_decode_round_trip(pair, tmp_path):
+    rng = random.Random(13)
+    case = pair.generate(rng, 7)
+    entry = encode_case(pair, case, note="round-trip test")
+    path = save_entry(entry, tmp_path)
+    reloaded = json.loads(path.read_text(encoding="utf-8"))
+    assert reloaded == entry
+    pair2, case2 = decode_case(reloaded, pairs_by_name())
+    assert pair2.name == pair.name
+    assert case2.tree == case.tree
+    assert case2.query == case.query
+    assert case2.context == case.context
+
+
+def test_entry_filename_is_deterministic_and_slugged():
+    entry = {"schema": 1, "pair": "xpath/fo", "tree": "σ", "query": "*"}
+    assert entry_filename(entry) == entry_filename(dict(entry))
+    assert entry_filename(entry).startswith("xpath-fo-")
+    assert "/" not in entry_filename(entry)
+
+
+def test_decode_rejects_unknown_schema():
+    with pytest.raises(ValueError):
+        decode_case({"schema": 99, "pair": "xpath/fo"}, pairs_by_name())
+
+
+def test_oracle_persists_shrunk_disagreements(tmp_path):
+    # With correct engines nothing is written...
+    report = run_oracle(seed=0, budget=6, max_size=5, corpus_dir=tmp_path)
+    assert report.total_disagreements() == 0
+    assert not list(tmp_path.glob("*.json"))

@@ -1,0 +1,63 @@
+"""Bounded fuzz rounds of the differential oracle.
+
+Marked ``oracle``: deselect with ``pytest -m "not oracle"`` for a quick
+local run; CI (and ``make fuzz``) runs the fixed seed matrix below so
+every build cross-checks the engines on a few hundred fresh cases.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.oracle import run_oracle
+
+SEED_MATRIX = (0, 1, 2)
+
+
+@pytest.mark.oracle
+@pytest.mark.parametrize("seed", SEED_MATRIX)
+def test_fuzz_round_finds_no_disagreements(seed):
+    report = run_oracle(seed=seed, budget=120, max_size=10)
+    assert report.total_cases() == 120
+    failures = [
+        f"[{d.pair}] tree={d.shrunk['tree']} query={d.shrunk['query']} "
+        f"left={d.outcome.left} right={d.outcome.right}"
+        for d in report.disagreements
+    ]
+    assert not failures, "\n".join(failures)
+
+
+@pytest.mark.oracle
+def test_fuzz_round_with_larger_trees():
+    report = run_oracle(seed=3, budget=60, max_size=16)
+    assert report.total_disagreements() == 0
+
+
+@pytest.mark.oracle
+def test_cli_end_to_end(tmp_path):
+    repo = Path(__file__).resolve().parents[1]
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.oracle",
+            "--seed", "0", "--budget", "30",
+            "--corpus-dir", str(tmp_path),
+        ],
+        capture_output=True, text=True,
+        cwd=repo, env={"PYTHONPATH": str(repo / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 disagreements" in proc.stdout
+
+
+@pytest.mark.oracle
+def test_cli_replay(tmp_path):
+    repo = Path(__file__).resolve().parents[1]
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.oracle", "--replay"],
+        capture_output=True, text=True,
+        cwd=repo, env={"PYTHONPATH": str(repo / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 disagreeing" in proc.stdout

@@ -1,0 +1,91 @@
+"""Delta-debugging shrinker tests.
+
+The central check deliberately injects a bug into one engine (a
+*subclass* — the shipped pair stays correct) and asserts that the
+shrinker reduces whatever the fuzzer catches to a tiny reproducer.
+"""
+
+import random
+
+from repro.caterpillar.ast import Epsilon, LabelTest, concat
+from repro.caterpillar.nfa import walk
+from repro.oracle.pairs import (
+    Case,
+    Outcome,
+    XPathVsCaterpillar,
+    _CHILD_WALK,
+    _summary,
+)
+from repro.oracle.shrink import shrink_case
+from repro.trees.parser import parse_term
+from repro.xpath.ast import NameTest
+from repro.xpath.evaluator import select as xpath_select
+
+
+class _BuggyDescendantPair(XPathVsCaterpillar):
+    """Injected bug: the descendant axis is translated as child."""
+
+    name = "xpath/caterpillar-buggy"
+
+    def check(self, case):
+        path = case.query
+        left = xpath_select(path, case.tree, case.context)
+        parts = []
+        if isinstance(path.steps[0].test, NameTest):
+            parts.append(LabelTest(path.steps[0].test.name))
+        for _axis, step in zip(path.axes, path.steps[1:]):
+            parts.append(_CHILD_WALK)  # BUG: '//' should be one-or-more
+            if isinstance(step.test, NameTest):
+                parts.append(LabelTest(step.test.name))
+        expr = concat(*parts) if parts else Epsilon()
+        right = walk(expr, case.tree, case.context)
+        return Outcome(
+            tuple(left) == tuple(right), _summary(left), _summary(right)
+        )
+
+
+def _first_disagreement(pair, seed=0, max_size=12, attempts=500):
+    rng = random.Random(seed)
+    for _ in range(attempts):
+        case = pair.generate(rng, max_size)
+        if not pair.check(case).agree:
+            return case
+    raise AssertionError("fuzzer never caught the injected bug")
+
+
+def test_injected_bug_is_caught_and_shrunk_small():
+    pair = _BuggyDescendantPair()
+    case = _first_disagreement(pair)
+    small, outcome, evals = shrink_case(pair, case)
+    assert not outcome.agree
+    assert small.tree.size <= 6, small.tree
+    assert small.tree.size <= case.tree.size
+    assert evals <= 400
+
+
+def test_shrunk_case_still_disagrees_after_reload():
+    # The minimised case must be self-contained: re-checking it from
+    # scratch reproduces the divergence.
+    pair = _BuggyDescendantPair()
+    case = _first_disagreement(pair, seed=1)
+    small, _, _ = shrink_case(pair, case)
+    assert not pair.check(small).agree
+
+
+def test_agreeing_case_is_returned_unchanged():
+    pair = XPathVsCaterpillar()
+    tree = parse_term("σ[a=1](δ[a=2], σ[a=3])")
+    case = Case(tree, pair.generate(random.Random(2), 5).query, ())
+    outcome = pair.check(case)
+    assert outcome.agree
+    small, small_outcome, evals = shrink_case(pair, case)
+    assert small == case
+    assert small_outcome.agree
+    assert evals == 1
+
+
+def test_shrink_respects_eval_budget():
+    pair = _BuggyDescendantPair()
+    case = _first_disagreement(pair, seed=3)
+    _, _, evals = shrink_case(pair, case, max_evals=10)
+    assert evals <= 10

@@ -94,3 +94,53 @@ def test_with_ids(db):
 def test_ensure_ids_flag():
     db = TreeDatabase.from_term("a(b)", ensure_ids=True)
     assert "ID" in db.tree.attributes
+
+
+def test_cache_info_counts_hits_and_misses(db):
+    assert db.cache_info() == (0, 0, 128, 0)
+    db.xpath("catalog//item")
+    db.xpath("catalog//item")
+    db.xpath("catalog/dept")
+    info = db.cache_info()
+    assert (info.hits, info.misses, info.currsize) == (1, 2, 2)
+    assert info.maxsize == 128
+
+
+def test_cache_is_lru_bounded():
+    db = TreeDatabase.from_term("a(b, c)", xpath_cache_size=2)
+    db.xpath("a")
+    db.xpath("b")
+    db.xpath("a")      # refresh 'a' so 'b' is the eviction victim
+    db.xpath("c")      # evicts 'b'
+    assert set(db._xpath_cache) == {"a", "c"}
+    assert db.cache_info().currsize == 2
+    db.xpath("b")      # miss again after eviction
+    assert db.cache_info().misses == 4
+
+
+def test_cache_size_zero_disables_caching():
+    db = TreeDatabase.from_term("a(b)", xpath_cache_size=0)
+    db.xpath("a")
+    db.xpath("a")
+    info = db.cache_info()
+    assert (info.hits, info.misses, info.currsize) == (0, 2, 0)
+
+
+def test_cache_clear_resets_stats(db):
+    db.xpath("catalog//item")
+    db.xpath("catalog//item")
+    db.cache_clear()
+    assert db.cache_info() == (0, 0, 128, 0)
+    assert db.xpath("catalog//item") == ((0, 0), (0, 1), (1, 0))
+
+
+def test_cache_rejects_negative_size():
+    with pytest.raises(ValueError):
+        TreeDatabase.from_term("a", xpath_cache_size=-1)
+
+
+def test_cached_result_identical_to_fresh(db):
+    first = db.xpath("catalog/dept[item]")
+    again = db.xpath("catalog/dept[item]")
+    assert first == again
+    assert db.cache_info().hits == 1

@@ -1,0 +1,53 @@
+"""Hypothesis round-trip properties: every text formatter in the repo
+is an exact inverse of its parser — ``parse(format(x)) == x``.
+
+These formats are what the oracle corpus persists, so a formatter that
+drops information would silently corrupt stored counterexamples.
+"""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.caterpillar import format_caterpillar, parse_caterpillar
+from repro.logic import format_formula, parse_formula
+from repro.oracle import generators as gen
+from repro.trees import format_term, parse_term, random_tree
+from repro.xpath.parser import parse_xpath
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@given(seeds, st.integers(min_value=1, max_value=14))
+@settings(max_examples=80, deadline=None)
+def test_term_syntax_round_trips(seed, size):
+    tree = random_tree(
+        size,
+        alphabet=("σ", "δ", "a", "b"),
+        attributes=("a", "name"),
+        value_pool=(0, 1, -3, "x", 'say "hi"', ""),
+        seed=seed,
+    )
+    assert parse_term(format_term(tree)) == tree
+
+
+@given(seeds)
+@settings(max_examples=80, deadline=None)
+def test_formula_syntax_round_trips(seed):
+    formula = gen.random_exists_star(random.Random(seed), depth=3)
+    assert parse_formula(format_formula(formula)) == formula
+
+
+@given(seeds, st.integers(min_value=1, max_value=10))
+@settings(max_examples=80, deadline=None)
+def test_caterpillar_syntax_round_trips(seed, budget):
+    expr = gen.random_caterpillar(random.Random(seed), budget=budget)
+    assert parse_caterpillar(format_caterpillar(expr)) == expr
+
+
+@given(seeds)
+@settings(max_examples=80, deadline=None)
+def test_xpath_repr_round_trips(seed):
+    expr = gen.random_xpath(random.Random(seed))
+    assert parse_xpath(repr(expr)) == expr

@@ -84,3 +84,36 @@ def test_all_trees_counts():
 def test_all_trees_distinct():
     family = all_trees(4, ("a", "b"))
     assert len(set(family)) == len(family)
+
+
+def test_random_tree_accepts_random_instance():
+    import random
+
+    from repro.trees import as_rng
+
+    a = random_tree(15, seed=random.Random(3))
+    b = random_tree(15, seed=random.Random(3))
+    assert a == b
+    assert as_rng(None) is not None
+
+
+def test_as_rng_returns_instance_unchanged():
+    import random
+
+    from repro.trees import as_rng
+
+    rng = random.Random(0)
+    assert as_rng(rng) is rng
+    assert isinstance(as_rng(7), random.Random)
+
+
+def test_shared_rng_threads_one_stream():
+    # Two draws from one Random must differ (the stream advances),
+    # unlike two fresh int-seeded generators.
+    import random
+
+    rng = random.Random(9)
+    first = random_tree(10, seed=rng)
+    second = random_tree(10, seed=rng)
+    assert first != second
+    assert random_tree(10, seed=9) == random_tree(10, seed=9)
