@@ -5,7 +5,7 @@ PYTHONPATH := src
 FUZZ_SEEDS ?= 0 1 2 3 4
 FUZZ_BUDGET ?= 200
 
-.PHONY: test test-quick fuzz replay
+.PHONY: test test-quick fuzz replay bench bench-full
 
 ## Full tier-1 suite (includes the marked oracle fuzz tests).
 test:
@@ -29,3 +29,11 @@ fuzz:
 ## Replay the stored counterexample corpus only.
 replay:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.oracle --replay
+
+## Quick engine-vs-reference trajectory (seconds; writes BENCH_engine.json).
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --quick
+
+## The committed full-size trajectory (a few minutes).
+bench-full:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench

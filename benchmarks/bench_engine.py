@@ -1,0 +1,106 @@
+"""E15 — the indexed, set-at-a-time engine vs. the reference evaluators.
+
+Claim: compiling FO subformulas to relations over a preorder-interval
+index (and XPath descendant steps to big-int range merges) removes the
+n^k assignment walk that every reference evaluator in this repo pays.
+
+Measured: agreement over a formula/expression × document sweep, and
+the speedup rows behind EXPERIMENTS.md E15.  The committed full-size
+trajectory lives in BENCH_engine.json (``make bench`` regenerates a
+quick version; ``python -m repro.bench`` the full one).
+"""
+
+import time
+
+from benchmarks.conftest import print_table
+
+from repro import bench
+from repro.engine import fo as fast_fo
+from repro.engine import xpath as fast_xpath
+from repro.logic import tree_fo
+from repro.logic.parser import parse_formula
+from repro.xpath.evaluator import select as reference_xpath_select
+from repro.xpath.parser import parse_xpath
+
+
+def documents(sizes=(12, 24, 48)):
+    return [bench._document(n, seed=n) for n in sizes]
+
+
+def test_e15_agreement(benchmark):
+    docs = documents()
+    formulas = {
+        name: parse_formula(text)
+        for name, text in bench.FO_FORMULAS.items()
+    }
+    expressions = [parse_xpath(text) for text in bench.XPATH_EXPRESSIONS]
+
+    def sweep():
+        agreements = 0
+        for doc in docs:
+            for formula in formulas.values():
+                order = sorted(
+                    tree_fo.free_variables(formula), key=lambda v: v.name
+                )
+                agreements += fast_fo.satisfying_assignments(
+                    formula, doc, order
+                ) == tree_fo.satisfying_assignments(formula, doc, order)
+            for expr in expressions:
+                agreements += fast_xpath.select(expr, doc) == \
+                    reference_xpath_select(expr, doc, ())
+        return agreements
+
+    agreed = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    total = len(docs) * (len(formulas) + len(expressions))
+    assert agreed == total
+    print(f"\nE15: engine ≡ reference on {total} (query, document) pairs")
+
+
+def test_e15_fo_speedup_rows():
+    doc = bench._document(64, seed=64)
+    rows = []
+    for name, text in bench.FO_FORMULAS.items():
+        formula = parse_formula(text)
+        order = sorted(tree_fo.free_variables(formula), key=lambda v: v.name)
+        t0 = time.perf_counter()
+        reference = tree_fo.satisfying_assignments(formula, doc, order)
+        ref_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(5):
+            engine = fast_fo.satisfying_assignments(formula, doc, order)
+        eng_s = (time.perf_counter() - t0) / 5
+        assert engine == reference
+        rows.append(
+            (name, f"{ref_s * 1000:.2f}ms", f"{eng_s * 1000:.3f}ms",
+             f"{ref_s / eng_s:.0f}x")
+        )
+    print_table(
+        "E15: FO satisfying assignments, reference vs engine (|t|=64)",
+        ["formula", "reference", "engine", "speedup"],
+        rows,
+    )
+
+
+def test_e15_xpath_speedup_rows():
+    doc = bench._document(400, seed=400)
+    rows = []
+    for text in bench.XPATH_EXPRESSIONS:
+        expr = parse_xpath(text)
+        t0 = time.perf_counter()
+        for _ in range(10):
+            reference = reference_xpath_select(expr, doc, ())
+        ref_s = (time.perf_counter() - t0) / 10
+        t0 = time.perf_counter()
+        for _ in range(10):
+            engine = fast_xpath.select(expr, doc)
+        eng_s = (time.perf_counter() - t0) / 10
+        assert engine == reference
+        rows.append(
+            (text, f"{ref_s * 1000:.3f}ms", f"{eng_s * 1000:.3f}ms",
+             f"{ref_s / eng_s:.1f}x")
+        )
+    print_table(
+        "E15: XPath from the root, reference vs engine (|t|=400)",
+        ["expression", "reference", "engine", "speedup"],
+        rows,
+    )

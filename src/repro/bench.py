@@ -1,0 +1,274 @@
+"""The engine performance trajectory: reference vs. indexed engines.
+
+``python -m repro.bench`` times the assignment-at-a-time reference
+evaluators (:mod:`repro.logic.tree_fo`, :mod:`repro.xpath.evaluator`)
+against the indexed set-at-a-time engines (:mod:`repro.engine`) and
+writes the measured trajectory to ``BENCH_engine.json``:
+
+* **FO** — 3-variable formulas evaluated as full satisfying-assignment
+  relations.  The reference walks the n^k assignment space; the engine
+  compiles each subformula to a relation once.
+* **XPath** — descendant-heavy expressions on deep documents.  The
+  reference re-walks one subtree per frontier node; the engine merges
+  subtree *intervals* with O(1) big-int range operations.
+
+Every timed case is also checked for agreement between the two
+engines, so a bench run doubles as a differential sweep.  All trees
+are seeded: same seed, same JSON (modulo timings).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence
+
+from .engine import fo as fast_fo
+from .engine import xpath as fast_xpath
+from .logic import tree_fo
+from .logic.parser import parse_formula
+from .trees import random_tree
+from .xpath.evaluator import select as reference_xpath_select
+from .xpath.parser import parse_xpath
+
+SCHEMA = "repro-bench-engine/1"
+DEFAULT_OUTPUT = "BENCH_engine.json"
+
+#: 3-variable selectors (free x) timed as full satisfying-assignment
+#: relations.  The first three make the reference pay the n^3 walk;
+#: the last two early-exit well and are kept as honest counterpoints.
+FO_FORMULAS = {
+    "leaf-chain": "exists y (exists z ((x << y & y << z) & leaf(z)))",
+    "value-homogeneous":
+        "forall y (forall z ((x << y & y << z) -> val_a(y) = val_a(z)))",
+    "value-chain":
+        "exists y (exists z ((x << y & y << z) & val_a(y) = val_a(z)))",
+    "leaves-matched":
+        "forall y ((x << y & leaf(y)) -> "
+        "exists z (E(z, y) & val_a(z) = val_a(y)))",
+    "uniform-children":
+        "exists y (E(x, y) & forall z (E(y, z) -> val_a(z) = val_a(x)))",
+}
+
+#: Descendant-heavy expressions evaluated from the root.
+XPATH_EXPRESSIONS = [
+    "//*//*",
+    "//*//*//*",
+    "//σ//δ//*",
+    "//δ//σ//δ",
+    "//σ[.//δ]//σ",
+]
+
+FO_SIZES = (25, 50, 100, 200)
+XPATH_SIZES = (100, 250, 500, 1000)
+FO_SIZES_QUICK = (8, 16)
+XPATH_SIZES_QUICK = (40, 80)
+
+#: Low fan-out makes documents deep — the descendant-heavy regime.
+MAX_CHILDREN = 2
+VALUE_POOL = (1, 2, 3)
+
+FO_THRESHOLD = 10.0
+XPATH_THRESHOLD = 5.0
+
+
+def _document(size: int, seed: int):
+    return random_tree(
+        size,
+        value_pool=VALUE_POOL,
+        max_children=MAX_CHILDREN,
+        seed=seed,
+    )
+
+
+def _timed(thunk: Callable[[], object], repeats: int) -> float:
+    times = []
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        thunk()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def run_fo_benchmark(
+    sizes: Sequence[int], seed: int, repeats: int
+) -> List[Dict]:
+    rows = []
+    for n in sizes:
+        tree = _document(n, seed + n)
+        for name, text in FO_FORMULAS.items():
+            formula = parse_formula(text)
+            order = sorted(
+                tree_fo.free_variables(formula), key=lambda v: v.name
+            )
+            engine = fast_fo.satisfying_assignments(formula, tree, order)
+            reference = tree_fo.satisfying_assignments(formula, tree, order)
+            if engine != reference:  # pragma: no cover - differential guard
+                raise AssertionError(f"engines disagree on {name} at n={n}")
+            # The engine side is sub-millisecond: median more runs.
+            engine_s = _timed(
+                lambda: fast_fo.satisfying_assignments(formula, tree, order),
+                max(repeats, 3),
+            )
+            reference_s = _timed(
+                lambda: tree_fo.satisfying_assignments(formula, tree, order),
+                repeats,
+            )
+            rows.append(
+                {
+                    "formula": name,
+                    "n": n,
+                    "reference_seconds": reference_s,
+                    "engine_seconds": engine_s,
+                    "speedup": reference_s / engine_s,
+                }
+            )
+    return rows
+
+
+def run_xpath_benchmark(
+    sizes: Sequence[int], seed: int, repeats: int
+) -> List[Dict]:
+    rows = []
+    for n in sizes:
+        tree = _document(n, seed + n)
+        for text in XPATH_EXPRESSIONS:
+            expr = parse_xpath(text)
+            engine = fast_xpath.select(expr, tree)
+            reference = reference_xpath_select(expr, tree, ())
+            if engine != reference:  # pragma: no cover - differential guard
+                raise AssertionError(f"engines disagree on {text} at n={n}")
+            runs = max(repeats, 3)
+            engine_s = _timed(lambda: fast_xpath.select(expr, tree), runs)
+            reference_s = _timed(
+                lambda: reference_xpath_select(expr, tree, ()), runs
+            )
+            rows.append(
+                {
+                    "expression": text,
+                    "n": n,
+                    "reference_seconds": reference_s,
+                    "engine_seconds": engine_s,
+                    "speedup": reference_s / engine_s,
+                }
+            )
+    return rows
+
+
+def _median_speedup_at(rows: Sequence[Dict], n: int) -> float:
+    return statistics.median(r["speedup"] for r in rows if r["n"] == n)
+
+
+def run_benchmark(
+    quick: bool = False, seed: int = 0, repeats: int = 1
+) -> Dict:
+    """The full (or ``--quick``) sweep as a JSON-ready dict."""
+    fo_sizes = FO_SIZES_QUICK if quick else FO_SIZES
+    xpath_sizes = XPATH_SIZES_QUICK if quick else XPATH_SIZES
+    fo_rows = run_fo_benchmark(fo_sizes, seed, repeats)
+    xpath_rows = run_xpath_benchmark(xpath_sizes, seed, repeats)
+    fo_median = _median_speedup_at(fo_rows, fo_sizes[-1])
+    xpath_median = _median_speedup_at(xpath_rows, xpath_sizes[-1])
+    return {
+        "schema": SCHEMA,
+        "generated_by": "python -m repro.bench"
+        + (" --quick" if quick else ""),
+        "seed": seed,
+        "repeats": repeats,
+        "quick": quick,
+        "fo": {
+            "sizes": list(fo_sizes),
+            "formulas": dict(FO_FORMULAS),
+            "rows": fo_rows,
+        },
+        "xpath": {
+            "sizes": list(xpath_sizes),
+            "expressions": list(XPATH_EXPRESSIONS),
+            "max_children": MAX_CHILDREN,
+            "rows": xpath_rows,
+        },
+        "summary": {
+            "fo_max_size": fo_sizes[-1],
+            "fo_median_speedup_at_max_size": fo_median,
+            "xpath_max_size": xpath_sizes[-1],
+            "xpath_median_speedup_at_max_size": xpath_median,
+            "thresholds": {"fo": FO_THRESHOLD, "xpath": XPATH_THRESHOLD},
+            # The acceptance gates only bind the full-size sweep.
+            "pass": quick
+            or (fo_median >= FO_THRESHOLD and xpath_median >= XPATH_THRESHOLD),
+        },
+    }
+
+
+def _print_report(report: Dict) -> None:
+    print(f"engine benchmark (seed={report['seed']}, "
+          f"quick={report['quick']})")
+    print("\nFO satisfying-assignment relations (reference vs engine):")
+    for row in report["fo"]["rows"]:
+        print(
+            f"  n={row['n']:>4}  {row['formula']:<18} "
+            f"ref={row['reference_seconds'] * 1000:>10.2f}ms  "
+            f"eng={row['engine_seconds'] * 1000:>8.3f}ms  "
+            f"speedup={row['speedup']:>8.1f}x"
+        )
+    print("\nXPath selections from the root (reference vs engine):")
+    for row in report["xpath"]["rows"]:
+        print(
+            f"  n={row['n']:>4}  {row['expression']:<14} "
+            f"ref={row['reference_seconds'] * 1000:>8.3f}ms  "
+            f"eng={row['engine_seconds'] * 1000:>8.3f}ms  "
+            f"speedup={row['speedup']:>6.1f}x"
+        )
+    summary = report["summary"]
+    print(
+        f"\nmedian speedups: FO {summary['fo_median_speedup_at_max_size']:.1f}x "
+        f"at n={summary['fo_max_size']}, "
+        f"XPath {summary['xpath_median_speedup_at_max_size']:.1f}x "
+        f"at n={summary['xpath_max_size']} "
+        f"(gates: {summary['thresholds']['fo']:.0f}x / "
+        f"{summary['thresholds']['xpath']:.0f}x — "
+        f"{'pass' if summary['pass'] else 'FAIL'})"
+    )
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark the indexed engines against the reference "
+        "evaluators and write the trajectory to a JSON file.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny sizes only (seconds, for smoke tests and CI)",
+    )
+    parser.add_argument(
+        "--output",
+        default=DEFAULT_OUTPUT,
+        help=f"output JSON path (default: ./{DEFAULT_OUTPUT})",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="timing repetitions per measurement (median; the "
+        "sub-millisecond engine side always gets at least 3)",
+    )
+    opts = parser.parse_args(argv)
+    report = run_benchmark(
+        quick=opts.quick, seed=opts.seed, repeats=opts.repeats
+    )
+    _print_report(report)
+    path = Path(opts.output)
+    path.write_text(json.dumps(report, ensure_ascii=False, indent=2) + "\n")
+    print(f"\nwrote {path}")
+    return 0 if report["summary"]["pass"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

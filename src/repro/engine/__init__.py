@@ -1,0 +1,35 @@
+"""The indexed, set-at-a-time query engine.
+
+Fast counterparts of the reference evaluators, built on one compiled
+:class:`~repro.engine.index.TreeIndex` per document:
+
+* :mod:`repro.engine.index` — dense preorder ids, interval labels
+  (O(1) ``descendant``), navigation arrays and inverted indexes, with
+  node sets as Python-int bitsets;
+* :mod:`repro.engine.fo` — bottom-up relational FO evaluation
+  (join/project/co-project over satisfying-assignment relations, with
+  on-the-fly miniscoping);
+* :mod:`repro.engine.xpath` — bitset/interval XPath evaluation with
+  subtree-range descendant steps.
+
+Both engines are semantically interchangeable with the references in
+:mod:`repro.logic.tree_fo` and :mod:`repro.xpath.evaluator`; the
+differential oracle and the hypothesis suites keep them that way.
+"""
+
+from .fo import evaluate, relation_of, satisfying_assignments
+from .fo import select as fo_select
+from .index import TreeIndex, bit_count, index_for, iter_bits
+from .xpath import select as xpath_select
+
+__all__ = [
+    "TreeIndex",
+    "index_for",
+    "iter_bits",
+    "bit_count",
+    "evaluate",
+    "satisfying_assignments",
+    "relation_of",
+    "fo_select",
+    "xpath_select",
+]

@@ -1,0 +1,245 @@
+"""``TreeIndex`` — the compiled form of an attributed tree.
+
+Every evaluator in the reproduction so far walks raw tuple addresses:
+``descendant(u, v)`` is a tuple-prefix check, label tests are per-node
+dict lookups, and set-valued intermediate results are Python sets of
+address tuples.  The index trades one O(n) construction pass for
+
+* **dense integer ids** in document (pre-)order, so "set of nodes"
+  becomes a Python-int *bitset* and document-order output is just
+  ascending bit order;
+* **interval labels**: the subtree of ``u`` occupies the contiguous id
+  range ``[u, subtree_end[u])``, so ``descendant(u, v)`` is an O(1)
+  interval containment (``u < v < subtree_end[u]``) and a descendant
+  *axis* is a range mask — the Gottlob–Koch–Schulz move of evaluating
+  over indexed structure instead of raw addresses;
+* **navigation arrays**: parent, CSR children slices, sibling links,
+  depth, plus a postorder numbering (``pre(u) < pre(v) and post(v) <
+  post(u)`` is the classic equivalent descendant test);
+* **inverted indexes**: label → bitset and attribute-value → bitset,
+  making every unary atom of the FO vocabulary a single dict lookup.
+
+Bitsets are arbitrary-precision Python ints: bit *i* set means "node
+with dense id *i* is in the set".  Union/intersection/complement are
+single C-level big-int operations (``|``, ``&``, ``^`` with the full
+mask), which is what makes the set-at-a-time engines fast.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Tuple
+
+from ..trees.node import NodeId
+from ..trees.tree import Tree
+from ..trees.values import MaybeValue
+
+__all__ = [
+    "TreeIndex",
+    "index_for",
+    "iter_bits",
+    "bit_count",
+]
+
+
+def iter_bits(bits: int) -> Iterator[int]:
+    """Indices of the set bits of ``bits``, ascending (= document order)."""
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low
+
+
+def bit_count(bits: int) -> int:
+    """Number of set bits (nodes in the set)."""
+    return bin(bits).count("1")
+
+
+class TreeIndex:
+    """Dense-id arrays, interval labels and inverted indexes for a tree.
+
+    The index is immutable and derived purely from the tree; build one
+    with :func:`index_for` to get per-tree caching for free.
+    """
+
+    __slots__ = (
+        "tree",
+        "n",
+        "node_of",
+        "id_of",
+        "parent",
+        "subtree_end",
+        "post_of",
+        "depth",
+        "child_start",
+        "child_ids",
+        "children_mask",
+        "next_sibling",
+        "prev_sibling",
+        "all_mask",
+        "root_mask",
+        "leaf_mask",
+        "first_mask",
+        "last_mask",
+        "label_mask",
+        "value_mask",
+    )
+
+    def __init__(self, tree: Tree) -> None:
+        self.tree = tree
+        nodes = tree.nodes  # document (pre-)order
+        n = len(nodes)
+        self.n = n
+        self.node_of: Tuple[NodeId, ...] = nodes
+        self.id_of: Dict[NodeId, int] = {u: i for i, u in enumerate(nodes)}
+        id_of = self.id_of
+
+        parent: List[int] = [-1] * n
+        subtree_end: List[int] = [0] * n
+        depth: List[int] = [0] * n
+        post_of: List[int] = [0] * n
+        next_sibling: List[int] = [-1] * n
+        prev_sibling: List[int] = [-1] * n
+        child_start: List[int] = [0] * (n + 1)
+        child_ids: List[int] = []
+        children_mask: List[int] = [0] * n
+        leaf_mask = 0
+        first_mask = 0
+        last_mask = 0
+
+        for i, u in enumerate(nodes):
+            kids = tree.children(u)
+            child_start[i] = len(child_ids)
+            if not kids:
+                leaf_mask |= 1 << i
+            mask = 0
+            previous = -1
+            for kid in kids:
+                j = id_of[kid]
+                parent[j] = i
+                depth[j] = depth[i] + 1
+                child_ids.append(j)
+                mask |= 1 << j
+                if previous >= 0:
+                    next_sibling[previous] = j
+                    prev_sibling[j] = previous
+                previous = j
+            children_mask[i] = mask
+            if kids:
+                first_mask |= 1 << id_of[kids[0]]
+                last_mask |= 1 << id_of[kids[-1]]
+        child_start[n] = len(child_ids)
+
+        for i, u in enumerate(nodes):
+            subtree_end[i] = tree.subtree_interval(u)[1]
+        for rank, u in enumerate(tree.nodes_postorder):
+            post_of[id_of[u]] = rank
+
+        self.parent = parent
+        self.subtree_end = subtree_end
+        self.post_of = post_of
+        self.depth = depth
+        self.child_start = child_start
+        self.child_ids = child_ids
+        self.children_mask = children_mask
+        self.next_sibling = next_sibling
+        self.prev_sibling = prev_sibling
+        self.all_mask = (1 << n) - 1
+        self.root_mask = 1
+        self.leaf_mask = leaf_mask
+        self.first_mask = first_mask
+        self.last_mask = last_mask
+
+        label_mask: Dict[str, int] = {}
+        for i, u in enumerate(nodes):
+            label = tree.label(u)
+            label_mask[label] = label_mask.get(label, 0) | (1 << i)
+        self.label_mask = label_mask
+
+        value_mask: Dict[str, Dict[MaybeValue, int]] = {}
+        for attr in tree.attributes:
+            table: Dict[MaybeValue, int] = {}
+            for u, value in tree.attr_table(attr).items():
+                i = id_of[u]
+                table[value] = table.get(value, 0) | (1 << i)
+            value_mask[attr] = table
+        self.value_mask = value_mask
+
+    # -- O(1) structure tests --------------------------------------------------
+
+    def descendant(self, u: int, v: int) -> bool:
+        """``u ≺ v`` by interval containment — O(1), no tuple prefixes."""
+        return u < v < self.subtree_end[u]
+
+    def children_of(self, u: int) -> List[int]:
+        """The CSR children slice of ``u`` (dense ids, sibling order)."""
+        return self.child_ids[self.child_start[u] : self.child_start[u + 1]]
+
+    def subtree_mask(self, u: int) -> int:
+        """Bitset of the *proper* descendants of ``u`` (a range mask)."""
+        return (1 << self.subtree_end[u]) - (1 << (u + 1))
+
+    def descendants_mask(self, sources: int) -> int:
+        """Bitset of all proper descendants of any node in ``sources``.
+
+        Overlapping subtrees are merged into maximal id intervals first,
+        so the result is built from O(#disjoint subtrees) big-int
+        operations — the whole tree collapses to a single range.
+        """
+        out = 0
+        bits = sources
+        while bits:
+            low = bits & -bits
+            end = self.subtree_end[low.bit_length() - 1]
+            out |= (1 << end) - (low << 1)
+            bits &= -1 << end  # drop every source the interval swallowed
+        return out
+
+    def children_of_mask(self, sources: int) -> int:
+        """Bitset of all children of any node in ``sources``."""
+        out = 0
+        children_mask = self.children_mask
+        for u in iter_bits(sources):
+            out |= children_mask[u]
+        return out
+
+    def labelled(self, label: str) -> int:
+        """Bitset of σ-labelled nodes (0 if σ never occurs)."""
+        return self.label_mask.get(label, 0)
+
+    def valued(self, attr: str, value: MaybeValue) -> int:
+        """Bitset of nodes with ``val_attr = value`` (0 if absent)."""
+        return self.value_mask.get(attr, {}).get(value, 0)
+
+    def to_nodes(self, bits: int) -> Tuple[NodeId, ...]:
+        """The node addresses of a bitset, in document order."""
+        node_of = self.node_of
+        return tuple(node_of[i] for i in iter_bits(bits))
+
+    def __repr__(self) -> str:
+        return f"TreeIndex({self.n} nodes, Σ={sorted(self.label_mask)})"
+
+
+#: Bounded cache of indexes keyed on tree object identity.  Entries pin
+#: their tree, so an id can never be recycled while its entry is live.
+_INDEX_CACHE: "OrderedDict[int, Tuple[Tree, TreeIndex]]" = OrderedDict()
+_INDEX_CACHE_SIZE = 64
+
+
+def index_for(tree: Tree) -> TreeIndex:
+    """The (cached) :class:`TreeIndex` of ``tree``.
+
+    Trees are immutable, so one index per tree object is always valid;
+    repeated queries against the same document — the facade's workload —
+    pay for indexing once.
+    """
+    key = id(tree)
+    hit = _INDEX_CACHE.get(key)
+    if hit is not None and hit[0] is tree:
+        _INDEX_CACHE.move_to_end(key)
+        return hit[1]
+    index = TreeIndex(tree)
+    while len(_INDEX_CACHE) >= _INDEX_CACHE_SIZE:
+        _INDEX_CACHE.popitem(last=False)
+    _INDEX_CACHE[key] = (tree, index)
+    return index

@@ -20,6 +20,7 @@ paper's move).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple, Union
 
@@ -316,23 +317,93 @@ def forall(variables: Union[NVar, Sequence[NVar]], inner: TreeFormula) -> TreeFo
 # ---------------------------------------------------------------------------
 
 
-def subformulas(formula: TreeFormula) -> Iterable[TreeFormula]:
-    """All subformulas, the formula itself included (preorder)."""
-    yield formula
+class _IdentityCache:
+    """A bounded FIFO cache keyed on object *identity*.
+
+    Formula nodes are frozen dataclasses, so hashing one is O(subtree)
+    — far more than the analyses below.  Keying on ``id()`` makes the
+    lookup O(1); keeping a strong reference to each key pins the object
+    alive while cached, so its id can never be recycled under us.
+    """
+
+    __slots__ = ("_data", "maxsize")
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._data: "OrderedDict[int, Tuple[object, object]]" = OrderedDict()
+
+    def get(self, key: object):
+        hit = self._data.get(id(key))
+        return hit[1] if hit is not None else None
+
+    def put(self, key: object, value: object) -> None:
+        data = self._data
+        while len(data) >= self.maxsize:
+            data.popitem(last=False)
+        data[id(key)] = (key, value)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+#: Bound on each memo table: comfortably above the subformula count of
+#: any formula this repo manipulates, small enough to never matter.
+_ANALYSIS_CACHE_SIZE = 16384
+
+_SUBFORMULAS_CACHE = _IdentityCache(_ANALYSIS_CACHE_SIZE)
+_FREE_VARIABLES_CACHE = _IdentityCache(_ANALYSIS_CACHE_SIZE)
+
+
+def clear_analysis_caches() -> None:
+    """Drop the memoized ``subformulas``/``free_variables`` results."""
+    _SUBFORMULAS_CACHE.clear()
+    _FREE_VARIABLES_CACHE.clear()
+
+
+def subformulas(formula: TreeFormula) -> Tuple[TreeFormula, ...]:
+    """All subformulas, the formula itself included (preorder).
+
+    Memoized per formula object: ``evaluate`` consults the analyses on
+    every call, and set-at-a-time evaluation revisits subformulas many
+    times, so each node is traversed once instead of once per query.
+    """
+    cached = _SUBFORMULAS_CACHE.get(formula)
+    if cached is not None:
+        return cached
     if isinstance(formula, Not):
-        yield from subformulas(formula.inner)
+        out = (formula,) + subformulas(formula.inner)
     elif isinstance(formula, (And, Or)):
+        out = (formula,)
         for part in formula.parts:
-            yield from subformulas(part)
+            out += subformulas(part)
     elif isinstance(formula, Implies):
-        yield from subformulas(formula.premise)
-        yield from subformulas(formula.conclusion)
+        out = (
+            (formula,)
+            + subformulas(formula.premise)
+            + subformulas(formula.conclusion)
+        )
     elif isinstance(formula, (Exists, Forall)):
-        yield from subformulas(formula.inner)
+        out = (formula,) + subformulas(formula.inner)
+    else:
+        out = (formula,)
+    _SUBFORMULAS_CACHE.put(formula, out)
+    return out
 
 
 def free_variables(formula: TreeFormula) -> FrozenSet[NVar]:
-    """Free node variables of ``formula``."""
+    """Free node variables of ``formula`` (memoized per formula object)."""
+    cached = _FREE_VARIABLES_CACHE.get(formula)
+    if cached is not None:
+        return cached
+    out = _free_variables_uncached(formula)
+    _FREE_VARIABLES_CACHE.put(formula, out)
+    return out
+
+
+def _free_variables_uncached(formula: TreeFormula) -> FrozenSet[NVar]:
     if isinstance(formula, (TrueF, FalseF)):
         return frozenset()
     if isinstance(formula, (Edge, Succ)):

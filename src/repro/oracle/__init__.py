@@ -43,9 +43,11 @@ from .pairs import (
     Case,
     EnginePair,
     FOVsEnumeration,
+    FOVsFastFO,
     Outcome,
     RunnerVsMemo,
     XPathVsCaterpillar,
+    XPathVsFastXPath,
     XPathVsFO,
 )
 from .shrink import shrink_case
@@ -56,11 +58,13 @@ __all__ = [
     "Case",
     "EnginePair",
     "FOVsEnumeration",
+    "FOVsFastFO",
     "OracleReport",
     "Outcome",
     "PairStats",
     "RunnerVsMemo",
     "XPathVsCaterpillar",
+    "XPathVsFastXPath",
     "XPathVsFO",
     "decode_case",
     "default_pairs",

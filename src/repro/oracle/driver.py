@@ -21,16 +21,18 @@ from .pairs import (
     CaterpillarVsNTWA,
     EnginePair,
     FOVsEnumeration,
+    FOVsFastFO,
     Outcome,
     RunnerVsMemo,
     XPathVsCaterpillar,
+    XPathVsFastXPath,
     XPathVsFO,
 )
 from .shrink import shrink_case
 
 
 def default_pairs() -> Tuple[EnginePair, ...]:
-    """All six engine pairs, in a stable order."""
+    """All eight engine pairs, in a stable order."""
     return (
         XPathVsFO(),
         XPathVsCaterpillar(),
@@ -38,6 +40,8 @@ def default_pairs() -> Tuple[EnginePair, ...]:
         RunnerVsMemo(),
         AutomatonVsSpec(),
         FOVsEnumeration(),
+        FOVsFastFO(),
+        XPathVsFastXPath(),
     )
 
 

@@ -60,6 +60,13 @@ ALPHABET: Tuple[str, ...] = ("σ", "δ")
 ATTRIBUTES: Tuple[str, ...] = ("a",)
 VALUE_POOL: Tuple[int, ...] = (1, 2, 3)
 
+#: Variable cap for pairs that exercise the indexed set-at-a-time
+#: engine.  The default :func:`random_xpath` cap of 5 exists because
+#: the reference route is O(n^k) in the variable count; the fast
+#: engines never touch that assignment space, so their pairs can
+#: afford deeper filter nesting and wider quantifier blocks.
+FAST_ENGINE_MAX_VARIABLES = 8
+
 X = NVar("x")
 Y = NVar("y")
 
@@ -343,6 +350,72 @@ def random_exists_star(
         rng, [X, Y, *prefix], labels, attributes, value_pool, depth
     )
     return tree_fo.exists(prefix, matrix)
+
+
+def random_fo_formula(
+    rng: random.Random,
+    labels: Sequence[str] = ALPHABET,
+    attributes: Sequence[str] = ATTRIBUTES,
+    value_pool: Sequence = VALUE_POOL,
+    extra_variables: int = 2,
+    depth: int = 3,
+) -> TreeFormula:
+    """A random *full* FO formula — ∀ and ∃ freely nested with ¬, →,
+    ∧, ∨ — with free variables ⊆ {x, y}.
+
+    This is the input language of the ``fo/fast-fo`` pair: unlike
+    :func:`random_exists_star` it is not prenex and exercises the
+    universal/implication paths of both evaluators.  The result is
+    guaranteed to survive a ``format_formula`` → ``parse_formula``
+    round trip, so it can be persisted to the corpus as text.
+    """
+    from ..logic.parser import format_formula, parse_formula
+
+    pool = [X, Y] + [NVar(f"z{i}") for i in range(extra_variables)]
+
+    def build(level: int) -> TreeFormula:
+        roll = rng.random()
+        if level <= 0 or roll < 0.3:
+            return _random_atom(rng, pool, labels, attributes, value_pool)
+        if roll < 0.45:
+            return tree_fo.Not(build(level - 1))
+        if roll < 0.6:
+            return tree_fo.implies(build(level - 1), build(level - 1))
+        if roll < 0.78:
+            parts = tuple(build(level - 1) for _ in range(rng.randint(2, 3)))
+            ctor = tree_fo.conj if rng.random() < 0.5 else tree_fo.disj
+            return ctor(*parts)
+        var = rng.choice(pool)
+        ctor = tree_fo.Exists if rng.random() < 0.5 else tree_fo.Forall
+        return ctor(var, build(level - 1))
+
+    for _ in range(64):
+        formula = build(depth)
+        # Close any free variable beyond {x, y} with a random quantifier.
+        for var in sorted(
+            tree_fo.free_variables(formula) - {X, Y}, key=lambda v: v.name
+        ):
+            ctor = tree_fo.Exists if rng.random() < 0.5 else tree_fo.Forall
+            formula = ctor(var, formula)
+        if parse_formula(format_formula(formula)) == formula:
+            return formula
+    # Statistically unreachable: atoms always round-trip.
+    return _random_atom(rng, [X, Y], labels, attributes, value_pool)
+
+
+def random_fo_sentence(
+    rng: random.Random,
+    labels: Sequence[str] = ALPHABET,
+    attributes: Sequence[str] = ATTRIBUTES,
+    value_pool: Sequence = VALUE_POOL,
+    depth: int = 3,
+) -> TreeFormula:
+    """A random closed FO formula (free variables quantified away)."""
+    formula = random_fo_formula(rng, labels, attributes, value_pool, 2, depth)
+    for var in sorted(tree_fo.free_variables(formula), key=lambda v: v.name):
+        ctor = tree_fo.Exists if rng.random() < 0.5 else tree_fo.Forall
+        formula = ctor(var, formula)
+    return formula
 
 
 # ---------------------------------------------------------------------------

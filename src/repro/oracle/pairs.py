@@ -4,7 +4,7 @@ Each :class:`EnginePair` knows how to *generate* a random (tree, query)
 case, *check* it through two independent evaluation routes, *shrink* the
 query part, and *encode*/*decode* the query as JSON for the corpus.
 
-The six pairs and the equivalence each one guards:
+The eight pairs and the equivalence each one guards:
 
 ========================  ====================================================
 ``xpath/fo``              XPath evaluator vs its FO(∃*) compilation (§2.3),
@@ -18,6 +18,11 @@ The six pairs and the equivalence each one guards:
                           Python specifications (Definition 3.1 / Ex. 3.2)
 ``fo/enum``               ``ExistsStarQuery.select`` vs a from-scratch
                           enumeration of the existential prefix
+``fo/fast-fo``            the assignment-at-a-time FO model checker vs the
+                          indexed set-at-a-time engine (:mod:`repro.engine`),
+                          on full FO with ∀/→/¬ freely nested
+``xpath/fast-xpath``      the node-at-a-time XPath evaluator vs the
+                          bitset/interval engine, with a raised variable cap
 ========================  ====================================================
 """
 
@@ -47,6 +52,8 @@ from ..caterpillar.ast import (
 from ..caterpillar.compile_ntwa import caterpillar_to_ntwa
 from ..caterpillar.nfa import walk
 from ..caterpillar.parser import format_caterpillar, parse_caterpillar
+from ..engine import fo as fast_fo
+from ..engine import xpath as fast_xpath
 from ..logic import tree_fo
 from ..logic.exists_star import ExistsStarQuery
 from ..logic.parser import format_formula, parse_formula
@@ -638,3 +645,135 @@ class FOVsEnumeration(EnginePair):
 
     def decode_query(self, payload: object) -> TreeFormula:
         return parse_formula(payload)
+
+
+# ---------------------------------------------------------------------------
+# fo/fast-fo
+# ---------------------------------------------------------------------------
+
+
+def _shrink_formula(formula: TreeFormula) -> Iterable[TreeFormula]:
+    """Strictly smaller FO formulas: drop connective parts, strip
+    quantifiers/negations, and recurse into every child position."""
+    if isinstance(formula, (tree_fo.And, tree_fo.Or)):
+        ctor = tree_fo.conj if isinstance(formula, tree_fo.And) else tree_fo.disj
+        yield from formula.parts
+        if len(formula.parts) > 2:
+            for i in range(len(formula.parts)):
+                yield ctor(*(formula.parts[:i] + formula.parts[i + 1 :]))
+        for i, part in enumerate(formula.parts):
+            for smaller in _shrink_formula(part):
+                yield ctor(
+                    *(formula.parts[:i] + (smaller,) + formula.parts[i + 1 :])
+                )
+    elif isinstance(formula, tree_fo.Implies):
+        yield formula.premise
+        yield formula.conclusion
+        for smaller in _shrink_formula(formula.premise):
+            yield tree_fo.implies(smaller, formula.conclusion)
+        for smaller in _shrink_formula(formula.conclusion):
+            yield tree_fo.implies(formula.premise, smaller)
+    elif isinstance(formula, tree_fo.Not):
+        yield formula.inner
+        for smaller in _shrink_formula(formula.inner):
+            yield tree_fo.Not(smaller)
+    elif isinstance(formula, (tree_fo.Exists, tree_fo.Forall)):
+        yield formula.inner
+        ctor = type(formula)
+        for smaller in _shrink_formula(formula.inner):
+            yield ctor(formula.var, smaller)
+    elif not isinstance(formula, tree_fo.TrueF):
+        yield tree_fo.TrueF()
+
+
+def _relation_summary(relation: Sequence[Tuple[NodeId, ...]]) -> str:
+    return (
+        "{"
+        + ", ".join(str([list(u) for u in row]) for row in sorted(relation))
+        + "}"
+    )
+
+
+class FOVsFastFO(EnginePair):
+    """The reference assignment-at-a-time model checker vs the indexed
+    set-at-a-time engine, compared on the *entire relation* of
+    satisfying assignments — full FO, so the universal, implication and
+    nested-quantifier paths of the fast engine are all on the line."""
+
+    name = "fo/fast-fo"
+
+    def generate(self, rng: random.Random, max_size: int) -> Case:
+        tree = gen.random_attributed_tree(rng, max_size)
+        formula = gen.random_fo_formula(rng)
+        return Case(tree, formula)
+
+    def check(self, case: Case) -> Outcome:
+        formula: TreeFormula = case.query
+        order = sorted(
+            tree_fo.free_variables(formula), key=lambda v: v.name
+        )
+        left, left_s = _timed(
+            lambda: tree_fo.satisfying_assignments(formula, case.tree, order)
+        )
+        right, right_s = _timed(
+            lambda: fast_fo.satisfying_assignments(formula, case.tree, order)
+        )
+        return Outcome(
+            left == right,
+            _relation_summary(left), _relation_summary(right),
+            left_s, right_s,
+        )
+
+    def shrink_query(self, query: TreeFormula) -> Iterable[TreeFormula]:
+        return _shrink_formula(query)
+
+    def encode_query(self, query: TreeFormula) -> object:
+        return format_formula(query)
+
+    def decode_query(self, payload: object) -> TreeFormula:
+        return parse_formula(payload)
+
+
+# ---------------------------------------------------------------------------
+# xpath/fast-xpath
+# ---------------------------------------------------------------------------
+
+
+class XPathVsFastXPath(EnginePair):
+    """The node-at-a-time XPath evaluator vs the bitset/interval engine.
+
+    Generated with the raised :data:`~repro.oracle.generators.
+    FAST_ENGINE_MAX_VARIABLES` cap: neither side compiles to FO, so
+    deeper filter nesting is affordable here and exercises exactly the
+    paths (descendant range masks, per-candidate filter runs) that the
+    ``xpath/fo`` pair's conservative cap rarely reaches."""
+
+    name = "xpath/fast-xpath"
+
+    def generate(self, rng: random.Random, max_size: int) -> Case:
+        tree = gen.random_attributed_tree(rng, max_size)
+        expr = gen.random_xpath(
+            rng, max_variables=gen.FAST_ENGINE_MAX_VARIABLES
+        )
+        return Case(tree, expr, gen.random_context(rng, tree))
+
+    def check(self, case: Case) -> Outcome:
+        expr: Expr = case.query
+        left, left_s = _timed(
+            lambda: xpath_select(expr, case.tree, case.context)
+        )
+        right, right_s = _timed(
+            lambda: fast_xpath.select(expr, case.tree, case.context)
+        )
+        return Outcome(
+            left == right, _summary(left), _summary(right), left_s, right_s
+        )
+
+    def shrink_query(self, query: Expr) -> Iterable[Expr]:
+        return _shrink_xpath(query)
+
+    def encode_query(self, query: Expr) -> object:
+        return repr(query)
+
+    def decode_query(self, payload: object) -> Expr:
+        return parse_xpath(payload)

@@ -20,6 +20,9 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 from ..automata.classes import TWClass, classify
 from ..automata.machine import TWAutomaton
 from ..automata.runner import RunResult, accepts, run
+from ..engine import fo as fast_fo
+from ..engine import xpath as fast_xpath
+from ..engine.index import TreeIndex, index_for
 from ..logic import tree_fo
 from ..logic.exists_star import ExistsStarQuery
 from ..mso.hedge import HedgeAutomaton
@@ -40,6 +43,16 @@ CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "maxsize", "currsize"])
 
 #: Default bound on the number of parsed XPath expressions kept per database.
 XPATH_CACHE_SIZE = 128
+
+#: Recognised evaluation engines: "fast" is the indexed, set-at-a-time
+#: engine (:mod:`repro.engine`); "reference" the node-at-a-time
+#: evaluators the engine is differentially tested against.
+ENGINES = ("fast", "reference")
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
 
 
 class TreeDatabase:
@@ -85,16 +98,30 @@ class TreeDatabase:
     def to_xml(self) -> str:
         return to_xml(self.tree)
 
+    @property
+    def index(self) -> TreeIndex:
+        """The compiled :class:`~repro.engine.index.TreeIndex` of the
+        document — built lazily on first use, then cached per tree."""
+        return index_for(self.tree)
+
     # -- XPath ------------------------------------------------------------------------
 
-    def xpath(self, expression: str, context: NodeId = ()) -> Tuple[NodeId, ...]:
+    def xpath(
+        self, expression: str, context: NodeId = (), engine: str = "fast"
+    ) -> Tuple[NodeId, ...]:
         """Evaluate an XPath expression of the paper's fragment.
 
         Parsed expressions are memoised in a bounded LRU cache (see
         :meth:`cache_info`); cache hits never change results, which the
-        differential oracle asserts on every run.
+        differential oracle asserts on every run.  ``engine`` picks the
+        indexed bitset evaluator (``"fast"``, the default) or the
+        node-at-a-time ``"reference"`` one; both return the same nodes.
         """
-        return xpath_select(self._parsed(expression), self.tree, context)
+        _check_engine(engine)
+        parsed = self._parsed(expression)
+        if engine == "fast":
+            return fast_xpath.select(parsed, self.tree, context)
+        return xpath_select(parsed, self.tree, context)
 
     def _parsed(self, expression: str):
         """The parsed AST for ``expression``, via the LRU cache."""
@@ -132,26 +159,45 @@ class TreeDatabase:
 
     # -- logic -----------------------------------------------------------------------
 
-    def holds(self, sentence: tree_fo.TreeFormula) -> bool:
-        """Model-check an FO sentence over τ_{Σ,A}."""
+    def holds(self, sentence: tree_fo.TreeFormula, engine: str = "fast") -> bool:
+        """Model-check an FO sentence over τ_{Σ,A}.
+
+        The default ``"fast"`` engine evaluates bottom-up over
+        satisfying-assignment relations; ``"reference"`` is the
+        assignment-at-a-time model checker."""
+        _check_engine(engine)
+        if engine == "fast":
+            return fast_fo.evaluate(sentence, self.tree)
         return tree_fo.evaluate(sentence, self.tree)
 
-    def ask(self, text: str) -> bool:
+    def ask(self, text: str, engine: str = "fast") -> bool:
         """Model-check an FO sentence given as text, e.g.
         ``db.ask('forall x (leaf(x) -> O_item(x))')``."""
         from ..logic.parser import parse_sentence
 
-        return tree_fo.evaluate(parse_sentence(text), self.tree)
+        return self.holds(parse_sentence(text), engine=engine)
 
-    def select_where(self, text: str, context: NodeId = ()) -> Tuple[NodeId, ...]:
+    def select_where(
+        self, text: str, context: NodeId = (), engine: str = "fast"
+    ) -> Tuple[NodeId, ...]:
         """Evaluate a textual binary FO(∃*) query φ(x, y), e.g.
         ``db.select_where('x << y & O_item(y)')``."""
         from ..logic.parser import parse_query
 
-        return parse_query(text).select(self.tree, context)
+        return self.select(parse_query(text), context, engine=engine)
 
-    def select(self, query: ExistsStarQuery, context: NodeId = ()) -> Tuple[NodeId, ...]:
+    def select(
+        self,
+        query: ExistsStarQuery,
+        context: NodeId = (),
+        engine: str = "fast",
+    ) -> Tuple[NodeId, ...]:
         """Evaluate a binary FO(∃*) query from ``context``."""
+        _check_engine(engine)
+        if engine == "fast":
+            return fast_fo.select(
+                query.formula, self.tree, context, query.x, query.y
+            )
         return query.select(self.tree, context)
 
     # -- automata -----------------------------------------------------------------------

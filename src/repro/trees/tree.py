@@ -79,6 +79,7 @@ class Tree:
         "_nodes",
         "_preorder_index",
         "_postorder",
+        "_subtree_end",
         "_size",
     )
 
@@ -157,13 +158,17 @@ class Tree:
                     f"{children!r}"
                 )
             self._children[node] = tuple(children)
-        # Document order (preorder).
+        # Document order (preorder).  ``_subtree_end[u]`` is the index
+        # one past the last descendant of u in that order, so the
+        # subtree of u is exactly the slice ``order[index(u):end(u)]``.
         order: List[NodeId] = []
+        subtree_end: Dict[NodeId, int] = {}
 
         def pre(u: NodeId) -> None:
             order.append(u)
             for c in self._children[u]:
                 pre(c)
+            subtree_end[u] = len(order)
 
         post: List[NodeId] = []
 
@@ -177,6 +182,7 @@ class Tree:
         self._nodes = tuple(order)
         self._postorder = tuple(post)
         self._preorder_index = {u: i for i, u in enumerate(order)}
+        self._subtree_end = subtree_end
         self._size = len(order)
 
     # -- basic structure -----------------------------------------------------
@@ -309,6 +315,20 @@ class Tree:
         """Position of ``node`` in document (pre-)order, 0-based."""
         self.require(node)
         return self._preorder_index[node]
+
+    def subtree_interval(self, node: NodeId) -> Tuple[int, int]:
+        """The half-open document-order interval ``[i, j)`` covering the
+        subtree of ``node``: ``nodes[i] == node`` and ``nodes[i+1:j]``
+        are exactly its proper descendants.  ``u ≺ v`` is equivalent to
+        ``i(u) < i(v) < j(u)`` — an O(1) interval-containment test."""
+        self.require(node)
+        return self._preorder_index[node], self._subtree_end[node]
+
+    def descendants(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """All proper descendants of ``node``, in document order (a
+        contiguous slice of :attr:`nodes` — no per-node scans)."""
+        start, end = self.subtree_interval(node)
+        return self._nodes[start + 1 : end]
 
     # -- attributes -----------------------------------------------------------
 

@@ -33,8 +33,9 @@ def _test_matches(test: NodeTest, tree: Tree, node: NodeId) -> bool:
 def _axis_targets(axis: str, tree: Tree, node: NodeId) -> Iterable[NodeId]:
     if axis == CHILD:
         return tree.children(node)
-    # Proper descendants.
-    return (v for v in tree.nodes if tree.descendant(node, v))
+    # Proper descendants: the subtree is a contiguous slice of the
+    # document order, so no descendant test against every node.
+    return tree.descendants(node)
 
 
 def _passes_filters(step: Step, tree: Tree, node: NodeId) -> bool:

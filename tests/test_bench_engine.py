@@ -1,0 +1,67 @@
+"""Smoke tests for :mod:`repro.bench` — the engine benchmark runner
+stays runnable and its JSON stays well-formed (tiny sizes only)."""
+
+import json
+
+from repro import bench
+
+
+def test_quick_benchmark_writes_wellformed_json(tmp_path):
+    out = tmp_path / "BENCH_engine.json"
+    code = bench.main(
+        ["--quick", "--output", str(out), "--seed", "3", "--repeats", "1"]
+    )
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == bench.SCHEMA
+    assert report["quick"] is True
+    assert report["seed"] == 3
+    fo_rows = report["fo"]["rows"]
+    xpath_rows = report["xpath"]["rows"]
+    assert len(fo_rows) == len(bench.FO_SIZES_QUICK) * len(bench.FO_FORMULAS)
+    assert len(xpath_rows) == (
+        len(bench.XPATH_SIZES_QUICK) * len(bench.XPATH_EXPRESSIONS)
+    )
+    for row in fo_rows + xpath_rows:
+        assert row["reference_seconds"] > 0
+        assert row["engine_seconds"] > 0
+        assert row["speedup"] > 0
+    summary = report["summary"]
+    assert summary["fo_max_size"] == bench.FO_SIZES_QUICK[-1]
+    assert summary["xpath_max_size"] == bench.XPATH_SIZES_QUICK[-1]
+    assert summary["pass"] is True  # quick mode never gates on speed
+
+
+def test_benchmark_report_is_agreement_checked(monkeypatch):
+    # The bench raises (rather than records nonsense) if the engines
+    # ever disagree on a timed case.
+    def broken(formula, tree, order):
+        return frozenset({(("bogus",),)})
+
+    monkeypatch.setattr(bench.fast_fo, "satisfying_assignments", broken)
+    try:
+        bench.run_fo_benchmark([6], seed=0, repeats=1)
+    except AssertionError as err:
+        assert "disagree" in str(err)
+    else:  # pragma: no cover
+        raise AssertionError("expected the differential guard to fire")
+
+
+def test_committed_trajectory_matches_schema():
+    # The repo ships a full-size BENCH_engine.json; keep it honest.
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+    report = json.loads(path.read_text())
+    assert report["schema"] == bench.SCHEMA
+    summary = report["summary"]
+    assert summary["pass"] is True
+    if not report["quick"]:  # `make bench` may have left a quick regen
+        assert (
+            summary["fo_median_speedup_at_max_size"]
+            >= summary["thresholds"]["fo"]
+        )
+        assert (
+            summary["xpath_median_speedup_at_max_size"]
+            >= summary["thresholds"]["xpath"]
+        )

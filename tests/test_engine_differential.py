@@ -1,0 +1,78 @@
+"""Hypothesis differential properties: the indexed set-at-a-time
+engines (:mod:`repro.engine`) agree with the reference evaluators on
+seeded random trees and queries.
+
+These complement the ``fo/fast-fo`` and ``xpath/fast-xpath`` oracle
+pairs: the oracle fuzzes broadly with shrinking and corpus persistence;
+these run on every test invocation and pin the agreement into tier 1.
+"""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.engine import fo as fast_fo
+from repro.engine import xpath as fast_xpath
+from repro.logic import tree_fo
+from repro.logic.exists_star import ExistsStarQuery, X, Y
+from repro.oracle import generators as gen
+from repro.xpath.evaluator import select as reference_xpath_select
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@given(seeds)
+@settings(max_examples=80, deadline=None)
+def test_fast_fo_relations_match_reference(seed):
+    """Full FO (∀/→/¬ freely nested): identical satisfying-assignment
+    relations, which subsumes sentence truth (arity-0 relations)."""
+    rng = random.Random(seed)
+    tree = gen.random_attributed_tree(rng, 10)
+    formula = gen.random_fo_formula(rng)
+    order = sorted(tree_fo.free_variables(formula), key=lambda v: v.name)
+    assert fast_fo.satisfying_assignments(
+        formula, tree, order
+    ) == tree_fo.satisfying_assignments(formula, tree, order)
+
+
+@given(seeds)
+@settings(max_examples=80, deadline=None)
+def test_fast_fo_sentences_match_reference(seed):
+    rng = random.Random(seed)
+    tree = gen.random_attributed_tree(rng, 12)
+    sentence = gen.random_fo_sentence(rng)
+    assert fast_fo.evaluate(sentence, tree) == tree_fo.evaluate(
+        sentence, tree
+    )
+
+
+@given(seeds)
+@settings(max_examples=80, deadline=None)
+def test_fast_fo_select_matches_exists_star(seed):
+    """Binary selectors: same nodes, same document order, including the
+    y-not-free all-or-none convention."""
+    rng = random.Random(seed)
+    tree = gen.random_attributed_tree(rng, 12)
+    formula = gen.random_exists_star(rng)
+    context = gen.random_context(rng, tree)
+    query = ExistsStarQuery(formula, X, Y)
+    assert fast_fo.select(formula, tree, context, X, Y) == query.select(
+        tree, context
+    )
+
+
+@given(seeds)
+@settings(max_examples=80, deadline=None)
+def test_fast_xpath_matches_reference(seed):
+    """XPath with the raised variable cap: deeper filter nesting than
+    the compile-to-FO pairs can afford."""
+    rng = random.Random(seed)
+    tree = gen.random_attributed_tree(rng, 16)
+    expr = gen.random_xpath(
+        rng, max_variables=gen.FAST_ENGINE_MAX_VARIABLES
+    )
+    context = gen.random_context(rng, tree)
+    assert fast_xpath.select(expr, tree, context) == reference_xpath_select(
+        expr, tree, context
+    )

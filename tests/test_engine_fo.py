@@ -1,0 +1,179 @@
+"""Unit tests for :mod:`repro.engine.fo` — the bottom-up relational FO
+evaluator, including the non-prenex shapes the FO(∃*) suites never
+build (∀ under ¬, → under ∃, quantifiers mid-formula)."""
+
+import pytest
+
+from tests.conftest import tree_family
+from repro.engine import fo as fast_fo
+from repro.logic import tree_fo
+from repro.logic.tree_fo import (
+    Desc,
+    Edge,
+    Exists,
+    Forall,
+    Label,
+    Leaf,
+    NodeEq,
+    Not,
+    NVar,
+    Root,
+    SibLess,
+    Succ,
+    TreeFormulaError,
+    ValConst,
+    ValEq,
+    conj,
+    disj,
+    exists,
+    forall,
+    implies,
+)
+from repro.logic.parser import parse_formula
+from repro.trees import parse_term
+
+X, Y, Z = NVar("x"), NVar("y"), NVar("z")
+
+#: Hand-built formulas covering every connective/quantifier path, in
+#: particular shapes outside FO(∃*): ∀ in the middle, → under
+#: quantifiers, ¬ over quantifiers, vacuous binding.
+FORMULAS = [
+    # sentences
+    forall(X, implies(Leaf(X), exists(Y, Desc(Y, X)))),
+    exists(X, forall(Y, implies(Edge(X, Y), Label("σ", Y)))),
+    Not(exists(X, conj(Root(X), Leaf(X)))),
+    forall([X, Y], implies(conj(Leaf(X), Leaf(Y)), ValEq("a", X, "a", Y))),
+    exists(X, conj(Label("δ", X), Not(forall(Y, implies(Edge(X, Y), Leaf(Y)))))),
+    forall(X, disj(Root(X), exists(Y, Edge(Y, X)))),
+    # vacuous quantification (Dom(t) is never empty)
+    forall(X, exists(Y, Root(Y))),
+    exists(X, tree_fo.TrueF()),
+    # one free variable
+    conj(Label("σ", X), exists(Y, conj(Edge(X, Y), Label("δ", Y)))),
+    forall(Y, implies(Desc(X, Y), ValEq("a", X, "a", Y))),
+    Not(exists(Y, Succ(X, Y))),
+    implies(Leaf(X), ValConst("a", X, 1)),
+    # two free variables
+    conj(Desc(X, Y), Not(Leaf(Y))),
+    implies(SibLess(X, Y), exists(Z, conj(Edge(Z, X), Edge(Z, Y)))),
+    disj(NodeEq(X, Y), Desc(X, Y), Desc(Y, X)),
+    forall(Z, implies(Desc(X, Z), Not(SibLess(Z, Y)))),
+    # repeated-variable atoms
+    conj(Edge(X, X), Label("σ", X)),
+    disj(NodeEq(X, X), Leaf(X)),
+    exists(X, Desc(X, X)),
+    exists(X, ValEq("a", X, "a", X)),
+    exists(X, Succ(X, X)),
+    exists(X, SibLess(X, X)),
+]
+
+
+def _order(formula):
+    return sorted(tree_fo.free_variables(formula), key=lambda v: v.name)
+
+
+@pytest.mark.parametrize("formula", FORMULAS, ids=lambda f: repr(f)[:60])
+def test_relations_match_reference_on_family(formula):
+    for tree in tree_family(count=8, max_size=10):
+        order = _order(formula)
+        assert fast_fo.satisfying_assignments(
+            formula, tree, order
+        ) == tree_fo.satisfying_assignments(formula, tree, order)
+
+
+def test_evaluate_matches_reference_pointwise(sigma_delta_tree):
+    tree = sigma_delta_tree
+    formula = forall(Y, implies(Desc(X, Y), ValEq("a", X, "a", Y)))
+    for u in tree.nodes:
+        env = {X: u}
+        assert fast_fo.evaluate(formula, tree, env) == tree_fo.evaluate(
+            formula, tree, env
+        )
+
+
+def test_evaluate_requires_all_free_variables(sigma_delta_tree):
+    with pytest.raises(TreeFormulaError):
+        fast_fo.evaluate(Desc(X, Y), sigma_delta_tree, {X: ()})
+
+
+def test_evaluate_rejects_foreign_nodes(sigma_delta_tree):
+    with pytest.raises(ValueError):
+        fast_fo.evaluate(Leaf(X), sigma_delta_tree, {X: (9, 9, 9)})
+
+
+def test_satisfying_assignments_checks_variable_order(sigma_delta_tree):
+    with pytest.raises(TreeFormulaError):
+        fast_fo.satisfying_assignments(Desc(X, Y), sigma_delta_tree, [X])
+
+
+def test_unknown_attribute_raises_like_reference(sigma_delta_tree):
+    formula = exists(X, ValConst("missing", X, 1))
+    with pytest.raises(ValueError):
+        fast_fo.satisfying_assignments(formula, sigma_delta_tree, [])
+
+
+def test_bottom_equals_bottom_in_valeq():
+    # ⊥ = ⊥ is true in the reference semantics; the engine's
+    # value-grouped join must keep the ⊥ group.
+    tree = parse_term("σ(δ, δ)")
+    tree = tree.with_attribute("a", {(0,): 1})
+    formula = conj(ValEq("a", X, "a", Y), Not(NodeEq(X, Y)))
+    order = _order(formula)
+    assert fast_fo.satisfying_assignments(
+        formula, tree, order
+    ) == tree_fo.satisfying_assignments(formula, tree, order)
+    # (), (1,) both carry ⊥ and must pair up.
+    assert ((), (1,)) in fast_fo.satisfying_assignments(formula, tree, order)
+
+
+def test_select_matches_reference_convention(sigma_delta_tree):
+    tree = sigma_delta_tree
+    # y free: ordinary selection in document order.
+    formula = conj(Desc(X, Y), Label("σ", Y))
+    assert fast_fo.select(formula, tree, ()) == tuple(
+        v for v in tree.nodes if tree.descendant((), v) and tree.label(v) == "σ"
+    )
+    # y not free and satisfied: every node.
+    assert fast_fo.select(Root(X), tree, ()) == tree.nodes
+    # y not free and falsified: nothing.
+    assert fast_fo.select(Leaf(X), tree, ()) == ()
+    # extra free variables are rejected.
+    with pytest.raises(TreeFormulaError):
+        fast_fo.select(Desc(Z, Y), tree, ())
+
+
+def test_relation_of_decodes_node_addresses(sigma_delta_tree):
+    variables, rows = fast_fo.relation_of(
+        Edge(X, Y), sigma_delta_tree
+    )
+    assert set(variables) == {X, Y}
+    k = variables.index(X)
+    for row in rows:
+        assert sigma_delta_tree.edge(row[k], row[1 - k])
+    assert len(rows) == sigma_delta_tree.size - 1
+
+
+def test_parsed_formula_agrees(sigma_delta_tree):
+    sentence = parse_formula(
+        "forall x (O_δ(x) -> exists y (E(x, y) & val_a(y) = 3))"
+    )
+    assert fast_fo.evaluate(sentence, sigma_delta_tree) == tree_fo.evaluate(
+        sentence, sigma_delta_tree
+    )
+
+
+def test_miniscoping_handles_mixed_scopes():
+    # ∃y (P(x) ∧ Q(y)): the x-conjunct must be pulled out, not joined
+    # into the y-projection.
+    tree = parse_term("σ(δ(σ), σ)")
+    formula = exists(Y, conj(Label("σ", X), Label("δ", Y)))
+    order = _order(formula)
+    assert fast_fo.satisfying_assignments(
+        formula, tree, order
+    ) == tree_fo.satisfying_assignments(formula, tree, order)
+    # ∀y (P(x) ∨ Q(y)) — the dual pull-out.
+    formula = forall(Y, disj(Label("σ", X), Leaf(Y)))
+    order = _order(formula)
+    assert fast_fo.satisfying_assignments(
+        formula, tree, order
+    ) == tree_fo.satisfying_assignments(formula, tree, order)

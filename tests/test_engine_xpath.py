@@ -1,0 +1,82 @@
+"""Unit tests for :mod:`repro.engine.xpath` — the bitset/interval
+XPath evaluator — against the reference and against hand-computed
+selections."""
+
+import pytest
+
+from tests.conftest import tree_family
+from repro.engine import xpath as fast_xpath
+from repro.trees import parse_term
+from repro.xpath.evaluator import select as reference_select
+from repro.xpath.parser import parse_xpath
+
+EXPRESSIONS = [
+    "σ",
+    "*",
+    ".",
+    "/σ",
+    "σ/δ",
+    "σ//σ",
+    "//σ",
+    "//*",
+    "//σ//δ",
+    "//*//*",
+    "σ//*//δ",
+    "./δ",
+    "σ[δ]",
+    "σ[δ][σ]",
+    "*[.//δ]",
+    "//σ[δ/σ]",
+    "//*[//δ]",
+    "σ/δ | σ//σ",
+    "missing",
+    "//missing",
+    "σ[missing]",
+]
+
+
+@pytest.mark.parametrize("text", EXPRESSIONS)
+def test_matches_reference_on_family(text):
+    expr = parse_xpath(text)
+    for tree in tree_family(count=8, max_size=12):
+        for context in tree.nodes:
+            assert fast_xpath.select(expr, tree, context) == \
+                reference_select(expr, tree, context)
+
+
+def test_hand_computed_selections(small_tree):
+    db = small_tree
+    assert fast_xpath.select(parse_xpath("catalog//item"), db) == (
+        (0, 0), (0, 1), (1, 0),
+    )
+    assert fast_xpath.select(parse_xpath("catalog/dept/item"), db) == (
+        (0, 0), (0, 1), (1, 0),
+    )
+    assert fast_xpath.select(parse_xpath("//dept[item]"), db) == ((0,), (1,))
+    assert fast_xpath.select(parse_xpath("//item"), db, (1,)) == (
+        (0, 0), (0, 1), (1, 0),
+    )  # absolute-ish: // anchors at the root regardless of context
+    assert fast_xpath.select(parse_xpath("missing"), db) == ()
+
+
+def test_document_order_output():
+    tree = parse_term("σ(σ(σ), σ, σ(σ(σ)))")
+    out = fast_xpath.select(parse_xpath("//σ"), tree)
+    indexes = [tree.document_index(u) for u in out]
+    assert indexes == sorted(indexes)
+
+
+def test_filters_are_existential_not_universal():
+    tree = parse_term("σ(δ(σ), δ)")
+    # (0,) has a σ child, (1,) does not: the filter keeps only (0,).
+    out = fast_xpath.select(parse_xpath("//δ[σ]"), tree)
+    assert out == ((0,),)
+
+
+def test_deep_descendant_chain_on_a_path_tree():
+    # A 30-deep unary chain: //σ//σ selects every strict-descendant σ
+    # pair target; interval merging must not double-count.
+    term = "σ(" * 29 + "σ" + ")" * 29
+    tree = parse_term(term)
+    expr = parse_xpath("//σ//σ")
+    assert fast_xpath.select(expr, tree) == reference_select(expr, tree, ())
