@@ -5,7 +5,7 @@ PYTHONPATH := src
 FUZZ_SEEDS ?= 0 1 2 3 4
 FUZZ_BUDGET ?= 200
 
-.PHONY: test test-quick fuzz replay bench bench-full
+.PHONY: test test-quick fuzz replay bench bench-full bench-walk bench-check
 
 ## Full tier-1 suite (includes the marked oracle fuzz tests).
 test:
@@ -37,3 +37,11 @@ bench:
 ## The committed full-size trajectory (a few minutes).
 bench-full:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench
+
+## Walking-engine trajectory: caterpillar + TWA (writes BENCH_walk.json).
+bench-walk:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --suite walk
+
+## Fail if any committed BENCH_*.json reports a median speedup < 1.0.
+bench-check:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --check

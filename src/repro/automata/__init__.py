@@ -37,6 +37,7 @@ from .runner import (
     NondeterminismError,
     RunResult,
     accepts,
+    fast_plan_for,
     run,
 )
 from .classes import (
@@ -89,6 +90,7 @@ __all__ = [
     "NondeterminismError",
     "RunResult",
     "accepts",
+    "fast_plan_for",
     "run",
     "ClassViolation",
     "TWClass",

@@ -19,20 +19,32 @@ transition graph, specialised to deterministic automata:
 
 ``run`` returns a :class:`RunResult` with the verdict, step count, a
 human-readable reason and (optionally) a full trace.
+
+``run(engine="fast")`` takes a compiled fast path for the *guard-free
+Move fragment* (every guard ``True``, every right-hand side a move):
+there the store never changes, so a configuration is just (node,
+state).  The fast path memoises the applicable-rule lookup per (state,
+label, position) — the reference executor re-scans every rule at every
+step — walks on the :class:`~repro.engine.index.TreeIndex` navigation
+arrays, and detects cycles with dense config ids in a flat bytearray.
+Verdicts, step counts and reason strings are identical to the
+reference executor; automata outside the fragment (or traced runs)
+fall back to it transparently.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..store.database import RegisterStore
-from ..store.fo import StoreContext, evaluate as evaluate_guard, evaluate_update
+from ..store.fo import StoreContext, TrueF, evaluate as evaluate_guard, evaluate_update
 from ..store.relation import Relation
 from ..trees.node import NodeId
 from ..trees.tree import Tree
 from .machine import TWAutomaton
-from .rules import Atp, Move, Rule, Update, move
+from .rules import DOWN, LEFT, STAY, UP, Atp, Move, Rule, Update, move
 
 
 class ExecutionError(RuntimeError):
@@ -132,6 +144,166 @@ def _applicable_rule(
     return found
 
 
+class _FastPlan:
+    """Compiled dispatch tables for the guard-free Move fragment.
+
+    Built once per automaton (see :func:`fast_plan_for`).  States get
+    dense indexes; ``resolve`` memoises the applicable-rule scan per
+    (state, label, position) key — the complete left-hand-side
+    information in this fragment, since guards are all ``True`` — so
+    every later step at an equivalent configuration is one dict hit.
+    Nondeterminism is still detected exactly where the reference
+    executor finds it: the first time an ambiguous key is *reached*.
+    """
+
+    __slots__ = ("automaton", "states", "state_index", "final_index", "_rules", "_memo")
+
+    def __init__(self, automaton: TWAutomaton) -> None:
+        self.automaton = automaton
+        self.states = tuple(sorted(automaton.states))
+        self.state_index = {q: i for i, q in enumerate(self.states)}
+        self.final_index = self.state_index[automaton.final_state]
+        self._rules = {q: automaton.rules_for(q) for q in self.states}
+        #: (state_idx, label, poskey) → None (stuck) |
+        #: (rule, direction, target_idx) | (rule, rule) (nondeterminism)
+        self._memo: Dict[tuple, Optional[tuple]] = {}
+
+    def resolve(self, state_idx: int, label: str, poskey: tuple):
+        key = (state_idx, label, poskey)
+        try:
+            return self._memo[key]
+        except KeyError:
+            pass
+        root, leaf, first, last = poskey
+        matches: List[Rule] = []
+        for rule in self._rules[self.states[state_idx]]:
+            lhs = rule.lhs
+            if lhs.label is not None and lhs.label != label:
+                continue
+            position = lhs.position
+            if (
+                (position.root is not None and position.root != root)
+                or (position.leaf is not None and position.leaf != leaf)
+                or (position.first is not None and position.first != first)
+                or (position.last is not None and position.last != last)
+            ):
+                continue
+            matches.append(rule)
+            if len(matches) == 2:
+                break
+        if not matches:
+            entry = None
+        elif len(matches) == 1:
+            rule = matches[0]
+            entry = (rule, rule.rhs.direction, self.state_index[rule.rhs.state])
+        else:
+            entry = (matches[0], matches[1])
+        self._memo[key] = entry
+        return entry
+
+
+#: Bounded cache of fast plans keyed on automaton object identity;
+#: entries pin their automaton so ids cannot be recycled while live.
+_PLAN_CACHE: "OrderedDict[int, Tuple[TWAutomaton, Optional[_FastPlan]]]" = OrderedDict()
+_PLAN_CACHE_SIZE = 64
+
+
+def fast_plan_for(automaton: TWAutomaton) -> Optional[_FastPlan]:
+    """The (cached) fast-path plan of ``automaton``, or ``None`` when it
+    falls outside the guard-free Move fragment (guards, updates, atp)."""
+    key = id(automaton)
+    hit = _PLAN_CACHE.get(key)
+    if hit is not None and hit[0] is automaton:
+        _PLAN_CACHE.move_to_end(key)
+        return hit[1]
+    plan = None
+    if all(
+        isinstance(rule.rhs, Move) and isinstance(rule.lhs.guard, TrueF)
+        for rule in automaton.rules
+    ):
+        plan = _FastPlan(automaton)
+    while len(_PLAN_CACHE) >= _PLAN_CACHE_SIZE:
+        _PLAN_CACHE.popitem(last=False)
+    _PLAN_CACHE[key] = (automaton, plan)
+    return plan
+
+
+def _run_fast(
+    automaton: TWAutomaton,
+    tree: Tree,
+    plan: _FastPlan,
+    start: NodeId,
+    fuel: int,
+) -> RunResult:
+    """The guard-free executor: dense (node, state) configurations over
+    the tree index's navigation arrays, one memoised dict hit per step."""
+    from ..engine.index import index_for
+
+    index = index_for(tree)
+    node_of = index.node_of
+    parent = index.parent
+    next_sibling = index.next_sibling
+    prev_sibling = index.prev_sibling
+    leaf_mask = index.leaf_mask
+    first_mask = index.first_mask
+    last_mask = index.last_mask
+    label_of = [tree.label(u) for u in node_of]
+    store = automaton.initial_store()
+    states = plan.states
+    n_states = len(states)
+    final_index = plan.final_index
+    resolve = plan.resolve
+    seen = bytearray(index.n * n_states)
+    i = index.id_of[start]
+    q = plan.state_index[automaton.initial_state]
+    steps = 0
+    while True:
+        if q == final_index:
+            final = Configuration(node_of[i], states[q], store)
+            return RunResult(True, steps, "reached the final state", final=final)
+        config_id = i * n_states + q
+        if seen[config_id]:
+            config = Configuration(node_of[i], states[q], store)
+            return RunResult(False, steps, f"cycle at {config!r}")
+        seen[config_id] = 1
+        steps += 1
+        if steps > fuel:
+            raise FuelExhausted(
+                f"step budget {fuel} exhausted (likely divergence)"
+            )
+        bit = 1 << i
+        leaf = bool(leaf_mask & bit)
+        poskey = (i == 0, leaf, bool(first_mask & bit), bool(last_mask & bit))
+        entry = resolve(q, label_of[i], poskey)
+        if entry is None:
+            config = Configuration(node_of[i], states[q], store)
+            return RunResult(
+                False, steps, f"stuck at {config!r} (no rule applies)"
+            )
+        if len(entry) == 2:
+            config = Configuration(node_of[i], states[q], store)
+            raise NondeterminismError(
+                f"rules {entry[0]!r} and {entry[1]!r} both apply at {config!r}"
+            )
+        _, direction, target = entry
+        if direction == STAY:
+            j = i
+        elif direction == UP:
+            j = parent[i]
+        elif direction == DOWN:
+            j = i + 1 if not leaf else -1
+        elif direction == LEFT:
+            j = prev_sibling[i]
+        else:  # RIGHT
+            j = next_sibling[i]
+        if j < 0:
+            config = Configuration(node_of[i], states[q], store)
+            return RunResult(
+                False, steps, f"move {direction} off the tree at {config!r}"
+            )
+        i, q = j, target
+
+
 def _run_computation(
     automaton: TWAutomaton,
     tree: Tree,
@@ -223,14 +395,28 @@ def run(
     start: NodeId = (),
     fuel: int = 1_000_000,
     collect_trace: bool = False,
+    engine: str = "reference",
 ) -> RunResult:
     """Run ``automaton`` on ``tree`` from the root (or ``start``).
 
     Returns the verdict; never raises on mere rejection.  Raises
     :class:`NondeterminismError` / :class:`FuelExhausted` on genuine
     errors.
+
+    ``engine="fast"`` uses the compiled guard-free executor when the
+    automaton is in the Move fragment and no trace is requested,
+    falling back to the reference executor otherwise; results are
+    identical either way.
     """
+    if engine not in ("fast", "reference"):
+        raise ValueError(
+            f"unknown engine {engine!r}; expected 'fast' or 'reference'"
+        )
     tree.require(start)
+    if engine == "fast" and not collect_trace:
+        plan = fast_plan_for(automaton)
+        if plan is not None:
+            return _run_fast(automaton, tree, plan, start, fuel)
     state = _RunState(fuel=fuel, trace=[] if collect_trace else None)
     constants = automaton.program_constants()
     config = Configuration(start, automaton.initial_state, automaton.initial_store())

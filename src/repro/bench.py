@@ -12,9 +12,25 @@ writes the measured trajectory to ``BENCH_engine.json``:
   reference re-walks one subtree per frontier node; the engine merges
   subtree *intervals* with O(1) big-int range operations.
 
+``python -m repro.bench --suite walk`` times the walking engines
+instead and writes ``BENCH_walk.json``:
+
+* **caterpillar** — full walk relations.  The reference runs the
+  caterpillar NFA once per context node (~O(|expr|·n) each); the
+  compiled engine answers all n contexts with one product-graph BFS
+  over stacked frontier bitsets (:mod:`repro.engine.walk`).
+* **twa** — guard-free deterministic tree-walking runs.  The
+  reference interpreter re-derives the applicable rule at every
+  step; the fast path replays a memoised per-(state, label,
+  position) plan over dense preorder ids.
+
 Every timed case is also checked for agreement between the two
 engines, so a bench run doubles as a differential sweep.  All trees
 are seeded: same seed, same JSON (modulo timings).
+
+``python -m repro.bench --check [files...]`` re-reads committed
+``BENCH_*.json`` trajectories and fails if any reports a median
+speedup below 1.0 — the "the engine never lost ground" ratchet.
 """
 
 from __future__ import annotations
@@ -27,7 +43,12 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Sequence
 
+from .automata.examples import even_leaves_automaton
+from .automata.runner import run as run_automaton
+from .caterpillar import nfa as reference_walk
+from .caterpillar.parser import parse_caterpillar
 from .engine import fo as fast_fo
+from .engine import walk as fast_walk
 from .engine import xpath as fast_xpath
 from .logic import tree_fo
 from .logic.parser import parse_formula
@@ -37,6 +58,8 @@ from .xpath.parser import parse_xpath
 
 SCHEMA = "repro-bench-engine/1"
 DEFAULT_OUTPUT = "BENCH_engine.json"
+WALK_SCHEMA = "repro-bench-walk/1"
+WALK_DEFAULT_OUTPUT = "BENCH_walk.json"
 
 #: 3-variable selectors (free x) timed as full satisfying-assignment
 #: relations.  The first three make the reference pay the n^3 walk;
@@ -63,10 +86,34 @@ XPATH_EXPRESSIONS = [
     "//σ[.//δ]//σ",
 ]
 
+#: Closure-heavy caterpillar walks: the regime the compiled product
+#: graph targets.  The Kleene stars keep the per-context reference NFA
+#: exploring most of the tree from every start node, while the stacked
+#: engine saturates all n frontiers in one BFS.  Two lighter walks
+#: (a guarded descendant chase and the next-leaf caterpillar) stay in
+#: as honest counterpoints.
+CATERPILLAR_EXPRESSIONS = {
+    "reach-sigma": "(up | down | left | right)* <σ>",
+    "reach-sigma-leaf": "(up | down | left | right)* (<σ> isLeaf)",
+    "zigzag-delta": "((up | left)* (down | right)*)* <δ>",
+    "sigma-desc-leaf": "(down | right)* <σ> (down | right)* isLeaf",
+    "leaf-next-leaf":
+        "isLeaf (up isLast)* (up right | right) (down isFirst)* isLeaf",
+}
+
+#: Guard-free deterministic TWAs eligible for the memoised fast path.
+TWA_AUTOMATA = {
+    "even-leaves": even_leaves_automaton,
+}
+
 FO_SIZES = (25, 50, 100, 200)
 XPATH_SIZES = (100, 250, 500, 1000)
+CATERPILLAR_SIZES = (100, 250, 500)
+TWA_SIZES = (100, 250, 500)
 FO_SIZES_QUICK = (8, 16)
 XPATH_SIZES_QUICK = (40, 80)
+CATERPILLAR_SIZES_QUICK = (20, 40)
+TWA_SIZES_QUICK = (20, 40)
 
 #: Low fan-out makes documents deep — the descendant-heavy regime.
 MAX_CHILDREN = 2
@@ -74,6 +121,12 @@ VALUE_POOL = (1, 2, 3)
 
 FO_THRESHOLD = 10.0
 XPATH_THRESHOLD = 5.0
+CATERPILLAR_THRESHOLD = 10.0
+TWA_THRESHOLD = 5.0
+
+#: ``--check`` floor: no committed trajectory may report a median
+#: speedup below this — the engine must never lose to the reference.
+CHECK_FLOOR = 1.0
 
 
 def _document(size: int, seed: int):
@@ -159,6 +212,77 @@ def run_xpath_benchmark(
     return rows
 
 
+def run_caterpillar_benchmark(
+    sizes: Sequence[int], seed: int, repeats: int
+) -> List[Dict]:
+    """Full walk relations: per-context reference NFA vs one stacked BFS."""
+    rows = []
+    for n in sizes:
+        tree = _document(n, seed + n)
+        for name, text in CATERPILLAR_EXPRESSIONS.items():
+            expr = parse_caterpillar(text)
+            engine = fast_walk.relation(expr, tree)
+            reference = reference_walk.relation(expr, tree)
+            if engine != reference:  # pragma: no cover - differential guard
+                raise AssertionError(f"engines disagree on {name} at n={n}")
+            engine_s = _timed(
+                lambda: fast_walk.relation(expr, tree), max(repeats, 3)
+            )
+            reference_s = _timed(
+                lambda: reference_walk.relation(expr, tree), repeats
+            )
+            rows.append(
+                {
+                    "expression": name,
+                    "text": text,
+                    "n": n,
+                    "reference_seconds": reference_s,
+                    "engine_seconds": engine_s,
+                    "speedup": reference_s / engine_s,
+                }
+            )
+    return rows
+
+
+def run_twa_benchmark(
+    sizes: Sequence[int], seed: int, repeats: int
+) -> List[Dict]:
+    """Guard-free TWA runs: step interpreter vs memoised fast path."""
+    rows = []
+    for n in sizes:
+        tree = _document(n, seed + n)
+        for name, factory in TWA_AUTOMATA.items():
+            automaton = factory()
+            reference = run_automaton(automaton, tree, engine="reference")
+            fast = run_automaton(automaton, tree, engine="fast")
+            if (
+                reference.accepted != fast.accepted
+                or reference.steps != fast.steps
+                or reference.reason != fast.reason
+            ):  # pragma: no cover - differential guard
+                raise AssertionError(f"runners disagree on {name} at n={n}")
+            runs = max(repeats, 3)
+            engine_s = _timed(
+                lambda: run_automaton(automaton, tree, engine="fast"), runs
+            )
+            reference_s = _timed(
+                lambda: run_automaton(automaton, tree, engine="reference"),
+                runs,
+            )
+            rows.append(
+                {
+                    "automaton": name,
+                    "n": n,
+                    "steps": reference.steps,
+                    "accepted": reference.accepted,
+                    "reference_seconds": reference_s,
+                    "engine_seconds": engine_s,
+                    "speedup": reference_s / engine_s,
+                }
+            )
+    return rows
+
+
 def _median_speedup_at(rows: Sequence[Dict], n: int) -> float:
     return statistics.median(r["speedup"] for r in rows if r["n"] == n)
 
@@ -204,6 +328,123 @@ def run_benchmark(
     }
 
 
+def run_walk_benchmark(
+    quick: bool = False, seed: int = 0, repeats: int = 1
+) -> Dict:
+    """The walking-engine sweep (``--suite walk``) as a JSON-ready dict."""
+    cat_sizes = CATERPILLAR_SIZES_QUICK if quick else CATERPILLAR_SIZES
+    twa_sizes = TWA_SIZES_QUICK if quick else TWA_SIZES
+    cat_rows = run_caterpillar_benchmark(cat_sizes, seed, repeats)
+    twa_rows = run_twa_benchmark(twa_sizes, seed, repeats)
+    cat_median = _median_speedup_at(cat_rows, cat_sizes[-1])
+    twa_median = _median_speedup_at(twa_rows, twa_sizes[-1])
+    return {
+        "schema": WALK_SCHEMA,
+        "generated_by": "python -m repro.bench --suite walk"
+        + (" --quick" if quick else ""),
+        "seed": seed,
+        "repeats": repeats,
+        "quick": quick,
+        "caterpillar": {
+            "sizes": list(cat_sizes),
+            "expressions": dict(CATERPILLAR_EXPRESSIONS),
+            "max_children": MAX_CHILDREN,
+            "rows": cat_rows,
+        },
+        "twa": {
+            "sizes": list(twa_sizes),
+            "automata": sorted(TWA_AUTOMATA),
+            "rows": twa_rows,
+        },
+        "summary": {
+            "caterpillar_max_size": cat_sizes[-1],
+            "caterpillar_median_speedup_at_max_size": cat_median,
+            "twa_max_size": twa_sizes[-1],
+            "twa_median_speedup_at_max_size": twa_median,
+            "thresholds": {
+                "caterpillar": CATERPILLAR_THRESHOLD,
+                "twa": TWA_THRESHOLD,
+            },
+            # The acceptance gates only bind the full-size sweep.
+            "pass": quick
+            or (
+                cat_median >= CATERPILLAR_THRESHOLD
+                and twa_median >= TWA_THRESHOLD
+            ),
+        },
+    }
+
+
+def _print_walk_report(report: Dict) -> None:
+    print(f"walking-engine benchmark (seed={report['seed']}, "
+          f"quick={report['quick']})")
+    print("\nCaterpillar walk relations (per-context reference vs "
+          "one stacked BFS):")
+    for row in report["caterpillar"]["rows"]:
+        print(
+            f"  n={row['n']:>4}  {row['expression']:<18} "
+            f"ref={row['reference_seconds'] * 1000:>10.2f}ms  "
+            f"eng={row['engine_seconds'] * 1000:>8.3f}ms  "
+            f"speedup={row['speedup']:>6.1f}x"
+        )
+    print("\nGuard-free TWA runs (step interpreter vs memoised plan):")
+    for row in report["twa"]["rows"]:
+        print(
+            f"  n={row['n']:>4}  {row['automaton']:<14} "
+            f"steps={row['steps']:>5}  "
+            f"ref={row['reference_seconds'] * 1000:>8.3f}ms  "
+            f"eng={row['engine_seconds'] * 1000:>8.3f}ms  "
+            f"speedup={row['speedup']:>6.1f}x"
+        )
+    summary = report["summary"]
+    print(
+        f"\nmedian speedups: caterpillar "
+        f"{summary['caterpillar_median_speedup_at_max_size']:.1f}x "
+        f"at n={summary['caterpillar_max_size']}, "
+        f"TWA {summary['twa_median_speedup_at_max_size']:.1f}x "
+        f"at n={summary['twa_max_size']} "
+        f"(gates: {summary['thresholds']['caterpillar']:.0f}x / "
+        f"{summary['thresholds']['twa']:.0f}x — "
+        f"{'pass' if summary['pass'] else 'FAIL'})"
+    )
+
+
+def check_reports(paths: Sequence[Path]) -> List[str]:
+    """Scan committed trajectories; return human-readable failures.
+
+    Every ``*_median_speedup_at_max_size`` entry in each report's
+    summary must clear :data:`CHECK_FLOOR` — a trajectory where the
+    engine lost to the reference is a regression, full stop.
+    """
+    failures = []
+    for path in paths:
+        try:
+            report = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            failures.append(f"{path}: unreadable ({exc})")
+            continue
+        schema = report.get("schema", "")
+        if not str(schema).startswith("repro-bench-"):
+            failures.append(f"{path}: unrecognised schema {schema!r}")
+            continue
+        summary = report.get("summary", {})
+        medians = {
+            key: value
+            for key, value in summary.items()
+            if key.endswith("_median_speedup_at_max_size")
+        }
+        if not medians:
+            failures.append(f"{path}: summary has no median speedups")
+            continue
+        for key, value in sorted(medians.items()):
+            if not isinstance(value, (int, float)) or value < CHECK_FLOOR:
+                failures.append(
+                    f"{path}: {key} = {value!r} is below the "
+                    f"{CHECK_FLOOR:.1f}x floor"
+                )
+    return failures
+
+
 def _print_report(report: Dict) -> None:
     print(f"engine benchmark (seed={report['seed']}, "
           f"quick={report['quick']})")
@@ -242,14 +483,23 @@ def main(argv: Sequence[str] = None) -> int:
         "evaluators and write the trajectory to a JSON file.",
     )
     parser.add_argument(
+        "--suite",
+        choices=("engine", "walk"),
+        default="engine",
+        help="engine: FO + XPath vs the indexed engines "
+        "(BENCH_engine.json); walk: caterpillar + TWA vs the "
+        "compiled walking engine (BENCH_walk.json)",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="tiny sizes only (seconds, for smoke tests and CI)",
     )
     parser.add_argument(
         "--output",
-        default=DEFAULT_OUTPUT,
-        help=f"output JSON path (default: ./{DEFAULT_OUTPUT})",
+        default=None,
+        help=f"output JSON path (default: ./{DEFAULT_OUTPUT} or "
+        f"./{WALK_DEFAULT_OUTPUT} per --suite)",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -259,12 +509,43 @@ def main(argv: Sequence[str] = None) -> int:
         help="timing repetitions per measurement (median; the "
         "sub-millisecond engine side always gets at least 3)",
     )
-    opts = parser.parse_args(argv)
-    report = run_benchmark(
-        quick=opts.quick, seed=opts.seed, repeats=opts.repeats
+    parser.add_argument(
+        "--check",
+        nargs="*",
+        metavar="JSON",
+        default=None,
+        help="instead of benchmarking, verify committed BENCH_*.json "
+        "trajectories never report a median speedup below 1.0 "
+        "(default: all BENCH_*.json in the current directory)",
     )
-    _print_report(report)
-    path = Path(opts.output)
+    opts = parser.parse_args(argv)
+    if opts.check is not None:
+        paths = [Path(p) for p in opts.check] or sorted(
+            Path(".").glob("BENCH_*.json")
+        )
+        if not paths:
+            print("bench-check: no BENCH_*.json files found")
+            return 1
+        failures = check_reports(paths)
+        for line in failures:
+            print(f"bench-check: {line}")
+        if not failures:
+            print(f"bench-check: {len(paths)} trajectories clear the "
+                  f"{CHECK_FLOOR:.1f}x floor")
+        return 1 if failures else 0
+    if opts.suite == "walk":
+        report = run_walk_benchmark(
+            quick=opts.quick, seed=opts.seed, repeats=opts.repeats
+        )
+        _print_walk_report(report)
+        default_output = WALK_DEFAULT_OUTPUT
+    else:
+        report = run_benchmark(
+            quick=opts.quick, seed=opts.seed, repeats=opts.repeats
+        )
+        _print_report(report)
+        default_output = DEFAULT_OUTPUT
+    path = Path(opts.output if opts.output is not None else default_output)
     path.write_text(json.dumps(report, ensure_ascii=False, indent=2) + "\n")
     print(f"\nwrote {path}")
     return 0 if report["summary"]["pass"] else 1

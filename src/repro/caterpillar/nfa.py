@@ -11,6 +11,7 @@ strings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from ..trees.node import NodeId
@@ -47,11 +48,17 @@ class CaterpillarNFA:
     accept: int
     state_count: int
 
-    def edges_from(self) -> Dict[int, List[Tuple[Atom, int]]]:
+    @cached_property
+    def edge_table(self) -> Dict[int, List[Tuple[Atom, int]]]:
+        """Transitions grouped by source state — computed once per NFA
+        and shared by the reference walk and the compiled engine."""
         table: Dict[int, List[Tuple[Atom, int]]] = {}
         for source, atom, target in self.transitions:
             table.setdefault(source, []).append((atom, target))
         return table
+
+    def edges_from(self) -> Dict[int, List[Tuple[Atom, int]]]:
+        return self.edge_table
 
 
 class _Builder:

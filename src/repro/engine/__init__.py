@@ -10,7 +10,10 @@ Fast counterparts of the reference evaluators, built on one compiled
   (join/project/co-project over satisfying-assignment relations, with
   on-the-fly miniscoping);
 * :mod:`repro.engine.xpath` — bitset/interval XPath evaluation with
-  subtree-range descendant steps.
+  subtree-range descendant steps;
+* :mod:`repro.engine.walk` — compiled caterpillar expressions
+  evaluated as frontier-bitset reachability in the (state × node)
+  product over the index's move graphs.
 
 Both engines are semantically interchangeable with the references in
 :mod:`repro.logic.tree_fo` and :mod:`repro.xpath.evaluator`; the
@@ -20,6 +23,10 @@ differential oracle and the hypothesis suites keep them that way.
 from .fo import evaluate, relation_of, satisfying_assignments
 from .fo import select as fo_select
 from .index import TreeIndex, bit_count, index_for, iter_bits
+from .walk import CompiledWalk, WalkEvaluator, compile_walk
+from .walk import matches as walk_matches
+from .walk import relation as walk_relation
+from .walk import walk as walk_select
 from .xpath import select as xpath_select
 
 __all__ = [
@@ -32,4 +39,10 @@ __all__ = [
     "relation_of",
     "fo_select",
     "xpath_select",
+    "CompiledWalk",
+    "WalkEvaluator",
+    "compile_walk",
+    "walk_select",
+    "walk_relation",
+    "walk_matches",
 ]

@@ -17,7 +17,15 @@ address tuples.  The index trades one O(n) construction pass for
   depth, plus a postorder numbering (``pre(u) < pre(v) and post(v) <
   post(u)`` is the classic equivalent descendant test);
 * **inverted indexes**: label → bitset and attribute-value → bitset,
-  making every unary atom of the FO vocabulary a single dict lookup.
+  making every unary atom of the FO vocabulary a single dict lookup;
+* **move graphs**: set-at-a-time images of the four walking atoms
+  (``up``/``down``/``left``/``right``) — the edge relations the
+  product-graph walking engine (:mod:`repro.engine.walk`) BFSes over.
+  Preorder ids make three of them partly *shift-shaped*: the first
+  child of ``u`` is ``u + 1``, the parent of a first child is
+  ``u - 1``, and a leaf's right sibling is ``u + 1``, so those slices
+  of a frontier move in one big-int shift; only the remaining nodes
+  fall back to per-bit array lookups.
 
 Bitsets are arbitrary-precision Python ints: bit *i* set means "node
 with dense id *i* is in the set".  Union/intersection/complement are
@@ -55,6 +63,20 @@ def bit_count(bits: int) -> int:
     return bin(bits).count("1")
 
 
+def _shift_groups(edges) -> Tuple[Tuple[int, int], ...]:
+    """Bucket (source, target) pairs by ``target - source``.
+
+    Returns ``((shift, source_mask), …)`` sorted by shift: the dense
+    form of a partial move function, applied set-at-a-time as one
+    big-int shift per distinct distance.
+    """
+    groups: Dict[int, int] = {}
+    for source, target in edges:
+        delta = target - source
+        groups[delta] = groups.get(delta, 0) | (1 << source)
+    return tuple(sorted(groups.items()))
+
+
 class TreeIndex:
     """Dense-id arrays, interval labels and inverted indexes for a tree.
 
@@ -83,6 +105,11 @@ class TreeIndex:
         "last_mask",
         "label_mask",
         "value_mask",
+        "has_next_mask",
+        "has_prev_mask",
+        "prev_adjacent_mask",
+        "move_groups",
+        "moves",
     )
 
     def __init__(self, tree: Tree) -> None:
@@ -165,6 +192,46 @@ class TreeIndex:
             value_mask[attr] = table
         self.value_mask = value_mask
 
+        has_next = 0
+        has_prev = 0
+        prev_adjacent = 0
+        for i in range(n):
+            if next_sibling[i] >= 0:
+                has_next |= 1 << i
+            if prev_sibling[i] >= 0:
+                has_prev |= 1 << i
+                if prev_sibling[i] == i - 1:
+                    prev_adjacent |= 1 << i
+        self.has_next_mask = has_next
+        self.has_prev_mask = has_prev
+        self.prev_adjacent_mask = prev_adjacent
+
+        #: Move graphs, shift-decomposed: direction → ((shift, mask), …)
+        #: where ``mask`` collects the sources whose target lies exactly
+        #: ``shift`` ids away (negative = towards smaller ids).  A move
+        #: applied to a node set is then one ``(bits & mask) << shift``
+        #: per distinct shift — no per-node work at all.
+        self.move_groups = {
+            "down": ((1, self.all_mask & ~leaf_mask),),
+            "up": _shift_groups(
+                (i, parent[i]) for i in range(1, n)
+            ),
+            "right": _shift_groups(
+                (i, next_sibling[i]) for i in range(n) if next_sibling[i] >= 0
+            ),
+            "left": _shift_groups(
+                (i, prev_sibling[i]) for i in range(n) if prev_sibling[i] >= 0
+            ),
+        }
+
+        #: Move-graph dispatch: atom direction → set-at-a-time image.
+        self.moves = {
+            "up": self.up_mask,
+            "down": self.down_mask,
+            "left": self.left_mask,
+            "right": self.right_mask,
+        }
+
     # -- O(1) structure tests --------------------------------------------------
 
     def descendant(self, u: int, v: int) -> bool:
@@ -202,6 +269,34 @@ class TreeIndex:
         for u in iter_bits(sources):
             out |= children_mask[u]
         return out
+
+    # -- move graphs (set-at-a-time walking atoms) -----------------------------
+
+    def _move(self, direction: str, sources: int) -> int:
+        out = 0
+        for shift, mask in self.move_groups[direction]:
+            hit = sources & mask
+            if hit:
+                out |= hit << shift if shift >= 0 else hit >> -shift
+        return out
+
+    def down_mask(self, sources: int) -> int:
+        """Image of ``sources`` under the *first-child* move — one
+        shift, since preorder puts the first child of ``u`` at
+        ``u + 1``."""
+        return (sources & ~self.leaf_mask) << 1
+
+    def up_mask(self, sources: int) -> int:
+        """Image of ``sources`` under the *parent* move."""
+        return self._move("up", sources)
+
+    def right_mask(self, sources: int) -> int:
+        """Image of ``sources`` under the *right-sibling* move."""
+        return self._move("right", sources)
+
+    def left_mask(self, sources: int) -> int:
+        """Image of ``sources`` under the *left-sibling* move."""
+        return self._move("left", sources)
 
     def labelled(self, label: str) -> int:
         """Bitset of σ-labelled nodes (0 if σ never occurs)."""

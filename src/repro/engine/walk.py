@@ -1,0 +1,513 @@
+"""The compiled, set-at-a-time walking engine.
+
+The reference caterpillar evaluator (:mod:`repro.caterpillar.nfa`)
+rebuilds a Thompson NFA on every call and BFSes the (state × node)
+product one ``(state, node)`` pair at a time, with each atom applied
+through tuple-address tree methods.  This module is its indexed
+counterpart, the same move the FO/XPath engines made in
+:mod:`repro.engine.fo` / :mod:`repro.engine.xpath`:
+
+* each expression is compiled **once** (bounded LRU keyed by the
+  concrete syntax) into a :class:`CompiledWalk` — the ε-*closed* NFA
+  with per-state, atom-partitioned edge tables;
+* each (expression, tree) pairing binds the compiled atoms to the
+  tree's :class:`~repro.engine.index.TreeIndex`: tests become bitset
+  masks (one ``&`` per frontier), moves become the index's move-graph
+  maps (shift-shaped where preorder allows, array loops elsewhere);
+* evaluation is a frontier-bitset BFS over the product graph — one
+  big-int operation per (state, atom) per round instead of one
+  dict/set operation per (state, node) pair.
+
+:func:`walk` mirrors the reference ``walk`` (nodes reachable from one
+context), :func:`relation` mirrors the reference ``relation`` (the full
+denoted binary relation, computed as one per-start-node reachability
+sweep over the shared compiled product), and :func:`matches` mirrors
+tree acceptance from the root.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from ..caterpillar.ast import (
+    Caterpillar,
+    IS_FIRST,
+    IS_LAST,
+    IS_LEAF,
+    IS_ROOT,
+    LabelTest,
+    Move,
+    Test,
+)
+from ..caterpillar.nfa import CaterpillarNFA, compile_caterpillar
+from ..caterpillar.parser import format_caterpillar
+from ..trees.node import NodeId
+from ..trees.tree import Tree
+from .index import TreeIndex, index_for, iter_bits
+
+__all__ = [
+    "CompiledWalk",
+    "WalkEvaluator",
+    "compile_walk",
+    "compile_cache_info",
+    "compile_cache_clear",
+    "walk",
+    "relation",
+    "matches",
+]
+
+#: Compiled atoms: ("move", direction) | ("test", predicate) |
+#: ("label", σ) — tree-independent, bound to an index at evaluation.
+CompiledAtom = Tuple[str, str]
+
+
+def _compile_atom(atom) -> CompiledAtom:
+    if isinstance(atom, Move):
+        return ("move", atom.direction)
+    if isinstance(atom, Test):
+        return ("test", atom.predicate)
+    if isinstance(atom, LabelTest):
+        return ("label", atom.label)
+    raise TypeError(f"unknown caterpillar atom {atom!r}")
+
+
+class CompiledWalk:
+    """The ε-closed, reduced compiled form of one caterpillar expression.
+
+    ``edges[q]`` partitions the outgoing atom edges of *all* states in
+    the ε-closure of ``q`` by atom, so the evaluator applies each atom
+    to a frontier once and feeds every target state from the result.
+    ``accepting`` flags the states whose ε-closure contains the accept
+    state; a node is in the answer iff it is reached in one of them.
+
+    Thompson construction leaves many behaviourally identical states
+    (every ``*``/``|`` contributes plumbing), and each survivor would
+    re-push the same frontier bits every round.  Compilation therefore
+    prunes states unreachable from the start or unable to reach
+    acceptance, then iterates a merge of states with identical
+    (accepting, atom-edge) signatures to a fixpoint — on typical
+    expressions this shrinks the product's state dimension severalfold,
+    and turns ``a*`` plumbing into genuine self-loops the evaluator can
+    saturate in place.
+    """
+
+    __slots__ = ("text", "state_count", "start", "edges", "accepting")
+
+    def __init__(self, expr: Caterpillar) -> None:
+        self.text = format_caterpillar(expr)
+        nfa: CaterpillarNFA = compile_caterpillar(expr)
+        closures = _epsilon_closures(nfa)
+        edges: Dict[int, Dict[CompiledAtom, List[int]]] = {}
+        for state in range(nfa.state_count):
+            grouped: "OrderedDict[CompiledAtom, List[int]]" = OrderedDict()
+            for member in closures[state]:
+                for atom, target in nfa.edge_table.get(member, ()):
+                    if atom is None:
+                        continue
+                    bucket = grouped.setdefault(_compile_atom(atom), [])
+                    if target not in bucket:
+                        bucket.append(target)
+            edges[state] = grouped
+        accepting = {
+            state
+            for state in range(nfa.state_count)
+            if nfa.accept in closures[state]
+        }
+        keep = _live_states(nfa.start, edges, accepting)
+        canon = _merge_equivalent(keep, edges, accepting)
+        order = sorted(
+            {canon[s] for s in keep}, key=lambda s: (s != canon[nfa.start], s)
+        )
+        renumber = {s: i for i, s in enumerate(order)}
+        self.state_count = len(order)
+        self.start = renumber[canon[nfa.start]]
+        compact: List[Tuple[Tuple[CompiledAtom, Tuple[int, ...]], ...]] = []
+        for s in order:
+            entries = []
+            for atom, targets in edges[s].items():
+                live = tuple(
+                    dict.fromkeys(
+                        renumber[canon[t]] for t in targets if t in keep
+                    )
+                )
+                if live:
+                    entries.append((atom, live))
+            compact.append(tuple(entries))
+        self.edges = tuple(compact)
+        self.accepting = tuple(
+            renumber[s] for s in order if s in accepting
+        )
+
+    def bind(self, tree: Tree) -> "WalkEvaluator":
+        """The evaluator of this expression over ``tree``."""
+        return WalkEvaluator(self, index_for(tree))
+
+    def __repr__(self) -> str:
+        return f"CompiledWalk({self.text!r}, {self.state_count} states)"
+
+
+def _live_states(
+    start: int,
+    edges: Dict[int, Dict[CompiledAtom, List[int]]],
+    accepting,
+) -> set:
+    """States both reachable from ``start`` and able to reach an
+    accepting state over the ε-folded atom edges."""
+    forward = {start}
+    stack = [start]
+    while stack:
+        for targets in edges[stack.pop()].values():
+            for t in targets:
+                if t not in forward:
+                    forward.add(t)
+                    stack.append(t)
+    predecessors: Dict[int, List[int]] = {}
+    for s, grouped in edges.items():
+        for targets in grouped.values():
+            for t in targets:
+                predecessors.setdefault(t, []).append(s)
+    backward = set(accepting)
+    stack = list(backward)
+    while stack:
+        for p in predecessors.get(stack.pop(), ()):
+            if p not in backward:
+                backward.add(p)
+                stack.append(p)
+    live = forward & backward
+    # Keep the start state even when the language is empty, so the
+    # evaluator always has a well-defined (empty-answer) product.
+    live.add(start)
+    return live
+
+
+def _merge_equivalent(
+    keep: set,
+    edges: Dict[int, Dict[CompiledAtom, List[int]]],
+    accepting,
+) -> Dict[int, int]:
+    """Iteratively collapse states with identical (accepting, edges)
+    signatures; returns the state → representative map.  Merging states
+    with equal right languages never changes reachability answers."""
+    canon = {s: s for s in keep}
+    while True:
+        signature: Dict[tuple, int] = {}
+        mapping = {}
+        for s in sorted(keep):
+            key = (
+                s in accepting,
+                tuple(
+                    (atom, tuple(sorted(
+                        {canon[t] for t in targets if t in keep}
+                    )))
+                    for atom, targets in sorted(edges[s].items())
+                ),
+            )
+            mapping[s] = signature.setdefault(key, s)
+        composed = {s: mapping[canon[s]] for s in keep}
+        if composed == canon:
+            return canon
+        canon = composed
+
+
+def _epsilon_closures(nfa: CaterpillarNFA) -> List[Tuple[int, ...]]:
+    """Per-state ε-closure (reflexive-transitive over ε edges)."""
+    epsilon: Dict[int, List[int]] = {}
+    for source, atom, target in nfa.transitions:
+        if atom is None:
+            epsilon.setdefault(source, []).append(target)
+    closures: List[Tuple[int, ...]] = []
+    for state in range(nfa.state_count):
+        seen = {state}
+        stack = [state]
+        while stack:
+            for target in epsilon.get(stack.pop(), ()):
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        closures.append(tuple(sorted(seen)))
+    return closures
+
+
+class WalkEvaluator:
+    """A :class:`CompiledWalk` bound to one tree's index.
+
+    Binding resolves every atom against the index once: tests become
+    bitset masks, moves become the index's move-graph maps.  The bound
+    table is reused across every :meth:`from_context` call and the
+    whole :meth:`all_pairs` sweep.
+    """
+
+    __slots__ = ("compiled", "index", "_bound", "_stacked")
+
+    def __init__(self, compiled: CompiledWalk, index: TreeIndex) -> None:
+        self.compiled = compiled
+        self.index = index
+        move_groups = {
+            direction: tuple(groups)
+            for direction, groups in index.move_groups.items()
+        }
+        test_masks = {
+            IS_ROOT: index.root_mask,
+            IS_LEAF: index.leaf_mask,
+            IS_FIRST: index.first_mask,
+            IS_LAST: index.last_mask,
+        }
+        self._bound = self._bind(move_groups, test_masks, 1)
+        self._stacked = None  # built lazily by all_pairs()
+
+    def _bind(self, move_groups, test_masks, tiler):
+        """Resolve every compiled atom against this tree: a test/label
+        becomes ``(None, mask)``, a move becomes ``(shift_groups, 0)``.
+        Each state's edges are split into *self-loops* (targets equal to
+        the state — saturated in place by the evaluator) and ordinary
+        out-edges, with the same applier shared when an atom has both.
+        """
+        index = self.index
+        bound = []
+        for state, state_edges in enumerate(self.compiled.edges):
+            selfs = []
+            outs = []
+            for (kind, payload), targets in state_edges:
+                if kind == "move":
+                    applier = (move_groups[payload], 0)
+                elif kind == "test":
+                    applier = (None, test_masks[payload] * tiler)
+                else:  # label test
+                    applier = (None, index.labelled(payload) * tiler)
+                if state in targets:
+                    selfs.append(applier)
+                rest = tuple(t for t in targets if t != state)
+                if rest:
+                    outs.append((applier[0], applier[1], rest))
+            bound.append((tuple(selfs), tuple(outs)))
+        return tuple(bound)
+
+    @staticmethod
+    def _apply(groups, mask, frontier: int) -> int:
+        """One atom, set-at-a-time: a mask intersection for tests, one
+        shift per move-graph group for moves."""
+        if groups is None:
+            return frontier & mask
+        image = 0
+        for shift, group_mask in groups:
+            hit = frontier & group_mask
+            if hit:
+                image |= hit << shift if shift >= 0 else hit >> -shift
+        return image
+
+    def _reach(self, bound, init: int) -> List[int]:
+        """Per-state bitsets of product-reachable nodes from the start
+        state carrying ``init`` — the frontier-bitset BFS.
+
+        Propagation is *round-synchronised*: every state's fresh bits
+        are batched and pushed through all its atoms once per round, so
+        the number of big-int operations is (#edges × product-graph
+        depth), never per (state, node) pair.  Self-loops (``a*``
+        plumbing after compilation) are saturated in an inner loop that
+        touches only the looping atoms, not the whole edge table.
+        """
+        apply_atom = self._apply
+        reached = [0] * self.compiled.state_count
+        start = self.compiled.start
+        reached[start] = init
+        pending: Dict[int, int] = {start: init}
+        while pending:
+            current, pending = pending, {}
+            for state, frontier in current.items():
+                selfs, outs = bound[state]
+                if selfs:
+                    grown = reached[state]
+                    wave = frontier
+                    while wave:
+                        image = 0
+                        for groups, mask in selfs:
+                            image |= apply_atom(groups, mask, wave)
+                        wave = image & ~grown
+                        grown |= wave
+                        frontier |= wave
+                    reached[state] = grown
+                for groups, mask, targets in outs:
+                    image = apply_atom(groups, mask, frontier)
+                    if not image:
+                        continue
+                    for target in targets:
+                        fresh = image & ~reached[target]
+                        if fresh:
+                            reached[target] |= fresh
+                            pending[target] = pending.get(target, 0) | fresh
+        return reached
+
+    def result_mask(self, context: NodeId = ()) -> int:
+        """Bitset of nodes reachable from ``context`` by some denoted
+        caterpillar string."""
+        self.index.tree.require(context)
+        reached = self._reach(self._bound, 1 << self.index.id_of[context])
+        out = 0
+        for state in self.compiled.accepting:
+            out |= reached[state]
+        return out
+
+    def from_context(self, context: NodeId = ()) -> Tuple[NodeId, ...]:
+        """All nodes reachable from ``context`` — document order, the
+        reference ``walk`` contract."""
+        return self.index.to_nodes(self.result_mask(context))
+
+    # -- all-pairs: every start state at once ---------------------------------
+
+    def _bind_stacked(self):
+        """Edge tables over the *stacked* representation: one big int
+        holding n blocks of n bits, block s = current node set of the
+        walk started at node s.  Tests tile their mask across every
+        block; moves replay their shift groups, which stay inside a
+        block because every (source, target) pair lies in [0, n).  One
+        BFS over these atoms advances all n start nodes simultaneously
+        — per-start-state reachability in one product sweep.
+        """
+        if self._stacked is not None:
+            return self._stacked
+        index = self.index
+        n = index.n
+        #: bits at 0, n, 2n, …: multiplying an n-bit mask by this tiles
+        #: it across all n blocks (no carries — blocks don't overlap).
+        tiler = ((1 << (n * n)) - 1) // ((1 << n) - 1) if n > 1 else 1
+        test_masks = {
+            IS_ROOT: index.root_mask,
+            IS_LEAF: index.leaf_mask,
+            IS_FIRST: index.first_mask,
+            IS_LAST: index.last_mask,
+        }
+        move_groups = {
+            direction: tuple(
+                (shift, mask * tiler) for shift, mask in groups
+            )
+            for direction, groups in index.move_groups.items()
+        }
+        diagonal = 0
+        for s in range(n):
+            diagonal |= 1 << (s * n + s)
+        self._stacked = (self._bind(move_groups, test_masks, tiler), diagonal)
+        return self._stacked
+
+    def all_pairs(self) -> FrozenSet[Tuple[NodeId, NodeId]]:
+        """The full denoted relation ⟦expr⟧ ⊆ Dom(t)² — one stacked
+        frontier-bitset BFS covering every start node at once."""
+        bound, diagonal = self._bind_stacked()
+        reached = self._reach(bound, diagonal)
+        answers = 0
+        for state in self.compiled.accepting:
+            answers |= reached[state]
+        index = self.index
+        n = index.n
+        node_of = index.node_of
+        block = (1 << n) - 1
+        out = set()
+        for s in range(n):
+            hits = (answers >> (s * n)) & block
+            if hits:
+                source = node_of[s]
+                out.update((source, node_of[v]) for v in iter_bits(hits))
+        return frozenset(out)
+
+    def matches(self) -> bool:
+        """Tree acceptance: some denoted string walks from the root."""
+        return bool(self.result_mask(()))
+
+    def __repr__(self) -> str:
+        return f"WalkEvaluator({self.compiled.text!r}, n={self.index.n})"
+
+
+# ---------------------------------------------------------------------------
+# compile cache
+# ---------------------------------------------------------------------------
+
+#: Bounded LRU of compiled expressions, keyed by concrete syntax so
+#: structurally equal expressions share one compilation.
+_COMPILE_CACHE: "OrderedDict[str, CompiledWalk]" = OrderedDict()
+_COMPILE_CACHE_SIZE = 256
+_compile_hits = 0
+_compile_misses = 0
+
+
+def compile_walk(expr: Caterpillar) -> CompiledWalk:
+    """The (cached) compiled form of ``expr``."""
+    global _compile_hits, _compile_misses
+    key = format_caterpillar(expr)
+    hit = _COMPILE_CACHE.get(key)
+    if hit is not None:
+        _compile_hits += 1
+        _COMPILE_CACHE.move_to_end(key)
+        return hit
+    _compile_misses += 1
+    compiled = CompiledWalk(expr)
+    while len(_COMPILE_CACHE) >= _COMPILE_CACHE_SIZE:
+        _COMPILE_CACHE.popitem(last=False)
+    _COMPILE_CACHE[key] = compiled
+    return compiled
+
+
+def compile_cache_info() -> Tuple[int, int, int, int]:
+    """(hits, misses, maxsize, currsize) of the compile cache."""
+    return (
+        _compile_hits,
+        _compile_misses,
+        _COMPILE_CACHE_SIZE,
+        len(_COMPILE_CACHE),
+    )
+
+
+def compile_cache_clear() -> None:
+    """Empty the compile and evaluator caches, resetting statistics."""
+    global _compile_hits, _compile_misses
+    _COMPILE_CACHE.clear()
+    _EVAL_CACHE.clear()
+    _compile_hits = 0
+    _compile_misses = 0
+
+
+#: Bound evaluators keyed by (compiled, index) identity, so repeated
+#: queries with the same expression against the same tree reuse the
+#: bound atom tables (including the lazily built stacked ones).
+#: Entries pin both objects, so neither id can be recycled while live.
+_EVAL_CACHE: "OrderedDict[Tuple[int, int], Tuple[CompiledWalk, TreeIndex, WalkEvaluator]]" = (
+    OrderedDict()
+)
+_EVAL_CACHE_SIZE = 128
+
+
+def evaluator_for(expr: Caterpillar, tree: Tree) -> WalkEvaluator:
+    """The (cached) bound evaluator of ``expr`` over ``tree``."""
+    compiled = compile_walk(expr)
+    index = index_for(tree)
+    key = (id(compiled), id(index))
+    hit = _EVAL_CACHE.get(key)
+    if hit is not None and hit[0] is compiled and hit[1] is index:
+        _EVAL_CACHE.move_to_end(key)
+        return hit[2]
+    evaluator = WalkEvaluator(compiled, index)
+    while len(_EVAL_CACHE) >= _EVAL_CACHE_SIZE:
+        _EVAL_CACHE.popitem(last=False)
+    _EVAL_CACHE[key] = (compiled, index, evaluator)
+    return evaluator
+
+
+# ---------------------------------------------------------------------------
+# reference-shaped entry points
+# ---------------------------------------------------------------------------
+
+
+def walk(
+    expr: Caterpillar, tree: Tree, start: NodeId = ()
+) -> Tuple[NodeId, ...]:
+    """Fast counterpart of :func:`repro.caterpillar.nfa.walk`."""
+    return evaluator_for(expr, tree).from_context(start)
+
+
+def relation(expr: Caterpillar, tree: Tree) -> FrozenSet[Tuple[NodeId, NodeId]]:
+    """Fast counterpart of :func:`repro.caterpillar.nfa.relation`."""
+    return evaluator_for(expr, tree).all_pairs()
+
+
+def matches(expr: Caterpillar, tree: Tree) -> bool:
+    """Fast counterpart of :func:`repro.caterpillar.nfa.matches`."""
+    return evaluator_for(expr, tree).matches()

@@ -39,6 +39,7 @@ from .driver import (
 )
 from .pairs import (
     AutomatonVsSpec,
+    CaterpillarVsFastCaterpillar,
     CaterpillarVsNTWA,
     Case,
     EnginePair,
@@ -47,6 +48,7 @@ from .pairs import (
     Outcome,
     RunnerVsMemo,
     XPathVsCaterpillar,
+    NTWAVsFastCaterpillar,
     XPathVsFastXPath,
     XPathVsFO,
 )
@@ -54,6 +56,7 @@ from .shrink import shrink_case
 
 __all__ = [
     "AutomatonVsSpec",
+    "CaterpillarVsFastCaterpillar",
     "CaterpillarVsNTWA",
     "Case",
     "EnginePair",
@@ -64,6 +67,7 @@ __all__ = [
     "PairStats",
     "RunnerVsMemo",
     "XPathVsCaterpillar",
+    "NTWAVsFastCaterpillar",
     "XPathVsFastXPath",
     "XPathVsFO",
     "decode_case",

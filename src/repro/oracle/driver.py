@@ -18,10 +18,12 @@ from .corpus import decode_case, encode_case, iter_corpus, save_entry
 from .pairs import (
     AutomatonVsSpec,
     Case,
+    CaterpillarVsFastCaterpillar,
     CaterpillarVsNTWA,
     EnginePair,
     FOVsEnumeration,
     FOVsFastFO,
+    NTWAVsFastCaterpillar,
     Outcome,
     RunnerVsMemo,
     XPathVsCaterpillar,
@@ -32,7 +34,7 @@ from .shrink import shrink_case
 
 
 def default_pairs() -> Tuple[EnginePair, ...]:
-    """All eight engine pairs, in a stable order."""
+    """All ten engine pairs, in a stable order."""
     return (
         XPathVsFO(),
         XPathVsCaterpillar(),
@@ -42,6 +44,8 @@ def default_pairs() -> Tuple[EnginePair, ...]:
         FOVsEnumeration(),
         FOVsFastFO(),
         XPathVsFastXPath(),
+        CaterpillarVsFastCaterpillar(),
+        NTWAVsFastCaterpillar(),
     )
 
 

@@ -4,26 +4,34 @@ Each :class:`EnginePair` knows how to *generate* a random (tree, query)
 case, *check* it through two independent evaluation routes, *shrink* the
 query part, and *encode*/*decode* the query as JSON for the corpus.
 
-The eight pairs and the equivalence each one guards:
+The ten pairs and the equivalence each one guards:
 
-========================  ====================================================
-``xpath/fo``              XPath evaluator vs its FO(∃*) compilation (§2.3),
-                          plus LRU-cache determinism of ``TreeDatabase``
-``xpath/caterpillar``     walking XPath sub-fragment vs its caterpillar
-                          translation ([7]: child = down·right*)
-``caterpillar/ntwa``      caterpillar NFA walk vs the compiled NTWA (§6)
-``runner/memo``           direct automaton runner vs the memoised
-                          configuration-graph evaluator (Theorem 7.1)
-``automaton/spec``        example automata vs their independent FO or
-                          Python specifications (Definition 3.1 / Ex. 3.2)
-``fo/enum``               ``ExistsStarQuery.select`` vs a from-scratch
-                          enumeration of the existential prefix
-``fo/fast-fo``            the assignment-at-a-time FO model checker vs the
-                          indexed set-at-a-time engine (:mod:`repro.engine`),
-                          on full FO with ∀/→/¬ freely nested
-``xpath/fast-xpath``      the node-at-a-time XPath evaluator vs the
-                          bitset/interval engine, with a raised variable cap
-========================  ====================================================
+==============================  ====================================================
+``xpath/fo``                    XPath evaluator vs its FO(∃*) compilation (§2.3),
+                                plus LRU-cache determinism of ``TreeDatabase``
+``xpath/caterpillar``           walking XPath sub-fragment vs its caterpillar
+                                translation ([7]: child = down·right*)
+``caterpillar/ntwa``            caterpillar NFA walk vs the compiled NTWA (§6)
+``runner/memo``                 direct automaton runner vs the memoised
+                                configuration-graph evaluator (Theorem 7.1)
+``automaton/spec``              example automata vs their independent FO or
+                                Python specifications (Definition 3.1 / Ex. 3.2)
+``fo/enum``                     ``ExistsStarQuery.select`` vs a from-scratch
+                                enumeration of the existential prefix
+``fo/fast-fo``                  the assignment-at-a-time FO model checker vs the
+                                indexed set-at-a-time engine (:mod:`repro.engine`),
+                                on full FO with ∀/→/¬ freely nested
+``xpath/fast-xpath``            the node-at-a-time XPath evaluator vs the
+                                bitset/interval engine, with a raised variable cap
+``caterpillar/fast-caterpillar``  the reference Thompson-NFA walk vs the compiled
+                                product-graph walking engine
+                                (:mod:`repro.engine.walk`), on the full denoted
+                                relation (stacked ``all_pairs``) *and* one
+                                per-context walk
+``ntwa/fast-caterpillar``       the compiled NTWA (§6) vs the walking engine:
+                                per-start acceptance equals per-start
+                                nonemptiness of the compiled product
+==============================  ====================================================
 """
 
 from __future__ import annotations
@@ -50,9 +58,10 @@ from ..caterpillar.ast import (
     star,
 )
 from ..caterpillar.compile_ntwa import caterpillar_to_ntwa
-from ..caterpillar.nfa import walk
+from ..caterpillar.nfa import relation as caterpillar_relation, walk
 from ..caterpillar.parser import format_caterpillar, parse_caterpillar
 from ..engine import fo as fast_fo
+from ..engine import walk as engine_walk
 from ..engine import xpath as fast_xpath
 from ..logic import tree_fo
 from ..logic.exists_star import ExistsStarQuery
@@ -777,3 +786,107 @@ class XPathVsFastXPath(EnginePair):
 
     def decode_query(self, payload: object) -> Expr:
         return parse_xpath(payload)
+
+
+# ---------------------------------------------------------------------------
+# caterpillar/fast-caterpillar
+# ---------------------------------------------------------------------------
+
+
+def _pairs_summary(relation) -> str:
+    return (
+        "{"
+        + ", ".join(
+            f"({list(u)}→{list(v)})" for u, v in sorted(relation)
+        )
+        + "}"
+    )
+
+
+class CaterpillarVsFastCaterpillar(EnginePair):
+    """The reference node-at-a-time caterpillar walk vs the compiled
+    product-graph walking engine (:mod:`repro.engine.walk`).
+
+    Checked on the *full denoted relation* — the reference loops
+    ``walk`` over every context while the fast engine answers with one
+    stacked ``all_pairs`` BFS — and, when the relations agree, on the
+    document-ordered walk from one random context, so the per-context
+    frontier path is exercised too."""
+
+    name = "caterpillar/fast-caterpillar"
+
+    def generate(self, rng: random.Random, max_size: int) -> Case:
+        tree = gen.random_attributed_tree(rng, max_size)
+        expr = gen.random_caterpillar(rng, budget=rng.randint(2, 8))
+        return Case(tree, expr, gen.random_context(rng, tree))
+
+    def check(self, case: Case) -> Outcome:
+        expr: Caterpillar = case.query
+        left, left_s = _timed(lambda: caterpillar_relation(expr, case.tree))
+        right, right_s = _timed(lambda: engine_walk.relation(expr, case.tree))
+        if left != right:
+            return Outcome(
+                False, _pairs_summary(left), _pairs_summary(right),
+                left_s, right_s,
+            )
+        ref_nodes = walk(expr, case.tree, case.context)
+        fast_nodes = engine_walk.walk(expr, case.tree, case.context)
+        return Outcome(
+            tuple(ref_nodes) == tuple(fast_nodes),
+            _summary(ref_nodes), _summary(fast_nodes), left_s, right_s,
+        )
+
+    def shrink_query(self, query: Caterpillar) -> Iterable[Caterpillar]:
+        return _shrink_caterpillar(query)
+
+    def encode_query(self, query: Caterpillar) -> object:
+        return format_caterpillar(query)
+
+    def decode_query(self, payload: object) -> Caterpillar:
+        return parse_caterpillar(payload)
+
+
+# ---------------------------------------------------------------------------
+# ntwa/fast-caterpillar
+# ---------------------------------------------------------------------------
+
+
+class NTWAVsFastCaterpillar(EnginePair):
+    """The compiled nondeterministic tree-walking automaton (§6) vs the
+    walking engine: from every start node, the NTWA accepts iff the
+    compiled product reaches an accepting state — the nonemptiness view
+    of ``caterpillar/ntwa``, with the bitset engine on the other side
+    and no code shared between the two routes."""
+
+    name = "ntwa/fast-caterpillar"
+
+    def generate(self, rng: random.Random, max_size: int) -> Case:
+        tree = gen.random_attributed_tree(rng, max_size)
+        expr = gen.random_caterpillar(rng, budget=rng.randint(2, 6))
+        return Case(tree, expr)
+
+    def check(self, case: Case) -> Outcome:
+        expr: Caterpillar = case.query
+        ntwa = caterpillar_to_ntwa(expr)
+        left, left_s = _timed(
+            lambda: tuple(
+                ntwa_accepts(ntwa, case.tree, start=u)
+                for u in case.tree.nodes
+            )
+        )
+        evaluator = engine_walk.compile_walk(expr).bind(case.tree)
+        right, right_s = _timed(
+            lambda: tuple(
+                bool(evaluator.result_mask(u)) for u in case.tree.nodes
+            )
+        )
+        return Outcome(left == right, str(left), str(right), left_s, right_s)
+
+    def shrink_query(self, query: Caterpillar) -> Iterable[Caterpillar]:
+        return _shrink_caterpillar(query)
+
+    def encode_query(self, query: Caterpillar) -> object:
+        return format_caterpillar(query)
+
+    def decode_query(self, payload: object) -> Caterpillar:
+        return parse_caterpillar(payload)

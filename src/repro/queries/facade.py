@@ -44,6 +44,10 @@ CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "maxsize", "currsize"])
 #: Default bound on the number of parsed XPath expressions kept per database.
 XPATH_CACHE_SIZE = 128
 
+#: Default bound on the number of parsed caterpillar expressions kept
+#: per database (same LRU discipline as the XPath cache).
+CATERPILLAR_CACHE_SIZE = 128
+
 #: Recognised evaluation engines: "fast" is the indexed, set-at-a-time
 #: engine (:mod:`repro.engine`); "reference" the node-at-a-time
 #: evaluators the engine is differentially tested against.
@@ -63,16 +67,23 @@ class TreeDatabase:
         tree: Tree,
         ensure_ids: bool = False,
         xpath_cache_size: int = XPATH_CACHE_SIZE,
+        caterpillar_cache_size: int = CATERPILLAR_CACHE_SIZE,
     ) -> None:
         if ensure_ids and not has_unique_ids(tree):
             tree = with_ids(tree)
         self.tree = tree
         if xpath_cache_size < 0:
             raise ValueError("xpath_cache_size must be >= 0")
+        if caterpillar_cache_size < 0:
+            raise ValueError("caterpillar_cache_size must be >= 0")
         self._xpath_cache: "OrderedDict[str, object]" = OrderedDict()
         self._xpath_cache_maxsize = xpath_cache_size
         self._xpath_cache_hits = 0
         self._xpath_cache_misses = 0
+        self._caterpillar_cache: "OrderedDict[str, object]" = OrderedDict()
+        self._caterpillar_cache_maxsize = caterpillar_cache_size
+        self._caterpillar_cache_hits = 0
+        self._caterpillar_cache_misses = 0
 
     # -- construction --------------------------------------------------------------
 
@@ -207,15 +218,22 @@ class TreeDatabase:
         automaton: TWAutomaton,
         delimited: bool = False,
         memoised: bool = False,
+        engine: str = "fast",
         **kwargs,
     ) -> bool:
         """Run a tree-walking automaton; ``delimited`` runs it on
         ``delim(t)`` (Example 3.2 style); ``memoised`` uses the
-        configuration-graph evaluator (Theorem 7.1(2)/(4))."""
+        configuration-graph evaluator (Theorem 7.1(2)/(4)).
+
+        ``engine="fast"`` (the default) takes the runner's compiled
+        guard-free executor when the automaton is in the Move fragment,
+        falling back to the reference executor otherwise; verdicts are
+        identical either way."""
+        _check_engine(engine)
         tree = delim(self.tree) if delimited else self.tree
         if memoised:
             return evaluate_memo(automaton, tree).accepted
-        return accepts(automaton, tree, **kwargs)
+        return accepts(automaton, tree, engine=engine, **kwargs)
 
     def run_with_trace(
         self, automaton: TWAutomaton, delimited: bool = False, **kwargs
@@ -236,12 +254,74 @@ class TreeDatabase:
 
     # -- related models -------------------------------------------------------------------------
 
-    def caterpillar(self, expression: str, context: NodeId = ()) -> Tuple[NodeId, ...]:
+    def caterpillar(
+        self, expression: str, context: NodeId = (), engine: str = "fast"
+    ) -> Tuple[NodeId, ...]:
         """Walk a caterpillar expression ([7]) from ``context``, e.g.
-        ``db.caterpillar('(down | right)* isLeaf')``."""
-        from ..caterpillar import parse_caterpillar, walk
+        ``db.caterpillar('(down | right)* isLeaf')``.
 
-        return walk(parse_caterpillar(expression), self.tree, context)
+        Parsed expressions are memoised in a bounded LRU cache (see
+        :meth:`caterpillar_cache_info`).  ``engine="fast"`` (the
+        default) evaluates on the compiled product-graph walking engine
+        (:mod:`repro.engine.walk`); ``"reference"`` re-walks the
+        Thompson NFA node-at-a-time.  Both return the same nodes."""
+        _check_engine(engine)
+        parsed = self._parsed_caterpillar(expression)
+        if engine == "fast":
+            from ..engine import walk_select
+
+            return walk_select(parsed, self.tree, context)
+        from ..caterpillar import walk
+
+        return walk(parsed, self.tree, context)
+
+    def caterpillar_relation(
+        self, expression: str, engine: str = "fast"
+    ):
+        """The full denoted relation ⟦expression⟧ ⊆ Dom(t)² — the fast
+        engine computes it as one stacked product BFS over all start
+        nodes (:meth:`~repro.engine.walk.WalkEvaluator.all_pairs`)."""
+        _check_engine(engine)
+        parsed = self._parsed_caterpillar(expression)
+        if engine == "fast":
+            from ..engine import walk_relation
+
+            return walk_relation(parsed, self.tree)
+        from ..caterpillar import relation
+
+        return relation(parsed, self.tree)
+
+    def _parsed_caterpillar(self, expression: str):
+        """The parsed caterpillar AST, via the LRU cache."""
+        from ..caterpillar import parse_caterpillar
+
+        cache = self._caterpillar_cache
+        if expression in cache:
+            self._caterpillar_cache_hits += 1
+            cache.move_to_end(expression)
+            return cache[expression]
+        self._caterpillar_cache_misses += 1
+        parsed = parse_caterpillar(expression)
+        if self._caterpillar_cache_maxsize:
+            while len(cache) >= self._caterpillar_cache_maxsize:
+                cache.popitem(last=False)
+            cache[expression] = parsed
+        return parsed
+
+    def caterpillar_cache_info(self) -> CacheInfo:
+        """Hit/miss statistics of the parsed-caterpillar LRU cache."""
+        return CacheInfo(
+            hits=self._caterpillar_cache_hits,
+            misses=self._caterpillar_cache_misses,
+            maxsize=self._caterpillar_cache_maxsize,
+            currsize=len(self._caterpillar_cache),
+        )
+
+    def caterpillar_cache_clear(self) -> None:
+        """Empty the parsed-caterpillar cache and reset its statistics."""
+        self._caterpillar_cache.clear()
+        self._caterpillar_cache_hits = 0
+        self._caterpillar_cache_misses = 0
 
     def transform(self, transducer, **kwargs) -> "TreeDatabase":
         """Apply a tree-walking transducer (§8 extension); returns the

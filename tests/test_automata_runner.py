@@ -200,3 +200,69 @@ def test_start_node_parameter(small_tree):
     a = b.build(initial="q0", final="qF")
     assert not accepts(a, small_tree)
     assert accepts(a, small_tree, start=(0, 0))
+
+
+# -- the guard-free fast path ------------------------------------------------
+
+
+def _guard_free_spine_automaton():
+    """Walk the first-child spine to a leaf, then accept — guard-free,
+    Move-only, so eligible for the compiled fast path."""
+    b = AutomatonBuilder()
+    b.move("q0", "q0", DOWN, position=PositionTest(leaf=False))
+    b.move("q0", "qF", STAY, position=PositionTest(leaf=True))
+    return b.build(initial="q0", final="qF")
+
+
+def test_fast_plan_eligibility():
+    from repro.automata import fast_plan_for
+    from repro.automata.examples import even_leaves_automaton
+
+    assert fast_plan_for(_guard_free_spine_automaton()) is not None
+    assert fast_plan_for(even_leaves_automaton()) is not None
+    guarded = AutomatonBuilder()
+    guarded.move("q0", "qF", STAY, guard=eq(Attr("k"), 1))
+    assert fast_plan_for(guarded.build(initial="q0", final="qF")) is None
+
+
+def test_fast_engine_matches_reference_run(small_tree):
+    from repro.automata.examples import even_leaves_automaton
+
+    for automaton in (_guard_free_spine_automaton(), even_leaves_automaton()):
+        for tree in (small_tree, parse_term("a"), parse_term("a(b(c), d)")):
+            ref = run(automaton, tree, engine="reference")
+            fst = run(automaton, tree, engine="fast")
+            assert (ref.accepted, ref.steps, ref.reason) == (
+                fst.accepted, fst.steps, fst.reason,
+            )
+
+
+def test_fast_engine_detects_cycles_and_fuel(small_tree):
+    b = AutomatonBuilder()
+    b.move("q0", "q1", DOWN)
+    b.move("q1", "q0", UP)
+    bouncer = b.build(initial="q0", final="qF")
+    ref = run(bouncer, small_tree, engine="reference")
+    fst = run(bouncer, small_tree, engine="fast")
+    assert not ref.accepted and not fst.accepted
+    assert (ref.steps, ref.reason) == (fst.steps, fst.reason)
+    with pytest.raises(FuelExhausted):
+        run(bouncer, small_tree, engine="fast", fuel=1)
+
+
+def test_fast_engine_falls_back_for_guarded_automata(small_tree):
+    # A guarded automaton silently takes the reference path — same API.
+    guarded = AutomatonBuilder()
+    guarded.move("q0", "qF", STAY, guard=eq(Attr("cur"), "USD"))
+    a = guarded.build(initial="q0", final="qF")
+    assert run(a, small_tree, engine="fast").accepted == run(
+        a, small_tree
+    ).accepted
+
+
+def test_run_rejects_unknown_engine(small_tree):
+    b = AutomatonBuilder()
+    b.move("q0", "qF", STAY)
+    a = b.build(initial="q0", final="qF")
+    with pytest.raises(ValueError):
+        run(a, small_tree, engine="bogus")

@@ -144,3 +144,85 @@ def test_cached_result_identical_to_fresh(db):
     again = db.xpath("catalog/dept[item]")
     assert first == again
     assert db.cache_info().hits == 1
+
+
+# -- caterpillar walks and their parse cache ---------------------------------
+
+
+def test_caterpillar_walk_and_relation(db):
+    leaves = db.caterpillar("(down | right)* isLeaf")
+    assert leaves == ((0, 0), (0, 1), (1, 0))
+    assert db.caterpillar("(down | right)* isLeaf", engine="reference") \
+        == leaves
+    pairs = db.caterpillar_relation("down")
+    assert pairs == db.caterpillar_relation("down", engine="reference")
+    assert ((), (0,)) in pairs  # DOWN is first-child
+
+
+def test_caterpillar_context_parameter(db):
+    assert db.caterpillar("isLeaf", context=(0, 0)) == ((0, 0),)
+    assert db.caterpillar("isLeaf") == ()
+
+
+def test_caterpillar_rejects_unknown_engine(db):
+    with pytest.raises(ValueError):
+        db.caterpillar("down", engine="bogus")
+    with pytest.raises(ValueError):
+        db.caterpillar_relation("down", engine="bogus")
+
+
+def test_caterpillar_cache_counts_hits_and_misses(db):
+    assert db.caterpillar_cache_info() == (0, 0, 128, 0)
+    db.caterpillar("(down | right)* isLeaf")
+    db.caterpillar("(down | right)* isLeaf")
+    db.caterpillar_relation("down")
+    info = db.caterpillar_cache_info()
+    assert (info.hits, info.misses, info.currsize) == (1, 2, 2)
+    assert info.maxsize == 128
+
+
+def test_caterpillar_cache_is_lru_bounded():
+    db = TreeDatabase.from_term("a(b, c)", caterpillar_cache_size=2)
+    db.caterpillar("down")
+    db.caterpillar("up")
+    db.caterpillar("down")   # refresh 'down' so 'up' is evicted next
+    db.caterpillar("right")  # evicts 'up'
+    assert set(db._caterpillar_cache) == {"down", "right"}
+    db.caterpillar("up")     # miss again after eviction
+    assert db.caterpillar_cache_info().misses == 4
+
+
+def test_caterpillar_cache_size_zero_disables_caching():
+    db = TreeDatabase.from_term("a(b)", caterpillar_cache_size=0)
+    db.caterpillar("down")
+    db.caterpillar("down")
+    info = db.caterpillar_cache_info()
+    assert (info.hits, info.misses, info.currsize) == (0, 2, 0)
+
+
+def test_caterpillar_cache_clear_resets_stats(db):
+    db.caterpillar("down")
+    db.caterpillar("down")
+    db.caterpillar_cache_clear()
+    assert db.caterpillar_cache_info() == (0, 0, 128, 0)
+
+
+def test_caterpillar_cache_rejects_negative_size():
+    with pytest.raises(ValueError):
+        TreeDatabase.from_term("a", caterpillar_cache_size=-1)
+
+
+def test_caterpillar_cache_independent_of_xpath_cache(db):
+    db.caterpillar("down")
+    assert db.cache_info().misses == 0
+    db.xpath("catalog//item")
+    assert db.caterpillar_cache_info().misses == 1
+
+
+def test_run_automaton_engine_parameter(db):
+    auto = even_leaves_automaton()
+    assert db.run_automaton(auto, engine="fast") == db.run_automaton(
+        auto, engine="reference"
+    )
+    with pytest.raises(ValueError):
+        db.run_automaton(auto, engine="bogus")
