@@ -5,15 +5,19 @@ PYTHONPATH := src
 FUZZ_SEEDS ?= 0 1 2 3 4
 FUZZ_BUDGET ?= 200
 
-.PHONY: test test-quick fuzz replay bench bench-full bench-walk bench-check
+# The seeded CI fault-injection campaign (see `make fault`).
+FAULT_SEED ?= 0
+FAULT_CASES ?= 200
 
-## Full tier-1 suite (includes the marked oracle fuzz tests).
+.PHONY: test test-quick fuzz replay fault bench bench-full bench-walk bench-check
+
+## Full tier-1 suite (includes the marked oracle fuzz and fault tests).
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
-## Everything except the fuzz rounds — the quick local loop.
+## Everything except the fuzz and fault rounds — the quick local loop.
 test-quick:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q -m "not oracle"
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q -m "not oracle and not faults"
 
 ## Cross-engine differential fuzzing: the marked pytest rounds plus a
 ## CLI sweep over the fixed seed matrix.  Fails on any disagreement;
@@ -29,6 +33,14 @@ fuzz:
 ## Replay the stored counterexample corpus only.
 replay:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.oracle --replay
+
+## Seeded fault-injection campaign: the marked pytest rounds plus the
+## 200-case CLI campaign.  Fails unless every injected fault is absorbed
+## by fallback with a byte-identical answer.
+fault:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m faults
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.resilience \
+		--seed $(FAULT_SEED) --cases $(FAULT_CASES)
 
 ## Quick engine-vs-reference trajectory (seconds; writes BENCH_engine.json).
 bench:

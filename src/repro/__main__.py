@@ -24,6 +24,11 @@ Commands
     Differential fuzzing across the query engines; forwards to
     ``python -m repro.oracle`` (try ``oracle --help``).
 
+``resilience [ARGS…]``
+    Seeded fault-injection campaigns over the resilient executor;
+    forwards to ``python -m repro.resilience`` (try
+    ``resilience --help``).
+
 Documents: files ending in ``.xml`` are parsed as the XML subset;
 anything else as term syntax ``label[attr=value](children)``.  Pass
 ``-`` to read stdin.
@@ -195,6 +200,12 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
     return oracle_main(args.oracle_args)
 
 
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from .resilience.cli import main as resilience_main
+
+    return resilience_main(args.resilience_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -248,6 +259,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="arguments for python -m repro.oracle")
     p_oracle.set_defaults(func=_cmd_oracle)
 
+    p_res = sub.add_parser(
+        "resilience",
+        help="fault-injection campaigns over the resilient executor",
+        add_help=False,
+    )
+    p_res.add_argument("resilience_args", nargs="*",
+                       help="arguments for python -m repro.resilience")
+    p_res.set_defaults(func=_cmd_resilience)
+
     return parser
 
 
@@ -257,6 +277,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Forward verbatim: the oracle owns its own flags, and argparse
         # (3.13+) refuses REMAINDER args that start with an option.
         return _cmd_oracle(argparse.Namespace(oracle_args=argv[1:]))
+    if argv and argv[0] == "resilience":
+        return _cmd_resilience(argparse.Namespace(resilience_args=argv[1:]))
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -38,6 +38,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..resilience.budget import current_context
+from ..resilience.errors import ResourceExhausted
 from ..store.database import RegisterStore
 from ..store.fo import StoreContext, TrueF, evaluate as evaluate_guard, evaluate_update
 from ..store.relation import Relation
@@ -55,8 +57,14 @@ class NondeterminismError(ExecutionError):
     """Two rules applied to the same configuration."""
 
 
-class FuelExhausted(ExecutionError):
-    """The global step budget ran out before the run settled."""
+class FuelExhausted(ExecutionError, ResourceExhausted):
+    """The global step budget ran out before the run settled.
+
+    Part of the :mod:`repro.resilience` taxonomy: also a
+    :class:`~repro.resilience.errors.ResourceExhausted`, carrying the
+    structured ``steps``/``limit`` fields, while ``str(exc)`` keeps the
+    historical ``fuel`` message and ``except ExecutionError`` callers
+    keep working."""
 
 
 class _RejectSignal(Exception):
@@ -111,8 +119,13 @@ class _RunState:
         self.steps += 1
         if self.steps > self.fuel:
             raise FuelExhausted(
-                f"step budget {self.fuel} exhausted (likely divergence)"
+                f"step budget {self.fuel} exhausted (likely divergence)",
+                steps=self.steps,
+                limit=self.fuel,
             )
+        context = current_context()
+        if context is not None:
+            context.checkpoint()
 
     def log(self, message: str) -> None:
         if self.trace is not None:
@@ -240,6 +253,7 @@ def _run_fast(
     from ..engine.index import index_for
 
     index = index_for(tree)
+    context = current_context()
     node_of = index.node_of
     parent = index.parent
     next_sibling = index.next_sibling
@@ -269,8 +283,12 @@ def _run_fast(
         steps += 1
         if steps > fuel:
             raise FuelExhausted(
-                f"step budget {fuel} exhausted (likely divergence)"
+                f"step budget {fuel} exhausted (likely divergence)",
+                steps=steps,
+                limit=fuel,
             )
+        if context is not None:
+            context.checkpoint()
         bit = 1 << i
         leaf = bool(leaf_mask & bit)
         poskey = (i == 0, leaf, bool(first_mask & bit), bool(last_mask & bit))
@@ -370,6 +388,9 @@ def _run_atp(
         f"atp from {config!r}: {len(selected)} start node(s) in state {rhs.substate}"
     )
     result = Relation.empty(automaton.schema.arity(1))
+    context = current_context()
+    if context is not None and context.budget is not None:
+        context.budget.check_depth(len(state.active_subcomputations) + 1)
     for target in selected:
         key = (target, rhs.substate, config.store)
         if key in state.active_subcomputations:

@@ -147,13 +147,19 @@ def walk(
 ) -> Tuple[NodeId, ...]:
     """All nodes reachable from ``start`` by some denoted caterpillar
     string — BFS over the NFA × tree product."""
+    from ..resilience.budget import current_context
+
     tree.require(start)
     nfa = compile_caterpillar(expr)
     edges = nfa.edges_from()
     seen: Set[Tuple[int, NodeId]] = {(nfa.start, start)}
     frontier: List[Tuple[int, NodeId]] = [(nfa.start, start)]
     results: Set[NodeId] = set()
+    context = current_context()
     while frontier:
+        # Cooperative budget checkpoint: one unit per product pair.
+        if context is not None:
+            context.checkpoint()
         state, node = frontier.pop()
         if state == nfa.accept:
             results.add(node)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import List
 
+from ..resilience.errors import ParseError
 from .ast import (
     Alt,
     Caterpillar,
@@ -42,7 +43,7 @@ from .ast import (
 )
 
 
-class CaterpillarSyntaxError(ValueError):
+class CaterpillarSyntaxError(ParseError):
     """Raised on malformed caterpillar text."""
 
     def __init__(self, message: str, text: str, pos: int) -> None:

@@ -59,11 +59,22 @@ from ..logic.tree_fo import (
     ValEq,
     free_variables,
 )
+from ..resilience.budget import current_context
 from ..trees.node import NodeId
 from ..trees.tree import Tree
 from .index import TreeIndex, bit_count, index_for, iter_bits
 
 __all__ = ["evaluate", "satisfying_assignments", "select", "relation_of"]
+
+
+def _charge(cost: int) -> None:
+    """Budget checkpoint: relations charge their (predicted) row work to
+    the ambient budget *before* materialising it, so a join or conform
+    that would build n^k rows is refused up front.  One ContextVar read
+    when no budget is active."""
+    context = current_context()
+    if context is not None:
+        context.checkpoint(cost)
 
 
 @dataclass
@@ -101,6 +112,7 @@ def _materialize(rel: _Rel, idx: TreeIndex) -> _Rel:
     """Resolve a lazy complement into explicit rows (the n^k fallback)."""
     if not rel.neg:
         return rel
+    _charge(idx.n ** len(rel.vars))
     rows = set(product(range(idx.n), repeat=len(rel.vars)))
     rows.difference_update(rel.rows)
     return _Rel(rel.vars, rows)
@@ -117,6 +129,7 @@ def _estimate(rel: _Rel, idx: TreeIndex) -> int:
 
 def _join(a: _Rel, b: _Rel, idx: TreeIndex) -> _Rel:
     """Natural join of two positive relations."""
+    _charge(_estimate(a, idx) + _estimate(b, idx) + 1)
     if not a.vars:
         return b if a.rows else _empty(b.vars)
     if not b.vars:
@@ -159,6 +172,7 @@ def _join(a: _Rel, b: _Rel, idx: TreeIndex) -> _Rel:
 def _anti_filter(a: _Rel, b: _Rel, idx: TreeIndex) -> _Rel:
     """``a ∧ ¬b`` where b's columns are a subset of a's (both ≥ 2-ary
     on the b side is guaranteed: unary complements are eager)."""
+    _charge(len(a.rows) + 1)
     positions = [a.vars.index(v) for v in b.vars]
     rows = b.rows
     return _Rel(
@@ -231,6 +245,7 @@ def _conform(rel: _Rel, vars_out: Tuple[NVar, ...], idx: TreeIndex) -> _Rel:
     )
     positions = {v: k for k, v in enumerate(rel.vars)}
     extra = [v for v in vars_out if v not in positions]
+    _charge(max(len(rows), 1) * idx.n ** len(extra))
     out = set()
     for t in rows:
         base = {v: t[k] for v, k in positions.items()}
@@ -285,6 +300,7 @@ def _project(rel: _Rel, var: NVar, idx: TreeIndex) -> _Rel:
     rel = _materialize(rel, idx)
     if len(rel.vars) == 1:
         return _Rel((), rel.rows != 0)
+    _charge(len(rel.rows) + 1)
     k = rel.vars.index(var)
     vars_out = rel.vars[:k] + rel.vars[k + 1 :]
     if len(vars_out) == 1:
@@ -304,6 +320,7 @@ def _coproject(rel: _Rel, var: NVar, idx: TreeIndex) -> _Rel:
         return _negate(_project(_Rel(rel.vars, rel.rows), var, idx), idx)
     if len(rel.vars) == 1:
         return _Rel((), rel.rows == idx.all_mask)
+    _charge(len(rel.rows) + 1)
     k = rel.vars.index(var)
     counts: Dict[Tuple[int, ...], int] = {}
     for t in rel.rows:
@@ -406,6 +423,7 @@ def _atom_rel(atom: Atom, idx: TreeIndex) -> _Rel:
         if atom.ancestor == atom.descendant:
             return _Rel((atom.ancestor,), 0)
         subtree_end = idx.subtree_end
+        _charge(idx.n)
         rows = {
             (u, v)
             for u in range(idx.n)
@@ -452,6 +470,7 @@ class _Compiler:
         return out
 
     def _rel_uncached(self, formula: TreeFormula) -> _Rel:
+        _charge(1)
         idx = self.idx
         if tree_fo.is_atom(formula):
             return _atom_rel(formula, idx)  # type: ignore[arg-type]

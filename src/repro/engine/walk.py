@@ -42,6 +42,7 @@ from ..caterpillar.ast import (
 )
 from ..caterpillar.nfa import CaterpillarNFA, compile_caterpillar
 from ..caterpillar.parser import format_caterpillar
+from ..resilience.budget import current_context
 from ..trees.node import NodeId
 from ..trees.tree import Tree
 from .index import TreeIndex, index_for, iter_bits
@@ -308,6 +309,7 @@ class WalkEvaluator:
         touches only the looping atoms, not the whole edge table.
         """
         apply_atom = self._apply
+        context = current_context()
         reached = [0] * self.compiled.state_count
         start = self.compiled.start
         reached[start] = init
@@ -315,11 +317,17 @@ class WalkEvaluator:
         while pending:
             current, pending = pending, {}
             for state, frontier in current.items():
+                # One budget checkpoint per (state, round): the unit of
+                # big-int work in this BFS.
+                if context is not None:
+                    context.checkpoint()
                 selfs, outs = bound[state]
                 if selfs:
                     grown = reached[state]
                     wave = frontier
                     while wave:
+                        if context is not None:
+                            context.checkpoint()
                         image = 0
                         for groups, mask in selfs:
                             image |= apply_atom(groups, mask, wave)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from ..resilience.budget import current_context
 from ..trees.node import NodeId
 from ..trees.tree import Tree
 from ..xpath.ast import (
@@ -48,9 +49,14 @@ def _test_mask(test: NodeTest, idx: TreeIndex) -> int:
 
 
 def _apply_filters(step: Step, idx: TreeIndex, bits: int) -> int:
+    context = current_context()
     for filter_path in step.filters:
         keep = 0
         for u in iter_bits(bits):
+            # One budget checkpoint per candidate: filter evaluation is
+            # the only place this engine does per-node work.
+            if context is not None:
+                context.checkpoint()
             if _path_mask(filter_path, idx, u, in_filter=True):
                 keep |= 1 << u
         bits = keep
@@ -76,10 +82,13 @@ def _seed_mask(path: Path, idx: TreeIndex, context: int, in_filter: bool) -> int
 def _path_mask(
     path: Path, idx: TreeIndex, context: int, in_filter: bool = False
 ) -> int:
+    ctx = current_context()
     current = _seed_mask(path, idx, context, in_filter)
     for axis, step in zip(path.axes, path.steps[1:]):
         if not current:
             break
+        if ctx is not None:
+            ctx.checkpoint()
         if axis == CHILD:
             targets = idx.children_of_mask(current)
         else:

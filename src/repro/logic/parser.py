@@ -31,12 +31,13 @@ from __future__ import annotations
 
 from typing import List, Optional, Union
 
+from ..resilience.errors import ParseError
 from ..trees.values import DataValue
 from . import tree_fo as T
 from .tree_fo import NVar, TreeFormula, TreeFormulaError
 
 
-class FormulaSyntaxError(TreeFormulaError):
+class FormulaSyntaxError(TreeFormulaError, ParseError):
     """Raised on malformed formula text, with position info."""
 
     def __init__(self, message: str, text: str, pos: int) -> None:

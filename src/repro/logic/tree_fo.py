@@ -24,6 +24,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple, Union
 
+from ..resilience.budget import current_context as _current_context
 from ..trees.node import NodeId
 from ..trees.tree import Tree
 from ..trees.values import BOTTOM, DataValue, is_data_value
@@ -518,6 +519,11 @@ def evaluate(
 
 
 def _eval(formula: TreeFormula, env: Dict[NVar, NodeId], tree: Tree) -> bool:
+    # Cooperative budget checkpoint (repro.resilience): one unit per
+    # (sub)formula × assignment — this recursion IS the n^k hot loop.
+    context = _current_context()
+    if context is not None:
+        context.checkpoint()
     if is_atom(formula):
         return _eval_atom(formula, env, tree)  # type: ignore[arg-type]
     if isinstance(formula, Not):

@@ -37,6 +37,7 @@ from .xtm import (
     TreeMove,
     XTM,
     XTMError,
+    XTMFuelExhausted,
     XTMResult,
     run_xtm,
 )
@@ -120,7 +121,9 @@ def run_xtm_encoded(
         seen.add(key)
         steps += 1
         if steps > fuel:
-            raise XTMError(f"fuel {fuel} exhausted")
+            raise XTMFuelExhausted(
+                f"fuel {fuel} exhausted", steps=steps, limit=fuel
+            )
 
         symbol = tape.get(head, BLANK)
         label = walker.label()

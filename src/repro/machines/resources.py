@@ -6,6 +6,10 @@ These helpers measure a machine over an instance family and fit the
 observed resource curve against a claimed bound — the executable
 meaning we give to "M ∈ PTIME^X" etc. (one cannot decide the bound for
 all inputs, but one can check it on a sweep and expose the constants).
+
+A sweep whose fuel runs out raises :class:`~repro.machines.xtm.XTMFuelExhausted`,
+which is also a :class:`repro.resilience.errors.ResourceExhausted` carrying
+structured ``steps``/``limit`` fields — catch either, per taste.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, List, Sequence, Tuple
 
 from ..trees.tree import Tree
-from .xtm import XTM, XTMResult, run_xtm
+from .xtm import XTM, XTMFuelExhausted, XTMResult, run_xtm
 
 BoundFn = Callable[[int], float]
 

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 from ..automata.rules import DIRECTIONS, PositionTest, ANYWHERE, move as tree_move
 from ..trees.node import NodeId
 from ..trees.tree import Tree
+from ..resilience.errors import ResourceExhausted as _ResourceExhausted
 from ..trees.values import BOTTOM, DataValue, MaybeValue
 
 BLANK = "_"
@@ -35,6 +36,21 @@ HEAD_MOVES = (HEAD_LEFT, HEAD_STAY, HEAD_RIGHT)
 
 class XTMError(ValueError):
     """Raised on ill-formed machines or genuine runtime errors."""
+
+
+class XTMFuelExhausted(XTMError, _ResourceExhausted):
+    """The xTM's step budget (``fuel``) ran out.
+
+    Unified onto the :mod:`repro.resilience` taxonomy: also a
+    :class:`~repro.resilience.errors.ResourceExhausted` with structured
+    ``steps``/``limit`` fields, while ``str(exc)`` keeps the historical
+    ``fuel N exhausted`` message and ``except XTMError`` callers keep
+    working."""
+
+    # ValueError's own __init__ slot shadows ResourceExhausted's in the
+    # MRO, so delegate explicitly to keep the structured fields.
+    def __init__(self, message: str, *, steps: int = None, limit: int = None) -> None:
+        _ResourceExhausted.__init__(self, message, steps=steps, limit=limit)
 
 
 # -- register conditions (the tw guard language, kept lightweight) ------------
@@ -329,7 +345,9 @@ def run_xtm(
         seen.add(key)
         steps += 1
         if steps > fuel:
-            raise XTMError(f"fuel {fuel} exhausted")
+            raise XTMFuelExhausted(
+                f"fuel {fuel} exhausted", steps=steps, limit=fuel
+            )
         outcome = step_xtm(machine, tree, node, state, registers, tape, head)
         if outcome is None:
             return XTMResult(

@@ -12,6 +12,11 @@ Focus on one equivalence, bigger trees, keep reproducers::
 Replay the stored corpus only::
 
     python -m repro.oracle --replay
+
+Run the fault-injection campaign (resilient engine under injected
+engine faults — see :mod:`repro.resilience.faults`)::
+
+    python -m repro.oracle --fault --seed 0 --budget 200
 """
 
 from __future__ import annotations
@@ -47,6 +52,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="do not write reproducers to the corpus")
     parser.add_argument("--replay", action="store_true",
                         help="only replay the stored corpus, no fuzzing")
+    parser.add_argument("--fault", action="store_true",
+                        help="run the fault-injection campaign instead of "
+                             "differential fuzzing (--budget sets the case "
+                             "count)")
     parser.add_argument("--list-pairs", action="store_true",
                         help="list engine pair names and exit")
     parser.add_argument("--verbose", action="store_true",
@@ -72,6 +81,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(pair.name)
         return 0
     pairs = _select_pairs(args.pairs)
+
+    if args.fault:
+        from ..resilience.faults import run_campaign
+
+        def narrate(case) -> None:
+            status = "error" if case.error else (
+                "fallback" if case.fell_back else "clean"
+            )
+            print(f"  case {case.index:>4} [{case.operation}] "
+                  f"fault={case.fault} -> {status}")
+
+        report = run_campaign(
+            seed=args.seed,
+            cases=args.budget,
+            max_size=args.max_size,
+            on_case=narrate if args.verbose else None,
+        )
+        for line in report.summary_lines():
+            print(line)
+        return 0 if report.ok else 1
 
     if args.replay:
         results = replay_corpus(pairs=pairs)

@@ -29,6 +29,7 @@ from .pairs import (
     XPathVsCaterpillar,
     XPathVsFastXPath,
     XPathVsFO,
+    crash_outcome,
 )
 from .shrink import shrink_case
 
@@ -147,7 +148,12 @@ def run_oracle(
     for i in range(budget):
         pair = pairs[i % len(pairs)]
         case = pair.generate(rng, max_size)
-        outcome = pair.check(case)
+        try:
+            outcome = pair.check(case)
+        except Exception as exc:
+            # An engine crash is a disagreement too — persist it like a
+            # value mismatch rather than aborting the whole run.
+            outcome = crash_outcome(exc)
         stats[pair.name].record(outcome)
         if outcome.agree:
             continue
@@ -207,5 +213,9 @@ def replay_corpus(
             )
             continue
         pair, case = decode_case(entry, registry)
-        results.append(ReplayResult(path, name, pair.check(case)))
+        try:
+            outcome = pair.check(case)
+        except Exception as exc:
+            outcome = crash_outcome(exc)
+        results.append(ReplayResult(path, name, outcome))
     return results

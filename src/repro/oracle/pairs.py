@@ -125,7 +125,21 @@ class Outcome:
         a candidate must reproduce the *same* kind)."""
         if self.agree:
             return None
+        if self.error and self.error.startswith("crash:"):
+            return "crash"
         return "error" if self.error else "mismatch"
+
+
+def crash_outcome(exc: BaseException) -> Outcome:
+    """An engine exception demoted to a structured ``crash``
+    disagreement — the driver persists these to the corpus like value
+    mismatches instead of aborting the whole fuzzing run."""
+    return Outcome(
+        agree=False,
+        left="?",
+        right="?",
+        error=f"crash: {type(exc).__name__}: {exc}",
+    )
 
 
 def _timed(thunk):

@@ -16,7 +16,7 @@ from typing import Iterator, Tuple
 from ..trees.node import NodeId
 from ..trees.tree import Tree, TreeNode
 from ..trees.values import BOTTOM
-from .pairs import Case, EnginePair, Outcome
+from .pairs import Case, EnginePair, Outcome, crash_outcome
 
 
 def _rebuild_without(tree: Tree, doomed: NodeId) -> Tree:
@@ -95,7 +95,10 @@ def shrink_case(
     Returns ``(smallest case, its outcome, checks spent)``.  If the
     given case does not actually disagree, it is returned unchanged.
     """
-    outcome = pair.check(case)
+    try:
+        outcome = pair.check(case)
+    except Exception as exc:  # crash cases shrink like any other
+        outcome = crash_outcome(exc)
     problem = outcome.problem_class
     evals = 1
     if problem is None:
@@ -110,9 +113,10 @@ def shrink_case(
                 continue
             try:
                 result = pair.check(candidate)
-            except Exception:  # a shrink variant may be degenerate
-                evals += 1
-                continue
+            except Exception as exc:
+                # A crashing variant reproduces a "crash" case; for a
+                # mismatch case it is just a degenerate dead end.
+                result = crash_outcome(exc)
             evals += 1
             if result.problem_class == problem:
                 case, outcome = candidate, result

@@ -26,6 +26,9 @@ from ..engine.index import TreeIndex, index_for
 from ..logic import tree_fo
 from ..logic.exists_star import ExistsStarQuery
 from ..mso.hedge import HedgeAutomaton
+from ..resilience.budget import Budget, ExecutionContext, activate
+from ..resilience.executor import resilient_call
+from ..resilience.log import ResilienceLog
 from ..simulation.configgraph import evaluate_memo
 from ..simulation.ids import ID_ATTR, has_unique_ids, with_ids
 from ..trees.delimited import delim
@@ -50,8 +53,10 @@ CATERPILLAR_CACHE_SIZE = 128
 
 #: Recognised evaluation engines: "fast" is the indexed, set-at-a-time
 #: engine (:mod:`repro.engine`); "reference" the node-at-a-time
-#: evaluators the engine is differentially tested against.
-ENGINES = ("fast", "reference")
+#: evaluators the engine is differentially tested against;
+#: "resilient" runs the fast engine under a budget slice and falls back
+#: to the reference evaluator on engine faults (:mod:`repro.resilience`).
+ENGINES = ("fast", "reference", "resilient")
 
 
 def _check_engine(engine: str) -> None:
@@ -84,6 +89,11 @@ class TreeDatabase:
         self._caterpillar_cache_maxsize = caterpillar_cache_size
         self._caterpillar_cache_hits = 0
         self._caterpillar_cache_misses = 0
+        self._resilience = ResilienceLog()
+        #: Armed by the fault-injection harness
+        #: (:mod:`repro.resilience.faults`); consulted only by the
+        #: ``"resilient"`` engine's fast attempt.
+        self._fault_injector = None
 
     # -- construction --------------------------------------------------------------
 
@@ -115,24 +125,76 @@ class TreeDatabase:
         document — built lazily on first use, then cached per tree."""
         return index_for(self.tree)
 
+    # -- resilient execution ---------------------------------------------------------
+
+    def _dispatch(
+        self,
+        operation: str,
+        fast: Callable[[], object],
+        reference: Callable[[], object],
+        engine: str,
+        budget: Optional[Budget],
+    ):
+        """Run one query through the selected engine.
+
+        ``"fast"``/``"reference"`` run the corresponding thunk, under an
+        active budget context when one is given; ``"resilient"`` runs
+        the fast thunk under a budget slice and falls back to the
+        reference evaluator on engine faults, recording incidents on the
+        per-database :class:`~repro.resilience.log.ResilienceLog`."""
+        if engine == "resilient":
+            return resilient_call(
+                operation,
+                fast,
+                reference,
+                budget,
+                self._resilience,
+                faults=self._fault_injector,
+            )
+        thunk = fast if engine == "fast" else reference
+        if budget is not None:
+            with activate(ExecutionContext(budget)):
+                return thunk()
+        return thunk()
+
+    def resilience_info(self) -> Dict[str, object]:
+        """Counters and incident history of the ``"resilient"`` engine —
+        calls, fast successes, fallbacks, failures, per-operation stats,
+        and the last recorded error (see
+        :meth:`repro.resilience.log.ResilienceLog.snapshot`)."""
+        return self._resilience.snapshot()
+
+    def resilience_clear(self) -> None:
+        """Reset the resilience counters and incident history."""
+        self._resilience.clear()
+
     # -- XPath ------------------------------------------------------------------------
 
     def xpath(
-        self, expression: str, context: NodeId = (), engine: str = "fast"
+        self,
+        expression: str,
+        context: NodeId = (),
+        engine: str = "fast",
+        budget: Optional[Budget] = None,
     ) -> Tuple[NodeId, ...]:
         """Evaluate an XPath expression of the paper's fragment.
 
         Parsed expressions are memoised in a bounded LRU cache (see
         :meth:`cache_info`); cache hits never change results, which the
         differential oracle asserts on every run.  ``engine`` picks the
-        indexed bitset evaluator (``"fast"``, the default) or the
-        node-at-a-time ``"reference"`` one; both return the same nodes.
-        """
+        indexed bitset evaluator (``"fast"``, the default), the
+        node-at-a-time ``"reference"`` one, or ``"resilient"`` execution
+        with fallback; all return the same nodes.  A ``budget`` bounds
+        the work (see :class:`repro.resilience.Budget`)."""
         _check_engine(engine)
         parsed = self._parsed(expression)
-        if engine == "fast":
-            return fast_xpath.select(parsed, self.tree, context)
-        return xpath_select(parsed, self.tree, context)
+        return self._dispatch(
+            "xpath",
+            lambda: fast_xpath.select(parsed, self.tree, context),
+            lambda: xpath_select(parsed, self.tree, context),
+            engine,
+            budget,
+        )
 
     def _parsed(self, expression: str):
         """The parsed AST for ``expression``, via the LRU cache."""
@@ -141,8 +203,11 @@ class TreeDatabase:
             self._xpath_cache_hits += 1
             cache.move_to_end(expression)
             return cache[expression]
-        self._xpath_cache_misses += 1
+        # Parse BEFORE touching the statistics: a syntax error must
+        # leave cache_info() exactly as it was (no poisoned slot, no
+        # phantom miss).
         parsed = parse_xpath(expression)
+        self._xpath_cache_misses += 1
         if self._xpath_cache_maxsize:
             while len(cache) >= self._xpath_cache_maxsize:
                 cache.popitem(last=False)
@@ -170,46 +235,74 @@ class TreeDatabase:
 
     # -- logic -----------------------------------------------------------------------
 
-    def holds(self, sentence: tree_fo.TreeFormula, engine: str = "fast") -> bool:
+    def holds(
+        self,
+        sentence: tree_fo.TreeFormula,
+        engine: str = "fast",
+        budget: Optional[Budget] = None,
+    ) -> bool:
         """Model-check an FO sentence over τ_{Σ,A}.
 
         The default ``"fast"`` engine evaluates bottom-up over
         satisfying-assignment relations; ``"reference"`` is the
-        assignment-at-a-time model checker."""
+        assignment-at-a-time model checker; ``"resilient"`` runs fast
+        with reference fallback under ``budget``."""
         _check_engine(engine)
-        if engine == "fast":
-            return fast_fo.evaluate(sentence, self.tree)
-        return tree_fo.evaluate(sentence, self.tree)
+        if budget is not None and budget.max_formula_size is not None:
+            budget.check_formula_size(len(tree_fo.subformulas(sentence)))
+        return self._dispatch(
+            "holds",
+            lambda: fast_fo.evaluate(sentence, self.tree),
+            lambda: tree_fo.evaluate(sentence, self.tree),
+            engine,
+            budget,
+        )
 
-    def ask(self, text: str, engine: str = "fast") -> bool:
+    def ask(
+        self,
+        text: str,
+        engine: str = "fast",
+        budget: Optional[Budget] = None,
+    ) -> bool:
         """Model-check an FO sentence given as text, e.g.
         ``db.ask('forall x (leaf(x) -> O_item(x))')``."""
         from ..logic.parser import parse_sentence
 
-        return self.holds(parse_sentence(text), engine=engine)
+        return self.holds(parse_sentence(text), engine=engine, budget=budget)
 
     def select_where(
-        self, text: str, context: NodeId = (), engine: str = "fast"
+        self,
+        text: str,
+        context: NodeId = (),
+        engine: str = "fast",
+        budget: Optional[Budget] = None,
     ) -> Tuple[NodeId, ...]:
         """Evaluate a textual binary FO(∃*) query φ(x, y), e.g.
         ``db.select_where('x << y & O_item(y)')``."""
         from ..logic.parser import parse_query
 
-        return self.select(parse_query(text), context, engine=engine)
+        return self.select(parse_query(text), context, engine=engine, budget=budget)
 
     def select(
         self,
         query: ExistsStarQuery,
         context: NodeId = (),
         engine: str = "fast",
+        budget: Optional[Budget] = None,
     ) -> Tuple[NodeId, ...]:
         """Evaluate a binary FO(∃*) query from ``context``."""
         _check_engine(engine)
-        if engine == "fast":
-            return fast_fo.select(
+        if budget is not None and budget.max_formula_size is not None:
+            budget.check_formula_size(len(tree_fo.subformulas(query.formula)))
+        return self._dispatch(
+            "select",
+            lambda: fast_fo.select(
                 query.formula, self.tree, context, query.x, query.y
-            )
-        return query.select(self.tree, context)
+            ),
+            lambda: query.select(self.tree, context),
+            engine,
+            budget,
+        )
 
     # -- automata -----------------------------------------------------------------------
 
@@ -219,6 +312,7 @@ class TreeDatabase:
         delimited: bool = False,
         memoised: bool = False,
         engine: str = "fast",
+        budget: Optional[Budget] = None,
         **kwargs,
     ) -> bool:
         """Run a tree-walking automaton; ``delimited`` runs it on
@@ -227,13 +321,23 @@ class TreeDatabase:
 
         ``engine="fast"`` (the default) takes the runner's compiled
         guard-free executor when the automaton is in the Move fragment,
-        falling back to the reference executor otherwise; verdicts are
-        identical either way."""
+        falling back to the reference executor otherwise;
+        ``"resilient"`` additionally falls back on engine faults.
+        Verdicts are identical either way."""
         _check_engine(engine)
         tree = delim(self.tree) if delimited else self.tree
         if memoised:
+            if budget is not None:
+                with activate(ExecutionContext(budget)):
+                    return evaluate_memo(automaton, tree).accepted
             return evaluate_memo(automaton, tree).accepted
-        return accepts(automaton, tree, engine=engine, **kwargs)
+        return self._dispatch(
+            "run_automaton",
+            lambda: accepts(automaton, tree, engine="fast", **kwargs),
+            lambda: accepts(automaton, tree, engine="reference", **kwargs),
+            engine,
+            budget,
+        )
 
     def run_with_trace(
         self, automaton: TWAutomaton, delimited: bool = False, **kwargs
@@ -255,7 +359,11 @@ class TreeDatabase:
     # -- related models -------------------------------------------------------------------------
 
     def caterpillar(
-        self, expression: str, context: NodeId = (), engine: str = "fast"
+        self,
+        expression: str,
+        context: NodeId = (),
+        engine: str = "fast",
+        budget: Optional[Budget] = None,
     ) -> Tuple[NodeId, ...]:
         """Walk a caterpillar expression ([7]) from ``context``, e.g.
         ``db.caterpillar('(down | right)* isLeaf')``.
@@ -264,32 +372,42 @@ class TreeDatabase:
         :meth:`caterpillar_cache_info`).  ``engine="fast"`` (the
         default) evaluates on the compiled product-graph walking engine
         (:mod:`repro.engine.walk`); ``"reference"`` re-walks the
-        Thompson NFA node-at-a-time.  Both return the same nodes."""
+        Thompson NFA node-at-a-time; ``"resilient"`` runs fast with
+        reference fallback.  All return the same nodes."""
         _check_engine(engine)
         parsed = self._parsed_caterpillar(expression)
-        if engine == "fast":
-            from ..engine import walk_select
-
-            return walk_select(parsed, self.tree, context)
         from ..caterpillar import walk
+        from ..engine import walk_select
 
-        return walk(parsed, self.tree, context)
+        return self._dispatch(
+            "caterpillar",
+            lambda: walk_select(parsed, self.tree, context),
+            lambda: walk(parsed, self.tree, context),
+            engine,
+            budget,
+        )
 
     def caterpillar_relation(
-        self, expression: str, engine: str = "fast"
+        self,
+        expression: str,
+        engine: str = "fast",
+        budget: Optional[Budget] = None,
     ):
         """The full denoted relation ⟦expression⟧ ⊆ Dom(t)² — the fast
         engine computes it as one stacked product BFS over all start
         nodes (:meth:`~repro.engine.walk.WalkEvaluator.all_pairs`)."""
         _check_engine(engine)
         parsed = self._parsed_caterpillar(expression)
-        if engine == "fast":
-            from ..engine import walk_relation
-
-            return walk_relation(parsed, self.tree)
         from ..caterpillar import relation
+        from ..engine import walk_relation
 
-        return relation(parsed, self.tree)
+        return self._dispatch(
+            "caterpillar_relation",
+            lambda: walk_relation(parsed, self.tree),
+            lambda: relation(parsed, self.tree),
+            engine,
+            budget,
+        )
 
     def _parsed_caterpillar(self, expression: str):
         """The parsed caterpillar AST, via the LRU cache."""
@@ -300,8 +418,9 @@ class TreeDatabase:
             self._caterpillar_cache_hits += 1
             cache.move_to_end(expression)
             return cache[expression]
-        self._caterpillar_cache_misses += 1
+        # Parse first: a failed parse must not touch stats or slots.
         parsed = parse_caterpillar(expression)
+        self._caterpillar_cache_misses += 1
         if self._caterpillar_cache_maxsize:
             while len(cache) >= self._caterpillar_cache_maxsize:
                 cache.popitem(last=False)

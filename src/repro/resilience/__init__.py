@@ -1,0 +1,77 @@
+"""Query-execution guardrails: budgets, cancellation, engine fallback
+and fault injection.
+
+The paper's query fragments hide NP-hard worst cases (Gottlob–Koch–
+Schulz, *Conjunctive Queries over Trees*), and the fast engines of
+:mod:`repro.engine` are exactly the code the differential oracle exists
+to distrust.  This package makes every facade query survivable:
+
+* :mod:`~repro.resilience.errors` — the exception taxonomy
+  (``ReproError`` → ``ParseError`` / ``ResourceExhausted`` /
+  ``EngineError`` / ``EngineDisagreement``);
+* :mod:`~repro.resilience.budget` — cooperative :class:`Budget` limits
+  (deadline, step fuel, result cap, depth, formula size) checked from
+  every engine hot loop via an ambient :class:`ExecutionContext`;
+* :mod:`~repro.resilience.executor` — ``engine="resilient"``: the fast
+  engine under a budget slice, reference fallback on engine error or
+  slice exhaustion;
+* :mod:`~repro.resilience.log` — per-database incident accounting,
+  surfaced as ``TreeDatabase.resilience_info()``;
+* :mod:`~repro.resilience.faults` — deterministic fault injection and
+  the seeded campaign harness behind ``python -m repro.resilience`` and
+  ``make fault``.
+"""
+
+from .budget import (  # noqa: F401
+    Budget,
+    ExecutionContext,
+    activate,
+    checkpoint,
+    current_context,
+)
+from .errors import (  # noqa: F401
+    EngineDisagreement,
+    EngineError,
+    InjectedFault,
+    InjectedStall,
+    ParseError,
+    ReproError,
+    ResourceExhausted,
+)
+from .executor import DEFAULT_FAST_STEPS, FAST_SLICE, resilient_call  # noqa: F401
+from .faults import (  # noqa: F401
+    CampaignCase,
+    CampaignReport,
+    Fault,
+    FaultInjector,
+    broken_internals,
+    run_campaign,
+)
+from .log import Incident, OperationStats, ResilienceLog  # noqa: F401
+
+__all__ = [
+    "ReproError",
+    "ParseError",
+    "ResourceExhausted",
+    "EngineError",
+    "EngineDisagreement",
+    "InjectedFault",
+    "InjectedStall",
+    "Budget",
+    "ExecutionContext",
+    "activate",
+    "current_context",
+    "checkpoint",
+    "resilient_call",
+    "DEFAULT_FAST_STEPS",
+    "FAST_SLICE",
+    "ResilienceLog",
+    "Incident",
+    "OperationStats",
+    "Fault",
+    "FaultInjector",
+    "broken_internals",
+    "CampaignCase",
+    "CampaignReport",
+    "run_campaign",
+]

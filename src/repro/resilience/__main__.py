@@ -1,0 +1,7 @@
+"""``python -m repro.resilience`` — seeded fault-injection campaigns."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,73 @@
+"""Command line of the fault-injection harness.
+
+Run the CI campaign (200 seeded cases, every facade operation)::
+
+    python -m repro.resilience --seed 0 --cases 200
+
+Bigger documents, one operation only, verbose per-case progress::
+
+    python -m repro.resilience --seed 7 --cases 50 --max-size 14 \\
+        --operations xpath holds --verbose
+
+Exit status is 0 iff every injected fault was absorbed: no uncaught
+exception, and every fallback answer byte-identical to the reference
+engine's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .faults import _OPERATIONS, run_campaign
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience",
+        description="Seeded fault-injection campaigns over the resilient "
+        "query executor.",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for the whole campaign (default 0)")
+    parser.add_argument("--cases", type=int, default=200,
+                        help="number of generated cases (default 200)")
+    parser.add_argument("--max-size", type=int, default=8,
+                        help="max nodes per generated tree (default 8)")
+    parser.add_argument("--operations", nargs="+", metavar="OP",
+                        choices=list(_OPERATIONS), default=None,
+                        help=f"restrict to these facade operations "
+                             f"(default: all of {', '.join(_OPERATIONS)})")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print each case as it runs")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    def narrate(case) -> None:
+        status = "error" if case.error else (
+            "fallback" if case.fell_back else "clean"
+        )
+        print(f"  case {case.index:>4} [{case.operation}] "
+              f"fault={case.fault} -> {status}")
+
+    report = run_campaign(
+        seed=args.seed,
+        cases=args.cases,
+        max_size=args.max_size,
+        operations=tuple(args.operations) if args.operations else _OPERATIONS,
+        on_case=narrate if args.verbose else None,
+    )
+    for line in report.summary_lines():
+        print(line)
+    if not report.ok:
+        print("FAULT CAMPAIGN FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

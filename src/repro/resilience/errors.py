@@ -1,0 +1,112 @@
+"""The repository-wide exception taxonomy.
+
+Before this module existed, engines raised a mix of bare
+``RuntimeError``/``ValueError`` subclasses with nothing machine-readable
+on them; a caller could not tell "your query is malformed" apart from
+"the engine ran out of budget" apart from "the engine is buggy" without
+string-matching messages.  The taxonomy gives every failure a place:
+
+``ReproError``
+    The root.  Everything the package raises deliberately derives from
+    it, so ``except ReproError`` is the catch-all for *expected* failure
+    modes (as opposed to genuine bugs, which raise whatever they raise).
+
+``ParseError``
+    The input text was malformed (XPath, caterpillar, FO, term or XML
+    syntax).  Also a :class:`ValueError`, so pre-taxonomy callers that
+    caught ``ValueError`` keep working.  Parse errors are *caller*
+    errors: the resilient executor never falls back on them, because the
+    reference engine would reject the same text.
+
+``ResourceExhausted``
+    A budget ran out — wall-clock deadline, step/node-visit fuel,
+    result-cardinality cap, or a recursion/formula-size limit.  Carries
+    ``resource`` (which limit), ``steps`` (how much was spent) and
+    ``limit`` (the bound) as structured fields; ``str(exc)`` keeps the
+    historical message of whichever ``fuel`` guard it replaced.  Also a
+    :class:`RuntimeError` for pre-taxonomy compatibility.
+
+``EngineError``
+    An evaluation engine failed for a reason that is *not* the caller's
+    fault and *not* a budget: an internal invariant broke, or a fault
+    was injected by the test harness (:class:`InjectedFault`).  The
+    resilient executor treats these as "this engine is untrustworthy on
+    this input" and falls back to the reference evaluator.
+
+``EngineDisagreement``
+    Two engines returned different answers for the same query — the
+    differential oracle's finding, promoted to an exception so fault
+    campaigns and ``verify`` modes can raise it with both answers
+    attached.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ReproError",
+    "ParseError",
+    "ResourceExhausted",
+    "EngineError",
+    "EngineDisagreement",
+    "InjectedFault",
+    "InjectedStall",
+]
+
+
+class ReproError(Exception):
+    """Root of every deliberate failure the package raises."""
+
+
+class ParseError(ReproError, ValueError):
+    """Malformed query/document text (never triggers engine fallback)."""
+
+
+class ResourceExhausted(ReproError, RuntimeError):
+    """A budget ran out before the computation settled.
+
+    ``resource`` names the exhausted limit (``"steps"``, ``"deadline"``,
+    ``"results"``, ``"depth"`` or ``"formula-size"``); ``steps`` is the
+    amount spent when the limit tripped and ``limit`` the bound itself
+    (either may be ``None`` when the guard did not track it).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        resource: str = "steps",
+        steps: Optional[int] = None,
+        limit: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.resource = resource
+        self.steps = steps
+        self.limit = limit
+
+
+class EngineError(ReproError, RuntimeError):
+    """An evaluation engine failed internally (not a caller error, not a
+    budget) — the resilient executor's cue to fall back."""
+
+
+class EngineDisagreement(ReproError, RuntimeError):
+    """Two engines answered the same query differently.
+
+    ``left``/``right`` carry the two answers (as comparable summaries).
+    """
+
+    def __init__(self, message: str, *, left: object = None, right: object = None) -> None:
+        super().__init__(message)
+        self.left = left
+        self.right = right
+
+
+class InjectedFault(EngineError):
+    """A deterministic failure injected by :mod:`repro.resilience.faults`."""
+
+
+class InjectedStall(ResourceExhausted):
+    """An injected stall: the harness simulating a fast engine that
+    hangs until its budget slice expires."""

@@ -1,0 +1,112 @@
+"""The resilient call: fast engine under a budget, reference fallback.
+
+``engine="resilient"`` on the facade routes through
+:func:`resilient_call`.  The contract:
+
+* the **fast** engine runs first, under a *fast-only budget slice* —
+  half the caller's remaining budget, or a generous default fuel when
+  the caller gave none — with any ambient fault injector armed;
+* if the fast engine raises an :class:`EngineError` (including injected
+  faults), exhausts its slice, or blows up with an unexpected internal
+  exception, the incident is recorded on the database's
+  :class:`~repro.resilience.log.ResilienceLog` and the **reference**
+  engine answers instead, under whatever remains of the caller's budget
+  and with fault injection disarmed;
+* caller errors — :class:`ParseError` and ``ValueError`` input
+  validation — propagate without fallback: the reference engine would
+  reject the same input, so retrying it only doubles the latency of a
+  caller mistake;
+* if the *caller's* budget is exhausted (not just the fast slice), the
+  :class:`ResourceExhausted` propagates: resilience degrades gracefully
+  inside the budget, it does not overrule it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, TypeVar
+
+from .budget import Budget, ExecutionContext, activate
+from .errors import ParseError, ResourceExhausted
+from .log import ResilienceLog
+
+__all__ = ["resilient_call", "DEFAULT_FAST_STEPS", "FAST_SLICE"]
+
+T = TypeVar("T")
+
+#: Fast-slice fuel when the caller supplied no budget: high enough that
+#: no sane query ever trips it, low enough that a diverging fast engine
+#: is caught in well under a second of big-int work.
+DEFAULT_FAST_STEPS = 5_000_000
+
+#: Fraction of the caller's remaining budget the fast engine may spend
+#: before the executor cuts it off and banks the rest for the fallback.
+FAST_SLICE = 0.5
+
+
+def _fast_slice(budget: Optional[Budget]) -> Budget:
+    if budget is None:
+        return Budget(steps=DEFAULT_FAST_STEPS)
+    return budget.slice(FAST_SLICE)
+
+
+def resilient_call(
+    operation: str,
+    fast: Callable[[], T],
+    reference: Callable[[], T],
+    budget: Optional[Budget],
+    log: ResilienceLog,
+    faults=None,
+) -> T:
+    """Run ``fast`` under a budget slice; fall back to ``reference``.
+
+    ``faults`` is the fault injector to arm during the fast attempt
+    (``None`` outside fault campaigns).  Returns whichever engine's
+    answer survives; see the module docstring for the full contract.
+    """
+    slice_budget = _fast_slice(budget)
+    try:
+        with activate(ExecutionContext(slice_budget, faults=faults)):
+            value = fast()
+    except (ParseError, ValueError):
+        # A caller error: both engines would refuse it identically.
+        raise
+    except Exception as exc:  # EngineError, ResourceExhausted, or a bug
+        if budget is not None:
+            # Bill the fast attempt to the caller's budget; if that
+            # alone exhausts it, the caller's limit wins over fallback.
+            budget.checkpoint(slice_budget.steps)
+        return _fallback(operation, reference, budget, log, exc)
+    if budget is not None:
+        # Bill the slice's spend without re-checking: the work already
+        # happened inside limits derived from this budget, and a correct
+        # answer in hand beats an edge-case raise.
+        budget.steps += slice_budget.steps
+    log.record_fast_success(operation)
+    return value
+
+
+def _fallback(
+    operation: str,
+    reference: Callable[[], T],
+    budget: Optional[Budget],
+    log: ResilienceLog,
+    cause: BaseException,
+) -> T:
+    started = time.perf_counter()
+    try:
+        # ``faults=None``: injection never reaches the reference engine,
+        # and a context is installed even without a budget so an outer
+        # (armed) context cannot leak in.
+        with activate(ExecutionContext(budget, faults=None)):
+            value = reference()
+    except ResourceExhausted:
+        # The caller's own budget ran out mid-fallback: propagate, but
+        # record that the fast engine had already failed.
+        log.record_failure(operation, cause)
+        raise
+    except Exception as exc:
+        log.record_failure(operation, exc)
+        raise
+    log.record_fallback(operation, cause, time.perf_counter() - started)
+    return value

@@ -1,0 +1,137 @@
+"""Per-database incident accounting for resilient execution.
+
+Every :class:`~repro.queries.facade.TreeDatabase` owns one
+:class:`ResilienceLog`.  The resilient executor records what happened
+to each call — fast success, fallback (with the triggering error and
+the fallback's latency), or hard failure — and
+``TreeDatabase.resilience_info()`` exposes the aggregate, so a service
+operator can see at a glance whether the fast engines are degrading on
+live traffic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+__all__ = ["Incident", "OperationStats", "ResilienceLog"]
+
+#: How many recent incidents each log retains verbatim.
+INCIDENT_HISTORY = 32
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One fallback (or hard failure) event."""
+
+    operation: str  #: facade method name, e.g. ``"xpath"``
+    kind: str  #: ``"engine-error"`` | ``"resource-exhausted"`` | ``"failure"``
+    error: str  #: ``"ExcType: message"`` of the triggering exception
+    fallback_seconds: float  #: reference-engine latency (0.0 for failures)
+
+
+@dataclass
+class OperationStats:
+    """Counters for one facade operation."""
+
+    calls: int = 0
+    fast_successes: int = 0
+    fallbacks: int = 0
+    failures: int = 0
+
+
+class ResilienceLog:
+    """Counts, last error and fallback latency of resilient calls."""
+
+    __slots__ = ("per_operation", "incidents", "fallback_seconds")
+
+    def __init__(self) -> None:
+        self.per_operation: Dict[str, OperationStats] = {}
+        self.incidents: Deque[Incident] = deque(maxlen=INCIDENT_HISTORY)
+        self.fallback_seconds = 0.0
+
+    def _stats(self, operation: str) -> OperationStats:
+        stats = self.per_operation.get(operation)
+        if stats is None:
+            stats = self.per_operation[operation] = OperationStats()
+        return stats
+
+    def record_fast_success(self, operation: str) -> None:
+        stats = self._stats(operation)
+        stats.calls += 1
+        stats.fast_successes += 1
+
+    def record_fallback(
+        self, operation: str, error: BaseException, fallback_seconds: float
+    ) -> None:
+        from .errors import ResourceExhausted
+
+        stats = self._stats(operation)
+        stats.calls += 1
+        stats.fallbacks += 1
+        self.fallback_seconds += fallback_seconds
+        kind = (
+            "resource-exhausted"
+            if isinstance(error, ResourceExhausted)
+            else "engine-error"
+        )
+        self.incidents.append(
+            Incident(
+                operation,
+                kind,
+                f"{type(error).__name__}: {error}",
+                fallback_seconds,
+            )
+        )
+
+    def record_failure(self, operation: str, error: BaseException) -> None:
+        stats = self._stats(operation)
+        stats.calls += 1
+        stats.failures += 1
+        self.incidents.append(
+            Incident(operation, "failure", f"{type(error).__name__}: {error}", 0.0)
+        )
+
+    @property
+    def last_incident(self) -> Optional[Incident]:
+        return self.incidents[-1] if self.incidents else None
+
+    def snapshot(self) -> Dict:
+        """A JSON-able summary (what ``resilience_info()`` returns)."""
+        totals = OperationStats()
+        for stats in self.per_operation.values():
+            totals.calls += stats.calls
+            totals.fast_successes += stats.fast_successes
+            totals.fallbacks += stats.fallbacks
+            totals.failures += stats.failures
+        last = self.last_incident
+        return {
+            "calls": totals.calls,
+            "fast_successes": totals.fast_successes,
+            "fallbacks": totals.fallbacks,
+            "failures": totals.failures,
+            "fallback_seconds": self.fallback_seconds,
+            "last_error": None if last is None else last.error,
+            "per_operation": {
+                name: {
+                    "calls": s.calls,
+                    "fast_successes": s.fast_successes,
+                    "fallbacks": s.fallbacks,
+                    "failures": s.failures,
+                }
+                for name, s in sorted(self.per_operation.items())
+            },
+        }
+
+    def clear(self) -> None:
+        self.per_operation.clear()
+        self.incidents.clear()
+        self.fallback_seconds = 0.0
+
+    def __repr__(self) -> str:
+        snap = self.snapshot()
+        return (
+            f"ResilienceLog(calls={snap['calls']}, "
+            f"fallbacks={snap['fallbacks']}, failures={snap['failures']})"
+        )

@@ -16,11 +16,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from ..resilience.errors import ParseError
 from .tree import Tree, TreeError, TreeNode
 from .values import BOTTOM, MaybeValue
 
 
-class TermSyntaxError(TreeError):
+class TermSyntaxError(TreeError, ParseError):
     """Raised on malformed term syntax, with position information."""
 
     def __init__(self, message: str, text: str, pos: int) -> None:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..resilience.errors import ParseError
 from .node import NodeId
 from .tree import Tree, TreeError, TreeNode
 from .values import BOTTOM, MaybeValue
@@ -65,7 +66,7 @@ def to_xml(tree: Tree, indent: int = 2) -> str:
     return "\n".join(lines) + "\n"
 
 
-class XmlSyntaxError(TreeError):
+class XmlSyntaxError(TreeError, ParseError):
     """Raised on input outside the supported XML subset."""
 
 

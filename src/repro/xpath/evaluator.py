@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, Set, Tuple
 
+from ..resilience.budget import current_context
 from ..trees.node import NodeId
 from ..trees.tree import Tree
 from .ast import (
@@ -65,9 +66,14 @@ def _eval_path(
     path: Path, tree: Tree, context: NodeId, in_filter: bool = False
 ) -> FrozenSet[NodeId]:
     current = _seed(path, tree, context, in_filter)
+    budget_context = current_context()
     for axis, step in zip(path.axes, path.steps[1:]):
         following: Set[NodeId] = set()
         for node in current:
+            # Cooperative budget checkpoint: one unit per source node
+            # per step, the reference evaluator's unit of work.
+            if budget_context is not None:
+                budget_context.checkpoint()
             for target in _axis_targets(axis, tree, node):
                 if _test_matches(step.test, tree, target) and _passes_filters(
                     step, tree, target

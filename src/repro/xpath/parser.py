@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+from ..resilience.errors import ParseError
 from .ast import (
     CHILD,
     DESCENDANT,
@@ -17,7 +18,7 @@ from .ast import (
 )
 
 
-class XPathSyntaxError(ValueError):
+class XPathSyntaxError(ParseError):
     """Raised on malformed XPath input, with position info."""
 
     def __init__(self, message: str, text: str, pos: int) -> None:

@@ -1,0 +1,79 @@
+"""Engine crashes inside the oracle become structured ``crash``
+disagreements — persisted like value mismatches, never aborting a run."""
+
+import json
+
+import pytest
+
+from repro.oracle.driver import run_oracle
+from repro.oracle.pairs import Outcome, XPathVsFastXPath, crash_outcome
+from repro.oracle.shrink import shrink_case
+
+
+class CrashingPair(XPathVsFastXPath):
+    """A pair whose right engine always dies — the worst-case engine bug."""
+
+    name = "crash/always"
+
+    def check(self, case):
+        raise RuntimeError("engine exploded mid-query")
+
+
+class FlakyPair(XPathVsFastXPath):
+    """Crashes only on trees larger than one node, so the shrinker has a
+    gradient to descend."""
+
+    name = "crash/flaky"
+
+    def check(self, case):
+        if case.tree.size > 1:
+            raise RuntimeError("engine exploded on a non-trivial tree")
+        return super().check(case)
+
+
+def test_crash_outcome_is_structured():
+    outcome = crash_outcome(RuntimeError("boom"))
+    assert not outcome.agree
+    assert outcome.error == "crash: RuntimeError: boom"
+    assert outcome.problem_class == "crash"
+    # Ordinary error/mismatch classes are untouched.
+    assert Outcome(agree=False, left="a", right="b").problem_class == "mismatch"
+    assert Outcome(agree=False, left="?", right="?",
+                   error="fuel gone").problem_class == "error"
+
+
+def test_run_oracle_survives_a_crashing_pair(tmp_path):
+    report = run_oracle(
+        seed=0, budget=6, pairs=(CrashingPair(),), max_size=5,
+        corpus_dir=tmp_path,
+    )
+    assert report.total_cases() == 6
+    assert report.total_disagreements() == 6
+    assert len(report.disagreements) == 6
+    for d in report.disagreements:
+        assert d.outcome.problem_class == "crash"
+        assert "RuntimeError" in d.outcome.error
+        assert d.saved_to is not None and d.saved_to.exists()
+    # The persisted entry is a decodable corpus record.
+    entry = json.loads(report.disagreements[0].saved_to.read_text())
+    assert entry["pair"] == "crash/always"
+    assert "tree" in entry and "query" in entry
+
+
+def test_shrinker_minimises_a_crash_case():
+    pair = FlakyPair()
+    import random
+
+    case = pair.generate(random.Random(42), 8)
+    assert case.tree.size > 1  # otherwise nothing to shrink toward
+    shrunk, outcome, evals = shrink_case(pair, case)
+    assert outcome.problem_class == "crash"
+    assert shrunk.tree.size <= case.tree.size
+    assert evals >= 1
+
+
+def test_healthy_pairs_are_unaffected():
+    report = run_oracle(seed=0, budget=4, pairs=(XPathVsFastXPath(),),
+                        max_size=6, corpus_dir=None)
+    assert report.total_cases() == 4
+    assert report.total_disagreements() == 0

@@ -1,0 +1,194 @@
+"""Budgets, execution contexts, and the budget/answer dichotomy.
+
+The load-bearing property (hypothesis-checked below): under ANY step
+budget, every engine either returns the byte-identical un-budgeted
+answer or raises exactly :class:`ResourceExhausted` — never a wrong or
+partial answer.
+"""
+
+import time
+
+import pytest
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.queries import TreeDatabase
+from repro.resilience import (
+    Budget,
+    ExecutionContext,
+    ResourceExhausted,
+    activate,
+    checkpoint,
+    current_context,
+)
+
+TERM = (
+    'catalog(dept[name="db"](item[price=30, cur="EUR"], '
+    'item[price=2, cur="EUR"]), dept(item[cur="USD"], d(e, f(g))))'
+)
+
+#: (operation, callable(db, engine, budget)) pairs the dichotomy test runs.
+OPERATIONS = [
+    ("xpath", lambda db, e, b: db.xpath("catalog//item", engine=e, budget=b)),
+    ("xpath-filter", lambda db, e, b: db.xpath(
+        "//dept[item]//item", engine=e, budget=b)),
+    ("holds", lambda db, e, b: db.ask(
+        "forall x (O_item(x) -> leaf(x))", engine=e, budget=b)),
+    ("select", lambda db, e, b: db.select_where(
+        "x << y & O_item(y)", engine=e, budget=b)),
+    ("caterpillar", lambda db, e, b: db.caterpillar(
+        "(down | right)* isLeaf", engine=e, budget=b)),
+    ("caterpillar_relation", lambda db, e, b: tuple(
+        sorted(db.caterpillar_relation("up* isRoot", engine=e, budget=b)))),
+]
+
+ENGINES = ("fast", "reference", "resilient")
+
+
+@pytest.fixture(scope="module")
+def db():
+    return TreeDatabase.from_term(TERM)
+
+
+# -- Budget mechanics --------------------------------------------------------------
+
+
+def test_step_budget_trips_with_structured_fields():
+    budget = Budget(steps=10)
+    budget.checkpoint(10)  # exactly at the limit: fine
+    with pytest.raises(ResourceExhausted) as info:
+        budget.checkpoint(1)
+    exc = info.value
+    assert exc.resource == "steps"
+    assert exc.steps == 11
+    assert exc.limit == 10
+    assert isinstance(exc, RuntimeError)  # pre-taxonomy compatibility
+
+
+def test_predictive_charging_refuses_before_building():
+    # A single huge charge trips immediately — the engines charge the
+    # predicted materialisation size before allocating it.
+    budget = Budget(steps=100)
+    with pytest.raises(ResourceExhausted):
+        budget.checkpoint(10**9)
+
+
+def test_deadline_budget():
+    budget = Budget(seconds=0.0)
+    time.sleep(0.001)
+    with pytest.raises(ResourceExhausted) as info:
+        budget.checkpoint()
+    assert info.value.resource == "deadline"
+
+
+def test_cardinality_depth_and_formula_size_caps():
+    budget = Budget(max_results=5, max_depth=3, max_formula_size=7)
+    budget.check_results(5)
+    with pytest.raises(ResourceExhausted) as info:
+        budget.check_results(6)
+    assert info.value.resource == "results"
+    budget.check_depth(3)
+    with pytest.raises(ResourceExhausted) as info:
+        budget.check_depth(4)
+    assert info.value.resource == "depth"
+    budget.check_formula_size(7)
+    with pytest.raises(ResourceExhausted) as info:
+        budget.check_formula_size(8)
+    assert info.value.resource == "formula-size"
+
+
+def test_remaining_steps_and_slice():
+    budget = Budget(steps=100, max_results=9)
+    budget.checkpoint(40)
+    assert budget.remaining_steps() == 60
+    child = budget.slice(0.5)
+    assert child.step_limit == 30
+    assert child.max_results == 9  # non-step limits are inherited
+    assert child.steps == 0
+    # An unlimited budget slices to an unlimited child.
+    assert Budget().slice(0.5).step_limit is None
+    # A slice of a nearly-spent budget still gets at least one step.
+    tight = Budget(steps=10)
+    tight.checkpoint(10)
+    assert tight.slice(0.5).step_limit == 1
+
+
+def test_budget_rejects_negative_limits():
+    with pytest.raises(ValueError):
+        Budget(steps=-1)
+    with pytest.raises(ValueError):
+        Budget(seconds=-0.5)
+
+
+# -- context activation ------------------------------------------------------------
+
+
+def test_contexts_nest_and_clear():
+    assert current_context() is None
+    outer = ExecutionContext(Budget(steps=5))
+    inner = ExecutionContext(Budget(steps=50))
+    with activate(outer):
+        assert current_context() is outer
+        with activate(inner):
+            assert current_context() is inner
+            with activate(None):  # explicit shield, as the fallback uses
+                assert current_context() is None
+            assert current_context() is inner
+        assert current_context() is outer
+    assert current_context() is None
+
+
+def test_module_level_checkpoint_charges_ambient_budget():
+    checkpoint(10**9)  # no context active: a no-op
+    budget = Budget(steps=3)
+    with activate(ExecutionContext(budget)):
+        checkpoint(2)
+        with pytest.raises(ResourceExhausted):
+            checkpoint(2)
+    assert budget.steps == 4
+
+
+# -- the dichotomy: right answer XOR ResourceExhausted ------------------------------
+
+
+@pytest.fixture(scope="module")
+def truths(db):
+    """Un-budgeted answers, computed once per operation and engine."""
+    out = {}
+    for name, call in OPERATIONS:
+        expected = call(db, "fast", None)
+        for engine in ENGINES:
+            assert call(db, engine, None) == expected, (name, engine)
+        out[name] = expected
+    return out
+
+
+@given(
+    case=st.sampled_from([name for name, _ in OPERATIONS]),
+    engine=st.sampled_from(ENGINES),
+    steps=st.integers(min_value=1, max_value=2_000),
+)
+@settings(max_examples=120, deadline=None)
+def test_budgeted_run_is_exact_or_exhausted(db, truths, case, engine, steps):
+    call = dict(OPERATIONS)[case]
+    try:
+        result = call(db, engine, Budget(steps=steps))
+    except ResourceExhausted:
+        return  # the honest refusal
+    assert result == truths[case], (
+        f"{case}/{engine} under steps={steps} returned a WRONG answer"
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_sufficient_budget_is_byte_identical(db, truths, engine):
+    for name, call in OPERATIONS:
+        assert call(db, engine, Budget(steps=10**9)) == truths[name], name
+
+
+def test_insufficient_budget_raises_only_resource_exhausted(db):
+    # A zero-step budget cannot cover any unit of work, so every
+    # operation must refuse (rather than answer partially).
+    for name, call in OPERATIONS:
+        with pytest.raises(ResourceExhausted):
+            call(db, "fast", Budget(steps=0))

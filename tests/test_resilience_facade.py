@@ -1,0 +1,173 @@
+"""The facade's ``engine="resilient"`` mode, the resilience log, the
+exception taxonomy, and the parse-failure/LRU regression."""
+
+import pytest
+
+from repro.automata.examples import all_leaves_same_twrl
+from repro.automata.runner import ExecutionError, FuelExhausted
+from repro.caterpillar.parser import CaterpillarSyntaxError
+from repro.logic.parser import FormulaSyntaxError
+from repro.machines.xtm import XTMError, XTMFuelExhausted
+from repro.queries import TreeDatabase
+from repro.queries.facade import ENGINES
+from repro.resilience import (
+    EngineError,
+    Fault,
+    FaultInjector,
+    InjectedFault,
+    ParseError,
+    ReproError,
+    ResourceExhausted,
+    broken_internals,
+)
+from repro.trees.parser import TermSyntaxError
+from repro.trees.xmlio import XmlSyntaxError
+from repro.xpath.parser import XPathSyntaxError
+
+TERM = (
+    'catalog(dept[name="db"](item[price=30, cur="EUR"], '
+    'item[price=2, cur="EUR"]), dept(item[cur="USD"]))'
+)
+
+
+@pytest.fixture
+def db():
+    return TreeDatabase.from_term(TERM)
+
+
+# -- taxonomy ----------------------------------------------------------------------
+
+
+def test_parser_errors_are_parse_errors():
+    for cls in (
+        XPathSyntaxError,
+        CaterpillarSyntaxError,
+        FormulaSyntaxError,
+        TermSyntaxError,
+        XmlSyntaxError,
+    ):
+        assert issubclass(cls, ParseError)
+        assert issubclass(cls, ReproError)
+        assert issubclass(cls, ValueError)  # pre-taxonomy callers
+
+
+def test_fuel_exhaustion_is_unified():
+    # runner fuel: still an ExecutionError, now also ResourceExhausted.
+    exc = FuelExhausted("step budget 9 exhausted (likely divergence)",
+                        steps=10, limit=9)
+    assert isinstance(exc, ExecutionError)
+    assert isinstance(exc, ResourceExhausted)
+    assert (exc.steps, exc.limit) == (10, 9)
+    # xTM fuel: still an XTMError (a ValueError), same structured fields,
+    # same historical message.
+    exc = XTMFuelExhausted("fuel 5 exhausted", steps=6, limit=5)
+    assert isinstance(exc, XTMError)
+    assert isinstance(exc, ResourceExhausted)
+    assert str(exc) == "fuel 5 exhausted"
+    assert (exc.steps, exc.limit) == (6, 5)
+
+
+def test_injected_fault_is_engine_error():
+    assert issubclass(InjectedFault, EngineError)
+    assert issubclass(EngineError, ReproError)
+
+
+# -- the resilient engine ----------------------------------------------------------
+
+
+def test_resilient_is_a_known_engine(db):
+    assert "resilient" in ENGINES
+    with pytest.raises(ValueError):
+        db.xpath("catalog", engine="turbo")
+
+
+def test_resilient_agrees_on_the_happy_path(db):
+    assert db.xpath("catalog//item", engine="resilient") == \
+        db.xpath("catalog//item", engine="reference")
+    assert db.ask("exists x O_item(x)", engine="resilient") is True
+    automaton = all_leaves_same_twrl("cur")
+    assert db.run_automaton(automaton, engine="resilient") == \
+        db.run_automaton(automaton, engine="reference")
+    info = db.resilience_info()
+    assert info["fast_successes"] == info["calls"] == 3
+    assert info["fallbacks"] == info["failures"] == 0
+    assert info["last_error"] is None
+
+
+def test_injected_fault_triggers_fallback_with_identical_answer(db):
+    expected = db.caterpillar("(down | right)* isLeaf", engine="reference")
+    db._fault_injector = FaultInjector(Fault(at_checkpoint=1, kind="error"))
+    try:
+        got = db.caterpillar("(down | right)* isLeaf", engine="resilient")
+    finally:
+        db._fault_injector = None
+    assert got == expected
+    info = db.resilience_info()
+    assert info["fallbacks"] == 1
+    assert "InjectedFault" in info["last_error"]
+    assert info["per_operation"]["caterpillar"]["fallbacks"] == 1
+
+
+def test_injected_stall_triggers_fallback(db):
+    expected = db.xpath("//item", engine="reference")
+    db._fault_injector = FaultInjector(Fault(at_checkpoint=1, kind="stall"))
+    try:
+        got = db.xpath("//item", engine="resilient")
+    finally:
+        db._fault_injector = None
+    assert got == expected
+    assert db.resilience_info()["fallbacks"] == 1
+
+
+def test_broken_internals_fallback(db):
+    # A fast engine dying before its first checkpoint still falls back.
+    from repro.engine import fo as fast_fo
+    from repro.logic.parser import parse_sentence
+
+    sentence = parse_sentence("forall x (O_item(x) -> leaf(x))")
+    expected = db.holds(sentence, engine="reference")
+    with broken_internals(fast_fo, "evaluate"):
+        assert db.holds(sentence, engine="resilient") == expected
+    assert db.resilience_info()["fallbacks"] == 1
+
+
+def test_parse_errors_never_fall_back(db):
+    with pytest.raises(XPathSyntaxError):
+        db.xpath("//(", engine="resilient")
+    with pytest.raises(CaterpillarSyntaxError):
+        db.caterpillar("down (", engine="resilient")
+    info = db.resilience_info()
+    assert info["calls"] == 0  # nothing recorded: the caller erred
+
+
+def test_resilience_clear(db):
+    db.xpath("catalog", engine="resilient")
+    assert db.resilience_info()["calls"] == 1
+    db.resilience_clear()
+    assert db.resilience_info()["calls"] == 0
+
+
+# -- LRU poison regression ----------------------------------------------------------
+
+
+def test_failed_xpath_parse_leaves_cache_untouched(db):
+    db.xpath("catalog//item")  # one genuine miss
+    before = db.cache_info()
+    for _ in range(3):
+        with pytest.raises(XPathSyntaxError):
+            db.xpath("//(")
+    assert db.cache_info() == before
+    # The good expression is still cached: a hit, not a re-parse.
+    db.xpath("catalog//item")
+    assert db.cache_info().hits == before.hits + 1
+
+
+def test_failed_caterpillar_parse_leaves_cache_untouched(db):
+    db.caterpillar("up* isRoot")
+    before = db.caterpillar_cache_info()
+    for _ in range(3):
+        with pytest.raises(CaterpillarSyntaxError):
+            db.caterpillar("down (")
+    assert db.caterpillar_cache_info() == before
+    db.caterpillar("up* isRoot")
+    assert db.caterpillar_cache_info().hits == before.hits + 1

@@ -1,0 +1,106 @@
+"""The fault-injection harness: injectors, schedules, and campaigns."""
+
+import pytest
+
+from repro.resilience import (
+    Fault,
+    FaultInjector,
+    InjectedFault,
+    InjectedStall,
+    ResourceExhausted,
+    broken_internals,
+    run_campaign,
+)
+from repro.resilience.cli import main as resilience_main
+
+
+# -- injector mechanics ------------------------------------------------------------
+
+
+def test_fault_validates_its_fields():
+    with pytest.raises(ValueError):
+        Fault(at_checkpoint=0)
+    with pytest.raises(ValueError):
+        Fault(at_checkpoint=1, kind="meltdown")
+
+
+def test_injector_counts_without_a_fault():
+    injector = FaultInjector()
+    for _ in range(5):
+        injector.checkpoint()
+    assert injector.count == 5
+    assert injector.fired == 0
+
+
+def test_injector_fires_exactly_at_the_scheduled_checkpoint():
+    injector = FaultInjector(Fault(at_checkpoint=3, kind="error"))
+    injector.checkpoint()
+    injector.checkpoint()
+    with pytest.raises(InjectedFault):
+        injector.checkpoint()
+    assert injector.fired == 1
+    # Past the scheduled point it is inert again.
+    injector.checkpoint()
+    assert injector.count == 4
+
+
+def test_stall_is_resource_exhausted():
+    injector = FaultInjector(Fault(at_checkpoint=1, kind="stall"))
+    with pytest.raises(InjectedStall) as info:
+        injector.checkpoint()
+    assert isinstance(info.value, ResourceExhausted)
+    assert info.value.resource == "deadline"
+
+
+def test_broken_internals_restores_on_exit():
+    class Engine:
+        def work(self):
+            return 42
+
+    engine = Engine()
+    with broken_internals(Engine, "work", calls_before_failure=1):
+        assert engine.work() == 42  # first call passes
+        with pytest.raises(InjectedFault):
+            engine.work()
+    assert engine.work() == 42  # original restored
+
+
+# -- campaigns ----------------------------------------------------------------------
+
+
+@pytest.mark.faults
+def test_campaign_absorbs_every_injected_fault():
+    report = run_campaign(seed=0, cases=25, max_size=6)
+    assert report.ok, "\n".join(report.summary_lines())
+    assert len(report.cases) == 25
+    assert report.injected > 0
+    # Every injected fault was answered via fallback, byte-identically.
+    for case in report.cases:
+        assert case.agreed
+        assert case.error is None
+        if case.fault is not None:
+            assert case.fell_back
+
+
+@pytest.mark.faults
+def test_campaign_is_deterministic():
+    first = run_campaign(seed=7, cases=10, max_size=5)
+    second = run_campaign(seed=7, cases=10, max_size=5)
+    assert [(c.operation, c.query, c.tree, c.fault) for c in first.cases] == \
+        [(c.operation, c.query, c.tree, c.fault) for c in second.cases]
+
+
+@pytest.mark.faults
+def test_campaign_covers_every_operation():
+    report = run_campaign(seed=1, cases=10, max_size=5)
+    assert {c.operation for c in report.cases} == {
+        "xpath", "holds", "caterpillar", "caterpillar_relation",
+        "run_automaton",
+    }
+
+
+@pytest.mark.faults
+def test_cli_exit_status(capsys):
+    assert resilience_main(["--seed", "3", "--cases", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "fault campaign: seed=3 cases=5" in out
