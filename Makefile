@@ -9,7 +9,7 @@ FUZZ_BUDGET ?= 200
 FAULT_SEED ?= 0
 FAULT_CASES ?= 200
 
-.PHONY: test test-quick fuzz replay fault bench bench-full bench-walk bench-check
+.PHONY: test test-quick fuzz replay fault bench bench-full bench-walk bench-corpus bench-check
 
 ## Full tier-1 suite (includes the marked oracle fuzz and fault tests).
 test:
@@ -54,6 +54,12 @@ bench-full:
 bench-walk:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --suite walk
 
-## Fail if any committed BENCH_*.json reports a median speedup < 1.0.
+## Corpus batch trajectory: set-at-a-time batches vs the naive per-call
+## loop (writes BENCH_corpus.json).
+bench-corpus:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --suite corpus
+
+## Fail if any committed BENCH_*.json (engine, walk, corpus) reports a
+## median speedup < 1.0.
 bench-check:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --check

@@ -20,6 +20,12 @@ Commands
     Play the Lemma 4.5 protocol for a stock string program on the split
     string f#g (f, g comma-separated values) and print the dialogue.
 
+``corpus FILE… --xpath EXPR [--ask S] [--select Q] [--caterpillar E]``
+    Evaluate a batch of queries over many documents set-at-a-time
+    through the corpus engine; repeat any query flag to grow the
+    batch, add ``--workers N`` to fan out and ``--stats`` for the
+    per-chunk execution report.
+
 ``oracle [ARGS…]``
     Differential fuzzing across the query engines; forwards to
     ``python -m repro.oracle`` (try ``oracle --help``).
@@ -194,6 +200,58 @@ def _cmd_protocol(args: argparse.Namespace) -> int:
     return 0 if result.accepted else 1
 
 
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from .corpus import (
+        TreeCorpus,
+        ask_query,
+        caterpillar_query,
+        select_query,
+        xpath_query,
+    )
+
+    queries = (
+        [xpath_query(text) for text in args.xpath]
+        + [ask_query(text) for text in args.ask]
+        + [select_query(text) for text in args.select]
+        + [caterpillar_query(text) for text in args.caterpillar]
+    )
+    if not queries:
+        print(
+            "corpus: give at least one --xpath/--ask/--select/--caterpillar",
+            file=sys.stderr,
+        )
+        return 2
+    trees = [_load(path).tree for path in args.files]
+    with TreeCorpus(trees) as corpus:
+        result = corpus.run(
+            queries,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            engine=args.engine,
+        )
+    for t, path in enumerate(args.files):
+        print(f"{path}:")
+        for q, query in enumerate(queries):
+            answer = result.cell(t, q)
+            if query.kind == "ask":
+                shown = "true" if answer else "false"
+            else:
+                shown = ", ".join(format_node(n) for n in answer) or "(none)"
+            print(f"  {query.kind} {query.text}: {shown}")
+    if args.stats:
+        print(
+            f"{result.tree_count} trees x {len(queries)} queries in "
+            f"{len(result.chunks)} chunks (workers={result.workers})"
+        )
+        for chunk in result.chunks:
+            note = f" [{chunk.error}]" if chunk.fell_back else ""
+            print(
+                f"  chunk {chunk.index}: trees {chunk.start}..{chunk.stop}"
+                f" via {chunk.engine} in {chunk.seconds * 1000:.1f}ms{note}"
+            )
+    return 0
+
+
 def _cmd_oracle(args: argparse.Namespace) -> int:
     from .oracle.cli import main as oracle_main
 
@@ -249,6 +307,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_proto.add_argument("--program-file",
                          help="load the program from a .tw file instead")
     p_proto.set_defaults(func=_cmd_protocol)
+
+    p_corpus = sub.add_parser(
+        "corpus", help="batch queries over many documents set-at-a-time"
+    )
+    p_corpus.add_argument("files", nargs="+", metavar="FILE")
+    p_corpus.add_argument("--xpath", action="append", default=[],
+                          metavar="EXPR", help="XPath expression (repeatable)")
+    p_corpus.add_argument("--ask", action="append", default=[],
+                          metavar="SENTENCE", help="FO sentence (repeatable)")
+    p_corpus.add_argument("--select", action="append", default=[],
+                          metavar="QUERY",
+                          help="binary FO(∃*) query over x, y (repeatable)")
+    p_corpus.add_argument("--caterpillar", action="append", default=[],
+                          metavar="EXPR",
+                          help="caterpillar expression (repeatable)")
+    p_corpus.add_argument("--workers", type=int, default=0,
+                          help="worker processes (0 = serial)")
+    p_corpus.add_argument("--chunk-size", type=int, default=None,
+                          help="trees per chunk")
+    p_corpus.add_argument("--engine", choices=("fast", "reference"),
+                          default="fast")
+    p_corpus.add_argument("--stats", action="store_true",
+                          help="print the per-chunk execution report")
+    p_corpus.set_defaults(func=_cmd_corpus)
 
     p_oracle = sub.add_parser(
         "oracle",

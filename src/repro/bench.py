@@ -28,6 +28,22 @@ Every timed case is also checked for agreement between the two
 engines, so a bench run doubles as a differential sweep.  All trees
 are seeded: same seed, same JSON (modulo timings).
 
+``python -m repro.bench --suite corpus`` times set-at-a-time batch
+execution over a :class:`~repro.corpus.TreeCorpus` and writes
+``BENCH_corpus.json``:
+
+* **naive** — the status-quo loop: one facade call per (query, tree),
+  a fresh :class:`~repro.queries.facade.TreeDatabase` each time, plan
+  cache cold at the start of every sweep.  With more trees than the
+  index LRU holds, the query-outer order rebuilds every index on
+  every query.
+* **serial cold / warm** — one batch through the corpus executor,
+  with every process-wide cache emptied first (cold) or primed
+  (warm).
+* **workers 2/4/8** — the same batch fanned out over persistent
+  routed worker pools that keep trees, indexes and plans warm
+  between batches.
+
 ``python -m repro.bench --check [files...]`` re-reads committed
 ``BENCH_*.json`` trajectories and fails if any reports a median
 speedup below 1.0 — the "the engine never lost ground" ratchet.
@@ -47,11 +63,22 @@ from .automata.examples import even_leaves_automaton
 from .automata.runner import run as run_automaton
 from .caterpillar import nfa as reference_walk
 from .caterpillar.parser import parse_caterpillar
+from .corpus import (
+    TreeCorpus,
+    ask_query,
+    caterpillar_query,
+    caterpillar_relation_query,
+    select_query,
+    xpath_query,
+)
 from .engine import fo as fast_fo
 from .engine import walk as fast_walk
 from .engine import xpath as fast_xpath
+from .engine.index import index_cache_clear
+from .engine.plans import plan_cache_clear
 from .logic import tree_fo
 from .logic.parser import parse_formula
+from .queries.facade import TreeDatabase
 from .trees import random_tree
 from .xpath.evaluator import select as reference_xpath_select
 from .xpath.parser import parse_xpath
@@ -60,6 +87,8 @@ SCHEMA = "repro-bench-engine/1"
 DEFAULT_OUTPUT = "BENCH_engine.json"
 WALK_SCHEMA = "repro-bench-walk/1"
 WALK_DEFAULT_OUTPUT = "BENCH_walk.json"
+CORPUS_SCHEMA = "repro-bench-corpus/1"
+CORPUS_DEFAULT_OUTPUT = "BENCH_corpus.json"
 
 #: 3-variable selectors (free x) timed as full satisfying-assignment
 #: relations.  The first three make the reference pay the n^3 walk;
@@ -106,14 +135,36 @@ TWA_AUTOMATA = {
     "even-leaves": even_leaves_automaton,
 }
 
+#: A mixed batch across every query kind the corpus executes — the
+#: workload a user would otherwise run as a per-tree, per-query loop.
+CORPUS_QUERIES = (
+    xpath_query("//δ"),
+    xpath_query("//σ//δ"),
+    xpath_query("//σ[.//δ]//σ"),
+    ask_query("exists x O_σ(x)"),
+    ask_query("forall x (leaf(x) -> O_δ(x))"),
+    ask_query("exists x exists y (x << y & O_σ(x) & O_δ(y))"),
+    select_query("x << y & O_δ(y)"),
+    caterpillar_query("down*"),
+    caterpillar_query("(down | right)* <δ>"),
+    caterpillar_relation_query("down <σ>"),
+)
+
 FO_SIZES = (25, 50, 100, 200)
 XPATH_SIZES = (100, 250, 500, 1000)
 CATERPILLAR_SIZES = (100, 250, 500)
 TWA_SIZES = (100, 250, 500)
+CORPUS_TREE_COUNTS = (40, 80, 160)
 FO_SIZES_QUICK = (8, 16)
 XPATH_SIZES_QUICK = (40, 80)
 CATERPILLAR_SIZES_QUICK = (20, 40)
 TWA_SIZES_QUICK = (20, 40)
+CORPUS_TREE_COUNTS_QUICK = (8, 16)
+
+#: Corpus trees cycle through sizes up to this bound; past the 64-entry
+#: index LRU the naive query-outer loop rebuilds indexes constantly.
+CORPUS_MAX_TREE_SIZE = 48
+CORPUS_WORKER_COUNTS = (2, 4, 8)
 
 #: Low fan-out makes documents deep — the descendant-heavy regime.
 MAX_CHILDREN = 2
@@ -123,6 +174,8 @@ FO_THRESHOLD = 10.0
 XPATH_THRESHOLD = 5.0
 CATERPILLAR_THRESHOLD = 10.0
 TWA_THRESHOLD = 5.0
+CORPUS_BATCH_THRESHOLD = 2.5
+CORPUS_WARM_THRESHOLD = 1.0
 
 #: ``--check`` floor: no committed trajectory may report a median
 #: speedup below this — the engine must never lose to the reference.
@@ -283,6 +336,109 @@ def run_twa_benchmark(
     return rows
 
 
+def _naive_corpus_rows(trees, queries) -> tuple:
+    """The status-quo loop: one facade call per (query, tree).
+
+    Query-outer order is deliberate — it is the natural "run this
+    query everywhere, then the next" shape, and with more trees than
+    the index LRU holds it re-derives every tree's index per query.
+    """
+    grid = [[None] * len(queries) for _ in trees]
+    for q, query in enumerate(queries):
+        for t, tree in enumerate(trees):
+            db = TreeDatabase(tree)
+            if query.kind == "xpath":
+                answer = db.xpath(query.text, context=query.context)
+            elif query.kind == "ask":
+                answer = db.ask(query.text)
+            elif query.kind == "select":
+                answer = db.select_where(query.text, context=query.context)
+            elif query.kind == "caterpillar":
+                answer = db.caterpillar(query.text, context=query.context)
+            else:
+                answer = tuple(sorted(db.caterpillar_relation(query.text)))
+            grid[t][q] = answer
+    return tuple(tuple(row) for row in grid)
+
+
+def run_corpus_benchmark(
+    tree_counts: Sequence[int], seed: int, repeats: int
+) -> List[Dict]:
+    """Batch execution modes over growing corpora.
+
+    Per tree count: the naive per-call loop, one cold batch (every
+    process-wide cache emptied first, index build included), one warm
+    serial batch, and warmed worker fan-outs.  Every mode's answers
+    are checked against the naive loop before anything is timed.
+    """
+    rows = []
+    runs = max(repeats, 3)
+    for count in tree_counts:
+        with TreeCorpus.random(
+            count, max_size=CORPUS_MAX_TREE_SIZE, seed=seed
+        ) as corpus:
+            trees = corpus.trees
+            expected = _naive_corpus_rows(trees, CORPUS_QUERIES)
+            serial = corpus.run(CORPUS_QUERIES)
+            if serial.rows != expected:  # pragma: no cover - guard
+                raise AssertionError(f"batch disagrees with loop at {count}")
+            for workers in CORPUS_WORKER_COUNTS:  # warm pools + check
+                fanned = corpus.run(CORPUS_QUERIES, workers=workers)
+                if (
+                    fanned.rows != expected or fanned.fell_back
+                ):  # pragma: no cover - guard
+                    raise AssertionError(
+                        f"workers={workers} batch degraded at {count}: "
+                        f"{[c.error for c in fanned.chunks if c.error]}"
+                    )
+
+            def naive():
+                plan_cache_clear()
+                _naive_corpus_rows(trees, CORPUS_QUERIES)
+
+            def cold():
+                plan_cache_clear()
+                index_cache_clear()
+                TreeCorpus(trees).run(CORPUS_QUERIES)
+
+            modes = [("naive", naive), ("serial_cold", cold)]
+            modes.append(
+                ("serial_warm", lambda: corpus.run(CORPUS_QUERIES))
+            )
+            for workers in CORPUS_WORKER_COUNTS:
+                modes.append(
+                    (
+                        f"workers_{workers}",
+                        lambda w=workers: corpus.run(
+                            CORPUS_QUERIES, workers=w
+                        ),
+                    )
+                )
+            seconds = {
+                mode: _timed(thunk, runs) for mode, thunk in modes
+            }
+            for mode, _ in modes:
+                rows.append(
+                    {
+                        "mode": mode,
+                        "n": count,
+                        "nodes": corpus.total_nodes(),
+                        "seconds": seconds[mode],
+                        "speedup": seconds["naive"] / seconds[mode],
+                    }
+                )
+            # cold mode thrashed the shared caches; re-prime them so a
+            # later tree count's warm modes stay warm.
+            corpus.run(CORPUS_QUERIES)
+    return rows
+
+
+def _corpus_mode_speedup(rows: Sequence[Dict], mode: str, n: int) -> float:
+    return statistics.median(
+        r["speedup"] for r in rows if r["n"] == n and r["mode"] == mode
+    )
+
+
 def _median_speedup_at(rows: Sequence[Dict], n: int) -> float:
     return statistics.median(r["speedup"] for r in rows if r["n"] == n)
 
@@ -373,6 +529,82 @@ def run_walk_benchmark(
             ),
         },
     }
+
+
+def run_corpus_suite(
+    quick: bool = False, seed: int = 0, repeats: int = 1
+) -> Dict:
+    """The corpus batch sweep (``--suite corpus``) as a JSON-ready dict."""
+    tree_counts = CORPUS_TREE_COUNTS_QUICK if quick else CORPUS_TREE_COUNTS
+    rows = run_corpus_benchmark(tree_counts, seed, repeats)
+    top = tree_counts[-1]
+    batch_median = _corpus_mode_speedup(rows, "workers_4", top)
+    warm_median = _corpus_mode_speedup(
+        rows, "serial_warm", top
+    ) / _corpus_mode_speedup(rows, "serial_cold", top)
+    return {
+        "schema": CORPUS_SCHEMA,
+        "generated_by": "python -m repro.bench --suite corpus"
+        + (" --quick" if quick else ""),
+        "seed": seed,
+        "repeats": repeats,
+        "quick": quick,
+        "corpus": {
+            "tree_counts": list(tree_counts),
+            "max_tree_size": CORPUS_MAX_TREE_SIZE,
+            "worker_counts": list(CORPUS_WORKER_COUNTS),
+            "queries": [
+                {"kind": q.kind, "text": q.text} for q in CORPUS_QUERIES
+            ],
+            "rows": rows,
+        },
+        "summary": {
+            "corpus_max_trees": top,
+            # batch throughput: naive per-call loop vs 4-worker batch
+            "corpus_median_speedup_at_max_size": batch_median,
+            # warm serial batch vs cold (caches emptied, indexes rebuilt)
+            "corpus_warm_median_speedup_at_max_size": warm_median,
+            "thresholds": {
+                "batch": CORPUS_BATCH_THRESHOLD,
+                "warm": CORPUS_WARM_THRESHOLD,
+            },
+            # The acceptance gates only bind the full-size sweep.
+            "pass": quick
+            or (
+                batch_median >= CORPUS_BATCH_THRESHOLD
+                and warm_median >= CORPUS_WARM_THRESHOLD
+            ),
+        },
+    }
+
+
+def _print_corpus_report(report: Dict) -> None:
+    print(f"corpus batch benchmark (seed={report['seed']}, "
+          f"quick={report['quick']})")
+    print(f"\n{len(report['corpus']['queries'])} queries per batch, "
+          f"tree sizes cycling up to {report['corpus']['max_tree_size']} "
+          "nodes; speedups are against the naive per-call loop:")
+    current = None
+    for row in report["corpus"]["rows"]:
+        if row["n"] != current:
+            current = row["n"]
+            print(f"  {current} trees ({row['nodes']} nodes):")
+        print(
+            f"    {row['mode']:<12} "
+            f"{row['seconds'] * 1000:>8.1f}ms  "
+            f"speedup={row['speedup']:>5.2f}x"
+        )
+    summary = report["summary"]
+    print(
+        f"\nmedian speedups at {summary['corpus_max_trees']} trees: "
+        f"4-worker batch "
+        f"{summary['corpus_median_speedup_at_max_size']:.2f}x vs the "
+        f"naive loop, warm serial "
+        f"{summary['corpus_warm_median_speedup_at_max_size']:.2f}x vs "
+        f"cold (gates: {summary['thresholds']['batch']:.1f}x / "
+        f"{summary['thresholds']['warm']:.1f}x — "
+        f"{'pass' if summary['pass'] else 'FAIL'})"
+    )
 
 
 def _print_walk_report(report: Dict) -> None:
@@ -484,11 +716,13 @@ def main(argv: Sequence[str] = None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("engine", "walk"),
+        choices=("engine", "walk", "corpus"),
         default="engine",
         help="engine: FO + XPath vs the indexed engines "
         "(BENCH_engine.json); walk: caterpillar + TWA vs the "
-        "compiled walking engine (BENCH_walk.json)",
+        "compiled walking engine (BENCH_walk.json); corpus: "
+        "set-at-a-time batches vs the naive per-call loop "
+        "(BENCH_corpus.json)",
     )
     parser.add_argument(
         "--quick",
@@ -533,7 +767,13 @@ def main(argv: Sequence[str] = None) -> int:
             print(f"bench-check: {len(paths)} trajectories clear the "
                   f"{CHECK_FLOOR:.1f}x floor")
         return 1 if failures else 0
-    if opts.suite == "walk":
+    if opts.suite == "corpus":
+        report = run_corpus_suite(
+            quick=opts.quick, seed=opts.seed, repeats=opts.repeats
+        )
+        _print_corpus_report(report)
+        default_output = CORPUS_DEFAULT_OUTPUT
+    elif opts.suite == "walk":
         report = run_walk_benchmark(
             quick=opts.quick, seed=opts.seed, repeats=opts.repeats
         )

@@ -1,0 +1,44 @@
+"""Set-at-a-time query execution over corpora of trees.
+
+The paper's data-complexity results are statements about one fixed
+query and arbitrarily many (or arbitrarily large) instances.  This
+package is that reading made into an engine: a :class:`TreeCorpus`
+holds many indexed trees, a batch of :class:`CorpusQuery` texts
+compiles once through the process-wide shared plan cache, and
+:func:`run_batch` sweeps the (tree × query) grid chunk by chunk —
+serially or fanned out over a process pool — with per-chunk
+reference-engine degradation on faults (the PR-4 resilience contract
+lifted to batches).
+
+>>> from repro.corpus import TreeCorpus, xpath_query
+>>> corpus = TreeCorpus.from_terms(["σ(δ, σ)", "δ(σ(δ))"])
+>>> result = corpus.run([xpath_query("//δ")])
+>>> [len(nodes) for nodes in result.for_query(0)]
+[1, 1]
+"""
+
+from .corpus import TreeCorpus
+from .executor import BatchResult, ChunkReport, run_batch
+from .query import (
+    KINDS,
+    CorpusQuery,
+    ask_query,
+    caterpillar_query,
+    caterpillar_relation_query,
+    select_query,
+    xpath_query,
+)
+
+__all__ = [
+    "BatchResult",
+    "ChunkReport",
+    "CorpusQuery",
+    "KINDS",
+    "TreeCorpus",
+    "ask_query",
+    "caterpillar_query",
+    "caterpillar_relation_query",
+    "run_batch",
+    "select_query",
+    "xpath_query",
+]

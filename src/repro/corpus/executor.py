@@ -1,0 +1,476 @@
+"""The chunked batch executor: many trees × many queries, one pass.
+
+The execution model is *tree-outer, query-inner* over contiguous chunks
+of the corpus:
+
+* every query text is compiled **once** up front through the shared
+  plan cache (:mod:`repro.engine.plans`) — this also rejects malformed
+  queries with a :class:`~repro.resilience.errors.ParseError` before
+  any fan-out, since the reference engine would refuse the same text;
+* each chunk evaluates its trees in order, building (or adopting) each
+  tree's :class:`~repro.engine.index.TreeIndex` once and running every
+  query against it — never once per (query, tree) cell;
+* with ``workers > 0`` chunks are fanned out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Workers inherit
+  the already-compiled plans when the platform forks; otherwise each
+  worker compiles each plan once into its own process-wide cache and
+  keeps it warm across every chunk it serves.  Results are reassembled
+  by chunk index, so the output ordering is identical to the serial
+  path — and to a loop of single-tree calls, which the
+  ``corpus/sequential`` oracle pair fuzzes.
+
+Resilience (the PR-4 contract, lifted to chunks): the fast attempt of a
+chunk runs under an optional per-chunk :class:`~repro.resilience.Budget`
+and fault injector.  An engine fault or budget exhaustion inside a
+chunk degrades *that chunk* to the reference evaluators — the batch
+never fails, and never reorders.  Parse errors propagate: they are the
+caller's, and no fallback could answer them.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..engine import fo as fast_fo
+from ..engine import walk as engine_walk
+from ..engine import xpath as fast_xpath
+from ..engine.index import TreeIndex, adopt_index, index_for
+from ..engine.plans import (
+    compile_caterpillar_plan,
+    compile_select_plan,
+    compile_sentence_plan,
+    compile_walk_plan,
+    compile_xpath_plan,
+)
+from ..logic import tree_fo
+from ..resilience.budget import Budget, ExecutionContext, activate
+from ..resilience.errors import EngineError, ParseError, ResourceExhausted
+from ..resilience.faults import Fault, FaultInjector
+from ..trees.tree import Tree
+from .query import CorpusQuery
+
+__all__ = ["ChunkReport", "BatchResult", "run_batch"]
+
+#: Engines a batch can run on.  ``"fast"`` is the indexed set-at-a-time
+#: path with per-chunk reference degradation; ``"reference"`` runs the
+#: node-at-a-time evaluators directly (the oracle's other half).
+ENGINES = ("fast", "reference")
+
+
+@dataclass(frozen=True)
+class ChunkReport:
+    """What happened to one chunk: which trees it covered, which engine
+    produced its answers, and whether (and why) it degraded."""
+
+    index: int
+    start: int
+    stop: int
+    engine: str
+    fell_back: bool
+    error: Optional[str]
+    seconds: float
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """The answers of one batch, in deterministic (tree, query) order.
+
+    ``rows[t][q]`` is the canonical result of query ``q`` on tree ``t``
+    — element-wise identical to a loop of single-tree calls, whatever
+    the chunking or worker count."""
+
+    queries: Tuple[CorpusQuery, ...]
+    rows: Tuple[Tuple[object, ...], ...]
+    chunks: Tuple[ChunkReport, ...]
+    workers: int
+
+    @property
+    def tree_count(self) -> int:
+        return len(self.rows)
+
+    @property
+    def fell_back(self) -> bool:
+        """Did any chunk degrade to the reference engine?"""
+        return any(chunk.fell_back for chunk in self.chunks)
+
+    def cell(self, tree_index: int, query_index: int) -> object:
+        return self.rows[tree_index][query_index]
+
+    def for_query(self, query_index: int) -> Tuple[object, ...]:
+        """One query's answers across every tree, in corpus order."""
+        return tuple(row[query_index] for row in self.rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchResult({self.tree_count} trees x "
+            f"{len(self.queries)} queries, {len(self.chunks)} chunks, "
+            f"workers={self.workers})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# one cell
+# ---------------------------------------------------------------------------
+
+
+def compile_query(query: CorpusQuery) -> object:
+    """Force-compile one query's plan (shared cache); raises
+    :class:`ParseError` on malformed text."""
+    if query.kind == "xpath":
+        return compile_xpath_plan(query.text)
+    if query.kind == "ask":
+        return compile_sentence_plan(query.text)
+    if query.kind == "select":
+        return compile_select_plan(query.text)
+    if query.kind == "caterpillar":
+        return compile_caterpillar_plan(query.text)
+    return compile_walk_plan(query.text)[0]
+
+
+def evaluate_cell(query: CorpusQuery, tree: Tree, engine: str = "fast"):
+    """One (query, tree) cell, canonicalised: node tuples in document
+    order, plain bools, or sorted pair tuples — byte-comparable across
+    engines and picklable across processes."""
+    if engine == "fast":
+        if query.kind == "xpath":
+            return fast_xpath.select(
+                compile_xpath_plan(query.text), tree, query.context
+            )
+        if query.kind == "ask":
+            return fast_fo.evaluate(compile_sentence_plan(query.text), tree)
+        if query.kind == "select":
+            plan = compile_select_plan(query.text)
+            return fast_fo.select(
+                plan.formula, tree, query.context, plan.x, plan.y
+            )
+        if query.kind == "caterpillar":
+            expr, _ = compile_walk_plan(query.text)
+            return engine_walk.walk(expr, tree, query.context)
+        expr, _ = compile_walk_plan(query.text)
+        return tuple(sorted(engine_walk.relation(expr, tree)))
+    from ..caterpillar import nfa as reference_walk
+    from ..xpath.evaluator import select as reference_xpath_select
+
+    if query.kind == "xpath":
+        return reference_xpath_select(
+            compile_xpath_plan(query.text), tree, query.context
+        )
+    if query.kind == "ask":
+        return tree_fo.evaluate(compile_sentence_plan(query.text), tree)
+    if query.kind == "select":
+        return compile_select_plan(query.text).select(tree, query.context)
+    if query.kind == "caterpillar":
+        return reference_walk.walk(
+            compile_caterpillar_plan(query.text), tree, query.context
+        )
+    return tuple(
+        sorted(reference_walk.relation(
+            compile_caterpillar_plan(query.text), tree
+        ))
+    )
+
+
+# ---------------------------------------------------------------------------
+# chunks
+# ---------------------------------------------------------------------------
+
+#: One chunk's work order: everything a worker needs, all picklable.
+#: ``indexes`` rides along only on the in-process path (pre-built
+#: pinned indexes adopted tree by tree); workers rebuild from trees.
+#: ``token`` identifies an immutable corpus so persistent workers can
+#: keep the chunk's trees and indexes warm across batches; once a
+#: routed worker holds a chunk, later batches ship ``trees=None``.
+_ChunkPayload = Tuple[
+    int,                    # chunk index
+    int,                    # corpus position of the first tree
+    int,                    # corpus position past the last tree
+    Optional[Tuple[Tree, ...]],  # the chunk's trees (None: use warm state)
+    Tuple[CorpusQuery, ...],
+    str,                    # engine
+    Optional[int],          # per-chunk fast budget (steps)
+    Optional[Fault],        # injected fault, if the harness armed one
+    Optional[Tuple[TreeIndex, ...]],
+    Optional[str],          # corpus token, or None for one-shot batches
+]
+
+#: Worker-side warm state: (token, start, stop) → (trees, indexes).
+#: A persistent pool's worker fills this on its first batch over a
+#: corpus and then skips tree shipping, revalidation and index
+#: rebuilds on every later batch.  Only the latest token is retained,
+#: so the cache is bounded by one corpus's chunks.
+_WORKER_TREES: Dict[Tuple[str, int, int], Tuple] = {}
+
+#: Returned by a worker asked to run a chunk from warm state it does
+#: not have (e.g. the worker process was restarted).  The parent then
+#: re-runs the chunk itself from the full payload.
+_CACHE_MISS = "__corpus_chunk_cache_miss__"
+
+
+def _warm_chunk(
+    token: Optional[str],
+    start: int,
+    stop: int,
+    trees: Tuple[Tree, ...],
+) -> Tuple[Tuple[Tree, ...], Optional[Tuple[TreeIndex, ...]]]:
+    """Swap freshly unpickled chunk trees for this worker's warm copies
+    (building them on first sight).  Without a token, no caching."""
+    if token is None:
+        return trees, None
+    key = (token, start, stop)
+    cached = _WORKER_TREES.get(key)
+    if cached is not None and len(cached[0]) == len(trees):
+        return cached
+    if any(existing[0] != token for existing in _WORKER_TREES):
+        _WORKER_TREES.clear()  # a new corpus: retire the old one's state
+    indexes = tuple(index_for(tree) for tree in trees)
+    _WORKER_TREES[key] = (trees, indexes)
+    return trees, indexes
+
+
+def _evaluate_rows(
+    trees: Sequence[Tree],
+    queries: Sequence[CorpusQuery],
+    engine: str,
+    indexes: Optional[Sequence[TreeIndex]],
+) -> Tuple[Tuple[object, ...], ...]:
+    """Tree-outer, query-inner sweep: one index (re)use per tree."""
+    for query in queries:
+        compile_query(query)
+    rows = []
+    for position, tree in enumerate(trees):
+        if indexes is not None:
+            adopt_index(tree, indexes[position])
+        rows.append(
+            tuple(evaluate_cell(query, tree, engine) for query in queries)
+        )
+    return tuple(rows)
+
+
+def _run_chunk(payload: _ChunkPayload):
+    """Evaluate one chunk; degrade to the reference engine on faults.
+
+    Runs in a worker process under ``workers > 0`` — everything it
+    touches (plan cache, index cache) is that worker's own warm state.
+    """
+    (index, start, stop, trees, queries, engine,
+     budget_steps, fault, indexes, token) = payload
+    started = time.perf_counter()
+    if trees is None:
+        cached = _WORKER_TREES.get((token, start, stop))
+        if cached is None:  # e.g. a fresh worker after a pool restart
+            return index, _CACHE_MISS, None
+        trees, indexes = cached
+    elif indexes is None:
+        trees, indexes = _warm_chunk(token, start, stop, trees)
+    if engine == "reference":
+        rows = _evaluate_rows(trees, queries, "reference", indexes)
+        report = ChunkReport(
+            index, start, stop, "reference", False, None,
+            time.perf_counter() - started,
+        )
+        return index, rows, report
+    injector = FaultInjector(fault) if fault is not None else None
+    budget = Budget(steps=budget_steps) if budget_steps is not None else None
+    try:
+        if injector is not None or budget is not None:
+            with activate(ExecutionContext(budget, injector)):
+                rows = _evaluate_rows(trees, queries, "fast", indexes)
+        else:
+            rows = _evaluate_rows(trees, queries, "fast", indexes)
+        report = ChunkReport(
+            index, start, stop, "fast", False, None,
+            time.perf_counter() - started,
+        )
+    except ParseError:
+        raise  # the caller's error: the reference engine would refuse too
+    except (EngineError, ResourceExhausted) as exc:
+        # The PR-4 contract at chunk granularity: an engine fault (or an
+        # exhausted fast budget) costs this chunk its fast path, never
+        # the batch its answers or their order.
+        rows = _evaluate_rows(trees, queries, "reference", indexes)
+        report = ChunkReport(
+            index, start, stop, "reference", True,
+            f"{type(exc).__name__}: {exc}",
+            time.perf_counter() - started,
+        )
+    return index, rows, report
+
+
+def _chunk_bounds(
+    count: int, chunk_size: Optional[int], workers: int
+) -> Tuple[Tuple[int, int], ...]:
+    """Contiguous ``[start, stop)`` chunk intervals covering ``count``
+    trees.  The default size aims at ~4 chunks per worker (or ~4 chunks
+    total when serial) so one slow chunk cannot straggle the pool."""
+    if count == 0:
+        return ()
+    if chunk_size is None:
+        lanes = 4 * max(1, workers)
+        chunk_size = max(1, -(-count // lanes))
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    return tuple(
+        (start, min(start + chunk_size, count))
+        for start in range(0, count, chunk_size)
+    )
+
+
+def run_batch(
+    trees: Sequence[Tree],
+    queries: Sequence[CorpusQuery],
+    workers: int = 0,
+    chunk_size: Optional[int] = None,
+    engine: str = "fast",
+    budget_steps: Optional[int] = None,
+    faults: Optional[Dict[int, Fault]] = None,
+    pool: Optional[
+        Union[ProcessPoolExecutor, Sequence[ProcessPoolExecutor]]
+    ] = None,
+    indexes: Optional[Sequence[TreeIndex]] = None,
+    token: Optional[str] = None,
+) -> BatchResult:
+    """Evaluate every query against every tree, set-at-a-time.
+
+    ``workers=0`` runs serially in-process (the fallback path — always
+    available, bit-identical to the fan-out).  ``faults`` maps chunk
+    index → :class:`~repro.resilience.faults.Fault` for the injection
+    harness; ``budget_steps`` bounds each chunk's fast attempt.
+    ``pool`` reuses caller-owned executors (warm workers) instead of
+    spawning fresh ones per call — either one pool or a sequence of
+    single-worker pools (as :class:`~repro.corpus.TreeCorpus` keeps);
+    with a sequence, chunk *i* always routes to pool ``i % len(pool)``,
+    so a chunk revisits the same worker batch after batch.  ``indexes``
+    supplies pre-built pinned indexes, used on the in-process path
+    only.  ``token`` (supplied by ``TreeCorpus``) marks the tree
+    sequence as immutable so routed workers may keep per-chunk trees
+    and indexes warm across batches — warm chunks ship ``trees=None``
+    and fall back to a parent-side run if the worker lost its state;
+    leave it ``None`` for ad-hoc calls.
+    """
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    trees = tuple(trees)
+    queries = tuple(queries)
+    for query in queries:
+        compile_query(query)  # fail fast, warm the (inheritable) plans
+    faults = dict(faults or {})
+    bounds = _chunk_bounds(len(trees), chunk_size, workers)
+    payloads: List[_ChunkPayload] = []
+    for chunk_index, (start, stop) in enumerate(bounds):
+        chunk_indexes = None
+        if indexes is not None and workers == 0:
+            chunk_indexes = tuple(indexes[start:stop])
+        payloads.append((
+            chunk_index, start, stop, trees[start:stop], queries, engine,
+            budget_steps, faults.get(chunk_index), chunk_indexes, token,
+        ))
+
+    results: Dict[int, Tuple] = {}
+    reports: Dict[int, ChunkReport] = {}
+    if workers == 0 or len(payloads) == 0:
+        for payload in payloads:
+            chunk_index, rows, report = _run_chunk(payload)
+            results[chunk_index] = rows
+            reports[chunk_index] = report
+    else:
+        owned = None
+        if pool is None:
+            owned = pools = _make_pools(workers)
+        elif isinstance(pool, ProcessPoolExecutor):
+            pools = (pool,)
+        else:
+            pools = tuple(pool)
+        try:
+            futures = []
+            for payload in payloads:
+                target = pools[payload[0] % len(pools)]
+                futures.append(target.submit(_run_chunk, _wire(target, payload)))
+            for payload, future in zip(payloads, futures):
+                chunk_index, start, stop = payload[0], payload[1], payload[2]
+                try:
+                    chunk_index, rows, report = future.result()
+                    if rows == _CACHE_MISS:
+                        # The routed worker lost its warm state (e.g. a
+                        # restarted process): run the full chunk here
+                        # and let the next batch re-ship the trees.
+                        _shipped(pools[chunk_index % len(pools)]).discard(
+                            (token, start, stop)
+                        )
+                        chunk_index, rows, report = _run_chunk(payload)
+                except (ParseError, ValueError):
+                    raise
+                except Exception as exc:  # a broken pool, a dead worker
+                    # Last-resort degradation: answer the chunk here,
+                    # on the engine no fault has ever indicted.
+                    rows = _evaluate_rows(
+                        payload[3], payload[4], "reference", None
+                    )
+                    report = ChunkReport(
+                        chunk_index, start, stop, "reference", True,
+                        f"worker failed: {type(exc).__name__}: {exc}", 0.0,
+                    )
+                results[chunk_index] = rows
+                reports[chunk_index] = report
+        finally:
+            if owned is not None:
+                for spare in owned:
+                    spare.shutdown()
+
+    ordered_rows = []
+    for chunk_index in range(len(payloads)):
+        ordered_rows.extend(results[chunk_index])
+    return BatchResult(
+        queries=queries,
+        rows=tuple(ordered_rows),
+        chunks=tuple(reports[i] for i in range(len(payloads))),
+        workers=workers,
+    )
+
+
+def _shipped(pool: ProcessPoolExecutor) -> set:
+    """The (token, start, stop) chunks this pool's worker already holds."""
+    cache = getattr(pool, "_corpus_shipped", None)
+    if cache is None:
+        cache = pool._corpus_shipped = set()
+    return cache
+
+
+def _wire(pool: ProcessPoolExecutor, payload: _ChunkPayload) -> _ChunkPayload:
+    """The payload as actually sent: once a routed worker has a chunk's
+    trees warm, later batches ship ``trees=None`` instead of re-pickling
+    the chunk — the single biggest per-batch cost at high tree counts."""
+    (chunk_index, start, stop, trees, queries, engine,
+     budget_steps, fault, indexes, token) = payload
+    if token is None or indexes is not None:
+        return payload
+    shipped = _shipped(pool)
+    key = (token, start, stop)
+    if key in shipped:
+        trees = None
+    else:
+        shipped.add(key)
+    return (chunk_index, start, stop, trees, queries, engine,
+            budget_steps, fault, indexes, token)
+
+
+def _make_pools(workers: int) -> Tuple[ProcessPoolExecutor, ...]:
+    """``workers`` single-worker pools, forked when the platform allows
+    it — forked workers inherit the parent's warm plan and index caches
+    for free, and one-pool-per-worker routing keeps each chunk pinned
+    to the same worker across batches."""
+    import multiprocessing
+
+    context = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+    return tuple(
+        ProcessPoolExecutor(max_workers=1, mp_context=context)
+        for _ in range(workers)
+    )

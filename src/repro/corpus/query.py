@@ -1,0 +1,97 @@
+"""``CorpusQuery`` — one query of a corpus batch, as text plus a kind.
+
+Queries are deliberately *textual*: the corpus engine compiles each
+text exactly once through the process-wide shared plan cache
+(:mod:`repro.engine.plans`), and text payloads pickle to a few dozen
+bytes when a batch fans out to worker processes.  The ``kind`` selects
+the formalism and the result shape:
+
+==========================  ==============================================
+``"xpath"``                 §2.3 XPath fragment; result: node tuple in
+                            document order
+``"ask"``                   closed FO sentence; result: bool
+``"select"``                binary FO(∃*) selector φ(x, y); result: node
+                            tuple in document order
+``"caterpillar"``           caterpillar walk from ``context``; result:
+                            node tuple in document order
+``"caterpillar-relation"``  the full denoted relation ⟦e⟧ ⊆ Dom(t)²;
+                            result: sorted tuple of (source, target)
+                            node pairs
+==========================  ==============================================
+
+All results are plain tuples/bools — picklable, hashable, and
+byte-comparable across engines, which is what the corpus/sequential
+oracle pair asserts on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..trees.node import NodeId
+
+__all__ = [
+    "KINDS",
+    "CorpusQuery",
+    "xpath_query",
+    "ask_query",
+    "select_query",
+    "caterpillar_query",
+    "caterpillar_relation_query",
+]
+
+#: Recognised query kinds, in the order the docs list them.
+KINDS: Tuple[str, ...] = (
+    "xpath",
+    "ask",
+    "select",
+    "caterpillar",
+    "caterpillar-relation",
+)
+
+
+@dataclass(frozen=True)
+class CorpusQuery:
+    """One batched query: a ``kind``, its concrete text, and (for the
+    node-selecting kinds) the per-tree context node to start from."""
+
+    kind: str
+    text: str
+    context: NodeId = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown query kind {self.kind!r}; expected one of {KINDS}"
+            )
+        object.__setattr__(self, "context", tuple(self.context))
+
+    def __repr__(self) -> str:
+        suffix = f", context={list(self.context)}" if self.context else ""
+        return f"CorpusQuery({self.kind!r}, {self.text!r}{suffix})"
+
+
+def xpath_query(text: str, context: NodeId = ()) -> CorpusQuery:
+    """An XPath batch query (§2.3 fragment)."""
+    return CorpusQuery("xpath", text, context)
+
+
+def ask_query(text: str) -> CorpusQuery:
+    """A closed-FO-sentence batch query (boolean per tree)."""
+    return CorpusQuery("ask", text)
+
+
+def select_query(text: str, context: NodeId = ()) -> CorpusQuery:
+    """A binary FO(∃*) selector batch query."""
+    return CorpusQuery("select", text, context)
+
+
+def caterpillar_query(text: str, context: NodeId = ()) -> CorpusQuery:
+    """A caterpillar-walk batch query."""
+    return CorpusQuery("caterpillar", text, context)
+
+
+def caterpillar_relation_query(text: str) -> CorpusQuery:
+    """A full caterpillar-relation batch query."""
+    return CorpusQuery("caterpillar-relation", text)

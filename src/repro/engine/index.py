@@ -35,9 +35,9 @@ mask), which is what makes the set-at-a-time engines fast.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Dict, Iterator, List, Tuple
 
+from ..caching import KeyedLRU
 from ..trees.node import NodeId
 from ..trees.tree import Tree
 from ..trees.values import MaybeValue
@@ -45,6 +45,8 @@ from ..trees.values import MaybeValue
 __all__ = [
     "TreeIndex",
     "index_for",
+    "adopt_index",
+    "index_cache_clear",
     "iter_bits",
     "bit_count",
 ]
@@ -311,14 +313,21 @@ class TreeIndex:
         node_of = self.node_of
         return tuple(node_of[i] for i in iter_bits(bits))
 
+    def __reduce__(self):
+        # Every derived structure is a pure function of the tree, so
+        # only the tree travels; rebuilding through index_for on load
+        # lands the index in the receiving process's cache — exactly
+        # what a corpus worker wants.
+        return (index_for, (self.tree,))
+
     def __repr__(self) -> str:
         return f"TreeIndex({self.n} nodes, Σ={sorted(self.label_mask)})"
 
 
 #: Bounded cache of indexes keyed on tree object identity.  Entries pin
 #: their tree, so an id can never be recycled while its entry is live.
-_INDEX_CACHE: "OrderedDict[int, Tuple[Tree, TreeIndex]]" = OrderedDict()
 _INDEX_CACHE_SIZE = 64
+_INDEX_CACHE: KeyedLRU = KeyedLRU(_INDEX_CACHE_SIZE, name="tree-indexes")
 
 
 def index_for(tree: Tree) -> TreeIndex:
@@ -331,10 +340,24 @@ def index_for(tree: Tree) -> TreeIndex:
     key = id(tree)
     hit = _INDEX_CACHE.get(key)
     if hit is not None and hit[0] is tree:
-        _INDEX_CACHE.move_to_end(key)
         return hit[1]
     index = TreeIndex(tree)
-    while len(_INDEX_CACHE) >= _INDEX_CACHE_SIZE:
-        _INDEX_CACHE.popitem(last=False)
-    _INDEX_CACHE[key] = (tree, index)
+    _INDEX_CACHE.put(key, (tree, index))
     return index
+
+
+def adopt_index(tree: Tree, index: TreeIndex) -> None:
+    """Re-seat a pinned index in the cache without rebuilding it.
+
+    A :class:`~repro.corpus.TreeCorpus` holds more trees than the LRU
+    bound; re-adopting each tree's pinned index as the batch loop
+    reaches it keeps every engine's internal ``index_for`` lookups hits
+    without growing the cache."""
+    if index.tree is not tree:
+        raise ValueError("index does not belong to this tree")
+    _INDEX_CACHE.put(id(tree), (tree, index))
+
+
+def index_cache_clear() -> None:
+    """Drop every cached index (cold-start benchmarks, tests)."""
+    _INDEX_CACHE.cache_clear()

@@ -1,0 +1,113 @@
+"""The process-wide shared plan cache: compile once per query *text*.
+
+Gottlob–Koch–Schulz frame the fixed-query / many-instances regime as
+the one where compile-once / run-many separation dominates total cost —
+yet until this module, compiled artifacts were cached per
+``TreeDatabase``: a workload of one query over 10k documents re-parsed
+(or at best re-LRU'd) the same text 10k times, once per database.
+
+Here every compile step is a pure function of the query text, memoised
+in **one** process-wide :class:`~repro.caching.KeyedLRU` keyed by
+``(kind, text)``:
+
+``compile_xpath_plan``
+    text → parsed XPath AST (the fast and reference evaluators both
+    take the AST).
+``compile_sentence_plan``
+    text → closed FO formula (``TreeDatabase.ask`` semantics).
+``compile_select_plan``
+    text → binary :class:`~repro.logic.exists_star.ExistsStarQuery`
+    (``TreeDatabase.select_where`` semantics).
+``compile_caterpillar_plan``
+    text → caterpillar AST (parse only — what the reference walker
+    needs, and all the facade memoises).
+``compile_walk_plan``
+    text → ``(ast, CompiledWalk)`` — parse *plus* the ε-closed NFA
+    compilation, the fast walking engine's full plan.
+
+Plans are immutable and tree-independent, so sharing them across
+databases, corpus batches and worker processes is always sound.  A
+parse error propagates without touching the cache (no poisoned slots —
+see :meth:`repro.caching.KeyedLRU.get_or_compute`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..caching import CacheInfo, KeyedLRU
+from ..caterpillar.ast import Caterpillar
+from ..caterpillar.parser import parse_caterpillar
+from ..logic.exists_star import ExistsStarQuery
+from ..logic.parser import parse_query, parse_sentence
+from ..logic.tree_fo import TreeFormula
+from ..xpath.ast import Expr
+from ..xpath.parser import parse_xpath
+from .walk import CompiledWalk, compile_walk
+
+__all__ = [
+    "PLAN_CACHE_SIZE",
+    "compile_xpath_plan",
+    "compile_sentence_plan",
+    "compile_select_plan",
+    "compile_caterpillar_plan",
+    "compile_walk_plan",
+    "plan_cache_info",
+    "plan_cache_clear",
+]
+
+#: Bound on resident plans across *all* kinds.  Plans are small (ASTs
+#: and compiled NFAs), so the bound exists for hygiene, not memory
+#: pressure; 512 comfortably covers every workload in the repo.
+PLAN_CACHE_SIZE = 512
+
+_PLAN_CACHE: KeyedLRU = KeyedLRU(PLAN_CACHE_SIZE, name="plans")
+
+
+def compile_xpath_plan(text: str) -> Expr:
+    """The parsed XPath AST for ``text``, shared process-wide."""
+    return _PLAN_CACHE.get_or_compute(
+        ("xpath", text), lambda: parse_xpath(text)
+    )
+
+
+def compile_sentence_plan(text: str) -> TreeFormula:
+    """The closed FO formula for ``text``, shared process-wide."""
+    return _PLAN_CACHE.get_or_compute(
+        ("sentence", text), lambda: parse_sentence(text)
+    )
+
+
+def compile_select_plan(text: str) -> ExistsStarQuery:
+    """The binary FO(∃*) selector for ``text``, shared process-wide."""
+    return _PLAN_CACHE.get_or_compute(
+        ("select", text), lambda: parse_query(text)
+    )
+
+
+def compile_caterpillar_plan(text: str) -> Caterpillar:
+    """The parsed caterpillar AST for ``text``, shared process-wide."""
+    return _PLAN_CACHE.get_or_compute(
+        ("caterpillar", text), lambda: parse_caterpillar(text)
+    )
+
+
+def _walk_plan(text: str) -> Tuple[Caterpillar, CompiledWalk]:
+    expr = compile_caterpillar_plan(text)
+    return expr, compile_walk(expr)
+
+
+def compile_walk_plan(text: str) -> Tuple[Caterpillar, CompiledWalk]:
+    """``(ast, CompiledWalk)`` for ``text`` — the fast walking engine's
+    whole tree-independent plan, shared process-wide."""
+    return _PLAN_CACHE.get_or_compute(("walk", text), lambda: _walk_plan(text))
+
+
+def plan_cache_info() -> CacheInfo:
+    """Hit/miss statistics of the shared plan cache."""
+    return _PLAN_CACHE.cache_info()
+
+
+def plan_cache_clear() -> None:
+    """Empty the shared plan cache (cold-start benchmarks, tests)."""
+    _PLAN_CACHE.cache_clear()

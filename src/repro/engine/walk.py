@@ -30,6 +30,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
+from ..caching import KeyedLRU
 from ..caterpillar.ast import (
     Caterpillar,
     IS_FIRST,
@@ -431,56 +432,33 @@ class WalkEvaluator:
 
 #: Bounded LRU of compiled expressions, keyed by concrete syntax so
 #: structurally equal expressions share one compilation.
-_COMPILE_CACHE: "OrderedDict[str, CompiledWalk]" = OrderedDict()
 _COMPILE_CACHE_SIZE = 256
-_compile_hits = 0
-_compile_misses = 0
+_COMPILE_CACHE: KeyedLRU = KeyedLRU(_COMPILE_CACHE_SIZE, name="walk-compile")
 
 
 def compile_walk(expr: Caterpillar) -> CompiledWalk:
     """The (cached) compiled form of ``expr``."""
-    global _compile_hits, _compile_misses
-    key = format_caterpillar(expr)
-    hit = _COMPILE_CACHE.get(key)
-    if hit is not None:
-        _compile_hits += 1
-        _COMPILE_CACHE.move_to_end(key)
-        return hit
-    _compile_misses += 1
-    compiled = CompiledWalk(expr)
-    while len(_COMPILE_CACHE) >= _COMPILE_CACHE_SIZE:
-        _COMPILE_CACHE.popitem(last=False)
-    _COMPILE_CACHE[key] = compiled
-    return compiled
+    return _COMPILE_CACHE.get_or_compute(
+        format_caterpillar(expr), lambda: CompiledWalk(expr)
+    )
 
 
 def compile_cache_info() -> Tuple[int, int, int, int]:
     """(hits, misses, maxsize, currsize) of the compile cache."""
-    return (
-        _compile_hits,
-        _compile_misses,
-        _COMPILE_CACHE_SIZE,
-        len(_COMPILE_CACHE),
-    )
+    return _COMPILE_CACHE.cache_info()
 
 
 def compile_cache_clear() -> None:
     """Empty the compile and evaluator caches, resetting statistics."""
-    global _compile_hits, _compile_misses
-    _COMPILE_CACHE.clear()
-    _EVAL_CACHE.clear()
-    _compile_hits = 0
-    _compile_misses = 0
+    _COMPILE_CACHE.cache_clear()
+    _EVAL_CACHE.cache_clear()
 
 
 #: Bound evaluators keyed by (compiled, index) identity, so repeated
 #: queries with the same expression against the same tree reuse the
 #: bound atom tables (including the lazily built stacked ones).
 #: Entries pin both objects, so neither id can be recycled while live.
-_EVAL_CACHE: "OrderedDict[Tuple[int, int], Tuple[CompiledWalk, TreeIndex, WalkEvaluator]]" = (
-    OrderedDict()
-)
-_EVAL_CACHE_SIZE = 128
+_EVAL_CACHE: KeyedLRU = KeyedLRU(128, name="walk-evaluators")
 
 
 def evaluator_for(expr: Caterpillar, tree: Tree) -> WalkEvaluator:
@@ -490,12 +468,9 @@ def evaluator_for(expr: Caterpillar, tree: Tree) -> WalkEvaluator:
     key = (id(compiled), id(index))
     hit = _EVAL_CACHE.get(key)
     if hit is not None and hit[0] is compiled and hit[1] is index:
-        _EVAL_CACHE.move_to_end(key)
         return hit[2]
     evaluator = WalkEvaluator(compiled, index)
-    while len(_EVAL_CACHE) >= _EVAL_CACHE_SIZE:
-        _EVAL_CACHE.popitem(last=False)
-    _EVAL_CACHE[key] = (compiled, index, evaluator)
+    _EVAL_CACHE.put(key, (compiled, index, evaluator))
     return evaluator
 
 

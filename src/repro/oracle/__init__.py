@@ -42,6 +42,7 @@ from .pairs import (
     CaterpillarVsFastCaterpillar,
     CaterpillarVsNTWA,
     Case,
+    CorpusVsSequential,
     EnginePair,
     FOVsEnumeration,
     FOVsFastFO,
@@ -59,6 +60,7 @@ __all__ = [
     "CaterpillarVsFastCaterpillar",
     "CaterpillarVsNTWA",
     "Case",
+    "CorpusVsSequential",
     "EnginePair",
     "FOVsEnumeration",
     "FOVsFastFO",

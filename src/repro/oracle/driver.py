@@ -20,6 +20,7 @@ from .pairs import (
     Case,
     CaterpillarVsFastCaterpillar,
     CaterpillarVsNTWA,
+    CorpusVsSequential,
     EnginePair,
     FOVsEnumeration,
     FOVsFastFO,
@@ -35,7 +36,7 @@ from .shrink import shrink_case
 
 
 def default_pairs() -> Tuple[EnginePair, ...]:
-    """All ten engine pairs, in a stable order."""
+    """All eleven engine pairs, in a stable order."""
     return (
         XPathVsFO(),
         XPathVsCaterpillar(),
@@ -47,6 +48,7 @@ def default_pairs() -> Tuple[EnginePair, ...]:
         XPathVsFastXPath(),
         CaterpillarVsFastCaterpillar(),
         NTWAVsFastCaterpillar(),
+        CorpusVsSequential(),
     )
 
 

@@ -4,7 +4,7 @@ Each :class:`EnginePair` knows how to *generate* a random (tree, query)
 case, *check* it through two independent evaluation routes, *shrink* the
 query part, and *encode*/*decode* the query as JSON for the corpus.
 
-The ten pairs and the equivalence each one guards:
+The eleven pairs and the equivalence each one guards:
 
 ==============================  ====================================================
 ``xpath/fo``                    XPath evaluator vs its FO(∃*) compilation (§2.3),
@@ -31,6 +31,9 @@ The ten pairs and the equivalence each one guards:
 ``ntwa/fast-caterpillar``       the compiled NTWA (§6) vs the walking engine:
                                 per-start acceptance equals per-start
                                 nonemptiness of the compiled product
+``corpus/sequential``           the set-at-a-time corpus batch executor
+                                (:mod:`repro.corpus`) vs a loop of single-tree
+                                facade calls, element-wise, under two chunkings
 ==============================  ====================================================
 """
 
@@ -904,3 +907,105 @@ class NTWAVsFastCaterpillar(EnginePair):
 
     def decode_query(self, payload: object) -> Caterpillar:
         return parse_caterpillar(payload)
+
+
+# ---------------------------------------------------------------------------
+# corpus/sequential
+# ---------------------------------------------------------------------------
+
+
+def _corpus_members(tree: Tree) -> List[Tree]:
+    """The member trees a case's tree stands for: one corpus tree per
+    root child (so members differ in shape and size), or the tree
+    itself when the root is a leaf."""
+    children = tree.children(())
+    if not children:
+        return [tree]
+    return [tree.subtree(child) for child in children]
+
+
+def _sequential_answers(
+    members: Sequence[Tree], query: "CorpusQuery"
+) -> Tuple[object, ...]:
+    """The status-quo loop: one facade call per member tree."""
+    out: List[object] = []
+    for tree in members:
+        db = TreeDatabase(tree)
+        if query.kind == "xpath":
+            out.append(db.xpath(query.text, query.context))
+        elif query.kind == "ask":
+            out.append(db.ask(query.text))
+        elif query.kind == "caterpillar":
+            out.append(db.caterpillar(query.text, query.context))
+        else:  # caterpillar-relation
+            out.append(tuple(sorted(db.caterpillar_relation(query.text))))
+    return tuple(out)
+
+
+class CorpusVsSequential(EnginePair):
+    """The set-at-a-time corpus batch vs a loop of single-tree calls.
+
+    A generated tree is split at the root into member trees; one random
+    query (XPath, closed FO sentence, or caterpillar walk/relation) is
+    then answered two ways: a per-tree loop through the
+    :class:`TreeDatabase` facade, and one :func:`repro.corpus.run_batch`
+    call — under both single-tree chunks and the default chunking, so
+    chunk reassembly is on the line as well as evaluation.  The batch
+    must be element-wise identical to the loop."""
+
+    name = "corpus/sequential"
+
+    KINDS = ("xpath", "ask", "caterpillar", "caterpillar-relation")
+
+    def generate(self, rng: random.Random, max_size: int) -> Case:
+        tree = gen.random_attributed_tree(rng, max_size)
+        kind = rng.choice(self.KINDS)
+        if kind == "xpath":
+            text = repr(gen.random_xpath(rng))
+        elif kind == "ask":
+            text = format_formula(gen.random_fo_sentence(rng))
+        else:
+            text = format_caterpillar(
+                gen.random_caterpillar(rng, budget=rng.randint(2, 6))
+            )
+        from ..corpus.query import CorpusQuery
+
+        return Case(tree, CorpusQuery(kind, text))
+
+    def check(self, case: Case) -> Outcome:
+        from ..corpus.executor import run_batch
+
+        query = case.query
+        members = _corpus_members(case.tree)
+        left, left_s = _timed(lambda: _sequential_answers(members, query))
+        right, right_s = _timed(
+            lambda: run_batch(members, [query], chunk_size=1).for_query(0)
+        )
+        if left != right:
+            return Outcome(False, str(left), str(right), left_s, right_s)
+        rechunked = run_batch(members, [query]).for_query(0)
+        return Outcome(
+            left == rechunked, str(left), str(rechunked), left_s, right_s
+        )
+
+    def shrink_query(self, query) -> Iterable[object]:
+        from ..corpus.query import CorpusQuery
+
+        if query.kind == "xpath":
+            for smaller in _shrink_xpath(parse_xpath(query.text)):
+                yield CorpusQuery("xpath", repr(smaller))
+        elif query.kind == "ask":
+            for smaller in _shrink_formula(parse_formula(query.text)):
+                if not tree_fo.free_variables(smaller):  # ask needs a sentence
+                    yield CorpusQuery("ask", format_formula(smaller))
+        else:
+            for smaller in _shrink_caterpillar(parse_caterpillar(query.text)):
+                yield CorpusQuery(query.kind, format_caterpillar(smaller))
+
+    def encode_query(self, query) -> object:
+        return {"kind": query.kind, "text": query.text}
+
+    def decode_query(self, payload: object):
+        from ..corpus.query import CorpusQuery
+
+        return CorpusQuery(payload["kind"], payload["text"])

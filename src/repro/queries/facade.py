@@ -14,15 +14,16 @@ True
 
 from __future__ import annotations
 
-from collections import OrderedDict, namedtuple
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..automata.classes import TWClass, classify
 from ..automata.machine import TWAutomaton
 from ..automata.runner import RunResult, accepts, run
+from ..caching import CacheInfo, KeyedLRU
 from ..engine import fo as fast_fo
 from ..engine import xpath as fast_xpath
 from ..engine.index import TreeIndex, index_for
+from ..engine.plans import compile_caterpillar_plan, compile_xpath_plan
 from ..logic import tree_fo
 from ..logic.exists_star import ExistsStarQuery
 from ..mso.hedge import HedgeAutomaton
@@ -40,9 +41,6 @@ from ..xpath.compiler import compile_xpath
 from ..xpath.evaluator import select as xpath_select
 from ..xpath.parser import parse_xpath
 
-
-#: Statistics of the parsed-XPath LRU cache, mirroring functools.lru_cache.
-CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "maxsize", "currsize"])
 
 #: Default bound on the number of parsed XPath expressions kept per database.
 XPATH_CACHE_SIZE = 128
@@ -81,14 +79,14 @@ class TreeDatabase:
             raise ValueError("xpath_cache_size must be >= 0")
         if caterpillar_cache_size < 0:
             raise ValueError("caterpillar_cache_size must be >= 0")
-        self._xpath_cache: "OrderedDict[str, object]" = OrderedDict()
-        self._xpath_cache_maxsize = xpath_cache_size
-        self._xpath_cache_hits = 0
-        self._xpath_cache_misses = 0
-        self._caterpillar_cache: "OrderedDict[str, object]" = OrderedDict()
-        self._caterpillar_cache_maxsize = caterpillar_cache_size
-        self._caterpillar_cache_hits = 0
-        self._caterpillar_cache_misses = 0
+        # Per-database residency and statistics; the parse work itself
+        # is delegated to the process-wide shared plan cache
+        # (:mod:`repro.engine.plans`), so a plan compiles once per
+        # query text regardless of how many databases run it.
+        self._xpath_cache: KeyedLRU = KeyedLRU(xpath_cache_size, name="xpath")
+        self._caterpillar_cache: KeyedLRU = KeyedLRU(
+            caterpillar_cache_size, name="caterpillar"
+        )
         self._resilience = ResilienceLog()
         #: Armed by the fault-injection harness
         #: (:mod:`repro.resilience.faults`); consulted only by the
@@ -197,37 +195,21 @@ class TreeDatabase:
         )
 
     def _parsed(self, expression: str):
-        """The parsed AST for ``expression``, via the LRU cache."""
-        cache = self._xpath_cache
-        if expression in cache:
-            self._xpath_cache_hits += 1
-            cache.move_to_end(expression)
-            return cache[expression]
-        # Parse BEFORE touching the statistics: a syntax error must
-        # leave cache_info() exactly as it was (no poisoned slot, no
-        # phantom miss).
-        parsed = parse_xpath(expression)
-        self._xpath_cache_misses += 1
-        if self._xpath_cache_maxsize:
-            while len(cache) >= self._xpath_cache_maxsize:
-                cache.popitem(last=False)
-            cache[expression] = parsed
-        return parsed
+        """The parsed AST for ``expression``, via the LRU cache.
+
+        A syntax error propagates without touching statistics or slots
+        (the :meth:`~repro.caching.KeyedLRU.get_or_compute` contract)."""
+        return self._xpath_cache.get_or_compute(
+            expression, lambda: compile_xpath_plan(expression)
+        )
 
     def cache_info(self) -> CacheInfo:
         """Hit/miss statistics of the parsed-XPath LRU cache."""
-        return CacheInfo(
-            hits=self._xpath_cache_hits,
-            misses=self._xpath_cache_misses,
-            maxsize=self._xpath_cache_maxsize,
-            currsize=len(self._xpath_cache),
-        )
+        return self._xpath_cache.cache_info()
 
     def cache_clear(self) -> None:
         """Empty the parsed-XPath cache and reset its statistics."""
-        self._xpath_cache.clear()
-        self._xpath_cache_hits = 0
-        self._xpath_cache_misses = 0
+        self._xpath_cache.cache_clear()
 
     def xpath_as_fo(self, expression: str) -> ExistsStarQuery:
         """The FO(∃*) abstraction of an XPath expression (§2.3)."""
@@ -410,37 +392,20 @@ class TreeDatabase:
         )
 
     def _parsed_caterpillar(self, expression: str):
-        """The parsed caterpillar AST, via the LRU cache."""
-        from ..caterpillar import parse_caterpillar
+        """The parsed caterpillar AST, via the LRU cache.
 
-        cache = self._caterpillar_cache
-        if expression in cache:
-            self._caterpillar_cache_hits += 1
-            cache.move_to_end(expression)
-            return cache[expression]
-        # Parse first: a failed parse must not touch stats or slots.
-        parsed = parse_caterpillar(expression)
-        self._caterpillar_cache_misses += 1
-        if self._caterpillar_cache_maxsize:
-            while len(cache) >= self._caterpillar_cache_maxsize:
-                cache.popitem(last=False)
-            cache[expression] = parsed
-        return parsed
+        A failed parse propagates without touching stats or slots."""
+        return self._caterpillar_cache.get_or_compute(
+            expression, lambda: compile_caterpillar_plan(expression)
+        )
 
     def caterpillar_cache_info(self) -> CacheInfo:
         """Hit/miss statistics of the parsed-caterpillar LRU cache."""
-        return CacheInfo(
-            hits=self._caterpillar_cache_hits,
-            misses=self._caterpillar_cache_misses,
-            maxsize=self._caterpillar_cache_maxsize,
-            currsize=len(self._caterpillar_cache),
-        )
+        return self._caterpillar_cache.cache_info()
 
     def caterpillar_cache_clear(self) -> None:
         """Empty the parsed-caterpillar cache and reset its statistics."""
-        self._caterpillar_cache.clear()
-        self._caterpillar_cache_hits = 0
-        self._caterpillar_cache_misses = 0
+        self._caterpillar_cache.cache_clear()
 
     def transform(self, transducer, **kwargs) -> "TreeDatabase":
         """Apply a tree-walking transducer (§8 extension); returns the

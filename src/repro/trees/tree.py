@@ -185,6 +185,26 @@ class Tree:
         self._subtree_end = subtree_end
         self._size = len(order)
 
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self):
+        """Only the defining data travels: labels, attribute tables and
+        the attribute set.  Derived structure (children maps, document
+        orders, subtree intervals) is a pure function of the labels and
+        would roughly triple the payload, so it is rebuilt on load —
+        what makes trees cheap to fan out to corpus worker processes."""
+        return (self._labels, self._attrs, self._attributes)
+
+    def __setstate__(self, state) -> None:
+        labels, attrs, attributes = state
+        self._labels = dict(labels)
+        self._children = {}
+        self._validate_and_index()
+        # The tables were validated and totalised at construction time;
+        # re-running the value checks on load would only slow fan-out.
+        self._attributes = tuple(attributes)
+        self._attrs = {name: dict(table) for name, table in attrs.items()}
+
     # -- basic structure -----------------------------------------------------
 
     @property

@@ -1,0 +1,83 @@
+"""Smoke tests for the ``--suite corpus`` benchmark — the batch
+executor sweep stays runnable at toy sizes, its JSON stays well-formed,
+and the committed full-size trajectory keeps clearing its gates."""
+
+import json
+from pathlib import Path
+
+from repro import bench
+
+MODES = ["naive", "serial_cold", "serial_warm"] + [
+    f"workers_{w}" for w in bench.CORPUS_WORKER_COUNTS
+]
+
+
+def test_quick_corpus_benchmark_writes_wellformed_json(tmp_path):
+    out = tmp_path / "BENCH_corpus.json"
+    code = bench.main(
+        [
+            "--suite", "corpus", "--quick",
+            "--output", str(out), "--seed", "5", "--repeats", "1",
+        ]
+    )
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == bench.CORPUS_SCHEMA
+    assert report["quick"] is True
+    assert report["seed"] == 5
+    rows = report["corpus"]["rows"]
+    assert len(rows) == len(bench.CORPUS_TREE_COUNTS_QUICK) * len(MODES)
+    for row in rows:
+        assert row["mode"] in MODES
+        assert row["seconds"] > 0
+        assert row["speedup"] > 0
+        assert row["nodes"] > 0
+    # every mode appears at every tree count
+    for count in bench.CORPUS_TREE_COUNTS_QUICK:
+        assert {r["mode"] for r in rows if r["n"] == count} == set(MODES)
+    assert len(report["corpus"]["queries"]) == len(bench.CORPUS_QUERIES)
+    summary = report["summary"]
+    assert summary["corpus_max_trees"] == bench.CORPUS_TREE_COUNTS_QUICK[-1]
+    assert summary["pass"] is True  # quick mode never gates on speed
+
+
+def test_corpus_benchmark_is_agreement_checked(monkeypatch):
+    # The bench raises (rather than records nonsense) if the batch
+    # executor ever disagrees with the naive per-call loop.
+    original = bench._naive_corpus_rows
+
+    def broken(trees, queries):
+        grid = original(trees, queries)
+        return grid[::-1]  # scrambled tree order
+
+    monkeypatch.setattr(bench, "_naive_corpus_rows", broken)
+    try:
+        bench.run_corpus_benchmark([4], seed=0, repeats=1)
+    except AssertionError as err:
+        assert "disagrees" in str(err)
+    else:  # pragma: no cover
+        raise AssertionError("expected the differential guard to fire")
+
+
+def test_committed_corpus_trajectory_matches_schema():
+    # The repo ships a full-size BENCH_corpus.json; keep it honest.
+    path = Path(__file__).resolve().parents[1] / "BENCH_corpus.json"
+    report = json.loads(path.read_text())
+    assert report["schema"] == bench.CORPUS_SCHEMA
+    summary = report["summary"]
+    assert summary["pass"] is True
+    if not report["quick"]:  # `make bench-corpus` may have left a quick regen
+        assert (
+            summary["corpus_median_speedup_at_max_size"]
+            >= summary["thresholds"]["batch"]
+        )
+        assert (
+            summary["corpus_warm_median_speedup_at_max_size"]
+            >= summary["thresholds"]["warm"]
+        )
+
+
+def test_corpus_trajectory_is_seen_by_the_check_ratchet():
+    root = Path(__file__).resolve().parents[1]
+    path = root / "BENCH_corpus.json"
+    assert bench.check_reports([path]) == []

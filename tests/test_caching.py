@@ -1,0 +1,88 @@
+"""The shared ``KeyedLRU`` — one cache implementation, one stats shape."""
+
+import pytest
+
+from repro.caching import CacheInfo, KeyedLRU
+
+
+def test_get_or_compute_hits_and_misses():
+    cache = KeyedLRU(4)
+    calls = []
+
+    def make(key):
+        def factory():
+            calls.append(key)
+            return key * 2
+        return factory
+
+    assert cache.get_or_compute("a", make("a")) == "aa"
+    assert cache.get_or_compute("a", make("a")) == "aa"
+    assert cache.get_or_compute("b", make("b")) == "bb"
+    assert calls == ["a", "b"]
+    assert cache.cache_info() == CacheInfo(hits=1, misses=2, maxsize=4, currsize=2)
+
+
+def test_cache_info_compares_equal_to_plain_tuple():
+    cache = KeyedLRU(2)
+    assert cache.cache_info() == (0, 0, 2, 0)
+
+
+def test_eviction_is_least_recently_used():
+    cache = KeyedLRU(2)
+    cache.get_or_compute("a", lambda: 1)
+    cache.get_or_compute("b", lambda: 2)
+    cache.get_or_compute("a", lambda: 1)  # refresh a
+    cache.get_or_compute("c", lambda: 3)  # evicts b, the cold entry
+    assert "a" in cache and "c" in cache and "b" not in cache
+
+
+def test_raising_factory_leaves_cache_untouched():
+    cache = KeyedLRU(4)
+
+    def boom():
+        raise RuntimeError("no value")
+
+    with pytest.raises(RuntimeError):
+        cache.get_or_compute("k", boom)
+    assert "k" not in cache
+    # The failed computation is not counted as a miss either: stats
+    # describe the cache's contents, not the factory's reliability.
+    assert cache.cache_info() == (0, 0, 4, 0)
+    assert cache.get_or_compute("k", lambda: 7) == 7
+    assert cache.cache_info() == (0, 1, 4, 1)
+
+
+def test_maxsize_zero_disables_storage_but_counts_misses():
+    cache = KeyedLRU(0)
+    assert cache.get_or_compute("a", lambda: 1) == 1
+    assert cache.get_or_compute("a", lambda: 2) == 2  # recomputed
+    assert cache.cache_info() == (0, 2, 0, 0)
+    cache.put("a", 3)
+    assert len(cache) == 0
+
+
+def test_negative_maxsize_rejected():
+    with pytest.raises(ValueError):
+        KeyedLRU(-1)
+
+
+def test_stats_free_get_and_put():
+    cache = KeyedLRU(2)
+    assert cache.get("missing") is None
+    assert cache.get("missing", "fallback") == "fallback"
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refreshes recency...
+    cache.put("c", 3)           # ...so b is the one evicted
+    assert sorted(cache) == ["a", "c"]
+    assert cache.cache_info() == (0, 0, 2, 2)  # get/put never touch stats
+
+
+def test_clear_resets_contents_and_stats():
+    cache = KeyedLRU(4, name="demo")
+    cache.get_or_compute("a", lambda: 1)
+    cache.get_or_compute("a", lambda: 1)
+    cache.cache_clear()
+    assert len(cache) == 0
+    assert cache.cache_info() == (0, 0, 4, 0)
+    assert "demo" in repr(cache)

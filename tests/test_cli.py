@@ -105,3 +105,23 @@ def test_protocol_program_file(tmp_path, capsys):
     path.write_text(serialize_automaton(atp_all_same()))
     assert main(["protocol", "x", "a,a", "a", "--program-file", str(path)]) == 0
     assert "verdict: accept" in capsys.readouterr().out
+
+
+def test_corpus_batch(doc_file, xml_file, capsys):
+    assert main([
+        "corpus", doc_file, xml_file,
+        "--xpath", "//item", "--ask", "exists x O_dept(x)",
+        "--stats",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert f"{doc_file}:" in out
+    assert f"{xml_file}:" in out
+    assert "xpath //item:" in out
+    assert "true" in out and "false" in out
+    assert "2 trees x 2 queries" in out
+    assert "chunk 0" in out
+
+
+def test_corpus_requires_a_query(doc_file, capsys):
+    assert main(["corpus", doc_file]) == 2
+    assert "at least one" in capsys.readouterr().err

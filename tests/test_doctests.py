@@ -5,6 +5,7 @@ import doctest
 import pytest
 
 import repro.caterpillar
+import repro.corpus
 import repro.oracle
 import repro.pebbleautomata
 import repro.queries.facade
@@ -12,6 +13,7 @@ import repro.transducer
 
 MODULES = [
     repro.caterpillar,
+    repro.corpus,
     repro.oracle,
     repro.pebbleautomata,
     repro.queries.facade,

@@ -61,3 +61,25 @@ def test_cli_replay(tmp_path):
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "0 disagreeing" in proc.stdout
+
+
+@pytest.mark.oracle
+def test_corpus_pair_fuzz_batch_equals_sequential():
+    """≥300 fresh cases through corpus/sequential alone: the batch
+    executor must be element-wise byte-identical to the per-tree loop
+    for XPath, FO and caterpillar queries, under both chunkings."""
+    import random
+
+    from repro.oracle.pairs import CorpusVsSequential
+
+    pair = CorpusVsSequential()
+    rng = random.Random(1729)
+    kinds = set()
+    for _ in range(300):
+        case = pair.generate(rng, max_size=10)
+        kinds.add(case.query.kind)
+        outcome = pair.check(case)
+        assert outcome.agree, (
+            f"query={case.query} left={outcome.left} right={outcome.right}"
+        )
+    assert kinds == set(pair.KINDS)  # every formalism was exercised
