@@ -9,7 +9,7 @@ FUZZ_BUDGET ?= 200
 FAULT_SEED ?= 0
 FAULT_CASES ?= 200
 
-.PHONY: test test-quick fuzz replay fault bench bench-full bench-walk bench-corpus bench-check
+.PHONY: test test-quick fuzz replay fault bench bench-full bench-walk bench-corpus bench-planner bench-check
 
 ## Full tier-1 suite (includes the marked oracle fuzz and fault tests).
 test:
@@ -59,7 +59,17 @@ bench-walk:
 bench-corpus:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --suite corpus
 
-## Fail if any committed BENCH_*.json (engine, walk, corpus) reports a
-## median speedup < 1.0.
+## Adaptive-planner trajectory: engine="auto" vs both manual choices,
+## with chosen plans and estimate-vs-actual errors per query (writes
+## BENCH_planner.json), then gate it: auto must pick the fastest engine
+## on >= 80% of cells and stay within 1.1x of the best manual choice
+## (median at the top size).
+bench-planner:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --suite planner
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --check BENCH_planner.json
+
+## Fail if any committed BENCH_*.json (engine, walk, corpus, planner)
+## reports a median speedup < 1.0, swallowed per-case errors, or a
+## planner trajectory missing its pick-rate/overhead gates.
 bench-check:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --check

@@ -326,7 +326,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes (0 = serial)")
     p_corpus.add_argument("--chunk-size", type=int, default=None,
                           help="trees per chunk")
-    p_corpus.add_argument("--engine", choices=("fast", "reference"),
+    p_corpus.add_argument("--engine",
+                          choices=("fast", "reference", "auto"),
                           default="fast")
     p_corpus.add_argument("--stats", action="store_true",
                           help="print the per-chunk execution report")

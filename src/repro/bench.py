@@ -44,9 +44,17 @@ execution over a :class:`~repro.corpus.TreeCorpus` and writes
   routed worker pools that keep trees, indexes and plans warm
   between batches.
 
+``python -m repro.bench --suite planner`` times ``engine="auto"``
+against both manual engine choices per query and writes
+``BENCH_planner.json``: the planner's chosen plan, its estimated vs
+actual result cardinalities, re-plan counts, and how close auto comes
+to the best manual pick per (query, size) cell.
+
 ``python -m repro.bench --check [files...]`` re-reads committed
 ``BENCH_*.json`` trajectories and fails if any reports a median
-speedup below 1.0 — the "the engine never lost ground" ratchet.
+speedup below 1.0 — the "the engine never lost ground" ratchet.  The
+planner trajectory is additionally held to its pick-rate and overhead
+gates, and every trajectory must report zero per-case errors.
 """
 
 from __future__ import annotations
@@ -57,7 +65,7 @@ import statistics
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from .automata.examples import even_leaves_automaton
 from .automata.runner import run as run_automaton
@@ -75,6 +83,7 @@ from .engine import fo as fast_fo
 from .engine import walk as fast_walk
 from .engine import xpath as fast_xpath
 from .engine.index import index_cache_clear
+from .engine.planner import default_planner
 from .engine.plans import plan_cache_clear
 from .logic import tree_fo
 from .logic.parser import parse_formula
@@ -89,6 +98,8 @@ WALK_SCHEMA = "repro-bench-walk/1"
 WALK_DEFAULT_OUTPUT = "BENCH_walk.json"
 CORPUS_SCHEMA = "repro-bench-corpus/1"
 CORPUS_DEFAULT_OUTPUT = "BENCH_corpus.json"
+PLANNER_SCHEMA = "repro-bench-planner/1"
+PLANNER_DEFAULT_OUTPUT = "BENCH_planner.json"
 
 #: 3-variable selectors (free x) timed as full satisfying-assignment
 #: relations.  The first three make the reference pay the n^3 walk;
@@ -155,11 +166,13 @@ XPATH_SIZES = (100, 250, 500, 1000)
 CATERPILLAR_SIZES = (100, 250, 500)
 TWA_SIZES = (100, 250, 500)
 CORPUS_TREE_COUNTS = (40, 80, 160)
+PLANNER_SIZES = (100, 250, 500)
 FO_SIZES_QUICK = (8, 16)
 XPATH_SIZES_QUICK = (40, 80)
 CATERPILLAR_SIZES_QUICK = (20, 40)
 TWA_SIZES_QUICK = (20, 40)
 CORPUS_TREE_COUNTS_QUICK = (8, 16)
+PLANNER_SIZES_QUICK = (12, 24)
 
 #: Corpus trees cycle through sizes up to this bound; past the 64-entry
 #: index LRU the naive query-outer loop rebuilds indexes constantly.
@@ -176,6 +189,16 @@ CATERPILLAR_THRESHOLD = 10.0
 TWA_THRESHOLD = 5.0
 CORPUS_BATCH_THRESHOLD = 2.5
 CORPUS_WARM_THRESHOLD = 1.0
+#: ``engine="auto"`` must pick the measured-fastest engine on at least
+#: this fraction of planner-bench cells...
+PLANNER_PICK_THRESHOLD = 0.8
+#: ...and the median ``auto``/best-manual time ratio at the top size
+#: must stay below this factor (the worst cell is recorded but not
+#: gated — a single sub-100µs cell can swing several-fold on noise).
+PLANNER_OVERHEAD_THRESHOLD = 1.1
+#: A chosen engine within this factor of the measured best counts as
+#: having picked the fastest — sub-millisecond cells tie up to noise.
+PLANNER_TIE_TOLERANCE = 1.25
 
 #: ``--check`` floor: no committed trajectory may report a median
 #: speedup below this — the engine must never lose to the reference.
@@ -200,92 +223,143 @@ def _timed(thunk: Callable[[], object], repeats: int) -> float:
     return statistics.median(times)
 
 
+def _guarded_case(errors: Optional[List[str]], label: str, body: Callable):
+    """Run one benchmark case; record (rather than swallow) failures.
+
+    Differential disagreements (``AssertionError``) always propagate —
+    they mean an engine is *wrong*, and no trajectory may paper over
+    that.  Any other exception used to cost the suite its whole run (or
+    worse, a silently missing row); with an ``errors`` list it is
+    recorded as a per-suite error surfaced in the JSON payload, where
+    the test battery asserts there are none.  Without one (direct
+    calls) exceptions propagate unchanged."""
+    try:
+        return body()
+    except AssertionError:
+        raise
+    except Exception as exc:
+        if errors is None:
+            raise
+        errors.append(f"{label}: {type(exc).__name__}: {exc}")
+        return None
+
+
 def run_fo_benchmark(
-    sizes: Sequence[int], seed: int, repeats: int
+    sizes: Sequence[int],
+    seed: int,
+    repeats: int,
+    errors: Optional[List[str]] = None,
 ) -> List[Dict]:
     rows = []
     for n in sizes:
         tree = _document(n, seed + n)
         for name, text in FO_FORMULAS.items():
-            formula = parse_formula(text)
-            order = sorted(
-                tree_fo.free_variables(formula), key=lambda v: v.name
-            )
-            engine = fast_fo.satisfying_assignments(formula, tree, order)
-            reference = tree_fo.satisfying_assignments(formula, tree, order)
-            if engine != reference:  # pragma: no cover - differential guard
-                raise AssertionError(f"engines disagree on {name} at n={n}")
-            # The engine side is sub-millisecond: median more runs.
-            engine_s = _timed(
-                lambda: fast_fo.satisfying_assignments(formula, tree, order),
-                max(repeats, 3),
-            )
-            reference_s = _timed(
-                lambda: tree_fo.satisfying_assignments(formula, tree, order),
-                repeats,
-            )
-            rows.append(
-                {
+
+            def case(name=name, text=text, n=n, tree=tree):
+                formula = parse_formula(text)
+                order = sorted(
+                    tree_fo.free_variables(formula), key=lambda v: v.name
+                )
+                engine = fast_fo.satisfying_assignments(formula, tree, order)
+                reference = tree_fo.satisfying_assignments(
+                    formula, tree, order
+                )
+                if engine != reference:  # pragma: no cover - guard
+                    raise AssertionError(
+                        f"engines disagree on {name} at n={n}"
+                    )
+                # The engine side is sub-millisecond: median more runs.
+                engine_s = _timed(
+                    lambda: fast_fo.satisfying_assignments(
+                        formula, tree, order
+                    ),
+                    max(repeats, 3),
+                )
+                reference_s = _timed(
+                    lambda: tree_fo.satisfying_assignments(
+                        formula, tree, order
+                    ),
+                    repeats,
+                )
+                return {
                     "formula": name,
                     "n": n,
                     "reference_seconds": reference_s,
                     "engine_seconds": engine_s,
                     "speedup": reference_s / engine_s,
                 }
-            )
+
+            row = _guarded_case(errors, f"fo:{name}@n={n}", case)
+            if row is not None:
+                rows.append(row)
     return rows
 
 
 def run_xpath_benchmark(
-    sizes: Sequence[int], seed: int, repeats: int
+    sizes: Sequence[int],
+    seed: int,
+    repeats: int,
+    errors: Optional[List[str]] = None,
 ) -> List[Dict]:
     rows = []
     for n in sizes:
         tree = _document(n, seed + n)
         for text in XPATH_EXPRESSIONS:
-            expr = parse_xpath(text)
-            engine = fast_xpath.select(expr, tree)
-            reference = reference_xpath_select(expr, tree, ())
-            if engine != reference:  # pragma: no cover - differential guard
-                raise AssertionError(f"engines disagree on {text} at n={n}")
-            runs = max(repeats, 3)
-            engine_s = _timed(lambda: fast_xpath.select(expr, tree), runs)
-            reference_s = _timed(
-                lambda: reference_xpath_select(expr, tree, ()), runs
-            )
-            rows.append(
-                {
+
+            def case(text=text, n=n, tree=tree):
+                expr = parse_xpath(text)
+                engine = fast_xpath.select(expr, tree)
+                reference = reference_xpath_select(expr, tree, ())
+                if engine != reference:  # pragma: no cover - guard
+                    raise AssertionError(
+                        f"engines disagree on {text} at n={n}"
+                    )
+                runs = max(repeats, 3)
+                engine_s = _timed(lambda: fast_xpath.select(expr, tree), runs)
+                reference_s = _timed(
+                    lambda: reference_xpath_select(expr, tree, ()), runs
+                )
+                return {
                     "expression": text,
                     "n": n,
                     "reference_seconds": reference_s,
                     "engine_seconds": engine_s,
                     "speedup": reference_s / engine_s,
                 }
-            )
+
+            row = _guarded_case(errors, f"xpath:{text}@n={n}", case)
+            if row is not None:
+                rows.append(row)
     return rows
 
 
 def run_caterpillar_benchmark(
-    sizes: Sequence[int], seed: int, repeats: int
+    sizes: Sequence[int],
+    seed: int,
+    repeats: int,
+    errors: Optional[List[str]] = None,
 ) -> List[Dict]:
     """Full walk relations: per-context reference NFA vs one stacked BFS."""
     rows = []
     for n in sizes:
         tree = _document(n, seed + n)
         for name, text in CATERPILLAR_EXPRESSIONS.items():
-            expr = parse_caterpillar(text)
-            engine = fast_walk.relation(expr, tree)
-            reference = reference_walk.relation(expr, tree)
-            if engine != reference:  # pragma: no cover - differential guard
-                raise AssertionError(f"engines disagree on {name} at n={n}")
-            engine_s = _timed(
-                lambda: fast_walk.relation(expr, tree), max(repeats, 3)
-            )
-            reference_s = _timed(
-                lambda: reference_walk.relation(expr, tree), repeats
-            )
-            rows.append(
-                {
+
+            def case(name=name, text=text, n=n, tree=tree):
+                expr = parse_caterpillar(text)
+                engine = fast_walk.relation(expr, tree)
+                reference = reference_walk.relation(expr, tree)
+                if engine != reference:  # pragma: no cover - guard
+                    raise AssertionError(
+                        f"engines disagree on {name} at n={n}"
+                    )
+                engine_s = _timed(
+                    lambda: fast_walk.relation(expr, tree), max(repeats, 3)
+                )
+                reference_s = _timed(
+                    lambda: reference_walk.relation(expr, tree), repeats
+                )
+                return {
                     "expression": name,
                     "text": text,
                     "n": n,
@@ -293,37 +367,49 @@ def run_caterpillar_benchmark(
                     "engine_seconds": engine_s,
                     "speedup": reference_s / engine_s,
                 }
-            )
+
+            row = _guarded_case(errors, f"caterpillar:{name}@n={n}", case)
+            if row is not None:
+                rows.append(row)
     return rows
 
 
 def run_twa_benchmark(
-    sizes: Sequence[int], seed: int, repeats: int
+    sizes: Sequence[int],
+    seed: int,
+    repeats: int,
+    errors: Optional[List[str]] = None,
 ) -> List[Dict]:
     """Guard-free TWA runs: step interpreter vs memoised fast path."""
     rows = []
     for n in sizes:
         tree = _document(n, seed + n)
         for name, factory in TWA_AUTOMATA.items():
-            automaton = factory()
-            reference = run_automaton(automaton, tree, engine="reference")
-            fast = run_automaton(automaton, tree, engine="fast")
-            if (
-                reference.accepted != fast.accepted
-                or reference.steps != fast.steps
-                or reference.reason != fast.reason
-            ):  # pragma: no cover - differential guard
-                raise AssertionError(f"runners disagree on {name} at n={n}")
-            runs = max(repeats, 3)
-            engine_s = _timed(
-                lambda: run_automaton(automaton, tree, engine="fast"), runs
-            )
-            reference_s = _timed(
-                lambda: run_automaton(automaton, tree, engine="reference"),
-                runs,
-            )
-            rows.append(
-                {
+
+            def case(name=name, factory=factory, n=n, tree=tree):
+                automaton = factory()
+                reference = run_automaton(automaton, tree, engine="reference")
+                fast = run_automaton(automaton, tree, engine="fast")
+                if (
+                    reference.accepted != fast.accepted
+                    or reference.steps != fast.steps
+                    or reference.reason != fast.reason
+                ):  # pragma: no cover - differential guard
+                    raise AssertionError(
+                        f"runners disagree on {name} at n={n}"
+                    )
+                runs = max(repeats, 3)
+                engine_s = _timed(
+                    lambda: run_automaton(automaton, tree, engine="fast"),
+                    runs,
+                )
+                reference_s = _timed(
+                    lambda: run_automaton(
+                        automaton, tree, engine="reference"
+                    ),
+                    runs,
+                )
+                return {
                     "automaton": name,
                     "n": n,
                     "steps": reference.steps,
@@ -332,7 +418,10 @@ def run_twa_benchmark(
                     "engine_seconds": engine_s,
                     "speedup": reference_s / engine_s,
                 }
-            )
+
+            row = _guarded_case(errors, f"twa:{name}@n={n}", case)
+            if row is not None:
+                rows.append(row)
     return rows
 
 
@@ -362,7 +451,10 @@ def _naive_corpus_rows(trees, queries) -> tuple:
 
 
 def run_corpus_benchmark(
-    tree_counts: Sequence[int], seed: int, repeats: int
+    tree_counts: Sequence[int],
+    seed: int,
+    repeats: int,
+    errors: Optional[List[str]] = None,
 ) -> List[Dict]:
     """Batch execution modes over growing corpora.
 
@@ -374,73 +466,188 @@ def run_corpus_benchmark(
     rows = []
     runs = max(repeats, 3)
     for count in tree_counts:
-        with TreeCorpus.random(
-            count, max_size=CORPUS_MAX_TREE_SIZE, seed=seed
-        ) as corpus:
-            trees = corpus.trees
-            expected = _naive_corpus_rows(trees, CORPUS_QUERIES)
-            serial = corpus.run(CORPUS_QUERIES)
-            if serial.rows != expected:  # pragma: no cover - guard
-                raise AssertionError(f"batch disagrees with loop at {count}")
-            for workers in CORPUS_WORKER_COUNTS:  # warm pools + check
-                fanned = corpus.run(CORPUS_QUERIES, workers=workers)
-                if (
-                    fanned.rows != expected or fanned.fell_back
-                ):  # pragma: no cover - guard
-                    raise AssertionError(
-                        f"workers={workers} batch degraded at {count}: "
-                        f"{[c.error for c in fanned.chunks if c.error]}"
-                    )
+        block = _guarded_case(
+            errors, f"corpus:{count}",
+            lambda count=count: _corpus_count_rows(count, seed, runs),
+        )
+        if block is not None:
+            rows.extend(block)
+    return rows
 
-            def naive():
-                plan_cache_clear()
-                _naive_corpus_rows(trees, CORPUS_QUERIES)
 
-            def cold():
-                plan_cache_clear()
-                index_cache_clear()
-                TreeCorpus(trees).run(CORPUS_QUERIES)
+def _corpus_count_rows(count: int, seed: int, runs: int) -> List[Dict]:
+    """All benchmark modes for one corpus size — one guarded case."""
+    rows: List[Dict] = []
+    with TreeCorpus.random(
+        count, max_size=CORPUS_MAX_TREE_SIZE, seed=seed
+    ) as corpus:
+        trees = corpus.trees
+        expected = _naive_corpus_rows(trees, CORPUS_QUERIES)
+        serial = corpus.run(CORPUS_QUERIES)
+        if serial.rows != expected:  # pragma: no cover - guard
+            raise AssertionError(f"batch disagrees with loop at {count}")
+        for workers in CORPUS_WORKER_COUNTS:  # warm pools + check
+            fanned = corpus.run(CORPUS_QUERIES, workers=workers)
+            if (
+                fanned.rows != expected or fanned.fell_back
+            ):  # pragma: no cover - guard
+                raise AssertionError(
+                    f"workers={workers} batch degraded at {count}: "
+                    f"{[c.error for c in fanned.chunks if c.error]}"
+                )
 
-            modes = [("naive", naive), ("serial_cold", cold)]
+        def naive():
+            plan_cache_clear()
+            _naive_corpus_rows(trees, CORPUS_QUERIES)
+
+        def cold():
+            plan_cache_clear()
+            index_cache_clear()
+            TreeCorpus(trees).run(CORPUS_QUERIES)
+
+        modes = [("naive", naive), ("serial_cold", cold)]
+        modes.append(
+            ("serial_warm", lambda: corpus.run(CORPUS_QUERIES))
+        )
+        for workers in CORPUS_WORKER_COUNTS:
             modes.append(
-                ("serial_warm", lambda: corpus.run(CORPUS_QUERIES))
+                (
+                    f"workers_{workers}",
+                    lambda w=workers: corpus.run(
+                        CORPUS_QUERIES, workers=w
+                    ),
+                )
             )
-            for workers in CORPUS_WORKER_COUNTS:
-                modes.append(
-                    (
-                        f"workers_{workers}",
-                        lambda w=workers: corpus.run(
-                            CORPUS_QUERIES, workers=w
-                        ),
+        seconds = {
+            mode: _timed(thunk, runs) for mode, thunk in modes
+        }
+        for mode, _ in modes:
+            rows.append(
+                {
+                    "mode": mode,
+                    "n": count,
+                    "nodes": corpus.total_nodes(),
+                    "seconds": seconds[mode],
+                    "speedup": seconds["naive"] / seconds[mode],
+                }
+            )
+        # cold mode thrashed the shared caches; re-prime them so a
+        # later tree count's warm modes stay warm.
+        corpus.run(CORPUS_QUERIES)
+    return rows
+
+
+def _facade_thunk(db: TreeDatabase, query, engine: str) -> Callable:
+    """One no-argument facade call for a corpus-style query."""
+    if query.kind == "xpath":
+        return lambda: db.xpath(query.text, context=query.context,
+                                engine=engine)
+    if query.kind == "ask":
+        return lambda: db.ask(query.text, engine=engine)
+    if query.kind == "select":
+        return lambda: db.select_where(query.text, context=query.context,
+                                       engine=engine)
+    if query.kind == "caterpillar":
+        return lambda: db.caterpillar(query.text, context=query.context,
+                                      engine=engine)
+    return lambda: db.caterpillar_relation(query.text, engine=engine)
+
+
+def _result_cardinality(query, answer) -> int:
+    """Measured result rows, on the planner's own scale (bools are
+    0/1 rows)."""
+    if query.kind == "ask":
+        return int(bool(answer))
+    return len(answer)
+
+
+def run_planner_benchmark(
+    sizes: Sequence[int],
+    seed: int,
+    repeats: int,
+    errors: Optional[List[str]] = None,
+) -> List[Dict]:
+    """``engine="auto"`` vs both manual engine choices, per query.
+
+    Each cell answers the same query three ways through the facade —
+    auto, fast, reference — checks the three agree, and records the
+    planner's decision next to the measured truth: which engine was
+    actually fastest, how far auto landed from it, and how far the
+    estimated cardinality landed from the actual one (as the q-error
+    ``max(est/act, act/est)`` on +1-smoothed counts)."""
+    rows = []
+    planner = default_planner()
+    runs = max(repeats, 7)
+    for n in sizes:
+        tree = _document(n, seed + n)
+        db = TreeDatabase(tree)
+        for query in CORPUS_QUERIES:
+
+            def case(query=query, n=n, db=db):
+                auto = _facade_thunk(db, query, "auto")
+                fast = _facade_thunk(db, query, "fast")
+                reference = _facade_thunk(db, query, "reference")
+                answer = auto()
+                if not (answer == fast() == reference()):
+                    raise AssertionError(  # pragma: no cover - guard
+                        f"engines disagree on {query!r} at n={n}"
                     )
+                plan = db.last_plan
+                actual = _result_cardinality(query, answer)
+                estimated = plan.estimated_rows
+                q_error = max(
+                    (estimated + 1) / (actual + 1),
+                    (actual + 1) / (estimated + 1),
                 )
-            seconds = {
-                mode: _timed(thunk, runs) for mode, thunk in modes
-            }
-            for mode, _ in modes:
-                rows.append(
-                    {
-                        "mode": mode,
-                        "n": count,
-                        "nodes": corpus.total_nodes(),
-                        "seconds": seconds[mode],
-                        "speedup": seconds["naive"] / seconds[mode],
-                    }
-                )
-            # cold mode thrashed the shared caches; re-prime them so a
-            # later tree count's warm modes stay warm.
-            corpus.run(CORPUS_QUERIES)
+                replans_before = planner.replans
+                auto_s = _timed(auto, runs)
+                replans = planner.replans - replans_before
+                manual = {
+                    "fast": _timed(fast, runs),
+                    "reference": _timed(reference, runs),
+                }
+                best_engine = min(manual, key=manual.get)
+                best_s = manual[best_engine]
+                return {
+                    "kind": query.kind,
+                    "text": query.text,
+                    "n": n,
+                    "chosen": plan.engine,
+                    "costs": {name: cost for name, cost in plan.costs},
+                    "guarded": plan.guarded,
+                    "estimated_rows": estimated,
+                    "actual_rows": actual,
+                    "estimate_q_error": q_error,
+                    "replans": replans,
+                    "auto_seconds": auto_s,
+                    "fast_seconds": manual["fast"],
+                    "reference_seconds": manual["reference"],
+                    "best_engine": best_engine,
+                    "picked_fastest": (
+                        manual[plan.engine]
+                        <= PLANNER_TIE_TOLERANCE * best_s
+                    ),
+                    "auto_vs_best": auto_s / best_s,
+                    "speedup": manual["reference"] / auto_s,
+                }
+
+            label = f"planner:{query.kind}:{query.text}@n={n}"
+            row = _guarded_case(errors, label, case)
+            if row is not None:
+                rows.append(row)
     return rows
 
 
 def _corpus_mode_speedup(rows: Sequence[Dict], mode: str, n: int) -> float:
-    return statistics.median(
+    hits = [
         r["speedup"] for r in rows if r["n"] == n and r["mode"] == mode
-    )
+    ]
+    return statistics.median(hits) if hits else 0.0
 
 
 def _median_speedup_at(rows: Sequence[Dict], n: int) -> float:
-    return statistics.median(r["speedup"] for r in rows if r["n"] == n)
+    hits = [r["speedup"] for r in rows if r["n"] == n]
+    return statistics.median(hits) if hits else 0.0
 
 
 def run_benchmark(
@@ -449,8 +656,11 @@ def run_benchmark(
     """The full (or ``--quick``) sweep as a JSON-ready dict."""
     fo_sizes = FO_SIZES_QUICK if quick else FO_SIZES
     xpath_sizes = XPATH_SIZES_QUICK if quick else XPATH_SIZES
-    fo_rows = run_fo_benchmark(fo_sizes, seed, repeats)
-    xpath_rows = run_xpath_benchmark(xpath_sizes, seed, repeats)
+    errors: List[str] = []
+    fo_rows = run_fo_benchmark(fo_sizes, seed, repeats, errors=errors)
+    xpath_rows = run_xpath_benchmark(
+        xpath_sizes, seed, repeats, errors=errors
+    )
     fo_median = _median_speedup_at(fo_rows, fo_sizes[-1])
     xpath_median = _median_speedup_at(xpath_rows, xpath_sizes[-1])
     return {
@@ -460,6 +670,7 @@ def run_benchmark(
         "seed": seed,
         "repeats": repeats,
         "quick": quick,
+        "errors": errors,
         "fo": {
             "sizes": list(fo_sizes),
             "formulas": dict(FO_FORMULAS),
@@ -477,9 +688,17 @@ def run_benchmark(
             "xpath_max_size": xpath_sizes[-1],
             "xpath_median_speedup_at_max_size": xpath_median,
             "thresholds": {"fo": FO_THRESHOLD, "xpath": XPATH_THRESHOLD},
-            # The acceptance gates only bind the full-size sweep.
-            "pass": quick
-            or (fo_median >= FO_THRESHOLD and xpath_median >= XPATH_THRESHOLD),
+            "errors": len(errors),
+            # The speed gates only bind the full-size sweep; a per-case
+            # error fails any sweep, quick included.
+            "pass": not errors
+            and (
+                quick
+                or (
+                    fo_median >= FO_THRESHOLD
+                    and xpath_median >= XPATH_THRESHOLD
+                )
+            ),
         },
     }
 
@@ -490,8 +709,11 @@ def run_walk_benchmark(
     """The walking-engine sweep (``--suite walk``) as a JSON-ready dict."""
     cat_sizes = CATERPILLAR_SIZES_QUICK if quick else CATERPILLAR_SIZES
     twa_sizes = TWA_SIZES_QUICK if quick else TWA_SIZES
-    cat_rows = run_caterpillar_benchmark(cat_sizes, seed, repeats)
-    twa_rows = run_twa_benchmark(twa_sizes, seed, repeats)
+    errors: List[str] = []
+    cat_rows = run_caterpillar_benchmark(
+        cat_sizes, seed, repeats, errors=errors
+    )
+    twa_rows = run_twa_benchmark(twa_sizes, seed, repeats, errors=errors)
     cat_median = _median_speedup_at(cat_rows, cat_sizes[-1])
     twa_median = _median_speedup_at(twa_rows, twa_sizes[-1])
     return {
@@ -501,6 +723,7 @@ def run_walk_benchmark(
         "seed": seed,
         "repeats": repeats,
         "quick": quick,
+        "errors": errors,
         "caterpillar": {
             "sizes": list(cat_sizes),
             "expressions": dict(CATERPILLAR_EXPRESSIONS),
@@ -521,11 +744,16 @@ def run_walk_benchmark(
                 "caterpillar": CATERPILLAR_THRESHOLD,
                 "twa": TWA_THRESHOLD,
             },
-            # The acceptance gates only bind the full-size sweep.
-            "pass": quick
-            or (
-                cat_median >= CATERPILLAR_THRESHOLD
-                and twa_median >= TWA_THRESHOLD
+            "errors": len(errors),
+            # The speed gates only bind the full-size sweep; a per-case
+            # error fails any sweep, quick included.
+            "pass": not errors
+            and (
+                quick
+                or (
+                    cat_median >= CATERPILLAR_THRESHOLD
+                    and twa_median >= TWA_THRESHOLD
+                )
             ),
         },
     }
@@ -536,12 +764,16 @@ def run_corpus_suite(
 ) -> Dict:
     """The corpus batch sweep (``--suite corpus``) as a JSON-ready dict."""
     tree_counts = CORPUS_TREE_COUNTS_QUICK if quick else CORPUS_TREE_COUNTS
-    rows = run_corpus_benchmark(tree_counts, seed, repeats)
+    errors: List[str] = []
+    rows = run_corpus_benchmark(tree_counts, seed, repeats, errors=errors)
     top = tree_counts[-1]
     batch_median = _corpus_mode_speedup(rows, "workers_4", top)
-    warm_median = _corpus_mode_speedup(
-        rows, "serial_warm", top
-    ) / _corpus_mode_speedup(rows, "serial_cold", top)
+    cold_median = _corpus_mode_speedup(rows, "serial_cold", top)
+    warm_median = (
+        _corpus_mode_speedup(rows, "serial_warm", top) / cold_median
+        if cold_median
+        else 0.0
+    )
     return {
         "schema": CORPUS_SCHEMA,
         "generated_by": "python -m repro.bench --suite corpus"
@@ -549,6 +781,7 @@ def run_corpus_suite(
         "seed": seed,
         "repeats": repeats,
         "quick": quick,
+        "errors": errors,
         "corpus": {
             "tree_counts": list(tree_counts),
             "max_tree_size": CORPUS_MAX_TREE_SIZE,
@@ -568,14 +801,135 @@ def run_corpus_suite(
                 "batch": CORPUS_BATCH_THRESHOLD,
                 "warm": CORPUS_WARM_THRESHOLD,
             },
-            # The acceptance gates only bind the full-size sweep.
-            "pass": quick
-            or (
-                batch_median >= CORPUS_BATCH_THRESHOLD
-                and warm_median >= CORPUS_WARM_THRESHOLD
+            "errors": len(errors),
+            # The speed gates only bind the full-size sweep; a per-case
+            # error fails any sweep, quick included.
+            "pass": not errors
+            and (
+                quick
+                or (
+                    batch_median >= CORPUS_BATCH_THRESHOLD
+                    and warm_median >= CORPUS_WARM_THRESHOLD
+                )
             ),
         },
     }
+
+
+def run_planner_suite(
+    quick: bool = False, seed: int = 0, repeats: int = 1
+) -> Dict:
+    """The adaptive-planner sweep (``--suite planner``) as a JSON-ready
+    dict."""
+    sizes = PLANNER_SIZES_QUICK if quick else PLANNER_SIZES
+    errors: List[str] = []
+    rows = run_planner_benchmark(sizes, seed, repeats, errors=errors)
+    top = sizes[-1]
+    at_top = [r for r in rows if r["n"] == top]
+    pick_fraction = (
+        sum(1 for r in rows if r["picked_fastest"]) / len(rows)
+        if rows
+        else 0.0
+    )
+    worst_overhead = max(
+        (r["auto_vs_best"] for r in at_top), default=float("inf")
+    )
+    median_overhead = (
+        statistics.median(r["auto_vs_best"] for r in at_top)
+        if at_top
+        else float("inf")
+    )
+    planner_median = _median_speedup_at(rows, top)
+    median_q_error = (
+        statistics.median(r["estimate_q_error"] for r in rows)
+        if rows
+        else float("inf")
+    )
+    total_replans = sum(r["replans"] for r in rows)
+    return {
+        "schema": PLANNER_SCHEMA,
+        "generated_by": "python -m repro.bench --suite planner"
+        + (" --quick" if quick else ""),
+        "seed": seed,
+        "repeats": repeats,
+        "quick": quick,
+        "errors": errors,
+        "planner": {
+            "sizes": list(sizes),
+            "max_children": MAX_CHILDREN,
+            "queries": [
+                {"kind": q.kind, "text": q.text} for q in CORPUS_QUERIES
+            ],
+            "rows": rows,
+        },
+        "summary": {
+            "planner_max_size": top,
+            # auto vs the reference engine, the generic ≥1.0 ratchet.
+            "planner_median_speedup_at_max_size": planner_median,
+            # how often auto's choice was (within noise) the fastest.
+            "planner_pick_fraction": pick_fraction,
+            # the gated auto/best-manual slowdown at the top size...
+            "planner_median_auto_vs_best_at_max_size": median_overhead,
+            # ...and the worst cell, recorded for the tables but not
+            # gated (µs-scale cells swing several-fold on timer noise).
+            "planner_worst_auto_vs_best_at_max_size": worst_overhead,
+            "planner_median_estimate_q_error": median_q_error,
+            "planner_replans": total_replans,
+            "thresholds": {
+                "pick_fraction": PLANNER_PICK_THRESHOLD,
+                "auto_vs_best": PLANNER_OVERHEAD_THRESHOLD,
+            },
+            "errors": len(errors),
+            # The decision gates only bind the full-size sweep; a
+            # per-case error fails any sweep, quick included.
+            "pass": not errors
+            and (
+                quick
+                or (
+                    pick_fraction >= PLANNER_PICK_THRESHOLD
+                    and median_overhead <= PLANNER_OVERHEAD_THRESHOLD
+                    and planner_median >= CHECK_FLOOR
+                )
+            ),
+        },
+    }
+
+
+def _print_planner_report(report: Dict) -> None:
+    print(f"adaptive planner benchmark (seed={report['seed']}, "
+          f"quick={report['quick']})")
+    print("\nengine=\"auto\" vs manual engine choices "
+          "(est/act = estimated vs actual result rows):")
+    current = None
+    for row in report["planner"]["rows"]:
+        if row["n"] != current:
+            current = row["n"]
+            print(f"  n={current}:")
+        pick = "=" if row["picked_fastest"] else "!"
+        print(
+            f"    {row['kind']:<21} {row['chosen']:<9} "
+            f"[{pick}{row['best_engine']}] "
+            f"auto={row['auto_seconds'] * 1000:>7.3f}ms "
+            f"x{row['auto_vs_best']:>4.2f} of best  "
+            f"est/act={row['estimated_rows']}/{row['actual_rows']}"
+            + (f"  replans={row['replans']}" if row["replans"] else "")
+        )
+    summary = report["summary"]
+    print(
+        f"\nat n={summary['planner_max_size']}: auto is "
+        f"{summary['planner_median_speedup_at_max_size']:.1f}x the "
+        f"reference (median), picked the fastest engine on "
+        f"{summary['planner_pick_fraction']:.0%} of cells "
+        f"(gate {summary['thresholds']['pick_fraction']:.0%}), median "
+        f"overhead x{summary['planner_median_auto_vs_best_at_max_size']:.2f} "
+        f"of the best manual choice "
+        f"(gate x{summary['thresholds']['auto_vs_best']:.1f}, worst "
+        f"x{summary['planner_worst_auto_vs_best_at_max_size']:.2f}), median "
+        f"estimate q-error "
+        f"{summary['planner_median_estimate_q_error']:.2f}, "
+        f"{summary['planner_replans']} re-plans — "
+        f"{'pass' if summary['pass'] else 'FAIL'}"
+    )
 
 
 def _print_corpus_report(report: Dict) -> None:
@@ -646,7 +1000,10 @@ def check_reports(paths: Sequence[Path]) -> List[str]:
 
     Every ``*_median_speedup_at_max_size`` entry in each report's
     summary must clear :data:`CHECK_FLOOR` — a trajectory where the
-    engine lost to the reference is a regression, full stop.
+    engine lost to the reference is a regression, full stop.  Every
+    report must also carry zero per-case errors, and a (full-size)
+    planner trajectory must additionally clear its pick-rate and
+    overhead gates.
     """
     failures = []
     for path in paths:
@@ -660,6 +1017,9 @@ def check_reports(paths: Sequence[Path]) -> List[str]:
             failures.append(f"{path}: unrecognised schema {schema!r}")
             continue
         summary = report.get("summary", {})
+        errors = summary.get("errors", 0)
+        if errors:
+            failures.append(f"{path}: {errors} per-case errors recorded")
         medians = {
             key: value
             for key, value in summary.items()
@@ -673,6 +1033,28 @@ def check_reports(paths: Sequence[Path]) -> List[str]:
                 failures.append(
                     f"{path}: {key} = {value!r} is below the "
                     f"{CHECK_FLOOR:.1f}x floor"
+                )
+        if str(schema).startswith("repro-bench-planner") and not report.get(
+            "quick", False
+        ):
+            pick = summary.get("planner_pick_fraction")
+            if (
+                not isinstance(pick, (int, float))
+                or pick < PLANNER_PICK_THRESHOLD
+            ):
+                failures.append(
+                    f"{path}: planner_pick_fraction = {pick!r} is below "
+                    f"the {PLANNER_PICK_THRESHOLD:.0%} gate"
+                )
+            overhead = summary.get("planner_median_auto_vs_best_at_max_size")
+            if (
+                not isinstance(overhead, (int, float))
+                or overhead > PLANNER_OVERHEAD_THRESHOLD
+            ):
+                failures.append(
+                    f"{path}: planner_median_auto_vs_best_at_max_size = "
+                    f"{overhead!r} exceeds the "
+                    f"{PLANNER_OVERHEAD_THRESHOLD:.1f}x gate"
                 )
     return failures
 
@@ -716,13 +1098,14 @@ def main(argv: Sequence[str] = None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("engine", "walk", "corpus"),
+        choices=("engine", "walk", "corpus", "planner"),
         default="engine",
         help="engine: FO + XPath vs the indexed engines "
         "(BENCH_engine.json); walk: caterpillar + TWA vs the "
         "compiled walking engine (BENCH_walk.json); corpus: "
         "set-at-a-time batches vs the naive per-call loop "
-        "(BENCH_corpus.json)",
+        "(BENCH_corpus.json); planner: engine=auto vs the manual "
+        "engine choices (BENCH_planner.json)",
     )
     parser.add_argument(
         "--quick",
@@ -767,7 +1150,13 @@ def main(argv: Sequence[str] = None) -> int:
             print(f"bench-check: {len(paths)} trajectories clear the "
                   f"{CHECK_FLOOR:.1f}x floor")
         return 1 if failures else 0
-    if opts.suite == "corpus":
+    if opts.suite == "planner":
+        report = run_planner_suite(
+            quick=opts.quick, seed=opts.seed, repeats=opts.repeats
+        )
+        _print_planner_report(report)
+        default_output = PLANNER_DEFAULT_OUTPUT
+    elif opts.suite == "corpus":
         report = run_corpus_suite(
             quick=opts.quick, seed=opts.seed, repeats=opts.repeats
         )

@@ -23,6 +23,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ..engine.index import TreeIndex, index_for
+from ..engine.stats import CorpusStatistics, corpus_statistics
 from ..trees.generators import random_tree
 from ..trees.parser import parse_term
 from ..trees.tree import Tree
@@ -43,6 +44,7 @@ class TreeCorpus:
     def __init__(self, trees: Iterable[Tree]):
         self._trees: Tuple[Tree, ...] = tuple(trees)
         self._indexes: Optional[Tuple[TreeIndex, ...]] = None
+        self._stats: Optional[CorpusStatistics] = None
         self._pools: Dict[int, Tuple[ProcessPoolExecutor, ...]] = {}
         self._token = f"corpus-{os.getpid()}-{next(_TOKENS)}"
 
@@ -97,6 +99,13 @@ class TreeCorpus:
 
     def total_nodes(self) -> int:
         return sum(tree.size for tree in self._trees)
+
+    def statistics(self) -> CorpusStatistics:
+        """Aggregate statistics over the corpus (computed once — the
+        tree sequence is immutable, so the fingerprint is stable)."""
+        if self._stats is None:
+            self._stats = corpus_statistics(self._trees)
+        return self._stats
 
     def __repr__(self) -> str:
         state = "prepared" if self._indexes is not None else "unprepared"
@@ -154,6 +163,7 @@ class TreeCorpus:
             pool=pool,
             indexes=self._indexes,
             token=self._token,
+            stats=self.statistics() if engine == "auto" else None,
         )
 
     # -- lifecycle ----------------------------------------------------

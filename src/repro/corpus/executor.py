@@ -38,6 +38,7 @@ from ..engine import fo as fast_fo
 from ..engine import walk as engine_walk
 from ..engine import xpath as fast_xpath
 from ..engine.index import TreeIndex, adopt_index, index_for
+from ..engine.planner import Plan, default_planner
 from ..engine.plans import (
     compile_caterpillar_plan,
     compile_select_plan,
@@ -45,6 +46,7 @@ from ..engine.plans import (
     compile_walk_plan,
     compile_xpath_plan,
 )
+from ..engine.stats import CorpusStatistics, corpus_statistics
 from ..logic import tree_fo
 from ..resilience.budget import Budget, ExecutionContext, activate
 from ..resilience.errors import EngineError, ParseError, ResourceExhausted
@@ -52,12 +54,14 @@ from ..resilience.faults import Fault, FaultInjector
 from ..trees.tree import Tree
 from .query import CorpusQuery
 
-__all__ = ["ChunkReport", "BatchResult", "run_batch"]
+__all__ = ["ChunkReport", "BatchResult", "run_batch", "plan_queries"]
 
 #: Engines a batch can run on.  ``"fast"`` is the indexed set-at-a-time
 #: path with per-chunk reference degradation; ``"reference"`` runs the
-#: node-at-a-time evaluators directly (the oracle's other half).
-ENGINES = ("fast", "reference")
+#: node-at-a-time evaluators directly (the oracle's other half);
+#: ``"auto"`` lets the cost-based planner pick per query, from the
+#: corpus's aggregate statistics (:mod:`repro.engine.planner`).
+ENGINES = ("fast", "reference", "auto")
 
 
 @dataclass(frozen=True)
@@ -86,6 +90,9 @@ class BatchResult:
     rows: Tuple[Tuple[object, ...], ...]
     chunks: Tuple[ChunkReport, ...]
     workers: int
+    #: Per-query planner decisions — populated only by ``engine="auto"``
+    #: batches, aligned with ``queries``.
+    plans: Optional[Tuple[Plan, ...]] = None
 
     @property
     def tree_count(self) -> int:
@@ -130,10 +137,41 @@ def compile_query(query: CorpusQuery) -> object:
     return compile_walk_plan(query.text)[0]
 
 
+def _planner_parsed(query: CorpusQuery) -> Optional[object]:
+    """The parsed object the planner's cost model wants for ``query``
+    (``None`` for the walk kinds — it compiles those itself)."""
+    if query.kind == "xpath":
+        return compile_xpath_plan(query.text)
+    if query.kind == "ask":
+        return compile_sentence_plan(query.text)
+    if query.kind == "select":
+        return compile_select_plan(query.text).formula
+    return None
+
+
+def plan_queries(
+    queries: Sequence[CorpusQuery], stats: CorpusStatistics
+) -> Tuple[Plan, ...]:
+    """One planner decision per query against aggregate corpus
+    statistics — the whole batch's ``engine="auto"`` resolution."""
+    planner = default_planner()
+    return tuple(
+        planner.plan_for_stats(
+            query.kind, query.text, stats, parsed=_planner_parsed(query)
+        )
+        for query in queries
+    )
+
+
 def evaluate_cell(query: CorpusQuery, tree: Tree, engine: str = "fast"):
     """One (query, tree) cell, canonicalised: node tuples in document
     order, plain bools, or sorted pair tuples — byte-comparable across
     engines and picklable across processes."""
+    if engine == "auto":
+        plan = default_planner().plan_for_tree(
+            query.kind, query.text, tree, parsed=_planner_parsed(query)
+        )
+        return evaluate_cell(query, tree, plan.engine)
     if engine == "fast":
         if query.kind == "xpath":
             return fast_xpath.select(
@@ -189,7 +227,7 @@ _ChunkPayload = Tuple[
     int,                    # corpus position past the last tree
     Optional[Tuple[Tree, ...]],  # the chunk's trees (None: use warm state)
     Tuple[CorpusQuery, ...],
-    str,                    # engine
+    Union[str, Tuple[str, ...]],  # engine (or per-query engines, auto)
     Optional[int],          # per-chunk fast budget (steps)
     Optional[Fault],        # injected fault, if the harness armed one
     Optional[Tuple[TreeIndex, ...]],
@@ -233,18 +271,27 @@ def _warm_chunk(
 def _evaluate_rows(
     trees: Sequence[Tree],
     queries: Sequence[CorpusQuery],
-    engine: str,
+    engine: Union[str, Tuple[str, ...]],
     indexes: Optional[Sequence[TreeIndex]],
 ) -> Tuple[Tuple[object, ...], ...]:
-    """Tree-outer, query-inner sweep: one index (re)use per tree."""
+    """Tree-outer, query-inner sweep: one index (re)use per tree.
+
+    ``engine`` is one name for the whole sweep, or (on the ``auto``
+    path) one planner-chosen name per query."""
     for query in queries:
         compile_query(query)
+    engines = (
+        engine if isinstance(engine, tuple) else (engine,) * len(queries)
+    )
     rows = []
     for position, tree in enumerate(trees):
         if indexes is not None:
             adopt_index(tree, indexes[position])
         rows.append(
-            tuple(evaluate_cell(query, tree, engine) for query in queries)
+            tuple(
+                evaluate_cell(query, tree, chosen)
+                for query, chosen in zip(queries, engines)
+            )
         )
     return tuple(rows)
 
@@ -272,16 +319,19 @@ def _run_chunk(payload: _ChunkPayload):
             time.perf_counter() - started,
         )
         return index, rows, report
+    attempt = engine if isinstance(engine, tuple) else "fast"
     injector = FaultInjector(fault) if fault is not None else None
     budget = Budget(steps=budget_steps) if budget_steps is not None else None
     try:
         if injector is not None or budget is not None:
             with activate(ExecutionContext(budget, injector)):
-                rows = _evaluate_rows(trees, queries, "fast", indexes)
+                rows = _evaluate_rows(trees, queries, attempt, indexes)
         else:
-            rows = _evaluate_rows(trees, queries, "fast", indexes)
+            rows = _evaluate_rows(trees, queries, attempt, indexes)
         report = ChunkReport(
-            index, start, stop, "fast", False, None,
+            index, start, stop,
+            "auto" if isinstance(engine, tuple) else "fast",
+            False, None,
             time.perf_counter() - started,
         )
     except ParseError:
@@ -331,6 +381,7 @@ def run_batch(
     ] = None,
     indexes: Optional[Sequence[TreeIndex]] = None,
     token: Optional[str] = None,
+    stats: Optional[CorpusStatistics] = None,
 ) -> BatchResult:
     """Evaluate every query against every tree, set-at-a-time.
 
@@ -349,6 +400,13 @@ def run_batch(
     and indexes warm across batches — warm chunks ship ``trees=None``
     and fall back to a parent-side run if the worker lost its state;
     leave it ``None`` for ad-hoc calls.
+
+    ``engine="auto"`` resolves each query to its planner-chosen engine
+    against the corpus statistics (``stats`` when supplied — as
+    :meth:`~repro.corpus.TreeCorpus.statistics` caches — else computed
+    here), records the decisions on ``BatchResult.plans``, and runs the
+    batch with that per-query mix; the per-chunk degrade contract is
+    unchanged.
     """
     if engine not in ENGINES:
         raise ValueError(
@@ -360,6 +418,13 @@ def run_batch(
     queries = tuple(queries)
     for query in queries:
         compile_query(query)  # fail fast, warm the (inheritable) plans
+    plans: Optional[Tuple[Plan, ...]] = None
+    chunk_engine: Union[str, Tuple[str, ...]] = engine
+    if engine == "auto":
+        if stats is None:
+            stats = corpus_statistics(trees)
+        plans = plan_queries(queries, stats)
+        chunk_engine = tuple(plan.engine for plan in plans)
     faults = dict(faults or {})
     bounds = _chunk_bounds(len(trees), chunk_size, workers)
     payloads: List[_ChunkPayload] = []
@@ -368,8 +433,9 @@ def run_batch(
         if indexes is not None and workers == 0:
             chunk_indexes = tuple(indexes[start:stop])
         payloads.append((
-            chunk_index, start, stop, trees[start:stop], queries, engine,
-            budget_steps, faults.get(chunk_index), chunk_indexes, token,
+            chunk_index, start, stop, trees[start:stop], queries,
+            chunk_engine, budget_steps, faults.get(chunk_index),
+            chunk_indexes, token,
         ))
 
     results: Dict[int, Tuple] = {}
@@ -431,6 +497,7 @@ def run_batch(
         rows=tuple(ordered_rows),
         chunks=tuple(reports[i] for i in range(len(payloads))),
         workers=workers,
+        plans=plans,
     )
 
 

@@ -13,7 +13,14 @@ Fast counterparts of the reference evaluators, built on one compiled
   subtree-range descendant steps;
 * :mod:`repro.engine.walk` — compiled caterpillar expressions
   evaluated as frontier-bitset reachability in the (state × node)
-  product over the index's move graphs.
+  product over the index's move graphs;
+* :mod:`repro.engine.stats` — tree/corpus statistics with content
+  fingerprints, plus wander-join-sampled join cardinality estimates;
+* :mod:`repro.engine.planner` — the cost-based adaptive planner behind
+  ``engine="auto"``: per-engine cost estimates, cached plans keyed by
+  query text + statistics fingerprint, and guarded execution that
+  re-plans onto the reference engine when actual work overshoots the
+  estimate.
 
 Both engines are semantically interchangeable with the references in
 :mod:`repro.logic.tree_fo` and :mod:`repro.xpath.evaluator`; the
@@ -23,6 +30,14 @@ differential oracle and the hypothesis suites keep them that way.
 from .fo import evaluate, relation_of, satisfying_assignments
 from .fo import select as fo_select
 from .index import TreeIndex, bit_count, index_for, iter_bits
+from .planner import Plan, Planner, default_planner
+from .stats import (
+    CardinalityEstimator,
+    CorpusStatistics,
+    TreeStatistics,
+    corpus_statistics,
+    tree_statistics,
+)
 from .walk import CompiledWalk, WalkEvaluator, compile_walk
 from .walk import matches as walk_matches
 from .walk import relation as walk_relation
@@ -45,4 +60,12 @@ __all__ = [
     "walk_select",
     "walk_relation",
     "walk_matches",
+    "Plan",
+    "Planner",
+    "default_planner",
+    "TreeStatistics",
+    "CorpusStatistics",
+    "CardinalityEstimator",
+    "tree_statistics",
+    "corpus_statistics",
 ]

@@ -200,9 +200,27 @@ def _and2(a: _Rel, b: _Rel, idx: TreeIndex) -> _Rel:
 
 
 def _and_all(rels: Sequence[_Rel], idx: TreeIndex) -> _Rel:
-    positives = sorted(
+    pending = sorted(
         (r for r in rels if not r.neg), key=lambda r: _estimate(r, idx)
     )
+    # Greedy connectivity-aware join order: start from the smallest
+    # relation, then always join the smallest remaining conjunct that
+    # shares a variable with what is already bound — a Cartesian
+    # product only when nothing connects.  Conjunction is commutative,
+    # so any order is sound; a connected order keeps intermediates
+    # near the final selectivity instead of exploding through a cross
+    # product that a later shared-variable join would shrink again.
+    positives: List[_Rel] = []
+    bound: set = set()
+    while pending:
+        pick = 0
+        if bound:
+            pick = next(
+                (k for k, r in enumerate(pending) if bound & set(r.vars)), 0
+            )
+        rel = pending.pop(pick)
+        positives.append(rel)
+        bound.update(rel.vars)
     negatives = [r for r in rels if r.neg]
     acc: Optional[_Rel] = None
     for rel in positives + negatives:

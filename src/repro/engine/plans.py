@@ -52,6 +52,7 @@ __all__ = [
     "compile_select_plan",
     "compile_caterpillar_plan",
     "compile_walk_plan",
+    "cached_query_plan",
     "plan_cache_info",
     "plan_cache_clear",
 ]
@@ -101,6 +102,18 @@ def compile_walk_plan(text: str) -> Tuple[Caterpillar, CompiledWalk]:
     """``(ast, CompiledWalk)`` for ``text`` — the fast walking engine's
     whole tree-independent plan, shared process-wide."""
     return _PLAN_CACHE.get_or_compute(("walk", text), lambda: _walk_plan(text))
+
+
+def cached_query_plan(key: Tuple, factory):
+    """A planner-produced execution plan, memoised in the same shared
+    cache as the compiled artifacts.
+
+    ``key`` must carry the query kind and text *plus* the statistics
+    fingerprint (and any planner configuration) the plan depends on —
+    see :meth:`repro.engine.planner.Planner.plan` — so a plan built
+    against stale statistics is unreachable the moment the corpus (or
+    tree) behind it changes."""
+    return _PLAN_CACHE.get_or_compute(("auto-plan",) + key, factory)
 
 
 def plan_cache_info() -> CacheInfo:

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .corpus import decode_case, encode_case, iter_corpus, save_entry
 from .pairs import (
     AutomatonVsSpec,
+    AutoVsFastFO,
     Case,
     CaterpillarVsFastCaterpillar,
     CaterpillarVsNTWA,
@@ -36,7 +37,7 @@ from .shrink import shrink_case
 
 
 def default_pairs() -> Tuple[EnginePair, ...]:
-    """All eleven engine pairs, in a stable order."""
+    """All twelve engine pairs, in a stable order."""
     return (
         XPathVsFO(),
         XPathVsCaterpillar(),
@@ -45,6 +46,7 @@ def default_pairs() -> Tuple[EnginePair, ...]:
         AutomatonVsSpec(),
         FOVsEnumeration(),
         FOVsFastFO(),
+        AutoVsFastFO(),
         XPathVsFastXPath(),
         CaterpillarVsFastCaterpillar(),
         NTWAVsFastCaterpillar(),

@@ -4,7 +4,7 @@ Each :class:`EnginePair` knows how to *generate* a random (tree, query)
 case, *check* it through two independent evaluation routes, *shrink* the
 query part, and *encode*/*decode* the query as JSON for the corpus.
 
-The eleven pairs and the equivalence each one guards:
+The twelve pairs and the equivalence each one guards:
 
 ==============================  ====================================================
 ``xpath/fo``                    XPath evaluator vs its FO(∃*) compilation (§2.3),
@@ -21,6 +21,9 @@ The eleven pairs and the equivalence each one guards:
 ``fo/fast-fo``                  the assignment-at-a-time FO model checker vs the
                                 indexed set-at-a-time engine (:mod:`repro.engine`),
                                 on full FO with ∀/→/¬ freely nested
+``auto/fast-fo``                the cost-based planner's ``auto`` route (with
+                                guarded execution forced on) vs the fast FO
+                                engine run directly
 ``xpath/fast-xpath``            the node-at-a-time XPath evaluator vs the
                                 bitset/interval engine, with a raised variable cap
 ``caterpillar/fast-caterpillar``  the reference Thompson-NFA walk vs the compiled
@@ -66,6 +69,8 @@ from ..caterpillar.parser import format_caterpillar, parse_caterpillar
 from ..engine import fo as fast_fo
 from ..engine import walk as engine_walk
 from ..engine import xpath as fast_xpath
+from ..engine.planner import Planner
+from ..resilience.log import ResilienceLog
 from ..logic import tree_fo
 from ..logic.exists_star import ExistsStarQuery
 from ..logic.parser import format_formula, parse_formula
@@ -741,6 +746,73 @@ class FOVsFastFO(EnginePair):
         left, left_s = _timed(
             lambda: tree_fo.satisfying_assignments(formula, case.tree, order)
         )
+        right, right_s = _timed(
+            lambda: fast_fo.satisfying_assignments(formula, case.tree, order)
+        )
+        return Outcome(
+            left == right,
+            _relation_summary(left), _relation_summary(right),
+            left_s, right_s,
+        )
+
+    def shrink_query(self, query: TreeFormula) -> Iterable[TreeFormula]:
+        return _shrink_formula(query)
+
+    def encode_query(self, query: TreeFormula) -> object:
+        return format_formula(query)
+
+    def decode_query(self, payload: object) -> TreeFormula:
+        return parse_formula(payload)
+
+
+# ---------------------------------------------------------------------------
+# auto/fast-fo
+# ---------------------------------------------------------------------------
+
+
+class AutoVsFastFO(EnginePair):
+    """The cost-based planner's ``auto`` route vs the fast FO engine
+    run directly.
+
+    Each case is planned from sampled statistics by a fresh
+    :class:`~repro.engine.planner.Planner` with ``guard_threshold=0``,
+    so every planner route is on the line: a reference pick runs the
+    assignment-at-a-time model checker, a fast pick always goes through
+    the guarded re-plan machinery, and a case that overshoots its
+    budget mid-flight re-plans onto the reference engine — all of which
+    must reproduce the direct fast engine's relation exactly."""
+
+    name = "auto/fast-fo"
+
+    def generate(self, rng: random.Random, max_size: int) -> Case:
+        tree = gen.random_attributed_tree(rng, max_size)
+        formula = gen.random_fo_formula(rng)
+        return Case(tree, formula)
+
+    def check(self, case: Case) -> Outcome:
+        formula: TreeFormula = case.query
+        order = sorted(
+            tree_fo.free_variables(formula), key=lambda v: v.name
+        )
+        planner = Planner(guard_threshold=0.0)
+        log = ResilienceLog()
+
+        def auto():
+            plan = planner.plan_formula(formula, case.tree)
+            return planner.execute(
+                plan,
+                "oracle-formula",
+                lambda: fast_fo.satisfying_assignments(
+                    formula, case.tree, order
+                ),
+                lambda: tree_fo.satisfying_assignments(
+                    formula, case.tree, order
+                ),
+                None,
+                log,
+            )
+
+        left, left_s = _timed(auto)
         right, right_s = _timed(
             lambda: fast_fo.satisfying_assignments(formula, case.tree, order)
         )

@@ -23,6 +23,7 @@ from ..caching import CacheInfo, KeyedLRU
 from ..engine import fo as fast_fo
 from ..engine import xpath as fast_xpath
 from ..engine.index import TreeIndex, index_for
+from ..engine.planner import Plan, Planner, default_planner
 from ..engine.plans import compile_caterpillar_plan, compile_xpath_plan
 from ..logic import tree_fo
 from ..logic.exists_star import ExistsStarQuery
@@ -53,8 +54,11 @@ CATERPILLAR_CACHE_SIZE = 128
 #: engine (:mod:`repro.engine`); "reference" the node-at-a-time
 #: evaluators the engine is differentially tested against;
 #: "resilient" runs the fast engine under a budget slice and falls back
-#: to the reference evaluator on engine faults (:mod:`repro.resilience`).
-ENGINES = ("fast", "reference", "resilient")
+#: to the reference evaluator on engine faults (:mod:`repro.resilience`);
+#: "auto" lets the cost-based planner (:mod:`repro.engine.planner`)
+#: choose per query from the document's statistics, guarding expensive
+#: fast attempts with a re-plan budget.
+ENGINES = ("fast", "reference", "resilient", "auto")
 
 
 def _check_engine(engine: str) -> None:
@@ -71,6 +75,7 @@ class TreeDatabase:
         ensure_ids: bool = False,
         xpath_cache_size: int = XPATH_CACHE_SIZE,
         caterpillar_cache_size: int = CATERPILLAR_CACHE_SIZE,
+        planner: Optional[Planner] = None,
     ) -> None:
         if ensure_ids and not has_unique_ids(tree):
             tree = with_ids(tree)
@@ -89,9 +94,15 @@ class TreeDatabase:
         )
         self._resilience = ResilienceLog()
         #: Armed by the fault-injection harness
-        #: (:mod:`repro.resilience.faults`); consulted only by the
-        #: ``"resilient"`` engine's fast attempt.
+        #: (:mod:`repro.resilience.faults`); consulted by the
+        #: ``"resilient"`` engine's fast attempt and by ``"auto"``'s
+        #: guarded plans.
         self._fault_injector = None
+        #: The cost-based planner behind ``engine="auto"``.  Databases
+        #: share the process-wide default (and hence its plan cache
+        #: statistics) unless the caller brings their own.
+        self._planner = planner if planner is not None else default_planner()
+        self._last_plan: Optional[Plan] = None
 
     # -- construction --------------------------------------------------------------
 
@@ -132,6 +143,7 @@ class TreeDatabase:
         reference: Callable[[], object],
         engine: str,
         budget: Optional[Budget],
+        plan_key=None,
     ):
         """Run one query through the selected engine.
 
@@ -139,7 +151,24 @@ class TreeDatabase:
         active budget context when one is given; ``"resilient"`` runs
         the fast thunk under a budget slice and falls back to the
         reference evaluator on engine faults, recording incidents on the
-        per-database :class:`~repro.resilience.log.ResilienceLog`."""
+        per-database :class:`~repro.resilience.log.ResilienceLog`;
+        ``"auto"`` plans first — ``plan_key`` is the ``(kind, text,
+        parsed)`` triple the planner caches the decision under."""
+        if engine == "auto":
+            kind, text, parsed = plan_key
+            plan = self._planner.plan_for_tree(
+                kind, text, self.tree, parsed=parsed
+            )
+            self._last_plan = plan
+            return self._planner.execute(
+                plan,
+                operation,
+                fast,
+                reference,
+                budget,
+                self._resilience,
+                faults=self._fault_injector,
+            )
         if engine == "resilient":
             return resilient_call(
                 operation,
@@ -165,6 +194,21 @@ class TreeDatabase:
     def resilience_clear(self) -> None:
         """Reset the resilience counters and incident history."""
         self._resilience.clear()
+
+    # -- planning --------------------------------------------------------------
+
+    @property
+    def planner(self) -> Planner:
+        """The planner serving this database's ``engine="auto"`` calls."""
+        return self._planner
+
+    @property
+    def last_plan(self) -> Optional[Plan]:
+        """The :class:`~repro.engine.planner.Plan` behind the most
+        recent ``engine="auto"`` call on this database (None before
+        the first one) — chosen engine, per-engine modeled costs,
+        estimated cardinality, and whether execution was guarded."""
+        return self._last_plan
 
     # -- XPath ------------------------------------------------------------------------
 
@@ -192,6 +236,7 @@ class TreeDatabase:
             lambda: xpath_select(parsed, self.tree, context),
             engine,
             budget,
+            plan_key=("xpath", expression, parsed),
         )
 
     def _parsed(self, expression: str):
@@ -222,22 +267,34 @@ class TreeDatabase:
         sentence: tree_fo.TreeFormula,
         engine: str = "fast",
         budget: Optional[Budget] = None,
+        plan_text: Optional[str] = None,
     ) -> bool:
         """Model-check an FO sentence over τ_{Σ,A}.
 
         The default ``"fast"`` engine evaluates bottom-up over
         satisfying-assignment relations; ``"reference"`` is the
         assignment-at-a-time model checker; ``"resilient"`` runs fast
-        with reference fallback under ``budget``."""
+        with reference fallback under ``budget``.  ``plan_text`` names
+        the sentence for the ``"auto"`` plan cache; callers that hold
+        the source text (:meth:`ask`) pass it so planning never has to
+        re-format the AST."""
         _check_engine(engine)
         if budget is not None and budget.max_formula_size is not None:
             budget.check_formula_size(len(tree_fo.subformulas(sentence)))
+        plan_key = None
+        if engine == "auto":
+            if plan_text is None:
+                from ..logic.parser import format_formula
+
+                plan_text = format_formula(sentence)
+            plan_key = ("ask", plan_text, sentence)
         return self._dispatch(
             "holds",
             lambda: fast_fo.evaluate(sentence, self.tree),
             lambda: tree_fo.evaluate(sentence, self.tree),
             engine,
             budget,
+            plan_key=plan_key,
         )
 
     def ask(
@@ -250,7 +307,9 @@ class TreeDatabase:
         ``db.ask('forall x (leaf(x) -> O_item(x))')``."""
         from ..logic.parser import parse_sentence
 
-        return self.holds(parse_sentence(text), engine=engine, budget=budget)
+        return self.holds(
+            parse_sentence(text), engine=engine, budget=budget, plan_text=text
+        )
 
     def select_where(
         self,
@@ -263,7 +322,13 @@ class TreeDatabase:
         ``db.select_where('x << y & O_item(y)')``."""
         from ..logic.parser import parse_query
 
-        return self.select(parse_query(text), context, engine=engine, budget=budget)
+        return self.select(
+            parse_query(text),
+            context,
+            engine=engine,
+            budget=budget,
+            plan_text=text,
+        )
 
     def select(
         self,
@@ -271,11 +336,22 @@ class TreeDatabase:
         context: NodeId = (),
         engine: str = "fast",
         budget: Optional[Budget] = None,
+        plan_text: Optional[str] = None,
     ) -> Tuple[NodeId, ...]:
         """Evaluate a binary FO(∃*) query from ``context``."""
         _check_engine(engine)
         if budget is not None and budget.max_formula_size is not None:
             budget.check_formula_size(len(tree_fo.subformulas(query.formula)))
+        plan_key = None
+        if engine == "auto":
+            if plan_text is None:
+                from ..logic.parser import format_formula
+
+                plan_text = (
+                    f"{format_formula(query.formula)}"
+                    f" @ {query.x.name},{query.y.name}"
+                )
+            plan_key = ("select", plan_text, query.formula)
         return self._dispatch(
             "select",
             lambda: fast_fo.select(
@@ -284,6 +360,7 @@ class TreeDatabase:
             lambda: query.select(self.tree, context),
             engine,
             budget,
+            plan_key=plan_key,
         )
 
     # -- automata -----------------------------------------------------------------------
@@ -307,6 +384,11 @@ class TreeDatabase:
         ``"resilient"`` additionally falls back on engine faults.
         Verdicts are identical either way."""
         _check_engine(engine)
+        if engine == "auto":
+            # No textual plan key exists for an automaton object, and
+            # the fast runner already self-selects (compiled executor
+            # for the Move fragment, reference otherwise).
+            engine = "fast"
         tree = delim(self.tree) if delimited else self.tree
         if memoised:
             if budget is not None:
@@ -367,6 +449,7 @@ class TreeDatabase:
             lambda: walk(parsed, self.tree, context),
             engine,
             budget,
+            plan_key=("caterpillar", expression, None),
         )
 
     def caterpillar_relation(
@@ -389,6 +472,7 @@ class TreeDatabase:
             lambda: relation(parsed, self.tree),
             engine,
             budget,
+            plan_key=("caterpillar-relation", expression, None),
         )
 
     def _parsed_caterpillar(self, expression: str):

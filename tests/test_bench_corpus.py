@@ -36,7 +36,9 @@ def test_quick_corpus_benchmark_writes_wellformed_json(tmp_path):
     for count in bench.CORPUS_TREE_COUNTS_QUICK:
         assert {r["mode"] for r in rows if r["n"] == count} == set(MODES)
     assert len(report["corpus"]["queries"]) == len(bench.CORPUS_QUERIES)
+    assert report["errors"] == []  # no per-case exception was swallowed
     summary = report["summary"]
+    assert summary["errors"] == 0
     assert summary["corpus_max_trees"] == bench.CORPUS_TREE_COUNTS_QUICK[-1]
     assert summary["pass"] is True  # quick mode never gates on speed
 
@@ -64,8 +66,10 @@ def test_committed_corpus_trajectory_matches_schema():
     path = Path(__file__).resolve().parents[1] / "BENCH_corpus.json"
     report = json.loads(path.read_text())
     assert report["schema"] == bench.CORPUS_SCHEMA
+    assert report.get("errors", []) == []
     summary = report["summary"]
     assert summary["pass"] is True
+    assert summary.get("errors", 0) == 0
     if not report["quick"]:  # `make bench-corpus` may have left a quick regen
         assert (
             summary["corpus_median_speedup_at_max_size"]

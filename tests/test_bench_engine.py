@@ -26,7 +26,9 @@ def test_quick_benchmark_writes_wellformed_json(tmp_path):
         assert row["reference_seconds"] > 0
         assert row["engine_seconds"] > 0
         assert row["speedup"] > 0
+    assert report["errors"] == []  # no per-case exception was swallowed
     summary = report["summary"]
+    assert summary["errors"] == 0
     assert summary["fo_max_size"] == bench.FO_SIZES_QUICK[-1]
     assert summary["xpath_max_size"] == bench.XPATH_SIZES_QUICK[-1]
     assert summary["pass"] is True  # quick mode never gates on speed
@@ -54,8 +56,10 @@ def test_committed_trajectory_matches_schema():
     path = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
     report = json.loads(path.read_text())
     assert report["schema"] == bench.SCHEMA
+    assert report.get("errors", []) == []
     summary = report["summary"]
     assert summary["pass"] is True
+    assert summary.get("errors", 0) == 0
     if not report["quick"]:  # `make bench` may have left a quick regen
         assert (
             summary["fo_median_speedup_at_max_size"]

@@ -1,0 +1,99 @@
+"""Smoke tests for the ``--suite planner`` benchmark — the adaptive
+-planner sweep stays runnable at toy sizes, its JSON stays well-formed
+with zero swallowed per-case errors, and the committed full-size
+trajectory keeps clearing the pick-rate and overhead gates."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import bench
+
+pytestmark = pytest.mark.planner
+
+ENGINES = {"fast", "reference"}
+
+
+def test_quick_planner_benchmark_writes_wellformed_json(tmp_path):
+    out = tmp_path / "BENCH_planner.json"
+    code = bench.main(
+        [
+            "--suite", "planner", "--quick",
+            "--output", str(out), "--seed", "5", "--repeats", "1",
+        ]
+    )
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == bench.PLANNER_SCHEMA
+    assert report["quick"] is True
+    assert report["seed"] == 5
+    assert report["errors"] == []  # nothing was silently swallowed
+    rows = report["planner"]["rows"]
+    assert len(rows) == len(bench.PLANNER_SIZES_QUICK) * len(
+        bench.CORPUS_QUERIES
+    )
+    for row in rows:
+        assert row["chosen"] in ENGINES
+        assert row["best_engine"] in ENGINES
+        assert row["auto_seconds"] > 0
+        assert row["fast_seconds"] > 0
+        assert row["reference_seconds"] > 0
+        assert row["auto_vs_best"] > 0
+        assert row["estimate_q_error"] >= 1.0
+        assert row["estimated_rows"] >= 0
+        assert row["actual_rows"] >= 0
+        assert row["replans"] >= 0
+        assert isinstance(row["picked_fastest"], bool)
+        assert dict(row["costs"])  # per-engine modeled costs recorded
+    summary = report["summary"]
+    assert summary["errors"] == 0
+    assert summary["planner_max_size"] == bench.PLANNER_SIZES_QUICK[-1]
+    assert summary["pass"] is True  # quick mode never gates on decisions
+
+
+def test_planner_benchmark_is_agreement_checked(monkeypatch):
+    # The bench raises (rather than records nonsense) if auto ever
+    # returns a different answer than the manual engines.
+    original = bench._facade_thunk
+
+    def skewed(db, query, engine):
+        thunk = original(db, query, engine)
+        if engine != "reference":
+            return thunk
+        return lambda: ("skewed", thunk())
+
+    monkeypatch.setattr(bench, "_facade_thunk", skewed)
+    with pytest.raises(AssertionError, match="disagree"):
+        bench.run_planner_benchmark([8], seed=0, repeats=1, errors=[])
+
+
+def test_committed_planner_trajectory_matches_schema_and_gates():
+    # The repo ships a full-size BENCH_planner.json; keep it honest.
+    path = Path(__file__).resolve().parents[1] / "BENCH_planner.json"
+    report = json.loads(path.read_text())
+    assert report["schema"] == bench.PLANNER_SCHEMA
+    assert report.get("errors", []) == []
+    summary = report["summary"]
+    assert summary["pass"] is True
+    assert summary.get("errors", 0) == 0
+    if not report["quick"]:  # `make bench-planner` may leave a quick regen
+        assert (
+            summary["planner_pick_fraction"]
+            >= summary["thresholds"]["pick_fraction"]
+        )
+        assert (
+            summary["planner_median_auto_vs_best_at_max_size"]
+            <= summary["thresholds"]["auto_vs_best"]
+        )
+        # Rows carry the per-query audit trail the experiment report
+        # (EXPERIMENTS.md E19) is built from.
+        for row in report["planner"]["rows"]:
+            assert {"chosen", "estimated_rows", "actual_rows", "replans"} \
+                <= set(row)
+
+
+def test_planner_trajectory_is_seen_by_the_check_ratchet():
+    root = Path(__file__).resolve().parents[1]
+    path = root / "BENCH_planner.json"
+    assert bench.check_reports([path]) == []

@@ -35,7 +35,9 @@ def test_quick_walk_benchmark_writes_wellformed_json(tmp_path):
         assert row["speedup"] > 0
     for row in twa_rows:
         assert row["steps"] > 0
+    assert report["errors"] == []  # no per-case exception was swallowed
     summary = report["summary"]
+    assert summary["errors"] == 0
     assert summary["caterpillar_max_size"] == bench.CATERPILLAR_SIZES_QUICK[-1]
     assert summary["twa_max_size"] == bench.TWA_SIZES_QUICK[-1]
     assert summary["pass"] is True  # quick mode never gates on speed
@@ -61,8 +63,10 @@ def test_committed_walk_trajectory_matches_schema():
     path = Path(__file__).resolve().parents[1] / "BENCH_walk.json"
     report = json.loads(path.read_text())
     assert report["schema"] == bench.WALK_SCHEMA
+    assert report.get("errors", []) == []
     summary = report["summary"]
     assert summary["pass"] is True
+    assert summary.get("errors", 0) == 0
     if not report["quick"]:  # `make bench-walk` may have left a quick regen
         assert (
             summary["caterpillar_median_speedup_at_max_size"]

@@ -1,0 +1,182 @@
+"""The cost-based adaptive planner (:mod:`repro.engine.planner`):
+decisions, determinism, guarded execution and mid-flight re-planning.
+
+Covers the planner-facing contract end to end: plans are frozen,
+cached, and keyed to content fingerprints; tiny documents go to the
+reference evaluators while large ones go to the indexed engines; every
+route returns the same answers as the manual engine choices; a guarded
+fast attempt that faults mid-flight re-plans onto the reference engine
+and the ``replans`` counter says so.
+"""
+
+import random
+
+import pytest
+
+from repro.engine.planner import (
+    GUARD_THRESHOLD,
+    Plan,
+    Planner,
+    default_planner,
+)
+from repro.queries import TreeDatabase
+from repro.resilience.faults import Fault, FaultInjector
+from repro.trees.generators import random_tree
+from repro.trees.parser import parse_term
+
+pytestmark = pytest.mark.planner
+
+
+def _big_tree(size=400, seed=0):
+    return random_tree(
+        size=size,
+        alphabet=("σ", "δ"),
+        max_children=2,
+        seed=random.Random(seed),
+        value_pool=(1, 2, 3),
+    )
+
+
+# -- planning decisions ------------------------------------------------------
+
+
+def test_plan_is_frozen_and_cost_ordered():
+    planner = Planner()
+    plan = planner.plan_for_tree("xpath", "//δ", _big_tree())
+    assert isinstance(plan, Plan)
+    assert plan.engine == plan.costs[0][0]
+    assert [c for _, c in plan.costs] == sorted(c for _, c in plan.costs)
+    assert plan.estimated_cost == plan.costs[0][1]
+    assert plan.estimated_rows >= 0
+    with pytest.raises(AttributeError):
+        plan.engine = "reference"
+
+
+def test_tiny_document_prefers_reference_large_prefers_fast():
+    planner = Planner()
+    tiny = planner.plan_for_tree("xpath", "//δ", parse_term("σ(δ)"))
+    big = planner.plan_for_tree("xpath", "//δ", _big_tree())
+    assert tiny.engine == "reference"  # setup dominates on 2 nodes
+    assert big.engine == "fast"
+
+
+def test_planning_is_deterministic_and_cached():
+    planner = Planner()
+    tree = _big_tree()
+    first = planner.plan_for_tree("ask", "exists x O_σ(x)", tree)
+    planned_after_first = planner.planned
+    second = planner.plan_for_tree("ask", "exists x O_σ(x)", tree)
+    assert second is first  # cache hit — same text, same fingerprint
+    assert planner.planned == planned_after_first
+    assert planner.requests >= 2
+    # A planner with the same configuration rebuilds an equal plan.
+    assert Planner().plan_for_tree("ask", "exists x O_σ(x)", tree) == first
+
+
+def test_distinct_sampling_seeds_key_distinct_plans():
+    tree = _big_tree()
+    a = Planner(seed=0).plan_for_tree("select", "x << y & O_δ(y)", tree)
+    b = Planner(seed=99).plan_for_tree("select", "x << y & O_δ(y)", tree)
+    # Different sampling configuration never shares cache slots (the
+    # estimates may coincide, the cache keys must not).
+    assert a is not b
+
+
+@pytest.mark.parametrize(
+    "kind, text",
+    [
+        ("xpath", "//σ//δ"),
+        ("ask", "forall x (leaf(x) -> O_δ(x))"),
+        ("select", "x << y & O_δ(y)"),
+        ("caterpillar", "(down | right)* <δ>"),
+        ("caterpillar-relation", "down <σ>"),
+    ],
+)
+def test_auto_agrees_with_manual_engines(kind, text):
+    db = TreeDatabase(_big_tree(120), planner=Planner())
+    call = {
+        "xpath": lambda e: db.xpath(text, engine=e),
+        "ask": lambda e: db.ask(text, engine=e),
+        "select": lambda e: db.select_where(text, engine=e),
+        "caterpillar": lambda e: db.caterpillar(text, engine=e),
+        "caterpillar-relation": lambda e: db.caterpillar_relation(
+            text, engine=e
+        ),
+    }[kind]
+    assert call("auto") == call("fast") == call("reference")
+    assert db.last_plan is not None
+    assert db.last_plan.kind == kind
+    assert db.last_plan.engine in ("fast", "reference")
+
+
+def test_facade_counters_track_requests():
+    planner = Planner()
+    db = TreeDatabase(_big_tree(80), planner=planner)
+    assert db.planner is planner
+    assert db.last_plan is None
+    db.xpath("//δ", engine="auto")
+    db.xpath("//δ", engine="auto")
+    assert planner.requests == 2
+    assert planner.planned == 1  # second call hit the plan cache
+    assert db.last_plan.text == "//δ"
+
+
+def test_default_planner_is_shared():
+    assert default_planner() is default_planner()
+    db = TreeDatabase(parse_term("σ(δ)"))
+    assert db.planner is default_planner()
+
+
+# -- guarded execution and re-planning ---------------------------------------
+
+
+def test_guard_threshold_zero_forces_guarded_fast_plans():
+    planner = Planner(guard_threshold=0.0)
+    plan = planner.plan_for_tree("xpath", "//δ", _big_tree())
+    assert plan.engine == "fast"
+    assert plan.guarded
+    assert plan.replan_steps > 0
+    # The stock threshold leaves cheap plans unguarded.
+    cheap = Planner().plan_for_tree("xpath", "//δ", _big_tree())
+    assert not cheap.guarded
+    assert cheap.estimated_cost < GUARD_THRESHOLD
+
+
+def test_injected_fault_replans_onto_reference():
+    """A guarded fast attempt that dies mid-flight must re-plan onto
+    the reference engine, return its answer, and count the re-plan."""
+    planner = Planner(guard_threshold=0.0)
+    db = TreeDatabase(_big_tree(150), planner=planner)
+    expected = db.xpath("//σ//δ", engine="reference")
+    db._fault_injector = FaultInjector(Fault(at_checkpoint=1, kind="error"))
+    try:
+        got = db.xpath("//σ//δ", engine="auto")
+    finally:
+        db._fault_injector = None
+    assert got == expected
+    assert db.last_plan.engine == "fast" and db.last_plan.guarded
+    assert planner.replans == 1
+    assert db.resilience_info()["fallbacks"] == 1
+
+
+def test_injected_stall_replans_too():
+    planner = Planner(guard_threshold=0.0)
+    db = TreeDatabase(_big_tree(150, seed=7), planner=planner)
+    sentence = "forall x (leaf(x) -> O_δ(x))"
+    expected = db.ask(sentence, engine="reference")
+    db._fault_injector = FaultInjector(Fault(at_checkpoint=1, kind="stall"))
+    try:
+        got = db.ask(sentence, engine="auto")
+    finally:
+        db._fault_injector = None
+    assert got == expected
+    assert planner.replans >= 1
+
+
+def test_unguarded_and_reference_plans_never_replan():
+    planner = Planner()
+    db = TreeDatabase(parse_term("σ(δ, σ(δ))"), planner=planner)
+    db.xpath("//δ", engine="auto")  # reference pick on a tiny tree
+    big = TreeDatabase(_big_tree(90), planner=planner)
+    big.xpath("//δ", engine="auto")  # unguarded fast pick
+    assert planner.replans == 0

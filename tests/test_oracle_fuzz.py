@@ -64,6 +64,32 @@ def test_cli_replay(tmp_path):
 
 
 @pytest.mark.oracle
+@pytest.mark.planner
+def test_auto_pair_fuzz_planner_routes_agree():
+    """≥300 fresh cases through auto/fast-fo alone: whichever engine
+    the cost-based planner picks per case (guarded fast, reference, or
+    a mid-flight re-plan onto the reference), the relation must equal
+    the direct fast engine's.  Disagreements shrink and persist under
+    ``tests/corpus/`` like every other pair's."""
+    from repro.oracle import pairs_by_name
+
+    report = run_oracle(
+        seed=271828,
+        budget=300,
+        max_size=10,
+        pairs=[pairs_by_name()["auto/fast-fo"]],
+        corpus_dir=Path(__file__).parent / "corpus",
+    )
+    assert report.total_cases() == 300
+    failures = [
+        f"[{d.pair}] tree={d.shrunk['tree']} query={d.shrunk['query']} "
+        f"left={d.outcome.left} right={d.outcome.right}"
+        for d in report.disagreements
+    ]
+    assert not failures, "\n".join(failures)
+
+
+@pytest.mark.oracle
 def test_corpus_pair_fuzz_batch_equals_sequential():
     """≥300 fresh cases through corpus/sequential alone: the batch
     executor must be element-wise byte-identical to the per-tree loop

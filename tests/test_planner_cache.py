@@ -1,0 +1,122 @@
+"""Plan-cache regression battery: ``engine="auto"`` plans are keyed by
+query text **plus statistics fingerprint**, so they follow content —
+two objects with equal content share one plan, and any change to the
+trees behind the statistics makes the old plan unreachable.
+
+Pins the contracts of :func:`repro.engine.plans.cached_query_plan`,
+:func:`repro.engine.stats.corpus_statistics` and the corpus executor's
+``adopt_index`` path (a worker's content-equal tree copy must *reuse*
+the batch's plans, not re-plan).
+"""
+
+import pytest
+
+from repro.corpus import TreeCorpus, ask_query, run_batch, xpath_query
+from repro.corpus.executor import evaluate_cell, plan_queries
+from repro.engine.index import adopt_index, index_cache_clear, index_for
+from repro.engine.planner import Planner, default_planner
+from repro.engine.plans import plan_cache_clear
+from repro.engine.stats import corpus_statistics, tree_statistics
+from repro.queries import TreeDatabase
+from repro.trees.parser import parse_term
+
+pytestmark = pytest.mark.planner
+
+QUERIES = (xpath_query("//δ"), ask_query("exists x O_σ(x)"))
+
+
+def test_equal_content_trees_share_one_plan():
+    """Plans are content-keyed: a parsed copy of the same term hits the
+    cache, no matter that it is a different object with its own id."""
+    planner = Planner()
+    left = parse_term("σ(δ, σ(δ, δ))")
+    right = parse_term("σ(δ, σ(δ, δ))")
+    assert tree_statistics(left).fingerprint == \
+        tree_statistics(right).fingerprint
+    first = planner.plan_for_tree("xpath", "//δ", left)
+    planned = planner.planned
+    second = planner.plan_for_tree("xpath", "//δ", right)
+    assert second is first
+    assert planner.planned == planned
+
+
+def test_different_content_invalidates_the_fingerprint():
+    planner = Planner()
+    base = parse_term("σ(δ, σ(δ))")
+    grown = parse_term("σ(δ, σ(δ), δ)")
+    first = planner.plan_for_tree("xpath", "//δ", base)
+    planned = planner.planned
+    second = planner.plan_for_tree("xpath", "//δ", grown)
+    assert planner.planned == planned + 1  # new fingerprint, new plan
+    assert second.fingerprint != first.fingerprint
+
+
+def test_corpus_statistics_fingerprint_tracks_tree_set():
+    corpus = TreeCorpus.random(6, max_size=20, seed=0)
+    stats = corpus.statistics()
+    assert corpus.statistics() is stats  # computed once per corpus
+    extended = TreeCorpus(tuple(corpus.trees) + (parse_term("σ"),))
+    reordered = TreeCorpus(tuple(reversed(corpus.trees)))
+    assert extended.statistics().fingerprint != stats.fingerprint
+    assert reordered.statistics().fingerprint != stats.fingerprint
+
+
+def test_batch_replan_only_when_corpus_changes():
+    """Re-running a batch over the same corpus reuses every plan; a
+    corpus with one extra tree re-plans (its aggregate fingerprint
+    moved)."""
+    planner = default_planner()
+    with TreeCorpus.random(8, max_size=24, seed=3) as corpus:
+        first = corpus.run(QUERIES, engine="auto")
+        planned = planner.planned
+        second = corpus.run(QUERIES, engine="auto")
+        assert planner.planned == planned  # all plans cache-hit
+        assert second.plans == first.plans
+        assert second.rows == first.rows
+    with TreeCorpus.random(9, max_size=24, seed=3) as bigger:
+        bigger.run(QUERIES, engine="auto")
+        assert planner.planned > planned
+
+
+def test_plan_cache_clear_forces_rebuild():
+    planner = Planner()
+    tree = parse_term("σ(δ, σ(δ))")
+    planner.plan_for_tree("ask", "exists x O_δ(x)", tree)
+    planned = planner.planned
+    plan_cache_clear()
+    planner.plan_for_tree("ask", "exists x O_δ(x)", tree)
+    assert planner.planned == planned + 1
+
+
+def test_adopted_index_keeps_plans_reachable():
+    """The worker path: re-seating a pinned index via ``adopt_index``
+    (after cache churn evicted it) changes neither the statistics
+    fingerprint nor the cached plan — and a content-equal copy of the
+    tree plans onto the very same cache slot."""
+    tree = parse_term("σ(δ(σ, σ), σ(δ))")
+    pinned = index_for(tree)
+    planner = default_planner()
+    first = evaluate_cell(QUERIES[0], tree, "auto")
+    planned = planner.planned
+    index_cache_clear()
+    adopt_index(tree, pinned)  # re-seat without rebuilding
+    assert index_for(tree) is pinned
+    assert evaluate_cell(QUERIES[0], tree, "auto") == first
+    assert planner.planned == planned  # same fingerprint, same plan
+    copy = parse_term("σ(δ(σ, σ), σ(δ))")
+    assert evaluate_cell(QUERIES[0], copy, "auto") == first
+    assert planner.planned == planned  # content-keyed, not id-keyed
+
+
+def test_batch_plans_align_with_queries_and_match_manual_engines():
+    trees = [parse_term("σ(δ, σ(δ))"), parse_term("δ(σ)")]
+    stats = corpus_statistics(trees)
+    plans = plan_queries(QUERIES, stats)
+    assert len(plans) == len(QUERIES)
+    assert all(p.fingerprint == stats.fingerprint for p in plans)
+    auto = run_batch(trees, QUERIES, engine="auto")
+    fast = run_batch(trees, QUERIES, engine="fast")
+    reference = run_batch(trees, QUERIES, engine="reference")
+    assert auto.rows == fast.rows == reference.rows
+    assert auto.plans is not None and len(auto.plans) == len(QUERIES)
+    assert fast.plans is None
