@@ -9,7 +9,7 @@ FUZZ_BUDGET ?= 200
 FAULT_SEED ?= 0
 FAULT_CASES ?= 200
 
-.PHONY: test test-quick fuzz replay fault bench bench-full bench-walk bench-corpus bench-planner bench-check
+.PHONY: test test-quick fuzz replay fault bench bench-full bench-walk bench-corpus bench-planner bench-kernel bench-check
 
 ## Full tier-1 suite (includes the marked oracle fuzz and fault tests).
 test:
@@ -68,8 +68,16 @@ bench-planner:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --suite planner
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --check BENCH_planner.json
 
-## Fail if any committed BENCH_*.json (engine, walk, corpus, planner)
-## reports a median speedup < 1.0, swallowed per-case errors, or a
-## planner trajectory missing its pick-rate/overhead gates.
+## Stacked-kernel trajectory: the vectorized shard executor vs the
+## per-tree fast loop and the planner's auto route (writes
+## BENCH_kernel.json), then gate it: the vectorized route must clear
+## 2x median warm speedup at the top corpus size.
+bench-kernel:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --suite kernel
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --check BENCH_kernel.json
+
+## Fail if any committed BENCH_*.json (engine, walk, corpus, planner,
+## kernel) reports a median speedup < 1.0, swallowed per-case errors,
+## or a trajectory missing its pick-rate/overhead/kernel gates.
 bench-check:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --check

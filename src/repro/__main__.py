@@ -327,7 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_corpus.add_argument("--chunk-size", type=int, default=None,
                           help="trees per chunk")
     p_corpus.add_argument("--engine",
-                          choices=("fast", "reference", "auto"),
+                          choices=("fast", "reference", "auto", "vectorized"),
                           default="fast")
     p_corpus.add_argument("--stats", action="store_true",
                           help="print the per-chunk execution report")

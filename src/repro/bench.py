@@ -100,6 +100,8 @@ CORPUS_SCHEMA = "repro-bench-corpus/1"
 CORPUS_DEFAULT_OUTPUT = "BENCH_corpus.json"
 PLANNER_SCHEMA = "repro-bench-planner/1"
 PLANNER_DEFAULT_OUTPUT = "BENCH_planner.json"
+KERNEL_SCHEMA = "repro-bench-kernel/1"
+KERNEL_DEFAULT_OUTPUT = "BENCH_kernel.json"
 
 #: 3-variable selectors (free x) timed as full satisfying-assignment
 #: relations.  The first three make the reference pay the n^3 walk;
@@ -189,6 +191,11 @@ CATERPILLAR_THRESHOLD = 10.0
 TWA_THRESHOLD = 5.0
 CORPUS_BATCH_THRESHOLD = 2.5
 CORPUS_WARM_THRESHOLD = 1.0
+#: The stacked shard pass must at least halve the warm per-tree batch
+#: time at the top corpus size — the whole point of lowering every
+#: dialect into one IR is interpreting each plan once per *chunk*
+#: instead of once per tree.
+KERNEL_THRESHOLD = 2.0
 #: ``engine="auto"`` must pick the measured-fastest engine on at least
 #: this fraction of planner-bench cells...
 PLANNER_PICK_THRESHOLD = 0.8
@@ -534,6 +541,75 @@ def _corpus_count_rows(count: int, seed: int, runs: int) -> List[Dict]:
         # cold mode thrashed the shared caches; re-prime them so a
         # later tree count's warm modes stay warm.
         corpus.run(CORPUS_QUERIES)
+    return rows
+
+
+#: The IR-expressible slice of the mixed corpus batch: everything but
+#: the all-pairs relation kind (which the stacked pass hands back to
+#: the per-tree engine).
+KERNEL_QUERIES = tuple(
+    q for q in CORPUS_QUERIES if q.kind != "caterpillar-relation"
+)
+
+
+def run_kernel_benchmark(
+    tree_counts: Sequence[int],
+    seed: int,
+    repeats: int,
+    errors: Optional[List[str]] = None,
+) -> List[Dict]:
+    """Warm per-tree batches vs the stacked shard executor.
+
+    Per tree count: answers of the ``"vectorized"`` and ``"auto"``
+    engines are checked cell-for-cell against ``"fast"`` first, then
+    each engine's *warm* batch (pinned indexes, hot plan caches) is
+    timed.  Speedups are against the warm per-tree fast batch — the
+    strongest baseline in the repo, not the naive loop."""
+    rows = []
+    runs = max(repeats, 5)
+    for count in tree_counts:
+        block = _guarded_case(
+            errors, f"kernel:{count}",
+            lambda count=count: _kernel_count_rows(count, seed, runs),
+        )
+        if block is not None:
+            rows.extend(block)
+    return rows
+
+
+def _kernel_count_rows(count: int, seed: int, runs: int) -> List[Dict]:
+    """All kernel-bench modes for one corpus size — one guarded case."""
+    rows: List[Dict] = []
+    with TreeCorpus.random(
+        count, max_size=CORPUS_MAX_TREE_SIZE, seed=seed
+    ) as corpus:
+        expected = corpus.run(KERNEL_QUERIES, engine="fast")
+        for engine in ("vectorized", "auto"):
+            got = corpus.run(KERNEL_QUERIES, engine=engine)
+            if got.rows != expected.rows:  # pragma: no cover - guard
+                raise AssertionError(
+                    f"engine={engine} disagrees with fast at {count}"
+                )
+        modes = [
+            (mode, lambda e=engine: corpus.run(KERNEL_QUERIES, engine=e))
+            for mode, engine in (
+                ("per_tree", "fast"),
+                ("vectorized", "vectorized"),
+                ("auto", "auto"),
+            )
+        ]
+        seconds = {mode: _timed(thunk, runs) for mode, thunk in modes}
+        for mode, _ in modes:
+            rows.append(
+                {
+                    "mode": mode,
+                    "n": count,
+                    "nodes": corpus.total_nodes(),
+                    "queries": len(KERNEL_QUERIES),
+                    "seconds": seconds[mode],
+                    "speedup": seconds["per_tree"] / seconds[mode],
+                }
+            )
     return rows
 
 
@@ -895,6 +971,81 @@ def run_planner_suite(
     }
 
 
+def run_kernel_suite(
+    quick: bool = False, seed: int = 0, repeats: int = 1
+) -> Dict:
+    """The unified-kernel sweep (``--suite kernel``) as a JSON-ready
+    dict: one shared plan IR, evaluated per tree vs stacked over every
+    tree of a chunk at once."""
+    tree_counts = CORPUS_TREE_COUNTS_QUICK if quick else CORPUS_TREE_COUNTS
+    errors: List[str] = []
+    rows = run_kernel_benchmark(tree_counts, seed, repeats, errors=errors)
+    top = tree_counts[-1]
+    vectorized_median = _corpus_mode_speedup(rows, "vectorized", top)
+    auto_median = _corpus_mode_speedup(rows, "auto", top)
+    return {
+        "schema": KERNEL_SCHEMA,
+        "generated_by": "python -m repro.bench --suite kernel"
+        + (" --quick" if quick else ""),
+        "seed": seed,
+        "repeats": repeats,
+        "quick": quick,
+        "errors": errors,
+        "kernel": {
+            "tree_counts": list(tree_counts),
+            "max_tree_size": CORPUS_MAX_TREE_SIZE,
+            "queries": [
+                {"kind": q.kind, "text": q.text} for q in KERNEL_QUERIES
+            ],
+            "rows": rows,
+        },
+        "summary": {
+            "kernel_max_trees": top,
+            # warm stacked shard batch vs warm per-tree fast batch
+            "kernel_median_speedup_at_max_size": vectorized_median,
+            # engine="auto" (planner + vectorized upgrade) on the same
+            # baseline — the end-to-end default path
+            "kernel_auto_median_speedup_at_max_size": auto_median,
+            "thresholds": {"vectorized": KERNEL_THRESHOLD},
+            "errors": len(errors),
+            # The speed gate only binds the full-size sweep; a per-case
+            # error fails any sweep, quick included.
+            "pass": not errors
+            and (quick or vectorized_median >= KERNEL_THRESHOLD),
+        },
+    }
+
+
+def _print_kernel_report(report: Dict) -> None:
+    print(f"unified-kernel benchmark (seed={report['seed']}, "
+          f"quick={report['quick']})")
+    print(f"\n{len(report['kernel']['queries'])} IR-expressible queries "
+          f"per batch, tree sizes cycling up to "
+          f"{report['kernel']['max_tree_size']} nodes; speedups are "
+          "against the warm per-tree fast batch:")
+    current = None
+    for row in report["kernel"]["rows"]:
+        if row["n"] != current:
+            current = row["n"]
+            print(f"  {current} trees ({row['nodes']} nodes):")
+        print(
+            f"    {row['mode']:<12} "
+            f"{row['seconds'] * 1000:>8.1f}ms  "
+            f"speedup={row['speedup']:>5.2f}x"
+        )
+    summary = report["summary"]
+    print(
+        f"\nmedian speedups at {summary['kernel_max_trees']} trees: "
+        f"stacked shard "
+        f"{summary['kernel_median_speedup_at_max_size']:.2f}x, "
+        f"engine=auto "
+        f"{summary['kernel_auto_median_speedup_at_max_size']:.2f}x "
+        f"(gate: {summary['thresholds']['vectorized']:.1f}x on the "
+        f"stacked shard — "
+        f"{'pass' if summary['pass'] else 'FAIL'})"
+    )
+
+
 def _print_planner_report(report: Dict) -> None:
     print(f"adaptive planner benchmark (seed={report['seed']}, "
           f"quick={report['quick']})")
@@ -1056,6 +1207,19 @@ def check_reports(paths: Sequence[Path]) -> List[str]:
                     f"{overhead!r} exceeds the "
                     f"{PLANNER_OVERHEAD_THRESHOLD:.1f}x gate"
                 )
+        if str(schema).startswith("repro-bench-kernel") and not report.get(
+            "quick", False
+        ):
+            stacked = summary.get("kernel_median_speedup_at_max_size")
+            if (
+                not isinstance(stacked, (int, float))
+                or stacked < KERNEL_THRESHOLD
+            ):
+                failures.append(
+                    f"{path}: kernel_median_speedup_at_max_size = "
+                    f"{stacked!r} is below the "
+                    f"{KERNEL_THRESHOLD:.1f}x gate"
+                )
     return failures
 
 
@@ -1098,14 +1262,15 @@ def main(argv: Sequence[str] = None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("engine", "walk", "corpus", "planner"),
+        choices=("engine", "walk", "corpus", "planner", "kernel"),
         default="engine",
         help="engine: FO + XPath vs the indexed engines "
         "(BENCH_engine.json); walk: caterpillar + TWA vs the "
         "compiled walking engine (BENCH_walk.json); corpus: "
         "set-at-a-time batches vs the naive per-call loop "
         "(BENCH_corpus.json); planner: engine=auto vs the manual "
-        "engine choices (BENCH_planner.json)",
+        "engine choices (BENCH_planner.json); kernel: the stacked "
+        "shard executor vs warm per-tree batches (BENCH_kernel.json)",
     )
     parser.add_argument(
         "--quick",
@@ -1150,7 +1315,13 @@ def main(argv: Sequence[str] = None) -> int:
             print(f"bench-check: {len(paths)} trajectories clear the "
                   f"{CHECK_FLOOR:.1f}x floor")
         return 1 if failures else 0
-    if opts.suite == "planner":
+    if opts.suite == "kernel":
+        report = run_kernel_suite(
+            quick=opts.quick, seed=opts.seed, repeats=opts.repeats
+        )
+        _print_kernel_report(report)
+        default_output = KERNEL_DEFAULT_OUTPUT
+    elif opts.suite == "planner":
         report = run_planner_suite(
             quick=opts.quick, seed=opts.seed, repeats=opts.repeats
         )

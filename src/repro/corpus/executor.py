@@ -38,9 +38,11 @@ from ..engine import fo as fast_fo
 from ..engine import walk as engine_walk
 from ..engine import xpath as fast_xpath
 from ..engine.index import TreeIndex, adopt_index, index_for
+from ..engine.ir import StackedShard, evaluate_shard
 from ..engine.planner import Plan, default_planner
 from ..engine.plans import (
     compile_caterpillar_plan,
+    compile_ir_plan,
     compile_select_plan,
     compile_sentence_plan,
     compile_walk_plan,
@@ -59,9 +61,15 @@ __all__ = ["ChunkReport", "BatchResult", "run_batch", "plan_queries"]
 #: Engines a batch can run on.  ``"fast"`` is the indexed set-at-a-time
 #: path with per-chunk reference degradation; ``"reference"`` runs the
 #: node-at-a-time evaluators directly (the oracle's other half);
-#: ``"auto"`` lets the cost-based planner pick per query, from the
-#: corpus's aggregate statistics (:mod:`repro.engine.planner`).
-ENGINES = ("fast", "reference", "auto")
+#: ``"vectorized"`` runs each chunk's root-context queries as ONE
+#: shared-IR plan over the whole chunk at once — every tree packed into
+#: its own lane of one wide integer (:mod:`repro.engine.ir`), with
+#: per-tree fallback for queries outside the IR fragment; ``"auto"``
+#: lets the cost-based planner pick per query from the corpus's
+#: aggregate statistics (:mod:`repro.engine.planner`), upgrading
+#: fast picks to the vectorized pass when the batch is big enough to
+#: amortise the shard stacking.
+ENGINES = ("fast", "reference", "auto", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -172,6 +180,8 @@ def evaluate_cell(query: CorpusQuery, tree: Tree, engine: str = "fast"):
             query.kind, query.text, tree, parsed=_planner_parsed(query)
         )
         return evaluate_cell(query, tree, plan.engine)
+    if engine == "vectorized":
+        engine = "fast"  # one cell has no shard to stack across
     if engine == "fast":
         if query.kind == "xpath":
             return fast_xpath.select(
@@ -268,31 +278,72 @@ def _warm_chunk(
     return trees, indexes
 
 
+def _ir_batch_plan(query: CorpusQuery):
+    """The query's shared-IR plan for the stacked shard pass, or
+    ``None`` when it cannot ride it: non-root contexts, the all-pairs
+    relation kind, or a formula outside the IR fragment."""
+    if query.context != () or query.kind == "caterpillar-relation":
+        return None
+    return compile_ir_plan(query.kind, query.text)
+
+
 def _evaluate_rows(
     trees: Sequence[Tree],
     queries: Sequence[CorpusQuery],
     engine: Union[str, Tuple[str, ...]],
     indexes: Optional[Sequence[TreeIndex]],
 ) -> Tuple[Tuple[object, ...], ...]:
-    """Tree-outer, query-inner sweep: one index (re)use per tree.
+    """One chunk's cells: a stacked shard pass for the vectorized
+    queries, then the tree-outer, query-inner sweep for the rest.
 
     ``engine`` is one name for the whole sweep, or (on the ``auto``
-    path) one planner-chosen name per query."""
+    path) one planner-chosen name per query.  Each ``"vectorized"``
+    query lowers to one IR plan evaluated *once* across every tree of
+    the chunk (each tree in its own bit lane); queries the IR cannot
+    express quietly take the per-tree fast path instead."""
     for query in queries:
         compile_query(query)
-    engines = (
+    engines = list(
         engine if isinstance(engine, tuple) else (engine,) * len(queries)
     )
+    stacked: Dict[int, object] = {}
+    for position, (query, chosen) in enumerate(zip(queries, engines)):
+        if chosen != "vectorized":
+            continue
+        plan = _ir_batch_plan(query)
+        if plan is None:
+            engines[position] = "fast"  # outside the fragment: per-tree
+        else:
+            stacked[position] = plan
+    columns: Dict[int, List[object]] = {}
+    if stacked and trees:
+        tree_indexes = (
+            tuple(indexes)
+            if indexes is not None
+            else tuple(index_for(tree) for tree in trees)
+        )
+        shard = StackedShard(tree_indexes)
+        for position, plan in stacked.items():
+            lanes = shard.split(evaluate_shard(plan, shard))
+            if plan.mode == "boolean":
+                columns[position] = [bool(lane) for lane in lanes]
+            else:
+                columns[position] = [
+                    idx.to_nodes(lane)
+                    for idx, lane in zip(tree_indexes, lanes)
+                ]
     rows = []
     for position, tree in enumerate(trees):
         if indexes is not None:
             adopt_index(tree, indexes[position])
-        rows.append(
-            tuple(
-                evaluate_cell(query, tree, chosen)
-                for query, chosen in zip(queries, engines)
-            )
-        )
+        row = []
+        for query_index, (query, chosen) in enumerate(zip(queries, engines)):
+            column = columns.get(query_index)
+            if column is not None:
+                row.append(column[position])
+            else:
+                row.append(evaluate_cell(query, tree, chosen))
+        rows.append(tuple(row))
     return tuple(rows)
 
 
@@ -319,7 +370,8 @@ def _run_chunk(payload: _ChunkPayload):
             time.perf_counter() - started,
         )
         return index, rows, report
-    attempt = engine if isinstance(engine, tuple) else "fast"
+    attempt = engine  # "fast", "vectorized", or the auto per-query mix
+    attempted_name = "auto" if isinstance(engine, tuple) else engine
     injector = FaultInjector(fault) if fault is not None else None
     budget = Budget(steps=budget_steps) if budget_steps is not None else None
     try:
@@ -329,9 +381,7 @@ def _run_chunk(payload: _ChunkPayload):
         else:
             rows = _evaluate_rows(trees, queries, attempt, indexes)
         report = ChunkReport(
-            index, start, stop,
-            "auto" if isinstance(engine, tuple) else "fast",
-            False, None,
+            index, start, stop, attempted_name, False, None,
             time.perf_counter() - started,
         )
     except ParseError:
@@ -424,7 +474,21 @@ def run_batch(
         if stats is None:
             stats = corpus_statistics(trees)
         plans = plan_queries(queries, stats)
-        chunk_engine = tuple(plan.engine for plan in plans)
+        # The planner priced fast vs reference per query; the stacked
+        # shard pass does the same bitset work as the fast path but
+        # interprets each plan once per chunk instead of once per tree,
+        # so a fast pick upgrades to "vectorized" whenever a chunk can
+        # hold more than one tree (and the query fits the IR).
+        chunk_engine = tuple(
+            "vectorized"
+            if (
+                plan.engine == "fast"
+                and len(trees) > 1
+                and _ir_batch_plan(query) is not None
+            )
+            else plan.engine
+            for query, plan in zip(queries, plans)
+        )
     faults = dict(faults or {})
     bounds = _chunk_bounds(len(trees), chunk_size, workers)
     payloads: List[_ChunkPayload] = []

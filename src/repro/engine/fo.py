@@ -59,6 +59,7 @@ from ..logic.tree_fo import (
     ValEq,
     free_variables,
 )
+from ..caching import KeyedLRU
 from ..resilience.budget import current_context
 from ..trees.node import NodeId
 from ..trees.tree import Tree
@@ -564,6 +565,31 @@ def relation_of(
     )
 
 
+#: Lowered IR plans keyed by formula object identity (entries pin the
+#: formula, so an id can never be recycled while its entry is live).
+#: ``None`` is cached too: a formula outside the IR fragment — value
+#: atoms, unsupported quantifier shapes — is probed exactly once.
+_IR_PLAN_CACHE: KeyedLRU = KeyedLRU(256, name="fo-ir-plans")
+
+
+def _ir_plan(tag, formula, kind, x=None, y=None):
+    """The formula's root-context IR plan (or ``None``), cached by
+    identity: the facade hands the same parsed formula object to every
+    call, so lowering happens once per (formula, selector) pairing."""
+    key = tag + (id(formula),)
+    hit = _IR_PLAN_CACHE.get(key)
+    if hit is not None and hit[0] is formula:
+        return hit[1]
+    from .ir import lower_select, lower_sentence
+
+    if kind == "sentence":
+        plan = lower_sentence(formula)
+    else:
+        plan = lower_select(formula, x, y)
+    _IR_PLAN_CACHE.put(key, (formula, plan))
+    return plan
+
+
 # ---------------------------------------------------------------------------
 # Public API — drop-in counterparts of the reference evaluator
 # ---------------------------------------------------------------------------
@@ -582,6 +608,12 @@ def evaluate(
             f"unbound free variables: {sorted(v.name for v in missing)}"
         )
     idx = index_for(tree)
+    if not free_variables(formula):
+        plan = _ir_plan(("sentence",), formula, "sentence")
+        if plan is not None:
+            from .ir import evaluate_tree
+
+            return bool(evaluate_tree(plan, idx))
     rel = _Compiler(idx).rel(formula)
     if not rel.vars:
         return bool(rel.rows)
@@ -638,6 +670,12 @@ def select(
             f"also found {sorted(v.name for v in extra)}"
         )
     idx = index_for(tree)
+    if idx.id_of[context] == 0:
+        plan = _ir_plan(("select", x.name, y.name), formula, "select", x, y)
+        if plan is not None:
+            from .ir import evaluate_tree
+
+            return idx.to_nodes(evaluate_tree(plan, idx))
     rel = _Compiler(idx).rel(formula)
     if y in free:
         if x in free:

@@ -35,12 +35,14 @@ mask), which is what makes the set-at-a-time engines fast.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, List, Tuple
 
 from ..caching import KeyedLRU
 from ..trees.node import NodeId
 from ..trees.tree import Tree
 from ..trees.values import MaybeValue
+from .nodeset import apply_shift_groups, bit_count, iter_bits
+from .nodeset import shift_groups as _shift_groups
 
 __all__ = [
     "TreeIndex",
@@ -50,33 +52,6 @@ __all__ = [
     "iter_bits",
     "bit_count",
 ]
-
-
-def iter_bits(bits: int) -> Iterator[int]:
-    """Indices of the set bits of ``bits``, ascending (= document order)."""
-    while bits:
-        low = bits & -bits
-        yield low.bit_length() - 1
-        bits ^= low
-
-
-def bit_count(bits: int) -> int:
-    """Number of set bits (nodes in the set)."""
-    return bin(bits).count("1")
-
-
-def _shift_groups(edges) -> Tuple[Tuple[int, int], ...]:
-    """Bucket (source, target) pairs by ``target - source``.
-
-    Returns ``((shift, source_mask), …)`` sorted by shift: the dense
-    form of a partial move function, applied set-at-a-time as one
-    big-int shift per distinct distance.
-    """
-    groups: Dict[int, int] = {}
-    for source, target in edges:
-        delta = target - source
-        groups[delta] = groups.get(delta, 0) | (1 << source)
-    return tuple(sorted(groups.items()))
 
 
 class TreeIndex:
@@ -275,12 +250,7 @@ class TreeIndex:
     # -- move graphs (set-at-a-time walking atoms) -----------------------------
 
     def _move(self, direction: str, sources: int) -> int:
-        out = 0
-        for shift, mask in self.move_groups[direction]:
-            hit = sources & mask
-            if hit:
-                out |= hit << shift if shift >= 0 else hit >> -shift
-        return out
+        return apply_shift_groups(self.move_groups[direction], sources)
 
     def down_mask(self, sources: int) -> int:
         """Image of ``sources`` under the *first-child* move — one

@@ -1,0 +1,1000 @@
+"""The plan IR: one typed register program every dialect lowers into.
+
+The XPath compiler, the FO(∃*) compiler and the caterpillar compiler
+each used to bottom out in their own closures over
+:class:`~repro.engine.index.TreeIndex` bitsets.  This module gives them
+a single meeting point: a small *register program* of typed node-set
+ops —
+
+========================  ==================================================
+``LabelScan(σ)``          the inverted-index bitset of σ-labelled nodes
+``ConstScan(kind)``       all/none/root/leaf/first/last structural masks
+``Shift(r, d)``           one walking move (up/down/left/right), set-at-a-time
+``Children(r)``           all children of the set in ``r``
+``Descendants(r)``        all proper descendants of the set in ``r``
+``ClosurePlus(r, d)``     one-or-more iterations of a move (d⁺)
+``Union(rs)`` / ``Join(rs)``  set union / intersection (the relational join
+                          of unary relations; ``Join`` children are ordered
+                          by estimated cardinality, cheapest first)
+``Complement(r)``         domain complement
+``Closure(r, …)``         a compiled caterpillar NFA saturated from ``r``
+``AnyLane(r)``            non-empty → full domain (the projection that turns
+                          "some witness exists" into a per-tree verdict)
+========================  ==================================================
+
+— plus two interpreters over the node-set kernel
+(:mod:`repro.engine.nodeset`):
+
+* :func:`evaluate_tree` binds a plan to one :class:`TreeIndex`;
+* :func:`evaluate_shard` binds the *same* plan to a
+  :class:`StackedShard` — every tree of a corpus chunk packed into its
+  own power-of-two lane of one wide integer — so one pass over the op
+  list answers the query for the whole shard at once.  ``AnyLane``
+  becomes a SWAR broadcast, ``Descendants``/``Children`` become
+  move-closure saturations (preorder puts every proper descendant in
+  ``down · (down | right)*``, and every child in ``down · right*``),
+  and every mask/shift/join acts on all lanes simultaneously.
+
+Lowering is *partial*: :func:`lower_query` returns ``None`` for
+constructs outside the IR (value atoms, quantifiers linking two
+variables through more than one binary atom, shadowed selector
+variables), and callers fall back to the dialect's own evaluator — the
+fallback path the differential oracle keeps honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..caterpillar.ast import IS_FIRST, IS_LAST, IS_LEAF, IS_ROOT
+from ..logic import tree_fo as F
+from ..resilience.budget import current_context
+from ..xpath.ast import (
+    CHILD,
+    NameTest,
+    Path,
+    SelfTest,
+    Step,
+    Union_,
+)
+from .index import TreeIndex
+from .nodeset import (
+    apply_shift_groups,
+    broadcast_lanes,
+    lane_width_for,
+    reach,
+    split_lanes,
+    stack_groups,
+    stack_masks,
+)
+
+__all__ = [
+    "LabelScan",
+    "ConstScan",
+    "Shift",
+    "Children",
+    "Descendants",
+    "ClosurePlus",
+    "Union",
+    "Join",
+    "Complement",
+    "Closure",
+    "AnyLane",
+    "Plan",
+    "StackedShard",
+    "evaluate_tree",
+    "evaluate_shard",
+    "lower_xpath",
+    "lower_sentence",
+    "lower_select",
+    "lower_caterpillar",
+    "lower_query",
+]
+
+
+# ---------------------------------------------------------------------------
+# ops
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LabelScan:
+    """Bitset of σ-labelled nodes (the inverted label index)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ConstScan:
+    """A structural mask: all, none, root, leaf, first or last."""
+
+    kind: str
+
+
+@dataclass(frozen=True)
+class Shift:
+    """One walking move applied to a whole node set."""
+
+    src: int
+    direction: str
+
+
+@dataclass(frozen=True)
+class Children:
+    """All children of the nodes in ``src``."""
+
+    src: int
+
+
+@dataclass(frozen=True)
+class Descendants:
+    """All *proper* descendants of the nodes in ``src``."""
+
+    src: int
+
+
+@dataclass(frozen=True)
+class ClosurePlus:
+    """One-or-more iterations of a move: the image of ``d⁺``."""
+
+    src: int
+    direction: str
+
+
+@dataclass(frozen=True)
+class Union:
+    """Set union of the source registers."""
+
+    srcs: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Join:
+    """Set intersection; children ordered cheapest-first at lowering."""
+
+    srcs: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Complement:
+    """Domain complement of ``src``."""
+
+    src: int
+
+
+@dataclass(frozen=True)
+class Closure:
+    """A compiled caterpillar NFA (ε-closed edge tables of a
+    :class:`~repro.engine.walk.CompiledWalk`) saturated from the nodes
+    in ``src``; yields the nodes reached in an accepting state."""
+
+    src: int
+    edges: Tuple
+    start: int
+    accepting: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class AnyLane:
+    """Non-empty → full domain, per tree: the existential projection.
+    One tree at a time this is "all nodes if the set is inhabited";
+    stacked it is a per-lane SWAR broadcast."""
+
+    src: int
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A lowered query: ops in dependency order (op *i* writes register
+    *i*), the result register, and how to read it (``"nodes"`` — a node
+    set in document order — or ``"boolean"`` — inhabited or not)."""
+
+    ops: Tuple
+    result: int
+    mode: str
+
+    def __repr__(self) -> str:
+        body = "; ".join(f"r{i}={op!r}" for i, op in enumerate(self.ops))
+        return f"Plan<{self.mode}>[{body} -> r{self.result}]"
+
+
+# ---------------------------------------------------------------------------
+# interpreters
+# ---------------------------------------------------------------------------
+
+_TEST_PREDICATES = (
+    (IS_ROOT, "root"),
+    (IS_LEAF, "leaf"),
+    (IS_FIRST, "first"),
+    (IS_LAST, "last"),
+)
+
+
+def _bind_closure(op: Closure, move_groups, test_masks, labelled):
+    """Resolve a ``Closure`` op's compiled atoms against one algebra:
+    tests/labels become masks, moves become shift groups — the same
+    binding :class:`~repro.engine.walk.WalkEvaluator` performs."""
+    bound = []
+    for state, state_edges in enumerate(op.edges):
+        selfs = []
+        outs = []
+        for (kind, payload), targets in state_edges:
+            if kind == "move":
+                applier = (move_groups[payload], 0)
+            elif kind == "test":
+                applier = (None, test_masks[payload])
+            else:  # label test
+                applier = (None, labelled(payload))
+            if state in targets:
+                selfs.append(applier)
+            rest = tuple(t for t in targets if t != state)
+            if rest:
+                outs.append((applier[0], applier[1], rest))
+        bound.append((tuple(selfs), tuple(outs)))
+    return tuple(bound)
+
+
+class _TreeAlgebra:
+    """One plan bound to one tree's index."""
+
+    __slots__ = ("index", "move_groups", "_tests")
+
+    def __init__(self, index: TreeIndex) -> None:
+        self.index = index
+        self.move_groups = index.move_groups
+        self._tests = None
+
+    def labelled(self, name: str) -> int:
+        return self.index.labelled(name)
+
+    def const(self, kind: str) -> int:
+        index = self.index
+        if kind == "all":
+            return index.all_mask
+        if kind == "none":
+            return 0
+        if kind == "root":
+            return index.root_mask
+        if kind == "leaf":
+            return index.leaf_mask
+        if kind == "first":
+            return index.first_mask
+        return index.last_mask
+
+    def move(self, direction: str, bits: int) -> int:
+        return apply_shift_groups(self.move_groups[direction], bits)
+
+    def children(self, bits: int, context) -> int:
+        return self.index.children_of_mask(bits)
+
+    def descendants(self, bits: int, context) -> int:
+        return self.index.descendants_mask(bits)
+
+    def plus(self, direction: str, bits: int, context) -> int:
+        return _saturate(
+            (self.move_groups[direction],), self.move(direction, bits), context
+        )
+
+    def complement(self, bits: int) -> int:
+        return self.index.all_mask & ~bits
+
+    def any_lane(self, bits: int) -> int:
+        return self.index.all_mask if bits else 0
+
+    def closure(self, op: Closure, init: int, context) -> int:
+        if self._tests is None:
+            index = self.index
+            self._tests = {
+                predicate: getattr(index, f"{kind}_mask")
+                for predicate, kind in _TEST_PREDICATES
+            }
+        bound = _bind_closure(op, self.move_groups, self._tests, self.labelled)
+        reached = reach(bound, len(op.edges), op.start, init, context)
+        out = 0
+        for state in op.accepting:
+            out |= reached[state]
+        return out
+
+
+class StackedShard:
+    """Every tree of a chunk packed into its own lane of one wide int.
+
+    Lane *t* occupies bits ``[t·width, t·width + n_t)`` with ``width``
+    the smallest power of two fitting the largest tree — so moves
+    (confined to a tree) can never carry across lanes and the SWAR
+    broadcast of ``AnyLane`` folds exactly one lane.  Structural masks
+    and shift groups are stacked eagerly (one pass over the indexes);
+    label masks are stacked lazily per distinct label.
+    """
+
+    __slots__ = (
+        "indexes",
+        "lanes",
+        "width",
+        "all_mask",
+        "consts",
+        "move_groups",
+        "_labels",
+    )
+
+    def __init__(self, indexes) -> None:
+        self.indexes = tuple(indexes)
+        self.lanes = len(self.indexes)
+        self.width = lane_width_for(
+            max((index.n for index in self.indexes), default=1)
+        )
+        width = self.width
+        self.all_mask = stack_masks(
+            (index.all_mask for index in self.indexes), width
+        )
+        self.consts = {
+            "all": self.all_mask,
+            "none": 0,
+            "root": stack_masks(
+                (index.root_mask for index in self.indexes), width
+            ),
+            "leaf": stack_masks(
+                (index.leaf_mask for index in self.indexes), width
+            ),
+            "first": stack_masks(
+                (index.first_mask for index in self.indexes), width
+            ),
+            "last": stack_masks(
+                (index.last_mask for index in self.indexes), width
+            ),
+        }
+        self.move_groups = {
+            direction: stack_groups(
+                (index.move_groups[direction] for index in self.indexes),
+                width,
+            )
+            for direction in ("up", "down", "left", "right")
+        }
+        self._labels: Dict[str, int] = {}
+
+    def labelled(self, name: str) -> int:
+        mask = self._labels.get(name)
+        if mask is None:
+            mask = stack_masks(
+                (index.labelled(name) for index in self.indexes), self.width
+            )
+            self._labels[name] = mask
+        return mask
+
+    def split(self, bits: int) -> List[int]:
+        """The per-tree node sets of a stacked result, tree order."""
+        return split_lanes(bits, self.width, self.lanes)
+
+
+class _ShardAlgebra:
+    """One plan bound to a whole shard's stacked lanes."""
+
+    __slots__ = ("shard", "_tests")
+
+    def __init__(self, shard: StackedShard) -> None:
+        self.shard = shard
+        self._tests = None
+
+    def labelled(self, name: str) -> int:
+        return self.shard.labelled(name)
+
+    def const(self, kind: str) -> int:
+        return self.shard.consts[kind]
+
+    def move(self, direction: str, bits: int) -> int:
+        return apply_shift_groups(self.shard.move_groups[direction], bits)
+
+    def children(self, bits: int, context) -> int:
+        # children(S) = down(S) closed under right: the first child plus
+        # its right-sibling chain enumerates exactly the children.
+        groups = self.shard.move_groups
+        return _saturate(
+            (groups["right"],),
+            apply_shift_groups(groups["down"], bits),
+            context,
+        )
+
+    def descendants(self, bits: int, context) -> int:
+        # descendants(S) = down(S) closed under {down, right}: every
+        # non-root node of a subtree is the first child (down) or the
+        # right sibling (right) of another node of the same subtree,
+        # and both moves stay inside the subtree.
+        groups = self.shard.move_groups
+        return _saturate(
+            (groups["down"], groups["right"]),
+            apply_shift_groups(groups["down"], bits),
+            context,
+        )
+
+    def plus(self, direction: str, bits: int, context) -> int:
+        groups = self.shard.move_groups[direction]
+        return _saturate((groups,), apply_shift_groups(groups, bits), context)
+
+    def complement(self, bits: int) -> int:
+        return self.shard.all_mask & ~bits
+
+    def any_lane(self, bits: int) -> int:
+        shard = self.shard
+        return (
+            broadcast_lanes(bits, shard.width, shard.lanes) & shard.all_mask
+        )
+
+    def closure(self, op: Closure, init: int, context) -> int:
+        if self._tests is None:
+            consts = self.shard.consts
+            self._tests = {
+                predicate: consts[kind]
+                for predicate, kind in _TEST_PREDICATES
+            }
+        bound = _bind_closure(
+            op, self.shard.move_groups, self._tests, self.labelled
+        )
+        reached = reach(bound, len(op.edges), op.start, init, context)
+        out = 0
+        for state in op.accepting:
+            out |= reached[state]
+        return out
+
+
+def _saturate(groups_list, seed: int, context) -> int:
+    """Close ``seed`` under a set of shift-decomposed moves — the
+    frontier loop behind ``Descendants``/``Children``/``ClosurePlus``.
+    One checkpoint per round (the unit of big-int work)."""
+    acc = 0
+    frontier = seed
+    while frontier:
+        if context is not None:
+            context.checkpoint()
+        acc |= frontier
+        image = 0
+        for groups in groups_list:
+            image |= apply_shift_groups(groups, frontier)
+        frontier = image & ~acc
+    return acc
+
+
+def _run(plan: Plan, algebra) -> int:
+    context = current_context()
+    regs: List[int] = [0] * len(plan.ops)
+    for position, op in enumerate(plan.ops):
+        if context is not None:
+            context.checkpoint()
+        kind = type(op)
+        if kind is LabelScan:
+            value = algebra.labelled(op.name)
+        elif kind is ConstScan:
+            value = algebra.const(op.kind)
+        elif kind is Shift:
+            value = algebra.move(op.direction, regs[op.src])
+        elif kind is Children:
+            value = algebra.children(regs[op.src], context)
+        elif kind is Descendants:
+            value = algebra.descendants(regs[op.src], context)
+        elif kind is ClosurePlus:
+            value = algebra.plus(op.direction, regs[op.src], context)
+        elif kind is Union:
+            value = 0
+            for src in op.srcs:
+                value |= regs[src]
+        elif kind is Join:
+            value = regs[op.srcs[0]]
+            for src in op.srcs[1:]:
+                value &= regs[src]
+                if not value:
+                    break
+        elif kind is Complement:
+            value = algebra.complement(regs[op.src])
+        elif kind is Closure:
+            value = algebra.closure(op, regs[op.src], context)
+        elif kind is AnyLane:
+            value = algebra.any_lane(regs[op.src])
+        else:  # pragma: no cover - op set is closed
+            raise TypeError(f"unknown IR op {op!r}")
+        regs[position] = value
+    return regs[plan.result]
+
+
+def evaluate_tree(plan: Plan, index: TreeIndex) -> int:
+    """Run ``plan`` over one tree; returns the result-register bitset."""
+    return _run(plan, _TreeAlgebra(index))
+
+
+def evaluate_shard(plan: Plan, shard: StackedShard) -> int:
+    """Run ``plan`` once over a whole shard; returns the stacked
+    result (``shard.split`` recovers the per-tree bitsets)."""
+    return _run(plan, _ShardAlgebra(shard))
+
+
+# ---------------------------------------------------------------------------
+# cardinality-aware builder
+# ---------------------------------------------------------------------------
+
+
+class _StatView:
+    """Per-tree expected cardinalities from corpus or tree statistics.
+
+    ``CorpusStatistics`` sums label/leaf counts across trees, so counts
+    are normalised back to one tree; without statistics the view is
+    *uninformed* and ``Join`` keeps syntactic order.
+    """
+
+    __slots__ = (
+        "informed",
+        "n",
+        "labels",
+        "leaves",
+        "height",
+        "avg_subtree",
+        "avg_fanout",
+    )
+
+    def __init__(self, stats) -> None:
+        if stats is None:
+            self.informed = False
+            self.n = 64.0
+            self.labels: Dict[str, float] = {}
+            self.leaves = 32.0
+            self.height = 8.0
+            self.avg_subtree = 8.0
+            self.avg_fanout = 2.0
+            return
+        trees = float(getattr(stats, "tree_count", 1) or 1)
+        self.informed = True
+        self.n = max(float(stats.n), 1.0)
+        self.labels = {
+            name: count / trees for name, count in stats.label_counts
+        }
+        self.leaves = float(stats.leaf_count) / trees
+        self.height = max(float(stats.height), 1.0)
+        self.avg_subtree = max(float(stats.avg_subtree), 0.0)
+        self.avg_fanout = max(float(stats.avg_fanout), 1.0)
+
+    def estimate(self, op, est: List[float]) -> float:
+        n = self.n
+        kind = type(op)
+        if kind is LabelScan:
+            return min(n, self.labels.get(op.name, 0.0))
+        if kind is ConstScan:
+            if op.kind == "all":
+                return n
+            if op.kind == "none":
+                return 0.0
+            if op.kind == "root":
+                return 1.0
+            if op.kind == "leaf":
+                return min(n, self.leaves)
+            return max(1.0, n - self.leaves)  # first/last ≈ internal count
+        if kind is Shift:
+            return min(n, est[op.src])
+        if kind is Children:
+            return min(n, est[op.src] * self.avg_fanout)
+        if kind is Descendants:
+            return min(n, est[op.src] * self.avg_subtree)
+        if kind is ClosurePlus:
+            if op.direction in ("left", "right"):
+                return min(n, est[op.src] * self.avg_fanout)
+            if op.direction == "down":
+                return min(n, est[op.src] * self.height)
+            return min(n, est[op.src] * (self.avg_subtree + 1.0))
+        if kind is Union:
+            return min(n, sum(est[src] for src in op.srcs))
+        if kind is Join:
+            out = n
+            for src in op.srcs:
+                out *= est[src] / n
+            return out
+        if kind is Complement:
+            return max(0.0, n - est[op.src])
+        if kind is AnyLane:
+            return n
+        return n / 2.0  # Closure and anything future
+
+
+class _Builder:
+    """Emit ops with common-subexpression elimination and a running
+    per-register cardinality estimate (used to order ``Join``)."""
+
+    __slots__ = ("ops", "est", "view", "_memo")
+
+    def __init__(self, stats=None) -> None:
+        self.ops: List = []
+        self.est: List[float] = []
+        self.view = _StatView(stats)
+        self._memo: Dict = {}
+
+    def emit(self, op) -> int:
+        hit = self._memo.get(op)
+        if hit is not None:
+            return hit
+        self.ops.append(op)
+        self.est.append(self.view.estimate(op, self.est))
+        register = len(self.ops) - 1
+        self._memo[op] = register
+        return register
+
+    def join(self, regs: List[int]) -> int:
+        """Intersection of ``regs`` — deduplicated and, when statistics
+        are available, ordered cheapest-first so the running big-int
+        intersection shrinks as early as possible."""
+        unique = list(dict.fromkeys(regs))
+        if len(unique) == 1:
+            return unique[0]
+        if self.view.informed:
+            unique.sort(key=lambda reg: (self.est[reg], reg))
+        return self.emit(Join(tuple(unique)))
+
+    def union(self, regs: List[int]) -> int:
+        unique = list(dict.fromkeys(regs))
+        if len(unique) == 1:
+            return unique[0]
+        return self.emit(Union(tuple(unique)))
+
+    def plan(self, result: int, mode: str) -> Plan:
+        return Plan(tuple(self.ops), result, mode)
+
+
+# ---------------------------------------------------------------------------
+# XPath lowering (context node = root, the corpus contract)
+# ---------------------------------------------------------------------------
+
+
+def _test_reg(builder: _Builder, test) -> int:
+    if isinstance(test, NameTest):
+        return builder.emit(LabelScan(test.name))
+    return builder.emit(ConstScan("all"))  # Wildcard and SelfTest
+
+
+def _step_reg(builder: _Builder, step: Step) -> int:
+    """test ∩ every filter's keep-mask — the nodes this step admits."""
+    regs = [_test_reg(builder, step.test)]
+    for filter_path in step.filters:
+        regs.append(_filter_keep(builder, filter_path))
+    return builder.join(regs)
+
+
+def _filter_keep(builder: _Builder, path: Path) -> int:
+    """The set of candidates at which ``[path]`` holds, computed
+    *backwards*: ``A_k`` is the set of nodes that can play step ``k``
+    and still reach a full match, pulled up through the axes by the
+    preimage moves (child ⇒ one ``up``, descendant ⇒ ``up⁺``)."""
+    masks = [_step_reg(builder, step) for step in path.steps]
+    current = masks[-1]
+    for axis, mask in zip(reversed(path.axes), reversed(masks[:-1])):
+        if axis == CHILD:
+            pre = builder.emit(Shift(current, "up"))
+        else:
+            pre = builder.emit(ClosurePlus(current, "up"))
+        current = builder.join([mask, pre])
+    if path.absolute:
+        rooted = builder.join([current, builder.emit(ConstScan("root"))])
+        return builder.emit(AnyLane(rooted))
+    if isinstance(path.steps[0].test, SelfTest):
+        return current  # the candidate itself plays step 0
+    # implicit leading child axis: some child of the candidate plays it
+    return builder.emit(Shift(current, "up"))
+
+
+def _path_reg(builder: _Builder, path: Path) -> int:
+    # With the context node at the root, absolute, relative and
+    # self-headed paths all seed at the root (id 0) — the exact
+    # `_seed_mask` cases of engine.xpath specialised to context ().
+    current = builder.join(
+        [builder.emit(ConstScan("root")), _step_reg(builder, path.steps[0])]
+    )
+    for axis, step in zip(path.axes, path.steps[1:]):
+        if axis == CHILD:
+            moved = builder.emit(Children(current))
+        else:
+            moved = builder.emit(Descendants(current))
+        current = builder.join([moved, _step_reg(builder, step)])
+    return current
+
+
+def lower_xpath(expr, stats=None) -> Plan:
+    """Lower an XPath AST (``Path`` or ``Union_``) for evaluation from
+    the root context.  The paper's whole fragment fits the IR, so this
+    lowering is total."""
+    builder = _Builder(stats)
+    if isinstance(expr, Union_):
+        result = builder.union(
+            [_path_reg(builder, alt) for alt in expr.alternatives]
+        )
+    else:
+        result = _path_reg(builder, expr)
+    return builder.plan(result, "nodes")
+
+
+# ---------------------------------------------------------------------------
+# FO(∃*) lowering
+# ---------------------------------------------------------------------------
+
+_CONST_ATOMS = {
+    F.Root: "root",
+    F.Leaf: "leaf",
+    F.First: "first",
+    F.Last: "last",
+}
+
+
+def _unary_atom(builder: _Builder, atom, var) -> Optional[int]:
+    """An atom whose free variables are ⊆ {var}, as a set over var."""
+    kind = type(atom)
+    if kind is F.TrueF:
+        return builder.emit(ConstScan("all"))
+    if kind is F.FalseF:
+        return builder.emit(ConstScan("none"))
+    if kind is F.Label:
+        return builder.emit(LabelScan(atom.symbol))
+    const = _CONST_ATOMS.get(kind)
+    if const is not None:
+        return builder.emit(ConstScan(const))
+    if kind is F.NodeEq:
+        return builder.emit(ConstScan("all"))  # var = var
+    if kind in (F.Edge, F.Desc, F.SibLess, F.Succ):
+        return builder.emit(ConstScan("none"))  # irreflexive on var, var
+    return None  # value atoms
+
+
+def _linking_image(builder, atom, source: int, bound, free_var):
+    """``{free_var : ∃ v ∈ source. atom(v, free_var)}`` for one positive
+    binary atom linking the exhausted variable ``bound`` to
+    ``free_var`` — each direction is a single IR op."""
+    kind = type(atom)
+    if kind is F.Desc:
+        if atom.ancestor == bound and atom.descendant == free_var:
+            return builder.emit(Descendants(source))
+        if atom.ancestor == free_var and atom.descendant == bound:
+            return builder.emit(ClosurePlus(source, "up"))
+    elif kind is F.Edge:
+        if atom.parent == bound and atom.child == free_var:
+            return builder.emit(Children(source))
+        if atom.parent == free_var and atom.child == bound:
+            return builder.emit(Shift(source, "up"))
+    elif kind is F.Succ:
+        if atom.left == bound and atom.right == free_var:
+            return builder.emit(Shift(source, "right"))
+        if atom.left == free_var and atom.right == bound:
+            return builder.emit(Shift(source, "left"))
+    elif kind is F.SibLess:
+        if atom.left == bound and atom.right == free_var:
+            return builder.emit(ClosurePlus(source, "right"))
+        if atom.left == free_var and atom.right == bound:
+            return builder.emit(ClosurePlus(source, "left"))
+    elif kind is F.NodeEq:
+        return source
+    return None
+
+
+def _set_of(builder: _Builder, phi, var, root_var) -> Optional[int]:
+    """``{var : φ}`` as a register, with ``root_var`` (if any) known to
+    be bound to the root.  Returns ``None`` outside the fragment."""
+    kind = type(phi)
+    if kind is F.Not:
+        inner = _set_of(builder, phi.inner, var, root_var)
+        return None if inner is None else builder.emit(Complement(inner))
+    if kind is F.And:
+        regs = []
+        for part in phi.parts:
+            reg = _set_of(builder, part, var, root_var)
+            if reg is None:
+                return None
+            regs.append(reg)
+        return builder.join(regs)
+    if kind is F.Or:
+        regs = []
+        for part in phi.parts:
+            reg = _set_of(builder, part, var, root_var)
+            if reg is None:
+                return None
+            regs.append(reg)
+        return builder.union(regs)
+    if kind is F.Implies:
+        premise = _set_of(builder, phi.premise, var, root_var)
+        conclusion = _set_of(builder, phi.conclusion, var, root_var)
+        if premise is None or conclusion is None:
+            return None
+        return builder.union(
+            [builder.emit(Complement(premise)), conclusion]
+        )
+    if kind is F.Forall:
+        rewritten = F.Not(F.Exists(phi.var, F.Not(phi.inner)))
+        return _set_of(builder, rewritten, var, root_var)
+    if kind is F.Exists:
+        return _exists(builder, phi.var, phi.inner, var, root_var)
+
+    # atoms
+    free = F.free_variables(phi)
+    if free <= {var}:
+        return _unary_atom(builder, phi, var)
+    if root_var is not None and root_var in free:
+        if free <= {root_var}:
+            # a condition on the root alone: all-or-none over var
+            over_root = _unary_atom(builder, phi, root_var)
+            if over_root is None:
+                return None
+            rooted = builder.join(
+                [over_root, builder.emit(ConstScan("root"))]
+            )
+            return builder.emit(AnyLane(rooted))
+        if free <= {var, root_var}:
+            source = builder.emit(ConstScan("root"))
+            return _linking_image(builder, phi, source, root_var, var)
+    return None
+
+
+def _exists(builder: _Builder, qvar, body, var, root_var) -> Optional[int]:
+    """``{var : ∃ qvar. body}`` — on-the-fly miniscoping: conjuncts are
+    split by whether they see ``qvar``, the ``qvar``-only part becomes
+    a witness set, and at most one positive binary atom links the
+    witness set back to ``var`` through a single image op."""
+    if qvar == var or qvar == root_var:
+        return None  # shadowing: fall back rather than rename
+    kind = type(body)
+    if kind is F.Implies:
+        body = F.Or((F.Not(body.premise), body.conclusion))
+        kind = F.Or
+    if kind is F.Or:
+        regs = []
+        for part in body.parts:
+            reg = _exists(builder, qvar, part, var, root_var)
+            if reg is None:
+                return None
+            regs.append(reg)
+        return builder.union(regs)
+
+    parts = body.parts if kind is F.And else (body,)
+    outer: List[int] = []
+    witness: List[int] = []
+    links = []
+    for part in parts:
+        free = F.free_variables(part)
+        if qvar not in free:
+            reg = _set_of(builder, part, var, root_var)
+            if reg is None:
+                return None
+            outer.append(reg)
+        elif free <= ({qvar, root_var} if root_var else {qvar}):
+            reg = _set_of(builder, part, qvar, root_var)
+            if reg is None:
+                return None
+            witness.append(reg)
+        elif free <= {qvar, var} and F.is_atom(part):
+            links.append(part)
+        else:
+            return None
+    if len(links) > 1:
+        return None  # two images can't be intersected per-witness
+
+    if witness:
+        source = builder.join(witness)
+    else:
+        source = builder.emit(ConstScan("all"))
+    if links:
+        image = _linking_image(builder, links[0], source, qvar, var)
+        if image is None:
+            return None
+    else:
+        image = builder.emit(AnyLane(source))
+    return builder.join(outer + [image]) if outer else image
+
+
+def _closed(builder: _Builder, phi) -> Optional[int]:
+    """A sentence as an all-or-none register (per tree / per lane)."""
+    kind = type(phi)
+    if kind is F.TrueF:
+        return builder.emit(ConstScan("all"))
+    if kind is F.FalseF:
+        return builder.emit(ConstScan("none"))
+    if kind is F.Not:
+        inner = _closed(builder, phi.inner)
+        return None if inner is None else builder.emit(Complement(inner))
+    if kind is F.And:
+        regs = []
+        for part in phi.parts:
+            reg = _closed(builder, part)
+            if reg is None:
+                return None
+            regs.append(reg)
+        return builder.join(regs)
+    if kind is F.Or:
+        regs = []
+        for part in phi.parts:
+            reg = _closed(builder, part)
+            if reg is None:
+                return None
+            regs.append(reg)
+        return builder.union(regs)
+    if kind is F.Implies:
+        return _closed(builder, F.Or((F.Not(phi.premise), phi.conclusion)))
+    if kind is F.Forall:
+        return _closed(builder, F.Not(F.Exists(phi.var, F.Not(phi.inner))))
+    if kind is F.Exists:
+        witness = _set_of(builder, phi.inner, phi.var, None)
+        if witness is None:
+            return None
+        return builder.emit(AnyLane(witness))
+    return None  # every proper atom has a free variable
+
+
+def lower_sentence(formula, stats=None) -> Optional[Plan]:
+    """Lower a closed FO formula to a boolean plan, or ``None``."""
+    if F.free_variables(formula):
+        return None
+    builder = _Builder(stats)
+    result = _closed(builder, formula)
+    if result is None:
+        return None
+    return builder.plan(result, "boolean")
+
+
+def lower_select(formula, x, y, stats=None) -> Optional[Plan]:
+    """Lower a binary selector φ(x, y) evaluated at context = root:
+    the answer set over ``y`` with ``x`` pinned to the root — or, when
+    ``y`` is not free, the reference engine's all-or-nothing contract
+    (every node if φ holds at the root, nothing otherwise)."""
+    free = F.free_variables(formula)
+    if not free <= {x, y}:
+        return None
+    builder = _Builder(stats)
+    if y in free:
+        result = _set_of(
+            builder, formula, y, x if x in free else None
+        )
+    elif x in free:
+        over_x = _set_of(builder, formula, x, None)
+        if over_x is None:
+            return None
+        rooted = builder.join([over_x, builder.emit(ConstScan("root"))])
+        result = builder.emit(AnyLane(rooted))
+    else:
+        condition = _closed(builder, formula)
+        result = (
+            None if condition is None else builder.emit(AnyLane(condition))
+        )
+    if result is None:
+        return None
+    return builder.plan(result, "nodes")
+
+
+# ---------------------------------------------------------------------------
+# caterpillar lowering
+# ---------------------------------------------------------------------------
+
+
+def lower_caterpillar(compiled, stats=None) -> Plan:
+    """Lower a :class:`~repro.engine.walk.CompiledWalk` for a walk from
+    the root: one ``Closure`` op over the compiled edge tables."""
+    builder = _Builder(stats)
+    source = builder.emit(ConstScan("root"))
+    result = builder.emit(
+        Closure(
+            source,
+            compiled.edges,
+            compiled.start,
+            tuple(compiled.accepting),
+        )
+    )
+    return builder.plan(result, "nodes")
+
+
+# ---------------------------------------------------------------------------
+# dispatch
+# ---------------------------------------------------------------------------
+
+
+def lower_query(kind: str, parsed, stats=None) -> Optional[Plan]:
+    """Lower one corpus query (already parsed by
+    :mod:`repro.engine.plans`) for evaluation from the root context.
+    Returns ``None`` when the query is outside the IR fragment —
+    callers fall back to the dialect evaluator."""
+    if kind == "xpath":
+        return lower_xpath(parsed, stats)
+    if kind == "ask":
+        return lower_sentence(parsed, stats)
+    if kind == "select":
+        return lower_select(parsed.formula, parsed.x, parsed.y, stats)
+    if kind == "caterpillar":
+        _, compiled = parsed
+        return lower_caterpillar(compiled, stats)
+    return None  # caterpillar-relation: per-tree all-pairs stays put

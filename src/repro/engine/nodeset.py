@@ -1,0 +1,243 @@
+"""The shared node-set kernel: packed big-int bitset primitives.
+
+Every fast engine in this reproduction ultimately computes with the
+same object — a *node set* over dense preorder ids, packed into one
+arbitrary-precision Python int with bit *i* meaning "node *i* is in the
+set" — but three dialects of the algebra grew up independently: the
+walking engine's frontier shifts (:mod:`repro.engine.walk`), the FO
+engine's inverted-index masks (:mod:`repro.engine.fo`), and the XPath
+engine's interval merging (:mod:`repro.engine.xpath`).  This module is
+the one home for the primitives they share, so an optimisation lands
+once:
+
+* **bit iteration / popcount** — :func:`iter_bits`, :func:`bit_count`;
+* **shift decomposition** — :func:`shift_groups` buckets a partial move
+  function by target−source distance so a whole node set moves in one
+  big-int shift per distinct distance; :func:`apply_shift_groups` /
+  :func:`apply_atom` replay such groups against a frontier;
+* **intervals** — :func:`interval_mask` materialises the contiguous id
+  range that a preorder subtree occupies;
+* **lane stacking** — :func:`lane_tiler`, :func:`stack_masks`,
+  :func:`stack_groups`, :func:`broadcast_lanes`, :func:`split_lanes`
+  generalise the trick :meth:`WalkEvaluator.all_pairs` plays within one
+  tree (n start frontiers in one n²-bit integer) to *many trees*: each
+  tree gets a power-of-two-wide lane in one wide integer, and every
+  mask/shift/popcount primitive acts on all lanes simultaneously;
+* **product-graph saturation** — :func:`reach` is the
+  round-synchronised frontier BFS both the caterpillar evaluator and
+  the plan IR's ``Closure`` op run over bound atom tables.
+
+Lanes are padded to a power of two so the SWAR fold in
+:func:`broadcast_lanes` never leaks bits across lane boundaries, and so
+moves (confined to ``[offset, offset + n)`` per tree) can never carry
+into a neighbour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "iter_bits",
+    "bit_count",
+    "shift_groups",
+    "apply_shift_groups",
+    "apply_atom",
+    "interval_mask",
+    "lane_width_for",
+    "lane_tiler",
+    "stack_masks",
+    "stack_groups",
+    "broadcast_lanes",
+    "split_lanes",
+    "reach",
+]
+
+#: ``((shift, source_mask), …)`` — the dense form of a partial move.
+ShiftGroups = Tuple[Tuple[int, int], ...]
+
+
+def iter_bits(bits: int) -> Iterator[int]:
+    """Indices of the set bits of ``bits``, ascending (= document order)."""
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low
+
+
+def bit_count(bits: int) -> int:
+    """Number of set bits (nodes in the set)."""
+    return bin(bits).count("1")
+
+
+def shift_groups(edges: Iterable[Tuple[int, int]]) -> ShiftGroups:
+    """Bucket (source, target) pairs by ``target - source``.
+
+    Returns ``((shift, source_mask), …)`` sorted by shift: the dense
+    form of a partial move function, applied set-at-a-time as one
+    big-int shift per distinct distance.
+    """
+    groups: Dict[int, int] = {}
+    for source, target in edges:
+        delta = target - source
+        groups[delta] = groups.get(delta, 0) | (1 << source)
+    return tuple(sorted(groups.items()))
+
+
+def apply_shift_groups(groups: ShiftGroups, frontier: int) -> int:
+    """Image of ``frontier`` under a shift-decomposed move: one big-int
+    shift per distinct distance, no per-node work."""
+    image = 0
+    for shift, group_mask in groups:
+        hit = frontier & group_mask
+        if hit:
+            image |= hit << shift if shift >= 0 else hit >> -shift
+    return image
+
+
+def apply_atom(groups: Optional[ShiftGroups], mask: int, frontier: int) -> int:
+    """One bound atom, set-at-a-time: a mask intersection for tests
+    (``groups is None``), a shift-group replay for moves."""
+    if groups is None:
+        return frontier & mask
+    return apply_shift_groups(groups, frontier)
+
+
+def interval_mask(start: int, stop: int) -> int:
+    """Bitset of the id range ``[start, stop)`` — a preorder subtree."""
+    if stop <= start:
+        return 0
+    return (1 << stop) - (1 << start)
+
+
+# ---------------------------------------------------------------------------
+# lane stacking: many node sets (one per tree, or one per start node)
+# packed side by side in a single wide integer
+# ---------------------------------------------------------------------------
+
+
+def lane_width_for(n: int) -> int:
+    """The smallest power of two ≥ ``n`` — the lane stride that keeps
+    the SWAR fold of :func:`broadcast_lanes` exactly lane-local."""
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def lane_tiler(width: int, lanes: int) -> int:
+    """Bits at 0, width, 2·width, …: multiplying a sub-``width``-bit
+    mask by this tiles it across all ``lanes`` lanes (no carries —
+    lanes don't overlap)."""
+    if lanes <= 0:
+        return 0
+    if lanes == 1:
+        return 1
+    return ((1 << (width * lanes)) - 1) // ((1 << width) - 1)
+
+
+def stack_masks(masks: Iterable[int], width: int) -> int:
+    """Pack per-lane masks into one wide integer, lane *i* at offset
+    ``i * width``.  Every mask must fit in its lane."""
+    out = 0
+    offset = 0
+    for mask in masks:
+        out |= mask << offset
+        offset += width
+    return out
+
+
+def stack_groups(
+    per_lane_groups: Iterable[ShiftGroups], width: int
+) -> ShiftGroups:
+    """Merge per-lane shift groups into stacked groups: lane *i*'s
+    source masks shift up by ``i * width``, same-distance buckets from
+    different lanes fuse.  Shifts stay in-lane because each lane's
+    (source, target) pairs lie within its own ``[0, n)``."""
+    merged: Dict[int, int] = {}
+    offset = 0
+    for groups in per_lane_groups:
+        for shift, mask in groups:
+            merged[shift] = merged.get(shift, 0) | (mask << offset)
+        offset += width
+    return tuple(sorted(merged.items()))
+
+
+def broadcast_lanes(bits: int, width: int, lanes: int) -> int:
+    """Per-lane any→all: every non-empty lane becomes a full lane of
+    ones, every empty lane stays zero — the vectorised form of "did
+    this tree match?".
+
+    Implemented as a SWAR OR-fold down to each lane's low bit followed
+    by one widening multiply.  ``width`` must be a power of two so the
+    fold window is exactly one lane.
+    """
+    if width & (width - 1):
+        raise ValueError(f"lane width must be a power of two, got {width}")
+    folded = bits
+    shift = 1
+    while shift < width:
+        folded |= folded >> shift
+        shift <<= 1
+    low = folded & lane_tiler(width, lanes)
+    return low * ((1 << width) - 1)
+
+
+def split_lanes(bits: int, width: int, lanes: int) -> List[int]:
+    """The per-lane node sets of a stacked integer, lane order."""
+    block = (1 << width) - 1
+    return [(bits >> (i * width)) & block for i in range(lanes)]
+
+
+# ---------------------------------------------------------------------------
+# product-graph saturation
+# ---------------------------------------------------------------------------
+
+
+def reach(bound, state_count: int, start: int, init: int, context=None) -> List[int]:
+    """Per-state bitsets of product-reachable nodes from ``start``
+    carrying ``init`` — the frontier-bitset BFS shared by the walking
+    engine and the plan IR's ``Closure`` op.
+
+    ``bound[q]`` is ``(selfs, outs)``: *self-loop* atoms of state ``q``
+    as ``(groups, mask)`` appliers (saturated in place), and ordinary
+    out-edges as ``(groups, mask, targets)``.  Propagation is
+    *round-synchronised*: every state's fresh bits are batched and
+    pushed through all its atoms once per round, so the number of
+    big-int operations is (#edges × product-graph depth), never per
+    (state, node) pair.  ``context`` (a resilience
+    :class:`~repro.resilience.budget.ExecutionContext`) is checkpointed
+    once per (state, round) and per self-loop wave — the units of
+    big-int work.
+    """
+    reached = [0] * state_count
+    reached[start] = init
+    pending: Dict[int, int] = {start: init}
+    while pending:
+        current, pending = pending, {}
+        for state, frontier in current.items():
+            if context is not None:
+                context.checkpoint()
+            selfs, outs = bound[state]
+            if selfs:
+                grown = reached[state]
+                wave = frontier
+                while wave:
+                    if context is not None:
+                        context.checkpoint()
+                    image = 0
+                    for groups, mask in selfs:
+                        image |= apply_atom(groups, mask, wave)
+                    wave = image & ~grown
+                    grown |= wave
+                    frontier |= wave
+                reached[state] = grown
+            for groups, mask, targets in outs:
+                image = apply_atom(groups, mask, frontier)
+                if not image:
+                    continue
+                for target in targets:
+                    fresh = image & ~reached[target]
+                    if fresh:
+                        reached[target] |= fresh
+                        pending[target] = pending.get(target, 0) | fresh
+    return reached

@@ -73,6 +73,7 @@ from .stats import (
     CardinalityEstimator,
     CorpusStatistics,
     TreeStatistics,
+    closure_reach_estimate,
     corpus_statistics,
     tree_statistics,
 )
@@ -344,7 +345,7 @@ def _model_costs(
     if kind in ("caterpillar", "caterpillar-relation"):
         _, compiled = compile_walk_plan(text)
         return _walk_costs(
-            compiled.state_count, profile, kind == "caterpillar-relation"
+            compiled, profile, kind == "caterpillar-relation"
         )
     raise ValueError(f"unknown query kind {kind!r}")
 
@@ -629,20 +630,37 @@ def _atom_count(formula: TreeFormula) -> int:
 # -- walking -----------------------------------------------------------------
 
 
+def _walk_directions(compiled) -> frozenset:
+    """The move directions the compiled walk can take — what its
+    closures can reach, hence what its answers can span."""
+    return frozenset(
+        atom[1]
+        for state in compiled.edges
+        for atom, _targets in state
+        if atom[0] == "move"
+    )
+
+
 def _walk_costs(
-    states: int, profile, relation: bool
+    compiled, profile, relation: bool
 ) -> Tuple[float, float, float]:
+    states = compiled.state_count
     n = max(profile.n, 1.0)
     height = max(getattr(profile, "height", 1.0), 1.0) + 1.0
     words = n / WORD + 1.0
+    # How far one start node's closure travels, from the profile's
+    # height/mean-subtree statistics — a ``down*`` spine is bounded by
+    # the height, a ``(down|right)*`` sweep by the mean subtree, an
+    # ``up*`` chain by the mean depth (see closure_reach_estimate).
+    reach = closure_reach_estimate(profile, _walk_directions(compiled))
     if relation:
         # Stacked all-pairs BFS: n frontiers of n-bit sets per state
         # sweep vs one per-context NFA search per start node.
         fast = FAST_SETUP + states * height * words * words * WORD / 4.0
         ref = REF_SETUP + states * n * n
-        rows = n * n / 4.0
+        rows = n * min(reach, n) / 2.0
     else:
         fast = FAST_SETUP + states * height * words
         ref = REF_SETUP + states * n
-        rows = n / 2.0
+        rows = min(n, reach) / 2.0 + 0.5
     return fast, ref, rows

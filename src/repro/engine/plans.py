@@ -52,6 +52,7 @@ __all__ = [
     "compile_select_plan",
     "compile_caterpillar_plan",
     "compile_walk_plan",
+    "compile_ir_plan",
     "cached_query_plan",
     "plan_cache_info",
     "plan_cache_clear",
@@ -102,6 +103,42 @@ def compile_walk_plan(text: str) -> Tuple[Caterpillar, CompiledWalk]:
     """``(ast, CompiledWalk)`` for ``text`` — the fast walking engine's
     whole tree-independent plan, shared process-wide."""
     return _PLAN_CACHE.get_or_compute(("walk", text), lambda: _walk_plan(text))
+
+
+def _parsed_for_ir(kind: str, text: str):
+    if kind == "xpath":
+        return compile_xpath_plan(text)
+    if kind == "ask":
+        return compile_sentence_plan(text)
+    if kind == "select":
+        return compile_select_plan(text)
+    if kind in ("caterpillar", "caterpillar-relation"):
+        return compile_walk_plan(text)
+    raise ValueError(f"unknown query kind {kind!r}")
+
+
+def compile_ir_plan(kind: str, text: str, stats=None, parsed=None):
+    """The query's :class:`~repro.engine.ir.Plan` for evaluation from
+    the root context, or ``None`` when it falls outside the IR fragment
+    — shared process-wide like every other compiled artifact.
+
+    When ``stats`` is given, its fingerprint joins the cache key: the
+    lowering orders ``Join`` children by estimated cardinality, so the
+    plan is a function of the statistics it was costed against.
+    ``parsed`` (the already-compiled AST for ``kind``) skips the parse
+    on a cache miss; hits never parse at all.
+    """
+    from .ir import lower_query
+
+    fingerprint = None if stats is None else stats.fingerprint
+
+    def build():
+        ast = _parsed_for_ir(kind, text) if parsed is None else parsed
+        return (lower_query(kind, ast, stats),)
+
+    return _PLAN_CACHE.get_or_compute(
+        ("ir", kind, text, fingerprint), build
+    )[0]
 
 
 def cached_query_plan(key: Tuple, factory):

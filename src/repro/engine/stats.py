@@ -44,6 +44,7 @@ __all__ = [
     "CardinalityEstimator",
     "tree_statistics",
     "corpus_statistics",
+    "closure_reach_estimate",
     "stats_cache_clear",
 ]
 
@@ -184,6 +185,38 @@ class CorpusStatistics:
 
 def _mean(values: Sequence[float]) -> float:
     return sum(values) / len(values) if values else 0.0
+
+
+def closure_reach_estimate(profile, directions: Iterable[str]) -> float:
+    """Expected per-source image size of ``directions``:sup:`*` from
+    profile statistics alone — the planner's index-free counterpart of
+    :meth:`CardinalityEstimator.closure_pair_count`.
+
+    The closed forms lean on two one-pass identities: the mean depth of
+    a uniform node equals ``avg_subtree`` (so a pure ``up*`` chain has
+    that expected length), and a ``(down|right)*`` closure from a
+    uniform node covers on average one proper subtree (``avg_subtree``
+    again, by the same Σ-depth identity).  A lone ``down*`` walks the
+    first-child spine, bounded by the height; sibling-only closures walk
+    on average half the fan-out; mixing ``up`` with any other direction
+    reaches essentially the whole document.
+    """
+    dirs = frozenset(directions)
+    n = max(float(profile.n), 1.0)
+    if not dirs:
+        return 1.0
+    height = max(float(getattr(profile, "height", 1.0)), 1.0)
+    avg_subtree = max(float(getattr(profile, "avg_subtree", 0.0)), 0.0)
+    fanout = max(float(getattr(profile, "avg_fanout", 0.0)), 0.0)
+    if "up" in dirs and len(dirs) > 1:
+        return n
+    if dirs == {"up"}:
+        return min(n, avg_subtree + 1.0)
+    if "down" in dirs and ("right" in dirs or "left" in dirs):
+        return min(n, avg_subtree + 1.0)
+    if dirs == {"down"}:
+        return min(n, height / 2.0 + 1.0)
+    return min(n, fanout / 2.0 + 1.0)  # sibling-only chains
 
 
 #: Profile types the planner's cost model accepts interchangeably.
@@ -340,3 +373,105 @@ class CardinalityEstimator:
                 kids = children_of(u)
             total += steps
         return total / walks
+
+    # -- closure reachability (caterpillar-style direction stars) ----------
+
+    def _closure_counter(self, dirs: frozenset):
+        """Per-source exact image size of ``dirs``:sup:`*` — O(1) where
+        the preorder layout gives a closed form, a chain walk for lone
+        spines, a per-source saturation otherwise."""
+        idx = self.index
+        if dirs == {"up"}:
+            depth = idx.depth
+            return lambda u: depth[u] + 1
+        if "down" in dirs and "right" in dirs and "up" not in dirs:
+            # (down|right)* from u sweeps u's subtree, then each right
+            # sibling's — one contiguous preorder interval ending at the
+            # parent's subtree end.  Adding "left" extends the interval
+            # back to the first sibling: the parent's whole proper
+            # subtree.
+            parent = idx.parent
+            subtree_end = idx.subtree_end
+            if "left" in dirs:
+                def count(u: int) -> int:
+                    p = parent[u]
+                    if p < 0:
+                        return idx.n
+                    return subtree_end[p] - p - 1
+            else:
+                def count(u: int) -> int:
+                    p = parent[u]
+                    end = idx.n if p < 0 else subtree_end[p]
+                    return end - u
+            return count
+        steps = []
+        if dirs == {"down"}:
+            child_start, child_ids = idx.child_start, idx.child_ids
+            steps = [
+                lambda u: child_ids[child_start[u]]
+                if child_start[u] < child_start[u + 1]
+                else -1
+            ]
+        elif dirs == {"right"}:
+            steps = [idx.next_sibling.__getitem__]
+        elif dirs == {"left"}:
+            steps = [idx.prev_sibling.__getitem__]
+        if len(steps) == 1:
+            step = steps[0]
+
+            def chain(u: int) -> int:
+                length = 1
+                v = step(u)
+                while v >= 0:
+                    length += 1
+                    v = step(v)
+                return length
+
+            return chain
+        moves = [idx.moves[d] for d in sorted(dirs)]
+
+        def saturate(u: int) -> int:
+            seen = 1 << u
+            frontier = seen
+            while frontier:
+                image = 0
+                for move in moves:
+                    image |= move(frontier)
+                frontier = image & ~seen
+                seen |= frontier
+            return bit_count(seen)
+
+        return saturate
+
+    def closure_pair_count(self, sources: int, directions) -> int:
+        """Estimated ``|{(u, v) : u ∈ S, v ∈ dirs*(u)}|`` — reflexive
+        reachability pairs under a caterpillar-style direction star,
+        with the usual wander-join discipline: exact per sampled source,
+        scaled by the inverse sampling probability, and therefore exact
+        outright when ``|S| ≤ sample_size``."""
+        if not sources:
+            return 0
+        dirs = frozenset(directions)
+        if not dirs:
+            return bit_count(sources)
+        counter = self._closure_counter(dirs)
+        chosen, scale = self._sampled_sources(sources)
+        return round(sum(counter(u) for u in chosen) * scale)
+
+    def closure_image_size(self, sources: int, directions) -> int:
+        """Exact ``|dirs*(S)|`` — one set-at-a-time saturation over the
+        move graphs (cheap: every round is a handful of big-int shifts),
+        kept exact rather than sampled because images overlap."""
+        if not sources:
+            return 0
+        dirs = frozenset(directions)
+        seen = sources
+        frontier = sources
+        moves = [self.index.moves[d] for d in sorted(dirs)]
+        while frontier:
+            image = 0
+            for move in moves:
+                image |= move(frontier)
+            frontier = image & ~seen
+            seen |= frontier
+        return bit_count(seen)

@@ -47,6 +47,7 @@ from ..resilience.budget import current_context
 from ..trees.node import NodeId
 from ..trees.tree import Tree
 from .index import TreeIndex, index_for, iter_bits
+from .nodeset import apply_atom, lane_tiler, reach
 
 __all__ = [
     "CompiledWalk",
@@ -144,6 +145,14 @@ class CompiledWalk:
     def bind(self, tree: Tree) -> "WalkEvaluator":
         """The evaluator of this expression over ``tree``."""
         return WalkEvaluator(self, index_for(tree))
+
+    def to_ir(self):
+        """This expression as a shared-IR plan (a single ``Closure`` op
+        seeded at the root) — what the vectorized shard executor runs
+        across a whole corpus chunk at once."""
+        from .ir import lower_caterpillar
+
+        return lower_caterpillar(self)
 
     def __repr__(self) -> str:
         return f"CompiledWalk({self.text!r}, {self.state_count} states)"
@@ -285,67 +294,23 @@ class WalkEvaluator:
             bound.append((tuple(selfs), tuple(outs)))
         return tuple(bound)
 
-    @staticmethod
-    def _apply(groups, mask, frontier: int) -> int:
-        """One atom, set-at-a-time: a mask intersection for tests, one
-        shift per move-graph group for moves."""
-        if groups is None:
-            return frontier & mask
-        image = 0
-        for shift, group_mask in groups:
-            hit = frontier & group_mask
-            if hit:
-                image |= hit << shift if shift >= 0 else hit >> -shift
-        return image
+    #: One atom, set-at-a-time — the kernel's applier (mask intersection
+    #: for tests, one shift per move-graph group for moves).
+    _apply = staticmethod(apply_atom)
 
     def _reach(self, bound, init: int) -> List[int]:
         """Per-state bitsets of product-reachable nodes from the start
-        state carrying ``init`` — the frontier-bitset BFS.
-
-        Propagation is *round-synchronised*: every state's fresh bits
-        are batched and pushed through all its atoms once per round, so
-        the number of big-int operations is (#edges × product-graph
-        depth), never per (state, node) pair.  Self-loops (``a*``
-        plumbing after compilation) are saturated in an inner loop that
-        touches only the looping atoms, not the whole edge table.
-        """
-        apply_atom = self._apply
-        context = current_context()
-        reached = [0] * self.compiled.state_count
-        start = self.compiled.start
-        reached[start] = init
-        pending: Dict[int, int] = {start: init}
-        while pending:
-            current, pending = pending, {}
-            for state, frontier in current.items():
-                # One budget checkpoint per (state, round): the unit of
-                # big-int work in this BFS.
-                if context is not None:
-                    context.checkpoint()
-                selfs, outs = bound[state]
-                if selfs:
-                    grown = reached[state]
-                    wave = frontier
-                    while wave:
-                        if context is not None:
-                            context.checkpoint()
-                        image = 0
-                        for groups, mask in selfs:
-                            image |= apply_atom(groups, mask, wave)
-                        wave = image & ~grown
-                        grown |= wave
-                        frontier |= wave
-                    reached[state] = grown
-                for groups, mask, targets in outs:
-                    image = apply_atom(groups, mask, frontier)
-                    if not image:
-                        continue
-                    for target in targets:
-                        fresh = image & ~reached[target]
-                        if fresh:
-                            reached[target] |= fresh
-                            pending[target] = pending.get(target, 0) | fresh
-        return reached
+        state carrying ``init`` — the kernel's round-synchronised
+        frontier-bitset BFS (:func:`repro.engine.nodeset.reach`), with
+        self-loops (``a*`` plumbing after compilation) saturated in
+        place and one budget checkpoint per unit of big-int work."""
+        return reach(
+            bound,
+            self.compiled.state_count,
+            self.compiled.start,
+            init,
+            current_context(),
+        )
 
     def result_mask(self, context: NodeId = ()) -> int:
         """Bitset of nodes reachable from ``context`` by some denoted
@@ -379,7 +344,7 @@ class WalkEvaluator:
         n = index.n
         #: bits at 0, n, 2n, …: multiplying an n-bit mask by this tiles
         #: it across all n blocks (no carries — blocks don't overlap).
-        tiler = ((1 << (n * n)) - 1) // ((1 << n) - 1) if n > 1 else 1
+        tiler = lane_tiler(n, n)
         test_masks = {
             IS_ROOT: index.root_mask,
             IS_LEAF: index.leaf_mask,

@@ -99,10 +99,22 @@ def _path_mask(
 
 def select(expr: Expr, tree: Tree, context: NodeId = ()) -> Tuple[NodeId, ...]:
     """Bitset counterpart of :func:`repro.xpath.evaluator.select` —
-    same nodes, same document order."""
+    same nodes, same document order.
+
+    Root-context queries (the corpus contract) lower through the shared
+    plan IR (:mod:`repro.engine.ir`), where filters become backward
+    keep-masks evaluated set-at-a-time; other contexts keep the direct
+    per-step path below.
+    """
     tree.require(context)
     idx = index_for(tree)
     context_id = idx.id_of[context]
+    if context_id == 0:
+        from .ir import evaluate_tree
+        from .plans import compile_ir_plan
+
+        plan = compile_ir_plan("xpath", repr(expr), parsed=expr)
+        return idx.to_nodes(evaluate_tree(plan, idx))
     if isinstance(expr, Union_):
         bits = 0
         for alternative in expr.alternatives:

@@ -48,6 +48,7 @@ from .pairs import (
     FOVsFastFO,
     Outcome,
     RunnerVsMemo,
+    VectorizedVsSequential,
     XPathVsCaterpillar,
     NTWAVsFastCaterpillar,
     XPathVsFastXPath,
@@ -68,6 +69,7 @@ __all__ = [
     "Outcome",
     "PairStats",
     "RunnerVsMemo",
+    "VectorizedVsSequential",
     "XPathVsCaterpillar",
     "NTWAVsFastCaterpillar",
     "XPathVsFastXPath",

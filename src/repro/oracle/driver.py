@@ -28,6 +28,7 @@ from .pairs import (
     NTWAVsFastCaterpillar,
     Outcome,
     RunnerVsMemo,
+    VectorizedVsSequential,
     XPathVsCaterpillar,
     XPathVsFastXPath,
     XPathVsFO,
@@ -37,7 +38,7 @@ from .shrink import shrink_case
 
 
 def default_pairs() -> Tuple[EnginePair, ...]:
-    """All twelve engine pairs, in a stable order."""
+    """All thirteen engine pairs, in a stable order."""
     return (
         XPathVsFO(),
         XPathVsCaterpillar(),
@@ -51,6 +52,7 @@ def default_pairs() -> Tuple[EnginePair, ...]:
         CaterpillarVsFastCaterpillar(),
         NTWAVsFastCaterpillar(),
         CorpusVsSequential(),
+        VectorizedVsSequential(),
     )
 
 

@@ -4,7 +4,7 @@ Each :class:`EnginePair` knows how to *generate* a random (tree, query)
 case, *check* it through two independent evaluation routes, *shrink* the
 query part, and *encode*/*decode* the query as JSON for the corpus.
 
-The twelve pairs and the equivalence each one guards:
+The thirteen pairs and the equivalence each one guards:
 
 ==============================  ====================================================
 ``xpath/fo``                    XPath evaluator vs its FO(∃*) compilation (§2.3),
@@ -37,6 +37,9 @@ The twelve pairs and the equivalence each one guards:
 ``corpus/sequential``           the set-at-a-time corpus batch executor
                                 (:mod:`repro.corpus`) vs a loop of single-tree
                                 facade calls, element-wise, under two chunkings
+``vectorized/sequential``       the stacked shard executor — every tree of a
+                                chunk packed into one wide integer per IR op —
+                                vs the same per-tree loop, under two chunkings
 ==============================  ====================================================
 """
 
@@ -72,7 +75,7 @@ from ..engine import xpath as fast_xpath
 from ..engine.planner import Planner
 from ..resilience.log import ResilienceLog
 from ..logic import tree_fo
-from ..logic.exists_star import ExistsStarQuery
+from ..logic.exists_star import ExistsStarQuery, FragmentError
 from ..logic.parser import format_formula, parse_formula
 from ..logic.tree_fo import NVar, TreeFormula
 from ..queries import TreeDatabase
@@ -1007,6 +1010,8 @@ def _sequential_answers(
             out.append(db.xpath(query.text, query.context))
         elif query.kind == "ask":
             out.append(db.ask(query.text))
+        elif query.kind == "select":
+            out.append(db.select_where(query.text, context=query.context))
         elif query.kind == "caterpillar":
             out.append(db.caterpillar(query.text, query.context))
         else:  # caterpillar-relation
@@ -1070,6 +1075,94 @@ class CorpusVsSequential(EnginePair):
             for smaller in _shrink_formula(parse_formula(query.text)):
                 if not tree_fo.free_variables(smaller):  # ask needs a sentence
                     yield CorpusQuery("ask", format_formula(smaller))
+        else:
+            for smaller in _shrink_caterpillar(parse_caterpillar(query.text)):
+                yield CorpusQuery(query.kind, format_caterpillar(smaller))
+
+    def encode_query(self, query) -> object:
+        return {"kind": query.kind, "text": query.text}
+
+    def decode_query(self, payload: object):
+        from ..corpus.query import CorpusQuery
+
+        return CorpusQuery(payload["kind"], payload["text"])
+
+# ---------------------------------------------------------------------------
+# vectorized/sequential
+# ---------------------------------------------------------------------------
+
+
+class VectorizedVsSequential(EnginePair):
+    """The stacked shard executor vs a loop of single-tree calls.
+
+    Same corpus splitting as ``corpus/sequential``, but the batch side
+    runs ``engine="vectorized"``: every member tree packed into its own
+    bit lane of one wide integer and the query's shared IR plan
+    evaluated once across the whole chunk
+    (:mod:`repro.engine.ir`).  All five query kinds are on the line —
+    including FO(∃*) selection, and the all-pairs relation kind, whose
+    per-tree fallback inside the vectorized path must splice cleanly
+    into the stacked columns.  Both single-tree chunks (every lane
+    width degenerate) and the default chunking are checked."""
+
+    name = "vectorized/sequential"
+
+    KINDS = ("xpath", "ask", "select", "caterpillar", "caterpillar-relation")
+
+    def generate(self, rng: random.Random, max_size: int) -> Case:
+        tree = gen.random_attributed_tree(rng, max_size)
+        kind = rng.choice(self.KINDS)
+        if kind == "xpath":
+            text = repr(gen.random_xpath(rng))
+        elif kind == "ask":
+            text = format_formula(gen.random_fo_sentence(rng))
+        elif kind == "select":
+            text = format_formula(gen.random_exists_star(rng))
+        else:
+            text = format_caterpillar(
+                gen.random_caterpillar(rng, budget=rng.randint(2, 6))
+            )
+        from ..corpus.query import CorpusQuery
+
+        return Case(tree, CorpusQuery(kind, text))
+
+    def check(self, case: Case) -> Outcome:
+        from ..corpus.executor import run_batch
+
+        query = case.query
+        members = _corpus_members(case.tree)
+        left, left_s = _timed(lambda: _sequential_answers(members, query))
+        right, right_s = _timed(
+            lambda: run_batch(
+                members, [query], chunk_size=1, engine="vectorized"
+            ).for_query(0)
+        )
+        if left != right:
+            return Outcome(False, str(left), str(right), left_s, right_s)
+        rechunked = run_batch(
+            members, [query], engine="vectorized"
+        ).for_query(0)
+        return Outcome(
+            left == rechunked, str(left), str(rechunked), left_s, right_s
+        )
+
+    def shrink_query(self, query) -> Iterable[object]:
+        from ..corpus.query import CorpusQuery
+
+        if query.kind == "xpath":
+            for smaller in _shrink_xpath(parse_xpath(query.text)):
+                yield CorpusQuery("xpath", repr(smaller))
+        elif query.kind == "ask":
+            for smaller in _shrink_formula(parse_formula(query.text)):
+                if not tree_fo.free_variables(smaller):  # ask needs a sentence
+                    yield CorpusQuery("ask", format_formula(smaller))
+        elif query.kind == "select":
+            for smaller in _shrink_formula(parse_formula(query.text)):
+                try:  # selection needs the FO(∃*) fragment to survive
+                    ExistsStarQuery(smaller)
+                except FragmentError:
+                    continue
+                yield CorpusQuery("select", format_formula(smaller))
         else:
             for smaller in _shrink_caterpillar(parse_caterpillar(query.text)):
                 yield CorpusQuery(query.kind, format_caterpillar(smaller))

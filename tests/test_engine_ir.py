@@ -1,0 +1,165 @@
+"""The plan IR (:mod:`repro.engine.ir`) against the reference
+evaluators, per tree and stacked.
+
+Two families of properties:
+
+* **dialect round-trips** — every XPath / FO sentence / FO(∃*)
+  selector / caterpillar query that lowers into the IR must evaluate,
+  through :func:`evaluate_tree`, to exactly what the reference
+  evaluator answers on the same tree; and through
+  :func:`evaluate_shard` — every seed tree packed into one wide
+  integer — to exactly the per-tree results, lane by lane.
+* **statistics-informed join ordering** — with corpus statistics in
+  hand, the lowering orders ``Join`` children cheapest-first by
+  estimated cardinality; without them, syntactic order is preserved
+  (the satellite the planner's estimator feeds).
+"""
+
+import random
+
+import pytest
+
+from repro.corpus.executor import evaluate_cell
+from repro.corpus.query import CorpusQuery
+from repro.engine.index import index_for
+from repro.engine.ir import (
+    Join,
+    LabelScan,
+    StackedShard,
+    evaluate_shard,
+    evaluate_tree,
+    lower_sentence,
+)
+from repro.engine.plans import compile_ir_plan
+from repro.engine.stats import corpus_statistics
+from repro.logic.parser import parse_sentence
+from repro.trees.generators import random_tree
+from repro.trees.parser import parse_term
+
+SEED_TREES = [
+    parse_term("σ"),
+    parse_term("σ(δ)"),
+    parse_term("σ(δ, σ(δ, δ), σ)"),
+    parse_term("δ(σ(σ(δ)), δ)"),
+]
+SEED_TREES += [
+    random_tree(
+        size, alphabet=("σ", "δ"), max_children=3,
+        seed=random.Random(seed), value_pool=(1, 2),
+    )
+    for seed, size in ((1, 9), (2, 17), (3, 30), (4, 44))
+]
+
+QUERIES = [
+    CorpusQuery("xpath", "//δ"),
+    CorpusQuery("xpath", "//σ//δ"),
+    CorpusQuery("xpath", "//σ[.//δ]//σ"),
+    CorpusQuery("xpath", "/σ/*"),
+    CorpusQuery("ask", "exists x O_σ(x)"),
+    CorpusQuery("ask", "forall x (leaf(x) -> O_δ(x))"),
+    CorpusQuery("ask", "exists x exists y (x << y & O_σ(x) & O_δ(y))"),
+    CorpusQuery("select", "x << y & O_δ(y)"),
+    CorpusQuery("select", "exists z (y << z & leaf(z) & O_σ(y))"),
+    CorpusQuery("caterpillar", "down*"),
+    CorpusQuery("caterpillar", "(down | right)* <δ>"),
+    CorpusQuery("caterpillar", "(up | down | left | right)* (<σ> isLeaf)"),
+]
+
+
+def _ir_answer(query, tree):
+    plan = compile_ir_plan(query.kind, query.text)
+    assert plan is not None, f"{query.kind} {query.text!r} should lower"
+    idx = index_for(tree)
+    bits = evaluate_tree(plan, idx)
+    if plan.mode == "boolean":
+        return bool(bits)
+    return idx.to_nodes(bits)
+
+
+# -- dialect round-trips ------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "query", QUERIES, ids=[f"{q.kind}:{q.text}" for q in QUERIES]
+)
+def test_ir_matches_reference_per_tree(query):
+    for tree in SEED_TREES:
+        assert _ir_answer(query, tree) == evaluate_cell(
+            query, tree, "reference"
+        )
+
+
+@pytest.mark.parametrize(
+    "query", QUERIES, ids=[f"{q.kind}:{q.text}" for q in QUERIES]
+)
+def test_ir_stacked_shard_matches_per_tree(query):
+    """One evaluation of the plan over all seed trees at once — each in
+    its own lane — splits back into exactly the per-tree bitsets."""
+    plan = compile_ir_plan(query.kind, query.text)
+    indexes = [index_for(tree) for tree in SEED_TREES]
+    shard = StackedShard(indexes)
+    lanes = shard.split(evaluate_shard(plan, shard))
+    for idx, lane in zip(indexes, lanes):
+        assert lane == evaluate_tree(plan, idx)
+
+
+def test_lowering_is_partial_where_documented():
+    # The all-pairs relation kind has no single-result register shape.
+    assert compile_ir_plan("caterpillar-relation", "down <σ>") is None
+    # Value atoms live outside the IR's label/structure vocabulary.
+    assert (
+        compile_ir_plan("ask", "exists x (val_a(x) = 1)")
+        is None
+    )
+
+
+def test_ir_plans_are_cached_by_text_and_stats():
+    first = compile_ir_plan("xpath", "//δ")
+    assert compile_ir_plan("xpath", "//δ") is first
+    stats = corpus_statistics(SEED_TREES[:3])
+    informed = compile_ir_plan("xpath", "//δ", stats=stats)
+    assert compile_ir_plan("xpath", "//δ", stats=stats) is informed
+    assert informed is not first  # fingerprint joins the key
+
+
+# -- statistics-informed join ordering ---------------------------------------
+
+
+def _join_scan_labels(plan):
+    """The label names of a plan's first Join over LabelScans, in
+    execution order."""
+    for op in plan.ops:
+        if isinstance(op, Join):
+            labels = [
+                plan.ops[src].name
+                for src in op.srcs
+                if isinstance(plan.ops[src], LabelScan)
+            ]
+            if labels:
+                return labels
+    raise AssertionError("no Join over LabelScans in plan")
+
+
+@pytest.mark.planner
+def test_join_children_reorder_under_skewed_statistics():
+    """``common & rare`` joins rare-first once the estimator knows the
+    label histogram — and keeps syntactic order without statistics."""
+    formula = parse_sentence("exists x (O_b(x) & O_a(x))")
+    skewed = corpus_statistics(
+        [parse_term("b(b, b, b(b, b), b, a)") for _ in range(3)]
+    )
+    uninformed = lower_sentence(formula)
+    informed = lower_sentence(formula, stats=skewed)
+    assert _join_scan_labels(uninformed) == ["b", "a"]  # syntactic
+    assert _join_scan_labels(informed) == ["a", "b"]  # cheapest first
+
+
+@pytest.mark.planner
+def test_join_order_is_stable_under_uniform_statistics():
+    formula = parse_sentence("exists x (O_b(x) & O_a(x))")
+    uniform = corpus_statistics(
+        [parse_term("b(a, b(a), a)") for _ in range(3)]
+    )
+    plan = lower_sentence(formula, stats=uniform)
+    # Equal estimates tie-break on register order = syntactic order.
+    assert _join_scan_labels(plan) == ["b", "a"]

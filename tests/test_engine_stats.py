@@ -21,10 +21,11 @@ import hypothesis.strategies as st
 import pytest
 from hypothesis import given, settings
 
-from repro.engine.index import bit_count, index_for
+from repro.engine.index import bit_count, index_for, iter_bits
 from repro.engine.stats import (
     CardinalityEstimator,
     TreeStatistics,
+    closure_reach_estimate,
     corpus_statistics,
     tree_statistics,
 )
@@ -225,3 +226,141 @@ def test_corpus_fingerprint_is_order_sensitive():
     assert forward.total_nodes == backward.total_nodes == 5
     grown = corpus_statistics([a, b, parse_term("σ")])
     assert grown.fingerprint != forward.fingerprint
+
+
+# -- closure reachability (caterpillar-style direction stars) -----------------
+
+
+_DIRECTION_SETS = [
+    frozenset(c)
+    for r in range(1, 5)
+    for c in __import__("itertools").combinations(
+        ("up", "down", "left", "right"), r
+    )
+]
+
+
+def _brute_closure(idx, u, dirs):
+    """Reflexive dirs* image of one node, by naive graph search."""
+    step = {
+        "up": lambda v: [idx.parent[v]] if idx.parent[v] >= 0 else [],
+        "down": lambda v: (
+            [idx.child_ids[idx.child_start[v]]]
+            if idx.child_start[v] < idx.child_start[v + 1]
+            else []
+        ),
+        "right": lambda v: (
+            [idx.next_sibling[v]] if idx.next_sibling[v] >= 0 else []
+        ),
+        "left": lambda v: (
+            [idx.prev_sibling[v]] if idx.prev_sibling[v] >= 0 else []
+        ),
+    }
+    seen = {u}
+    stack = [u]
+    while stack:
+        v = stack.pop()
+        for d in dirs:
+            for w in step[d](v):
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+    return seen
+
+
+@given(seeds, st.integers(min_value=1, max_value=30))
+@settings(max_examples=30, deadline=None)
+def test_closure_pair_count_exact_at_full_sample(seed, size):
+    """With the sample covering the population, every direction-set
+    closure pair count — O(1) interval forms, chain walks and the
+    saturation fallback alike — equals the brute-force reachability
+    count."""
+    tree = _tree(seed, size)
+    index = index_for(tree)
+    est = CardinalityEstimator(index, seed=seed, sample_size=index.n)
+    for dirs in _DIRECTION_SETS:
+        expected = sum(
+            len(_brute_closure(index, u, dirs)) for u in range(index.n)
+        )
+        assert est.closure_pair_count(index.all_mask, dirs) == expected
+
+
+@given(seeds, st.integers(min_value=1, max_value=30), st.integers(0, 2**30))
+@settings(max_examples=30, deadline=None)
+def test_closure_image_size_is_exact(seed, size, mask_bits):
+    tree = _tree(seed, size)
+    index = index_for(tree)
+    est = CardinalityEstimator(index)
+    sources = mask_bits & index.all_mask
+    for dirs in ({"up"}, {"down"}, {"down", "right"}, {"up", "left"}):
+        union = set()
+        for u in iter_bits(sources):
+            union |= _brute_closure(index, u, dirs)
+        assert est.closure_image_size(sources, dirs) == len(union)
+
+
+@pytest.mark.parametrize("length", [1, 2, 7, 33])
+def test_chain_closure_closed_forms(length):
+    """On a k-chain the spine closures have triangular pair counts and
+    the profile estimate recovers them from height alone."""
+    tree = _chain(length)
+    index = index_for(tree)
+    est = CardinalityEstimator(index, sample_size=64)
+    triangular = length * (length + 1) // 2
+    assert est.closure_pair_count(index.all_mask, {"down"}) == triangular
+    assert est.closure_pair_count(index.all_mask, {"up"}) == triangular
+    assert est.closure_pair_count(index.all_mask, {"right"}) == length
+    assert (
+        est.closure_pair_count(index.all_mask, {"down", "right"})
+        == triangular
+    )
+    stats = tree_statistics(tree)
+    # down* on a chain is the worst case for the height/2 heuristic,
+    # but it must stay within the spine bound.
+    assert 1.0 <= closure_reach_estimate(stats, {"down"}) <= length
+    # up* expected length is the mean depth + 1 — exact on any tree.
+    assert closure_reach_estimate(stats, {"up"}) == pytest.approx(
+        stats.avg_subtree + 1.0
+    )
+
+
+@pytest.mark.parametrize("arms", [1, 5, 64])
+def test_star_closure_closed_forms(arms):
+    tree = _star(arms)
+    index = index_for(tree)
+    est = CardinalityEstimator(index, sample_size=index.n)
+    # right* from leaf i reaches arms - i leaves; the root only itself.
+    assert est.closure_pair_count(index.all_mask, {"right"}) == (
+        1 + arms * (arms + 1) // 2
+    )
+    # (down|right)* from the root sweeps everything; from leaf i, the
+    # trailing leaves.
+    assert est.closure_pair_count(index.all_mask, {"down", "right"}) == (
+        (arms + 1) + arms * (arms + 1) // 2
+    )
+    assert est.closure_image_size(1, {"down", "right"}) == arms + 1
+
+
+@given(seeds)
+@settings(max_examples=20, deadline=None)
+def test_closure_pair_count_deterministic_under_seed(seed):
+    tree = _tree(seed, 120)
+    index = index_for(tree)
+    a = CardinalityEstimator(index, seed=seed, sample_size=4)
+    b = CardinalityEstimator(index, seed=seed, sample_size=4)
+    for dirs in ({"down"}, {"down", "right"}, {"up", "right"}):
+        assert a.closure_pair_count(
+            index.all_mask, dirs
+        ) == b.closure_pair_count(index.all_mask, dirs)
+
+
+@given(seeds, sizes)
+@settings(max_examples=40, deadline=None)
+def test_closure_reach_estimate_is_bounded(seed, size):
+    """The profile estimate always lands in [1, n] — it is a mean image
+    size, never a pair count."""
+    stats = tree_statistics(_tree(seed, size))
+    for dirs in _DIRECTION_SETS:
+        estimate = closure_reach_estimate(stats, dirs)
+        assert 1.0 <= estimate <= stats.n
+    assert closure_reach_estimate(stats, ()) == 1.0

@@ -109,3 +109,25 @@ def test_corpus_pair_fuzz_batch_equals_sequential():
             f"query={case.query} left={outcome.left} right={outcome.right}"
         )
     assert kinds == set(pair.KINDS)  # every formalism was exercised
+
+
+def test_vectorized_pair_fuzz_stacked_equals_sequential():
+    """≥300 fresh cases through vectorized/sequential alone: the stacked
+    shard executor — one wide integer per chunk per IR op — must be
+    element-wise byte-identical to the per-tree loop for all five query
+    kinds, under both chunkings."""
+    import random
+
+    from repro.oracle.pairs import VectorizedVsSequential
+
+    pair = VectorizedVsSequential()
+    rng = random.Random(1729)
+    kinds = set()
+    for _ in range(300):
+        case = pair.generate(rng, max_size=10)
+        kinds.add(case.query.kind)
+        outcome = pair.check(case)
+        assert outcome.agree, (
+            f"query={case.query} left={outcome.left} right={outcome.right}"
+        )
+    assert kinds == set(pair.KINDS)  # every formalism was exercised
