@@ -9,7 +9,7 @@ FUZZ_BUDGET ?= 200
 FAULT_SEED ?= 0
 FAULT_CASES ?= 200
 
-.PHONY: test test-quick fuzz replay fault bench bench-full bench-walk bench-corpus bench-planner bench-kernel bench-check
+.PHONY: test test-quick fuzz replay fault bench bench-full bench-walk bench-corpus bench-planner bench-kernel bench-store bench-check
 
 ## Full tier-1 suite (includes the marked oracle fuzz and fault tests).
 test:
@@ -76,8 +76,18 @@ bench-kernel:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --suite kernel
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --check BENCH_kernel.json
 
+## Disk-store trajectory: streaming ingest (child-process peak RSS),
+## cold open and warm fixed-window batches at 1x/10x corpus size, and
+## incremental index repair vs full rebuild (writes BENCH_store.json),
+## then gate it: warm window latency flat within 1.3x across the 10x
+## decade, ingest RSS sublinear, repair >= 5x at n >= 10k nodes.
+bench-store:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --suite store
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --check BENCH_store.json
+
 ## Fail if any committed BENCH_*.json (engine, walk, corpus, planner,
-## kernel) reports a median speedup < 1.0, swallowed per-case errors,
-## or a trajectory missing its pick-rate/overhead/kernel gates.
+## kernel, store) reports a median speedup < 1.0, swallowed per-case
+## errors, or a trajectory missing its pick-rate/overhead/kernel/store
+## gates.
 bench-check:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --check

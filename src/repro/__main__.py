@@ -26,6 +26,15 @@ Commands
     batch, add ``--workers N`` to fan out and ``--stats`` for the
     per-chunk execution report.
 
+``corpus --store DIR [--ingest FILE]… [FILE…] [query flags]``
+    The same batch surface over a disk-backed corpus store.
+    ``--ingest`` streams a file of concatenated documents into the
+    store (created on first ingest; bounded memory however large the
+    file); positional FILEs append one document each; query flags then
+    run over the stored corpus without loading it wholesale.  A
+    missing or version-mismatched store is a clean error (exit 2),
+    never a raw traceback.
+
 ``oracle [ARGS…]``
     Differential fuzzing across the query engines; forwards to
     ``python -m repro.oracle`` (try ``oracle --help``).
@@ -200,6 +209,97 @@ def _cmd_protocol(args: argparse.Namespace) -> int:
     return 0 if result.accepted else 1
 
 
+def _iter_documents(path: str):
+    """Stream a file of concatenated documents (XML subset or term
+    syntax, sniffed) one tree at a time — the ingest feed."""
+    import io
+
+    from .trees import iter_term_stream, iter_xml_stream
+
+    if path == "-":
+        text = sys.stdin.read()
+        xml = text.lstrip().startswith("<")
+        stream = io.StringIO(text)
+        yield from (iter_xml_stream(stream) if xml else iter_term_stream(stream))
+        return
+    with open(path, "r", encoding="utf-8") as handle:
+        head = handle.read(512)
+        handle.seek(0)
+        if path.endswith(".xml") or head.lstrip().startswith("<"):
+            yield from iter_xml_stream(handle)
+        else:
+            yield from iter_term_stream(handle)
+
+
+def _print_batch(result, labels, queries) -> None:
+    for t, label in enumerate(labels):
+        print(f"{label}:")
+        for q, query in enumerate(queries):
+            answer = result.cell(t, q)
+            if query.kind == "ask":
+                shown = "true" if answer else "false"
+            else:
+                shown = ", ".join(format_node(n) for n in answer) or "(none)"
+            print(f"  {query.kind} {query.text}: {shown}")
+
+
+def _print_chunk_stats(result, queries) -> None:
+    print(
+        f"{result.tree_count} trees x {len(queries)} queries in "
+        f"{len(result.chunks)} chunks (workers={result.workers})"
+    )
+    for chunk in result.chunks:
+        note = f" [{chunk.error}]" if chunk.fell_back else ""
+        print(
+            f"  chunk {chunk.index}: trees {chunk.start}..{chunk.stop}"
+            f" via {chunk.engine} in {chunk.seconds * 1000:.1f}ms{note}"
+        )
+
+
+def _cmd_corpus_store(args: argparse.Namespace, queries) -> int:
+    from .corpus import CorpusStore, StoreError, StoreMissingError
+
+    ingesting = bool(args.ingest or args.files)
+    try:
+        try:
+            store = CorpusStore.open(args.store)
+        except StoreMissingError:
+            if not ingesting:
+                raise
+            store = CorpusStore.create(args.store)
+    except StoreError as exc:
+        print(f"corpus: {exc}", file=sys.stderr)
+        return 2
+    with store:
+        try:
+            for path in args.ingest:
+                count = store.ingest(_iter_documents(path))
+                print(f"ingested {count} documents from {path}")
+            for path in args.files:
+                store.append(_load(path).tree)
+            if not queries:
+                print(
+                    f"store {args.store}: {store.tree_count} trees, "
+                    f"{store.node_count} nodes, "
+                    f"generation {store.generation}"
+                )
+                return 0
+            result = store.run(
+                queries,
+                workers=args.workers,
+                chunk_size=args.chunk_size,
+                engine=args.engine,
+            )
+        except StoreError as exc:
+            print(f"corpus: {exc}", file=sys.stderr)
+            return 2
+        labels = [f"tree {t}" for t in range(result.tree_count)]
+        _print_batch(result, labels, queries)
+        if args.stats:
+            _print_chunk_stats(result, queries)
+    return 0
+
+
 def _cmd_corpus(args: argparse.Namespace) -> int:
     from .corpus import (
         TreeCorpus,
@@ -215,11 +315,20 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
         + [select_query(text) for text in args.select]
         + [caterpillar_query(text) for text in args.caterpillar]
     )
+    if args.ingest and args.store is None:
+        print("corpus: --ingest needs --store", file=sys.stderr)
+        return 2
+    if args.store is not None:
+        return _cmd_corpus_store(args, queries)
     if not queries:
         print(
             "corpus: give at least one --xpath/--ask/--select/--caterpillar",
             file=sys.stderr,
         )
+        return 2
+    if not args.files:
+        print("corpus: give at least one FILE (or --store DIR)",
+              file=sys.stderr)
         return 2
     trees = [_load(path).tree for path in args.files]
     with TreeCorpus(trees) as corpus:
@@ -229,26 +338,9 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
             chunk_size=args.chunk_size,
             engine=args.engine,
         )
-    for t, path in enumerate(args.files):
-        print(f"{path}:")
-        for q, query in enumerate(queries):
-            answer = result.cell(t, q)
-            if query.kind == "ask":
-                shown = "true" if answer else "false"
-            else:
-                shown = ", ".join(format_node(n) for n in answer) or "(none)"
-            print(f"  {query.kind} {query.text}: {shown}")
+    _print_batch(result, args.files, queries)
     if args.stats:
-        print(
-            f"{result.tree_count} trees x {len(queries)} queries in "
-            f"{len(result.chunks)} chunks (workers={result.workers})"
-        )
-        for chunk in result.chunks:
-            note = f" [{chunk.error}]" if chunk.fell_back else ""
-            print(
-                f"  chunk {chunk.index}: trees {chunk.start}..{chunk.stop}"
-                f" via {chunk.engine} in {chunk.seconds * 1000:.1f}ms{note}"
-            )
+        _print_chunk_stats(result, queries)
     return 0
 
 
@@ -311,7 +403,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_corpus = sub.add_parser(
         "corpus", help="batch queries over many documents set-at-a-time"
     )
-    p_corpus.add_argument("files", nargs="+", metavar="FILE")
+    p_corpus.add_argument("files", nargs="*", metavar="FILE")
+    p_corpus.add_argument("--store", metavar="DIR", default=None,
+                          help="disk-backed corpus store directory")
+    p_corpus.add_argument("--ingest", action="append", default=[],
+                          metavar="FILE",
+                          help="stream a file of concatenated documents "
+                               "into --store (repeatable)")
     p_corpus.add_argument("--xpath", action="append", default=[],
                           metavar="EXPR", help="XPath expression (repeatable)")
     p_corpus.add_argument("--ask", action="append", default=[],

@@ -102,6 +102,8 @@ PLANNER_SCHEMA = "repro-bench-planner/1"
 PLANNER_DEFAULT_OUTPUT = "BENCH_planner.json"
 KERNEL_SCHEMA = "repro-bench-kernel/1"
 KERNEL_DEFAULT_OUTPUT = "BENCH_kernel.json"
+STORE_SCHEMA = "repro-bench-store/1"
+STORE_DEFAULT_OUTPUT = "BENCH_store.json"
 
 #: 3-variable selectors (free x) timed as full satisfying-assignment
 #: relations.  The first three make the reference pay the n^3 walk;
@@ -206,6 +208,42 @@ PLANNER_OVERHEAD_THRESHOLD = 1.1
 #: A chosen engine within this factor of the measured best counts as
 #: having picked the fastest — sub-millisecond cells tie up to noise.
 PLANNER_TIE_TOLERANCE = 1.25
+
+#: Disk-store sweep (``--suite store``): corpus sizes a decade apart —
+#: the flat-latency claim is about what happens when the corpus grows
+#: 10x under a fixed query window.
+STORE_TREE_COUNTS = (10_000, 100_000)
+STORE_TREE_COUNTS_QUICK = (300, 3_000)  # both cover the query window
+#: The fixed window of trees every batch queries, whatever the store
+#: size — mmap-lazy loading means the rest of the corpus never costs.
+STORE_WINDOW = 256
+#: Single-subtree repair is measured on trees of these node counts.
+STORE_REPAIR_SIZES = (10_000, 20_000)
+STORE_REPAIR_SIZES_QUICK = (1_500,)
+STORE_REPAIR_EDITS = 12
+#: Edited subtrees stay below this many nodes — the "fix one record"
+#: workload incremental repair exists for (and the *hard* case: the
+#: prefix/suffix splice work is maximal when the site is small).
+STORE_REPAIR_SITE_LIMIT = 64
+
+#: Warm fixed-window batch latency may grow at most this factor as the
+#: corpus grows 10x.
+STORE_FLAT_THRESHOLD = 1.3
+#: Peak ingest RSS may grow at most this factor over the same decade —
+#: streaming ingest is sublinear in the corpus, or it is broken.
+STORE_RSS_THRESHOLD = 3.0
+#: Incremental index repair must beat a fresh build by at least this
+#: factor (median over single-subtree edits) at n >= 10k nodes.
+STORE_REPAIR_THRESHOLD = 5.0
+
+#: One query per kind — the batch the store suite replays per window.
+STORE_QUERIES = (
+    xpath_query("//σ//δ"),
+    ask_query("exists x exists y (x << y & O_σ(x) & O_δ(y))"),
+    select_query("x << y & O_δ(y)"),
+    caterpillar_query("(down | right)* <δ>"),
+    caterpillar_relation_query("down <σ>"),
+)
 
 #: ``--check`` floor: no committed trajectory may report a median
 #: speedup below this — the engine must never lose to the reference.
@@ -1016,6 +1054,318 @@ def run_kernel_suite(
     }
 
 
+#: Ingest runs in a child process so its peak RSS (``ru_maxrss``) is
+#: the ingest's own, not this process's: the child streams randomly
+#: generated trees straight into ``CorpusStore.ingest`` and reports
+#: wall time and high-water memory as one JSON line.
+_INGEST_CHILD = """
+import json, resource, sys, time
+sys.path.insert(0, sys.argv[1])
+from repro.corpus.store import CorpusStore
+from repro.trees import random_tree
+
+path, count, seed = sys.argv[2], int(sys.argv[3]), int(sys.argv[4])
+
+def stream():
+    for i in range(count):
+        yield random_tree(
+            4 + (i * 7) % 21,
+            value_pool=(1, 2, 3),
+            max_children=3,
+            seed=seed + i,
+        )
+
+store = CorpusStore.create(path)
+t0 = time.perf_counter()
+trees = store.ingest(stream())
+seconds = time.perf_counter() - t0
+store.close()
+print(json.dumps({
+    "trees": trees,
+    "seconds": seconds,
+    "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+}))
+"""
+
+
+def _ingest_store(path: str, count: int, seed: int) -> Dict:
+    """Build a store of ``count`` trees in a child process; returns the
+    child's ``{trees, seconds, peak_rss_kb}`` measurement."""
+    import os
+    import subprocess
+
+    package_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)
+    ))
+    result = subprocess.run(
+        [
+            sys.executable, "-c", _INGEST_CHILD,
+            package_root, path, str(count), str(seed),
+        ],
+        capture_output=True, text=True, check=False,
+    )
+    if result.returncode != 0:  # pragma: no cover - child guard
+        raise RuntimeError(
+            f"ingest child failed: {result.stderr.strip()[-500:]}"
+        )
+    return json.loads(result.stdout.strip().splitlines()[-1])
+
+
+def _store_size_row(path: str, count: int, seed: int, runs: int) -> Dict:
+    """One corpus size: child-process ingest, cold open + first window
+    batch (all shared caches emptied), then the warm window batch —
+    answers checked against the naive per-call loop first."""
+    from .corpus import CorpusStore
+
+    ingest = _ingest_store(path, count, seed)
+    window = min(STORE_WINDOW, count)
+    plan_cache_clear()
+    index_cache_clear()
+    t0 = time.perf_counter()
+    store = CorpusStore.open(path)
+    store.statistics()
+    first = store.run(STORE_QUERIES, stop=window)
+    cold_seconds = time.perf_counter() - t0
+    try:
+        window_trees = [store.tree(i) for i in range(window)]
+        expected = _naive_corpus_rows(window_trees, STORE_QUERIES)
+        if first.rows != expected:  # pragma: no cover - guard
+            raise AssertionError(
+                f"store batch disagrees with loop at {count}"
+            )
+        warm_seconds = _timed(
+            lambda: store.run(STORE_QUERIES, stop=window), max(runs, 3)
+        )
+    finally:
+        store.close()
+    return {
+        "n": count,
+        "window": window,
+        "ingest_seconds": ingest["seconds"],
+        "ingest_trees_per_second": ingest["trees"] / ingest["seconds"],
+        "ingest_peak_rss_kb": ingest["peak_rss_kb"],
+        "cold_open_seconds": cold_seconds,
+        "warm_batch_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds,
+    }
+
+
+def run_store_benchmark(
+    tree_counts: Sequence[int],
+    seed: int,
+    repeats: int,
+    errors: Optional[List[str]] = None,
+) -> List[Dict]:
+    """Fixed-window batches over stores a decade apart in size."""
+    import shutil
+    import tempfile
+
+    rows = []
+    for count in tree_counts:
+        tmp = tempfile.mkdtemp(prefix="repro-bench-store-")
+        try:
+            row = _guarded_case(
+                errors, f"store:{count}",
+                lambda count=count: _store_size_row(
+                    f"{tmp}/store", count, seed, repeats
+                ),
+            )
+            if row is not None:
+                rows.append(row)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    return rows
+
+
+def _repair_sites(index, limit: int) -> List:
+    """Every node whose subtree holds at most ``limit`` nodes and is
+    not the root — candidate single-subtree edit sites."""
+    return [
+        index.node_of[u]
+        for u in range(1, index.n)
+        if index.subtree_end[u] - u <= limit
+    ]
+
+
+def run_repair_benchmark(
+    sizes: Sequence[int],
+    seed: int,
+    repeats: int,
+    errors: Optional[List[str]] = None,
+) -> List[Dict]:
+    """Incremental ``repair_index`` vs a fresh ``TreeIndex`` build over
+    single-subtree edits at small sites (the hard case for the splice:
+    nearly the whole index is prefix + suffix work)."""
+    from .engine.index import TreeIndex, index_structures, repair_index
+
+    rows = []
+    for n in sizes:
+
+        def case(n=n):
+            tree = random_tree(
+                n, value_pool=VALUE_POOL, max_children=3, seed=seed
+            )
+            base = TreeIndex(tree)
+            sites = _repair_sites(base, STORE_REPAIR_SITE_LIMIT)
+            step = max(1, len(sites) // STORE_REPAIR_EDITS)
+            speedups = []
+            for k, site in enumerate(sites[::step][:STORE_REPAIR_EDITS]):
+                replacement = random_tree(
+                    8, value_pool=VALUE_POOL, max_children=3,
+                    seed=seed + 1000 + k,
+                )
+                edited = tree.replace_subtree(site, replacement)
+                edited.nodes  # warm the lazy preorder both timings use
+                t0 = time.perf_counter()
+                rebuilt = TreeIndex(edited)
+                rebuild_s = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                repaired = repair_index(base, edited, site)
+                repair_s = time.perf_counter() - t0
+                if index_structures(repaired) != index_structures(
+                    rebuilt
+                ):  # pragma: no cover - differential guard
+                    raise AssertionError(
+                        f"repair diverges from rebuild at n={n} "
+                        f"site={site!r}"
+                    )
+                speedups.append(rebuild_s / repair_s)
+            return {
+                "n": n,
+                "edits": len(speedups),
+                "site_limit": STORE_REPAIR_SITE_LIMIT,
+                "median_speedup": statistics.median(speedups),
+                "min_speedup": min(speedups),
+                "max_speedup": max(speedups),
+            }
+
+        row = _guarded_case(errors, f"repair:{n}", case)
+        if row is not None:
+            rows.append(row)
+    return rows
+
+
+def run_store_suite(
+    quick: bool = False, seed: int = 0, repeats: int = 1
+) -> Dict:
+    """The disk-store sweep (``--suite store``) as a JSON-ready dict:
+    streaming ingest (child-process peak RSS), cold open, warm
+    fixed-window batches at 1x and 10x corpus size, and incremental
+    index repair vs full rebuild."""
+    tree_counts = STORE_TREE_COUNTS_QUICK if quick else STORE_TREE_COUNTS
+    repair_sizes = (
+        STORE_REPAIR_SIZES_QUICK if quick else STORE_REPAIR_SIZES
+    )
+    errors: List[str] = []
+    rows = run_store_benchmark(tree_counts, seed, repeats, errors=errors)
+    repair_rows = run_repair_benchmark(
+        repair_sizes, seed, repeats, errors=errors
+    )
+    by_count = {row["n"]: row for row in rows}
+    base, top = tree_counts[0], tree_counts[-1]
+    flat_ratio = rss_ratio = warm_speedup = 0.0
+    ingest_rate = 0.0
+    if base in by_count and top in by_count:
+        flat_ratio = (
+            by_count[top]["warm_batch_seconds"]
+            / by_count[base]["warm_batch_seconds"]
+        )
+        rss_ratio = (
+            by_count[top]["ingest_peak_rss_kb"]
+            / by_count[base]["ingest_peak_rss_kb"]
+        )
+        warm_speedup = by_count[top]["speedup"]
+        ingest_rate = by_count[top]["ingest_trees_per_second"]
+    repair_median = (
+        statistics.median(r["median_speedup"] for r in repair_rows)
+        if repair_rows
+        else 0.0
+    )
+    return {
+        "schema": STORE_SCHEMA,
+        "generated_by": "python -m repro.bench --suite store"
+        + (" --quick" if quick else ""),
+        "seed": seed,
+        "repeats": repeats,
+        "quick": quick,
+        "errors": errors,
+        "store": {
+            "tree_counts": list(tree_counts),
+            "window": STORE_WINDOW,
+            "queries": [
+                {"kind": q.kind, "text": q.text} for q in STORE_QUERIES
+            ],
+            "rows": rows,
+            "repair_rows": repair_rows,
+        },
+        "summary": {
+            "store_max_trees": top,
+            # warm fixed-window latency growth across a 10x corpus
+            "store_warm_flat_ratio": flat_ratio,
+            # child-process peak ingest RSS growth across the same 10x
+            "store_ingest_rss_ratio": rss_ratio,
+            "store_ingest_trees_per_second_at_max_size": ingest_rate,
+            # cold open (caches emptied, segments unmapped) vs warm
+            "store_warm_median_speedup_at_max_size": warm_speedup,
+            # incremental splice repair vs a fresh TreeIndex build
+            "store_repair_median_speedup_at_max_size": repair_median,
+            "thresholds": {
+                "flat": STORE_FLAT_THRESHOLD,
+                "rss": STORE_RSS_THRESHOLD,
+                "repair": STORE_REPAIR_THRESHOLD,
+            },
+            "errors": len(errors),
+            # The latency/RSS/repair gates only bind the full-size
+            # sweep; a per-case error fails any sweep, quick included.
+            "pass": not errors
+            and (
+                quick
+                or (
+                    0.0 < flat_ratio <= STORE_FLAT_THRESHOLD
+                    and 0.0 < rss_ratio <= STORE_RSS_THRESHOLD
+                    and warm_speedup >= CHECK_FLOOR
+                    and repair_median >= STORE_REPAIR_THRESHOLD
+                )
+            ),
+        },
+    }
+
+
+def _print_store_report(report: Dict) -> None:
+    print(f"disk-store benchmark (seed={report['seed']}, "
+          f"quick={report['quick']})")
+    print(f"\nfixed window of {report['store']['window']} trees, "
+          f"{len(report['store']['queries'])} queries per batch:")
+    for row in report["store"]["rows"]:
+        print(
+            f"  {row['n']:>7} trees: ingest "
+            f"{row['ingest_trees_per_second']:>7.0f} trees/s "
+            f"(peak RSS {row['ingest_peak_rss_kb'] / 1024:.0f} MB), "
+            f"cold open {row['cold_open_seconds'] * 1000:>7.1f}ms, "
+            f"warm batch {row['warm_batch_seconds'] * 1000:>7.1f}ms"
+        )
+    print("\nincremental index repair vs fresh build "
+          f"(sites <= {STORE_REPAIR_SITE_LIMIT} nodes):")
+    for row in report["store"]["repair_rows"]:
+        print(
+            f"  n={row['n']:>6}: median {row['median_speedup']:>5.2f}x "
+            f"over {row['edits']} edits "
+            f"(min {row['min_speedup']:.2f}x, "
+            f"max {row['max_speedup']:.2f}x)"
+        )
+    summary = report["summary"]
+    print(
+        f"\nacross the 10x decade to {summary['store_max_trees']} trees: "
+        f"warm window latency x{summary['store_warm_flat_ratio']:.2f} "
+        f"(gate <= {summary['thresholds']['flat']:.1f}), ingest RSS "
+        f"x{summary['store_ingest_rss_ratio']:.2f} "
+        f"(gate <= {summary['thresholds']['rss']:.1f}), repair "
+        f"{summary['store_repair_median_speedup_at_max_size']:.2f}x "
+        f"(gate >= {summary['thresholds']['repair']:.1f}) — "
+        f"{'pass' if summary['pass'] else 'FAIL'}"
+    )
+
+
 def _print_kernel_report(report: Dict) -> None:
     print(f"unified-kernel benchmark (seed={report['seed']}, "
           f"quick={report['quick']})")
@@ -1207,6 +1557,37 @@ def check_reports(paths: Sequence[Path]) -> List[str]:
                     f"{overhead!r} exceeds the "
                     f"{PLANNER_OVERHEAD_THRESHOLD:.1f}x gate"
                 )
+        if str(schema).startswith("repro-bench-store") and not report.get(
+            "quick", False
+        ):
+            flat = summary.get("store_warm_flat_ratio")
+            if (
+                not isinstance(flat, (int, float))
+                or not 0.0 < flat <= STORE_FLAT_THRESHOLD
+            ):
+                failures.append(
+                    f"{path}: store_warm_flat_ratio = {flat!r} exceeds "
+                    f"the {STORE_FLAT_THRESHOLD:.1f}x flat-latency gate"
+                )
+            rss = summary.get("store_ingest_rss_ratio")
+            if (
+                not isinstance(rss, (int, float))
+                or not 0.0 < rss <= STORE_RSS_THRESHOLD
+            ):
+                failures.append(
+                    f"{path}: store_ingest_rss_ratio = {rss!r} exceeds "
+                    f"the {STORE_RSS_THRESHOLD:.1f}x sublinear-RSS gate"
+                )
+            repair = summary.get("store_repair_median_speedup_at_max_size")
+            if (
+                not isinstance(repair, (int, float))
+                or repair < STORE_REPAIR_THRESHOLD
+            ):
+                failures.append(
+                    f"{path}: store_repair_median_speedup_at_max_size = "
+                    f"{repair!r} is below the "
+                    f"{STORE_REPAIR_THRESHOLD:.1f}x gate"
+                )
         if str(schema).startswith("repro-bench-kernel") and not report.get(
             "quick", False
         ):
@@ -1262,7 +1643,7 @@ def main(argv: Sequence[str] = None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("engine", "walk", "corpus", "planner", "kernel"),
+        choices=("engine", "walk", "corpus", "planner", "kernel", "store"),
         default="engine",
         help="engine: FO + XPath vs the indexed engines "
         "(BENCH_engine.json); walk: caterpillar + TWA vs the "
@@ -1270,7 +1651,9 @@ def main(argv: Sequence[str] = None) -> int:
         "set-at-a-time batches vs the naive per-call loop "
         "(BENCH_corpus.json); planner: engine=auto vs the manual "
         "engine choices (BENCH_planner.json); kernel: the stacked "
-        "shard executor vs warm per-tree batches (BENCH_kernel.json)",
+        "shard executor vs warm per-tree batches (BENCH_kernel.json); "
+        "store: disk-backed corpus ingest, fixed-window batches and "
+        "incremental index repair (BENCH_store.json)",
     )
     parser.add_argument(
         "--quick",
@@ -1315,7 +1698,13 @@ def main(argv: Sequence[str] = None) -> int:
             print(f"bench-check: {len(paths)} trajectories clear the "
                   f"{CHECK_FLOOR:.1f}x floor")
         return 1 if failures else 0
-    if opts.suite == "kernel":
+    if opts.suite == "store":
+        report = run_store_suite(
+            quick=opts.quick, seed=opts.seed, repeats=opts.repeats
+        )
+        _print_store_report(report)
+        default_output = STORE_DEFAULT_OUTPUT
+    elif opts.suite == "kernel":
         report = run_kernel_suite(
             quick=opts.quick, seed=opts.seed, repeats=opts.repeats
         )

@@ -10,6 +10,12 @@ serially or fanned out over a process pool — with per-chunk
 reference-engine degradation on faults (the PR-4 resilience contract
 lifted to batches).
 
+Corpora can also live on disk: a :class:`CorpusStore` is a directory
+of append-only segment files ingested by streaming (bounded memory),
+queried through the same batch executor with mmap-lazy shard loading
+in the workers, and editable in place with incremental index repair
+(:mod:`repro.corpus.store`).
+
 >>> from repro.corpus import TreeCorpus, xpath_query
 >>> corpus = TreeCorpus.from_terms(["σ(δ, σ)", "δ(σ(δ))"])
 >>> result = corpus.run([xpath_query("//δ")])
@@ -28,16 +34,32 @@ from .query import (
     select_query,
     xpath_query,
 )
+from .segment import Segment, SegmentWriter, recover_segment
+from .store import (
+    CorpusStore,
+    StoreCorruptError,
+    StoreError,
+    StoreMissingError,
+    StoreVersionError,
+)
 
 __all__ = [
     "BatchResult",
     "ChunkReport",
     "CorpusQuery",
+    "CorpusStore",
     "KINDS",
+    "Segment",
+    "SegmentWriter",
+    "StoreCorruptError",
+    "StoreError",
+    "StoreMissingError",
+    "StoreVersionError",
     "TreeCorpus",
     "ask_query",
     "caterpillar_query",
     "caterpillar_relation_query",
+    "recover_segment",
     "run_batch",
     "select_query",
     "xpath_query",

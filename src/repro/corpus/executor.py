@@ -231,17 +231,22 @@ def evaluate_cell(query: CorpusQuery, tree: Tree, engine: str = "fast"):
 #: ``token`` identifies an immutable corpus so persistent workers can
 #: keep the chunk's trees and indexes warm across batches; once a
 #: routed worker holds a chunk, later batches ship ``trees=None``.
+#: ``shard`` is the disk-store alternative to shipping trees at all:
+#: ``(segment path, generation, lo, hi)`` names a contiguous record
+#: range of one segment file, and the worker memory-maps the segment
+#: and unpickles exactly that byte range itself.
 _ChunkPayload = Tuple[
     int,                    # chunk index
     int,                    # corpus position of the first tree
     int,                    # corpus position past the last tree
-    Optional[Tuple[Tree, ...]],  # the chunk's trees (None: use warm state)
+    Optional[Tuple[Tree, ...]],  # the chunk's trees (None: shard/warm state)
     Tuple[CorpusQuery, ...],
     Union[str, Tuple[str, ...]],  # engine (or per-query engines, auto)
     Optional[int],          # per-chunk fast budget (steps)
     Optional[Fault],        # injected fault, if the harness armed one
     Optional[Tuple[TreeIndex, ...]],
     Optional[str],          # corpus token, or None for one-shot batches
+    Optional[Tuple[str, int, int, int]],  # disk shard, or None
 ]
 
 #: Worker-side warm state: (token, start, stop) → (trees, indexes).
@@ -255,6 +260,30 @@ _WORKER_TREES: Dict[Tuple[str, int, int], Tuple] = {}
 #: not have (e.g. the worker process was restarted).  The parent then
 #: re-runs the chunk itself from the full payload.
 _CACHE_MISS = "__corpus_chunk_cache_miss__"
+
+#: Worker-side open segments: (path, generation) → Segment.  A routed
+#: worker serving shard chunks maps each segment file once per store
+#: generation; a bumped generation (any store mutation) retires the
+#: stale mapping on first sight.
+_WORKER_SEGMENTS: Dict[Tuple[str, int], object] = {}
+
+
+def _shard_trees(shard: Tuple[str, int, int, int]) -> Tuple[Tree, ...]:
+    """Materialize one shard: mmap its segment (cached per generation)
+    and unpickle only records ``[lo, hi)`` — the store fan-out path
+    where the parent ships byte coordinates instead of trees."""
+    from .segment import Segment
+
+    path, generation, lo, hi = shard
+    key = (path, generation)
+    segment = _WORKER_SEGMENTS.get(key)
+    if segment is None:
+        for stale in [k for k in _WORKER_SEGMENTS if k[0] == path]:
+            _WORKER_SEGMENTS.pop(stale).close()
+        while len(_WORKER_SEGMENTS) >= 64:  # mmaps are cheap, not free
+            _WORKER_SEGMENTS.pop(next(iter(_WORKER_SEGMENTS))).close()
+        segment = _WORKER_SEGMENTS[key] = Segment(path)
+    return segment.trees(lo, hi)
 
 
 def _warm_chunk(
@@ -354,13 +383,20 @@ def _run_chunk(payload: _ChunkPayload):
     touches (plan cache, index cache) is that worker's own warm state.
     """
     (index, start, stop, trees, queries, engine,
-     budget_steps, fault, indexes, token) = payload
+     budget_steps, fault, indexes, token, shard) = payload
     started = time.perf_counter()
     if trees is None:
         cached = _WORKER_TREES.get((token, start, stop))
-        if cached is None:  # e.g. a fresh worker after a pool restart
+        if cached is not None:
+            trees, indexes = cached
+        elif shard is not None:
+            # A store chunk: this worker loads its own shard from the
+            # segment file and warms it under the store token.
+            trees, indexes = _warm_chunk(
+                token, start, stop, _shard_trees(shard)
+            )
+        else:  # e.g. a fresh worker after a pool restart
             return index, _CACHE_MISS, None
-        trees, indexes = cached
     elif indexes is None:
         trees, indexes = _warm_chunk(token, start, stop, trees)
     if engine == "reference":
@@ -432,6 +468,8 @@ def run_batch(
     indexes: Optional[Sequence[TreeIndex]] = None,
     token: Optional[str] = None,
     stats: Optional[CorpusStatistics] = None,
+    bounds: Optional[Sequence[Tuple[int, int]]] = None,
+    shard_for=None,
 ) -> BatchResult:
     """Evaluate every query against every tree, set-at-a-time.
 
@@ -457,6 +495,15 @@ def run_batch(
     here), records the decisions on ``BatchResult.plans``, and runs the
     batch with that per-query mix; the per-chunk degrade contract is
     unchanged.
+
+    ``bounds`` overrides the automatic chunking with explicit
+    ``[start, stop)`` intervals (as :class:`~repro.corpus.CorpusStore`
+    passes, segment-aligned).  ``shard_for`` — a callable mapping a
+    chunk's bounds to a ``(segment path, generation, lo, hi)`` shard —
+    turns the fan-out mmap-lazy: worker chunks ship *no trees at all*
+    and each worker loads only its own shard's byte range; ``trees``
+    may then be any lazy sequence (it is not materialized here), and
+    only serial chunks slice it.
     """
     if engine not in ENGINES:
         raise ValueError(
@@ -464,7 +511,8 @@ def run_batch(
         )
     if workers < 0:
         raise ValueError("workers must be >= 0")
-    trees = tuple(trees)
+    if shard_for is None:
+        trees = tuple(trees)
     queries = tuple(queries)
     for query in queries:
         compile_query(query)  # fail fast, warm the (inheritable) plans
@@ -490,16 +538,27 @@ def run_batch(
             for query, plan in zip(queries, plans)
         )
     faults = dict(faults or {})
-    bounds = _chunk_bounds(len(trees), chunk_size, workers)
+    if bounds is None:
+        bounds = _chunk_bounds(len(trees), chunk_size, workers)
+    else:
+        bounds = tuple(bounds)
     payloads: List[_ChunkPayload] = []
     for chunk_index, (start, stop) in enumerate(bounds):
         chunk_indexes = None
         if indexes is not None and workers == 0:
             chunk_indexes = tuple(indexes[start:stop])
+        shard = None
+        chunk_trees: Optional[Tuple[Tree, ...]]
+        if shard_for is not None and workers > 0:
+            # Store fan-out: ship byte coordinates, never pickles.
+            shard = shard_for(start, stop)
+            chunk_trees = None
+        else:
+            chunk_trees = tuple(trees[start:stop])
         payloads.append((
-            chunk_index, start, stop, trees[start:stop], queries,
+            chunk_index, start, stop, chunk_trees, queries,
             chunk_engine, budget_steps, faults.get(chunk_index),
-            chunk_indexes, token,
+            chunk_indexes, token, shard,
         ))
 
     results: Dict[int, Tuple] = {}
@@ -539,8 +598,11 @@ def run_batch(
                 except Exception as exc:  # a broken pool, a dead worker
                     # Last-resort degradation: answer the chunk here,
                     # on the engine no fault has ever indicted.
+                    fallback_trees = payload[3]
+                    if fallback_trees is None and payload[10] is not None:
+                        fallback_trees = _shard_trees(payload[10])
                     rows = _evaluate_rows(
-                        payload[3], payload[4], "reference", None
+                        fallback_trees, payload[4], "reference", None
                     )
                     report = ChunkReport(
                         chunk_index, start, stop, "reference", True,
@@ -578,9 +640,9 @@ def _wire(pool: ProcessPoolExecutor, payload: _ChunkPayload) -> _ChunkPayload:
     trees warm, later batches ship ``trees=None`` instead of re-pickling
     the chunk — the single biggest per-batch cost at high tree counts."""
     (chunk_index, start, stop, trees, queries, engine,
-     budget_steps, fault, indexes, token) = payload
-    if token is None or indexes is not None:
-        return payload
+     budget_steps, fault, indexes, token, shard) = payload
+    if token is None or indexes is not None or trees is None:
+        return payload  # shard chunks already ship no trees
     shipped = _shipped(pool)
     key = (token, start, stop)
     if key in shipped:
@@ -588,7 +650,7 @@ def _wire(pool: ProcessPoolExecutor, payload: _ChunkPayload) -> _ChunkPayload:
     else:
         shipped.add(key)
     return (chunk_index, start, stop, trees, queries, engine,
-            budget_steps, fault, indexes, token)
+            budget_steps, fault, indexes, token, shard)
 
 
 def _make_pools(workers: int) -> Tuple[ProcessPoolExecutor, ...]:

@@ -1,0 +1,595 @@
+"""``CorpusStore`` — a corpus that lives on disk, queried in place.
+
+The store is a directory: a ``store.json`` manifest plus numbered
+segment files (:mod:`repro.corpus.segment`).  Everything the paper's
+"fixed query, huge data" reading needs at scale follows from three
+properties:
+
+* **streaming ingest** — :meth:`CorpusStore.ingest` consumes any tree
+  iterator (e.g. :func:`repro.trees.iter_xml_stream` over a multi-
+  gigabyte dump) and writes records straight through, so peak memory
+  is bounded by one document plus one segment's footer rows, never by
+  the corpus;
+* **mmap-lazy shards** — queries route contiguous shards of a segment
+  to workers that open the segment memory-mapped and unpickle only
+  their shard's byte range; the parent ships byte coordinates, not
+  pickles, and warm workers keyed by ``(token, shard)`` skip even
+  that;
+* **incremental repair** — :meth:`replace` with an edit site patches
+  the damaged tree's cached :class:`~repro.engine.index.TreeIndex`
+  through :func:`~repro.engine.index.repair_index` (a subtree splice,
+  ~an order of magnitude cheaper than a rebuild) and bumps the store
+  generation, which retires every worker's warm state and every
+  statistics-keyed cached plan for the old corpus.
+
+Statistics aggregate from per-segment footer summaries — opening and
+planning over a million-tree store reads kilobytes of manifest, not
+the records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..engine.index import adopt_index, index_for, repair_index
+from ..engine.stats import CorpusStatistics, _fingerprint
+from ..trees.tree import Tree
+from .executor import BatchResult, _make_pools, run_batch
+from .query import CorpusQuery
+from .segment import (
+    Segment,
+    SegmentWriter,
+    StoreCorruptError,
+    StoreError,
+    StoreMissingError,
+    StoreVersionError,
+    recover_segment,
+)
+
+__all__ = [
+    "CorpusStore",
+    "StoreError",
+    "StoreCorruptError",
+    "StoreMissingError",
+    "StoreVersionError",
+]
+
+MANIFEST = "store.json"
+FORMAT = "repro-corpus-store"
+FORMAT_VERSION = 1
+
+#: Trees per segment.  Small enough that a segment rewrite (replace)
+#: and a shard load stay cheap, big enough that a 100k-tree store is a
+#: few dozen files, not thousands.
+DEFAULT_SEGMENT_SIZE = 2048
+
+#: How many segments' trees the store keeps materialized for serial
+#: queries and point reads.  Bounds parent-side memory at roughly
+#: ``_LOADED_SEGMENTS * segment_size`` trees however big the store is.
+_LOADED_SEGMENTS = 8
+
+
+def _segment_name(segment_id: int) -> str:
+    return f"seg-{segment_id:05d}.seg"
+
+
+def _aggregate(rows: Sequence[list]) -> Dict[str, object]:
+    """Segment-level statistics summary from footer rows — everything
+    :meth:`CorpusStore.statistics` needs without reopening the segment."""
+    labels: Dict[str, int] = {}
+    for row in rows:
+        for name, count in row[3]:
+            labels[name] = labels.get(name, 0) + count
+    return {
+        "trees": len(rows),
+        "nodes": sum(row[0] for row in rows),
+        "max_n": max((row[0] for row in rows), default=0),
+        "sum_height": sum(row[1] for row in rows),
+        "sum_leaves": sum(row[2] for row in rows),
+        "sum_fanout": sum(row[5] for row in rows),
+        "sum_subtree": sum(row[6] for row in rows),
+        "labels": dict(sorted(labels.items())),
+        "chain": _fingerprint("|".join(row[7] for row in rows)),
+    }
+
+
+class CorpusStore:
+    """A disk-backed, sharded corpus with the :class:`TreeCorpus` query
+    surface.  Use :meth:`create` / :meth:`open`, not the constructor."""
+
+    def __init__(self, path: str, manifest: Dict[str, object]):
+        self.path = path
+        self._manifest = manifest
+        self._segments: Dict[int, Segment] = {}       # seg index -> reader
+        self._loaded: "OrderedDict[int, Tuple[Tree, ...]]" = OrderedDict()
+        self._stats: Optional[CorpusStatistics] = None
+        self._stats_generation = -1
+        self._pools: Dict[int, Tuple[ProcessPoolExecutor, ...]] = {}
+        digest = hashlib.sha1(
+            os.path.abspath(path).encode("utf-8")
+        ).hexdigest()[:12]
+        self._identity = f"store-{digest}"
+
+    # -- lifecycle ----------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, path: str, segment_size: int = DEFAULT_SEGMENT_SIZE
+    ) -> "CorpusStore":
+        """Initialise an empty store at ``path`` (created if missing;
+        must not already hold a store)."""
+        if segment_size < 1:
+            raise ValueError("segment_size must be >= 1")
+        os.makedirs(path, exist_ok=True)
+        manifest_path = os.path.join(path, MANIFEST)
+        if os.path.exists(manifest_path):
+            raise StoreError(f"a corpus store already exists at {path}")
+        manifest = {
+            "format": FORMAT,
+            "version": FORMAT_VERSION,
+            "generation": 0,
+            "segment_size": segment_size,
+            "segments": [],
+            "tree_count": 0,
+            "node_count": 0,
+        }
+        store = cls(path, manifest)
+        store._save_manifest()
+        return store
+
+    @classmethod
+    def open(cls, path: str) -> "CorpusStore":
+        """Open an existing store.
+
+        Raises :class:`StoreMissingError` when ``path`` holds no store,
+        :class:`StoreVersionError` on a format written by a different
+        version, :class:`StoreCorruptError` on an unreadable manifest —
+        never a raw ``OSError`` for these cases."""
+        manifest_path = os.path.join(path, MANIFEST)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError as exc:
+            raise StoreMissingError(
+                f"no corpus store at {path} (missing {MANIFEST})"
+            ) from exc
+        except ValueError as exc:
+            raise StoreCorruptError(
+                f"unreadable store manifest at {manifest_path}"
+            ) from exc
+        if manifest.get("format") != FORMAT:
+            raise StoreMissingError(
+                f"{manifest_path} is not a corpus store manifest"
+            )
+        if manifest.get("version") != FORMAT_VERSION:
+            raise StoreVersionError(
+                f"store at {path} is format v{manifest.get('version')}; "
+                f"this build reads v{FORMAT_VERSION}"
+            )
+        return cls(path, manifest)
+
+    def close(self) -> None:
+        """Release mmaps, loaded trees and worker pools."""
+        for segment in self._segments.values():
+            segment.close()
+        self._segments.clear()
+        self._loaded.clear()
+        pools, self._pools = self._pools, {}
+        for routed in pools.values():
+            for pool in routed:
+                pool.shutdown()
+
+    def __enter__(self) -> "CorpusStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- manifest -----------------------------------------------------
+
+    def _save_manifest(self) -> None:
+        """Atomic manifest update: write-aside then rename, so a crash
+        leaves either the old or the new manifest, never a torn one."""
+        final = os.path.join(self.path, MANIFEST)
+        aside = final + ".tmp"
+        with open(aside, "w", encoding="utf-8") as handle:
+            json.dump(self._manifest, handle, indent=1, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(aside, final)
+
+    @property
+    def generation(self) -> int:
+        return self._manifest["generation"]
+
+    @property
+    def segment_size(self) -> int:
+        return self._manifest["segment_size"]
+
+    @property
+    def tree_count(self) -> int:
+        return self._manifest["tree_count"]
+
+    @property
+    def node_count(self) -> int:
+        return self._manifest["node_count"]
+
+    def __len__(self) -> int:
+        return self.tree_count
+
+    @property
+    def token(self) -> str:
+        """The batch-executor corpus token.  Embeds the generation, so
+        any mutation retires every worker's warm shard state and every
+        cache keyed against the old corpus."""
+        return f"{self._identity}-g{self.generation}"
+
+    def __repr__(self) -> str:
+        return (
+            f"CorpusStore({self.path!r}, {self.tree_count} trees, "
+            f"{len(self._manifest['segments'])} segments, "
+            f"generation {self.generation})"
+        )
+
+    # -- writing ------------------------------------------------------
+
+    def _bump(self) -> None:
+        self._manifest["generation"] += 1
+        totals = self._manifest["segments"]
+        self._manifest["tree_count"] = sum(s["trees"] for s in totals)
+        self._manifest["node_count"] = sum(s["nodes"] for s in totals)
+        self._save_manifest()
+
+    def _record_seal(
+        self, segment_id: int, footer: Dict[str, object], known: bool
+    ) -> None:
+        entry = {
+            "name": _segment_name(segment_id),
+            "id": segment_id,
+            "trees": footer["trees"],
+            "nodes": footer["nodes"],
+            "summary": _aggregate(footer["stats"]),
+        }
+        segments: List[Dict[str, object]] = self._manifest["segments"]
+        if known:
+            segments[[s["id"] for s in segments].index(segment_id)] = entry
+        else:
+            segments.append(entry)
+
+    def ingest(self, trees: Iterable[Tree]) -> int:
+        """Append every tree of an iterator; returns how many.
+
+        Streaming: trees are pickled and written as they arrive,
+        segments seal (and enter the manifest) every ``segment_size``
+        trees, and nothing already consumed stays referenced — feed it
+        :func:`repro.trees.iter_xml_stream` and peak memory tracks the
+        largest single document, not the corpus."""
+        segments: List[Dict[str, object]] = self._manifest["segments"]
+        writer: Optional[SegmentWriter] = None
+        resumed = False
+        appended = 0
+        try:
+            for tree in trees:
+                if not isinstance(tree, Tree):
+                    raise TypeError(
+                        f"ingest expects Tree instances, got "
+                        f"{type(tree).__name__}"
+                    )
+                if writer is None:
+                    if (
+                        segments
+                        and segments[-1]["trees"] < self.segment_size
+                    ):
+                        last = segments[-1]
+                        self._evict_segment(len(segments) - 1)
+                        writer = SegmentWriter.resume(
+                            os.path.join(self.path, last["name"]), last["id"]
+                        )
+                        resumed = True
+                    else:
+                        segment_id = (
+                            segments[-1]["id"] + 1 if segments else 0
+                        )
+                        writer = SegmentWriter(
+                            os.path.join(
+                                self.path, _segment_name(segment_id)
+                            ),
+                            segment_id,
+                        )
+                        resumed = False
+                writer.append(tree)
+                appended += 1
+                if writer.tree_count >= self.segment_size:
+                    self._record_seal(
+                        writer.segment_id, writer.seal(), resumed
+                    )
+                    writer = None
+            if writer is not None:
+                self._record_seal(writer.segment_id, writer.seal(), resumed)
+                writer = None
+        finally:
+            if writer is not None:
+                writer.abort()  # error mid-stream: drop the torn segment
+        if appended:
+            self._bump()
+        return appended
+
+    def append(self, tree: Tree) -> int:
+        """Append one tree; returns its corpus position."""
+        position = self.tree_count
+        self.ingest((tree,))
+        return position
+
+    def replace(
+        self, position: int, tree: Tree, site: Optional[tuple] = None
+    ) -> None:
+        """Replace the tree at ``position``; rewrites its segment.
+
+        With ``site`` (the root node of the edited subtree, as produced
+        by :meth:`Tree.replace_subtree`), the old tree's cached index is
+        spliced into the new tree's through
+        :func:`~repro.engine.index.repair_index` instead of being
+        rebuilt — the incremental path the ``store`` bench gates at
+        ≥5x a fresh build.  Either way the store generation bumps, so
+        stale worker caches and plans can never answer for the old
+        corpus."""
+        segment_index, local = self._locate(position)
+        entry = self._manifest["segments"][segment_index]
+        old_tree = self.tree(position)
+        if site is not None:
+            repaired = repair_index(index_for(old_tree), tree, site)
+            adopt_index(tree, repaired)
+        segment_path = os.path.join(self.path, entry["name"])
+        segment = self._segment(segment_index)
+        rewrite_path = segment_path + ".rewrite"
+        writer = SegmentWriter(rewrite_path, entry["id"])
+        try:
+            for i in range(segment.tree_count):
+                writer.append(tree if i == local else segment.tree(i))
+            footer = writer.seal()
+        except BaseException:
+            writer.abort()
+            raise
+        self._evict_segment(segment_index)
+        os.replace(rewrite_path, segment_path)
+        self._record_seal(entry["id"], footer, True)
+        # Keep the edited segment warm: point reads and serial batches
+        # right after an edit are the repair path's whole point.
+        fresh = self._load_segment(segment_index)
+        self._loaded[segment_index] = fresh[:local] + (tree,) + fresh[local + 1:]
+        self._bump()
+
+    # -- reading ------------------------------------------------------
+
+    def _locate(self, position: int) -> Tuple[int, int]:
+        if not 0 <= position < self.tree_count:
+            raise IndexError(position)
+        offset = 0
+        for segment_index, entry in enumerate(self._manifest["segments"]):
+            if position < offset + entry["trees"]:
+                return segment_index, position - offset
+            offset += entry["trees"]
+        raise IndexError(position)  # pragma: no cover - manifest counts
+
+    def _segment_start(self, segment_index: int) -> int:
+        return sum(
+            entry["trees"]
+            for entry in self._manifest["segments"][:segment_index]
+        )
+
+    def _segment(self, segment_index: int) -> Segment:
+        segment = self._segments.get(segment_index)
+        if segment is None:
+            entry = self._manifest["segments"][segment_index]
+            segment = Segment(os.path.join(self.path, entry["name"]))
+            self._segments[segment_index] = segment
+        return segment
+
+    def _evict_segment(self, segment_index: int) -> None:
+        segment = self._segments.pop(segment_index, None)
+        if segment is not None:
+            segment.close()
+        self._loaded.pop(segment_index, None)
+
+    def _load_segment(self, segment_index: int) -> Tuple[Tree, ...]:
+        """This segment's trees, via a bounded LRU of materialized
+        segments — the serial query path's warm state."""
+        cached = self._loaded.get(segment_index)
+        if cached is not None:
+            self._loaded.move_to_end(segment_index)
+            return cached
+        trees = self._segment(segment_index).trees()
+        self._loaded[segment_index] = trees
+        while len(self._loaded) > _LOADED_SEGMENTS:
+            self._loaded.popitem(last=False)
+        return trees
+
+    def tree(self, position: int) -> Tree:
+        """The tree at ``position`` (loads its segment, LRU-cached)."""
+        segment_index, local = self._locate(position)
+        return self._load_segment(segment_index)[local]
+
+    def trees(self, start: int = 0, stop: Optional[int] = None) -> Iterator[Tree]:
+        """Iterate trees ``[start, stop)`` without holding extra
+        segments — a full scan touches each segment once."""
+        stop = self.tree_count if stop is None else min(stop, self.tree_count)
+        position = start
+        while position < stop:
+            segment_index, local = self._locate(position)
+            entry = self._manifest["segments"][segment_index]
+            hi = min(entry["trees"], local + (stop - position))
+            segment = self._segment(segment_index)
+            for i in range(local, hi):
+                yield segment.tree(i)
+            position += hi - local
+
+    def statistics(self) -> CorpusStatistics:
+        """Aggregate corpus statistics from the manifest's per-segment
+        summaries — no record is read, whatever the store size.  Cached
+        per generation; any mutation changes the fingerprint, which
+        invalidates statistics-keyed plan caches."""
+        if self._stats is not None and self._stats_generation == self.generation:
+            return self._stats
+        summaries = [
+            entry["summary"] for entry in self._manifest["segments"]
+        ]
+        count = sum(s["trees"] for s in summaries)
+        total = sum(s["nodes"] for s in summaries)
+        labels: Dict[str, int] = {}
+        for summary in summaries:
+            for name, c in summary["labels"].items():
+                labels[name] = labels.get(name, 0) + c
+        chain = "|".join(s["chain"] for s in summaries)
+        self._stats = CorpusStatistics(
+            tree_count=count,
+            total_nodes=total,
+            n=total / count if count else 0.0,
+            max_n=max((s["max_n"] for s in summaries), default=0),
+            height=sum(s["sum_height"] for s in summaries) / count
+            if count else 0.0,
+            leaf_count=sum(s["sum_leaves"] for s in summaries) / count
+            if count else 0.0,
+            label_counts=tuple(sorted(labels.items())),
+            avg_fanout=sum(s["sum_fanout"] for s in summaries) / count
+            if count else 0.0,
+            avg_subtree=sum(s["sum_subtree"] for s in summaries) / count
+            if count else 0.0,
+            fingerprint=_fingerprint(f"{chain}#g{self.generation}"),
+        )
+        self._stats_generation = self.generation
+        return self._stats
+
+    def recover(self) -> int:
+        """Reseal every torn segment in place (dropping torn tail
+        records), refresh the manifest, and return how many segments
+        needed repair.  The counterpart of a crash mid-ingest."""
+        repaired = 0
+        for segment_index, entry in enumerate(self._manifest["segments"]):
+            segment_path = os.path.join(self.path, entry["name"])
+            try:
+                self._segment(segment_index)
+            except StoreCorruptError:
+                self._evict_segment(segment_index)
+                footer = recover_segment(segment_path)
+                self._record_seal(entry["id"], footer, True)
+                repaired += 1
+        if repaired:
+            self._bump()
+        return repaired
+
+    # -- querying -----------------------------------------------------
+
+    def _chunk_bounds(
+        self,
+        start: int,
+        stop: int,
+        chunk_size: Optional[int],
+        workers: int,
+    ) -> Tuple[Tuple[int, int], ...]:
+        """Segment-aligned chunk intervals covering ``[start, stop)`` —
+        a chunk never spans segments, so each maps to one shard (one
+        contiguous byte range of one file)."""
+        if chunk_size is None:
+            lanes = 4 * max(1, workers)
+            span = max(1, stop - start)
+            chunk_size = max(1, -(-span // lanes))
+        bounds: List[Tuple[int, int]] = []
+        position = start
+        while position < stop:
+            segment_index, local = self._locate(position)
+            entry = self._manifest["segments"][segment_index]
+            segment_stop = position - local + entry["trees"]
+            chunk_stop = min(position + chunk_size, segment_stop, stop)
+            bounds.append((position, chunk_stop))
+            position = chunk_stop
+        return tuple(bounds)
+
+    def _shard_for(self, start: int, stop: int) -> Tuple[str, int, int, int]:
+        segment_index, local = self._locate(start)
+        entry = self._manifest["segments"][segment_index]
+        return (
+            os.path.join(self.path, entry["name"]),
+            self.generation,
+            local,
+            local + (stop - start),
+        )
+
+    def run(
+        self,
+        queries: Sequence[CorpusQuery],
+        workers: int = 0,
+        chunk_size: Optional[int] = None,
+        engine: str = "fast",
+        start: int = 0,
+        stop: Optional[int] = None,
+        budget_steps: Optional[int] = None,
+        faults=None,
+    ) -> BatchResult:
+        """Evaluate a query batch over trees ``[start, stop)`` of the
+        store (default: all of it).
+
+        Serial runs materialize one segment at a time through the LRU;
+        worker runs ship shard coordinates — each routed worker mmaps
+        the segment and unpickles only its shard, keeping trees and
+        indexes warm under the store token until the generation moves.
+        """
+        stop = self.tree_count if stop is None else min(stop, self.tree_count)
+        if start < 0 or start > stop:
+            raise ValueError(f"bad tree range [{start}, {stop})")
+        pool = None
+        if workers > 0:
+            pool = self._pools.get(workers)
+            if pool is None:
+                pool = self._pools[workers] = _make_pools(workers)
+        # Bounds stay store-global: chunk warm-state keys are
+        # (token, start, stop), and two different windows must never
+        # alias the same key to different trees.
+        return run_batch(
+            _StoreView(self, 0, stop),
+            queries,
+            workers=workers,
+            chunk_size=chunk_size,
+            engine=engine,
+            budget_steps=budget_steps,
+            faults=faults,
+            pool=pool,
+            token=self.token,
+            stats=self.statistics() if engine == "auto" else None,
+            bounds=self._chunk_bounds(start, stop, chunk_size, workers),
+            shard_for=self._shard_for,
+        )
+
+
+class _StoreView(Sequence):
+    """A window ``[start, stop)`` of a store as a lazy tree sequence.
+
+    ``run_batch`` only ever takes ``len()`` and contiguous slices of
+    it; slices materialize through the store's bounded segment LRU, so
+    the view never holds the corpus."""
+
+    def __init__(self, store: CorpusStore, start: int, stop: int):
+        self._store = store
+        self._start = start
+        self._stop = stop
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            lo, hi, step = item.indices(len(self))
+            if step != 1:
+                raise ValueError("store views slice contiguously")
+            return tuple(
+                self._store.tree(self._start + i) for i in range(lo, hi)
+            )
+        if item < 0:
+            item += len(self)
+        if not 0 <= item < len(self):
+            raise IndexError(item)
+        return self._store.tree(self._start + item)

@@ -49,6 +49,9 @@ __all__ = [
     "index_for",
     "adopt_index",
     "index_cache_clear",
+    "index_structures",
+    "repair_index",
+    "REPAIR_THRESHOLD",
     "iter_bits",
     "bit_count",
 ]
@@ -331,3 +334,431 @@ def adopt_index(tree: Tree, index: TreeIndex) -> None:
 def index_cache_clear() -> None:
     """Drop every cached index (cold-start benchmarks, tests)."""
     _INDEX_CACHE.cache_clear()
+
+
+# ---------------------------------------------------------------------------
+# incremental repair (single-subtree splices)
+# ---------------------------------------------------------------------------
+
+#: Every structure :func:`repair_index` must reproduce byte-identically
+#: (``moves`` holds bound methods and is derived from ``move_groups``;
+#: ``tree`` is the input, not a derived structure).
+_DERIVED_SLOTS = tuple(
+    name for name in TreeIndex.__slots__ if name not in ("tree", "moves")
+)
+
+#: Past this fraction of changed nodes a splice repair stops paying:
+#: the spliced region dominates and a fresh build is both simpler and
+#: as fast, so :func:`repair_index` falls back to one.
+REPAIR_THRESHOLD = 0.25
+
+
+def index_structures(index: TreeIndex) -> Dict[str, object]:
+    """All derived structures of ``index`` by slot name — the byte-
+    identity oracle the repair test battery compares against a fresh
+    :class:`TreeIndex` build."""
+    return {name: getattr(index, name) for name in _DERIVED_SLOTS}
+
+
+def repair_index(
+    old: TreeIndex,
+    new_tree: Tree,
+    site: NodeId,
+    threshold: float = REPAIR_THRESHOLD,
+) -> TreeIndex:
+    """Patch ``old`` into the index of ``new_tree`` after a single-
+    subtree splice at ``site`` (``new_tree`` must come from
+    ``old.tree.replace_subtree(site, …)`` — every node outside the
+    subtree keeps its address).
+
+    Preorder ids make the splice *local in id space*: the edit replaces
+    the contiguous id interval ``[site, old_end)`` with ``[site,
+    new_end)`` and shifts everything after it by a constant ``delta``.
+    Navigation arrays are patched with three slice operations each,
+    every node-set bitset with one three-way big-int splice (low bits
+    kept, middle rebuilt, high bits shifted), and only the spliced
+    subtree is re-walked.  Past ``threshold`` (fraction of nodes
+    touched) the repair degenerates into — and deliberately falls back
+    to — a full rebuild.
+
+    The result is byte-identical (every derived structure) to
+    ``TreeIndex(new_tree)``.
+    """
+    tree = old.tree
+    n0 = old.n
+    nodes = new_tree.nodes
+    n1 = len(nodes)
+    u = old.id_of.get(site)
+    if u is None:
+        raise ValueError(f"splice site {site!r} is not in the old tree")
+    old_end = old.subtree_end[u]
+    try:
+        u1, new_end = new_tree.subtree_interval(site)
+    except Exception:
+        raise ValueError(
+            f"splice site {site!r} is not in the new tree"
+        ) from None
+    if (
+        u1 != u
+        or n1 - new_end != n0 - old_end
+        or nodes[:u] != old.node_of[:u]
+        or nodes[new_end:] != old.node_of[old_end:]
+    ):
+        raise ValueError(
+            "new tree is not a single-subtree splice of the old one "
+            f"at {site!r}"
+        )
+    if new_tree.attributes != tree.attributes:
+        return TreeIndex(new_tree)  # the whole value index moved
+    old_size = old_end - u
+    new_size = new_end - u
+    delta = new_size - old_size
+    if max(old_size, new_size) > threshold * max(n0, n1):
+        return TreeIndex(new_tree)  # damage threshold: rebuild
+
+    # -- re-walk the spliced subtree only ------------------------------
+    new_children = new_tree._children
+    preindex = new_tree._preorder_index
+    parent_mid = [-1] * new_size          # absolute ids, parent_mid[0] ≡ u
+    depth_mid = [0] * new_size
+    next_mid = [-1] * new_size
+    prev_mid = [-1] * new_size
+    child_start_mid = [0] * new_size
+    child_ids_mid: List[int] = []
+    children_mask_mid = [0] * new_size
+    leaf_bits = 0
+    first_bits = 0
+    last_bits = 0
+    has_next_bits = 0
+    has_prev_bits = 0
+    prev_adjacent_bits = 0
+    depth_mid[0] = old.depth[u]
+    parent_mid[0] = old.parent[u]  # always below the site, id unchanged
+    for i in range(u, new_end):
+        k = i - u
+        kids = new_children[nodes[i]]
+        child_start_mid[k] = len(child_ids_mid)
+        if not kids:
+            leaf_bits |= 1 << i
+        mask = 0
+        previous = -1
+        for kid in kids:
+            j = preindex[kid]
+            parent_mid[j - u] = i
+            depth_mid[j - u] = depth_mid[k] + 1
+            child_ids_mid.append(j)
+            mask |= 1 << j
+            if previous >= 0:
+                next_mid[previous - u] = j
+                prev_mid[j - u] = previous
+                has_next_bits |= 1 << previous
+                has_prev_bits |= 1 << j
+                if previous == j - 1:
+                    prev_adjacent_bits |= 1 << j
+            previous = j
+        children_mask_mid[k] = mask
+        if kids:
+            first_bits |= 1 << preindex[kids[0]]
+            last_bits |= 1 << preindex[kids[-1]]
+
+    # ``site`` itself keeps its sibling context: its first/last/has-
+    # sibling bits come from the old index, not the subtree walk.
+    u_bit = 1 << u
+    first_bits |= old.first_mask & u_bit
+    last_bits |= old.last_mask & u_bit
+    has_next_bits |= old.has_next_mask & u_bit
+    has_prev_bits |= old.has_prev_mask & u_bit
+    prev_adjacent_bits |= old.prev_adjacent_mask & u_bit
+
+    # -- postorder ranks of the new subtree (iterative DFS) ------------
+    r0 = old.post_of[u] - (old_size - 1)
+    r_hi = r0 + old_size
+    post_mid = [0] * new_size
+    rank = r0
+    stack = [(u, 0)]
+    while stack:
+        node, cursor = stack[-1]
+        k = node - u
+        start = child_start_mid[k]
+        stop = (
+            child_start_mid[k + 1]
+            if k + 1 < new_size
+            else len(child_ids_mid)
+        )
+        if start + cursor < stop:
+            stack[-1] = (node, cursor + 1)
+            stack.append((child_ids_mid[start + cursor], 0))
+        else:
+            stack.pop()
+            post_mid[k] = rank
+            rank += 1
+
+    # -- splice the navigation arrays ----------------------------------
+    #
+    # Suffix ids and any reference to them shift by ``delta``; ids
+    # below the site — including references *to* the site, whose id is
+    # unchanged — stay put.  No old id lands inside (u, old_end), and
+    # crucially the only *prefix* nodes that can reference a suffix id
+    # (as child, sibling, subtree end or postorder rank) are the proper
+    # ancestors of the site — a contiguous id interval [j, e) with
+    # e > old_end and j < u contains u, so j is an ancestor.  Prefix
+    # arrays are therefore plain copies patched along the ancestor
+    # chain; only the suffix pays a per-element pass.
+    repaired = TreeIndex.__new__(TreeIndex)
+    repaired.tree = new_tree
+    repaired.n = n1
+    repaired.node_of = nodes
+    id_of = dict(old.id_of)  # copies without re-hashing the keys
+    for addr in old.node_of[u:old_end]:
+        del id_of[addr]
+    for i in range(u, new_end):
+        id_of[nodes[i]] = i
+    if delta:
+        for i in range(new_end, n1):
+            id_of[nodes[i]] = i
+    repaired.id_of = id_of
+
+    ancestors: List[int] = []
+    a = old.parent[u]
+    while a >= 0:
+        ancestors.append(a)
+        a = old.parent[a]
+
+    if delta == 0:
+        parent_suffix = old.parent[old_end:]
+        next_suffix = old.next_sibling[old_end:]
+        prev_suffix = old.prev_sibling[old_end:]
+        end_suffix = old.subtree_end[old_end:]
+        post_suffix = old.post_of[old_end:]
+        cs_suffix = old.child_start[old_end:]
+        ci_suffix = old.child_ids[old.child_start[old_end]:]
+    else:
+        parent_suffix = [
+            p + delta if p >= old_end else p for p in old.parent[old_end:]
+        ]
+        next_suffix = [
+            v + delta if v >= old_end else v
+            for v in old.next_sibling[old_end:]
+        ]
+        prev_suffix = [
+            v + delta if v >= old_end else v
+            for v in old.prev_sibling[old_end:]
+        ]
+        end_suffix = [e + delta for e in old.subtree_end[old_end:]]
+        post_suffix = [r + delta for r in old.post_of[old_end:]]
+        cs_suffix = [s + delta for s in old.child_start[old_end:]]
+        ci_suffix = [
+            c + delta for c in old.child_ids[old.child_start[old_end]:]
+        ]
+
+    repaired.parent = old.parent[:u] + parent_mid + parent_suffix
+    repaired.depth = old.depth[:u] + depth_mid + old.depth[old_end:]
+    end_prefix = old.subtree_end[:u]
+    next_prefix = old.next_sibling[:u]
+    post_prefix = old.post_of[:u]
+    if delta:
+        for a in ancestors:
+            end_prefix[a] += delta  # the splice stretches every ancestor
+            post_prefix[a] += delta  # ancestors finish after the subtree
+            v = next_prefix[a]
+            if v >= old_end:
+                next_prefix[a] = v + delta
+    repaired.subtree_end = (
+        end_prefix
+        + [new_tree._subtree_end[nodes[i]] for i in range(u, new_end)]
+        + end_suffix
+    )
+    repaired.post_of = post_prefix + post_mid + post_suffix
+    repaired.next_sibling = next_prefix + next_mid + next_suffix
+    repaired.next_sibling[u] = (
+        old.next_sibling[u] + delta
+        if old.next_sibling[u] >= old_end
+        else old.next_sibling[u]
+    )
+    repaired.prev_sibling = (
+        old.prev_sibling[:u] + prev_mid + prev_suffix
+    )
+    repaired.prev_sibling[u] = old.prev_sibling[u]  # always below the site
+
+    edge_base = old.child_start[u]
+    repaired.child_start = (
+        old.child_start[:u]
+        + [edge_base + s for s in child_start_mid]
+        + cs_suffix
+    )
+    ci_prefix = old.child_ids[:edge_base]
+    if delta:
+        child_start = old.child_start
+        for a in ancestors:
+            for pos in range(child_start[a], child_start[a + 1]):
+                if ci_prefix[pos] >= old_end:
+                    ci_prefix[pos] += delta
+    repaired.child_ids = ci_prefix + child_ids_mid + ci_suffix
+
+    cm_prefix = old.children_mask[:u]
+    if delta == 0:
+        cm_suffix = old.children_mask[old_end:]
+    else:
+        low_cut = (1 << old_end) - 1  # keeps bits ≤ u; (u, old_end) unset
+        for a in ancestors:
+            m = cm_prefix[a]
+            high = m >> old_end
+            if high:
+                cm_prefix[a] = (m & low_cut) | (high << new_end)
+        # suffix masks only hold suffix bits: shift wholesale (leaves
+        # stay 0 without paying a big-int shift)
+        if delta > 0:
+            cm_suffix = [
+                m << delta if m else 0 for m in old.children_mask[old_end:]
+            ]
+        else:
+            shrink = -delta
+            cm_suffix = [
+                m >> shrink if m else 0 for m in old.children_mask[old_end:]
+            ]
+    repaired.children_mask = cm_prefix + children_mask_mid + cm_suffix
+
+    # -- three-way big-int splice for every node-set bitset ------------
+    low_mask = (1 << u) - 1
+
+    def _splice_bits(bits: int, middle: int) -> int:
+        return (bits & low_mask) | ((bits >> old_end) << new_end) | middle
+
+    repaired.all_mask = (1 << n1) - 1
+    repaired.root_mask = 1
+    repaired.leaf_mask = _splice_bits(old.leaf_mask, leaf_bits)
+    repaired.first_mask = _splice_bits(
+        old.first_mask & ~u_bit, first_bits
+    )
+    repaired.last_mask = _splice_bits(old.last_mask & ~u_bit, last_bits)
+    repaired.has_next_mask = _splice_bits(
+        old.has_next_mask & ~u_bit, has_next_bits
+    )
+    repaired.has_prev_mask = _splice_bits(
+        old.has_prev_mask & ~u_bit, has_prev_bits
+    )
+    prev_adjacent = _splice_bits(
+        old.prev_adjacent_mask & ~u_bit, prev_adjacent_bits
+    )
+    if new_end < n1:
+        # The one adjacency the splice can flip: the node right after
+        # the subtree is prev-adjacent iff its left sibling is now the
+        # last spliced node — which depends on the *new* subtree size.
+        boundary = 1 << new_end
+        if repaired.prev_sibling[new_end] == new_end - 1:
+            prev_adjacent |= boundary
+        else:
+            prev_adjacent &= ~boundary
+    repaired.prev_adjacent_mask = prev_adjacent
+
+    label_bits: Dict[str, int] = {}
+    new_labels = new_tree._labels
+    for i in range(u, new_end):
+        label = new_labels[nodes[i]]
+        label_bits[label] = label_bits.get(label, 0) | (1 << i)
+    label_mask: Dict[str, int] = {}
+    for label, bits in old.label_mask.items():
+        spliced = _splice_bits(bits, label_bits.pop(label, 0))
+        if spliced:
+            label_mask[label] = spliced
+    label_mask.update(label_bits)  # labels new with the splice
+    repaired.label_mask = label_mask
+
+    value_mask: Dict[str, Dict[MaybeValue, int]] = {}
+    for attr in new_tree.attributes:
+        new_table = new_tree._attrs[attr]
+        value_bits: Dict[MaybeValue, int] = {}
+        for i in range(u, new_end):
+            value = new_table[nodes[i]]
+            value_bits[value] = value_bits.get(value, 0) | (1 << i)
+        table: Dict[MaybeValue, int] = {}
+        for value, bits in old.value_mask.get(attr, {}).items():
+            spliced = _splice_bits(bits, value_bits.pop(value, 0))
+            if spliced:
+                table[value] = spliced
+        table.update(value_bits)
+        value_mask[attr] = table
+    repaired.value_mask = value_mask
+
+    # -- splice the shift-decomposed move groups -----------------------
+    #
+    # Rebuilding ``_shift_groups`` from scratch costs Θ(n²/w) in big-int
+    # bit sets; splicing the old groups costs Θ(groups·n/w).  Per group
+    # (s, mask): bits ≤ u keep their id; their destination crosses the
+    # splice only when it is ≥ old_end (then the shift becomes s+delta
+    # while the source bit stays).  Interior bits (u, old_end) are
+    # dropped and rebuilt from the middle arrays.  Suffix bits shift by
+    # delta; their destination either shifts too (shift unchanged) or
+    # sits at ≤ u (shift becomes s−delta).  Which case applies is a pure
+    # id-range test because no edge endpoint lands strictly inside the
+    # spliced interval.
+    low_u1 = u_bit | (u_bit - 1)  # bits 0..u inclusive
+
+    def _spliced_groups(groups: Tuple[Tuple[int, int], ...]) -> Dict[int, int]:
+        """The uniform part of the group splice: keep sources ≤ u,
+        shift sources ≥ old_end by delta, drop interior bits.  This is
+        exact for every edge whose endpoints sit on the same side of
+        the splice — the sparse cross-splice edges are patched after."""
+        out: Dict[int, int] = {}
+        for s, mask in groups:
+            high = mask >> old_end
+            m = (mask & low_u1) | (high << new_end) if high else mask & low_u1
+            if m:
+                out[s] = m
+        return out
+
+    def _rehome(groups: Dict[int, int], s: int, s2: int, bit: int) -> None:
+        """Move one source bit from shift group s to shift group s2."""
+        rest = groups[s] ^ bit
+        if rest:
+            groups[s] = rest
+        else:
+            del groups[s]
+        groups[s2] = groups.get(s2, 0) | bit
+
+    up_groups = _spliced_groups(old.move_groups["up"])
+    right_groups = _spliced_groups(old.move_groups["right"])
+    left_groups = _spliced_groups(old.move_groups["left"])
+    if delta:
+        # The only up-edges crossing the splice run from an ancestor's
+        # child past the subtree back to the ancestor: the source
+        # shifted but the target did not, so the shift gains -delta.
+        for a in ancestors:
+            for pos in range(old.child_start[a], old.child_start[a + 1]):
+                c = old.child_ids[pos]
+                if c >= old_end:
+                    _rehome(up_groups, a - c, a - c - delta, 1 << (c + delta))
+        # Sibling links cross the splice only where a node on the
+        # site's ancestor path (or the site itself) has its next
+        # sibling on the far side of the subtree — one link per level.
+        for x in (u, *ancestors):
+            ns = old.next_sibling[x]
+            if ns >= old_end:
+                _rehome(right_groups, ns - x, ns - x + delta, u_bit if x == u else 1 << x)
+                _rehome(left_groups, x - ns, x - ns - delta, 1 << (ns + delta))
+
+    for i in range(u + 1, new_end):
+        s = parent_mid[i - u] - i
+        up_groups[s] = up_groups.get(s, 0) | (1 << i)
+        dst = next_mid[i - u]
+        if dst >= 0:
+            s = dst - i
+            right_groups[s] = right_groups.get(s, 0) | (1 << i)
+        dst = prev_mid[i - u]
+        if dst >= 0:
+            s = dst - i
+            left_groups[s] = left_groups.get(s, 0) | (1 << i)
+
+    repaired.move_groups = {
+        "down": ((1, repaired.all_mask & ~repaired.leaf_mask),),
+        "up": tuple(sorted(up_groups.items())),
+        "right": tuple(sorted(right_groups.items())),
+        "left": tuple(sorted(left_groups.items())),
+    }
+    repaired.moves = {
+        "up": repaired.up_mask,
+        "down": repaired.down_mask,
+        "left": repaired.left_mask,
+        "right": repaired.right_mask,
+    }
+    return repaired

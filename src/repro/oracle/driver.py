@@ -28,6 +28,7 @@ from .pairs import (
     NTWAVsFastCaterpillar,
     Outcome,
     RunnerVsMemo,
+    StoreVsSequential,
     VectorizedVsSequential,
     XPathVsCaterpillar,
     XPathVsFastXPath,
@@ -38,7 +39,7 @@ from .shrink import shrink_case
 
 
 def default_pairs() -> Tuple[EnginePair, ...]:
-    """All thirteen engine pairs, in a stable order."""
+    """All fourteen engine pairs, in a stable order."""
     return (
         XPathVsFO(),
         XPathVsCaterpillar(),
@@ -53,6 +54,7 @@ def default_pairs() -> Tuple[EnginePair, ...]:
         NTWAVsFastCaterpillar(),
         CorpusVsSequential(),
         VectorizedVsSequential(),
+        StoreVsSequential(),
     )
 
 

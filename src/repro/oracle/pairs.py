@@ -4,7 +4,7 @@ Each :class:`EnginePair` knows how to *generate* a random (tree, query)
 case, *check* it through two independent evaluation routes, *shrink* the
 query part, and *encode*/*decode* the query as JSON for the corpus.
 
-The thirteen pairs and the equivalence each one guards:
+The fourteen pairs and the equivalence each one guards:
 
 ==============================  ====================================================
 ``xpath/fo``                    XPath evaluator vs its FO(∃*) compilation (§2.3),
@@ -40,6 +40,9 @@ The thirteen pairs and the equivalence each one guards:
 ``vectorized/sequential``       the stacked shard executor — every tree of a
                                 chunk packed into one wide integer per IR op —
                                 vs the same per-tree loop, under two chunkings
+``store/sequential``            a disk-backed :class:`~repro.corpus.CorpusStore`
+                                batch (segment files, mmap-lazy loading) vs the
+                                in-memory per-tree loop, under two chunkings
 ==============================  ====================================================
 """
 
@@ -1145,6 +1148,104 @@ class VectorizedVsSequential(EnginePair):
         return Outcome(
             left == rechunked, str(left), str(rechunked), left_s, right_s
         )
+
+    def shrink_query(self, query) -> Iterable[object]:
+        from ..corpus.query import CorpusQuery
+
+        if query.kind == "xpath":
+            for smaller in _shrink_xpath(parse_xpath(query.text)):
+                yield CorpusQuery("xpath", repr(smaller))
+        elif query.kind == "ask":
+            for smaller in _shrink_formula(parse_formula(query.text)):
+                if not tree_fo.free_variables(smaller):  # ask needs a sentence
+                    yield CorpusQuery("ask", format_formula(smaller))
+        elif query.kind == "select":
+            for smaller in _shrink_formula(parse_formula(query.text)):
+                try:  # selection needs the FO(∃*) fragment to survive
+                    ExistsStarQuery(smaller)
+                except FragmentError:
+                    continue
+                yield CorpusQuery("select", format_formula(smaller))
+        else:
+            for smaller in _shrink_caterpillar(parse_caterpillar(query.text)):
+                yield CorpusQuery(query.kind, format_caterpillar(smaller))
+
+    def encode_query(self, query) -> object:
+        return {"kind": query.kind, "text": query.text}
+
+    def decode_query(self, payload: object):
+        from ..corpus.query import CorpusQuery
+
+        return CorpusQuery(payload["kind"], payload["text"])
+
+
+# ---------------------------------------------------------------------------
+# store/sequential
+# ---------------------------------------------------------------------------
+
+
+class StoreVsSequential(EnginePair):
+    """A disk-backed store batch vs a loop of single-tree calls.
+
+    Same corpus splitting as ``corpus/sequential``, but the batch side
+    first round-trips every member through a
+    :class:`~repro.corpus.CorpusStore` — serialized into segment files
+    (a tiny segment size forces several) and read back memory-mapped —
+    and then queries the *store*.  All five query kinds are on the
+    line, under both single-tree chunks and the store's default
+    segment-aligned chunking.  Any divergence in the record format,
+    the lazy segment loading, or the shard-aligned reassembly shows up
+    as an element-wise mismatch against the in-memory loop."""
+
+    name = "store/sequential"
+
+    KINDS = ("xpath", "ask", "select", "caterpillar", "caterpillar-relation")
+
+    def generate(self, rng: random.Random, max_size: int) -> Case:
+        tree = gen.random_attributed_tree(rng, max_size)
+        kind = rng.choice(self.KINDS)
+        if kind == "xpath":
+            text = repr(gen.random_xpath(rng))
+        elif kind == "ask":
+            text = format_formula(gen.random_fo_sentence(rng))
+        elif kind == "select":
+            text = format_formula(gen.random_exists_star(rng))
+        else:
+            text = format_caterpillar(
+                gen.random_caterpillar(rng, budget=rng.randint(2, 6))
+            )
+        from ..corpus.query import CorpusQuery
+
+        return Case(tree, CorpusQuery(kind, text))
+
+    def check(self, case: Case) -> Outcome:
+        import shutil
+        import tempfile
+
+        from ..corpus.store import CorpusStore
+
+        query = case.query
+        members = _corpus_members(case.tree)
+        left, left_s = _timed(lambda: _sequential_answers(members, query))
+        tmp = tempfile.mkdtemp(prefix="repro-oracle-store-")
+        try:
+            with CorpusStore.create(
+                f"{tmp}/store", segment_size=3
+            ) as store:
+                store.ingest(iter(members))
+                right, right_s = _timed(
+                    lambda: store.run([query], chunk_size=1).for_query(0)
+                )
+                if left != right:
+                    return Outcome(
+                        False, str(left), str(right), left_s, right_s
+                    )
+                rechunked = store.run([query]).for_query(0)
+            return Outcome(
+                left == rechunked, str(left), str(rechunked), left_s, right_s
+            )
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
 
     def shrink_query(self, query) -> Iterable[object]:
         from ..corpus.query import CorpusQuery

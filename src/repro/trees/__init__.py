@@ -20,7 +20,7 @@ from .node import (
 )
 from .values import BOTTOM, DataValue, MaybeValue, is_data_value, require_data_value
 from .tree import Tree, TreeError, TreeNode
-from .parser import TermSyntaxError, format_term, parse_term
+from .parser import TermSyntaxError, format_term, iter_term_stream, parse_term
 from .delimited import (
     DELIMITERS,
     LEAF_DELIM,
@@ -65,7 +65,7 @@ from .generators import (
     random_tree,
 )
 from .render import render_run, render_tree
-from .xmlio import XmlSyntaxError, from_xml, to_xml
+from .xmlio import XmlSyntaxError, from_xml, iter_xml_stream, to_xml
 
 __all__ = [
     "NodeId",
@@ -82,6 +82,7 @@ __all__ = [
     "TreeNode",
     "TermSyntaxError",
     "format_term",
+    "iter_term_stream",
     "parse_term",
     "DELIMITERS",
     "LEAF_DELIM",
@@ -122,5 +123,6 @@ __all__ = [
     "render_tree",
     "XmlSyntaxError",
     "from_xml",
+    "iter_xml_stream",
     "to_xml",
 ]

@@ -182,3 +182,21 @@ def format_term(tree: Tree, node: Tuple[int, ...] = ()) -> str:
         inner = ", ".join(format_term(tree, k) for k in kids)
         parts.append(f"({inner})")
     return "".join(parts)
+
+
+def iter_term_stream(stream) -> "Iterator[Tree]":
+    """Incrementally parse newline-delimited term syntax.
+
+    One term per line; blank lines and ``#`` comment lines are skipped.
+    Reading is line-at-a-time, so — like
+    :func:`repro.trees.xmlio.iter_xml_stream` — memory stays bounded by
+    one record however long the input is."""
+    if isinstance(stream, str):
+        import io
+
+        stream = io.StringIO(stream)
+    for line in stream:
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        yield parse_term(text)

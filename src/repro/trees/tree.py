@@ -394,6 +394,43 @@ class Tree:
         }
         return Tree(labels, attrs, self._attributes)
 
+    def replace_subtree(self, node: NodeId, replacement: "Tree") -> "Tree":
+        """A copy with the subtree at ``node`` replaced by
+        ``replacement`` (re-addressed so its root sits at ``node``).
+
+        The edit is a *single-subtree splice*: every node outside the
+        subtree keeps its address, labels and values, which is what
+        lets :func:`repro.engine.index.repair_index` patch an existing
+        index instead of rebuilding it.  The attribute set of the
+        result is the union (``self``'s attributes first)."""
+        self.require(node)
+        cut = len(node)
+        labels = {
+            u: lab for u, lab in self._labels.items() if u[:cut] != node
+        }
+        for v, lab in replacement._labels.items():
+            labels[node + v] = lab
+        names = list(self._attributes) + [
+            a for a in replacement._attributes if a not in self._attributes
+        ]
+        attrs: Dict[str, Dict[NodeId, MaybeValue]] = {}
+        for name in names:
+            table: Dict[NodeId, MaybeValue] = {}
+            mine = self._attrs.get(name)
+            if mine:
+                table.update(
+                    (u, value)
+                    for u, value in mine.items()
+                    if u[:cut] != node
+                )
+            theirs = replacement._attrs.get(name)
+            if theirs:
+                table.update(
+                    (node + v, value) for v, value in theirs.items()
+                )
+            attrs[name] = table
+        return Tree(labels, attrs, tuple(names))
+
     def with_attribute(
         self, name: str, table: Mapping[NodeId, MaybeValue]
     ) -> "Tree":

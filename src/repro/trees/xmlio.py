@@ -5,11 +5,19 @@ this module makes the abstraction concrete both ways.  The dialect is a
 strict subset of XML: elements with attributes, no text nodes (mixed
 content is modelled with dummy intermediate nodes per Section 2.1 of
 the paper), no namespaces, no entities beyond the five standard ones.
+
+Besides the whole-document ``to_xml``/``from_xml`` pair, the module has
+a streaming half: :func:`iter_xml_stream` reads a concatenation of any
+number of documents from a file-like object *incrementally* — it
+buffers at most one document (plus one read chunk) at a time, which is
+what lets :meth:`~repro.corpus.store.CorpusStore.ingest` build
+million-tree corpora without ever holding the input in memory.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import io
+from typing import Dict, Iterator, List, Optional, Sequence, TextIO, Tuple, Union
 
 from ..resilience.errors import ParseError
 from .node import NodeId
@@ -31,10 +39,11 @@ def _unescape(text: str) -> str:
     return text
 
 
-def to_xml(tree: Tree, indent: int = 2) -> str:
+def to_xml(tree: Tree, indent: int = 2, stream: Optional[TextIO] = None) -> str:
     """Serialize a tree as XML.  Integer values get an ``int:`` prefix
     so the round-trip preserves the D-value's type; ⊥ values are
-    omitted entirely."""
+    omitted entirely.  With ``stream``, the document is also written to
+    that file-like object (the text is returned either way)."""
 
     def fmt(value: MaybeValue) -> Optional[str]:
         if value is BOTTOM:
@@ -63,7 +72,10 @@ def to_xml(tree: Tree, indent: int = 2) -> str:
         lines.append(f"{pad}</{tree.label(node)}>")
 
     emit((), 0)
-    return "\n".join(lines) + "\n"
+    text = "\n".join(lines) + "\n"
+    if stream is not None:
+        stream.write(text)
+    return text
 
 
 class XmlSyntaxError(TreeError, ParseError):
@@ -146,8 +158,16 @@ def _parse_element(sc: _XmlScanner) -> TreeNode:
         node.children.append(_parse_element(sc))
 
 
-def from_xml(text: str, attributes: Optional[Sequence[str]] = None) -> Tree:
-    """Parse the XML subset back into a :class:`Tree`."""
+def from_xml(
+    text: Union[str, TextIO], attributes: Optional[Sequence[str]] = None
+) -> Tree:
+    """Parse the XML subset back into a :class:`Tree`.
+
+    ``text`` may be the document string or any file-like object with a
+    ``read`` method (the whole stream is one document; use
+    :func:`iter_xml_stream` for a stream of many)."""
+    if not isinstance(text, str):
+        text = text.read()
     sc = _XmlScanner(text)
     sc.skip_ws()
     if sc.literal("<?"):
@@ -160,3 +180,130 @@ def from_xml(text: str, attributes: Optional[Sequence[str]] = None) -> Tree:
     if sc.pos != len(sc.text):
         raise sc.error("trailing content after document element")
     return Tree.build(root, attributes)
+
+
+#: How much :func:`iter_xml_stream` reads per refill.  Small enough
+#: that peak memory is ~one document, big enough that the scanner is
+#: not syscall-bound.
+_STREAM_CHUNK = 1 << 16
+
+
+def iter_xml_stream(
+    stream: Union[str, TextIO],
+    attributes: Optional[Sequence[str]] = None,
+    chunk_size: int = _STREAM_CHUNK,
+) -> Iterator[Tree]:
+    """Incrementally parse a concatenation of XML documents.
+
+    The event-driven scanner tracks element nesting depth (respecting
+    quoted attribute values, self-closing tags and ``<?…?>``
+    declarations) and hands each complete top-level element to
+    :func:`from_xml` as soon as its close tag arrives; consumed input
+    is dropped immediately, so memory stays bounded by the largest
+    single document regardless of stream length — the property the
+    corpus ingester relies on.
+    """
+    if isinstance(stream, str):
+        stream = io.StringIO(stream)
+    buf = ""          # unconsumed input
+    scan = 0          # how far the depth scanner has advanced in buf
+    doc_start = -1    # offset of the current document's first "<"
+    depth = 0
+    exhausted = False
+
+    def refill(keep_from: int) -> int:
+        """Drop consumed input before ``keep_from``, read one more
+        chunk, and return the (shifted) resume offset.  Raises at a
+        mid-document end of stream."""
+        nonlocal buf, doc_start, exhausted
+        cut = doc_start if 0 <= doc_start < keep_from else keep_from
+        if cut:
+            buf = buf[cut:]
+            if doc_start >= 0:
+                doc_start -= cut
+        chunk = stream.read(chunk_size)
+        if chunk:
+            buf += chunk
+        else:
+            exhausted = True
+            if depth or doc_start >= 0 or buf[keep_from - cut:].strip():
+                raise XmlSyntaxError("truncated document at end of stream")
+        return keep_from - cut
+
+    while True:
+        lt = buf.find("<", scan)
+        if lt < 0:
+            tail = buf[scan:]
+            if tail.strip():
+                raise XmlSyntaxError(
+                    f"expected '<', found {tail.strip()[:30]!r}"
+                )
+            if exhausted:
+                return
+            scan = refill(len(buf))
+            continue
+        if depth == 0 and doc_start < 0:
+            if buf[scan:lt].strip():
+                raise XmlSyntaxError(
+                    f"expected '<', found {buf[scan:lt].strip()[:30]!r}"
+                )
+            doc_start = lt
+        if buf.startswith("<?", lt):
+            end = buf.find("?>", lt + 2)
+            if end < 0:
+                if exhausted:
+                    raise XmlSyntaxError("unterminated XML declaration")
+                if depth == 0:
+                    doc_start = -1
+                scan = refill(lt)
+                continue
+            if depth == 0:
+                doc_start = -1  # a declaration is not the document
+            scan = end + 2
+            continue
+        if len(buf) < lt + 2 and not exhausted:
+            scan = refill(lt)  # can't yet tell "<x" from "</x"
+            continue
+        closing = buf.startswith("</", lt)
+        # Find the tag's ">", skipping quoted attribute values.
+        pos = lt + 1
+        gt = -1
+        while True:
+            candidates = [
+                found
+                for found in (
+                    buf.find(">", pos),
+                    buf.find('"', pos),
+                    buf.find("'", pos),
+                )
+                if found >= 0
+            ]
+            if not candidates:
+                break
+            hit = min(candidates)
+            if buf[hit] == ">":
+                gt = hit
+                break
+            mate = buf.find(buf[hit], hit + 1)
+            if mate < 0:
+                break
+            pos = mate + 1
+        if gt < 0:
+            if exhausted:
+                raise XmlSyntaxError("truncated document at end of stream")
+            scan = refill(lt)  # incomplete tag: wait for more input
+            continue
+        scan = gt + 1
+        if closing:
+            depth -= 1
+            if depth < 0:
+                raise XmlSyntaxError("close tag without a matching open tag")
+        elif buf[gt - 1] == "/":
+            pass  # self-closing: depth unchanged
+        else:
+            depth += 1
+        if depth == 0:
+            yield from_xml(buf[doc_start : gt + 1], attributes)
+            buf = buf[gt + 1 :]
+            scan = 0
+            doc_start = -1

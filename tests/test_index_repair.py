@@ -1,0 +1,126 @@
+"""Hypothesis battery for incremental index repair.
+
+:func:`repro.engine.index.repair_index` promises *byte identity*: after
+a single-subtree splice, every derived structure of the patched index
+equals the same structure of a from-scratch ``TreeIndex`` build — on
+the splice path and on the damage-threshold rebuild fallback alike.
+These properties run on every test invocation and pin that contract
+into tier 1; the ``store`` bench then gates the speed half (repair
+≥ 5x a rebuild at n ≥ 10k).
+"""
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.engine.index import (
+    REPAIR_THRESHOLD,
+    TreeIndex,
+    index_structures,
+    repair_index,
+)
+from repro.trees.generators import random_tree
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def _splice(seed, tree_size, patch_size):
+    """A (base index, edited tree, site) triple: one random subtree of
+    a random tree swapped for an independently random replacement."""
+    rng = random.Random(seed)
+    tree = random_tree(
+        tree_size, value_pool=(1, 2, 3), max_children=3, seed=seed
+    )
+    base = TreeIndex(tree)
+    site = base.node_of[rng.randrange(base.n)]
+    replacement = random_tree(
+        patch_size, value_pool=(1, 2, 3), max_children=3, seed=seed + 1
+    )
+    edited = tree.replace_subtree(site, replacement)
+    edited.nodes  # warm the lazy preorder before timing-sensitive use
+    return base, edited, site
+
+
+def _assert_identical(repaired, edited):
+    rebuilt = TreeIndex(edited)
+    left = index_structures(repaired)
+    right = index_structures(rebuilt)
+    assert left.keys() == right.keys()
+    for name in left:
+        assert left[name] == right[name], f"slot {name!r} diverged"
+
+
+@given(seeds)
+@settings(max_examples=60, deadline=None)
+def test_small_splice_repairs_byte_identically(seed):
+    """Patches well under the damage threshold take the splice path and
+    still reproduce every derived slot of a fresh build."""
+    base, edited, site = _splice(seed, tree_size=60, patch_size=4)
+    _assert_identical(repair_index(base, edited, site), edited)
+
+
+@given(seeds)
+@settings(max_examples=40, deadline=None)
+def test_large_splice_falls_back_to_identical_rebuild(seed):
+    """Patches past the threshold (here: bigger than the whole base
+    tree) must fall back to a rebuild — and stay byte-identical."""
+    base, edited, site = _splice(seed, tree_size=20, patch_size=30)
+    assert 30 > REPAIR_THRESHOLD * max(base.n, len(edited.nodes))
+    _assert_identical(repair_index(base, edited, site), edited)
+
+
+@given(seeds)
+@settings(max_examples=30, deadline=None)
+def test_threshold_zero_forces_the_rebuild_path(seed):
+    """``threshold=0`` turns every repair into the fallback, so both
+    code paths answer identically on the *same* splice."""
+    base, edited, site = _splice(seed, tree_size=50, patch_size=4)
+    spliced = repair_index(base, edited, site)
+    rebuilt = repair_index(base, edited, site, threshold=0.0)
+    assert index_structures(spliced) == index_structures(rebuilt)
+
+
+@given(seeds)
+@settings(max_examples=25, deadline=None)
+def test_chained_repairs_stay_identical(seed):
+    """Repair-of-a-repair: the patched index is a valid base for the
+    next edit, with no drift across a chain of splices."""
+    rng = random.Random(seed)
+    tree = random_tree(80, value_pool=(1, 2), max_children=3, seed=seed)
+    index = TreeIndex(tree)
+    for step in range(3):
+        site = index.node_of[rng.randrange(index.n)]
+        replacement = random_tree(
+            3 + step, value_pool=(1, 2), max_children=3, seed=seed + step
+        )
+        edited = tree.replace_subtree(site, replacement)
+        edited.nodes
+        index = repair_index(index, edited, site)
+        _assert_identical(index, edited)
+        tree = edited
+
+
+def test_repair_rejects_a_site_missing_from_the_old_tree():
+    base, edited, _ = _splice(0, tree_size=30, patch_size=3)
+    with pytest.raises(ValueError):
+        repair_index(base, edited, (0,) * 40)
+
+
+def test_repair_rejects_a_non_splice_edit():
+    """Two simultaneous subtree swaps are not a single splice; the
+    precondition check must refuse rather than patch garbage."""
+    tree = random_tree(40, value_pool=(1, 2), max_children=3, seed=7)
+    base = TreeIndex(tree)
+    patch = random_tree(3, value_pool=(1, 2), max_children=3, seed=8)
+    first, last = base.node_of[1], base.node_of[base.n - 1]
+    singly = tree.replace_subtree(first, patch)
+    if last not in set(singly.nodes):  # pragma: no cover - shape-dependent
+        pytest.skip("second site swallowed by the first splice")
+    doubly = singly.replace_subtree(last, patch)
+    doubly.nodes
+    if doubly.nodes == singly.nodes:  # pragma: no cover - shape-dependent
+        pytest.skip("second splice was a no-op")
+    with pytest.raises(ValueError):
+        repair_index(base, doubly, first)

@@ -83,3 +83,17 @@ def test_error_carries_position():
         assert exc.pos == 4
     else:  # pragma: no cover
         pytest.fail("expected a syntax error")
+
+
+def test_iter_term_stream_skips_blanks_and_comments():
+    from repro.trees import format_term, iter_term_stream, random_tree
+
+    originals = [random_tree(5, seed=s) for s in range(4)]
+    lines = ["# corpus of terms", ""]
+    for tree in originals:
+        lines += [format_term(tree), ""]
+    parsed = list(iter_term_stream("\n".join(lines)))
+    assert len(parsed) == len(originals)
+    for a, b in zip(parsed, originals):
+        assert a._labels == b._labels
+        assert a._attrs == b._attrs

@@ -61,3 +61,36 @@ def test_bottom_attributes_omitted(small_tree):
     for line in text.splitlines():
         if "<item" in line:
             assert "name=" not in line
+
+
+def test_iter_xml_stream_yields_each_concatenated_document():
+    from repro.trees import iter_xml_stream
+
+    originals = [random_tree(6, seed=s) for s in range(5)]
+    stream = "\n".join(to_xml(t) for t in originals)
+    parsed = list(iter_xml_stream(stream))
+    assert len(parsed) == len(originals)
+    for a, b in zip(parsed, originals):
+        assert a._labels == b._labels
+        assert a._attrs == b._attrs
+
+
+def test_iter_xml_stream_is_incremental_over_a_file_object(tmp_path):
+    import io
+
+    from repro.trees import iter_xml_stream
+
+    originals = [random_tree(4, seed=s) for s in range(3)]
+    handle = io.StringIO("".join(to_xml(t) for t in originals))
+    it = iter_xml_stream(handle, chunk_size=7)  # force many refills
+    first = next(it)
+    assert first._labels == originals[0]._labels
+    assert len(list(it)) == 2
+
+
+def test_iter_xml_stream_raises_on_a_torn_tail():
+    from repro.trees import XmlSyntaxError, iter_xml_stream
+
+    whole = to_xml(random_tree(5, seed=1))
+    with pytest.raises(XmlSyntaxError):
+        list(iter_xml_stream(whole + "<dangling><open>"))
