@@ -9,7 +9,7 @@ FUZZ_BUDGET ?= 200
 FAULT_SEED ?= 0
 FAULT_CASES ?= 200
 
-.PHONY: test test-quick fuzz replay fault bench bench-full bench-walk bench-corpus bench-planner bench-kernel bench-store bench-check
+.PHONY: test test-quick fuzz replay fault serve-chaos bench bench-full bench-walk bench-corpus bench-planner bench-kernel bench-store bench-serve bench-check
 
 ## Full tier-1 suite (includes the marked oracle fuzz and fault tests).
 test:
@@ -41,6 +41,12 @@ fault:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m faults
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.resilience \
 		--seed $(FAULT_SEED) --cases $(FAULT_CASES)
+
+## The query-service fault battery: disconnects, torn frames, worker
+## crashes, deadline expiry and admission bursts, each asserting the
+## bystander session still answers correctly.
+serve-chaos:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m service
 
 ## Quick engine-vs-reference trajectory (seconds; writes BENCH_engine.json).
 bench:
@@ -85,9 +91,17 @@ bench-store:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --suite store
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --check BENCH_store.json
 
+## Query-service trajectory: closed-loop clients at 1/8/32 concurrency
+## plus a chaos round of injected faults (writes BENCH_serve.json),
+## then gate it: >= 2x aggregate throughput at 8 clients vs 1, chaos
+## p99 within 10x of calm, zero wrong answers, zero chaos errors.
+bench-serve:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --suite serve
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --check BENCH_serve.json
+
 ## Fail if any committed BENCH_*.json (engine, walk, corpus, planner,
-## kernel, store) reports a median speedup < 1.0, swallowed per-case
-## errors, or a trajectory missing its pick-rate/overhead/kernel/store
-## gates.
+## kernel, store, serve) reports a median speedup < 1.0, swallowed
+## per-case errors, or a trajectory missing its
+## pick-rate/overhead/kernel/store/serve gates.
 bench-check:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --check

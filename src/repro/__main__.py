@@ -35,6 +35,16 @@ Commands
     missing or version-mismatched store is a clean error (exit 2),
     never a raw traceback.
 
+``serve (FILE… | --store DIR | --random N) [--port P] [--workers W]``
+    Serve the corpus over TCP (length-prefixed JSON protocol) with
+    admission control, per-query deadlines, and graceful degradation
+    — see ``repro.service``.  ``--store`` opens a corpus store
+    read-only, so a writer elsewhere is undisturbed.
+
+``repl (FILE… | --store DIR | --random N | --connect HOST:PORT)``
+    Interactive line REPL over the same dispatcher — local (loads the
+    corpus in-process) or remote (speaks the serve protocol).
+
 ``oracle [ARGS…]``
     Differential fuzzing across the query engines; forwards to
     ``python -m repro.oracle`` (try ``oracle --help``).
@@ -344,6 +354,92 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_service_corpus(args: argparse.Namespace):
+    """``(corpus, closer)`` for serve/repl from files, a store, or a
+    synthetic corpus; a store opens read-only so writers elsewhere
+    keep their lock."""
+    from .corpus import CorpusStore, StoreError, TreeCorpus
+
+    if getattr(args, "store", None):
+        store = CorpusStore.open(args.store, readonly=True)
+        return store, store.close
+    if getattr(args, "random", None):
+        corpus = TreeCorpus.random(args.random, max_size=48, seed=7)
+        return corpus, corpus.close
+    if not args.files:
+        raise StoreError("give FILE documents, --store DIR, or --random N")
+    corpus = TreeCorpus(_load(path).tree for path in args.files)
+    return corpus, corpus.close
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .corpus import StoreError
+    from .service import AdmissionController, Dispatcher, QueryServer
+
+    try:
+        corpus, closer = _open_service_corpus(args)
+    except StoreError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    try:
+        dispatcher = Dispatcher(
+            corpus,
+            admission=AdmissionController(
+                max_inflight=args.max_inflight,
+                quota_steps=args.quota_steps or None,
+                window_seconds=args.quota_window,
+            ),
+            workers=args.workers,
+            default_timeout_ms=args.timeout_ms or None,
+            allow_faults=args.allow_faults,
+        )
+        server = QueryServer(dispatcher, host=args.host, port=args.port)
+        server.start_in_thread()
+        host, port = server.address
+        print(f"serving {dispatcher._tree_count()} trees on {host}:{port}")
+        try:
+            while server._thread.is_alive():
+                server._thread.join(timeout=0.5)
+        except KeyboardInterrupt:
+            print("shutting down")
+        finally:
+            server.stop()
+    finally:
+        closer()
+    return 0
+
+
+def _cmd_repl(args: argparse.Namespace) -> int:
+    from .service import run_repl
+
+    if args.connect:
+        from .service import ServiceClient
+
+        host, _, port = args.connect.rpartition(":")
+        try:
+            client = ServiceClient(host or "127.0.0.1", int(port))
+        except (OSError, ValueError) as exc:
+            print(f"repl: cannot connect to {args.connect}: {exc}",
+                  file=sys.stderr)
+            return 2
+        with client:
+            return run_repl(client.request_raw)
+    from .corpus import StoreError
+    from .service import Dispatcher
+
+    try:
+        corpus, closer = _open_service_corpus(args)
+    except StoreError as exc:
+        print(f"repl: {exc}", file=sys.stderr)
+        return 2
+    try:
+        dispatcher = Dispatcher(corpus, workers=args.workers)
+        session = dispatcher.open_session()
+        return run_repl(lambda request: dispatcher.handle(request, session))
+    finally:
+        closer()
+
+
 def _cmd_oracle(args: argparse.Namespace) -> int:
     from .oracle.cli import main as oracle_main
 
@@ -430,6 +526,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_corpus.add_argument("--stats", action="store_true",
                           help="print the per-chunk execution report")
     p_corpus.set_defaults(func=_cmd_corpus)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve the corpus over TCP (JSON protocol)"
+    )
+    p_serve.add_argument("files", nargs="*", metavar="FILE")
+    p_serve.add_argument("--store", metavar="DIR", default=None,
+                         help="serve a corpus store (opened read-only)")
+    p_serve.add_argument("--random", type=int, default=None, metavar="N",
+                         help="serve N synthetic trees instead of files")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7267,
+                         help="TCP port (0 = pick a free one)")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="worker processes per batch (0 = in-thread)")
+    p_serve.add_argument("--max-inflight", type=int, default=8,
+                         help="concurrent queries before OVERLOADED")
+    p_serve.add_argument("--quota-steps", type=int, default=2_000_000,
+                         help="per-session budget steps per window "
+                              "(0 = unlimited)")
+    p_serve.add_argument("--quota-window", type=float, default=1.0,
+                         help="quota refill window in seconds")
+    p_serve.add_argument("--timeout-ms", type=int, default=10_000,
+                         help="default per-query deadline (0 = none)")
+    p_serve.add_argument("--allow-faults", action="store_true",
+                         help="accept fault-injection requests (chaos "
+                              "testing only)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_repl = sub.add_parser(
+        "repl", help="interactive query REPL (local or remote)"
+    )
+    p_repl.add_argument("files", nargs="*", metavar="FILE")
+    p_repl.add_argument("--store", metavar="DIR", default=None,
+                        help="query a corpus store (opened read-only)")
+    p_repl.add_argument("--random", type=int, default=None, metavar="N",
+                        help="query N synthetic trees instead of files")
+    p_repl.add_argument("--connect", metavar="HOST:PORT", default=None,
+                        help="talk to a running repro serve instead")
+    p_repl.add_argument("--workers", type=int, default=0,
+                        help="worker processes per batch (local mode)")
+    p_repl.set_defaults(func=_cmd_repl)
 
     p_oracle = sub.add_parser(
         "oracle",

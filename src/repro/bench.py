@@ -104,6 +104,8 @@ KERNEL_SCHEMA = "repro-bench-kernel/1"
 KERNEL_DEFAULT_OUTPUT = "BENCH_kernel.json"
 STORE_SCHEMA = "repro-bench-store/1"
 STORE_DEFAULT_OUTPUT = "BENCH_store.json"
+SERVE_SCHEMA = "repro-bench-serve/1"
+SERVE_DEFAULT_OUTPUT = "BENCH_serve.json"
 
 #: 3-variable selectors (free x) timed as full satisfying-assignment
 #: relations.  The first three make the reference pay the n^3 walk;
@@ -244,6 +246,33 @@ STORE_QUERIES = (
     caterpillar_query("(down | right)* <δ>"),
     caterpillar_relation_query("down <σ>"),
 )
+
+#: Serve sweep (``--suite serve``): a closed-loop load model.  Each
+#: client thread sends one query over a small tree window, then
+#: "thinks" for :data:`SERVE_THINK_SECONDS` before the next — think
+#: time (and socket turnaround) is genuinely idle, so concurrency can
+#: overlap it even on the single-core runners this repo targets; the
+#: throughput gate measures exactly that overlap, not CPU parallelism.
+SERVE_CLIENT_COUNTS = (1, 8, 32)
+SERVE_TREE_COUNT = 48
+SERVE_TREE_COUNT_QUICK = 12
+SERVE_MAX_TREE_SIZE = 48
+SERVE_WINDOW = 6
+SERVE_DURATION = 2.0
+SERVE_DURATION_QUICK = 0.5
+SERVE_THINK_SECONDS = 0.008
+#: In the chaos round every this-many-th request carries an injected
+#: engine fault — the chunk must degrade to the reference, not error.
+SERVE_FAULT_EVERY = 4
+#: Aggregate throughput at 8 clients must be at least this multiple of
+#: the single-client throughput (full-size sweep only).
+SERVE_SCALE_THRESHOLD = 2.0
+#: p99 latency under the chaos round may be at most this multiple of
+#: the fault-free p99 at the same concurrency.
+SERVE_FAULT_P99_THRESHOLD = 10.0
+#: The one query every serve client replays — its truth table over the
+#: whole corpus is precomputed once and every response checked.
+SERVE_QUERY = xpath_query("//σ//δ")
 
 #: ``--check`` floor: no committed trajectory may report a median
 #: speedup below this — the engine must never lose to the reference.
@@ -1496,6 +1525,266 @@ def _print_walk_report(report: Dict) -> None:
     )
 
 
+def _percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) by nearest-rank on sorted values."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _serve_client_loop(
+    address,
+    client_id: int,
+    tree_count: int,
+    expected_rows,
+    duration: float,
+    faults_every: int,
+    out: List[Dict],
+) -> None:
+    """One closed-loop client: query a sliding window, check the
+    answers against the precomputed truth, think, repeat."""
+    from .service import ServiceClient
+    from .service.protocol import ServiceError
+
+    latencies: List[float] = []
+    requests = wrong = errors = degraded = 0
+    window = min(SERVE_WINDOW, tree_count)
+    span = max(1, tree_count - window)
+    with ServiceClient(*address) as client:
+        deadline = time.perf_counter() + duration
+        i = 0
+        while time.perf_counter() < deadline:
+            start = (client_id * 7 + i * window) % span
+            options = {"start": start, "stop": start + window}
+            if faults_every and i % faults_every == 0:
+                options["faults"] = {"0": {"at": 2, "kind": "error"}}
+            began = time.perf_counter()
+            try:
+                response = client.query_with_retry(
+                    [SERVE_QUERY], attempts=4, **options
+                )
+            except ServiceError:
+                errors += 1
+            else:
+                latencies.append(time.perf_counter() - began)
+                requests += 1
+                degraded += response.get("degraded_chunks", 0)
+                if response["results"] != expected_rows[start:start + window]:
+                    wrong += 1
+            i += 1
+            time.sleep(SERVE_THINK_SECONDS)
+    out.append(
+        {
+            "requests": requests,
+            "errors": errors,
+            "wrong": wrong,
+            "degraded": degraded,
+            "latencies": latencies,
+        }
+    )
+
+
+def _serve_load_round(
+    address,
+    clients: int,
+    tree_count: int,
+    expected_rows,
+    duration: float,
+    faults_every: int = 0,
+) -> Dict:
+    """Drive ``clients`` concurrent closed-loop sessions; aggregate."""
+    import threading
+
+    results: List[Dict] = []
+    threads = [
+        threading.Thread(
+            target=_serve_client_loop,
+            args=(
+                address, c, tree_count, expected_rows, duration,
+                faults_every, results,
+            ),
+        )
+        for c in range(clients)
+    ]
+    began = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - began
+    latencies = [lat for r in results for lat in r["latencies"]]
+    requests = sum(r["requests"] for r in results)
+    errors = sum(r["errors"] for r in results)
+    total = requests + errors
+    return {
+        "clients": clients,
+        "faulted": bool(faults_every),
+        "requests": requests,
+        "errors": errors,
+        "error_rate": errors / total if total else 0.0,
+        "wrong_answers": sum(r["wrong"] for r in results),
+        "degraded_chunks": sum(r["degraded"] for r in results),
+        "seconds": elapsed,
+        "throughput_rps": requests / elapsed if elapsed else 0.0,
+        "p50_ms": _percentile(latencies, 50) * 1000.0,
+        "p99_ms": _percentile(latencies, 99) * 1000.0,
+    }
+
+
+def run_serve_suite(
+    quick: bool = False, seed: int = 0, repeats: int = 1
+) -> Dict:
+    """The query-service sweep (``--suite serve``) as a JSON-ready dict.
+
+    Closed-loop clients (think time :data:`SERVE_THINK_SECONDS`) at
+    1/8/32 concurrency measure aggregate throughput and p50/p99
+    latency, then a chaos round at 8 clients injects an engine fault
+    into every :data:`SERVE_FAULT_EVERY`-th request — those chunks must
+    degrade to the reference engine with the *correct* answers, and the
+    fault-free sessions' p99 must stay within
+    :data:`SERVE_FAULT_P99_THRESHOLD` of the calm round's.  Every
+    response is checked against a precomputed truth table; a single
+    wrong answer fails the suite, faults or none."""
+    from .corpus import TreeCorpus
+    from .service import AdmissionController, Dispatcher, QueryServer
+
+    tree_count = SERVE_TREE_COUNT_QUICK if quick else SERVE_TREE_COUNT
+    duration = SERVE_DURATION_QUICK if quick else SERVE_DURATION
+    client_counts = SERVE_CLIENT_COUNTS[:2] if quick else SERVE_CLIENT_COUNTS
+    errors: List[str] = []
+    corpus = TreeCorpus.random(
+        tree_count, max_size=SERVE_MAX_TREE_SIZE, seed=seed
+    ).prepare()
+    expected_rows = json.loads(json.dumps(corpus.run([SERVE_QUERY]).rows))
+    dispatcher = Dispatcher(
+        corpus,
+        admission=AdmissionController(
+            max_inflight=max(SERVE_CLIENT_COUNTS) + 8, quota_steps=None
+        ),
+        default_timeout_ms=10_000,
+        allow_faults=True,
+    )
+    rows: List[Dict] = []
+    fault_row: Optional[Dict] = None
+    with QueryServer(dispatcher).start_in_thread() as server:
+        for clients in client_counts:
+            row = _guarded_case(
+                errors, f"serve:{clients}",
+                lambda clients=clients: _serve_load_round(
+                    server.address, clients, tree_count, expected_rows,
+                    duration,
+                ),
+            )
+            if row is not None:
+                rows.append(row)
+        fault_row = _guarded_case(
+            errors, "serve:faults",
+            lambda: _serve_load_round(
+                server.address, 8, tree_count, expected_rows, duration,
+                faults_every=SERVE_FAULT_EVERY,
+            ),
+        )
+        stats = dispatcher.handle({"op": "stats"}, dispatcher.open_session())
+    corpus.close()
+    by_clients = {row["clients"]: row for row in rows}
+    throughput_1 = by_clients.get(1, {}).get("throughput_rps", 0.0)
+    throughput_8 = by_clients.get(8, {}).get("throughput_rps", 0.0)
+    scale = throughput_8 / throughput_1 if throughput_1 else 0.0
+    calm_p99 = by_clients.get(8, {}).get("p99_ms", 0.0)
+    fault_p99 = fault_row["p99_ms"] if fault_row else 0.0
+    fault_p99_ratio = fault_p99 / calm_p99 if calm_p99 else 0.0
+    wrong = sum(row["wrong_answers"] for row in rows) + (
+        fault_row["wrong_answers"] if fault_row else 0
+    )
+    fault_error_rate = fault_row["error_rate"] if fault_row else 1.0
+    fault_degraded = fault_row["degraded_chunks"] if fault_row else 0
+    return {
+        "schema": SERVE_SCHEMA,
+        "generated_by": "python -m repro.bench --suite serve"
+        + (" --quick" if quick else ""),
+        "seed": seed,
+        "repeats": repeats,
+        "quick": quick,
+        "errors": errors,
+        "serve": {
+            "tree_count": tree_count,
+            "window": min(SERVE_WINDOW, tree_count),
+            "duration_seconds": duration,
+            "think_seconds": SERVE_THINK_SECONDS,
+            "query": {"kind": SERVE_QUERY.kind, "text": SERVE_QUERY.text},
+            "fault_every": SERVE_FAULT_EVERY,
+            "rows": rows,
+            "fault_row": fault_row,
+            "server_stats": {
+                k: v for k, v in stats.items() if k != "ok"
+            },
+        },
+        "summary": {
+            "serve_throughput_rps_1": throughput_1,
+            "serve_throughput_rps_8": throughput_8,
+            # closed-loop scaling: how much of 8 clients' think/RTT
+            # time one server overlaps (NOT CPU parallelism)
+            "serve_scale_at_8_clients": scale,
+            "serve_calm_p99_ms": calm_p99,
+            "serve_fault_p99_ms": fault_p99,
+            "serve_fault_p99_ratio": fault_p99_ratio,
+            "serve_fault_error_rate": fault_error_rate,
+            "serve_fault_degraded_chunks": fault_degraded,
+            "serve_wrong_answers": wrong,
+            "thresholds": {
+                "scale": SERVE_SCALE_THRESHOLD,
+                "fault_p99_ratio": SERVE_FAULT_P99_THRESHOLD,
+            },
+            # Wrong answers and chaos-round errors fail any sweep,
+            # quick included; the scale and p99 gates bind full only.
+            "pass": not errors
+            and wrong == 0
+            and fault_error_rate == 0.0
+            and fault_degraded > 0
+            and (
+                quick
+                or (
+                    scale >= SERVE_SCALE_THRESHOLD
+                    and 0.0 < fault_p99_ratio <= SERVE_FAULT_P99_THRESHOLD
+                )
+            ),
+        },
+    }
+
+
+def _print_serve_report(report: Dict) -> None:
+    print(f"query-service benchmark (seed={report['seed']}, "
+          f"quick={report['quick']})")
+    serve = report["serve"]
+    print(
+        f"\nclosed-loop clients over {serve['tree_count']} trees "
+        f"(window {serve['window']}, think "
+        f"{serve['think_seconds'] * 1000:.0f}ms, "
+        f"{serve['duration_seconds']:.1f}s per round):"
+    )
+    for row in serve["rows"] + ([serve["fault_row"]] if serve["fault_row"] else []):
+        chaos = " +faults" if row["faulted"] else ""
+        print(
+            f"  {row['clients']:>2} clients{chaos:<8} "
+            f"{row['throughput_rps']:>7.1f} req/s  "
+            f"p50={row['p50_ms']:>6.2f}ms  p99={row['p99_ms']:>7.2f}ms  "
+            f"errors={row['errors']}  wrong={row['wrong_answers']}  "
+            f"degraded={row['degraded_chunks']}"
+        )
+    summary = report["summary"]
+    print(
+        f"\nscale at 8 clients: x{summary['serve_scale_at_8_clients']:.2f} "
+        f"(gate >= {summary['thresholds']['scale']:.1f}), chaos p99 "
+        f"x{summary['serve_fault_p99_ratio']:.2f} of calm "
+        f"(gate <= {summary['thresholds']['fault_p99_ratio']:.1f}), "
+        f"chaos error rate {summary['serve_fault_error_rate']:.1%}, "
+        f"{summary['serve_wrong_answers']} wrong answers — "
+        f"{'pass' if summary['pass'] else 'FAIL'}"
+    )
+
+
 def check_reports(paths: Sequence[Path]) -> List[str]:
     """Scan committed trajectories; return human-readable failures.
 
@@ -1521,6 +1810,43 @@ def check_reports(paths: Sequence[Path]) -> List[str]:
         errors = summary.get("errors", 0)
         if errors:
             failures.append(f"{path}: {errors} per-case errors recorded")
+        if str(schema).startswith("repro-bench-serve"):
+            # The serve trajectory has no reference engine to beat —
+            # its gates are correctness, chaos tolerance, and (full
+            # size only) closed-loop throughput scaling.
+            wrong = summary.get("serve_wrong_answers")
+            if wrong != 0:
+                failures.append(
+                    f"{path}: serve_wrong_answers = {wrong!r} "
+                    "(must be exactly 0)"
+                )
+            chaos_errors = summary.get("serve_fault_error_rate")
+            if chaos_errors != 0.0:
+                failures.append(
+                    f"{path}: serve_fault_error_rate = {chaos_errors!r} "
+                    "(injected faults must degrade, not error)"
+                )
+            if not report.get("quick", False):
+                scale = summary.get("serve_scale_at_8_clients")
+                if (
+                    not isinstance(scale, (int, float))
+                    or scale < SERVE_SCALE_THRESHOLD
+                ):
+                    failures.append(
+                        f"{path}: serve_scale_at_8_clients = {scale!r} "
+                        f"is below the {SERVE_SCALE_THRESHOLD:.1f}x gate"
+                    )
+                ratio = summary.get("serve_fault_p99_ratio")
+                if (
+                    not isinstance(ratio, (int, float))
+                    or not 0.0 < ratio <= SERVE_FAULT_P99_THRESHOLD
+                ):
+                    failures.append(
+                        f"{path}: serve_fault_p99_ratio = {ratio!r} "
+                        f"exceeds the {SERVE_FAULT_P99_THRESHOLD:.1f}x "
+                        "chaos-latency gate"
+                    )
+            continue
         medians = {
             key: value
             for key, value in summary.items()
@@ -1643,7 +1969,10 @@ def main(argv: Sequence[str] = None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("engine", "walk", "corpus", "planner", "kernel", "store"),
+        choices=(
+            "engine", "walk", "corpus", "planner", "kernel", "store",
+            "serve",
+        ),
         default="engine",
         help="engine: FO + XPath vs the indexed engines "
         "(BENCH_engine.json); walk: caterpillar + TWA vs the "
@@ -1653,7 +1982,9 @@ def main(argv: Sequence[str] = None) -> int:
         "engine choices (BENCH_planner.json); kernel: the stacked "
         "shard executor vs warm per-tree batches (BENCH_kernel.json); "
         "store: disk-backed corpus ingest, fixed-window batches and "
-        "incremental index repair (BENCH_store.json)",
+        "incremental index repair (BENCH_store.json); serve: the "
+        "concurrent query service under closed-loop load and injected "
+        "faults (BENCH_serve.json)",
     )
     parser.add_argument(
         "--quick",
@@ -1698,7 +2029,13 @@ def main(argv: Sequence[str] = None) -> int:
             print(f"bench-check: {len(paths)} trajectories clear the "
                   f"{CHECK_FLOOR:.1f}x floor")
         return 1 if failures else 0
-    if opts.suite == "store":
+    if opts.suite == "serve":
+        report = run_serve_suite(
+            quick=opts.quick, seed=opts.seed, repeats=opts.repeats
+        )
+        _print_serve_report(report)
+        default_output = SERVE_DEFAULT_OUTPUT
+    elif opts.suite == "store":
         report = run_store_suite(
             quick=opts.quick, seed=opts.seed, repeats=opts.repeats
         )

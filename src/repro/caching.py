@@ -22,10 +22,18 @@ Contract points the callers rely on (and the tests pin):
   miss; negative sizes are rejected at construction.
 * The mapping protocol (``in``, ``iter``, ``len``) is exposed read-only
   so tests can assert on residency and eviction order.
+* Every cache operation holds an internal :class:`threading.RLock`:
+  the query service shares the process-wide plan/index caches across
+  concurrent sessions, and an unlocked ``move_to_end`` racing an
+  eviction corrupts the ``OrderedDict``.  The factory of
+  :meth:`~KeyedLRU.get_or_compute` runs *outside* the lock — two
+  threads may both compute a missed key (one result wins the slot),
+  but a slow compile can never block every other cache user.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict, namedtuple
 from typing import Callable, Generic, Hashable, Iterator, Optional, TypeVar
 
@@ -48,7 +56,7 @@ class KeyedLRU(Generic[K, V]):
     debugger at once.
     """
 
-    __slots__ = ("_data", "_maxsize", "_hits", "_misses", "_name")
+    __slots__ = ("_data", "_maxsize", "_hits", "_misses", "_name", "_lock")
 
     def __init__(self, maxsize: int, name: str = "") -> None:
         if maxsize < 0:
@@ -58,6 +66,7 @@ class KeyedLRU(Generic[K, V]):
         self._hits = 0
         self._misses = 0
         self._name = name
+        self._lock = threading.RLock()
 
     # -- the main path ---------------------------------------------------------
 
@@ -69,16 +78,21 @@ class KeyedLRU(Generic[K, V]):
         factory (a parse error, a failed compile) leaves the cache
         untouched — no poisoned slot, no phantom miss."""
         data = self._data
-        if key in data:
-            self._hits += 1
-            data.move_to_end(key)
-            return data[key]
+        with self._lock:
+            if key in data:
+                self._hits += 1
+                data.move_to_end(key)
+                return data[key]
+        # Compute outside the lock: a slow factory must not stall every
+        # other session's cache traffic.  Losing the race just means two
+        # equal values were computed; the later insert wins the slot.
         value = factory()
-        self._misses += 1
-        if self._maxsize:
-            while len(data) >= self._maxsize:
-                data.popitem(last=False)
-            data[key] = value
+        with self._lock:
+            self._misses += 1
+            if self._maxsize:
+                while len(data) >= self._maxsize:
+                    data.popitem(last=False)
+                data[key] = value
         return value
 
     # -- statistics-free access (identity-validated caches) --------------------
@@ -90,10 +104,11 @@ class KeyedLRU(Generic[K, V]):
         must validate the hit itself — a stale entry for a recycled id
         is the caller's to reject and overwrite via :meth:`put`."""
         data = self._data
-        if key in data:
-            data.move_to_end(key)
-            return data[key]
-        return default
+        with self._lock:
+            if key in data:
+                data.move_to_end(key)
+                return data[key]
+            return default
 
     def put(self, key: K, value: V) -> None:
         """Insert (or refresh) an entry without touching statistics,
@@ -101,13 +116,14 @@ class KeyedLRU(Generic[K, V]):
         if not self._maxsize:
             return
         data = self._data
-        if key in data:
-            data.move_to_end(key)
+        with self._lock:
+            if key in data:
+                data.move_to_end(key)
+                data[key] = value
+                return
+            while len(data) >= self._maxsize:
+                data.popitem(last=False)
             data[key] = value
-            return
-        while len(data) >= self._maxsize:
-            data.popitem(last=False)
-        data[key] = value
 
     # -- statistics ------------------------------------------------------------
 
@@ -117,18 +133,20 @@ class KeyedLRU(Generic[K, V]):
 
     def cache_info(self) -> CacheInfo:
         """``(hits, misses, maxsize, currsize)``, lru_cache-shaped."""
-        return CacheInfo(
-            hits=self._hits,
-            misses=self._misses,
-            maxsize=self._maxsize,
-            currsize=len(self._data),
-        )
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                maxsize=self._maxsize,
+                currsize=len(self._data),
+            )
 
     def cache_clear(self) -> None:
         """Drop every entry and reset the statistics."""
-        self._data.clear()
-        self._hits = 0
-        self._misses = 0
+        with self._lock:
+            self._data.clear()
+            self._hits = 0
+            self._misses = 0
 
     # -- read-only mapping protocol (tests assert on residency) ----------------
 

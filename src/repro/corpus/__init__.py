@@ -39,6 +39,7 @@ from .store import (
     CorpusStore,
     StoreCorruptError,
     StoreError,
+    StoreLockedError,
     StoreMissingError,
     StoreVersionError,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "SegmentWriter",
     "StoreCorruptError",
     "StoreError",
+    "StoreLockedError",
     "StoreMissingError",
     "StoreVersionError",
     "TreeCorpus",

@@ -19,6 +19,7 @@ from __future__ import annotations
 import itertools
 import os
 import random
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
@@ -46,6 +47,9 @@ class TreeCorpus:
         self._indexes: Optional[Tuple[TreeIndex, ...]] = None
         self._stats: Optional[CorpusStatistics] = None
         self._pools: Dict[int, Tuple[ProcessPoolExecutor, ...]] = {}
+        #: Guards pool creation/healing — the query service runs many
+        #: batches over one corpus from concurrent threads.
+        self._pool_lock = threading.Lock()
         self._token = f"corpus-{os.getpid()}-{next(_TOKENS)}"
 
     # -- construction -------------------------------------------------
@@ -138,20 +142,49 @@ class TreeCorpus:
         engine: str = "fast",
         budget_steps: Optional[int] = None,
         faults=None,
+        start: int = 0,
+        stop: Optional[int] = None,
+        budget_seconds: Optional[float] = None,
+        on_exhausted: str = "degrade",
+        route: int = 0,
+        worker_retries: int = 0,
+        retry_backoff: float = 0.05,
     ) -> BatchResult:
-        """Evaluate a query batch over every tree in the corpus.
+        """Evaluate a query batch over trees ``[start, stop)`` of the
+        corpus (default: all of it).
 
         Serial runs reuse the pinned indexes directly; worker runs
         reuse this corpus's persistent routed pools for ``workers``,
         creating them on first use — so each chunk revisits a worker
-        that already holds its trees and indexes warm.
+        that already holds its trees and indexes warm.  The service
+        knobs (``budget_seconds``, ``on_exhausted``, ``route``,
+        ``worker_retries``) pass straight through to
+        :func:`~repro.corpus.executor.run_batch`; a worker that dies is
+        healed in place, so this corpus's later batches route to a live
+        replacement.
         """
         self.prepare()
+        count = len(self._trees)
+        stop = count if stop is None else min(stop, count)
+        if start < 0 or start > stop:
+            raise ValueError(f"bad tree range [{start}, {stop})")
         pool = None
         if workers > 0:
-            pool = self._pools.get(workers)
-            if pool is None:
-                pool = self._pools[workers] = _make_pools(workers)
+            with self._pool_lock:
+                pool = self._pools.get(workers)
+                if pool is None:
+                    pool = self._pools[workers] = _make_pools(workers)
+        bounds = None
+        if start != 0 or stop != count:
+            # Window bounds stay corpus-global: warm-state keys are
+            # (token, start, stop) and must never alias across windows.
+            if chunk_size is None:
+                lanes = 4 * max(1, workers)
+                chunk_size = max(1, -(-(stop - start) // lanes))
+            bounds = tuple(
+                (lo, min(lo + chunk_size, stop))
+                for lo in range(start, stop, chunk_size)
+            )
         return run_batch(
             self._trees,
             queries,
@@ -164,7 +197,31 @@ class TreeCorpus:
             indexes=self._indexes,
             token=self._token,
             stats=self.statistics() if engine == "auto" else None,
+            bounds=bounds,
+            budget_seconds=budget_seconds,
+            on_exhausted=on_exhausted,
+            route=route,
+            worker_retries=worker_retries,
+            retry_backoff=retry_backoff,
+            replace_pool=(
+                (lambda slot: self._heal_pool(workers, slot))
+                if workers > 0 else None
+            ),
         )
+
+    def _heal_pool(self, workers: int, slot: int) -> ProcessPoolExecutor:
+        """Replace routed pool ``slot`` (its worker died) with a fresh
+        single-worker pool, in place — later batches route straight to
+        the replacement."""
+        with self._pool_lock:
+            routed = list(self._pools.get(workers) or _make_pools(workers))
+            try:
+                routed[slot].shutdown(wait=False)
+            except Exception:
+                pass
+            routed[slot] = _make_pools(1)[0]
+            self._pools[workers] = tuple(routed)
+            return routed[slot]
 
     # -- lifecycle ----------------------------------------------------
 

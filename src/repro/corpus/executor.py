@@ -75,7 +75,12 @@ ENGINES = ("fast", "reference", "auto", "vectorized")
 @dataclass(frozen=True)
 class ChunkReport:
     """What happened to one chunk: which trees it covered, which engine
-    produced its answers, and whether (and why) it degraded."""
+    produced its answers, and whether (and why) it degraded.
+
+    ``steps`` is the budget fuel the chunk's successful attempt spent
+    (0 when it ran without a budget) — the query service reconciles
+    per-session quotas against it.  ``retries`` counts worker-death
+    resubmissions that preceded the answer."""
 
     index: int
     start: int
@@ -84,6 +89,8 @@ class ChunkReport:
     fell_back: bool
     error: Optional[str]
     seconds: float
+    steps: int = 0
+    retries: int = 0
 
 
 @dataclass(frozen=True)
@@ -247,6 +254,8 @@ _ChunkPayload = Tuple[
     Optional[Tuple[TreeIndex, ...]],
     Optional[str],          # corpus token, or None for one-shot batches
     Optional[Tuple[str, int, int, int]],  # disk shard, or None
+    Optional[float],        # per-chunk wall-clock budget (seconds)
+    str,                    # on_exhausted: "degrade" | "raise"
 ]
 
 #: Worker-side warm state: (token, start, stop) → (trees, indexes).
@@ -383,7 +392,8 @@ def _run_chunk(payload: _ChunkPayload):
     touches (plan cache, index cache) is that worker's own warm state.
     """
     (index, start, stop, trees, queries, engine,
-     budget_steps, fault, indexes, token, shard) = payload
+     budget_steps, fault, indexes, token, shard,
+     budget_seconds, on_exhausted) = payload
     started = time.perf_counter()
     if trees is None:
         cached = _WORKER_TREES.get((token, start, stop))
@@ -400,16 +410,36 @@ def _run_chunk(payload: _ChunkPayload):
     elif indexes is None:
         trees, indexes = _warm_chunk(token, start, stop, trees)
     if engine == "reference":
-        rows = _evaluate_rows(trees, queries, "reference", indexes)
+        # Reference chunks have no engine to degrade to, so budgets
+        # only make sense when exhaustion is the caller's verdict
+        # (``on_exhausted="raise"`` — the query service's deadline
+        # path).  In degrade mode the reference run is the recovery
+        # itself and must be allowed to finish.
+        budget = (
+            Budget(steps=budget_steps, seconds=budget_seconds)
+            if on_exhausted == "raise"
+            and (budget_steps is not None or budget_seconds is not None)
+            else None
+        )
+        if budget is not None:
+            with activate(ExecutionContext(budget, None)):
+                rows = _evaluate_rows(trees, queries, "reference", indexes)
+        else:
+            rows = _evaluate_rows(trees, queries, "reference", indexes)
         report = ChunkReport(
             index, start, stop, "reference", False, None,
             time.perf_counter() - started,
+            steps=budget.steps if budget is not None else 0,
         )
         return index, rows, report
     attempt = engine  # "fast", "vectorized", or the auto per-query mix
     attempted_name = "auto" if isinstance(engine, tuple) else engine
     injector = FaultInjector(fault) if fault is not None else None
-    budget = Budget(steps=budget_steps) if budget_steps is not None else None
+    budget = (
+        Budget(steps=budget_steps, seconds=budget_seconds)
+        if budget_steps is not None or budget_seconds is not None
+        else None
+    )
     try:
         if injector is not None or budget is not None:
             with activate(ExecutionContext(budget, injector)):
@@ -419,18 +449,33 @@ def _run_chunk(payload: _ChunkPayload):
         report = ChunkReport(
             index, start, stop, attempted_name, False, None,
             time.perf_counter() - started,
+            steps=budget.steps if budget is not None else 0,
         )
     except ParseError:
         raise  # the caller's error: the reference engine would refuse too
-    except (EngineError, ResourceExhausted) as exc:
-        # The PR-4 contract at chunk granularity: an engine fault (or an
-        # exhausted fast budget) costs this chunk its fast path, never
-        # the batch its answers or their order.
+    except ResourceExhausted as exc:
+        if on_exhausted == "raise":
+            # The query service's contract: an expired deadline or a
+            # spent quota is the *caller's* verdict to deliver, not a
+            # licence to keep burning the reference engine on it.
+            raise
         rows = _evaluate_rows(trees, queries, "reference", indexes)
         report = ChunkReport(
             index, start, stop, "reference", True,
             f"{type(exc).__name__}: {exc}",
             time.perf_counter() - started,
+            steps=budget.steps if budget is not None else 0,
+        )
+    except EngineError as exc:
+        # The PR-4 contract at chunk granularity: an engine fault costs
+        # this chunk its fast path, never the batch its answers or
+        # their order.
+        rows = _evaluate_rows(trees, queries, "reference", indexes)
+        report = ChunkReport(
+            index, start, stop, "reference", True,
+            f"{type(exc).__name__}: {exc}",
+            time.perf_counter() - started,
+            steps=budget.steps if budget is not None else 0,
         )
     return index, rows, report
 
@@ -470,6 +515,12 @@ def run_batch(
     stats: Optional[CorpusStatistics] = None,
     bounds: Optional[Sequence[Tuple[int, int]]] = None,
     shard_for=None,
+    budget_seconds: Optional[float] = None,
+    on_exhausted: str = "degrade",
+    route: int = 0,
+    worker_retries: int = 0,
+    retry_backoff: float = 0.05,
+    replace_pool=None,
 ) -> BatchResult:
     """Evaluate every query against every tree, set-at-a-time.
 
@@ -504,6 +555,21 @@ def run_batch(
     and each worker loads only its own shard's byte range; ``trees``
     may then be any lazy sequence (it is not materialized here), and
     only serial chunks slice it.
+
+    The service-facing knobs: ``budget_seconds`` adds a wall-clock
+    deadline to each chunk's budget (cancelling work cooperatively at
+    the engine checkpoints); ``on_exhausted="raise"`` propagates a
+    :class:`ResourceExhausted` to the caller instead of degrading the
+    chunk — the query service maps it to a DEADLINE/RESOURCE error for
+    that one query.  ``route`` rotates chunk→pool assignment (chunk
+    ``i`` goes to pool ``(i + route) % len(pool)``), so a server
+    spreading single-chunk batches over shared routed pools does not
+    pile every query on pool 0.  ``worker_retries`` resubmits a chunk
+    whose worker *process* died up to that many times, with exponential
+    ``retry_backoff`` sleeps, on a fresh single-worker pool obtained
+    from ``replace_pool(slot)`` (or a throwaway one); only after the
+    attempts are spent does the chunk degrade to an in-parent reference
+    run, as before.
     """
     if engine not in ENGINES:
         raise ValueError(
@@ -511,6 +577,10 @@ def run_batch(
         )
     if workers < 0:
         raise ValueError("workers must be >= 0")
+    if on_exhausted not in ("degrade", "raise"):
+        raise ValueError(
+            f"on_exhausted must be 'degrade' or 'raise', not {on_exhausted!r}"
+        )
     if shard_for is None:
         trees = tuple(trees)
     queries = tuple(queries)
@@ -558,7 +628,7 @@ def run_batch(
         payloads.append((
             chunk_index, start, stop, chunk_trees, queries,
             chunk_engine, budget_steps, faults.get(chunk_index),
-            chunk_indexes, token, shard,
+            chunk_indexes, token, shard, budget_seconds, on_exhausted,
         ))
 
     results: Dict[int, Tuple] = {}
@@ -579,35 +649,48 @@ def run_batch(
         try:
             futures = []
             for payload in payloads:
-                target = pools[payload[0] % len(pools)]
+                target = pools[(payload[0] + route) % len(pools)]
                 futures.append(target.submit(_run_chunk, _wire(target, payload)))
             for payload, future in zip(payloads, futures):
                 chunk_index, start, stop = payload[0], payload[1], payload[2]
+                slot = (chunk_index + route) % len(pools)
                 try:
                     chunk_index, rows, report = future.result()
                     if rows == _CACHE_MISS:
                         # The routed worker lost its warm state (e.g. a
                         # restarted process): run the full chunk here
                         # and let the next batch re-ship the trees.
-                        _shipped(pools[chunk_index % len(pools)]).discard(
-                            (token, start, stop)
-                        )
+                        _shipped(pools[slot]).discard((token, start, stop))
                         chunk_index, rows, report = _run_chunk(payload)
                 except (ParseError, ValueError):
                     raise
+                except ResourceExhausted:
+                    # Only reaches here under on_exhausted="raise":
+                    # degrade-mode workers absorb exhaustion into a
+                    # reference rerun themselves.
+                    raise
                 except Exception as exc:  # a broken pool, a dead worker
-                    # Last-resort degradation: answer the chunk here,
-                    # on the engine no fault has ever indicted.
-                    fallback_trees = payload[3]
-                    if fallback_trees is None and payload[10] is not None:
-                        fallback_trees = _shard_trees(payload[10])
-                    rows = _evaluate_rows(
-                        fallback_trees, payload[4], "reference", None
+                    recovered = _retry_chunk(
+                        payload, worker_retries, retry_backoff,
+                        replace_pool, slot, on_exhausted,
                     )
-                    report = ChunkReport(
-                        chunk_index, start, stop, "reference", True,
-                        f"worker failed: {type(exc).__name__}: {exc}", 0.0,
-                    )
+                    if recovered is not None:
+                        chunk_index, rows, report = recovered
+                    else:
+                        # Last-resort degradation: answer the chunk
+                        # here, on the engine no fault has ever
+                        # indicted.
+                        fallback_trees = payload[3]
+                        if fallback_trees is None and payload[10] is not None:
+                            fallback_trees = _shard_trees(payload[10])
+                        rows = _evaluate_rows(
+                            fallback_trees, payload[4], "reference", None
+                        )
+                        report = ChunkReport(
+                            chunk_index, start, stop, "reference", True,
+                            f"worker failed: {type(exc).__name__}: {exc}",
+                            0.0, retries=worker_retries,
+                        )
                 results[chunk_index] = rows
                 reports[chunk_index] = report
         finally:
@@ -627,6 +710,55 @@ def run_batch(
     )
 
 
+def _retry_chunk(
+    payload: _ChunkPayload,
+    attempts: int,
+    backoff: float,
+    replace_pool,
+    slot: int,
+    on_exhausted: str,
+):
+    """Bounded resubmission of a chunk whose worker died.
+
+    Each attempt sleeps ``backoff * 2**attempt`` then reruns the *full*
+    payload (a fresh worker holds no warm state) on a replacement pool:
+    ``replace_pool(slot)`` lets the pool's owner heal its routed slot in
+    place — later batches then route to the healed worker — while a
+    ``None`` owner gets a throwaway single-worker pool per attempt.
+    Returns the ``(index, rows, report)`` triple with the retry count
+    stamped on the report, or ``None`` when every attempt died too.
+    """
+    for attempt in range(attempts):
+        time.sleep(backoff * (2 ** attempt))
+        fresh = replace_pool(slot) if replace_pool is not None else None
+        throwaway = None
+        if fresh is None:
+            throwaway = fresh = _make_pools(1)[0]
+        try:
+            index, rows, report = fresh.submit(_run_chunk, payload).result()
+            if rows == _CACHE_MISS:  # pragma: no cover - full payload sent
+                continue
+            if report is not None:
+                report = ChunkReport(
+                    report.index, report.start, report.stop, report.engine,
+                    report.fell_back, report.error, report.seconds,
+                    steps=report.steps, retries=attempt + 1,
+                )
+            return index, rows, report
+        except (ParseError, ValueError):
+            raise
+        except ResourceExhausted:
+            if on_exhausted == "raise":
+                raise
+            continue  # pragma: no cover - degrade mode absorbs these
+        except Exception:
+            continue  # this worker died as well: back off harder
+        finally:
+            if throwaway is not None:
+                throwaway.shutdown(wait=False)
+    return None
+
+
 def _shipped(pool: ProcessPoolExecutor) -> set:
     """The (token, start, stop) chunks this pool's worker already holds."""
     cache = getattr(pool, "_corpus_shipped", None)
@@ -640,7 +772,8 @@ def _wire(pool: ProcessPoolExecutor, payload: _ChunkPayload) -> _ChunkPayload:
     trees warm, later batches ship ``trees=None`` instead of re-pickling
     the chunk — the single biggest per-batch cost at high tree counts."""
     (chunk_index, start, stop, trees, queries, engine,
-     budget_steps, fault, indexes, token, shard) = payload
+     budget_steps, fault, indexes, token, shard,
+     budget_seconds, on_exhausted) = payload
     if token is None or indexes is not None or trees is None:
         return payload  # shard chunks already ship no trees
     shipped = _shipped(pool)
@@ -650,7 +783,8 @@ def _wire(pool: ProcessPoolExecutor, payload: _ChunkPayload) -> _ChunkPayload:
     else:
         shipped.add(key)
     return (chunk_index, start, stop, trees, queries, engine,
-            budget_steps, fault, indexes, token, shard)
+            budget_steps, fault, indexes, token, shard,
+            budget_seconds, on_exhausted)
 
 
 def _make_pools(workers: int) -> Tuple[ProcessPoolExecutor, ...]:

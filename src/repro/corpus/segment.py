@@ -42,6 +42,7 @@ __all__ = [
     "SegmentWriter",
     "StoreError",
     "StoreCorruptError",
+    "StoreLockedError",
     "StoreMissingError",
     "StoreVersionError",
     "recover_segment",
@@ -76,6 +77,13 @@ class StoreCorruptError(StoreError):
     """The bytes are there but do not parse back (torn write, bad
     magic, truncated footer).  ``recover_segment`` may salvage the
     complete prefix of records."""
+
+
+class StoreLockedError(StoreError):
+    """Another live process holds the store's single-writer lock.
+    Opening read-only (``CorpusStore.open(path, readonly=True)``) is
+    always allowed; a second writer fails fast instead of silently
+    racing the manifest."""
 
 
 def _stats_row(stats: TreeStatistics) -> list:

@@ -32,6 +32,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -46,6 +47,7 @@ from .segment import (
     SegmentWriter,
     StoreCorruptError,
     StoreError,
+    StoreLockedError,
     StoreMissingError,
     StoreVersionError,
     recover_segment,
@@ -55,11 +57,13 @@ __all__ = [
     "CorpusStore",
     "StoreError",
     "StoreCorruptError",
+    "StoreLockedError",
     "StoreMissingError",
     "StoreVersionError",
 ]
 
 MANIFEST = "store.json"
+LOCKFILE = "store.lock"
 FORMAT = "repro-corpus-store"
 FORMAT_VERSION = 1
 
@@ -76,6 +80,72 @@ _LOADED_SEGMENTS = 8
 
 def _segment_name(segment_id: int) -> str:
     return f"seg-{segment_id:05d}.seg"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Is a process with this pid still running (best-effort)?"""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - someone else's pid
+        return True
+    except OSError:  # pragma: no cover - exotic platforms
+        return True
+    return True
+
+
+def _acquire_writer_lock(path: str) -> str:
+    """Take the store's advisory single-writer lock (a ``store.lock``
+    file holding the owner's pid), stealing a stale lock whose owner
+    died.  Raises :class:`StoreLockedError` when a *live* process holds
+    it — the fail-fast alternative to two writers racing the manifest."""
+    lock_path = os.path.join(path, LOCKFILE)
+    me = os.getpid()
+    for _ in range(2):  # second pass: retry after removing a stale lock
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                with open(lock_path, "r", encoding="utf-8") as handle:
+                    holder = int(handle.read().strip() or "0")
+            except (OSError, ValueError):
+                holder = 0
+            if holder == me:
+                return lock_path  # re-entrant within one process
+            if holder and _pid_alive(holder):
+                raise StoreLockedError(
+                    f"corpus store at {path} is locked for writing by "
+                    f"pid {holder} ({lock_path}); open it readonly or "
+                    f"wait for the writer to finish"
+                )
+            try:  # the owner is gone: the lock is stale, steal it
+                os.unlink(lock_path)
+            except FileNotFoundError:
+                pass
+            continue
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(f"{me}\n")
+        return lock_path
+    raise StoreLockedError(  # pragma: no cover - lost a create race twice
+        f"could not acquire the writer lock at {lock_path}"
+    )
+
+
+def _release_writer_lock(lock_path: Optional[str]) -> None:
+    """Drop the lock if this process still owns it."""
+    if lock_path is None:
+        return
+    try:
+        with open(lock_path, "r", encoding="utf-8") as handle:
+            holder = int(handle.read().strip() or "0")
+    except (OSError, ValueError):
+        return
+    if holder == os.getpid():
+        try:
+            os.unlink(lock_path)
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
 
 
 def _aggregate(rows: Sequence[list]) -> Dict[str, object]:
@@ -110,6 +180,8 @@ class CorpusStore:
         self._stats: Optional[CorpusStatistics] = None
         self._stats_generation = -1
         self._pools: Dict[int, Tuple[ProcessPoolExecutor, ...]] = {}
+        self._pool_lock = threading.Lock()
+        self._lock_path: Optional[str] = None  # held writer lock, if any
         digest = hashlib.sha1(
             os.path.abspath(path).encode("utf-8")
         ).hexdigest()[:12]
@@ -139,12 +211,19 @@ class CorpusStore:
             "node_count": 0,
         }
         store = cls(path, manifest)
+        store._lock_path = _acquire_writer_lock(path)
         store._save_manifest()
         return store
 
     @classmethod
-    def open(cls, path: str) -> "CorpusStore":
+    def open(cls, path: str, readonly: bool = False) -> "CorpusStore":
         """Open an existing store.
+
+        Unless ``readonly``, takes the advisory single-writer lock
+        (``store.lock``): a second process opening the same store for
+        writing gets a :class:`StoreLockedError` immediately instead of
+        silently racing the manifest; a lock left by a dead process is
+        stolen.  Read-only opens never lock (and refuse mutation).
 
         Raises :class:`StoreMissingError` when ``path`` holds no store,
         :class:`StoreVersionError` on a format written by a different
@@ -171,10 +250,26 @@ class CorpusStore:
                 f"store at {path} is format v{manifest.get('version')}; "
                 f"this build reads v{FORMAT_VERSION}"
             )
-        return cls(path, manifest)
+        store = cls(path, manifest)
+        store._readonly = readonly
+        if not readonly:
+            store._lock_path = _acquire_writer_lock(path)
+        return store
+
+    @property
+    def readonly(self) -> bool:
+        return getattr(self, "_readonly", False)
+
+    def _writable(self) -> None:
+        if self.readonly:
+            raise StoreError(
+                f"store at {self.path} was opened readonly; "
+                f"reopen it without readonly=True to write"
+            )
 
     def close(self) -> None:
-        """Release mmaps, loaded trees and worker pools."""
+        """Release mmaps, loaded trees, worker pools and the writer
+        lock."""
         for segment in self._segments.values():
             segment.close()
         self._segments.clear()
@@ -183,6 +278,8 @@ class CorpusStore:
         for routed in pools.values():
             for pool in routed:
                 pool.shutdown()
+        _release_writer_lock(self._lock_path)
+        self._lock_path = None
 
     def __enter__(self) -> "CorpusStore":
         return self
@@ -269,6 +366,7 @@ class CorpusStore:
         trees, and nothing already consumed stays referenced — feed it
         :func:`repro.trees.iter_xml_stream` and peak memory tracks the
         largest single document, not the corpus."""
+        self._writable()
         segments: List[Dict[str, object]] = self._manifest["segments"]
         writer: Optional[SegmentWriter] = None
         resumed = False
@@ -338,6 +436,7 @@ class CorpusStore:
         ≥5x a fresh build.  Either way the store generation bumps, so
         stale worker caches and plans can never answer for the old
         corpus."""
+        self._writable()
         segment_index, local = self._locate(position)
         entry = self._manifest["segments"][segment_index]
         old_tree = self.tree(position)
@@ -468,6 +567,7 @@ class CorpusStore:
         """Reseal every torn segment in place (dropping torn tail
         records), refresh the manifest, and return how many segments
         needed repair.  The counterpart of a crash mid-ingest."""
+        self._writable()
         repaired = 0
         for segment_index, entry in enumerate(self._manifest["segments"]):
             segment_path = os.path.join(self.path, entry["name"])
@@ -529,6 +629,11 @@ class CorpusStore:
         stop: Optional[int] = None,
         budget_steps: Optional[int] = None,
         faults=None,
+        budget_seconds: Optional[float] = None,
+        on_exhausted: str = "degrade",
+        route: int = 0,
+        worker_retries: int = 0,
+        retry_backoff: float = 0.05,
     ) -> BatchResult:
         """Evaluate a query batch over trees ``[start, stop)`` of the
         store (default: all of it).
@@ -537,15 +642,20 @@ class CorpusStore:
         worker runs ship shard coordinates — each routed worker mmaps
         the segment and unpickles only its shard, keeping trees and
         indexes warm under the store token until the generation moves.
+        The service knobs (``budget_seconds``, ``on_exhausted``,
+        ``route``, ``worker_retries``) pass through to
+        :func:`~repro.corpus.executor.run_batch`, with dead routed
+        workers healed in place like :class:`TreeCorpus` does.
         """
         stop = self.tree_count if stop is None else min(stop, self.tree_count)
         if start < 0 or start > stop:
             raise ValueError(f"bad tree range [{start}, {stop})")
         pool = None
         if workers > 0:
-            pool = self._pools.get(workers)
-            if pool is None:
-                pool = self._pools[workers] = _make_pools(workers)
+            with self._pool_lock:
+                pool = self._pools.get(workers)
+                if pool is None:
+                    pool = self._pools[workers] = _make_pools(workers)
         # Bounds stay store-global: chunk warm-state keys are
         # (token, start, stop), and two different windows must never
         # alias the same key to different trees.
@@ -562,7 +672,29 @@ class CorpusStore:
             stats=self.statistics() if engine == "auto" else None,
             bounds=self._chunk_bounds(start, stop, chunk_size, workers),
             shard_for=self._shard_for,
+            budget_seconds=budget_seconds,
+            on_exhausted=on_exhausted,
+            route=route,
+            worker_retries=worker_retries,
+            retry_backoff=retry_backoff,
+            replace_pool=(
+                (lambda slot: self._heal_pool(workers, slot))
+                if workers > 0 else None
+            ),
         )
+
+    def _heal_pool(self, workers: int, slot: int) -> ProcessPoolExecutor:
+        """Replace routed pool ``slot`` (its worker died) with a fresh
+        single-worker pool, in place."""
+        with self._pool_lock:
+            routed = list(self._pools.get(workers) or _make_pools(workers))
+            try:
+                routed[slot].shutdown(wait=False)
+            except Exception:
+                pass
+            routed[slot] = _make_pools(1)[0]
+            self._pools[workers] = tuple(routed)
+            return routed[slot]
 
 
 class _StoreView(Sequence):

@@ -85,6 +85,20 @@ class ResourceExhausted(ReproError, RuntimeError):
         self.steps = steps
         self.limit = limit
 
+    def __reduce__(self):
+        # Keyword-only fields survive pickling across worker processes
+        # (the default exception reduce would drop them, and the query
+        # service routes on ``resource`` to tell a deadline expiry from
+        # a step-quota trip).
+        return (
+            _rebuild_resource_exhausted,
+            (type(self), str(self), self.resource, self.steps, self.limit),
+        )
+
+
+def _rebuild_resource_exhausted(cls, message, resource, steps, limit):
+    return cls(message, resource=resource, steps=steps, limit=limit)
+
 
 class EngineError(ReproError, RuntimeError):
     """An evaluation engine failed internally (not a caller error, not a

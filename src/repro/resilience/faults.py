@@ -48,13 +48,19 @@ __all__ = [
 @dataclass(frozen=True)
 class Fault:
     """One scheduled failure: blow up at the ``at_checkpoint``-th
-    checkpoint, as a bug (``"error"``) or a hang (``"stall"``)."""
+    checkpoint, as a bug (``"error"``), a hang (``"stall"``), or a
+    whole-process death (``"crash"``).
+
+    ``"crash"`` calls ``os._exit`` — it exists to kill a *worker
+    process* mid-chunk so the parent-side retry/degrade machinery can
+    be exercised deterministically.  Never arm it on an in-process
+    evaluation: the process it kills is yours."""
 
     at_checkpoint: int
     kind: str = "error"
 
     def __post_init__(self) -> None:
-        if self.kind not in ("error", "stall"):
+        if self.kind not in ("error", "stall", "crash"):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.at_checkpoint < 1:
             raise ValueError("at_checkpoint is 1-based and must be >= 1")
@@ -80,6 +86,10 @@ class FaultInjector:
         fault = self.fault
         if fault is not None and self.count == fault.at_checkpoint:
             self.fired += 1
+            if fault.kind == "crash":
+                import os
+
+                os._exit(23)  # a worker process dying mid-chunk
             if fault.kind == "error":
                 raise InjectedFault(
                     f"injected engine fault at checkpoint {fault.at_checkpoint}"

@@ -11,6 +11,7 @@ live traffic.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Optional
@@ -42,14 +43,20 @@ class OperationStats:
 
 
 class ResilienceLog:
-    """Counts, last error and fallback latency of resilient calls."""
+    """Counts, last error and fallback latency of resilient calls.
 
-    __slots__ = ("per_operation", "incidents", "fallback_seconds")
+    Recording and snapshotting hold an internal lock: the query service
+    shares one log across concurrent sessions, and ``snapshot()`` must
+    never observe a half-applied record (counters bumped but incident
+    not yet appended)."""
+
+    __slots__ = ("per_operation", "incidents", "fallback_seconds", "_lock")
 
     def __init__(self) -> None:
         self.per_operation: Dict[str, OperationStats] = {}
         self.incidents: Deque[Incident] = deque(maxlen=INCIDENT_HISTORY)
         self.fallback_seconds = 0.0
+        self._lock = threading.RLock()
 
     def _stats(self, operation: str) -> OperationStats:
         stats = self.per_operation.get(operation)
@@ -58,40 +65,43 @@ class ResilienceLog:
         return stats
 
     def record_fast_success(self, operation: str) -> None:
-        stats = self._stats(operation)
-        stats.calls += 1
-        stats.fast_successes += 1
+        with self._lock:
+            stats = self._stats(operation)
+            stats.calls += 1
+            stats.fast_successes += 1
 
     def record_fallback(
         self, operation: str, error: BaseException, fallback_seconds: float
     ) -> None:
         from .errors import ResourceExhausted
 
-        stats = self._stats(operation)
-        stats.calls += 1
-        stats.fallbacks += 1
-        self.fallback_seconds += fallback_seconds
         kind = (
             "resource-exhausted"
             if isinstance(error, ResourceExhausted)
             else "engine-error"
         )
-        self.incidents.append(
-            Incident(
-                operation,
-                kind,
-                f"{type(error).__name__}: {error}",
-                fallback_seconds,
-            )
+        incident = Incident(
+            operation,
+            kind,
+            f"{type(error).__name__}: {error}",
+            fallback_seconds,
         )
+        with self._lock:
+            stats = self._stats(operation)
+            stats.calls += 1
+            stats.fallbacks += 1
+            self.fallback_seconds += fallback_seconds
+            self.incidents.append(incident)
 
     def record_failure(self, operation: str, error: BaseException) -> None:
-        stats = self._stats(operation)
-        stats.calls += 1
-        stats.failures += 1
-        self.incidents.append(
-            Incident(operation, "failure", f"{type(error).__name__}: {error}", 0.0)
+        incident = Incident(
+            operation, "failure", f"{type(error).__name__}: {error}", 0.0
         )
+        with self._lock:
+            stats = self._stats(operation)
+            stats.calls += 1
+            stats.failures += 1
+            self.incidents.append(incident)
 
     @property
     def last_incident(self) -> Optional[Incident]:
@@ -99,35 +109,37 @@ class ResilienceLog:
 
     def snapshot(self) -> Dict:
         """A JSON-able summary (what ``resilience_info()`` returns)."""
-        totals = OperationStats()
-        for stats in self.per_operation.values():
-            totals.calls += stats.calls
-            totals.fast_successes += stats.fast_successes
-            totals.fallbacks += stats.fallbacks
-            totals.failures += stats.failures
-        last = self.last_incident
-        return {
-            "calls": totals.calls,
-            "fast_successes": totals.fast_successes,
-            "fallbacks": totals.fallbacks,
-            "failures": totals.failures,
-            "fallback_seconds": self.fallback_seconds,
-            "last_error": None if last is None else last.error,
-            "per_operation": {
-                name: {
-                    "calls": s.calls,
-                    "fast_successes": s.fast_successes,
-                    "fallbacks": s.fallbacks,
-                    "failures": s.failures,
-                }
-                for name, s in sorted(self.per_operation.items())
-            },
-        }
+        with self._lock:
+            totals = OperationStats()
+            for stats in self.per_operation.values():
+                totals.calls += stats.calls
+                totals.fast_successes += stats.fast_successes
+                totals.fallbacks += stats.fallbacks
+                totals.failures += stats.failures
+            last = self.last_incident
+            return {
+                "calls": totals.calls,
+                "fast_successes": totals.fast_successes,
+                "fallbacks": totals.fallbacks,
+                "failures": totals.failures,
+                "fallback_seconds": self.fallback_seconds,
+                "last_error": None if last is None else last.error,
+                "per_operation": {
+                    name: {
+                        "calls": s.calls,
+                        "fast_successes": s.fast_successes,
+                        "fallbacks": s.fallbacks,
+                        "failures": s.failures,
+                    }
+                    for name, s in sorted(self.per_operation.items())
+                },
+            }
 
     def clear(self) -> None:
-        self.per_operation.clear()
-        self.incidents.clear()
-        self.fallback_seconds = 0.0
+        with self._lock:
+            self.per_operation.clear()
+            self.incidents.clear()
+            self.fallback_seconds = 0.0
 
     def __repr__(self) -> str:
         snap = self.snapshot()

@@ -1,0 +1,59 @@
+"""A fault-tolerant concurrent query service over a loaded corpus.
+
+The paper's data-complexity stance — one fixed query program, many
+instances arriving over time — becomes an actual server here:
+``repro serve`` loads a :class:`~repro.corpus.TreeCorpus` (or opens a
+:class:`~repro.corpus.CorpusStore` read-only) and answers concurrent
+clients over a length-prefixed JSON TCP protocol; ``repro repl`` is the
+interactive human face of the same dispatcher, locally or remotely.
+
+The layering, inside out:
+
+* :mod:`~repro.service.protocol` — frames, error codes, nothing else;
+* :mod:`~repro.service.admission` — in-flight token bucket plus
+  per-session step quotas priced off the planner's cost model;
+* :mod:`~repro.service.session` — the transport-free dispatcher
+  (requests in, responses out, never raises);
+* :mod:`~repro.service.server` — the asyncio TCP front end;
+* :mod:`~repro.service.client` / :mod:`~repro.service.repl` — the
+  blocking client with ``OVERLOADED`` backoff, and the line REPL.
+
+>>> from repro.corpus import TreeCorpus
+>>> from repro.service import Dispatcher, QueryServer, ServiceClient
+>>> dispatcher = Dispatcher(TreeCorpus.from_terms(["σ(δ, σ)"]))
+>>> with QueryServer(dispatcher).start_in_thread() as server:
+...     with ServiceClient(*server.address) as client:
+...         client.query(["//δ"])["results"]
+[[[[0]]]]
+"""
+
+from .admission import AdmissionController, AdmissionTicket, Overloaded
+from .client import ServiceClient
+from .protocol import (
+    ERROR_CODES,
+    MAX_FRAME,
+    FrameError,
+    ServiceError,
+    encode_frame,
+    read_frame_from_socket,
+)
+from .repl import run_repl
+from .server import QueryServer
+from .session import Dispatcher, SessionState
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionTicket",
+    "Dispatcher",
+    "ERROR_CODES",
+    "FrameError",
+    "MAX_FRAME",
+    "Overloaded",
+    "QueryServer",
+    "ServiceClient",
+    "ServiceError",
+    "SessionState",
+    "encode_frame",
+    "read_frame_from_socket",
+    "run_repl",
+]

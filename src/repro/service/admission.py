@@ -1,0 +1,205 @@
+"""Admission control: bounded in-flight work plus per-session quotas.
+
+Two independent gates, both checked *before* a query runs:
+
+* a global **in-flight token bucket** — at most ``max_inflight``
+  queries execute at once, across every session.  A full bucket is an
+  explicit ``OVERLOADED`` rejection carrying ``retry_after_ms``, never
+  an unbounded queue: the client knows immediately and backs off.
+* a per-session **step-quota bucket** — each session may spend at most
+  ``quota_steps`` of budget fuel per ``window_seconds``, refilling
+  continuously.  Queries are *priced* up front from the planner's
+  modeled cost (estimate × trees in the window) and **reconciled**
+  against the actual fuel the executor reports, so a cheap query that
+  was pessimistically priced gives its overcharge back.
+
+Both gates are thread-safe; the dispatcher calls them from concurrent
+session threads.  ``AdmissionController.counters()`` feeds the
+``stats`` protocol verb.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from .protocol import OVERLOADED, ServiceError
+
+__all__ = ["AdmissionController", "AdmissionTicket", "Overloaded"]
+
+
+class Overloaded(ServiceError):
+    """An explicit admission rejection (maps to ``OVERLOADED``)."""
+
+    def __init__(self, message: str, retry_after_ms: int) -> None:
+        super().__init__(OVERLOADED, message, retry_after_ms)
+
+
+class _QuotaBucket:
+    """A continuously-refilling token bucket measured in budget steps."""
+
+    __slots__ = ("capacity", "rate", "tokens", "stamp")
+
+    def __init__(self, capacity: float, window_seconds: float, now: float) -> None:
+        self.capacity = capacity
+        self.rate = capacity / window_seconds
+        self.tokens = capacity
+        self.stamp = now
+
+    def _refill(self, now: float) -> None:
+        # max(0, ...) guards a caller clock captured before our stamp:
+        # time must never *drain* a bucket.
+        self.tokens = min(
+            self.capacity,
+            self.tokens + max(0.0, now - self.stamp) * self.rate,
+        )
+        self.stamp = max(now, self.stamp)
+
+    def try_spend(self, amount: float, now: float) -> Optional[float]:
+        """Spend ``amount`` tokens (clamped to capacity, so one huge
+        query drains a full bucket rather than being unadmittable); on
+        refusal return the seconds until enough tokens will exist."""
+        self._refill(now)
+        charge = min(amount, self.capacity)
+        if charge <= self.tokens:
+            self.tokens -= charge
+            return None
+        return (charge - self.tokens) / self.rate
+
+    def credit(self, amount: float, now: float) -> None:
+        self._refill(now)
+        self.tokens = min(self.capacity, self.tokens + amount)
+
+
+class AdmissionTicket:
+    """Proof of admission for one query; settle exactly once.
+
+    ``settle(actual_steps)`` releases the in-flight slot and reconciles
+    the priced estimate against what the executor actually spent."""
+
+    __slots__ = ("_controller", "_session_id", "_priced", "_settled")
+
+    def __init__(self, controller, session_id, priced) -> None:
+        self._controller = controller
+        self._session_id = session_id
+        self._priced = priced
+        self._settled = False
+
+    def settle(self, actual_steps: Optional[int] = None) -> None:
+        if self._settled:
+            return
+        self._settled = True
+        self._controller._settle(self._session_id, self._priced, actual_steps)
+
+
+class AdmissionController:
+    """The service-wide gatekeeper (see module docstring)."""
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        quota_steps: Optional[int] = 2_000_000,
+        window_seconds: float = 1.0,
+        min_price: int = 100,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if quota_steps is not None and quota_steps < 1:
+            raise ValueError("quota_steps must be >= 1 (or None to disable)")
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be > 0")
+        self.max_inflight = max_inflight
+        self.quota_steps = quota_steps
+        self.window_seconds = window_seconds
+        self.min_price = min_price
+        self._inflight = 0
+        self._buckets: Dict[str, _QuotaBucket] = {}
+        self._lock = threading.Lock()
+        # Counters surfaced by the ``stats`` verb.
+        self.admitted = 0
+        self.rejected_inflight = 0
+        self.rejected_quota = 0
+
+    # -- the gate ------------------------------------------------------
+
+    def admit(self, session_id: str, estimated_steps: float) -> AdmissionTicket:
+        """Admit one query or raise :class:`Overloaded`.
+
+        ``estimated_steps`` is the planner-derived price; it is clamped
+        below by ``min_price`` so even "free" estimates cannot bypass
+        the quota, and above by the bucket capacity so one huge query
+        is admissible (it just drains the session for a while)."""
+        now = time.monotonic()
+        priced = max(float(self.min_price), float(estimated_steps))
+        if self.quota_steps is not None:
+            # The ticket must remember what was actually charged, or a
+            # clamped price would later "refund" steps never spent.
+            priced = min(priced, float(self.quota_steps))
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                self.rejected_inflight += 1
+                raise Overloaded(
+                    f"{self._inflight} queries in flight "
+                    f"(max_inflight={self.max_inflight})",
+                    retry_after_ms=25,
+                )
+            if self.quota_steps is not None:
+                bucket = self._buckets.get(session_id)
+                if bucket is None:
+                    bucket = self._buckets[session_id] = _QuotaBucket(
+                        float(self.quota_steps), self.window_seconds, now
+                    )
+                wait = bucket.try_spend(priced, now)
+                if wait is not None:
+                    self.rejected_quota += 1
+                    raise Overloaded(
+                        f"session step quota exhausted "
+                        f"({self.quota_steps} steps per "
+                        f"{self.window_seconds:g}s window)",
+                        retry_after_ms=max(1, int(wait * 1000) + 1),
+                    )
+            self._inflight += 1
+            self.admitted += 1
+        return AdmissionTicket(self, session_id, priced)
+
+    def _settle(
+        self, session_id: str, priced: float, actual_steps: Optional[int]
+    ) -> None:
+        now = time.monotonic()
+        with self._lock:
+            self._inflight -= 1
+            if self.quota_steps is None or actual_steps is None:
+                return
+            bucket = self._buckets.get(session_id)
+            if bucket is None:
+                return
+            overcharge = priced - float(actual_steps)
+            if overcharge > 0:
+                bucket.credit(overcharge, now)
+            elif overcharge < 0:
+                bucket.try_spend(-overcharge, now)  # owed; may go to zero
+
+    # -- lifecycle and introspection ----------------------------------
+
+    def forget_session(self, session_id: str) -> None:
+        """Drop a disconnected session's bucket (frees its memory; a
+        reconnecting client starts with a full quota)."""
+        with self._lock:
+            self._buckets.pop(session_id, None)
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "inflight": self._inflight,
+                "max_inflight": self.max_inflight,
+                "admitted": self.admitted,
+                "rejected_inflight": self.rejected_inflight,
+                "rejected_quota": self.rejected_quota,
+                "sessions_with_quota": len(self._buckets),
+            }

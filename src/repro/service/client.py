@@ -1,0 +1,127 @@
+"""A blocking client for the query service (and the remote REPL's legs).
+
+:class:`ServiceClient` speaks the length-prefixed JSON protocol over
+one TCP connection — one request, one response, in order.  Errors come
+back as raised :class:`~repro.service.protocol.ServiceError` (with the
+structured code), and :meth:`query_with_retry` implements the polite
+reaction to ``OVERLOADED``: exponential backoff seeded by the server's
+own ``retry_after_ms`` hint, bounded attempts, then the error is the
+caller's.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import List, Optional, Sequence, Union
+
+from ..corpus.query import CorpusQuery
+from .protocol import (
+    OVERLOADED,
+    ServiceError,
+    encode_frame,
+    raise_for_error,
+    read_frame_from_socket,
+)
+
+__all__ = ["ServiceClient"]
+
+QueryLike = Union[CorpusQuery, dict, str]
+
+
+def _query_payload(query: QueryLike) -> dict:
+    """One wire query from a CorpusQuery, a dict, or a bare XPath text."""
+    if isinstance(query, CorpusQuery):
+        payload = {"kind": query.kind, "text": query.text}
+        if query.context:
+            payload["context"] = list(query.context)
+        return payload
+    if isinstance(query, dict):
+        return query
+    return {"kind": "xpath", "text": query}
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.QueryServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = 30.0,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    # -- transport -----------------------------------------------------
+
+    def request_raw(self, payload: dict) -> dict:
+        """Send one request, return the raw response dict (even errors)."""
+        self._sock.sendall(encode_frame(payload))
+        return read_frame_from_socket(self._sock)
+
+    def request(self, payload: dict) -> dict:
+        """Send one request; raise :class:`ServiceError` on an error
+        response, return the successful payload otherwise."""
+        return raise_for_error(self.request_raw(payload))
+
+    # -- verbs ---------------------------------------------------------
+
+    def query(
+        self, queries: Sequence[QueryLike], **options
+    ) -> dict:
+        return self.request(
+            {
+                "op": "query",
+                "queries": [_query_payload(q) for q in queries],
+                "options": options,
+            }
+        )
+
+    def query_with_retry(
+        self,
+        queries: Sequence[QueryLike],
+        attempts: int = 5,
+        max_backoff: float = 1.0,
+        **options,
+    ) -> dict:
+        """Like :meth:`query`, but back off and retry on ``OVERLOADED``.
+
+        The first wait honours the server's ``retry_after_ms`` hint;
+        subsequent waits double it (capped), so a persistently full
+        server sheds this client's pressure instead of amplifying it."""
+        backoff = None
+        for attempt in range(attempts):
+            try:
+                return self.query(queries, **options)
+            except ServiceError as exc:
+                if exc.code != OVERLOADED or attempt == attempts - 1:
+                    raise
+                if backoff is None:
+                    backoff = (exc.retry_after_ms or 25) / 1000.0
+                time.sleep(min(backoff, max_backoff))
+                backoff *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def health(self) -> dict:
+        return self.request({"op": "health"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

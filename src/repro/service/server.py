@@ -1,0 +1,225 @@
+"""The asyncio TCP server: many sessions, one dispatcher, no fallout.
+
+One :class:`QueryServer` wraps one
+:class:`~repro.service.session.Dispatcher`.  The asyncio loop owns the
+sockets and the framing; the dispatcher's blocking ``handle`` runs on a
+bounded thread pool (``run_in_executor``), so a long query never stalls
+the loop — other sessions keep reading, writing, and being admitted
+or rejected while it runs.
+
+Session isolation is structural: each connection is one task with its
+own :class:`~repro.service.session.SessionState`.  A client that
+disconnects mid-query, sends a torn frame, or triggers any error only
+ever ends (or errors) *its own* task; the dispatcher's ``handle`` never
+raises, and the task's ``finally`` closes just that session.  A frame
+whose announced length exceeds the protocol cap is answered with
+``BAD_REQUEST`` and the connection dropped — before a single payload
+byte is buffered.
+
+``start_in_thread()`` runs the whole loop on a daemon thread and
+returns once the socket is listening (the test and bench harness
+entry); ``serve_forever()`` blocks the calling thread (the CLI entry).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Set, Tuple
+
+from .protocol import (
+    BAD_REQUEST,
+    INTERNAL,
+    MAX_FRAME,
+    SHUTDOWN,
+    FrameError,
+    decode_payload,
+    encode_frame,
+    error_response,
+)
+from .session import Dispatcher
+
+__all__ = ["QueryServer"]
+
+_PREFIX = struct.Struct(">I")
+
+
+class QueryServer:
+    """A concurrent TCP front end for one :class:`Dispatcher`."""
+
+    def __init__(
+        self,
+        dispatcher: Dispatcher,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.dispatcher = dispatcher
+        self.host = host
+        self.port = port
+        #: ``(host, port)`` actually bound — set once listening.
+        self.address: Optional[Tuple[str, int]] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._stopping = False
+        self._client_tasks: Set[asyncio.Task] = set()
+        # Blocking dispatch needs one thread per admitted query plus
+        # headroom for health/stats probes during overload.
+        self._executor = ThreadPoolExecutor(
+            max_workers=dispatcher.admission.max_inflight + 4,
+            thread_name_prefix="repro-serve",
+        )
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start_in_thread(self) -> "QueryServer":
+        """Run the server loop on a daemon thread; return once bound."""
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.address is None:
+            raise RuntimeError("server failed to start within 10s")
+        return self
+
+    def serve_forever(self) -> None:
+        """Run the server loop on the calling thread (the CLI path)."""
+        self._run_loop()
+        if self._startup_error is not None:
+            raise self._startup_error
+
+    def stop(self) -> None:
+        """Stop accepting, end every session, join the loop thread."""
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(self._begin_shutdown)
+            except RuntimeError:
+                pass  # loop already closed between the check and the call
+        if self._thread is not None and self._thread is not threading.current_thread():
+            self._thread.join(timeout=10.0)
+        self._executor.shutdown(wait=False)
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- the loop ------------------------------------------------------
+
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surface bind errors to the starter
+            self._startup_error = exc
+        finally:
+            self._ready.set()
+
+    async def _main(self) -> None:
+        # The shutdown event must exist before ``stop()`` can observe
+        # the loop, or an early stop races an AttributeError.
+        self._shutdown = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        server = await asyncio.start_server(
+            self._on_client, self.host, self.port
+        )
+        self.address = server.sockets[0].getsockname()[:2]
+        self._ready.set()
+        async with server:
+            await self._shutdown.wait()
+            server.close()
+            for task in list(self._client_tasks):
+                task.cancel()
+            if self._client_tasks:
+                await asyncio.gather(
+                    *self._client_tasks, return_exceptions=True
+                )
+
+    def _begin_shutdown(self) -> None:
+        self._stopping = True
+        self._shutdown.set()
+
+    # -- one session ---------------------------------------------------
+
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._client_tasks.add(task)
+        session = self.dispatcher.open_session()
+        try:
+            await self._session_loop(reader, writer, session)
+        except (
+            asyncio.IncompleteReadError,  # torn frame / client vanished
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass  # this session's problem only; nothing to answer
+        except asyncio.CancelledError:
+            # Server shutdown: tell the client if the pipe still works.
+            await self._try_send(
+                writer, error_response(SHUTDOWN, "server shutting down")
+            )
+        finally:
+            self._client_tasks.discard(task)
+            self.dispatcher.close_session(session)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _session_loop(self, reader, writer, session) -> None:
+        loop = asyncio.get_running_loop()
+        while not self._stopping:
+            prefix = await reader.readexactly(_PREFIX.size)
+            (length,) = _PREFIX.unpack(prefix)
+            if length > MAX_FRAME:
+                # Reject before buffering a byte; the stream is now
+                # unframed garbage, so the connection must end.
+                await self._try_send(
+                    writer,
+                    error_response(
+                        BAD_REQUEST,
+                        f"frame of {length} bytes exceeds "
+                        f"MAX_FRAME={MAX_FRAME}",
+                    ),
+                )
+                return
+            body = await reader.readexactly(length)
+            try:
+                request = decode_payload(body)
+            except FrameError as exc:
+                # Framing survived, the JSON didn't: answer and keep
+                # the session — one bad request is not a disconnect.
+                await self._try_send(
+                    writer, error_response(BAD_REQUEST, str(exc))
+                )
+                continue
+            response = await loop.run_in_executor(
+                self._executor, self.dispatcher.handle, request, session
+            )
+            try:
+                frame = encode_frame(response)
+            except FrameError:
+                frame = encode_frame(
+                    error_response(
+                        INTERNAL, "response exceeded the frame size cap"
+                    )
+                )
+            writer.write(frame)
+            await writer.drain()
+
+    async def _try_send(self, writer, response: dict) -> None:
+        try:
+            writer.write(encode_frame(response))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError, RuntimeError):
+            pass

@@ -1,0 +1,102 @@
+"""Smoke tests for the ``--suite serve`` benchmark — the closed-loop
+client sweep stays runnable at toy sizes, its JSON stays well-formed,
+the committed full-size trajectory keeps clearing its chaos gates, and
+``--check`` rejects a trajectory that stopped clearing them."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import bench
+
+pytestmark = pytest.mark.service
+
+
+def test_quick_serve_benchmark_writes_wellformed_json(tmp_path):
+    out = tmp_path / "BENCH_serve.json"
+    code = bench.main(
+        [
+            "--suite", "serve", "--quick",
+            "--output", str(out), "--seed", "3",
+        ]
+    )
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == bench.SERVE_SCHEMA
+    assert report["quick"] is True
+    assert report["seed"] == 3
+    assert report["errors"] == []
+    serve = report["serve"]
+    assert serve["tree_count"] == bench.SERVE_TREE_COUNT_QUICK
+    assert serve["query"] == {
+        "kind": bench.SERVE_QUERY.kind,
+        "text": bench.SERVE_QUERY.text,
+    }
+    rows = serve["rows"]
+    assert [r["clients"] for r in rows] == list(bench.SERVE_CLIENT_COUNTS[:2])
+    for row in rows:
+        assert row["faulted"] is False
+        assert row["requests"] > 0
+        assert row["errors"] == 0
+        assert row["wrong_answers"] == 0
+        assert row["throughput_rps"] > 0
+        assert 0 < row["p50_ms"] <= row["p99_ms"]
+    chaos = serve["fault_row"]
+    assert chaos["faulted"] is True
+    assert chaos["clients"] == 8
+    # The chaos round injected real faults and every one degraded to a
+    # correct answer: the robustness headline, measured.
+    assert chaos["degraded_chunks"] > 0
+    assert chaos["errors"] == 0
+    assert chaos["wrong_answers"] == 0
+    summary = report["summary"]
+    assert summary["serve_throughput_rps_1"] > 0
+    assert summary["serve_throughput_rps_8"] > 0
+    assert summary["serve_wrong_answers"] == 0
+    assert summary["serve_fault_error_rate"] == 0.0
+    assert summary["pass"] is True  # quick mode never gates on scale
+
+
+def test_committed_serve_trajectory_matches_schema():
+    # The repo ships a full-size BENCH_serve.json; keep it honest.
+    path = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+    report = json.loads(path.read_text())
+    assert report["schema"] == bench.SERVE_SCHEMA
+    assert report.get("errors", []) == []
+    summary = report["summary"]
+    assert summary["pass"] is True
+    assert summary["serve_wrong_answers"] == 0
+    assert summary["serve_fault_error_rate"] == 0.0
+    if not report["quick"]:  # `make bench-serve` may have left a quick regen
+        thresholds = summary["thresholds"]
+        assert summary["serve_scale_at_8_clients"] >= thresholds["scale"]
+        assert (
+            0.0
+            < summary["serve_fault_p99_ratio"]
+            <= thresholds["fault_p99_ratio"]
+        )
+
+
+def test_check_rejects_a_serve_trajectory_with_wrong_answers(tmp_path):
+    report = bench.run_serve_suite(quick=True, seed=0)
+    report["summary"]["serve_wrong_answers"] = 3
+    path = tmp_path / "BENCH_serve.json"
+    path.write_text(json.dumps(report))
+    assert bench.main(["--check", str(path)]) == 1
+
+
+def test_check_rejects_a_full_trajectory_that_lost_its_scale(tmp_path):
+    report = bench.run_serve_suite(quick=True, seed=0)
+    report["quick"] = False  # full-size reports must carry their gates
+    report["summary"]["serve_scale_at_8_clients"] = 1.1
+    path = tmp_path / "BENCH_serve.json"
+    path.write_text(json.dumps(report))
+    assert bench.main(["--check", str(path)]) == 1
+
+
+def test_check_accepts_a_passing_serve_trajectory(tmp_path):
+    report = bench.run_serve_suite(quick=True, seed=0)
+    path = tmp_path / "BENCH_serve.json"
+    path.write_text(json.dumps(report))
+    assert bench.main(["--check", str(path)]) == 0

@@ -1,0 +1,373 @@
+"""The service chaos battery.
+
+Every scenario here misbehaves in one session while a *bystander*
+session runs real queries concurrently — and every scenario asserts
+the same three things: the bystander's answers are byte-correct, the
+misbehaving session got a structured error (or a degraded-but-correct
+answer), and the server process survived to serve again.  This is the
+ISSUE's robustness headline as executable claims: disconnects, torn
+and oversized frames, injected worker crashes (backoff, then
+degradation), deadline expiry mid-query, and admission bursts."""
+
+import json
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.corpus import TreeCorpus, ask_query, xpath_query
+from repro.service import (
+    AdmissionController,
+    Dispatcher,
+    QueryServer,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.protocol import (
+    MAX_FRAME,
+    encode_frame,
+    read_frame_from_socket,
+)
+
+pytestmark = pytest.mark.service
+
+#: An expensive query over biggish trees — forced onto the
+#: node-at-a-time reference engine it costs milliseconds per tree,
+#: enough to hold an admission slot (and blow a 1ms deadline) while a
+#: bystander works.
+SLOW_QUERY = {
+    "kind": "ask",
+    "text": "forall x forall y (x << y -> O_δ(y) | O_σ(y))",
+}
+SLOW_OPTIONS = {"engine": "reference"}
+FAST_QUERY = {"kind": "xpath", "text": "//δ"}
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    with TreeCorpus.random(6, max_size=220, seed=11) as corpus:
+        corpus.prepare()
+        yield corpus
+
+
+@pytest.fixture(scope="module")
+def expected(corpus):
+    return {
+        "fast": json.loads(json.dumps(corpus.run([xpath_query("//δ")]).rows)),
+        "slow": json.loads(
+            json.dumps(corpus.run([ask_query(SLOW_QUERY["text"])]).rows)
+        ),
+    }
+
+
+def _bystander(address, expected, stop, failures):
+    """Hammer fast queries until told to stop; record any wrongness."""
+    try:
+        with ServiceClient(*address) as client:
+            while not stop.is_set():
+                response = client.query_with_retry([FAST_QUERY], attempts=8)
+                if response["results"] != expected["fast"]:
+                    failures.append("bystander got a wrong answer")
+                    return
+    except Exception as exc:
+        failures.append(f"bystander died: {exc!r}")
+
+
+class _Bystander:
+    """Context manager running the bystander loop through a scenario."""
+
+    def __init__(self, address, expected):
+        self.stop = threading.Event()
+        self.failures = []
+        self.thread = threading.Thread(
+            target=_bystander,
+            args=(address, expected, self.stop, self.failures),
+        )
+
+    def __enter__(self):
+        self.thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop.set()
+        self.thread.join(timeout=30)
+        if exc_type is None:
+            assert self.failures == []
+
+
+@pytest.fixture()
+def server(corpus):
+    dispatcher = Dispatcher(
+        corpus,
+        admission=AdmissionController(max_inflight=16, quota_steps=None),
+        allow_faults=True,
+    )
+    with QueryServer(dispatcher).start_in_thread() as server:
+        yield server
+
+
+class TestDisconnects:
+    def test_disconnect_mid_query_leaves_others_unharmed(
+        self, server, expected
+    ):
+        with _Bystander(server.address, expected):
+            for _ in range(3):
+                rude = ServiceClient(*server.address)
+                # Fire an expensive query and hang up without reading
+                # the answer — the server is mid-execution when the
+                # pipe dies.
+                rude._sock.sendall(
+                    encode_frame({"op": "query", "queries": [SLOW_QUERY]})
+                )
+                time.sleep(0.005)
+                rude.close()
+        # The server is still serving after the rudeness.
+        with ServiceClient(*server.address) as client:
+            assert client.query([FAST_QUERY])["results"] == expected["fast"]
+
+    def test_torn_frame_then_eof_is_contained(self, server, expected):
+        with _Bystander(server.address, expected):
+            for blob in (b"\x00", b"\x00\x00\x00\x09{\"op\": ", b""):
+                raw = socket.create_connection(server.address, timeout=5)
+                raw.sendall(blob)
+                raw.close()
+                time.sleep(0.01)
+
+    def test_oversized_frame_is_rejected_and_connection_dropped(
+        self, server, expected
+    ):
+        with _Bystander(server.address, expected):
+            raw = socket.create_connection(server.address, timeout=5)
+            try:
+                raw.sendall(struct.pack(">I", MAX_FRAME + 1))
+                response = read_frame_from_socket(raw)
+                assert response["error"]["code"] == "BAD_REQUEST"
+                # The stream is unframed garbage now: the server ends it.
+                raw.settimeout(5)
+                assert raw.recv(1) == b""
+            finally:
+                raw.close()
+
+    def test_malformed_json_keeps_the_session_alive(self, server, expected):
+        raw = socket.create_connection(server.address, timeout=5)
+        try:
+            body = b"this is not json"
+            raw.sendall(struct.pack(">I", len(body)) + body)
+            response = read_frame_from_socket(raw)
+            assert response["error"]["code"] == "BAD_REQUEST"
+            # Same connection, next request answers fine.
+            raw.sendall(encode_frame({"op": "ping"}))
+            assert read_frame_from_socket(raw) == {"ok": True, "pong": True}
+        finally:
+            raw.close()
+
+
+class TestInjectedFaults:
+    def test_engine_fault_degrades_with_correct_answers(
+        self, server, expected
+    ):
+        with _Bystander(server.address, expected):
+            with ServiceClient(*server.address) as client:
+                response = client.query(
+                    [FAST_QUERY],
+                    faults={"0": {"at": 2, "kind": "error"}},
+                )
+        assert response["results"] == expected["fast"]
+        assert response["degraded_chunks"] >= 1
+        degraded = [c for c in response["chunks"] if c["fell_back"]]
+        assert degraded and "injected" in degraded[0]["error"]
+
+    def test_stall_fault_is_reported_as_a_deadline(self, server, expected):
+        # An injected stall models a fast engine hanging until its
+        # budget slice expires (resource="deadline"), so the service
+        # reports it exactly like a real deadline expiry.
+        with _Bystander(server.address, expected):
+            with ServiceClient(*server.address) as client:
+                with pytest.raises(ServiceError) as err:
+                    client.query(
+                        [FAST_QUERY],
+                        faults={"0": {"at": 1, "kind": "stall"}},
+                    )
+        assert err.value.code == "DEADLINE"
+
+
+@pytest.mark.faults
+class TestWorkerCrash:
+    def test_crash_retries_then_degrades_and_pool_heals(self, corpus, expected):
+        dispatcher = Dispatcher(
+            corpus,
+            admission=AdmissionController(max_inflight=16, quota_steps=None),
+            workers=1,
+            worker_retries=2,
+            retry_backoff=0.01,
+            allow_faults=True,
+        )
+        with QueryServer(dispatcher).start_in_thread() as server:
+            with _Bystander(server.address, expected):
+                with ServiceClient(*server.address) as client:
+                    # The scheduled crash kills the routed worker at a
+                    # budget checkpoint; every backoff retry meets the
+                    # same deterministic crash, so the chunk finally
+                    # degrades to the in-process reference — with the
+                    # right answers.
+                    response = client.query_with_retry(
+                        [FAST_QUERY],
+                        attempts=8,
+                        faults={"0": {"at": 2, "kind": "crash"}},
+                        timeout_ms=60_000,
+                    )
+                    assert response["results"] == expected["fast"]
+                    crashed = [
+                        c for c in response["chunks"] if c["fell_back"]
+                    ]
+                    assert crashed
+                    assert crashed[0]["retries"] >= 1
+                    # The healed pool serves the next worker batch.
+                    again = client.query_with_retry(
+                        [FAST_QUERY], attempts=8, timeout_ms=60_000
+                    )
+                    assert again["results"] == expected["fast"]
+                    assert all(
+                        not c["fell_back"] for c in again["chunks"]
+                    )
+            with ServiceClient(*server.address) as client:
+                health = client.health()
+                assert health["status"] == "ok"
+
+
+class TestDeadlines:
+    def test_deadline_expiry_mid_query_is_a_structured_error(
+        self, server, expected
+    ):
+        with _Bystander(server.address, expected):
+            with ServiceClient(*server.address) as client:
+                with pytest.raises(ServiceError) as err:
+                    client.query(
+                        [SLOW_QUERY] * 4, timeout_ms=1, **SLOW_OPTIONS
+                    )
+                assert err.value.code == "DEADLINE"
+                # The same session immediately works again.
+                response = client.query_with_retry([FAST_QUERY], attempts=8)
+                assert response["results"] == expected["fast"]
+
+
+class _GatedCorpus:
+    """Wraps a corpus so ``run`` blocks until released — makes the
+    in-flight window deterministic for admission tests."""
+
+    def __init__(self, corpus, release):
+        self._corpus = corpus
+        self._release = release
+
+    def __getattr__(self, name):
+        return getattr(self._corpus, name)
+
+    def __len__(self):
+        return len(self._corpus)
+
+    def run(self, *args, **kwargs):
+        assert self._release.wait(timeout=30)
+        return self._corpus.run(*args, **kwargs)
+
+
+class TestAdmission:
+    def test_burst_rejection_is_explicit_and_bounded(self, corpus):
+        release = threading.Event()
+        dispatcher = Dispatcher(
+            _GatedCorpus(corpus, release),
+            admission=AdmissionController(max_inflight=1, quota_steps=None),
+        )
+        holder = dispatcher.open_session()
+        burst = dispatcher.open_session()
+        responses = []
+        thread = threading.Thread(
+            target=lambda: responses.append(
+                dispatcher.handle(
+                    {"op": "query", "queries": [FAST_QUERY]}, holder
+                )
+            )
+        )
+        thread.start()
+        deadline = time.time() + 10
+        while dispatcher.admission.inflight < 1 and time.time() < deadline:
+            time.sleep(0.005)
+        assert dispatcher.admission.inflight == 1
+        # The slot is held: the burst session is rejected with an
+        # explicit retry hint, not queued.
+        rejected = dispatcher.handle(
+            {"op": "query", "queries": [FAST_QUERY]}, burst
+        )
+        assert rejected["error"]["code"] == "OVERLOADED"
+        assert rejected["error"]["retry_after_ms"] >= 1
+        release.set()
+        thread.join(timeout=30)
+        assert responses and responses[0]["ok"] is True
+        # The slot settled: the burst session's retry now succeeds.
+        retried = dispatcher.handle(
+            {"op": "query", "queries": [FAST_QUERY]}, burst
+        )
+        assert retried["ok"] is True
+        assert dispatcher.admission.counters()["rejected_inflight"] == 1
+
+    def test_overloaded_clients_with_backoff_all_complete(
+        self, corpus, expected
+    ):
+        dispatcher = Dispatcher(
+            corpus,
+            admission=AdmissionController(max_inflight=2, quota_steps=None),
+            allow_faults=True,
+        )
+        failures = []
+
+        def pushy():
+            try:
+                with ServiceClient(*server.address) as client:
+                    for _ in range(6):
+                        response = client.query_with_retry(
+                            [SLOW_QUERY],
+                            attempts=10,
+                            timeout_ms=60_000,
+                            **SLOW_OPTIONS,
+                        )
+                        if response["results"] != expected["slow"]:
+                            failures.append("wrong answer under burst")
+            except Exception as exc:
+                failures.append(repr(exc))
+
+        with QueryServer(dispatcher).start_in_thread() as server:
+            threads = [threading.Thread(target=pushy) for _ in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            counters = dispatcher.admission.counters()
+        assert failures == []
+        # With 6 pushy clients and 2 slots, the bucket must have
+        # actually rejected someone — and everyone still finished.
+        assert counters["rejected_inflight"] > 0
+
+    def test_quota_exhaustion_names_the_wait(self, corpus):
+        # Quota far below the admission floor (50 steps/query/tree x 6
+        # trees), with a refill so slow it cannot recover mid-test: the
+        # first query drains the whole window, the executor's actual
+        # fuel keeps it drained through reconciliation, and the second
+        # query is an explicit OVERLOADED with a wait hint.
+        dispatcher = Dispatcher(
+            corpus,
+            admission=AdmissionController(
+                max_inflight=8, quota_steps=200, window_seconds=300.0
+            ),
+        )
+        session = dispatcher.open_session()
+        first = dispatcher.handle(
+            {"op": "query", "queries": [FAST_QUERY]}, session
+        )
+        assert first["ok"] is True
+        assert sum(c["steps"] for c in first["chunks"]) > 0
+        rejected = dispatcher.handle(
+            {"op": "query", "queries": [FAST_QUERY]}, session
+        )
+        assert rejected["error"]["code"] == "OVERLOADED"
+        assert rejected["error"]["retry_after_ms"] >= 1

@@ -1,0 +1,145 @@
+"""The service wire protocol in isolation: framing round-trips, the
+size cap binds at both ends, torn input is detected, and the error
+envelope carries its closed code set."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.service import protocol
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = protocol.encode_frame({"op": "ping", "n": 3})
+        body, rest = protocol.split_frame(frame)
+        assert rest == b""
+        assert protocol.decode_payload(body) == {"op": "ping", "n": 3}
+
+    def test_prefix_is_big_endian_length(self):
+        frame = protocol.encode_frame({})
+        assert frame[:4] == (len(frame) - 4).to_bytes(4, "big")
+
+    def test_split_waits_for_a_full_frame(self):
+        frame = protocol.encode_frame({"op": "ping"})
+        for cut in range(len(frame)):
+            body, rest = protocol.split_frame(frame[:cut])
+            assert body is None
+            assert rest == frame[:cut]
+
+    def test_split_leaves_the_next_frame_in_the_buffer(self):
+        one = protocol.encode_frame({"a": 1})
+        two = protocol.encode_frame({"b": 2})
+        body, rest = protocol.split_frame(one + two)
+        assert protocol.decode_payload(body) == {"a": 1}
+        assert rest == two
+
+    def test_oversized_frame_is_rejected_before_buffering(self):
+        prefix = (protocol.MAX_FRAME + 1).to_bytes(4, "big")
+        with pytest.raises(protocol.FrameTooLarge):
+            protocol.split_frame(prefix)
+
+    def test_encode_rejects_an_oversized_payload(self):
+        with pytest.raises(protocol.FrameTooLarge):
+            protocol.encode_frame({"blob": "x" * (protocol.MAX_FRAME + 1)})
+
+    def test_non_json_body_is_a_frame_error(self):
+        with pytest.raises(protocol.FrameError):
+            protocol.decode_payload(b"\xff\xfe not json")
+
+    def test_non_object_payload_is_a_frame_error(self):
+        with pytest.raises(protocol.FrameError):
+            protocol.decode_payload(b"[1, 2, 3]")
+
+    def test_unicode_query_text_survives_the_wire(self):
+        payload = {"queries": [{"kind": "xpath", "text": "//σ//δ"}]}
+        body, _ = protocol.split_frame(protocol.encode_frame(payload))
+        assert protocol.decode_payload(body) == payload
+
+
+class TestSocketReads:
+    def _serve_bytes(self, blob):
+        """A throwaway listener that sends ``blob`` and closes."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+
+        def run():
+            conn, _ = listener.accept()
+            conn.sendall(blob)
+            conn.close()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        client = socket.create_connection(listener.getsockname(), timeout=5)
+        return listener, thread, client
+
+    def test_read_frame_from_socket_roundtrips(self):
+        frame = protocol.encode_frame({"op": "pong"})
+        listener, thread, client = self._serve_bytes(frame)
+        try:
+            assert protocol.read_frame_from_socket(client) == {"op": "pong"}
+        finally:
+            client.close()
+            listener.close()
+            thread.join(timeout=5)
+
+    def test_torn_body_is_detected(self):
+        frame = protocol.encode_frame({"op": "pong"})
+        listener, thread, client = self._serve_bytes(frame[:-3])
+        try:
+            with pytest.raises(protocol.TornFrame):
+                protocol.read_frame_from_socket(client)
+        finally:
+            client.close()
+            listener.close()
+            thread.join(timeout=5)
+
+    def test_torn_prefix_is_detected(self):
+        listener, thread, client = self._serve_bytes(b"\x00\x00")
+        try:
+            with pytest.raises(protocol.TornFrame):
+                protocol.read_frame_from_socket(client)
+        finally:
+            client.close()
+            listener.close()
+            thread.join(timeout=5)
+
+
+class TestErrorEnvelope:
+    def test_error_response_shape(self):
+        response = protocol.error_response(
+            protocol.OVERLOADED, "full", retry_after_ms=40
+        )
+        assert response == {
+            "ok": False,
+            "error": {
+                "code": "OVERLOADED",
+                "message": "full",
+                "retry_after_ms": 40,
+            },
+        }
+
+    def test_unknown_code_is_rejected(self):
+        with pytest.raises(ValueError):
+            protocol.error_response("SURPRISE", "nope")
+
+    def test_raise_for_error_passes_success_through(self):
+        response = protocol.ok_response(results=[])
+        assert protocol.raise_for_error(response) is response
+
+    def test_raise_for_error_raises_the_structured_code(self):
+        response = protocol.error_response(
+            protocol.DEADLINE, "too slow"
+        )
+        with pytest.raises(protocol.ServiceError) as err:
+            protocol.raise_for_error(response)
+        assert err.value.code == protocol.DEADLINE
+        assert err.value.retry_after_ms is None
+
+    def test_every_code_is_in_the_closed_set(self):
+        assert set(protocol.ERROR_CODES) == {
+            "PARSE_ERROR", "RESOURCE_EXHAUSTED", "DEADLINE",
+            "OVERLOADED", "BAD_REQUEST", "INTERNAL", "SHUTDOWN",
+        }

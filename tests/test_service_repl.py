@@ -1,0 +1,147 @@
+"""The REPL over StringIO: commands map to protocol requests, session
+options persist until changed, answers format flat, errors print
+without ending the loop, and a dead connection exits with code 1."""
+
+import io
+
+import pytest
+
+from repro.corpus import TreeCorpus
+from repro.service import Dispatcher, run_repl
+from repro.service.protocol import error_response
+
+TERMS = ["σ(δ, σ(δ))", "δ(σ(δ), δ)", "σ(σ, σ(δ, δ))"]
+
+
+@pytest.fixture(scope="module")
+def handle():
+    with TreeCorpus.from_terms(TERMS) as corpus:
+        dispatcher = Dispatcher(corpus)
+        session = dispatcher.open_session()
+        yield lambda request: dispatcher.handle(request, session)
+
+
+def _repl(handle, script):
+    stdout = io.StringIO()
+    code = run_repl(
+        handle, stdin=io.StringIO(script), stdout=stdout, interactive=False
+    )
+    return code, stdout.getvalue()
+
+
+class TestCommands:
+    def test_xpath_prints_one_line_per_tree(self, handle):
+        code, out = _repl(handle, "xpath //δ\n")
+        assert code == 0
+        lines = out.splitlines()
+        assert lines[0].startswith("tree 0: ")
+        assert len([l for l in lines if l.startswith("tree ")]) == len(TERMS)
+        assert lines[-1].startswith(f"[{len(TERMS)} trees in ")
+
+    def test_ask_prints_booleans(self, handle):
+        _, out = _repl(handle, "ask exists x O_σ(x)\n")
+        assert "tree 0: true" in out
+
+    def test_catrel_prints_arrow_pairs(self, handle):
+        _, out = _repl(handle, "catrel down <σ>\n")
+        pair_lines = [l for l in out.splitlines() if "->" in l]
+        assert pair_lines  # e.g. "tree 0: /->/0"
+
+    def test_empty_result_prints_none(self, handle):
+        _, out = _repl(handle, "xpath //missing\n")
+        assert "tree 0: (none)" in out
+
+    def test_ping_and_health_print_json(self, handle):
+        _, out = _repl(handle, "ping\nhealth\n")
+        assert '"pong": true' in out
+        assert '"status": "ok"' in out
+
+    def test_help_lists_the_commands(self, handle):
+        _, out = _repl(handle, "help\n")
+        assert "xpath EXPR" in out
+        assert "quit" in out
+
+
+class TestSessionOptions:
+    def test_window_limits_and_offsets_the_listing(self, handle):
+        _, out = _repl(handle, "window 1 3\nxpath //δ\n")
+        lines = [l for l in out.splitlines() if l.startswith("tree ")]
+        assert [l.split(":")[0] for l in lines] == ["tree 1", "tree 2"]
+
+    def test_window_without_args_resets_to_all_trees(self, handle):
+        _, out = _repl(handle, "window 1 2\nwindow\nxpath //δ\n")
+        lines = [l for l in out.splitlines() if l.startswith("tree ")]
+        assert len(lines) == len(TERMS)
+
+    def test_engine_persists_across_queries(self, handle):
+        # An unknown engine is refused and the previous one kept.
+        _, out = _repl(
+            handle, "engine reference\nengine warp\nxpath //δ\n"
+        )
+        assert "error BAD_REQUEST: unknown engine 'warp'" in out
+        assert "tree 0: " in out
+
+    def test_timeout_zero_clears_the_deadline(self, handle):
+        _, out = _repl(
+            handle, "timeout 5000\ntimeout 0\ntimeout soon\nxpath //δ\n"
+        )
+        assert "error BAD_REQUEST: timeout needs an integer" in out
+        assert "tree 0: " in out
+
+
+class TestErrorHandling:
+    def test_parse_error_does_not_end_the_repl(self, handle):
+        _, out = _repl(handle, "xpath //[\nxpath //δ\n")
+        assert "error PARSE_ERROR: " in out
+        assert "tree 0: " in out  # the next command still ran
+
+    def test_unknown_command_suggests_help(self, handle):
+        _, out = _repl(handle, "frobnicate now\n")
+        assert "error BAD_REQUEST: unknown command 'frobnicate'" in out
+
+    def test_query_command_without_text_is_refused(self, handle):
+        _, out = _repl(handle, "select\n")
+        assert "error BAD_REQUEST: select needs a query text" in out
+
+    def test_retry_hint_is_printed_when_present(self):
+        def overloaded(request):
+            return error_response("OVERLOADED", "full", retry_after_ms=25)
+
+        _, out = _repl(overloaded, "xpath //δ\n")
+        assert "error OVERLOADED: full (retry after 25ms)" in out
+
+    def test_connection_loss_exits_with_code_1(self):
+        def dead(request):
+            raise ConnectionResetError("peer vanished")
+
+        code, out = _repl(dead, "ping\nping\n")
+        assert code == 1
+        assert "connection lost: peer vanished" in out
+
+
+class TestLoopTermination:
+    def test_quit_stops_before_later_commands(self, handle):
+        code, out = _repl(handle, "ping\nquit\nhealth\n")
+        assert code == 0
+        assert '"pong": true' in out
+        assert '"status"' not in out
+
+    def test_eof_is_a_clean_exit(self, handle):
+        code, out = _repl(handle, "")
+        assert code == 0
+        assert out == ""
+
+    def test_blank_lines_are_skipped(self, handle):
+        code, out = _repl(handle, "\n   \nping\n")
+        assert code == 0
+        assert '"pong": true' in out
+
+    def test_interactive_mode_writes_the_prompt(self, handle):
+        stdout = io.StringIO()
+        run_repl(
+            handle,
+            stdin=io.StringIO("quit\n"),
+            stdout=stdout,
+            interactive=True,
+        )
+        assert stdout.getvalue().startswith("repro> ")

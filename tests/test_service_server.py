@@ -1,0 +1,341 @@
+"""The dispatcher and TCP server on the sunny path: every query kind
+answers exactly like the corpus engine, admission prices and settles,
+health/stats tell the truth, and a store-backed server opens read-only
+without disturbing a writer's lock."""
+
+import threading
+import time
+
+import pytest
+
+from repro.corpus import CorpusStore, TreeCorpus, xpath_query
+from repro.service import (
+    AdmissionController,
+    Dispatcher,
+    Overloaded,
+    QueryServer,
+    ServiceClient,
+    ServiceError,
+)
+
+TERMS = ["σ(δ, σ(δ))", "δ(σ(δ), δ)", "σ(σ, σ(δ, δ))"]
+
+
+@pytest.fixture()
+def corpus():
+    with TreeCorpus.from_terms(TERMS) as corpus:
+        yield corpus
+
+
+@pytest.fixture()
+def dispatcher(corpus):
+    return Dispatcher(corpus)
+
+
+@pytest.fixture()
+def server(dispatcher):
+    with QueryServer(dispatcher).start_in_thread() as server:
+        yield server
+
+
+def _expected_rows(corpus, queries):
+    import json
+
+    return json.loads(json.dumps(corpus.run(queries).rows))
+
+
+class TestDispatcher:
+    def test_every_query_kind_matches_the_corpus_engine(
+        self, corpus, dispatcher
+    ):
+        from repro.corpus import (
+            ask_query,
+            caterpillar_query,
+            caterpillar_relation_query,
+            select_query,
+        )
+
+        queries = [
+            xpath_query("//δ"),
+            ask_query("exists x O_σ(x)"),
+            select_query("x << y & O_δ(y)"),
+            caterpillar_query("(down)* <δ>"),
+            caterpillar_relation_query("down <σ>"),
+        ]
+        session = dispatcher.open_session()
+        response = dispatcher.handle(
+            {
+                "op": "query",
+                "queries": [
+                    {"kind": q.kind, "text": q.text} for q in queries
+                ],
+            },
+            session,
+        )
+        assert response["ok"] is True
+        assert response["results"] == _expected_rows(corpus, queries)
+        assert response["trees"] == len(TERMS)
+        assert response["degraded_chunks"] == 0
+        assert all(chunk["steps"] > 0 for chunk in response["chunks"])
+
+    def test_window_bounds_select_a_sub_range(self, corpus, dispatcher):
+        session = dispatcher.open_session()
+        response = dispatcher.handle(
+            {
+                "op": "query",
+                "queries": [{"kind": "xpath", "text": "//δ"}],
+                "options": {"start": 1, "stop": 3},
+            },
+            session,
+        )
+        expected = _expected_rows(corpus, [xpath_query("//δ")])
+        assert response["results"] == expected[1:3]
+
+    def test_parse_error_is_structured_and_isolated(self, dispatcher):
+        session = dispatcher.open_session()
+        bad = dispatcher.handle(
+            {"op": "query", "queries": [{"kind": "xpath", "text": "//["}]},
+            session,
+        )
+        assert bad["ok"] is False
+        assert bad["error"]["code"] == "PARSE_ERROR"
+        # The same session keeps answering afterwards.
+        good = dispatcher.handle(
+            {"op": "query", "queries": [{"kind": "xpath", "text": "//δ"}]},
+            session,
+        )
+        assert good["ok"] is True
+
+    @pytest.mark.parametrize(
+        "request_, code",
+        [
+            ({"op": "nope"}, "BAD_REQUEST"),
+            ({"op": "query"}, "BAD_REQUEST"),
+            ({"op": "query", "queries": []}, "BAD_REQUEST"),
+            ({"op": "query", "queries": ["//δ"]}, "BAD_REQUEST"),
+            (
+                {"op": "query",
+                 "queries": [{"kind": "sql", "text": "select 1"}]},
+                "BAD_REQUEST",
+            ),
+            (
+                {"op": "query",
+                 "queries": [{"kind": "xpath", "text": "//δ"}],
+                 "options": {"start": 99}},
+                "BAD_REQUEST",
+            ),
+            (
+                {"op": "query",
+                 "queries": [{"kind": "xpath", "text": "//δ"}],
+                 "options": {"timeout_ms": "soon"}},
+                "BAD_REQUEST",
+            ),
+        ],
+    )
+    def test_malformed_requests_are_bad_requests(
+        self, dispatcher, request_, code
+    ):
+        session = dispatcher.open_session()
+        response = dispatcher.handle(request_, session)
+        assert response["ok"] is False
+        assert response["error"]["code"] == code
+
+    def test_fault_injection_is_rejected_unless_enabled(self, dispatcher):
+        session = dispatcher.open_session()
+        response = dispatcher.handle(
+            {
+                "op": "query",
+                "queries": [{"kind": "xpath", "text": "//δ"}],
+                "options": {"faults": {"0": {"at": 1, "kind": "error"}}},
+            },
+            session,
+        )
+        assert response["error"]["code"] == "BAD_REQUEST"
+        assert "disabled" in response["error"]["message"]
+
+    def test_crash_faults_need_worker_pools(self, corpus):
+        dispatcher = Dispatcher(corpus, allow_faults=True, workers=0)
+        session = dispatcher.open_session()
+        response = dispatcher.handle(
+            {
+                "op": "query",
+                "queries": [{"kind": "xpath", "text": "//δ"}],
+                "options": {"faults": {"0": {"at": 1, "kind": "crash"}}},
+            },
+            session,
+        )
+        assert response["error"]["code"] == "BAD_REQUEST"
+
+    def test_handle_never_raises_even_on_internal_bugs(self, dispatcher):
+        session = dispatcher.open_session()
+        dispatcher.corpus = None  # simulate a corrupted server state
+        response = dispatcher.handle(
+            {"op": "query", "queries": [{"kind": "xpath", "text": "//δ"}]},
+            session,
+        )
+        assert response["ok"] is False
+        assert response["error"]["code"] == "INTERNAL"
+
+    def test_health_and_stats_reflect_traffic(self, dispatcher):
+        session = dispatcher.open_session()
+        dispatcher.handle(
+            {"op": "query", "queries": [{"kind": "xpath", "text": "//δ"}]},
+            session,
+        )
+        dispatcher.handle(
+            {"op": "query", "queries": [{"kind": "xpath", "text": "//["}]},
+            session,
+        )
+        health = dispatcher.handle({"op": "health"}, session)
+        assert health["status"] == "ok"
+        assert health["trees"] == len(TERMS)
+        stats = dispatcher.handle({"op": "stats"}, session)
+        assert stats["service"]["queries_ok"] == 1
+        assert stats["service"]["errors"] == {"PARSE_ERROR": 1}
+        assert stats["admission"]["admitted"] == 1
+        assert stats["sessions"][session.session_id]["queries"] == 1
+        assert stats["sessions"][session.session_id]["errors"] == 1
+
+
+class TestAdmission:
+    def test_inflight_bucket_rejects_with_retry_after(self):
+        control = AdmissionController(max_inflight=2, quota_steps=None)
+        tickets = [control.admit("a", 10), control.admit("b", 10)]
+        with pytest.raises(Overloaded) as err:
+            control.admit("c", 10)
+        assert err.value.code == "OVERLOADED"
+        assert err.value.retry_after_ms >= 1
+        tickets[0].settle(5)
+        control.admit("c", 10).settle(5)  # slot freed, admissible again
+        assert control.counters()["rejected_inflight"] == 1
+
+    def test_session_quota_rejects_and_refills(self):
+        control = AdmissionController(
+            max_inflight=8, quota_steps=1000, window_seconds=0.2
+        )
+        control.admit("s", 900).settle(900)
+        with pytest.raises(Overloaded) as err:
+            control.admit("s", 900)
+        assert err.value.retry_after_ms >= 1
+        time.sleep(0.25)  # a full window refills the bucket
+        control.admit("s", 900).settle(900)
+        assert control.counters()["rejected_quota"] == 1
+
+    def test_quotas_are_per_session(self):
+        control = AdmissionController(
+            max_inflight=8, quota_steps=1000, window_seconds=60.0
+        )
+        control.admit("greedy", 1000).settle(1000)
+        with pytest.raises(Overloaded):
+            control.admit("greedy", 1000)
+        control.admit("bystander", 1000).settle(1000)  # unaffected
+
+    def test_settle_refunds_the_overcharge(self):
+        control = AdmissionController(
+            max_inflight=8, quota_steps=1000, window_seconds=60.0
+        )
+        # Priced pessimistically at 900, actually spent 10: the refund
+        # leaves room for the next pessimistic admission.
+        control.admit("s", 900).settle(10)
+        control.admit("s", 900).settle(10)
+
+    def test_settle_is_idempotent(self):
+        control = AdmissionController(max_inflight=1, quota_steps=None)
+        ticket = control.admit("s", 10)
+        ticket.settle(1)
+        ticket.settle(1)
+        assert control.inflight == 0
+
+    def test_forget_session_resets_the_quota(self):
+        control = AdmissionController(
+            max_inflight=8, quota_steps=1000, window_seconds=60.0
+        )
+        control.admit("s", 1000).settle(1000)
+        control.forget_session("s")
+        control.admit("s", 1000).settle(1000)  # fresh bucket
+
+
+class TestServer:
+    def test_tcp_roundtrip_matches_the_corpus(self, corpus, server):
+        with ServiceClient(*server.address) as client:
+            response = client.query(["//δ"])
+        assert response["results"] == _expected_rows(
+            corpus, [xpath_query("//δ")]
+        )
+
+    def test_many_sequential_requests_reuse_the_session(self, server):
+        with ServiceClient(*server.address) as client:
+            for _ in range(10):
+                assert client.ping() == {"ok": True, "pong": True}
+            stats = client.stats()
+        assert len(stats["sessions"]) == 1
+
+    def test_concurrent_clients_all_get_correct_answers(
+        self, corpus, server
+    ):
+        expected = _expected_rows(corpus, [xpath_query("//δ")])
+        failures = []
+
+        def hammer():
+            try:
+                with ServiceClient(*server.address) as client:
+                    for _ in range(20):
+                        if client.query(["//δ"])["results"] != expected:
+                            failures.append("wrong answer")
+            except Exception as exc:  # pragma: no cover - surfaced below
+                failures.append(repr(exc))
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert failures == []
+
+    def test_disconnect_frees_the_session(self, dispatcher, server):
+        client = ServiceClient(*server.address)
+        client.ping()
+        client.close()
+        deadline = time.time() + 5
+        while dispatcher._sessions and time.time() < deadline:
+            time.sleep(0.01)
+        assert not dispatcher._sessions
+
+    def test_stopped_server_refuses_connections(self, dispatcher):
+        server = QueryServer(dispatcher).start_in_thread()
+        address = server.address
+        server.stop()
+        with pytest.raises(OSError):
+            ServiceClient(*address, timeout=0.5).ping()
+
+
+class TestStoreBacked:
+    def test_readonly_store_serves_while_a_writer_holds_the_lock(
+        self, tmp_path
+    ):
+        from repro.trees import parse_term
+
+        path = str(tmp_path / "store")
+        writer = CorpusStore.create(path)
+        for term in TERMS:
+            writer.append(parse_term(term))
+        # The writer still holds the lock; a read-only open must not
+        # steal it, and the served answers must match the writer's.
+        reader = CorpusStore.open(path, readonly=True)
+        try:
+            dispatcher = Dispatcher(reader)
+            session = dispatcher.open_session()
+            response = dispatcher.handle(
+                {
+                    "op": "query",
+                    "queries": [{"kind": "xpath", "text": "//δ"}],
+                },
+                session,
+            )
+            assert response["ok"] is True
+            assert response["results"] == _expected_rows(
+                writer, [xpath_query("//δ")]
+            )
+        finally:
+            reader.close()
+            writer.close()

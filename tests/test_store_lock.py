@@ -1,0 +1,121 @@
+"""The store's advisory single-writer lock: a live foreign writer is a
+fail-fast :class:`StoreLockedError`, a dead writer's stale lock is
+stolen, read-only opens neither take nor disturb the lock, and closing
+hands the store to the next writer."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.corpus import CorpusStore, StoreLockedError, xpath_query
+from repro.corpus.segment import StoreError
+from repro.corpus.store import LOCKFILE
+from repro.trees import parse_term
+
+TERMS = ["σ(δ, σ(δ))", "δ(σ(δ), δ)"]
+
+
+def _build(path):
+    store = CorpusStore.create(path)
+    for term in TERMS:
+        store.append(parse_term(term))
+    return store
+
+
+def _lock_path(path):
+    return os.path.join(path, LOCKFILE)
+
+
+def _dead_pid():
+    """A pid guaranteed to be free: a child we already reaped."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+class TestWriterLock:
+    def test_create_takes_the_lock_with_our_pid(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = _build(path)
+        try:
+            with open(_lock_path(path), encoding="utf-8") as handle:
+                assert int(handle.read().strip()) == os.getpid()
+        finally:
+            store.close()
+
+    def test_live_foreign_writer_blocks_a_second_writer(self, tmp_path):
+        path = str(tmp_path / "store")
+        _build(path).close()
+        # pid 1 is always alive: simulate another live process's lock.
+        with open(_lock_path(path), "w", encoding="utf-8") as handle:
+            handle.write("1\n")
+        with pytest.raises(StoreLockedError) as err:
+            CorpusStore.open(path)
+        assert "pid 1" in str(err.value)
+        # The foreign lock survives the refused attempt.
+        with open(_lock_path(path), encoding="utf-8") as handle:
+            assert handle.read().strip() == "1"
+
+    def test_stale_lock_from_a_dead_writer_is_stolen(self, tmp_path):
+        path = str(tmp_path / "store")
+        _build(path).close()
+        with open(_lock_path(path), "w", encoding="utf-8") as handle:
+            handle.write(f"{_dead_pid()}\n")
+        store = CorpusStore.open(path)  # crashed writer: lock is stale
+        try:
+            with open(_lock_path(path), encoding="utf-8") as handle:
+                assert int(handle.read().strip()) == os.getpid()
+        finally:
+            store.close()
+
+    def test_reacquisition_within_one_process_is_reentrant(self, tmp_path):
+        path = str(tmp_path / "store")
+        writer = _build(path)
+        try:
+            # Same pid, second handle: the advisory lock is per-process,
+            # not per-handle, so this does not deadlock ourselves.
+            second = CorpusStore.open(path)
+            second.close()
+        finally:
+            writer.close()
+
+    def test_close_releases_the_lock_for_the_next_writer(self, tmp_path):
+        path = str(tmp_path / "store")
+        _build(path).close()
+        assert not os.path.exists(_lock_path(path))
+        next_writer = CorpusStore.open(path)
+        try:
+            next_writer.append(parse_term("σ(δ)"))
+            assert next_writer.tree_count == len(TERMS) + 1
+        finally:
+            next_writer.close()
+
+
+class TestReadonly:
+    def test_readonly_open_leaves_a_foreign_lock_alone(self, tmp_path):
+        path = str(tmp_path / "store")
+        _build(path).close()
+        with open(_lock_path(path), "w", encoding="utf-8") as handle:
+            handle.write("1\n")
+        reader = CorpusStore.open(path, readonly=True)
+        try:
+            assert reader.readonly
+            rows = reader.run([xpath_query("//δ")]).rows
+            assert len(rows) == len(TERMS)
+        finally:
+            reader.close()
+        # Closing a readonly handle must not release someone else's lock.
+        with open(_lock_path(path), encoding="utf-8") as handle:
+            assert handle.read().strip() == "1"
+
+    def test_readonly_mutations_are_refused(self, tmp_path):
+        path = str(tmp_path / "store")
+        _build(path).close()
+        reader = CorpusStore.open(path, readonly=True)
+        try:
+            with pytest.raises(StoreError, match="readonly"):
+                reader.append(parse_term("σ(δ)"))
+        finally:
+            reader.close()
