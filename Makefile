@@ -9,7 +9,7 @@ FUZZ_BUDGET ?= 200
 FAULT_SEED ?= 0
 FAULT_CASES ?= 200
 
-.PHONY: test test-quick fuzz replay fault serve-chaos bench bench-full bench-walk bench-corpus bench-planner bench-kernel bench-store bench-serve bench-check
+.PHONY: test test-quick fuzz replay fault serve-chaos bench bench-full bench-walk bench-corpus bench-planner bench-kernel bench-store bench-serve bench-coldpath bench-check
 
 ## Full tier-1 suite (includes the marked oracle fuzz and fault tests).
 test:
@@ -99,9 +99,20 @@ bench-serve:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --suite serve
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --check BENCH_serve.json
 
+## Zero-rebuild cold-path trajectory: a fresh process serves a cold
+## 256-tree window from generation-tied index sidecars vs rebuilding
+## indexes from unpickled trees, at 10k and 100k trees, plus cached
+## window replay through the dispatcher (writes BENCH_coldpath.json),
+## then gate it: sidecars >= 3x rebuild at 100k trees, cached replay
+## p50 >= 5x a miss, zero oracle disagreements, zero wrong cached
+## answers.
+bench-coldpath:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --suite coldpath
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --check BENCH_coldpath.json
+
 ## Fail if any committed BENCH_*.json (engine, walk, corpus, planner,
-## kernel, store, serve) reports a median speedup < 1.0, swallowed
-## per-case errors, or a trajectory missing its
-## pick-rate/overhead/kernel/store/serve gates.
+## kernel, store, serve, coldpath) reports a median speedup < 1.0,
+## swallowed per-case errors, or a trajectory missing its
+## pick-rate/overhead/kernel/store/serve/coldpath gates.
 bench-check:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.bench --check

@@ -287,6 +287,15 @@ def _cmd_corpus_store(args: argparse.Namespace, queries) -> int:
                 print(f"ingested {count} documents from {path}")
             for path in args.files:
                 store.append(_load(path).tree)
+            if args.compact:
+                rewritten = store.compact()
+                if rewritten:
+                    print(
+                        f"compacted into {rewritten} segments "
+                        f"(generation {store.generation})"
+                    )
+                else:
+                    print("store already compact")
             if not queries:
                 print(
                     f"store {args.store}: {store.tree_count} trees, "
@@ -392,6 +401,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             default_timeout_ms=args.timeout_ms or None,
             allow_faults=args.allow_faults,
+            result_cache=args.result_cache,
         )
         server = QueryServer(dispatcher, host=args.host, port=args.port)
         server.start_in_thread()
@@ -502,6 +512,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_corpus.add_argument("files", nargs="*", metavar="FILE")
     p_corpus.add_argument("--store", metavar="DIR", default=None,
                           help="disk-backed corpus store directory")
+    p_corpus.add_argument("--compact", action="store_true",
+                          help="repack under-full store segments (and "
+                               "their index sidecars) under a "
+                               "generation bump")
     p_corpus.add_argument("--ingest", action="append", default=[],
                           metavar="FILE",
                           help="stream a file of concatenated documents "
@@ -549,6 +563,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="quota refill window in seconds")
     p_serve.add_argument("--timeout-ms", type=int, default=10_000,
                          help="default per-query deadline (0 = none)")
+    p_serve.add_argument("--result-cache", type=int, default=128,
+                         metavar="N",
+                         help="cache up to N window results per corpus "
+                              "generation (0 disables; default 128)")
     p_serve.add_argument("--allow-faults", action="store_true",
                          help="accept fault-injection requests (chaos "
                               "testing only)")

@@ -65,7 +65,7 @@ import statistics
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .automata.examples import even_leaves_automaton
 from .automata.runner import run as run_automaton
@@ -106,6 +106,8 @@ STORE_SCHEMA = "repro-bench-store/1"
 STORE_DEFAULT_OUTPUT = "BENCH_store.json"
 SERVE_SCHEMA = "repro-bench-serve/1"
 SERVE_DEFAULT_OUTPUT = "BENCH_serve.json"
+COLDPATH_SCHEMA = "repro-bench-coldpath/1"
+COLDPATH_DEFAULT_OUTPUT = "BENCH_coldpath.json"
 
 #: 3-variable selectors (free x) timed as full satisfying-assignment
 #: relations.  The first three make the reference pay the n^3 walk;
@@ -273,6 +275,40 @@ SERVE_FAULT_P99_THRESHOLD = 10.0
 #: The one query every serve client replays — its truth table over the
 #: whole corpus is precomputed once and every response checked.
 SERVE_QUERY = xpath_query("//σ//δ")
+
+#: Cold-path sweep (``--suite coldpath``): the zero-rebuild claim.
+#: A cold vectorized window is timed twice in fresh child processes —
+#: once reading :class:`~repro.engine.index.PackedIndex` lanes straight
+#: from the ``.rpridx`` sidecars, once with sidecars disabled so every
+#: tree is unpickled and its :class:`~repro.engine.index.TreeIndex`
+#: rebuilt — then a dispatcher replays the same windows against the
+#: generation-keyed result cache.
+COLDPATH_TREE_COUNTS = (10_000, 100_000)
+COLDPATH_TREE_COUNTS_QUICK = (300, 3_000)
+#: Every cold round answers this fixed window from tree 0.
+COLDPATH_WINDOW = 256
+#: Document-sized trees — ``24 + (i * 13) % 41`` nodes — rather than
+#: the store sweep's tiny ones: the cold path's whole point is the
+#: per-tree index work, and 4-node trees bury it in fixed overhead.
+COLDPATH_TREE_SIZES = (24, 13, 41)
+#: Cold sidecar window must beat the rebuild-from-pickle window by
+#: this much at the full 100k size.
+COLDPATH_SIDECAR_THRESHOLD = 3.0
+#: Cached window replay (p50) must beat the first, uncached answer of
+#: the same window by this much at the full size.
+COLDPATH_CACHE_THRESHOLD = 5.0
+#: Distinct windows the cache round walks, and hits replayed per
+#: window after its one miss.
+COLDPATH_CACHE_WINDOWS = 5
+COLDPATH_CACHE_HITS = 20
+#: The IR-eligible subset of :data:`STORE_QUERIES` — the packed lane
+#: path only engages when every query in the batch compiles to a
+#: root-context IR plan, so the caterpillar kinds stay out.
+COLDPATH_QUERIES = (
+    xpath_query("//σ//δ"),
+    ask_query("exists x exists y (x << y & O_σ(x) & O_δ(y))"),
+    select_query("x << y & O_δ(y)"),
+)
 
 #: ``--check`` floor: no committed trajectory may report a median
 #: speedup below this — the engine must never lose to the reference.
@@ -1094,11 +1130,12 @@ from repro.corpus.store import CorpusStore
 from repro.trees import random_tree
 
 path, count, seed = sys.argv[2], int(sys.argv[3]), int(sys.argv[4])
+base, step, span = int(sys.argv[5]), int(sys.argv[6]), int(sys.argv[7])
 
 def stream():
     for i in range(count):
         yield random_tree(
-            4 + (i * 7) % 21,
+            base + (i * step) % span,
             value_pool=(1, 2, 3),
             max_children=3,
             seed=seed + i,
@@ -1117,9 +1154,16 @@ print(json.dumps({
 """
 
 
-def _ingest_store(path: str, count: int, seed: int) -> Dict:
+def _ingest_store(
+    path: str,
+    count: int,
+    seed: int,
+    sizes: Tuple[int, int, int] = (4, 7, 21),
+) -> Dict:
     """Build a store of ``count`` trees in a child process; returns the
-    child's ``{trees, seconds, peak_rss_kb}`` measurement."""
+    child's ``{trees, seconds, peak_rss_kb}`` measurement.  Tree ``i``
+    has ``base + (i * step) % span`` nodes for ``sizes = (base, step,
+    span)``."""
     import os
     import subprocess
 
@@ -1130,6 +1174,7 @@ def _ingest_store(path: str, count: int, seed: int) -> Dict:
         [
             sys.executable, "-c", _INGEST_CHILD,
             package_root, path, str(count), str(seed),
+            str(sizes[0]), str(sizes[1]), str(sizes[2]),
         ],
         capture_output=True, text=True, check=False,
     )
@@ -1785,6 +1830,316 @@ def _print_serve_report(report: Dict) -> None:
     )
 
 
+#: One cold window in a fresh process: open the store (sidecars on or
+#: off), answer the fixed vectorized window, and report wall time, the
+#: rows, and how many packed lanes the executor assembled — all shared
+#: caches are necessarily empty because the process is new.
+_COLDPATH_CHILD = """
+import json, sys, time
+sys.path.insert(0, sys.argv[1])
+from repro.corpus.store import CorpusStore
+from repro.corpus.query import CorpusQuery
+
+path, window = sys.argv[2], int(sys.argv[3])
+sidecars = sys.argv[4] == "1"
+queries = [CorpusQuery(k, t, ()) for k, t in json.loads(sys.argv[5])]
+
+store = CorpusStore.open(path, readonly=True, sidecars=sidecars)
+# Compile the query plans on a single-tree window first, identically
+# in both modes: the timed region below then isolates the variable
+# under test — how the window's indexes get into memory — not the
+# (mode-independent, cached-per-process) query-to-IR compilation.
+store.run(queries, stop=1, engine="vectorized")
+t0 = time.perf_counter()
+result = store.run(queries, stop=window, engine="vectorized")
+seconds = time.perf_counter() - t0
+from repro.corpus import executor
+lanes = len(executor._WORKER_LANES)
+store.close()
+print(json.dumps({
+    "seconds": seconds,
+    "packed_lanes": lanes,
+    "rows": result.rows,
+}))
+"""
+
+
+def _coldpath_child(path: str, window: int, sidecars: bool) -> Dict:
+    """Run one cold window in a child process; returns its
+    ``{seconds, packed_lanes, rows}`` measurement."""
+    import os
+    import subprocess
+
+    package_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)
+    ))
+    spec = json.dumps([[q.kind, q.text] for q in COLDPATH_QUERIES])
+    result = subprocess.run(
+        [
+            sys.executable, "-c", _COLDPATH_CHILD,
+            package_root, path, str(window),
+            "1" if sidecars else "0", spec,
+        ],
+        capture_output=True, text=True, check=False,
+    )
+    if result.returncode != 0:  # pragma: no cover - child guard
+        raise RuntimeError(
+            f"coldpath child failed: {result.stderr.strip()[-500:]}"
+        )
+    return json.loads(result.stdout.strip().splitlines()[-1])
+
+
+def _coldpath_size_row(path: str, count: int, seed: int, runs: int) -> Dict:
+    """One corpus size: child-process ingest, then the same cold window
+    measured in fresh children with and without sidecars — every run's
+    rows must agree with each other and with the naive per-call loop."""
+    from .corpus import CorpusStore
+
+    ingest = _ingest_store(path, count, seed, sizes=COLDPATH_TREE_SIZES)
+    window = min(COLDPATH_WINDOW, count)
+    store = CorpusStore.open(path, readonly=True)
+    try:
+        window_trees = [store.tree(i) for i in range(window)]
+        expected = json.loads(json.dumps(
+            _naive_corpus_rows(window_trees, COLDPATH_QUERIES)
+        ))
+    finally:
+        store.close()
+    sidecar_samples: List[float] = []
+    rebuild_samples: List[float] = []
+    packed_lanes = 0
+    disagreements = 0
+    for _ in range(max(runs, 3)):
+        side = _coldpath_child(path, window, sidecars=True)
+        plain = _coldpath_child(path, window, sidecars=False)
+        sidecar_samples.append(side["seconds"])
+        rebuild_samples.append(plain["seconds"])
+        packed_lanes = max(packed_lanes, side["packed_lanes"])
+        for sample in (side, plain):
+            if sample["rows"] != expected:
+                disagreements += 1
+    if packed_lanes == 0:  # pragma: no cover - wiring guard
+        raise AssertionError(
+            f"packed lane path never engaged at {count} trees"
+        )
+    sidecar_s = statistics.median(sidecar_samples)
+    rebuild_s = statistics.median(rebuild_samples)
+    return {
+        "n": count,
+        "window": window,
+        "ingest_seconds": ingest["seconds"],
+        "cold_sidecar_seconds": sidecar_s,
+        "cold_rebuild_seconds": rebuild_s,
+        "packed_lanes": packed_lanes,
+        "disagreements": disagreements,
+        "speedup": rebuild_s / sidecar_s,
+    }
+
+
+def _coldpath_cache_row(path: str, count: int) -> Dict:
+    """Replay distinct windows against a caching dispatcher: each
+    window pays one miss through the full pipeline, then
+    :data:`COLDPATH_CACHE_HITS` replays must answer from memory with
+    byte-identical results."""
+    from .corpus import CorpusStore
+    from .service import Dispatcher
+
+    window = min(COLDPATH_WINDOW, count)
+    store = CorpusStore.open(path, readonly=True)
+    try:
+        dispatcher = Dispatcher(
+            store, workers=0, result_cache=2 * COLDPATH_CACHE_WINDOWS
+        )
+        session = dispatcher.open_session()
+        starts = [
+            i * window
+            for i in range(COLDPATH_CACHE_WINDOWS)
+            if (i + 1) * window <= store.tree_count
+        ]
+        query_objects = [
+            {"kind": q.kind, "text": q.text} for q in COLDPATH_QUERIES
+        ]
+        miss_ms: List[float] = []
+        hit_ms: List[float] = []
+        wrong = 0
+        for start in starts:
+            payload = {
+                "op": "query",
+                "queries": query_objects,
+                "options": {
+                    "start": start,
+                    "stop": start + window,
+                    "engine": "vectorized",
+                },
+            }
+            t0 = time.perf_counter()
+            first = dispatcher.handle(payload, session)
+            miss_ms.append((time.perf_counter() - t0) * 1000.0)
+            if not first.get("ok") or first.get("cached"):
+                raise AssertionError(
+                    f"first window [{start}, {start + window}) was not "
+                    f"a clean miss: {first.get('error', first)!r}"
+                )
+            for _ in range(COLDPATH_CACHE_HITS):
+                t0 = time.perf_counter()
+                replay = dispatcher.handle(payload, session)
+                hit_ms.append((time.perf_counter() - t0) * 1000.0)
+                if (
+                    not replay.get("ok")
+                    or replay.get("cached") is not True
+                    or replay["results"] != first["results"]
+                ):
+                    wrong += 1
+        stats = dispatcher.handle({"op": "stats"}, session)
+        cache_info = stats.get("result_cache", {})
+    finally:
+        store.close()
+    miss_p50 = statistics.median(miss_ms)
+    hit_p50 = statistics.median(hit_ms)
+    return {
+        "n": count,
+        "window": window,
+        "windows": len(starts),
+        "hits_per_window": COLDPATH_CACHE_HITS,
+        "miss_p50_ms": miss_p50,
+        "hit_p50_ms": hit_p50,
+        "wrong_answers": wrong,
+        "cache_info": cache_info,
+        "speedup": miss_p50 / hit_p50 if hit_p50 else 0.0,
+    }
+
+
+def run_coldpath_suite(
+    quick: bool = False, seed: int = 0, repeats: int = 1
+) -> Dict:
+    """The zero-rebuild sweep (``--suite coldpath``) as a JSON-ready
+    dict: cold sidecar windows vs rebuild-from-pickle windows in fresh
+    child processes, plus the generation-keyed result cache replaying
+    the same windows through the dispatcher.  Rows are checked against
+    the naive per-call loop in both modes; a single disagreement or
+    wrong cached answer fails the suite, quick included."""
+    import shutil
+    import tempfile
+
+    tree_counts = (
+        COLDPATH_TREE_COUNTS_QUICK if quick else COLDPATH_TREE_COUNTS
+    )
+    errors: List[str] = []
+    rows: List[Dict] = []
+    cache_rows: List[Dict] = []
+    for count in tree_counts:
+        tmp = tempfile.mkdtemp(prefix="repro-bench-coldpath-")
+        try:
+            path = f"{tmp}/store"
+            row = _guarded_case(
+                errors, f"coldpath:{count}",
+                lambda count=count, path=path: _coldpath_size_row(
+                    path, count, seed, repeats
+                ),
+            )
+            if row is not None:
+                rows.append(row)
+                cache_row = _guarded_case(
+                    errors, f"coldpath-cache:{count}",
+                    lambda count=count, path=path: _coldpath_cache_row(
+                        path, count
+                    ),
+                )
+                if cache_row is not None:
+                    cache_rows.append(cache_row)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    top = tree_counts[-1]
+    by_count = {row["n"]: row for row in rows}
+    cache_by_count = {row["n"]: row for row in cache_rows}
+    sidecar_speedup = by_count.get(top, {}).get("speedup", 0.0)
+    cache_speedup = cache_by_count.get(top, {}).get("speedup", 0.0)
+    disagreements = sum(row["disagreements"] for row in rows)
+    wrong = sum(row["wrong_answers"] for row in cache_rows)
+    return {
+        "schema": COLDPATH_SCHEMA,
+        "generated_by": "python -m repro.bench --suite coldpath"
+        + (" --quick" if quick else ""),
+        "seed": seed,
+        "repeats": repeats,
+        "quick": quick,
+        "errors": errors,
+        "coldpath": {
+            "tree_counts": list(tree_counts),
+            "window": COLDPATH_WINDOW,
+            "queries": [
+                {"kind": q.kind, "text": q.text} for q in COLDPATH_QUERIES
+            ],
+            "rows": rows,
+            "cache_rows": cache_rows,
+        },
+        "summary": {
+            "coldpath_max_trees": top,
+            # cold sidecar window vs cold rebuild-from-pickle window
+            "coldpath_sidecar_speedup_at_max_size": sidecar_speedup,
+            # first uncached answer vs cached replay (both p50)
+            "coldpath_cache_speedup_at_max_size": cache_speedup,
+            "coldpath_disagreements": disagreements,
+            "coldpath_wrong_answers": wrong,
+            "thresholds": {
+                "sidecar": COLDPATH_SIDECAR_THRESHOLD,
+                "cache": COLDPATH_CACHE_THRESHOLD,
+            },
+            "errors": len(errors),
+            # Correctness binds every sweep, quick included; the two
+            # speedup gates bind only the full-size sweep.
+            "pass": not errors
+            and disagreements == 0
+            and wrong == 0
+            and (
+                quick
+                or (
+                    sidecar_speedup >= COLDPATH_SIDECAR_THRESHOLD
+                    and cache_speedup >= COLDPATH_CACHE_THRESHOLD
+                )
+            ),
+        },
+    }
+
+
+def _print_coldpath_report(report: Dict) -> None:
+    print(f"zero-rebuild cold-path benchmark (seed={report['seed']}, "
+          f"quick={report['quick']})")
+    cold = report["coldpath"]
+    print(f"\ncold window of {cold['window']} trees, "
+          f"{len(cold['queries'])} IR-eligible queries, fresh process "
+          "per measurement:")
+    for row in cold["rows"]:
+        print(
+            f"  {row['n']:>7} trees: sidecars "
+            f"{row['cold_sidecar_seconds'] * 1000:>7.1f}ms, rebuild "
+            f"{row['cold_rebuild_seconds'] * 1000:>7.1f}ms, speedup "
+            f"{row['speedup']:>5.2f}x "
+            f"({row['packed_lanes']} packed lanes, "
+            f"{row['disagreements']} disagreements)"
+        )
+    print("\ncached window replay through the dispatcher:")
+    for row in cold["cache_rows"]:
+        print(
+            f"  {row['n']:>7} trees: miss p50 "
+            f"{row['miss_p50_ms']:>7.2f}ms, hit p50 "
+            f"{row['hit_p50_ms']:>7.3f}ms, speedup "
+            f"{row['speedup']:>6.1f}x over {row['windows']} windows "
+            f"({row['wrong_answers']} wrong answers)"
+        )
+    summary = report["summary"]
+    print(
+        f"\nat {summary['coldpath_max_trees']} trees: sidecar cold path "
+        f"{summary['coldpath_sidecar_speedup_at_max_size']:.2f}x "
+        f"(gate >= {summary['thresholds']['sidecar']:.1f}), cached "
+        f"replay {summary['coldpath_cache_speedup_at_max_size']:.1f}x "
+        f"(gate >= {summary['thresholds']['cache']:.1f}), "
+        f"{summary['coldpath_disagreements']} disagreements, "
+        f"{summary['coldpath_wrong_answers']} wrong answers — "
+        f"{'pass' if summary['pass'] else 'FAIL'}"
+    )
+
+
 def check_reports(paths: Sequence[Path]) -> List[str]:
     """Scan committed trajectories; return human-readable failures.
 
@@ -1845,6 +2200,48 @@ def check_reports(paths: Sequence[Path]) -> List[str]:
                         f"{path}: serve_fault_p99_ratio = {ratio!r} "
                         f"exceeds the {SERVE_FAULT_P99_THRESHOLD:.1f}x "
                         "chaos-latency gate"
+                    )
+            continue
+        if str(schema).startswith("repro-bench-coldpath"):
+            # The coldpath trajectory measures the engine against its
+            # own cold start, not the reference — its gates are answer
+            # agreement everywhere plus (full size only) the sidecar
+            # and result-cache speedup floors.
+            disagreements = summary.get("coldpath_disagreements")
+            if disagreements != 0:
+                failures.append(
+                    f"{path}: coldpath_disagreements = "
+                    f"{disagreements!r} (sidecar and rebuild answers "
+                    "must agree with the naive loop)"
+                )
+            wrong = summary.get("coldpath_wrong_answers")
+            if wrong != 0:
+                failures.append(
+                    f"{path}: coldpath_wrong_answers = {wrong!r} "
+                    "(cached replays must be byte-identical)"
+                )
+            if not report.get("quick", False):
+                sidecar = summary.get(
+                    "coldpath_sidecar_speedup_at_max_size"
+                )
+                if (
+                    not isinstance(sidecar, (int, float))
+                    or sidecar < COLDPATH_SIDECAR_THRESHOLD
+                ):
+                    failures.append(
+                        f"{path}: coldpath_sidecar_speedup_at_max_size "
+                        f"= {sidecar!r} is below the "
+                        f"{COLDPATH_SIDECAR_THRESHOLD:.1f}x gate"
+                    )
+                cache = summary.get("coldpath_cache_speedup_at_max_size")
+                if (
+                    not isinstance(cache, (int, float))
+                    or cache < COLDPATH_CACHE_THRESHOLD
+                ):
+                    failures.append(
+                        f"{path}: coldpath_cache_speedup_at_max_size = "
+                        f"{cache!r} is below the "
+                        f"{COLDPATH_CACHE_THRESHOLD:.1f}x gate"
                     )
             continue
         medians = {
@@ -1971,7 +2368,7 @@ def main(argv: Sequence[str] = None) -> int:
         "--suite",
         choices=(
             "engine", "walk", "corpus", "planner", "kernel", "store",
-            "serve",
+            "serve", "coldpath",
         ),
         default="engine",
         help="engine: FO + XPath vs the indexed engines "
@@ -1984,7 +2381,9 @@ def main(argv: Sequence[str] = None) -> int:
         "store: disk-backed corpus ingest, fixed-window batches and "
         "incremental index repair (BENCH_store.json); serve: the "
         "concurrent query service under closed-loop load and injected "
-        "faults (BENCH_serve.json)",
+        "faults (BENCH_serve.json); coldpath: cold sidecar windows vs "
+        "rebuild-from-pickle plus the generation-keyed result cache "
+        "(BENCH_coldpath.json)",
     )
     parser.add_argument(
         "--quick",
@@ -2029,7 +2428,13 @@ def main(argv: Sequence[str] = None) -> int:
             print(f"bench-check: {len(paths)} trajectories clear the "
                   f"{CHECK_FLOOR:.1f}x floor")
         return 1 if failures else 0
-    if opts.suite == "serve":
+    if opts.suite == "coldpath":
+        report = run_coldpath_suite(
+            quick=opts.quick, seed=opts.seed, repeats=opts.repeats
+        )
+        _print_coldpath_report(report)
+        default_output = COLDPATH_DEFAULT_OUTPUT
+    elif opts.suite == "serve":
         report = run_serve_suite(
             quick=opts.quick, seed=opts.seed, repeats=opts.repeats
         )

@@ -14,7 +14,10 @@ Corpora can also live on disk: a :class:`CorpusStore` is a directory
 of append-only segment files ingested by streaming (bounded memory),
 queried through the same batch executor with mmap-lazy shard loading
 in the workers, and editable in place with incremental index repair
-(:mod:`repro.corpus.store`).
+(:mod:`repro.corpus.store`).  Sealed segments carry generation-tied
+``.rpridx`` index sidecars (:class:`Sidecar`), so vectorized-eligible
+windows assemble their stacked shards straight from serialized index
+bytes — no tree unpickling, no per-tree index rebuild.
 
 >>> from repro.corpus import TreeCorpus, xpath_query
 >>> corpus = TreeCorpus.from_terms(["σ(δ, σ)", "δ(σ(δ))"])
@@ -34,7 +37,14 @@ from .query import (
     select_query,
     xpath_query,
 )
-from .segment import Segment, SegmentWriter, recover_segment
+from .segment import (
+    Segment,
+    SegmentWriter,
+    Sidecar,
+    recover_segment,
+    sidecar_path,
+    write_sidecar,
+)
 from .store import (
     CorpusStore,
     StoreCorruptError,
@@ -52,6 +62,7 @@ __all__ = [
     "KINDS",
     "Segment",
     "SegmentWriter",
+    "Sidecar",
     "StoreCorruptError",
     "StoreError",
     "StoreLockedError",
@@ -64,5 +75,7 @@ __all__ = [
     "recover_segment",
     "run_batch",
     "select_query",
+    "sidecar_path",
+    "write_sidecar",
     "xpath_query",
 ]

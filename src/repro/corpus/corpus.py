@@ -92,6 +92,12 @@ class TreeCorpus:
     def trees(self) -> Tuple[Tree, ...]:
         return self._trees
 
+    @property
+    def token(self) -> str:
+        """This corpus's warm-state/cache key: unique per instance
+        and — the corpus being immutable — valid for its whole life."""
+        return self._token
+
     def __len__(self) -> int:
         return len(self._trees)
 

@@ -37,7 +37,13 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..engine import fo as fast_fo
 from ..engine import walk as engine_walk
 from ..engine import xpath as fast_xpath
-from ..engine.index import TreeIndex, adopt_index, index_for
+from ..engine.index import (
+    IndexFormatError,
+    PackedIndex,
+    TreeIndex,
+    adopt_index,
+    index_for,
+)
 from ..engine.ir import StackedShard, evaluate_shard
 from ..engine.planner import Plan, default_planner
 from ..engine.plans import (
@@ -239,9 +245,15 @@ def evaluate_cell(query: CorpusQuery, tree: Tree, engine: str = "fast"):
 #: keep the chunk's trees and indexes warm across batches; once a
 #: routed worker holds a chunk, later batches ship ``trees=None``.
 #: ``shard`` is the disk-store alternative to shipping trees at all:
-#: ``(segment path, generation, lo, hi)`` names a contiguous record
-#: range of one segment file, and the worker memory-maps the segment
-#: and unpickles exactly that byte range itself.
+#: ``(segment path, generation, lo, hi, sidecar)`` names a contiguous
+#: record range of one segment file, and the worker memory-maps the
+#: segment and unpickles exactly that byte range itself.  ``sidecar``
+#: — ``(sidecar path, generation tag)`` or ``None`` — additionally
+#: names the segment's index sidecar: a vectorized-eligible chunk then
+#: assembles its :class:`~repro.engine.ir.StackedShard` lanes straight
+#: from the sidecar's serialized-index bytes (:class:`PackedIndex`) and
+#: never unpickles a tree or builds a :class:`TreeIndex` at all — the
+#: zero-rebuild path.
 _ChunkPayload = Tuple[
     int,                    # chunk index
     int,                    # corpus position of the first tree
@@ -253,7 +265,7 @@ _ChunkPayload = Tuple[
     Optional[Fault],        # injected fault, if the harness armed one
     Optional[Tuple[TreeIndex, ...]],
     Optional[str],          # corpus token, or None for one-shot batches
-    Optional[Tuple[str, int, int, int]],  # disk shard, or None
+    Optional[Tuple],        # disk shard (5-tuple above), or None
     Optional[float],        # per-chunk wall-clock budget (seconds)
     str,                    # on_exhausted: "degrade" | "raise"
 ]
@@ -277,13 +289,13 @@ _CACHE_MISS = "__corpus_chunk_cache_miss__"
 _WORKER_SEGMENTS: Dict[Tuple[str, int], object] = {}
 
 
-def _shard_trees(shard: Tuple[str, int, int, int]) -> Tuple[Tree, ...]:
+def _shard_trees(shard: Tuple) -> Tuple[Tree, ...]:
     """Materialize one shard: mmap its segment (cached per generation)
     and unpickle only records ``[lo, hi)`` — the store fan-out path
     where the parent ships byte coordinates instead of trees."""
     from .segment import Segment
 
-    path, generation, lo, hi = shard
+    path, generation, lo, hi = shard[:4]
     key = (path, generation)
     segment = _WORKER_SEGMENTS.get(key)
     if segment is None:
@@ -293,6 +305,121 @@ def _shard_trees(shard: Tuple[str, int, int, int]) -> Tuple[Tree, ...]:
             _WORKER_SEGMENTS.pop(next(iter(_WORKER_SEGMENTS))).close()
         segment = _WORKER_SEGMENTS[key] = Segment(path)
     return segment.trees(lo, hi)
+
+
+#: Worker-side open index sidecars: (sidecar path, generation tag) →
+#: Sidecar | None.  ``None`` caches a validation failure, so a corrupt
+#: or stale sidecar costs one open attempt per generation, not one per
+#: chunk.  Evicted together with its :data:`_WORKER_LANES` entries —
+#: packed lanes hold zero-copy views into the sidecar's mmap and must
+#: never outlive it.
+_WORKER_SIDECARS: Dict[Tuple[str, int], object] = {}
+
+#: Worker-side packed lanes: (sidecar path, tag, lo, hi) → tuple of
+#: :class:`PackedIndex` — one chunk's StackedShard inputs, parsed once
+#: from the sidecar bytes and reused every batch until the generation
+#: moves.
+_WORKER_LANES: Dict[Tuple[str, int, int, int], Tuple] = {}
+
+
+def _evict_sidecar(key: Tuple[str, int]) -> None:
+    for lane_key in [k for k in _WORKER_LANES if k[:2] == key]:
+        _WORKER_LANES.pop(lane_key)
+    sidecar = _WORKER_SIDECARS.pop(key, None)
+    if sidecar is not None:
+        try:
+            sidecar.close()
+        except BufferError:  # a straggler lane still views the mmap;
+            pass             # the view's release will close it instead
+
+
+def _packed_plans(
+    queries: Sequence[CorpusQuery], engine: Union[str, Tuple[str, ...]]
+) -> Optional[Tuple]:
+    """Every query's IR plan iff the *whole* chunk can run packed —
+    each query vectorized and inside the IR fragment; else ``None``."""
+    engines = engine if isinstance(engine, tuple) else (engine,) * len(queries)
+    plans = []
+    for query, chosen in zip(queries, engines):
+        if chosen != "vectorized":
+            return None
+        plan = _ir_batch_plan(query)
+        if plan is None:
+            return None
+        plans.append(plan)
+    return tuple(plans)
+
+
+def _shard_lanes(
+    shard: Tuple,
+    queries: Sequence[CorpusQuery],
+    engine: Union[str, Tuple[str, ...]],
+) -> Optional[Tuple]:
+    """The chunk's :class:`PackedIndex` lanes, assembled straight from
+    the shard's sidecar bytes — or ``None`` whenever the chunk cannot
+    run packed (no/invalid sidecar, a query outside the vectorized IR
+    fragment), in which case the caller materializes trees as before."""
+    if len(shard) < 5 or shard[4] is None:
+        return None
+    if _packed_plans(queries, engine) is None:
+        return None
+    from .segment import Sidecar, StoreError
+
+    lo, hi = shard[2], shard[3]
+    spath, tag = shard[4]
+    lane_key = (spath, tag, lo, hi)
+    lanes = _WORKER_LANES.get(lane_key)
+    if lanes is not None:
+        return lanes
+    side_key = (spath, tag)
+    if side_key in _WORKER_SIDECARS:
+        sidecar = _WORKER_SIDECARS[side_key]
+    else:
+        for stale in [
+            k for k in _WORKER_SIDECARS if k[0] == spath and k != side_key
+        ]:
+            _evict_sidecar(stale)
+        while len(_WORKER_SIDECARS) >= 64:
+            _evict_sidecar(next(iter(_WORKER_SIDECARS)))
+        sidecar = None
+        try:
+            candidate = Sidecar(spath)
+            if candidate.generation == tag and candidate.count >= hi:
+                sidecar = candidate
+            else:
+                candidate.close()
+        except (OSError, StoreError):
+            sidecar = None
+        _WORKER_SIDECARS[side_key] = sidecar
+    if sidecar is None:
+        return None
+    try:
+        lanes = tuple(PackedIndex(sidecar.blob(i)) for i in range(lo, hi))
+    except (StoreError, IndexFormatError, ValueError, IndexError):
+        return None  # corrupt blob: fall back to rebuilding from records
+    _WORKER_LANES[lane_key] = lanes
+    return lanes
+
+
+def _evaluate_packed(lanes: Tuple, queries: Sequence[CorpusQuery],
+                     engine: Union[str, Tuple[str, ...]]):
+    """One chunk's cells evaluated entirely from packed lanes: every
+    query's IR plan interpreted once over one :class:`StackedShard` of
+    :class:`PackedIndex` lanes — no tree objects, no TreeIndex builds."""
+    plans = _packed_plans(queries, engine)
+    shard = StackedShard(lanes)
+    columns = []
+    for plan in plans:
+        split = shard.split(evaluate_shard(plan, shard))
+        if plan.mode == "boolean":
+            columns.append([bool(lane) for lane in split])
+        else:
+            columns.append([
+                idx.to_nodes(lane) for idx, lane in zip(lanes, split)
+            ])
+    return tuple(
+        tuple(column[i] for column in columns) for i in range(len(lanes))
+    )
 
 
 def _warm_chunk(
@@ -395,16 +522,23 @@ def _run_chunk(payload: _ChunkPayload):
      budget_steps, fault, indexes, token, shard,
      budget_seconds, on_exhausted) = payload
     started = time.perf_counter()
+    lanes = None
     if trees is None:
         cached = _WORKER_TREES.get((token, start, stop))
         if cached is not None:
             trees, indexes = cached
         elif shard is not None:
-            # A store chunk: this worker loads its own shard from the
-            # segment file and warms it under the store token.
-            trees, indexes = _warm_chunk(
-                token, start, stop, _shard_trees(shard)
-            )
+            # A store chunk.  When the whole chunk is vectorized and
+            # the segment's index sidecar is valid, its StackedShard
+            # lanes assemble straight from the sidecar bytes — no
+            # unpickling, no index builds.  Otherwise this worker loads
+            # its own shard from the segment file and warms it under
+            # the store token.
+            lanes = _shard_lanes(shard, queries, engine)
+            if lanes is None:
+                trees, indexes = _warm_chunk(
+                    token, start, stop, _shard_trees(shard)
+                )
         else:  # e.g. a fresh worker after a pool restart
             return index, _CACHE_MISS, None
     elif indexes is None:
@@ -443,7 +577,13 @@ def _run_chunk(payload: _ChunkPayload):
     try:
         if injector is not None or budget is not None:
             with activate(ExecutionContext(budget, injector)):
-                rows = _evaluate_rows(trees, queries, attempt, indexes)
+                rows = (
+                    _evaluate_packed(lanes, queries, engine)
+                    if lanes is not None
+                    else _evaluate_rows(trees, queries, attempt, indexes)
+                )
+        elif lanes is not None:
+            rows = _evaluate_packed(lanes, queries, engine)
         else:
             rows = _evaluate_rows(trees, queries, attempt, indexes)
         report = ChunkReport(
@@ -459,6 +599,10 @@ def _run_chunk(payload: _ChunkPayload):
             # spent quota is the *caller's* verdict to deliver, not a
             # licence to keep burning the reference engine on it.
             raise
+        if trees is None:  # the packed attempt: degrade needs real trees
+            trees, indexes = _warm_chunk(
+                token, start, stop, _shard_trees(shard)
+            )
         rows = _evaluate_rows(trees, queries, "reference", indexes)
         report = ChunkReport(
             index, start, stop, "reference", True,
@@ -470,6 +614,10 @@ def _run_chunk(payload: _ChunkPayload):
         # The PR-4 contract at chunk granularity: an engine fault costs
         # this chunk its fast path, never the batch its answers or
         # their order.
+        if trees is None:
+            trees, indexes = _warm_chunk(
+                token, start, stop, _shard_trees(shard)
+            )
         rows = _evaluate_rows(trees, queries, "reference", indexes)
         report = ChunkReport(
             index, start, stop, "reference", True,
@@ -550,11 +698,14 @@ def run_batch(
     ``bounds`` overrides the automatic chunking with explicit
     ``[start, stop)`` intervals (as :class:`~repro.corpus.CorpusStore`
     passes, segment-aligned).  ``shard_for`` — a callable mapping a
-    chunk's bounds to a ``(segment path, generation, lo, hi)`` shard —
-    turns the fan-out mmap-lazy: worker chunks ship *no trees at all*
-    and each worker loads only its own shard's byte range; ``trees``
-    may then be any lazy sequence (it is not materialized here), and
-    only serial chunks slice it.
+    chunk's bounds to a ``(segment path, generation, lo, hi, sidecar)``
+    shard — makes every chunk mmap-lazy, serial or fanned out: chunks
+    ship *no trees at all* and each worker (or the parent, serially)
+    loads only its own shard's byte range; ``trees`` may then be any
+    lazy sequence (it is never materialized here).  When ``sidecar``
+    names a valid index sidecar and the chunk is wholly vectorized, the
+    chunk skips tree and index materialization entirely
+    (:func:`_shard_lanes`).
 
     The service-facing knobs: ``budget_seconds`` adds a wall-clock
     deadline to each chunk's budget (cancelling work cooperatively at
@@ -619,8 +770,10 @@ def run_batch(
             chunk_indexes = tuple(indexes[start:stop])
         shard = None
         chunk_trees: Optional[Tuple[Tree, ...]]
-        if shard_for is not None and workers > 0:
-            # Store fan-out: ship byte coordinates, never pickles.
+        if shard_for is not None:
+            # Store chunks ship byte coordinates, never pickles — and
+            # the serial path takes the same shard (and packed sidecar)
+            # route in-process, so zero-rebuild does not need a pool.
             shard = shard_for(start, stop)
             chunk_trees = None
         else:

@@ -40,12 +40,15 @@ from ..trees.tree import Tree
 __all__ = [
     "Segment",
     "SegmentWriter",
+    "Sidecar",
     "StoreError",
     "StoreCorruptError",
     "StoreLockedError",
     "StoreMissingError",
     "StoreVersionError",
     "recover_segment",
+    "sidecar_path",
+    "write_sidecar",
 ]
 
 MAGIC = b"RPROSEG1"
@@ -55,6 +58,18 @@ FORMAT_VERSION = 1
 _HEADER = struct.Struct("<8sII")   # magic, format version, segment id
 _RECORD = struct.Struct("<I")      # record length prefix
 _TRAILER = struct.Struct("<I8s")   # footer length, trailer magic
+
+#: Index sidecar file bits (``seg-NNNNN.rpridx`` next to each sealed
+#: ``seg-NNNNN.seg``): one serialized TreeIndex blob per record, plus
+#: the generation tag that ties the sidecar to one version of the
+#: segment's bytes.
+SIDECAR_MAGIC = b"RPRIDX01"
+SIDECAR_TRAILER = b"RPRIDXTR"
+SIDECAR_VERSION = 1
+SIDECAR_SUFFIX = ".rpridx"
+
+_SIDECAR_HEADER = struct.Struct("<8sIIQI")  # magic, version, seg id, gen, count
+_OFFSET = struct.Struct("<Q")
 
 
 class StoreError(ReproError):
@@ -184,6 +199,19 @@ class SegmentWriter:
         self._position += _RECORD.size + len(payload)
         return len(self._offsets) - 1
 
+    def append_raw(self, payload: bytes, row: list) -> int:
+        """Copy one already-pickled record (with its statistics row)
+        byte-for-byte — the compaction path, which repacks segments
+        without paying a pickle/unpickle round per tree."""
+        if self._sealed:
+            raise StoreError("segment already sealed")
+        self._offsets.append(self._position)
+        self._rows.append(list(row))
+        self._handle.write(_RECORD.pack(len(payload)))
+        self._handle.write(payload)
+        self._position += _RECORD.size + len(payload)
+        return len(self._offsets) - 1
+
     def seal(self) -> Dict[str, object]:
         """Write footer + trailer and close; returns the footer dict
         (what the store manifest records about this segment)."""
@@ -305,6 +333,20 @@ class Segment:
             hi = self.tree_count
         return tuple(self.tree(i) for i in range(lo, hi))
 
+    def record_payload(self, position: int) -> bytes:
+        """Record ``position``'s pickled bytes, unvalidated — paired
+        with :meth:`SegmentWriter.append_raw` for copying compaction."""
+        if not 0 <= position < self.tree_count:
+            raise IndexError(position)
+        start = self._offsets[position]
+        (length,) = _RECORD.unpack_from(self._view, start)
+        begin = start + _RECORD.size
+        return bytes(self._view[begin:begin + length])
+
+    def stats_row(self, position: int) -> list:
+        """Record ``position``'s raw statistics footer row."""
+        return self._rows[position]
+
     def statistics_rows(self) -> Tuple[TreeStatistics, ...]:
         """Per-tree statistics from the footer — no record is read."""
         return tuple(_row_stats(row) for row in self._rows)
@@ -400,3 +442,151 @@ def recover_segment(path: str) -> Dict[str, object]:
         raise
     os.replace(recovered, path)
     return footer
+
+
+# ---------------------------------------------------------------------------
+# index sidecars
+# ---------------------------------------------------------------------------
+#
+# ``seg-NNNNN.rpridx`` next to each sealed ``seg-NNNNN.seg``::
+#
+#     [ SIDECAR_MAGIC | version u32 | segment id u32
+#       | generation u64 | count u32 ]                      28-byte header
+#     [ (count + 1) u64 blob offsets ]                      offset table
+#     [ serialize_index blobs, concatenated ]
+#     [ SIDECAR_TRAILER ]                                   8-byte trailer
+#
+# Offsets are relative to the end of the offset table, so ``blob(i)``
+# is two table reads and one slice of the mmap — a worker loading a
+# shard's indexes touches exactly those blobs' byte ranges.  The
+# generation tag ties the sidecar to one version of the segment's
+# bytes: the store records the matching tag in its manifest when it
+# (re)seals the segment, and a mismatch — a sidecar that survived a
+# segment rewrite, or vice versa — reads as *missing*, never as stale
+# answers.
+
+
+def sidecar_path(segment_file: str) -> str:
+    """The index sidecar path for a segment file path."""
+    base, _ = os.path.splitext(segment_file)
+    return base + SIDECAR_SUFFIX
+
+
+def write_sidecar(
+    path: str, segment_id: int, generation: int, blobs: List[bytes]
+) -> None:
+    """Write an index sidecar atomically (write-aside then rename), so
+    a crash leaves either the old sidecar or the new one, never a torn
+    file masquerading as valid."""
+    aside = os.path.join(
+        os.path.dirname(path) or ".", f".{os.path.basename(path)}.tmp"
+    )
+    with open(aside, "wb") as handle:
+        handle.write(_SIDECAR_HEADER.pack(
+            SIDECAR_MAGIC, SIDECAR_VERSION, segment_id, generation, len(blobs)
+        ))
+        position = 0
+        for blob in blobs:
+            handle.write(_OFFSET.pack(position))
+            position += len(blob)
+        handle.write(_OFFSET.pack(position))
+        for blob in blobs:
+            handle.write(blob)
+        handle.write(SIDECAR_TRAILER)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(aside, path)
+
+
+class Sidecar:
+    """A sealed index sidecar, opened memory-mapped and read lazily.
+
+    Construction validates header, trailer and the offset table's
+    bounds; blob bytes are faulted in as :meth:`blob` touches them.
+    Raises the store error taxonomy on anything wrong — a torn or
+    corrupt sidecar is a :class:`StoreCorruptError` the store turns
+    into a rebuild, never a crash."""
+
+    def __init__(self, path: str):
+        try:
+            self._file = open(path, "rb")
+        except FileNotFoundError as exc:
+            raise StoreMissingError(f"no such sidecar: {path}") from exc
+        self.path = path
+        try:
+            self._view = mmap.mmap(
+                self._file.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except (ValueError, OSError):
+            self._file.seek(0)
+            self._view = self._file.read()
+        data = self._view
+        if len(data) < _SIDECAR_HEADER.size + len(SIDECAR_TRAILER):
+            raise StoreCorruptError(f"sidecar too short: {path}")
+        magic, version, segment_id, generation, count = (
+            _SIDECAR_HEADER.unpack_from(data, 0)
+        )
+        if magic != SIDECAR_MAGIC:
+            raise StoreCorruptError(f"bad sidecar magic in {path}")
+        if version != SIDECAR_VERSION:
+            raise StoreVersionError(
+                f"sidecar {path} is format v{version}; "
+                f"this build reads v{SIDECAR_VERSION}"
+            )
+        if bytes(data[len(data) - len(SIDECAR_TRAILER):]) != SIDECAR_TRAILER:
+            raise StoreCorruptError(
+                f"sidecar {path} has no trailer (torn write?)"
+            )
+        self.segment_id = segment_id
+        self.generation = generation
+        self.count = count
+        self._blob_base = _SIDECAR_HEADER.size + _OFFSET.size * (count + 1)
+        blob_end = len(data) - len(SIDECAR_TRAILER)
+        if self._blob_base > blob_end:
+            raise StoreCorruptError(f"sidecar {path}: bad offset table")
+        (total,) = _OFFSET.unpack_from(
+            data, _SIDECAR_HEADER.size + _OFFSET.size * count
+        )
+        if self._blob_base + total != blob_end:
+            raise StoreCorruptError(f"sidecar {path}: blob region mismatch")
+        self._mem = memoryview(self._view)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def blob(self, position: int):
+        """Blob ``position``'s bytes (a zero-copy view of the mmap)."""
+        if not 0 <= position < self.count:
+            raise IndexError(position)
+        at = _SIDECAR_HEADER.size + _OFFSET.size * position
+        (start,) = _OFFSET.unpack_from(self._view, at)
+        (end,) = _OFFSET.unpack_from(self._view, at + _OFFSET.size)
+        if end < start:
+            raise StoreCorruptError(
+                f"sidecar {self.path}: offset table is not monotone"
+            )
+        return self._mem[self._blob_base + start:self._blob_base + end]
+
+    def blobs(self, lo: int = 0, hi: Optional[int] = None) -> List[bytes]:
+        """Blobs ``[lo, hi)`` as real byte strings (splice/copy paths)."""
+        if hi is None:
+            hi = self.count
+        return [bytes(self.blob(i)) for i in range(lo, hi)]
+
+    def close(self) -> None:
+        self._mem.release()
+        if isinstance(self._view, mmap.mmap):
+            self._view.close()
+        self._file.close()
+
+    def __enter__(self) -> "Sidecar":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Sidecar({os.path.basename(self.path)}, "
+            f"id={self.segment_id}, g{self.generation}, {self.count} blobs)"
+        )

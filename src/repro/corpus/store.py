@@ -37,7 +37,13 @@ from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ..engine.index import adopt_index, index_for, repair_index
+from ..engine.index import (
+    TreeIndex,
+    adopt_index,
+    index_for,
+    repair_index,
+    serialize_index,
+)
 from ..engine.stats import CorpusStatistics, _fingerprint
 from ..trees.tree import Tree
 from .executor import BatchResult, _make_pools, run_batch
@@ -45,12 +51,15 @@ from .query import CorpusQuery
 from .segment import (
     Segment,
     SegmentWriter,
+    Sidecar,
     StoreCorruptError,
     StoreError,
     StoreLockedError,
     StoreMissingError,
     StoreVersionError,
     recover_segment,
+    sidecar_path,
+    write_sidecar,
 )
 
 __all__ = [
@@ -80,6 +89,15 @@ _LOADED_SEGMENTS = 8
 
 def _segment_name(segment_id: int) -> str:
     return f"seg-{segment_id:05d}.seg"
+
+
+def _sidecars_enabled(requested: bool) -> bool:
+    """``REPRO_STORE_SIDECARS=0`` force-disables index sidecars for the
+    whole process — the oracle's answer-path-equivalence switch."""
+    env = os.environ.get("REPRO_STORE_SIDECARS", "").strip().lower()
+    if env in ("0", "false", "no", "off"):
+        return False
+    return requested
 
 
 def _pid_alive(pid: int) -> bool:
@@ -179,6 +197,9 @@ class CorpusStore:
         self._loaded: "OrderedDict[int, Tuple[Tree, ...]]" = OrderedDict()
         self._stats: Optional[CorpusStatistics] = None
         self._stats_generation = -1
+        self._use_sidecars = True
+        # segment index -> (generation checked, (sidecar path, tag) | None)
+        self._sidecar_ok: Dict[int, Tuple[int, Optional[Tuple[str, int]]]] = {}
         self._pools: Dict[int, Tuple[ProcessPoolExecutor, ...]] = {}
         self._pool_lock = threading.Lock()
         self._lock_path: Optional[str] = None  # held writer lock, if any
@@ -191,10 +212,15 @@ class CorpusStore:
 
     @classmethod
     def create(
-        cls, path: str, segment_size: int = DEFAULT_SEGMENT_SIZE
+        cls,
+        path: str,
+        segment_size: int = DEFAULT_SEGMENT_SIZE,
+        sidecars: bool = True,
     ) -> "CorpusStore":
         """Initialise an empty store at ``path`` (created if missing;
-        must not already hold a store)."""
+        must not already hold a store).  ``sidecars=False`` (or
+        ``REPRO_STORE_SIDECARS=0`` in the environment) turns off index
+        sidecar maintenance for this handle."""
         if segment_size < 1:
             raise ValueError("segment_size must be >= 1")
         os.makedirs(path, exist_ok=True)
@@ -211,12 +237,15 @@ class CorpusStore:
             "node_count": 0,
         }
         store = cls(path, manifest)
+        store._use_sidecars = _sidecars_enabled(sidecars)
         store._lock_path = _acquire_writer_lock(path)
         store._save_manifest()
         return store
 
     @classmethod
-    def open(cls, path: str, readonly: bool = False) -> "CorpusStore":
+    def open(
+        cls, path: str, readonly: bool = False, sidecars: bool = True
+    ) -> "CorpusStore":
         """Open an existing store.
 
         Unless ``readonly``, takes the advisory single-writer lock
@@ -252,6 +281,7 @@ class CorpusStore:
             )
         store = cls(path, manifest)
         store._readonly = readonly
+        store._use_sidecars = _sidecars_enabled(sidecars)
         if not readonly:
             store._lock_path = _acquire_writer_lock(path)
         return store
@@ -343,16 +373,27 @@ class CorpusStore:
         self._save_manifest()
 
     def _record_seal(
-        self, segment_id: int, footer: Dict[str, object], known: bool
+        self,
+        segment_id: int,
+        footer: Dict[str, object],
+        known: bool,
+        sidecar_gen: Optional[int] = None,
     ) -> None:
+        segments: List[Dict[str, object]] = self._manifest["segments"]
+        name = (
+            segments[[s["id"] for s in segments].index(segment_id)]["name"]
+            if known
+            else _segment_name(segment_id)
+        )
         entry = {
-            "name": _segment_name(segment_id),
+            "name": name,
             "id": segment_id,
             "trees": footer["trees"],
             "nodes": footer["nodes"],
             "summary": _aggregate(footer["stats"]),
         }
-        segments: List[Dict[str, object]] = self._manifest["segments"]
+        if sidecar_gen is not None:
+            entry["sidecar_gen"] = sidecar_gen
         if known:
             segments[[s["id"] for s in segments].index(segment_id)] = entry
         else:
@@ -371,6 +412,23 @@ class CorpusStore:
         writer: Optional[SegmentWriter] = None
         resumed = False
         appended = 0
+        blobs: List[bytes] = []
+
+        def seal(writer: SegmentWriter, resumed: bool) -> None:
+            # The sidecar lands (tagged with the post-ingest generation)
+            # before the manifest does: a crash in between reads as a
+            # generation mismatch and a rebuild, never as stale indexes.
+            footer = writer.seal()
+            tag: Optional[int] = None
+            if self._use_sidecars:
+                tag = self.generation + 1
+                write_sidecar(
+                    sidecar_path(writer.path), writer.segment_id, tag, blobs
+                )
+            self._record_seal(
+                writer.segment_id, footer, resumed, sidecar_gen=tag
+            )
+
         try:
             for tree in trees:
                 if not isinstance(tree, Tree):
@@ -384,6 +442,10 @@ class CorpusStore:
                         and segments[-1]["trees"] < self.segment_size
                     ):
                         last = segments[-1]
+                        blobs = (
+                            self._segment_blobs(len(segments) - 1)
+                            if self._use_sidecars else []
+                        )
                         self._evict_segment(len(segments) - 1)
                         writer = SegmentWriter.resume(
                             os.path.join(self.path, last["name"]), last["id"]
@@ -400,15 +462,16 @@ class CorpusStore:
                             segment_id,
                         )
                         resumed = False
+                        blobs = []
                 writer.append(tree)
+                if self._use_sidecars:
+                    blobs.append(serialize_index(index_for(tree)))
                 appended += 1
                 if writer.tree_count >= self.segment_size:
-                    self._record_seal(
-                        writer.segment_id, writer.seal(), resumed
-                    )
+                    seal(writer, resumed)
                     writer = None
             if writer is not None:
-                self._record_seal(writer.segment_id, writer.seal(), resumed)
+                seal(writer, resumed)
                 writer = None
         finally:
             if writer is not None:
@@ -445,6 +508,13 @@ class CorpusStore:
             adopt_index(tree, repaired)
         segment_path = os.path.join(self.path, entry["name"])
         segment = self._segment(segment_index)
+        # Splice the sidecar, not just the segment: unchanged records
+        # keep their blobs byte-for-byte, the edited record gets the
+        # repaired (or rebuilt) index serialized fresh.
+        old_blobs = (
+            self._valid_sidecar_blobs(segment_index)
+            if self._use_sidecars else None
+        )
         rewrite_path = segment_path + ".rewrite"
         writer = SegmentWriter(rewrite_path, entry["id"])
         try:
@@ -455,12 +525,32 @@ class CorpusStore:
             writer.abort()
             raise
         self._evict_segment(segment_index)
+        # Retire the old sidecar *before* the segment bytes move: no
+        # crash window leaves a valid-looking sidecar describing bytes
+        # that are no longer there.
+        side_path = sidecar_path(segment_path)
+        try:
+            os.unlink(side_path)
+        except OSError:
+            pass
         os.replace(rewrite_path, segment_path)
-        self._record_seal(entry["id"], footer, True)
+        next_gen = self.generation + 1
+        self._record_seal(
+            entry["id"], footer, True,
+            sidecar_gen=next_gen if self._use_sidecars else None,
+        )
         # Keep the edited segment warm: point reads and serial batches
         # right after an edit are the repair path's whole point.
         fresh = self._load_segment(segment_index)
-        self._loaded[segment_index] = fresh[:local] + (tree,) + fresh[local + 1:]
+        patched = fresh[:local] + (tree,) + fresh[local + 1:]
+        self._loaded[segment_index] = patched
+        if self._use_sidecars:
+            if old_blobs is not None:
+                old_blobs[local] = serialize_index(index_for(tree))
+                new_blobs = old_blobs
+            else:
+                new_blobs = [serialize_index(index_for(t)) for t in patched]
+            write_sidecar(side_path, entry["id"], next_gen, new_blobs)
         self._bump()
 
     # -- reading ------------------------------------------------------
@@ -507,6 +597,98 @@ class CorpusStore:
         while len(self._loaded) > _LOADED_SEGMENTS:
             self._loaded.popitem(last=False)
         return trees
+
+    # -- index sidecars -----------------------------------------------
+
+    def _sidecar_file(self, segment_index: int) -> str:
+        entry = self._manifest["segments"][segment_index]
+        return sidecar_path(os.path.join(self.path, entry["name"]))
+
+    def _valid_sidecar_blobs(
+        self, segment_index: int
+    ) -> Optional[List[bytes]]:
+        """Every blob of a segment's sidecar, or ``None`` when the
+        sidecar is missing, corrupt, or tagged for a different version
+        of the segment's bytes."""
+        entry = self._manifest["segments"][segment_index]
+        tag = entry.get("sidecar_gen")
+        if tag is None:
+            return None
+        try:
+            with Sidecar(self._sidecar_file(segment_index)) as sidecar:
+                if (
+                    sidecar.segment_id == entry["id"]
+                    and sidecar.generation == tag
+                    and sidecar.count == entry["trees"]
+                ):
+                    return sidecar.blobs()
+        except (OSError, StoreError):
+            pass
+        return None
+
+    def _segment_blobs(self, segment_index: int) -> List[bytes]:
+        """Every index blob of a segment — from its sidecar when the
+        generation tag matches, else rebuilt from the records."""
+        existing = self._valid_sidecar_blobs(segment_index)
+        if existing is not None:
+            return existing
+        segment = self._segment(segment_index)
+        return [
+            serialize_index(TreeIndex(segment.tree(i)))
+            for i in range(segment.tree_count)
+        ]
+
+    def _rebuild_sidecar(
+        self, segment_index: int
+    ) -> Optional[Tuple[str, int]]:
+        """Rebuild a missing/corrupt sidecar from the segment's records
+        and retag the manifest entry — no generation bump, the corpus
+        bytes did not change."""
+        entry = self._manifest["segments"][segment_index]
+        segment = self._segment(segment_index)
+        blobs = [
+            serialize_index(TreeIndex(segment.tree(i)))
+            for i in range(segment.tree_count)
+        ]
+        path = self._sidecar_file(segment_index)
+        tag = self.generation
+        write_sidecar(path, entry["id"], tag, blobs)
+        entry["sidecar_gen"] = tag
+        self._save_manifest()
+        return (path, tag)
+
+    def _sidecar_spec(
+        self, segment_index: int
+    ) -> Optional[Tuple[str, int]]:
+        """The ``(sidecar path, generation tag)`` workers should mmap
+        for this segment, or ``None`` to rebuild indexes from records.
+
+        Validated once per (segment, generation); a writable store
+        lazily rebuilds an invalid sidecar here, a readonly one falls
+        back per chunk."""
+        if not self._use_sidecars:
+            return None
+        cached = self._sidecar_ok.get(segment_index)
+        if cached is not None and cached[0] == self.generation:
+            return cached[1]
+        entry = self._manifest["segments"][segment_index]
+        tag = entry.get("sidecar_gen")
+        spec: Optional[Tuple[str, int]] = None
+        if tag is not None:
+            try:
+                with Sidecar(self._sidecar_file(segment_index)) as sidecar:
+                    if (
+                        sidecar.segment_id == entry["id"]
+                        and sidecar.generation == tag
+                        and sidecar.count == entry["trees"]
+                    ):
+                        spec = (sidecar.path, tag)
+            except (OSError, StoreError):
+                spec = None
+        if spec is None and not self.readonly:
+            spec = self._rebuild_sidecar(segment_index)
+        self._sidecar_ok[segment_index] = (self.generation, spec)
+        return spec
 
     def tree(self, position: int) -> Tree:
         """The tree at ``position`` (loads its segment, LRU-cached)."""
@@ -575,12 +757,115 @@ class CorpusStore:
                 self._segment(segment_index)
             except StoreCorruptError:
                 self._evict_segment(segment_index)
+                # The sidecar goes first: once the segment is resealed
+                # with records dropped, a surviving sidecar would look
+                # valid while describing the pre-crash bytes.  Dropping
+                # it forces a lazy rebuild instead.
+                try:
+                    os.unlink(sidecar_path(segment_path))
+                except OSError:
+                    pass
                 footer = recover_segment(segment_path)
                 self._record_seal(entry["id"], footer, True)
                 repaired += 1
         if repaired:
             self._bump()
         return repaired
+
+    def compact(self) -> int:
+        """Repack the store so every segment but the last holds exactly
+        ``segment_size`` trees; returns how many segments the compacted
+        store has (0 when it was already compact).
+
+        Under-full segments accumulate when :meth:`recover` drops torn
+        records mid-store; compaction rewrites the records (copied
+        byte-for-byte, no pickle round-trip) and their sidecar blobs
+        into freshly named segments, commits them with one atomic
+        manifest replace under a generation bump, then unlinks the old
+        files — a crash at any point leaves either the old store or the
+        new one, plus at worst some unreferenced garbage files."""
+        self._writable()
+        segments: List[Dict[str, object]] = self._manifest["segments"]
+        if not segments or all(
+            entry["trees"] == self.segment_size for entry in segments[:-1]
+        ):
+            return 0
+        next_gen = self.generation + 1
+        old_files = [os.path.join(self.path, e["name"]) for e in segments]
+        new_entries: List[Dict[str, object]] = []
+        writer: Optional[SegmentWriter] = None
+        blobs: List[bytes] = []
+        new_id = 0
+
+        def seal(writer: SegmentWriter) -> None:
+            footer = writer.seal()
+            entry = {
+                "name": os.path.basename(writer.path),
+                "id": writer.segment_id,
+                "trees": footer["trees"],
+                "nodes": footer["nodes"],
+                "summary": _aggregate(footer["stats"]),
+            }
+            if self._use_sidecars:
+                entry["sidecar_gen"] = next_gen
+                write_sidecar(
+                    sidecar_path(writer.path),
+                    writer.segment_id, next_gen, blobs,
+                )
+            new_entries.append(entry)
+
+        try:
+            for segment_index in range(len(segments)):
+                segment = self._segment(segment_index)
+                src_blobs = (
+                    self._valid_sidecar_blobs(segment_index)
+                    if self._use_sidecars else None
+                )
+                for i in range(segment.tree_count):
+                    if writer is None:
+                        name = f"seg-{new_id:05d}-g{next_gen}.seg"
+                        writer = SegmentWriter(
+                            os.path.join(self.path, name), new_id
+                        )
+                        new_id += 1
+                        blobs = []
+                    writer.append_raw(
+                        segment.record_payload(i), segment.stats_row(i)
+                    )
+                    if self._use_sidecars:
+                        blobs.append(
+                            src_blobs[i] if src_blobs is not None
+                            else serialize_index(TreeIndex(segment.tree(i)))
+                        )
+                    if writer.tree_count >= self.segment_size:
+                        seal(writer)
+                        writer = None
+            if writer is not None:
+                seal(writer)
+                writer = None
+        except BaseException:
+            if writer is not None:
+                writer.abort()
+            for entry in new_entries:  # drop the aborted repack's files
+                fresh = os.path.join(self.path, entry["name"])
+                for victim in (fresh, sidecar_path(fresh)):
+                    try:
+                        os.unlink(victim)
+                    except OSError:
+                        pass
+            raise
+        for segment_index in range(len(segments)):
+            self._evict_segment(segment_index)
+        self._sidecar_ok.clear()
+        self._manifest["segments"] = new_entries
+        self._bump()  # the commit point: one atomic manifest replace
+        for old in old_files:
+            for victim in (old, sidecar_path(old)):
+                try:
+                    os.unlink(victim)
+                except OSError:
+                    pass
+        return len(new_entries)
 
     # -- querying -----------------------------------------------------
 
@@ -609,7 +894,9 @@ class CorpusStore:
             position = chunk_stop
         return tuple(bounds)
 
-    def _shard_for(self, start: int, stop: int) -> Tuple[str, int, int, int]:
+    def _shard_for(
+        self, start: int, stop: int
+    ) -> Tuple[str, int, int, int, Optional[Tuple[str, int]]]:
         segment_index, local = self._locate(start)
         entry = self._manifest["segments"][segment_index]
         return (
@@ -617,6 +904,7 @@ class CorpusStore:
             self.generation,
             local,
             local + (stop - start),
+            self._sidecar_spec(segment_index),
         )
 
     def run(

@@ -35,22 +35,30 @@ mask), which is what makes the set-at-a-time engines fast.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import struct
+import sys
+from array import array
+from typing import Dict, List, Optional, Tuple
 
 from ..caching import KeyedLRU
 from ..trees.node import NodeId
 from ..trees.tree import Tree
-from ..trees.values import MaybeValue
+from ..trees.values import BOTTOM, MaybeValue
 from .nodeset import apply_shift_groups, bit_count, iter_bits
 from .nodeset import shift_groups as _shift_groups
 
 __all__ = [
     "TreeIndex",
+    "PackedIndex",
     "index_for",
     "adopt_index",
     "index_cache_clear",
     "index_structures",
     "repair_index",
+    "serialize_index",
+    "deserialize_index",
+    "IndexFormatError",
+    "INDEX_BLOB_VERSION",
     "REPAIR_THRESHOLD",
     "iter_bits",
     "bit_count",
@@ -295,6 +303,435 @@ class TreeIndex:
 
     def __repr__(self) -> str:
         return f"TreeIndex({self.n} nodes, Σ={sorted(self.label_mask)})"
+
+
+# ---------------------------------------------------------------------------
+# binary serialization (index sidecars)
+# ---------------------------------------------------------------------------
+#
+# The wire form of a TreeIndex: every derived structure as packed
+# little-endian arrays and big-int byte strings — *no* pickled Python
+# object graphs, so loading one is ``array.frombytes`` plus
+# ``int.from_bytes``, not a tree walk.  Layout (all lengths in bytes):
+#
+#     [ magic "RXI1" | version u16 | n u32 | child_count u32 ]
+#     [ 6 node-set bitsets       ]  leaf, first, last, has_next,
+#                                   has_prev, prev_adjacent
+#     [ label index              ]  count, then (label, bitset) pairs
+#     [ move groups              ]  up, right, left: count, then
+#                                   (shift i32, bitset) pairs
+#     [ navigation arrays (i32)  ]  parent, subtree_end, post_of,
+#                                   depth, next_sibling, prev_sibling,
+#                                   child_start[n+1], child_ids
+#     [ value index              ]  per attribute: name, then tagged
+#                                   (value, bitset) pairs
+#
+# Everything a :class:`StackedShard` lane consumes sits *before* the
+# navigation arrays, so :class:`PackedIndex` parses a prefix and defers
+# the rest; ``down`` move groups, ``all_mask``/``root_mask`` and
+# ``children_mask`` are cheap derivations and are not stored.
+
+INDEX_BLOB_MAGIC = b"RXI1"
+INDEX_BLOB_VERSION = 1
+
+_BLOB_HEADER = struct.Struct("<4sHII")
+_U32 = struct.Struct("<I")
+_I32 = struct.Struct("<i")
+_NATIVE_LE = sys.byteorder == "little"
+
+#: Stored value tags: a data value is a str, an int, or ⊥.
+_VALUE_STR, _VALUE_INT, _VALUE_BOTTOM = 0, 1, 2
+
+
+class IndexFormatError(ValueError):
+    """The bytes are not a serialized TreeIndex this build can read
+    (bad magic, unknown version, torn blob, or a tree-size mismatch)."""
+
+
+def _pack_bits(out: List[bytes], bits: int) -> None:
+    blob = bits.to_bytes((bits.bit_length() + 7) // 8, "little")
+    out.append(_U32.pack(len(blob)))
+    out.append(blob)
+
+
+def _pack_text(out: List[bytes], text: str) -> None:
+    blob = text.encode("utf-8")
+    out.append(_U32.pack(len(blob)))
+    out.append(blob)
+
+
+def _pack_array(out: List[bytes], values: List[int]) -> None:
+    packed = array("i", values)
+    if not _NATIVE_LE:  # pragma: no cover - big-endian platforms
+        packed.byteswap()
+    out.append(packed.tobytes())
+
+
+def _pack_groups(out: List[bytes], groups: Tuple[Tuple[int, int], ...]) -> None:
+    out.append(_U32.pack(len(groups)))
+    for shift, mask in groups:
+        out.append(_I32.pack(shift))
+        _pack_bits(out, mask)
+
+
+def serialize_index(index: TreeIndex) -> bytes:
+    """``index`` as a compact, versioned byte string (see the layout
+    note above).  :func:`deserialize_index` restores a byte-identical
+    index; :class:`PackedIndex` reads just the stacked-shard surface."""
+    out: List[bytes] = [
+        _BLOB_HEADER.pack(
+            INDEX_BLOB_MAGIC, INDEX_BLOB_VERSION, index.n,
+            len(index.child_ids),
+        )
+    ]
+    for bits in (
+        index.leaf_mask, index.first_mask, index.last_mask,
+        index.has_next_mask, index.has_prev_mask, index.prev_adjacent_mask,
+    ):
+        _pack_bits(out, bits)
+    out.append(_U32.pack(len(index.label_mask)))
+    for label in sorted(index.label_mask):
+        _pack_text(out, label)
+        _pack_bits(out, index.label_mask[label])
+    for direction in ("up", "right", "left"):
+        _pack_groups(out, index.move_groups[direction])
+    for values in (
+        index.parent, index.subtree_end, index.post_of, index.depth,
+        index.next_sibling, index.prev_sibling, index.child_start,
+        index.child_ids,
+    ):
+        _pack_array(out, values)
+    out.append(_U32.pack(len(index.value_mask)))
+    for attr in sorted(index.value_mask):
+        _pack_text(out, attr)
+        table = index.value_mask[attr]
+        out.append(_U32.pack(len(table)))
+        for value in sorted(table, key=repr):
+            if value is BOTTOM:
+                out.append(bytes((_VALUE_BOTTOM,)))
+            elif isinstance(value, str):
+                out.append(bytes((_VALUE_STR,)))
+                _pack_text(out, value)
+            else:
+                out.append(bytes((_VALUE_INT,)))
+                blob = int(value).to_bytes(
+                    value.bit_length() // 8 + 1, "little", signed=True
+                )
+                out.append(_U32.pack(len(blob)))
+                out.append(blob)
+            _pack_bits(out, table[value])
+    return b"".join(out)
+
+
+class _Reader:
+    """A bounds-checked cursor over one serialized index."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data, pos: int = 0):
+        self.data = data
+        self.pos = pos
+
+    def _take(self, count: int):
+        begin = self.pos
+        end = begin + count
+        if end > len(self.data):
+            raise IndexFormatError("serialized index is truncated")
+        self.pos = end
+        return self.data[begin:end]
+
+    def u32(self) -> int:
+        return _U32.unpack(self._take(4))[0]
+
+    def i32(self) -> int:
+        return _I32.unpack(self._take(4))[0]
+
+    def bits(self) -> int:
+        return int.from_bytes(self._take(self.u32()), "little")
+
+    def text(self) -> str:
+        return bytes(self._take(self.u32())).decode("utf-8")
+
+    def ints(self, count: int) -> List[int]:
+        packed = array("i")
+        packed.frombytes(self._take(4 * count))
+        if not _NATIVE_LE:  # pragma: no cover - big-endian platforms
+            packed.byteswap()
+        return packed.tolist()
+
+    def groups(self) -> Tuple[Tuple[int, int], ...]:
+        return tuple(
+            (self.i32(), self.bits()) for _ in range(self.u32())
+        )
+
+
+def _read_header(reader: _Reader) -> Tuple[int, int]:
+    try:
+        magic, version, n, child_count = _BLOB_HEADER.unpack(
+            reader._take(_BLOB_HEADER.size)
+        )
+    except (struct.error, IndexFormatError):
+        raise IndexFormatError("serialized index header is torn") from None
+    if magic != INDEX_BLOB_MAGIC:
+        raise IndexFormatError("bad serialized-index magic")
+    if version != INDEX_BLOB_VERSION:
+        raise IndexFormatError(
+            f"serialized index is format v{version}; "
+            f"this build reads v{INDEX_BLOB_VERSION}"
+        )
+    return n, child_count
+
+
+def _children_masks(
+    n: int, child_start: List[int], child_ids: List[int]
+) -> List[int]:
+    masks = [0] * n
+    for i in range(n):
+        mask = 0
+        for pos in range(child_start[i], child_start[i + 1]):
+            mask |= 1 << child_ids[pos]
+        masks[i] = mask
+    return masks
+
+
+def deserialize_index(tree: Tree, data: bytes) -> TreeIndex:
+    """The :class:`TreeIndex` of ``tree`` restored from
+    :func:`serialize_index` bytes — byte-identical (every derived
+    structure) to ``TreeIndex(tree)``, built without walking the tree.
+
+    Raises :class:`IndexFormatError` on torn or mismatched bytes (the
+    sidecar fallback-to-rebuild trigger), including a blob whose node
+    count disagrees with ``tree``."""
+    try:
+        reader = _Reader(memoryview(data) if isinstance(data, bytes) else data)
+        n, child_count = _read_header(reader)
+        if n != len(tree.nodes):
+            raise IndexFormatError(
+                f"serialized index holds {n} nodes; "
+                f"the tree has {len(tree.nodes)}"
+            )
+        index = TreeIndex.__new__(TreeIndex)
+        index.tree = tree
+        index.n = n
+        index.node_of = tree.nodes
+        index.id_of = {u: i for i, u in enumerate(tree.nodes)}
+        index.all_mask = (1 << n) - 1
+        index.root_mask = 1
+        index.leaf_mask = reader.bits()
+        index.first_mask = reader.bits()
+        index.last_mask = reader.bits()
+        index.has_next_mask = reader.bits()
+        index.has_prev_mask = reader.bits()
+        index.prev_adjacent_mask = reader.bits()
+        index.label_mask = {
+            reader.text(): reader.bits() for _ in range(reader.u32())
+        }
+        up = reader.groups()
+        right = reader.groups()
+        left = reader.groups()
+        index.parent = reader.ints(n)
+        index.subtree_end = reader.ints(n)
+        index.post_of = reader.ints(n)
+        index.depth = reader.ints(n)
+        index.next_sibling = reader.ints(n)
+        index.prev_sibling = reader.ints(n)
+        index.child_start = reader.ints(n + 1)
+        index.child_ids = reader.ints(child_count)
+        value_mask: Dict[str, Dict[MaybeValue, int]] = {}
+        for _ in range(reader.u32()):
+            attr = reader.text()
+            table: Dict[MaybeValue, int] = {}
+            for _ in range(reader.u32()):
+                tag = reader._take(1)[0]
+                if tag == _VALUE_BOTTOM:
+                    value: MaybeValue = BOTTOM
+                elif tag == _VALUE_STR:
+                    value = reader.text()
+                elif tag == _VALUE_INT:
+                    value = int.from_bytes(
+                        reader._take(reader.u32()), "little", signed=True
+                    )
+                else:
+                    raise IndexFormatError(f"bad value tag {tag}")
+                table[value] = reader.bits()
+            value_mask[attr] = table
+        index.value_mask = value_mask
+    except (struct.error, ValueError, IndexError) as exc:
+        if isinstance(exc, IndexFormatError):
+            raise
+        raise IndexFormatError(
+            f"serialized index does not parse ({type(exc).__name__})"
+        ) from exc
+    index.children_mask = _children_masks(
+        n, index.child_start, index.child_ids
+    )
+    index.move_groups = {
+        "down": ((1, index.all_mask & ~index.leaf_mask),),
+        "up": up,
+        "right": right,
+        "left": left,
+    }
+    index.moves = {
+        "up": index.up_mask,
+        "down": index.down_mask,
+        "left": index.left_mask,
+        "right": index.right_mask,
+    }
+    return index
+
+
+class PackedIndex:
+    """A tree-free stand-in for one :class:`TreeIndex`, parsed straight
+    from :func:`serialize_index` bytes.
+
+    It exposes exactly the lane surface the stacked-shard executor
+    consumes — ``n``, the structural masks, ``move_groups``,
+    :meth:`labelled` — plus :meth:`to_nodes` for select-mode results,
+    whose node addresses are reconstructed lazily from the navigation
+    arrays (parent/children order determine every Gorn address).  The
+    point: a worker can assemble a :class:`~repro.engine.ir.StackedShard`
+    from sidecar bytes without unpickling a single tree."""
+
+    __slots__ = (
+        "n", "all_mask", "root_mask", "leaf_mask", "first_mask",
+        "last_mask", "label_mask", "move_groups",
+        "_data", "_arrays_at", "_node_of",
+    )
+
+    def __init__(self, data) -> None:
+        # Parsed flat with ``unpack_from`` and local cursors rather
+        # than through :class:`_Reader`: a cold window parses hundreds
+        # of blobs before the first IR op, and the per-field method
+        # dispatch was the dominant cost of the whole packed path.
+        view = memoryview(data) if isinstance(data, bytes) else data
+        total = len(view)
+        u32_at = _U32.unpack_from
+        i32_at = _I32.unpack_from
+        from_bytes = int.from_bytes
+        try:
+            magic, version, n, _ = _BLOB_HEADER.unpack_from(view, 0)
+            if magic != INDEX_BLOB_MAGIC:
+                raise IndexFormatError("bad serialized-index magic")
+            if version != INDEX_BLOB_VERSION:
+                raise IndexFormatError(
+                    f"serialized index is format v{version}; "
+                    f"this build reads v{INDEX_BLOB_VERSION}"
+                )
+            self.n = n
+            self.all_mask = (1 << n) - 1
+            self.root_mask = 1 if n else 0
+            pos = _BLOB_HEADER.size
+            masks = []
+            for _ in range(6):
+                (size,) = u32_at(view, pos)
+                pos += 4
+                end = pos + size
+                if end > total:
+                    raise IndexFormatError("serialized index is truncated")
+                masks.append(from_bytes(view[pos:end], "little"))
+                pos = end
+            self.leaf_mask = masks[0]
+            self.first_mask = masks[1]
+            self.last_mask = masks[2]
+            # masks[3:] — has_next/has_prev/prev_adjacent — are not
+            # part of the shard surface and stay unbound.
+            (count,) = u32_at(view, pos)
+            pos += 4
+            if count > total:
+                raise IndexFormatError("serialized index is truncated")
+            label_mask = {}
+            for _ in range(count):
+                (size,) = u32_at(view, pos)
+                pos += 4
+                end = pos + size
+                if end > total:
+                    raise IndexFormatError("serialized index is truncated")
+                label = str(view[pos:end], "utf-8")
+                pos = end
+                (size,) = u32_at(view, pos)
+                pos += 4
+                end = pos + size
+                if end > total:
+                    raise IndexFormatError("serialized index is truncated")
+                label_mask[label] = from_bytes(view[pos:end], "little")
+                pos = end
+            self.label_mask = label_mask
+            moves = []
+            for _ in range(3):
+                (count,) = u32_at(view, pos)
+                pos += 4
+                if count > total:
+                    raise IndexFormatError("serialized index is truncated")
+                entries = []
+                for _ in range(count):
+                    (shift,) = i32_at(view, pos)
+                    (size,) = u32_at(view, pos + 4)
+                    pos += 8
+                    end = pos + size
+                    if end > total:
+                        raise IndexFormatError(
+                            "serialized index is truncated"
+                        )
+                    entries.append((shift, from_bytes(view[pos:end], "little")))
+                    pos = end
+                moves.append(tuple(entries))
+            self.move_groups = {
+                "down": ((1, self.all_mask & ~self.leaf_mask),),
+                "up": moves[0],
+                "right": moves[1],
+                "left": moves[2],
+            }
+        except (struct.error, ValueError, IndexError) as exc:
+            if isinstance(exc, IndexFormatError):
+                raise
+            raise IndexFormatError(
+                f"serialized index does not parse ({type(exc).__name__})"
+            ) from exc
+        self._data = view
+        self._arrays_at = pos
+        self._node_of: Optional[List[NodeId]] = None
+
+    def labelled(self, label: str) -> int:
+        """Bitset of σ-labelled nodes (0 if σ never occurs)."""
+        return self.label_mask.get(label, 0)
+
+    def _addresses(self) -> List[NodeId]:
+        if self._node_of is None:
+            n = self.n
+            data = self._data
+            # parent…prev_sibling (six n-wide arrays) are unused here:
+            # children order already encodes every Gorn address.
+            begin = self._arrays_at + 4 * 6 * n
+            split = begin + 4 * (n + 1)
+            if split > len(data):
+                raise IndexFormatError("serialized index is truncated")
+            child_start = array("i")
+            child_start.frombytes(data[begin:split])
+            if not _NATIVE_LE:  # pragma: no cover - big-endian platforms
+                child_start.byteswap()
+            end = split + 4 * child_start[n]
+            if end > len(data):
+                raise IndexFormatError("serialized index is truncated")
+            child_ids = array("i")
+            child_ids.frombytes(data[split:end])
+            if not _NATIVE_LE:  # pragma: no cover - big-endian platforms
+                child_ids.byteswap()
+            node_of: List[NodeId] = [()] * n
+            for i in range(n):
+                base = node_of[i]
+                start = child_start[i]
+                for k in range(start, child_start[i + 1]):
+                    node_of[child_ids[k]] = base + (k - start,)
+            self._node_of = node_of
+        return self._node_of
+
+    def to_nodes(self, bits: int) -> Tuple[NodeId, ...]:
+        """The node addresses of a bitset, in document order."""
+        node_of = self._addresses()
+        return tuple(node_of[i] for i in iter_bits(bits))
+
+    def __repr__(self) -> str:
+        return f"PackedIndex({self.n} nodes, Σ={sorted(self.label_mask)})"
 
 
 #: Bounded cache of indexes keyed on tree object identity.  Entries pin

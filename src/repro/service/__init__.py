@@ -12,6 +12,9 @@ The layering, inside out:
 * :mod:`~repro.service.protocol` — frames, error codes, nothing else;
 * :mod:`~repro.service.admission` — in-flight token bucket plus
   per-session step quotas priced off the planner's cost model;
+* :mod:`~repro.service.cache` — the generation-keyed window result
+  cache (``--result-cache``): repeated windows answer from memory
+  until the corpus generation moves;
 * :mod:`~repro.service.session` — the transport-free dispatcher
   (requests in, responses out, never raises);
 * :mod:`~repro.service.server` — the asyncio TCP front end;
@@ -28,6 +31,7 @@ The layering, inside out:
 """
 
 from .admission import AdmissionController, AdmissionTicket, Overloaded
+from .cache import ResultCache
 from .client import ServiceClient
 from .protocol import (
     ERROR_CODES,
@@ -50,6 +54,7 @@ __all__ = [
     "MAX_FRAME",
     "Overloaded",
     "QueryServer",
+    "ResultCache",
     "ServiceClient",
     "ServiceError",
     "SessionState",

@@ -42,6 +42,7 @@ from ..corpus.query import KINDS, CorpusQuery
 from ..resilience.errors import ParseError, ReproError, ResourceExhausted
 from ..resilience.faults import Fault
 from .admission import AdmissionController
+from .cache import ResultCache
 from .protocol import (
     BAD_REQUEST,
     DEADLINE,
@@ -93,6 +94,7 @@ class Dispatcher:
         retry_backoff: float = 0.02,
         allow_faults: bool = False,
         resilience_log=None,
+        result_cache: int = 0,
     ) -> None:
         self.corpus = corpus
         self.admission = admission or AdmissionController()
@@ -105,6 +107,13 @@ class Dispatcher:
         #: a production server rejects fault-carrying requests.
         self.allow_faults = allow_faults
         self.resilience_log = resilience_log
+        #: Generation-keyed window result cache (``repro serve
+        #: --result-cache N``; 0 disables).  Keys lead with the corpus
+        #: token, which embeds the store generation — any mutation
+        #: changes the token and orphans every cached window.
+        self.result_cache = (
+            ResultCache(result_cache) if result_cache > 0 else None
+        )
         self.started = time.monotonic()
         self._lock = threading.Lock()
         self._sessions: Dict[str, SessionState] = {}
@@ -191,6 +200,27 @@ class Dispatcher:
             raise _bad_request(f"bad tree range [{start}, {stop})")
         window = stop_at - start
 
+        # Cache check before pricing and admission: a hit answers from
+        # memory, burning neither a ticket nor a single engine step.
+        # Fault-carrying requests bypass the cache in both directions —
+        # injected chaos must hit the real pipeline, and its possibly
+        # degraded responses must not be replayed to clean requests.
+        cache_key = None
+        if self.result_cache is not None and faults is None:
+            token = getattr(self.corpus, "token", None)
+            if token is not None:
+                cache_key = ResultCache.key(
+                    token, engine, start, stop_at, queries
+                )
+                hit = self.result_cache.get(cache_key)
+                if hit is not None:
+                    with self._lock:
+                        session.queries += 1
+                        self._counters["queries_ok"] += 1
+                    response = dict(hit)
+                    response["cached"] = True
+                    return response
+
         price = self._price(queries, window)
         ticket = self.admission.admit(session.session_id, price)
         actual_steps: Optional[int] = None
@@ -214,7 +244,10 @@ class Dispatcher:
             )
             elapsed = time.perf_counter() - began
             actual_steps = sum(chunk.steps for chunk in result.chunks)
-            return self._query_response(result, session, elapsed)
+            response = self._query_response(result, session, elapsed)
+            if cache_key is not None:
+                self.result_cache.put(cache_key, response)
+            return response
         finally:
             ticket.settle(actual_steps)
 
@@ -354,6 +387,8 @@ class Dispatcher:
             admission=self.admission.counters(),
             sessions=sessions,
         )
+        if self.result_cache is not None:
+            payload["result_cache"] = self.result_cache.info()
         if self.resilience_log is not None:
             payload["resilience"] = self.resilience_log.snapshot()
         return payload

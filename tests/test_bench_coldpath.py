@@ -1,0 +1,113 @@
+"""Smoke tests for the ``--suite coldpath`` benchmark — the
+zero-rebuild sweep stays runnable at toy sizes, its JSON stays
+well-formed, the committed full-size trajectory keeps clearing its
+gates, and ``--check`` rejects a trajectory that stopped clearing
+them."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import bench
+
+pytestmark = pytest.mark.store
+
+
+@pytest.fixture(scope="module")
+def quick_report(tmp_path_factory):
+    """One quick sweep, shared: the suite forks ingest and measurement
+    children, so rerunning it per test would dominate the battery."""
+    out = tmp_path_factory.mktemp("coldpath") / "BENCH_coldpath.json"
+    code = bench.main(
+        [
+            "--suite", "coldpath", "--quick",
+            "--output", str(out), "--seed", "3", "--repeats", "1",
+        ]
+    )
+    return code, json.loads(out.read_text())
+
+
+def test_quick_coldpath_benchmark_writes_wellformed_json(quick_report):
+    code, report = quick_report
+    assert code == 0
+    assert report["schema"] == bench.COLDPATH_SCHEMA
+    assert report["quick"] is True
+    assert report["seed"] == 3
+    assert report["errors"] == []  # no per-case exception was swallowed
+    rows = report["coldpath"]["rows"]
+    assert [r["n"] for r in rows] == list(bench.COLDPATH_TREE_COUNTS_QUICK)
+    for row in rows:
+        assert row["window"] == min(bench.COLDPATH_WINDOW, row["n"])
+        assert row["ingest_seconds"] > 0
+        assert row["cold_sidecar_seconds"] > 0
+        assert row["cold_rebuild_seconds"] > 0
+        assert row["packed_lanes"] > 0  # the packed path really engaged
+        assert row["disagreements"] == 0
+        assert row["speedup"] > 0
+    cache_rows = report["coldpath"]["cache_rows"]
+    assert [r["n"] for r in cache_rows] == list(
+        bench.COLDPATH_TREE_COUNTS_QUICK
+    )
+    for row in cache_rows:
+        assert row["windows"] > 0
+        assert row["hit_p50_ms"] < row["miss_p50_ms"]
+        assert row["wrong_answers"] == 0
+        assert row["cache_info"]["hits"] > 0
+    summary = report["summary"]
+    assert summary["errors"] == 0
+    assert summary["coldpath_disagreements"] == 0
+    assert summary["coldpath_wrong_answers"] == 0
+    assert summary["pass"] is True  # quick mode never gates on speed
+
+
+def test_committed_coldpath_trajectory_matches_schema():
+    # The repo ships a full-size BENCH_coldpath.json; keep it honest.
+    path = Path(__file__).resolve().parents[1] / "BENCH_coldpath.json"
+    report = json.loads(path.read_text())
+    assert report["schema"] == bench.COLDPATH_SCHEMA
+    assert report.get("errors", []) == []
+    summary = report["summary"]
+    assert summary["pass"] is True
+    assert summary["coldpath_disagreements"] == 0
+    assert summary["coldpath_wrong_answers"] == 0
+    if not report["quick"]:  # a quick regen may be lying around
+        thresholds = summary["thresholds"]
+        assert (
+            summary["coldpath_sidecar_speedup_at_max_size"]
+            >= thresholds["sidecar"]
+        )
+        assert (
+            summary["coldpath_cache_speedup_at_max_size"]
+            >= thresholds["cache"]
+        )
+
+
+def test_check_rejects_a_coldpath_trajectory_below_its_gates(
+    quick_report, tmp_path
+):
+    _, report = quick_report
+    report = json.loads(json.dumps(report))  # private mutable copy
+    report["quick"] = False  # full-size reports must carry their gates
+    report["summary"]["coldpath_sidecar_speedup_at_max_size"] = 1.2
+    path = tmp_path / "BENCH_coldpath.json"
+    path.write_text(json.dumps(report))
+    assert bench.main(["--check", str(path)]) == 1
+
+
+def test_check_rejects_any_wrong_cached_answer(quick_report, tmp_path):
+    _, report = quick_report
+    report = json.loads(json.dumps(report))
+    report["summary"]["coldpath_wrong_answers"] = 1  # quick or not
+    path = tmp_path / "BENCH_coldpath.json"
+    path.write_text(json.dumps(report))
+    assert bench.main(["--check", str(path)]) == 1
+
+
+def test_check_accepts_a_passing_coldpath_trajectory(
+    quick_report, tmp_path
+):
+    _, report = quick_report
+    path = tmp_path / "BENCH_coldpath.json"
+    path.write_text(json.dumps(report))
+    assert bench.main(["--check", str(path)]) == 0
